@@ -1,0 +1,457 @@
+//! Protocol-surface tests: drive the servers through the full command
+//! repertoire with raw scripted drivers and check every reply path.
+
+use fisec_apps::{build_ftpd, build_sshd, clients::LineBuf};
+use fisec_net::{ClientDriver, ClientStatus};
+use fisec_os::{Process, Stop};
+
+/// A raw client that sends a fixed command script, one line per server
+/// reply burst, and records everything the server said.
+struct Script {
+    steps: Vec<&'static str>,
+    next: usize,
+    lines: LineBuf,
+    saw: Vec<String>,
+}
+
+impl Script {
+    fn new(steps: Vec<&'static str>) -> Box<Script> {
+        Box::new(Script {
+            steps,
+            next: 0,
+            lines: LineBuf::new(),
+            saw: Vec::new(),
+        })
+    }
+}
+
+impl ClientDriver for Script {
+    fn on_server_data(&mut self, data: &[u8], out: &mut dyn FnMut(Vec<u8>)) {
+        self.lines.push(data);
+        while let Some(l) = self.lines.pop_line() {
+            self.saw.push(String::from_utf8_lossy(&l).into_owned());
+            // Reply only to complete status lines (3-digit + space), so
+            // multi-line payloads don't trigger extra sends.
+            let is_status = l.len() >= 4
+                && l[..3].iter().all(u8::is_ascii_digit)
+                && l[3] == b' ';
+            if is_status && self.next < self.steps.len() {
+                out(format!("{}\r\n", self.steps[self.next]).into_bytes());
+                self.next += 1;
+            }
+        }
+    }
+
+    fn status(&self) -> ClientStatus {
+        ClientStatus::InProgress
+    }
+}
+
+fn drive_ftpd(steps: Vec<&'static str>) -> (Stop, Vec<String>) {
+    let img = build_ftpd().unwrap();
+    let mut p = Process::load(&img, Script::new(steps)).unwrap();
+    let stop = p.run();
+    let to_client: Vec<u8> = p
+        .trace()
+        .messages()
+        .iter()
+        .filter(|m| m.dir == fisec_net::Dir::ToClient)
+        .flat_map(|m| m.bytes.clone())
+        .collect();
+    let lines = String::from_utf8_lossy(&to_client)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    (stop, lines)
+}
+
+fn assert_has(lines: &[String], needle: &str) {
+    assert!(
+        lines.iter().any(|l| l.contains(needle)),
+        "missing `{needle}` in {lines:#?}"
+    );
+}
+
+#[test]
+fn full_session_with_list_cwd_pwd() {
+    let (stop, lines) = drive_ftpd(vec![
+        "USER alice",
+        "PASS wonderland",
+        "PWD",
+        "LIST",
+        "CWD pub",
+        "PWD",
+        "LIST",
+        "CWD ..",
+        "RETR secret.txt",
+        "QUIT",
+    ]);
+    assert_eq!(stop, Stop::Exited(0));
+    assert_has(&lines, "230 User logged in");
+    assert_has(&lines, "257 \"/\" is the current directory");
+    assert_has(&lines, "secret.txt"); // listed for a real user
+    assert_has(&lines, "250 CWD command successful");
+    assert_has(&lines, "257 \"/pub\" is the current directory");
+    assert_has(&lines, "README");
+    assert_has(&lines, "TOP-SECRET");
+    assert_has(&lines, "221 Goodbye");
+}
+
+#[test]
+fn anonymous_listing_hides_secret() {
+    let (stop, lines) = drive_ftpd(vec![
+        "USER anonymous",
+        "PASS me@example.com",
+        "LIST",
+        "QUIT",
+    ]);
+    assert_eq!(stop, Stop::Exited(0));
+    assert_has(&lines, "welcome.txt");
+    assert!(
+        !lines.iter().any(|l| l.contains("secret.txt")),
+        "guests must not see secret.txt: {lines:#?}"
+    );
+}
+
+#[test]
+fn commands_require_login() {
+    let (stop, lines) = drive_ftpd(vec!["LIST", "CWD pub", "PWD", "RETR x", "QUIT"]);
+    assert_eq!(stop, Stop::Exited(0));
+    let denied = lines
+        .iter()
+        .filter(|l| l.contains("530 Please login"))
+        .count();
+    assert_eq!(denied, 4, "{lines:#?}");
+}
+
+#[test]
+fn unknown_command_and_noop_type_syst() {
+    let (stop, lines) = drive_ftpd(vec!["FROB", "NOOP", "TYPE A", "SYST", "QUIT"]);
+    assert_eq!(stop, Stop::Exited(0));
+    assert_has(&lines, "500 command not understood");
+    assert_has(&lines, "200 NOOP command successful");
+    assert_has(&lines, "200 Type set to A");
+    assert_has(&lines, "215 UNIX Type: L8");
+}
+
+#[test]
+fn bad_directory_rejected() {
+    let (_, lines) = drive_ftpd(vec![
+        "USER alice",
+        "PASS wonderland",
+        "CWD /etc",
+        "QUIT",
+    ]);
+    assert_has(&lines, "550 No such directory");
+}
+
+#[test]
+fn deny_list_and_disabled_accounts() {
+    let (_, lines) = drive_ftpd(vec!["USER root", "QUIT"]);
+    assert_has(&lines, "532 User access denied");
+    let (_, lines) = drive_ftpd(vec!["USER daemon", "QUIT"]);
+    assert_has(&lines, "532 User access denied");
+    let (_, lines) = drive_ftpd(vec!["USER carol", "QUIT"]);
+    assert_has(&lines, "530 User account is disabled");
+}
+
+#[test]
+fn invalid_user_names_rejected() {
+    let (_, lines) = drive_ftpd(vec!["USER bad;name", "QUIT"]);
+    assert_has(&lines, "501 USER: invalid characters");
+    let (_, lines) = drive_ftpd(vec![
+        "USER aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+        "QUIT",
+    ]);
+    assert_has(&lines, "501 USER: name too long");
+    let (_, lines) = drive_ftpd(vec!["USER", "QUIT"]);
+    assert_has(&lines, "501 USER: missing user name");
+}
+
+#[test]
+fn guest_email_validation() {
+    // Too short / no @ / two @ / spaces are rejected.
+    for bad in ["a@b", "plainaddress", "a@@b.com", "has space@x.com"] {
+        let img = build_ftpd().unwrap();
+        let steps: Vec<String> = vec![
+            "USER anonymous".into(),
+            format!("PASS {bad}"),
+            "QUIT".into(),
+        ];
+        struct Owned {
+            steps: Vec<String>,
+            next: usize,
+            lines: LineBuf,
+            denied: bool,
+        }
+        impl ClientDriver for Owned {
+            fn on_server_data(&mut self, data: &[u8], out: &mut dyn FnMut(Vec<u8>)) {
+                self.lines.push(data);
+                while let Some(l) = self.lines.pop_line() {
+                    if l.starts_with(b"530 Login incorrect") {
+                        self.denied = true;
+                    }
+                    let is_status =
+                        l.len() >= 4 && l[..3].iter().all(u8::is_ascii_digit) && l[3] == b' ';
+                    if is_status && self.next < self.steps.len() {
+                        out(format!("{}\r\n", self.steps[self.next]).into_bytes());
+                        self.next += 1;
+                    }
+                }
+            }
+            fn status(&self) -> ClientStatus {
+                ClientStatus::InProgress
+            }
+        }
+        let mut p = Process::load(
+            &img,
+            Box::new(Owned {
+                steps,
+                next: 0,
+                lines: LineBuf::new(),
+                denied: false,
+            }),
+        )
+        .unwrap();
+        let _ = p.run();
+        let to_client: Vec<u8> = p
+            .trace()
+            .messages()
+            .iter()
+            .filter(|m| m.dir == fisec_net::Dir::ToClient)
+            .flat_map(|m| m.bytes.clone())
+            .collect();
+        assert!(
+            String::from_utf8_lossy(&to_client).contains("530 Login incorrect"),
+            "email `{bad}` should be rejected"
+        );
+    }
+}
+
+#[test]
+fn three_failed_logins_close_the_connection() {
+    let (stop, lines) = drive_ftpd(vec![
+        "USER alice",
+        "PASS no1",
+        "USER alice",
+        "PASS no2",
+        "USER alice",
+        "PASS no3",
+    ]);
+    assert_eq!(stop, Stop::Exited(1));
+    assert_has(&lines, "421 Too many login failures");
+}
+
+// ── sshd surface ─────────────────────────────────────────────────────
+
+#[test]
+fn sshd_rejects_non_ssh_version() {
+    let img = build_sshd().unwrap();
+    struct BadVersion {
+        sent: bool,
+    }
+    impl ClientDriver for BadVersion {
+        fn on_server_data(&mut self, _d: &[u8], out: &mut dyn FnMut(Vec<u8>)) {
+            if !self.sent {
+                self.sent = true;
+                out(b"HTTP/1.0 GET /\r\n".to_vec());
+            }
+        }
+        fn status(&self) -> ClientStatus {
+            ClientStatus::InProgress
+        }
+    }
+    let mut p = Process::load(&img, Box::new(BadVersion { sent: false })).unwrap();
+    let stop = p.run();
+    assert_eq!(stop, Stop::Exited(1));
+    let out: Vec<u8> = p
+        .trace()
+        .messages()
+        .iter()
+        .filter(|m| m.dir == fisec_net::Dir::ToClient)
+        .flat_map(|m| m.bytes.clone())
+        .collect();
+    assert!(String::from_utf8_lossy(&out).contains("PROTOCOL-MISMATCH"));
+}
+
+#[test]
+fn sshd_protocol_error_on_garbage_method() {
+    let img = build_sshd().unwrap();
+    struct Garbage {
+        stage: usize,
+        lines: LineBuf,
+    }
+    impl ClientDriver for Garbage {
+        fn on_server_data(&mut self, data: &[u8], out: &mut dyn FnMut(Vec<u8>)) {
+            self.lines.push(data);
+            while let Some(l) = self.lines.pop_line() {
+                let s = String::from_utf8_lossy(&l).into_owned();
+                match (self.stage, s.as_str()) {
+                    (0, v) if v.starts_with("SSH-") => {
+                        out(b"SSH-1.5-x\r\n".to_vec());
+                        self.stage = 1;
+                    }
+                    (1, "OK") => {
+                        out(b"AUTH-USER alice\n".to_vec());
+                        self.stage = 2;
+                    }
+                    (2, "OK-USER") => {
+                        out(b"FROBNICATE now\n".to_vec());
+                        self.stage = 3;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        fn status(&self) -> ClientStatus {
+            ClientStatus::InProgress
+        }
+    }
+    let mut p = Process::load(
+        &img,
+        Box::new(Garbage {
+            stage: 0,
+            lines: LineBuf::new(),
+        }),
+    )
+    .unwrap();
+    let stop = p.run();
+    assert_eq!(stop, Stop::Exited(1));
+    let out: Vec<u8> = p
+        .trace()
+        .messages()
+        .iter()
+        .filter(|m| m.dir == fisec_net::Dir::ToClient)
+        .flat_map(|m| m.bytes.clone())
+        .collect();
+    assert!(String::from_utf8_lossy(&out).contains("PROTOCOL-ERROR"));
+}
+
+#[test]
+fn sshd_three_password_failures_disconnect() {
+    let img = build_sshd().unwrap();
+    struct Persistent {
+        stage: usize,
+        tries: usize,
+        lines: LineBuf,
+        saw_toomany: bool,
+    }
+    impl ClientDriver for Persistent {
+        fn on_server_data(&mut self, data: &[u8], out: &mut dyn FnMut(Vec<u8>)) {
+            self.lines.push(data);
+            while let Some(l) = self.lines.pop_line() {
+                let s = String::from_utf8_lossy(&l).into_owned();
+                match (self.stage, s.as_str()) {
+                    (0, v) if v.starts_with("SSH-") => {
+                        out(b"SSH-1.5-x\r\n".to_vec());
+                        self.stage = 1;
+                    }
+                    (1, "OK") => {
+                        out(b"AUTH-USER alice\n".to_vec());
+                        self.stage = 2;
+                    }
+                    (2, "OK-USER") | (2, "FAILURE") => {
+                        self.tries += 1;
+                        out(format!("AUTH-PASSWORD wrong{}\n", self.tries).into_bytes());
+                    }
+                    (2, "TOOMANY") => {
+                        self.saw_toomany = true;
+                        self.stage = 3;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        fn status(&self) -> ClientStatus {
+            ClientStatus::InProgress
+        }
+    }
+    let mut p = Process::load(
+        &img,
+        Box::new(Persistent {
+            stage: 0,
+            tries: 0,
+            lines: LineBuf::new(),
+            saw_toomany: false,
+        }),
+    )
+    .unwrap();
+    let stop = p.run();
+    assert_eq!(stop, Stop::Exited(1));
+    let out: Vec<u8> = p
+        .trace()
+        .messages()
+        .iter()
+        .filter(|m| m.dir == fisec_net::Dir::ToClient)
+        .flat_map(|m| m.bytes.clone())
+        .collect();
+    assert!(String::from_utf8_lossy(&out).contains("TOOMANY"));
+}
+
+#[test]
+fn sshd_session_loop_handles_unknown_requests() {
+    let img = build_sshd().unwrap();
+    struct LoggedIn {
+        stage: usize,
+        lines: LineBuf,
+    }
+    impl ClientDriver for LoggedIn {
+        fn on_server_data(&mut self, data: &[u8], out: &mut dyn FnMut(Vec<u8>)) {
+            self.lines.push(data);
+            while let Some(l) = self.lines.pop_line() {
+                let s = String::from_utf8_lossy(&l).into_owned();
+                match (self.stage, s.as_str()) {
+                    (0, v) if v.starts_with("SSH-") => {
+                        out(b"SSH-1.5-x\r\n".to_vec());
+                        self.stage = 1;
+                    }
+                    (1, "OK") => {
+                        out(b"AUTH-USER alice\n".to_vec());
+                        self.stage = 2;
+                    }
+                    (2, "OK-USER") => {
+                        out(b"AUTH-PASSWORD wonderland\n".to_vec());
+                        self.stage = 3;
+                    }
+                    (3, "SUCCESS") => {
+                        out(b"PORT-FORWARD 8080\n".to_vec()); // unknown request
+                        self.stage = 4;
+                    }
+                    (4, "UNKNOWN-REQUEST") => {
+                        out(b"SHELL\n".to_vec());
+                        self.stage = 5;
+                    }
+                    (5, s2) if s2.starts_with("SHELL-GRANTED") => {
+                        out(b"DISCONNECT\n".to_vec());
+                        self.stage = 6;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        fn status(&self) -> ClientStatus {
+            ClientStatus::InProgress
+        }
+    }
+    let mut p = Process::load(
+        &img,
+        Box::new(LoggedIn {
+            stage: 0,
+            lines: LineBuf::new(),
+        }),
+    )
+    .unwrap();
+    let stop = p.run();
+    assert_eq!(stop, Stop::Exited(0));
+    let out: Vec<u8> = p
+        .trace()
+        .messages()
+        .iter()
+        .filter(|m| m.dir == fisec_net::Dir::ToClient)
+        .flat_map(|m| m.bytes.clone())
+        .collect();
+    let s = String::from_utf8_lossy(&out).into_owned();
+    assert!(s.contains("UNKNOWN-REQUEST"));
+    assert!(s.contains("SHELL-GRANTED"));
+    assert!(s.contains("BYE"));
+}

@@ -1,0 +1,137 @@
+//! Assembled program images and symbol tables.
+
+use fisec_x86::{decode, Inst};
+
+/// A function symbol: name plus the half-open byte range `[start, end)` of
+/// its body in the text segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSymbol {
+    /// Function name.
+    pub name: String,
+    /// First instruction address.
+    pub start: u32,
+    /// One past the last instruction byte.
+    pub end: u32,
+}
+
+/// A data symbol: name, absolute address, and length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSymbol {
+    /// Symbol name.
+    pub name: String,
+    /// Absolute address in the data segment.
+    pub addr: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// Function and data symbols of an image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    /// Functions in definition order.
+    pub funcs: Vec<FuncSymbol>,
+    /// Data symbols in definition order.
+    pub data: Vec<DataSymbol>,
+}
+
+/// An assembled program: text and data bytes plus their load addresses and
+/// symbols.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Text segment bytes.
+    pub text: Vec<u8>,
+    /// Data segment bytes.
+    pub data: Vec<u8>,
+    /// Load address of the text segment.
+    pub text_base: u32,
+    /// Load address of the data segment.
+    pub data_base: u32,
+    /// Symbol table.
+    pub symbols: SymbolTable,
+}
+
+impl Image {
+    /// Look up a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncSymbol> {
+        self.symbols.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Look up a data symbol by name.
+    pub fn data_symbol(&self, name: &str) -> Option<&DataSymbol> {
+        self.symbols.data.iter().find(|d| d.name == name)
+    }
+
+    /// Decode the instructions of a function body linearly. Returns
+    /// `(address, instruction)` pairs. This is how the fault injector
+    /// enumerates the branch instructions of the paper's target functions.
+    pub fn decode_func(&self, f: &FuncSymbol) -> Vec<(u32, Inst)> {
+        let mut out = Vec::new();
+        let mut pos = (f.start - self.text_base) as usize;
+        let end = (f.end - self.text_base) as usize;
+        while pos < end {
+            let i = decode(&self.text[pos..end.min(pos + 15).max(pos)]);
+            out.push((self.text_base + pos as u32, i));
+            pos += i.len as usize;
+        }
+        out
+    }
+
+    /// The fraction of the text segment occupied by the named functions —
+    /// the paper reports its injected sections as 2.1% (sshd) and 8%
+    /// (ftpd) of the compiled binaries.
+    pub fn text_fraction(&self, func_names: &[&str]) -> f64 {
+        let selected: u32 = func_names
+            .iter()
+            .filter_map(|n| self.func(n))
+            .map(|f| f.end - f.start)
+            .sum();
+        if self.text.is_empty() {
+            0.0
+        } else {
+            selected as f64 / self.text.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image() -> Image {
+        Image {
+            // mov eax,1; je +2; inc eax; ret
+            text: vec![0xB8, 1, 0, 0, 0, 0x74, 0x01, 0x40, 0xC3],
+            data: vec![],
+            text_base: 0x1000,
+            data_base: 0x2000,
+            symbols: SymbolTable {
+                funcs: vec![FuncSymbol {
+                    name: "f".into(),
+                    start: 0x1000,
+                    end: 0x1009,
+                }],
+                data: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn decode_func_boundaries() {
+        let img = image();
+        let f = img.func("f").unwrap().clone();
+        let insts = img.decode_func(&f);
+        assert_eq!(insts.len(), 4);
+        assert_eq!(insts[0].0, 0x1000);
+        assert_eq!(insts[1].0, 0x1005);
+        assert!(insts[1].1.is_cond_branch());
+        assert_eq!(insts[3].0, 0x1008);
+    }
+
+    #[test]
+    fn text_fraction_computation() {
+        let img = image();
+        assert!((img.text_fraction(&["f"]) - 1.0).abs() < 1e-9);
+        assert_eq!(img.text_fraction(&[]), 0.0);
+        assert_eq!(img.text_fraction(&["missing"]), 0.0);
+    }
+}

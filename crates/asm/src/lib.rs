@@ -1,0 +1,845 @@
+//! # fisec-asm — a programmatic two-pass IA-32 assembler
+//!
+//! The mini-C compiler (and hand-written startup/demo code) emits
+//! instructions through [`Assembler`], which performs:
+//!
+//! * label management with forward references;
+//! * **branch relaxation**: conditional and unconditional branches start in
+//!   their short (rel8) form and are widened to the long (rel32) form only
+//!   when the displacement requires it — exactly the mix a real compiler
+//!   produces, which matters here because the study's Tables 2/3 classify
+//!   injected errors by *2-byte vs 6-byte* conditional branch encodings;
+//! * a **data segment** builder with named symbols (globals, string
+//!   literals) and symbol-relative immediate/displacement fix-ups;
+//! * a **function symbol table** with byte ranges, which the fault injector
+//!   uses to select "the branch instructions inside `user()` and `pass()`"
+//!   precisely as the paper did.
+//!
+//! ```
+//! use fisec_asm::Assembler;
+//! use fisec_x86::{Cond, Inst, Op, Operand, Reg32};
+//!
+//! let mut a = Assembler::new();
+//! a.begin_func("answer");
+//! a.emit(Inst::new(Op::Mov).dst(Operand::Reg(Reg32::Eax)).src(Operand::Imm(42)));
+//! a.emit(Inst::new(Op::Ret(0)));
+//! a.end_func();
+//! let img = a.assemble(0x0804_8000, 0x0810_0000)?;
+//! assert_eq!(img.func("answer").unwrap().start, 0x0804_8000);
+//! # Ok::<(), fisec_asm::AsmError>(())
+//! ```
+
+mod image;
+
+pub use image::{DataSymbol, FuncSymbol, Image, SymbolTable};
+
+use fisec_x86::{encode, Cond, Inst, Op, Operand, Reg32};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A code label (block-scoped jump target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// A data-segment symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataRef(usize);
+
+/// Which operand field of a templated instruction receives a resolved
+/// symbol address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymSlot {
+    /// The `src` immediate.
+    ImmSrc,
+    /// The `dst` immediate (e.g. `push $sym`).
+    ImmDst,
+    /// The displacement of the `dst` memory operand.
+    MemDst,
+    /// The displacement of the `src` memory operand.
+    MemSrc,
+}
+
+/// A symbol reference: a code label or a data symbol, plus an addend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymRef {
+    target: SymTarget,
+    addend: i32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SymTarget {
+    Code(Label),
+    Data(DataRef),
+}
+
+impl SymRef {
+    /// Reference to a code label.
+    pub fn code(l: Label) -> SymRef {
+        SymRef {
+            target: SymTarget::Code(l),
+            addend: 0,
+        }
+    }
+
+    /// Reference to a data symbol.
+    pub fn data(d: DataRef) -> SymRef {
+        SymRef {
+            target: SymTarget::Data(d),
+            addend: 0,
+        }
+    }
+
+    /// Add a byte offset to the resolved address.
+    pub fn offset(mut self, addend: i32) -> SymRef {
+        self.addend = self.addend.wrapping_add(addend);
+        self
+    }
+}
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(usize),
+    /// A function was called but never defined.
+    UnknownFunction(String),
+    /// A function or data symbol name was defined twice.
+    DuplicateSymbol(String),
+    /// `begin_func`/`end_func` mismatch.
+    UnbalancedFunc(String),
+    /// An instruction failed to encode.
+    Encode(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(i) => write!(f, "label {i} was never bound"),
+            AsmError::UnknownFunction(n) => write!(f, "call to undefined function `{n}`"),
+            AsmError::DuplicateSymbol(n) => write!(f, "duplicate symbol `{n}`"),
+            AsmError::UnbalancedFunc(n) => write!(f, "unbalanced begin/end_func around `{n}`"),
+            AsmError::Encode(e) => write!(f, "encode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    /// A fixed instruction (no symbols, no relaxation).
+    Fixed(Inst),
+    /// A fixed instruction whose operand is patched with a symbol address.
+    WithSym {
+        inst: Inst,
+        slot: SymSlot,
+        sym: SymRef,
+    },
+    /// A conditional or unconditional branch to a label (relaxed).
+    Branch { cond: Option<Cond>, target: Label },
+    /// A call to a named function (always rel32).
+    CallName(String),
+    /// A call to a label (always rel32).
+    CallLabel(Label),
+    /// Bind a label here.
+    Bind(Label),
+    /// Raw bytes in the text stream (used only outside functions).
+    Bytes(Vec<u8>),
+}
+
+#[derive(Debug, Clone)]
+struct DataItem {
+    name: String,
+    bytes: Vec<u8>,
+    align: u32,
+}
+
+#[derive(Debug, Clone)]
+struct FuncSpan {
+    name: String,
+    start_item: usize,
+    end_item: usize, // exclusive; usize::MAX while open
+}
+
+/// The assembler. See the crate docs for an example.
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    items: Vec<Item>,
+    n_labels: usize,
+    data: Vec<DataItem>,
+    data_names: HashMap<String, usize>,
+    funcs: Vec<FuncSpan>,
+    func_names: HashMap<String, usize>,
+    open_func: Option<usize>,
+    next_lit: usize,
+}
+
+impl Assembler {
+    /// A fresh, empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Create an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.n_labels);
+        self.n_labels += 1;
+        l
+    }
+
+    /// Bind `label` at the current position.
+    pub fn bind(&mut self, label: Label) {
+        self.items.push(Item::Bind(label));
+    }
+
+    /// Emit a fixed instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        self.items.push(Item::Fixed(inst));
+    }
+
+    /// Emit an instruction whose `slot` operand is patched with the address
+    /// of `sym` (plus its addend) at assembly time. The templated operand
+    /// must already hold a placeholder (`Operand::Imm`/`Operand::Mem`).
+    pub fn emit_sym(&mut self, inst: Inst, slot: SymSlot, sym: SymRef) {
+        self.items.push(Item::WithSym { inst, slot, sym });
+    }
+
+    /// Emit a conditional branch to `label` (relaxed to rel8 or rel32).
+    pub fn jcc(&mut self, cond: Cond, label: Label) {
+        self.items.push(Item::Branch {
+            cond: Some(cond),
+            target: label,
+        });
+    }
+
+    /// Emit an unconditional jump to `label` (relaxed).
+    pub fn jmp(&mut self, label: Label) {
+        self.items.push(Item::Branch {
+            cond: None,
+            target: label,
+        });
+    }
+
+    /// Emit a call to the named function (defined before or after this
+    /// point via [`Assembler::begin_func`]).
+    pub fn call(&mut self, func: &str) {
+        self.items.push(Item::CallName(func.to_string()));
+    }
+
+    /// Emit a call to a label.
+    pub fn call_label(&mut self, label: Label) {
+        self.items.push(Item::CallLabel(label));
+    }
+
+    /// Emit raw bytes into the text stream. Only permitted outside
+    /// functions (the injector decodes function bodies linearly).
+    ///
+    /// # Panics
+    /// Panics if called between `begin_func` and `end_func`.
+    pub fn raw_bytes(&mut self, bytes: Vec<u8>) {
+        assert!(
+            self.open_func.is_none(),
+            "raw bytes are not allowed inside functions"
+        );
+        self.items.push(Item::Bytes(bytes));
+    }
+
+    /// Start a named function at the current position.
+    pub fn begin_func(&mut self, name: &str) {
+        let idx = self.funcs.len();
+        self.funcs.push(FuncSpan {
+            name: name.to_string(),
+            start_item: self.items.len(),
+            end_item: usize::MAX,
+        });
+        self.func_names.insert(name.to_string(), idx);
+        self.open_func = Some(idx);
+    }
+
+    /// Close the currently open function.
+    ///
+    /// # Panics
+    /// Panics if no function is open.
+    pub fn end_func(&mut self) {
+        let idx = self.open_func.take().expect("end_func without begin_func");
+        self.funcs[idx].end_item = self.items.len();
+    }
+
+    /// Define a named data symbol with explicit alignment (power of two).
+    pub fn data(&mut self, name: &str, bytes: Vec<u8>, align: u32) -> DataRef {
+        let idx = self.data.len();
+        self.data.push(DataItem {
+            name: name.to_string(),
+            bytes,
+            align: align.max(1),
+        });
+        self.data_names.insert(name.to_string(), idx);
+        DataRef(idx)
+    }
+
+    /// Define a zero-initialized data symbol (bss-style).
+    pub fn data_zeroed(&mut self, name: &str, len: u32, align: u32) -> DataRef {
+        self.data(name, vec![0; len as usize], align)
+    }
+
+    /// Intern a NUL-terminated string literal; returns its symbol.
+    pub fn cstr(&mut self, s: &str) -> DataRef {
+        let name = format!(".Lstr{}", self.next_lit);
+        self.next_lit += 1;
+        let mut bytes = s.as_bytes().to_vec();
+        bytes.push(0);
+        self.data(&name, bytes, 1)
+    }
+
+    /// Look up a previously defined data symbol by name.
+    pub fn data_ref(&self, name: &str) -> Option<DataRef> {
+        self.data_names.get(name).map(|i| DataRef(*i))
+    }
+
+    /// Assemble into an [`Image`] with the given segment bases.
+    ///
+    /// # Errors
+    /// [`AsmError`] on unbound labels, unknown functions, duplicate
+    /// symbols, unbalanced functions, or unencodable instructions.
+    pub fn assemble(&self, text_base: u32, data_base: u32) -> Result<Image, AsmError> {
+        // Validate.
+        if let Some(idx) = self.open_func {
+            return Err(AsmError::UnbalancedFunc(self.funcs[idx].name.clone()));
+        }
+        let mut seen = HashMap::new();
+        for f in &self.funcs {
+            if seen.insert(f.name.clone(), ()).is_some() {
+                return Err(AsmError::DuplicateSymbol(f.name.clone()));
+            }
+        }
+        for d in &self.data {
+            if seen.insert(d.name.clone(), ()).is_some() {
+                return Err(AsmError::DuplicateSymbol(d.name.clone()));
+            }
+        }
+
+        // Lay out data.
+        let mut data_bytes: Vec<u8> = Vec::new();
+        let mut data_addrs: Vec<u32> = Vec::with_capacity(self.data.len());
+        for d in &self.data {
+            let pos = data_bytes.len() as u32;
+            let aligned = pos.div_ceil(d.align) * d.align;
+            data_bytes.resize(aligned as usize, 0);
+            data_addrs.push(data_base + aligned);
+            data_bytes.extend_from_slice(&d.bytes);
+        }
+
+        // Iterative relaxation: every Branch item starts short and may be
+        // widened. Widening only grows, so this terminates.
+        let n = self.items.len();
+        let mut wide = vec![false; n];
+        let mut lens = vec![0u32; n];
+        let mut offsets = vec![0u32; n + 1];
+        let mut label_off: Vec<Option<u32>> = vec![None; self.n_labels];
+
+        // Pre-measure fixed items once (symbol-templated instructions get a
+        // length-stable placeholder: any text/data address is a full imm32).
+        let placeholder = 0x0800_0000u32;
+        for (i, item) in self.items.iter().enumerate() {
+            lens[i] = match item {
+                Item::Fixed(inst) => self.encode_len(inst)?,
+                Item::WithSym { inst, slot, .. } => {
+                    let patched = patch(inst, *slot, placeholder as i32);
+                    self.encode_len(&patched)?
+                }
+                Item::Branch { .. } => 2,
+                Item::CallName(_) | Item::CallLabel(_) => 5,
+                Item::Bind(_) => 0,
+                Item::Bytes(b) => b.len() as u32,
+            };
+        }
+
+        loop {
+            // Compute offsets and label positions.
+            let mut pos = 0u32;
+            for (i, item) in self.items.iter().enumerate() {
+                offsets[i] = pos;
+                if let Item::Bind(l) = item {
+                    label_off[l.0] = Some(pos);
+                }
+                pos += lens[i];
+            }
+            offsets[n] = pos;
+
+            // Widen branches that do not fit.
+            let mut changed = false;
+            for (i, item) in self.items.iter().enumerate() {
+                if let Item::Branch { cond, target } = item {
+                    if wide[i] {
+                        continue;
+                    }
+                    let t = label_off[target.0].ok_or(AsmError::UnboundLabel(target.0))?;
+                    let end = offsets[i] + lens[i];
+                    let disp = t as i64 - end as i64;
+                    if !(-128..=127).contains(&disp) {
+                        wide[i] = true;
+                        lens[i] = if cond.is_some() { 6 } else { 5 };
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Resolve function entry addresses for calls.
+        let func_addr = |name: &str| -> Result<u32, AsmError> {
+            let idx = self
+                .func_names
+                .get(name)
+                .ok_or_else(|| AsmError::UnknownFunction(name.to_string()))?;
+            Ok(text_base + offsets[self.funcs[*idx].start_item])
+        };
+        let resolve = |sym: &SymRef| -> Result<u32, AsmError> {
+            let base = match sym.target {
+                SymTarget::Code(l) => {
+                    text_base + label_off[l.0].ok_or(AsmError::UnboundLabel(l.0))?
+                }
+                SymTarget::Data(d) => data_addrs[d.0],
+            };
+            Ok(base.wrapping_add(sym.addend as u32))
+        };
+
+        // Final emission.
+        let mut text: Vec<u8> = Vec::with_capacity(offsets[n] as usize);
+        for (i, item) in self.items.iter().enumerate() {
+            let end = offsets[i] + lens[i];
+            match item {
+                Item::Bind(_) => {}
+                Item::Bytes(b) => text.extend_from_slice(b),
+                Item::Fixed(inst) => {
+                    let bytes = encode(inst).map_err(|e| AsmError::Encode(e.to_string()))?;
+                    debug_assert_eq!(bytes.len() as u32, lens[i]);
+                    text.extend_from_slice(&bytes);
+                }
+                Item::WithSym { inst, slot, sym } => {
+                    let addr = resolve(sym)?;
+                    let patched = patch(inst, *slot, addr as i32);
+                    let bytes = encode(&patched).map_err(|e| AsmError::Encode(e.to_string()))?;
+                    debug_assert_eq!(bytes.len() as u32, lens[i]);
+                    text.extend_from_slice(&bytes);
+                }
+                Item::Branch { cond, target } => {
+                    let t = label_off[target.0].ok_or(AsmError::UnboundLabel(target.0))?;
+                    let disp = t as i64 - end as i64;
+                    if wide[i] {
+                        match cond {
+                            Some(c) => {
+                                text.push(0x0F);
+                                text.push(0x80 | *c as u8);
+                                text.extend_from_slice(&(disp as i32).to_le_bytes());
+                            }
+                            None => {
+                                text.push(0xE9);
+                                text.extend_from_slice(&(disp as i32).to_le_bytes());
+                            }
+                        }
+                    } else {
+                        match cond {
+                            Some(c) => text.push(0x70 | *c as u8),
+                            None => text.push(0xEB),
+                        }
+                        text.push(disp as i8 as u8);
+                    }
+                }
+                Item::CallName(name) => {
+                    let target = func_addr(name)?;
+                    let disp = target as i64 - (text_base + end) as i64;
+                    text.push(0xE8);
+                    text.extend_from_slice(&(disp as i32).to_le_bytes());
+                }
+                Item::CallLabel(l) => {
+                    let t = label_off[l.0].ok_or(AsmError::UnboundLabel(l.0))?;
+                    let disp = t as i64 - end as i64;
+                    text.push(0xE8);
+                    text.extend_from_slice(&(disp as i32).to_le_bytes());
+                }
+            }
+        }
+
+        // Symbol tables.
+        let funcs = self
+            .funcs
+            .iter()
+            .map(|f| FuncSymbol {
+                name: f.name.clone(),
+                start: text_base + offsets[f.start_item],
+                end: text_base + offsets[f.end_item],
+            })
+            .collect();
+        let data_syms = self
+            .data
+            .iter()
+            .zip(&data_addrs)
+            .map(|(d, a)| DataSymbol {
+                name: d.name.clone(),
+                addr: *a,
+                len: d.bytes.len() as u32,
+            })
+            .collect();
+
+        Ok(Image {
+            text,
+            data: data_bytes,
+            text_base,
+            data_base,
+            symbols: SymbolTable {
+                funcs,
+                data: data_syms,
+            },
+        })
+    }
+
+    fn encode_len(&self, inst: &Inst) -> Result<u32, AsmError> {
+        encode(inst)
+            .map(|b| b.len() as u32)
+            .map_err(|e| AsmError::Encode(e.to_string()))
+    }
+}
+
+/// Substitute a resolved address into the chosen operand slot.
+fn patch(inst: &Inst, slot: SymSlot, value: i32) -> Inst {
+    let mut i = *inst;
+    match slot {
+        SymSlot::ImmSrc => i.src = Some(Operand::Imm(value as u32 as i64)),
+        SymSlot::ImmDst => i.dst = Some(Operand::Imm(value as u32 as i64)),
+        SymSlot::MemDst => {
+            if let Some(Operand::Mem(mut m)) = i.dst {
+                m.disp = m.disp.wrapping_add(value);
+                i.dst = Some(Operand::Mem(m));
+            }
+        }
+        SymSlot::MemSrc => {
+            if let Some(Operand::Mem(mut m)) = i.src {
+                m.disp = m.disp.wrapping_add(value);
+                i.src = Some(Operand::Mem(m));
+            }
+        }
+    }
+    i
+}
+
+/// Convenience: `mov reg, $imm`.
+pub fn mov_ri(r: Reg32, v: i64) -> Inst {
+    Inst::new(Op::Mov).dst(Operand::Reg(r)).src(Operand::Imm(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisec_x86::{decode, MemOperand, OpSize};
+
+    const TB: u32 = 0x0804_8000;
+    const DB: u32 = 0x0810_0000;
+
+    #[test]
+    fn simple_function_assembles() {
+        let mut a = Assembler::new();
+        a.begin_func("f");
+        a.emit(mov_ri(Reg32::Eax, 42));
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        assert_eq!(img.text, vec![0xB8, 42, 0, 0, 0, 0xC3]);
+        let f = img.func("f").unwrap();
+        assert_eq!(f.start, TB);
+        assert_eq!(f.end, TB + 6);
+    }
+
+    #[test]
+    fn short_branch_stays_short() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.begin_func("f");
+        a.jcc(Cond::E, l);
+        a.emit(Inst::new(Op::Nop));
+        a.bind(l);
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        assert_eq!(img.text, vec![0x74, 0x01, 0x90, 0xC3]);
+    }
+
+    #[test]
+    fn long_branch_widens() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.begin_func("f");
+        a.jcc(Cond::Ne, l);
+        for _ in 0..200 {
+            a.emit(Inst::new(Op::Nop));
+        }
+        a.bind(l);
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        assert_eq!(&img.text[..2], &[0x0F, 0x85]);
+        let d = i32::from_le_bytes(img.text[2..6].try_into().unwrap());
+        assert_eq!(d, 200);
+    }
+
+    #[test]
+    fn backward_branch() {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.begin_func("f");
+        a.bind(top);
+        a.emit(Inst::new(Op::Dec).dst(Operand::Reg(Reg32::Ecx)));
+        a.jcc(Cond::Ne, top);
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        // dec ecx (0x49), jne -3 (0x75 0xFD), ret
+        assert_eq!(img.text, vec![0x49, 0x75, 0xFD, 0xC3]);
+    }
+
+    #[test]
+    fn cascaded_relaxation() {
+        let mut a = Assembler::new();
+        let la = a.new_label();
+        let lb = a.new_label();
+        a.begin_func("f");
+        a.jcc(Cond::E, la);
+        for _ in 0..120 {
+            a.emit(Inst::new(Op::Nop));
+        }
+        a.jcc(Cond::Ne, lb);
+        for _ in 0..5 {
+            a.emit(Inst::new(Op::Nop));
+        }
+        a.bind(la);
+        for _ in 0..130 {
+            a.emit(Inst::new(Op::Nop));
+        }
+        a.bind(lb);
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        // Verify by decoding: the stream must decode linearly and contain
+        // exactly two conditional branches.
+        let mut pos = 0usize;
+        let mut branch_count = 0;
+        while pos < img.text.len() {
+            let i = decode(&img.text[pos..]);
+            assert!(!matches!(i.op, Op::Invalid(_)), "bad decode at {pos}");
+            if i.is_cond_branch() {
+                branch_count += 1;
+            }
+            pos += i.len as usize;
+        }
+        assert_eq!(branch_count, 2);
+    }
+
+    #[test]
+    fn call_by_name_forward_and_backward() {
+        let mut a = Assembler::new();
+        a.begin_func("main");
+        a.call("helper");
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        a.begin_func("helper");
+        a.emit(mov_ri(Reg32::Eax, 1));
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        assert_eq!(img.text[0], 0xE8);
+        assert_eq!(i32::from_le_bytes(img.text[1..5].try_into().unwrap()), 1);
+        assert_eq!(img.func("helper").unwrap().start, TB + 6);
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let mut a = Assembler::new();
+        a.begin_func("main");
+        a.call("nope");
+        a.end_func();
+        assert_eq!(
+            a.assemble(TB, DB).unwrap_err(),
+            AsmError::UnknownFunction("nope".into())
+        );
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.begin_func("main");
+        a.jmp(l);
+        a.end_func();
+        assert!(matches!(a.assemble(TB, DB), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn unbalanced_func_errors() {
+        let mut a = Assembler::new();
+        a.begin_func("main");
+        assert!(matches!(
+            a.assemble(TB, DB),
+            Err(AsmError::UnbalancedFunc(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_symbol_errors() {
+        let mut a = Assembler::new();
+        a.begin_func("f");
+        a.end_func();
+        a.begin_func("f");
+        a.end_func();
+        assert!(matches!(
+            a.assemble(TB, DB),
+            Err(AsmError::DuplicateSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn data_symbols_and_alignment() {
+        let mut a = Assembler::new();
+        let s1 = a.data("greeting", b"hi\0".to_vec(), 1);
+        let s2 = a.data("counter", vec![0; 4], 4);
+        a.begin_func("f");
+        a.emit_sym(mov_ri(Reg32::Eax, 0), SymSlot::ImmSrc, SymRef::data(s1));
+        a.emit_sym(
+            Inst::new(Op::Mov)
+                .dst(Operand::Mem(MemOperand::abs(0)))
+                .src(Operand::Reg(Reg32::Eax)),
+            SymSlot::MemDst,
+            SymRef::data(s2),
+        );
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        let g = img.data_symbol("greeting").unwrap();
+        assert_eq!(g.addr, DB);
+        assert_eq!(g.len, 3);
+        let cnt = img.data_symbol("counter").unwrap();
+        assert_eq!(cnt.addr, DB + 4); // aligned up from 3
+        assert_eq!(img.text[0], 0xB8);
+        assert_eq!(u32::from_le_bytes(img.text[1..5].try_into().unwrap()), DB);
+        let i = decode(&img.text[5..]);
+        assert_eq!(i.dst, Some(Operand::Mem(MemOperand::abs(DB + 4))));
+        assert_eq!(img.data.len(), 8);
+        assert_eq!(&img.data[..3], b"hi\0");
+    }
+
+    #[test]
+    fn cstr_interning_is_unique() {
+        let mut a = Assembler::new();
+        let s1 = a.cstr("alpha");
+        let s2 = a.cstr("beta");
+        assert_ne!(s1, s2);
+        a.begin_func("f");
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        assert_eq!(&img.data[..6], b"alpha\0");
+        assert_eq!(&img.data[6..11], b"beta\0");
+    }
+
+    #[test]
+    fn symref_offset_applies() {
+        let mut a = Assembler::new();
+        let tbl = a.data_zeroed("tbl", 64, 4);
+        a.begin_func("f");
+        a.emit_sym(
+            mov_ri(Reg32::Eax, 0),
+            SymSlot::ImmSrc,
+            SymRef::data(tbl).offset(16),
+        );
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(img.text[1..5].try_into().unwrap()),
+            DB + 16
+        );
+    }
+
+    #[test]
+    fn function_ranges_decode_cleanly() {
+        // Whatever we assemble must decode linearly instruction by
+        // instruction — the property the injector depends on.
+        let mut a = Assembler::new();
+        let done = a.new_label();
+        let lp = a.new_label();
+        a.begin_func("busy");
+        a.emit(mov_ri(Reg32::Ecx, 10));
+        a.bind(lp);
+        a.emit(Inst::new(Op::Dec).dst(Operand::Reg(Reg32::Ecx)));
+        a.emit(
+            Inst::new(Op::Cmp)
+                .dst(Operand::Reg(Reg32::Ecx))
+                .src(Operand::Imm(0)),
+        );
+        a.jcc(Cond::E, done);
+        a.jmp(lp);
+        a.bind(done);
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        let f = img.func("busy").unwrap();
+        let mut pos = (f.start - TB) as usize;
+        let end = (f.end - TB) as usize;
+        let mut saw_ret = false;
+        while pos < end {
+            let i = decode(&img.text[pos..]);
+            assert!(!matches!(i.op, Op::Invalid(_)));
+            if matches!(i.op, Op::Ret(_)) {
+                saw_ret = true;
+            }
+            pos += i.len as usize;
+        }
+        assert_eq!(pos, end);
+        assert!(saw_ret);
+    }
+
+    #[test]
+    fn word_size_ops_encode_with_prefix() {
+        let mut a = Assembler::new();
+        a.begin_func("f");
+        a.emit(
+            Inst::new(Op::Mov)
+                .dst(Operand::Reg16(fisec_x86::Reg16::Ax))
+                .src(Operand::Imm(0x1234))
+                .size(OpSize::Word),
+        );
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        assert_eq!(img.text[0], 0x66);
+    }
+
+    #[test]
+    fn call_label_works() {
+        let mut a = Assembler::new();
+        let target = a.new_label();
+        a.begin_func("f");
+        a.call_label(target);
+        a.emit(Inst::new(Op::Ret(0)));
+        a.bind(target);
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        assert_eq!(img.text[0], 0xE8);
+        assert_eq!(i32::from_le_bytes(img.text[1..5].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn symref_code_resolves_text_address() {
+        let mut a = Assembler::new();
+        let here = a.new_label();
+        a.begin_func("f");
+        a.bind(here);
+        a.emit_sym(mov_ri(Reg32::Eax, 0), SymSlot::ImmSrc, SymRef::code(here));
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).unwrap();
+        assert_eq!(u32::from_le_bytes(img.text[1..5].try_into().unwrap()), TB);
+    }
+}

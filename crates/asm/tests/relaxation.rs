@@ -1,0 +1,140 @@
+//! Property tests for branch relaxation: random control-flow graphs must
+//! assemble into streams that decode linearly, with every branch landing
+//! exactly on its label, regardless of short/long form selection.
+
+use fisec_asm::{mov_ri, Assembler};
+use fisec_x86::{decode, Cond, Inst, Op, Operand, Reg32};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const TB: u32 = 0x0804_8000;
+const DB: u32 = 0x0810_0000;
+
+/// Marker immediate carrying the label index: `mov eax, 0xBEE0000 + i`.
+const MARK: i64 = 0x0BEE_0000;
+
+#[derive(Debug, Clone)]
+struct Block {
+    pad_before: usize, // nops preceding the branch
+    cond: Option<u8>,  // None = jmp, Some(n) = jcc n
+    target: usize,     // label index
+}
+
+fn arb_blocks(labels: usize) -> impl Strategy<Value = Vec<Block>> {
+    proptest::collection::vec(
+        (0usize..120, proptest::option::of(0u8..16), 0usize..labels).prop_map(
+            |(pad_before, cond, target)| Block {
+                pad_before,
+                cond,
+                target,
+            },
+        ),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn branches_resolve_to_their_labels(blocks in arb_blocks(6)) {
+        let n_labels = 6usize;
+        let mut a = Assembler::new();
+        let labels: Vec<_> = (0..n_labels).map(|_| a.new_label()).collect();
+        a.begin_func("f");
+        // Emit the branch soup.
+        for b in &blocks {
+            for _ in 0..b.pad_before {
+                a.emit(Inst::new(Op::Nop));
+            }
+            match b.cond {
+                Some(c) => a.jcc(Cond::from_nibble(c), labels[b.target]),
+                None => a.jmp(labels[b.target]),
+            }
+        }
+        // Bind every label before a unique marker instruction.
+        for (i, l) in labels.iter().enumerate() {
+            a.bind(*l);
+            a.emit(mov_ri(Reg32::Eax, MARK + i as i64));
+        }
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).expect("assembles");
+
+        // Decode linearly; find marker addresses and collect branches.
+        let mut pos = 0usize;
+        let mut markers: HashMap<i64, u32> = HashMap::new();
+        let mut branches: Vec<(u32, Inst)> = Vec::new();
+        while pos < img.text.len() {
+            let i = decode(&img.text[pos..]);
+            prop_assert!(!matches!(i.op, Op::Invalid(_)), "bad decode at {}", pos);
+            let addr = TB + pos as u32;
+            if i.op == Op::Mov {
+                if let (Some(Operand::Reg(Reg32::Eax)), Some(Operand::Imm(v))) = (i.dst, i.src) {
+                    if (MARK..MARK + n_labels as i64).contains(&v) {
+                        markers.insert(v - MARK, addr);
+                    }
+                }
+            }
+            if matches!(i.op, Op::Jcc(_) | Op::Jmp) {
+                branches.push((addr, i));
+            }
+            pos += i.len as usize;
+        }
+        prop_assert_eq!(markers.len(), n_labels);
+
+        // Each emitted branch must target its label's marker, in order.
+        prop_assert_eq!(branches.len(), blocks.len());
+        for (b, (addr, inst)) in blocks.iter().zip(&branches) {
+            let Some(Operand::Rel(d)) = inst.dst else {
+                prop_assert!(false, "branch without rel operand");
+                return Ok(());
+            };
+            let computed = addr.wrapping_add(inst.len as u32).wrapping_add(d as u32);
+            let want = markers[&(b.target as i64)];
+            prop_assert_eq!(computed, want, "branch at {:#x} ({})", addr, inst);
+            match b.cond {
+                Some(c) => prop_assert_eq!(inst.op, Op::Jcc(Cond::from_nibble(c))),
+                None => prop_assert_eq!(inst.op, Op::Jmp),
+            }
+        }
+    }
+
+    /// Short branches stay 2 bytes, long ones widen, and the choice is
+    /// consistent with the final displacement.
+    #[test]
+    fn form_selection_is_displacement_consistent(blocks in arb_blocks(4)) {
+        let mut a = Assembler::new();
+        let labels: Vec<_> = (0..4).map(|_| a.new_label()).collect();
+        a.begin_func("f");
+        for b in &blocks {
+            for _ in 0..b.pad_before {
+                a.emit(Inst::new(Op::Nop));
+            }
+            match b.cond {
+                Some(c) => a.jcc(Cond::from_nibble(c), labels[b.target]),
+                None => a.jmp(labels[b.target]),
+            }
+        }
+        for l in &labels {
+            a.bind(*l);
+            a.emit(Inst::new(Op::Nop));
+        }
+        a.emit(Inst::new(Op::Ret(0)));
+        a.end_func();
+        let img = a.assemble(TB, DB).expect("assembles");
+        let mut pos = 0usize;
+        while pos < img.text.len() {
+            let i = decode(&img.text[pos..]);
+            if let (Op::Jcc(_) | Op::Jmp, Some(Operand::Rel(d))) = (i.op, i.dst) {
+                if i.len <= 2 {
+                    prop_assert!((-128..=127).contains(&d), "short form with rel {}", d);
+                }
+                // Long forms with tiny displacements would only mean the
+                // relaxer over-widened; it never under-widens:
+                // displacement must fit the emitted form by construction.
+            }
+            pos += i.len as usize;
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Ablation studies backing the paper's §5.3 claim (multiple entry
+//! points raise break-in probability) and its §4 methodology choice
+//! (exhaustive over random injection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fisec_apps::AppSpec;
+use fisec_core::ablation::{
+    entry_points_study, render_entry_points, render_sampling, sampling_study,
+};
+use fisec_core::{run_campaign, CampaignConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = CampaignConfig::default();
+
+    println!("\n== §5.3 ablation: single vs multiple points of entry (sshd, Client1) ==");
+    let ep = entry_points_study(&cfg);
+    println!("{}", render_entry_points(&ep));
+    assert!(
+        ep.multi_brk() >= ep.single_brk(),
+        "multi-entry must not be safer"
+    );
+
+    println!("== §4 ablation: what random sampling would have estimated (ftpd, Client1) ==");
+    let mut ftpd = AppSpec::ftpd();
+    ftpd.clients.truncate(1);
+    let result = run_campaign(&ftpd, &cfg);
+    let (truth, rows) = sampling_study(&result, 0, &[50, 200, 500, result.runs_per_client], 500, 4);
+    println!("{}", render_sampling(truth, &rows));
+
+    c.bench_function("ablation/sampling_resample", |b| {
+        b.iter(|| sampling_study(std::hint::black_box(&result), 0, &[200], 50, 9))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

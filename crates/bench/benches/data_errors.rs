@@ -1,0 +1,31 @@
+//! Extension experiment: single-bit errors in the **data segment** (the
+//! paper's future-work direction on error propagation). Prints the
+//! per-symbol vulnerability table and benchmarks one latent data-error
+//! session.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fisec_apps::AppSpec;
+use fisec_core::data_errors::{render, run_data_campaign};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== extension: data-segment single-bit errors (attack clients) ==");
+    for mk in [AppSpec::ftpd, AppSpec::sshd] {
+        let mut app = mk();
+        app.clients.truncate(1);
+        let r = run_data_campaign(&app, 32);
+        println!("{}", render(&r));
+    }
+
+    let mut app = AppSpec::ftpd();
+    app.clients.truncate(1);
+    c.bench_function("data_error_campaign/small_symbols", |b| {
+        b.iter(|| run_data_campaign(std::hint::black_box(&app), 4))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

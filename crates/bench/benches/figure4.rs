@@ -1,0 +1,47 @@
+//! Regenerates the paper's **Figure 4** (number of instructions between
+//! error activation and crash, FTP Client1, log2 bins) and benchmarks
+//! histogram construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fisec_apps::AppSpec;
+use fisec_core::{figure4, run_campaign, CampaignConfig};
+
+fn bench(c: &mut Criterion) {
+    let ftpd = AppSpec::ftpd();
+    let cfg = CampaignConfig::default();
+    let result = run_campaign(&ftpd, &cfg);
+    let client1 = &result.clients[0];
+
+    println!("\n== Figure 4: Instructions between Error and Crash (FTP Client1) ==");
+    let hist = figure4::histogram(&client1.crash_latencies);
+    println!("{}", figure4::render(&hist));
+    println!(
+        "transient vulnerability window: {} of {} crashes deviated from the\n\
+         golden traffic before crashing; {:.1}% of crashes took more than 100\n\
+         instructions (the paper reports 8.5%)",
+        client1.transient_deviations,
+        client1.crash_latencies.len(),
+        (1.0 - hist.within_100) * 100.0
+    );
+
+    let latencies = client1.crash_latencies.clone();
+    c.bench_function("figure4/histogram", |b| {
+        b.iter(|| figure4::histogram(std::hint::black_box(&latencies)))
+    });
+    c.bench_function("figure4/bin_index", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for l in 1..2000u64 {
+                acc += figure4::bin_index(std::hint::black_box(l));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

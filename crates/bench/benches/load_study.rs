@@ -1,0 +1,33 @@
+//! Regenerates the §5.4 load/diversity ablation — the probability that a
+//! latent error manifests grows with the diversity of client request
+//! patterns — and benchmarks a golden session.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fisec_apps::AppSpec;
+use fisec_core::load::{render, run_load_study};
+use fisec_inject::golden_run;
+
+fn bench(c: &mut Criterion) {
+    let ftpd = AppSpec::ftpd();
+    let samples = if fisec_bench::quick_mode() { 40 } else { 200 };
+
+    let r = run_load_study(&ftpd, samples, 77);
+    println!("\n== §5.4: latent-error manifestation vs. client diversity ==");
+    println!("{}", render(&r));
+    assert!(r.is_monotone(), "diversity can only increase manifestation");
+
+    for (i, spec) in ftpd.clients.iter().enumerate() {
+        let name = spec.name.clone();
+        c.bench_function(&format!("golden_session/ftpd_client{}", i + 1), |b| {
+            b.iter(|| golden_run(&ftpd.image, spec).unwrap())
+        });
+        let _ = name;
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Substrate performance: decoder throughput, interpreter instruction
+//! rate, compiler/assembler build time. These bound how long the
+//! exhaustive campaigns take (~10^4 sessions × ~10^5 instructions).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fisec_apps::{build_ftpd, build_sshd};
+use fisec_x86::{decode, Machine, Memory, Perms, Region};
+
+fn bench_decoder(c: &mut Criterion) {
+    let image = build_ftpd().unwrap();
+    let text = image.text.clone();
+    let mut g = c.benchmark_group("decoder");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("linear_text_sweep", |b| {
+        b.iter(|| {
+            let mut pos = 0usize;
+            let mut n = 0u32;
+            while pos < text.len() {
+                let i = decode(std::hint::black_box(&text[pos..text.len().min(pos + 15)]));
+                pos += i.len as usize;
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    // A tight arithmetic loop: 5 instructions per iteration.
+    // mov ecx, N; top: add eax,1; xor eax,3; dec ecx; jne top; ret-ish.
+    let n = 100_000u32;
+    let mut text = vec![0xB9];
+    text.extend_from_slice(&n.to_le_bytes());
+    text.extend_from_slice(&[
+        0x83, 0xC0, 0x01, // top: add eax, 1
+        0x83, 0xF0, 0x03, // xor eax, 3
+        0x49, // dec ecx
+        0x75, 0xF7, // jne top (back 9 bytes)
+        0xEB, 0xFE, // jmp self (we stop via budget)
+    ]);
+    let mut g = c.benchmark_group("interpreter");
+    g.throughput(Throughput::Elements(n as u64 * 4));
+    g.bench_function("alu_loop_instructions", |b| {
+        b.iter(|| {
+            let mut mem = Memory::new();
+            mem.map(Region::with_data("text", 0x1000, text.clone(), Perms::RX))
+                .unwrap();
+            let mut m = Machine::new(mem);
+            m.cpu.eip = 0x1000;
+            let out = m.run_until_event(1 + u64::from(n) * 4);
+            std::hint::black_box((out, m.cpu.regs[0]))
+        })
+    });
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    g.sample_size(20);
+    g.bench_function("build_ftpd_image", |b| b.iter(|| build_ftpd().unwrap()));
+    g.bench_function("build_sshd_image", |b| b.iter(|| build_sshd().unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_decoder, bench_interpreter, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates the paper's **Table 1** (FTP and SSH result
+//! distributions) and benchmarks the unit behind it: one breakpoint
+//! injection run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fisec_apps::AppSpec;
+use fisec_core::{run_campaign, tables, CampaignConfig};
+use fisec_encoding::EncodingScheme;
+use fisec_inject::{enumerate_targets, golden_run, run_injection};
+
+fn bench(c: &mut Criterion) {
+    let ftpd = AppSpec::ftpd();
+    let sshd = AppSpec::sshd();
+
+    // Regenerate the artefact.
+    let cfg = CampaignConfig::default();
+    let ftp = run_campaign(&ftpd, &cfg);
+    let ssh = run_campaign(&sshd, &cfg);
+    println!("\n== Table 1: FTP and SSH Result Distributions (baseline encoding) ==");
+    println!("{}", tables::render_table1(&[&ftp, &ssh]));
+
+    // Benchmark one injection run (an activated, quickly-crashing one).
+    let set = enumerate_targets(&ftpd.image, &["pass"], true);
+    let target = set.targets[0];
+    let client = &ftpd.clients[0];
+    let golden = golden_run(&ftpd.image, client).unwrap();
+    c.bench_function("injection_run/ftpd_client1", |b| {
+        b.iter(|| {
+            run_injection(
+                &ftpd.image,
+                client,
+                &golden,
+                std::hint::black_box(&target),
+                EncodingScheme::Baseline,
+            )
+            .unwrap()
+        })
+    });
+
+    // And a full golden session for scale.
+    c.bench_function("golden_session/ftpd_client1", |b| {
+        b.iter(|| golden_run(&ftpd.image, client).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates the paper's **Table 3** (break-ins and fail-silence
+//! violations by error location) and benchmarks target enumeration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fisec_apps::AppSpec;
+use fisec_core::{run_campaign, tables, CampaignConfig};
+use fisec_inject::enumerate_targets;
+
+fn bench(c: &mut Criterion) {
+    let ftpd = AppSpec::ftpd();
+    let sshd = AppSpec::sshd();
+
+    let cfg = CampaignConfig::default();
+    let ftp = run_campaign(&ftpd, &cfg);
+    let ssh = run_campaign(&sshd, &cfg);
+    println!("\n== Table 2: Error Location Abbreviations ==");
+    println!("{}", tables::render_table2());
+    println!("== Table 3: Break-ins and Fail Silence Violations by Location ==");
+    println!("{}", tables::render_table3(&[&ftp, &ssh]));
+
+    c.bench_function("enumerate_targets/ftpd_auth", |b| {
+        b.iter(|| {
+            enumerate_targets(
+                std::hint::black_box(&ftpd.image),
+                &fisec_apps::FTPD_AUTH_FUNCS,
+                false,
+            )
+        })
+    });
+    c.bench_function("enumerate_targets/sshd_auth", |b| {
+        b.iter(|| {
+            enumerate_targets(
+                std::hint::black_box(&sshd.image),
+                &fisec_apps::SSHD_AUTH_FUNCS,
+                false,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

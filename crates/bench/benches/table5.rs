@@ -1,0 +1,62 @@
+//! Regenerates the paper's **Table 4** (the encoding mapping) and
+//! **Table 5** (campaign results under the new encoding, with FSV/BRK
+//! reduction rows), and benchmarks the §6.2 remap-flip transform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fisec_apps::AppSpec;
+use fisec_core::{run_campaign, tables, CampaignConfig};
+use fisec_encoding::{remap_flip, ByteCtx, EncodingScheme};
+
+fn bench(c: &mut Criterion) {
+    let ftpd = AppSpec::ftpd();
+    let sshd = AppSpec::sshd();
+
+    println!("\n== Table 4: x86 Conditional Branch Instruction Encoding Mapping ==");
+    println!("{}", fisec_encoding::render_table4());
+
+    let base_cfg = CampaignConfig::default();
+    let new_cfg = CampaignConfig {
+        scheme: EncodingScheme::NewEncoding,
+        ..base_cfg
+    };
+    let ftp_base = run_campaign(&ftpd, &base_cfg);
+    let ssh_base = run_campaign(&sshd, &base_cfg);
+    let ftp_new = run_campaign(&ftpd, &new_cfg);
+    let ssh_new = run_campaign(&sshd, &new_cfg);
+    println!("== Table 5: FTP and SSH Results from New Encoding ==");
+    println!(
+        "{}",
+        tables::render_table5(&[&ftp_base, &ssh_base], &[&ftp_new, &ssh_new])
+    );
+    println!(
+        "baseline BRK: ftpd {}, sshd {}  |  new encoding BRK: ftpd {}, sshd {}",
+        ftp_base.total_brk(),
+        ssh_base.total_brk(),
+        ftp_new.total_brk(),
+        ssh_new.total_brk()
+    );
+
+    c.bench_function("remap_flip/new_encoding", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for byte in 0x70u8..=0x7F {
+                for bit in 0..8 {
+                    acc = acc.wrapping_add(remap_flip(
+                        std::hint::black_box(byte),
+                        bit,
+                        ByteCtx::OneByteOpcode,
+                        EncodingScheme::NewEncoding,
+                    ) as u32);
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

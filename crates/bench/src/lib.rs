@@ -1,0 +1,24 @@
+//! # fisec-bench — table/figure regeneration harness + Criterion benches
+//!
+//! Each bench target under `benches/` regenerates one artefact of the
+//! paper's evaluation (printed to stdout before measurement) and then
+//! benchmarks the hot operation behind it:
+//!
+//! | bench target | paper artefact | measured operation |
+//! |---|---|---|
+//! | `table1` | Table 1 result distributions | one breakpoint injection run |
+//! | `table3` | Table 3 location breakdown | target enumeration |
+//! | `table5` | Table 5 new-encoding campaign | §6.2 remap-flip |
+//! | `figure4` | Figure 4 latency histogram | histogram construction |
+//! | `random_rate` | §7 "one in ~3000" estimate | one latent-error session |
+//! | `load_study` | §5.4 diversity ablation | one golden session |
+//! | `substrate` | — | decoder and interpreter throughput |
+//!
+//! Run with `cargo bench -p fisec-bench` (add `--bench table1` etc. for a
+//! single artefact). Set `FISEC_BENCH_QUICK=1` to shrink the campaign
+//! sizes during development.
+
+/// True when the environment asks for reduced campaign sizes.
+pub fn quick_mode() -> bool {
+    std::env::var_os("FISEC_BENCH_QUICK").is_some()
+}

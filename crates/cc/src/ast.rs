@@ -1,0 +1,265 @@
+//! Abstract syntax tree for the mini-C dialect.
+
+/// Mini-C types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit signed character.
+    Char,
+    /// No value (function returns only).
+    Void,
+    /// Pointer to `T`.
+    Ptr(Box<Type>),
+    /// Array of `n` elements of `T` (decays to `Ptr(T)` in expressions).
+    Array(Box<Type>, u32),
+}
+
+impl Type {
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        match self {
+            Type::Int | Type::Ptr(_) => 4,
+            Type::Char => 1,
+            Type::Void => 0,
+            Type::Array(t, n) => t.size() * n,
+        }
+    }
+
+    /// Element type after a deref / index; `None` for non-pointers.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) | Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Pointer-decayed version of this type.
+    pub fn decay(&self) -> Type {
+        match self {
+            Type::Array(t, _) => Type::Ptr(t.clone()),
+            t => t.clone(),
+        }
+    }
+
+    /// True for `int`, `char` (values that fit the ALU directly).
+    pub fn is_scalar_int(&self) -> bool {
+        matches!(self, Type::Int | Type::Char)
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl BinOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i32),
+    /// Character literal (value of type `char`).
+    CharLit(u8),
+    /// String literal (type `char *`, interned in the data segment).
+    Str(Vec<u8>),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment (`lhs = rhs`), value is the stored value.
+    Assign(Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Array indexing `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Pointer dereference `*p`.
+    Deref(Box<Expr>),
+    /// Address-of `&lv`.
+    Addr(Box<Expr>),
+    /// Postfix `lv++` / `lv--`; value is the *old* value.
+    PostIncDec(Box<Expr>, bool),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declaration (one declarator), with optional initializer.
+    Decl {
+        /// Declared type (possibly an array).
+        ty: Type,
+        /// Name.
+        name: String,
+        /// Initializer expression.
+        init: Option<Expr>,
+    },
+    /// `if (cond) then else?`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Vec<Stmt>,
+        /// Else-branch.
+        els: Vec<Stmt>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) body` — any clause may be empty.
+    For {
+        /// Init clause.
+        init: Option<Box<Stmt>>,
+        /// Condition (empty = true).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Nested block.
+    Block(Vec<Stmt>),
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-initialized.
+    Zero,
+    /// Integer initializer.
+    Num(i32),
+    /// String initializer for `char name[] = "..."` (NUL appended).
+    Str(Vec<u8>),
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Declared type.
+    pub ty: Type,
+    /// Name.
+    pub name: String,
+    /// Initializer.
+    pub init: GlobalInit,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Return type.
+    pub ret: Type,
+    /// Name.
+    pub name: String,
+    /// Parameters (type, name).
+    pub params: Vec<(Type, String)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Globals in definition order.
+    pub globals: Vec<Global>,
+    /// Functions in definition order.
+    pub funcs: Vec<Func>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(Type::Int.size(), 4);
+        assert_eq!(Type::Char.size(), 1);
+        assert_eq!(Type::Ptr(Box::new(Type::Char)).size(), 4);
+        assert_eq!(Type::Array(Box::new(Type::Int), 10).size(), 40);
+        assert_eq!(Type::Array(Box::new(Type::Char), 8).size(), 8);
+    }
+
+    #[test]
+    fn array_decay() {
+        let a = Type::Array(Box::new(Type::Char), 16);
+        assert_eq!(a.decay(), Type::Ptr(Box::new(Type::Char)));
+        assert_eq!(Type::Int.decay(), Type::Int);
+        assert_eq!(a.pointee(), Some(&Type::Char));
+    }
+
+    #[test]
+    fn comparison_predicate() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::Ge.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::And.is_comparison());
+    }
+}

@@ -1,0 +1,944 @@
+//! Code generation: mini-C AST → IA-32 via `fisec-asm`.
+//!
+//! The emitted code intentionally mirrors `gcc -O0` shapes, because the
+//! study's results hinge on them:
+//!
+//! * conditions compile to `cmp`/`test` followed by a conditional branch
+//!   (`if (strcmp(a,b) == 0)` becomes `call strcmp; test %eax,%eax; jne`,
+//!   the exact sequence in the paper's Figure 1);
+//! * locals live in an `ebp` frame, arguments are pushed right-to-left
+//!   (cdecl), values travel through `%eax`;
+//! * short-range branches use the 2-byte `Jcc rel8` forms, long-range ones
+//!   the 6-byte `0x0F 8x rel32` forms (via the assembler's relaxation).
+
+use crate::ast::{BinOp, Expr, Func, Global, GlobalInit, Program, Stmt, Type, UnOp};
+use fisec_asm::{Assembler, DataRef, Label, SymRef, SymSlot};
+use fisec_x86::{Cond, Inst, MemOperand, Op, OpSize, Operand, Reg32, Reg8};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Code generation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Explanation.
+    pub msg: String,
+    /// Enclosing function, when known.
+    pub func: Option<String>,
+}
+
+impl CompileError {
+    fn new(msg: impl Into<String>) -> CompileError {
+        CompileError {
+            msg: msg.into(),
+            func: None,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            Some(name) => write!(f, "compile error in `{name}`: {}", self.msg),
+            None => write!(f, "compile error: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compile a parsed program into an assembler.
+///
+/// # Errors
+/// [`CompileError`] for semantic errors (unknown variables, bad lvalues,
+/// unsupported constructs).
+pub fn compile_program(prog: &Program, asm: &mut Assembler) -> Result<(), CompileError> {
+    // Globals first so function bodies can reference them.
+    let mut globals = HashMap::new();
+    for g in &prog.globals {
+        let bytes = global_bytes(g)?;
+        let align = match g.ty {
+            Type::Char | Type::Array(_, _) => match g.ty {
+                Type::Array(ref e, _) if **e == Type::Int => 4,
+                Type::Char => 1,
+                _ => 1,
+            },
+            _ => 4,
+        };
+        let r = asm.data(&g.name, bytes, align);
+        globals.insert(g.name.clone(), (r, g.ty.clone()));
+    }
+    for f in &prog.funcs {
+        let mut gen = FnGen::new(asm, &globals, f);
+        gen.run().map_err(|mut e| {
+            e.func = Some(f.name.clone());
+            e
+        })?;
+    }
+    Ok(())
+}
+
+fn global_bytes(g: &Global) -> Result<Vec<u8>, CompileError> {
+    let size = g.ty.size() as usize;
+    Ok(match &g.init {
+        GlobalInit::Zero => vec![0; size],
+        GlobalInit::Num(n) => match g.ty {
+            Type::Int | Type::Ptr(_) => n.to_le_bytes().to_vec(),
+            Type::Char => vec![*n as u8],
+            _ => {
+                return Err(CompileError::new(format!(
+                    "integer initializer for non-scalar global `{}`",
+                    g.name
+                )))
+            }
+        },
+        GlobalInit::Str(s) => {
+            let Type::Array(ref elem, n) = g.ty else {
+                return Err(CompileError::new(format!(
+                    "string initializer for non-array global `{}`",
+                    g.name
+                )));
+            };
+            if **elem != Type::Char {
+                return Err(CompileError::new("string initializer for non-char array"));
+            }
+            if s.len() + 1 > n as usize {
+                return Err(CompileError::new(format!(
+                    "string initializer too long for `{}`",
+                    g.name
+                )));
+            }
+            let mut v = s.clone();
+            v.resize(n as usize, 0);
+            v
+        }
+    })
+}
+
+const EAX: Operand = Operand::Reg(Reg32::Eax);
+const ECX: Operand = Operand::Reg(Reg32::Ecx);
+const EDX: Operand = Operand::Reg(Reg32::Edx);
+const EBX: Operand = Operand::Reg(Reg32::Ebx);
+const EBP: Operand = Operand::Reg(Reg32::Ebp);
+const ESP: Operand = Operand::Reg(Reg32::Esp);
+
+/// Per-function code generator.
+struct FnGen<'a> {
+    asm: &'a mut Assembler,
+    globals: &'a HashMap<String, (DataRef, Type)>,
+    func: &'a Func,
+    scopes: Vec<HashMap<String, (i32, Type)>>,
+    next_offset: u32,
+    ret_label: Label,
+    loop_stack: Vec<(Label, Label)>, // (continue target, break target)
+}
+
+impl<'a> FnGen<'a> {
+    fn new(
+        asm: &'a mut Assembler,
+        globals: &'a HashMap<String, (DataRef, Type)>,
+        func: &'a Func,
+    ) -> FnGen<'a> {
+        let ret_label = asm.new_label();
+        FnGen {
+            asm,
+            globals,
+            func,
+            scopes: Vec::new(),
+            next_offset: 0,
+            ret_label,
+            loop_stack: Vec::new(),
+        }
+    }
+
+    fn run(&mut self) -> Result<(), CompileError> {
+        let frame = frame_size(&self.func.body);
+        self.asm.begin_func(&self.func.name);
+        // Prologue.
+        self.emit(Inst::new(Op::Push).dst(EBP));
+        self.emit(Inst::new(Op::Mov).dst(EBP).src(ESP));
+        if frame > 0 {
+            self.emit(Inst::new(Op::Sub).dst(ESP).src(Operand::Imm(frame as i64)));
+        }
+        // Parameters: [ebp+8], [ebp+12], ...
+        let mut scope = HashMap::new();
+        for (i, (ty, name)) in self.func.params.iter().enumerate() {
+            scope.insert(name.clone(), (8 + 4 * i as i32, ty.decay()));
+        }
+        self.scopes.push(scope);
+
+        let body = self.func.body.clone();
+        self.gen_stmts(&body)?;
+
+        // Fall-off return yields 0 (mini-C keeps main simple).
+        self.emit(Inst::new(Op::Mov).dst(EAX).src(Operand::Imm(0)));
+        self.asm.bind(self.ret_label);
+        self.emit(Inst::new(Op::Leave));
+        self.emit(Inst::new(Op::Ret(0)));
+        self.asm.end_func();
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn emit(&mut self, i: Inst) {
+        self.asm.emit(i);
+    }
+
+    fn push_eax(&mut self) {
+        self.emit(Inst::new(Op::Push).dst(EAX));
+    }
+
+    fn pop(&mut self, r: Operand) {
+        self.emit(Inst::new(Op::Pop).dst(r));
+    }
+
+    fn mov_eax_imm(&mut self, v: i64) {
+        self.emit(Inst::new(Op::Mov).dst(EAX).src(Operand::Imm(v)));
+    }
+
+    fn test_eax(&mut self) {
+        self.emit(Inst::new(Op::Test).dst(EAX).src(EAX));
+    }
+
+    fn lookup(&self, name: &str) -> Option<(VarLoc, Type)> {
+        for s in self.scopes.iter().rev() {
+            if let Some((off, ty)) = s.get(name) {
+                return Some((VarLoc::Local(*off), ty.clone()));
+            }
+        }
+        self.globals
+            .get(name)
+            .map(|(r, ty)| (VarLoc::Global(*r), ty.clone()))
+    }
+
+    fn declare_local(&mut self, name: &str, ty: Type) -> i32 {
+        let size = ty.size().max(1).div_ceil(4) * 4;
+        self.next_offset += size;
+        let off = -(self.next_offset as i32);
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), (off, ty));
+        off
+    }
+
+    // ── statements ───────────────────────────────────────────────────
+
+    fn gen_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.gen_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Expr(e) => {
+                self.gen_expr(e)?;
+            }
+            Stmt::Decl { ty, name, init } => {
+                if matches!(ty, Type::Array(_, _)) && init.is_some() {
+                    return Err(CompileError::new("array locals cannot have initializers"));
+                }
+                let off = self.declare_local(name, ty.clone());
+                if let Some(e) = init {
+                    self.gen_expr(e)?;
+                    self.store_to(VarLoc::Local(off), ty);
+                }
+            }
+            Stmt::If { cond, then, els } => {
+                let else_l = self.asm.new_label();
+                self.gen_branch(cond, else_l, false)?;
+                self.scoped(|g| g.gen_stmts(then))?;
+                if els.is_empty() {
+                    self.asm.bind(else_l);
+                } else {
+                    let end_l = self.asm.new_label();
+                    self.asm.jmp(end_l);
+                    self.asm.bind(else_l);
+                    self.scoped(|g| g.gen_stmts(els))?;
+                    self.asm.bind(end_l);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let top = self.asm.new_label();
+                let end = self.asm.new_label();
+                self.asm.bind(top);
+                self.gen_branch(cond, end, false)?;
+                self.loop_stack.push((top, end));
+                self.scoped(|g| g.gen_stmts(body))?;
+                self.loop_stack.pop();
+                self.asm.jmp(top);
+                self.asm.bind(end);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.gen_stmt(i)?;
+                }
+                let top = self.asm.new_label();
+                let cont = self.asm.new_label();
+                let end = self.asm.new_label();
+                self.asm.bind(top);
+                if let Some(c) = cond {
+                    self.gen_branch(c, end, false)?;
+                }
+                self.loop_stack.push((cont, end));
+                self.scoped(|g| g.gen_stmts(body))?;
+                self.loop_stack.pop();
+                self.asm.bind(cont);
+                if let Some(st) = step {
+                    self.gen_expr(st)?;
+                }
+                self.asm.jmp(top);
+                self.asm.bind(end);
+                self.scopes.pop();
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    self.gen_expr(e)?;
+                }
+                self.asm.jmp(self.ret_label);
+            }
+            Stmt::Break => {
+                let (_, end) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| CompileError::new("`break` outside loop"))?;
+                self.asm.jmp(end);
+            }
+            Stmt::Continue => {
+                let (cont, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| CompileError::new("`continue` outside loop"))?;
+                self.asm.jmp(cont);
+            }
+            Stmt::Block(stmts) => {
+                self.scoped(|g| g.gen_stmts(stmts))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn scoped<F>(&mut self, f: F) -> Result<(), CompileError>
+    where
+        F: FnOnce(&mut Self) -> Result<(), CompileError>,
+    {
+        self.scopes.push(HashMap::new());
+        let r = f(self);
+        self.scopes.pop();
+        r
+    }
+
+    // ── conditions ───────────────────────────────────────────────────
+
+    /// Emit a branch to `target` taken when `e` is true (`when_true`) or
+    /// false. Falls through otherwise. This is where the paper's
+    /// `test/cmp + jcc` decision points come from.
+    fn gen_branch(&mut self, e: &Expr, target: Label, when_true: bool) -> Result<(), CompileError> {
+        match e {
+            Expr::Un(UnOp::Not, inner) => self.gen_branch(inner, target, !when_true),
+            Expr::Num(n) => {
+                if (*n != 0) == when_true {
+                    self.asm.jmp(target);
+                }
+                Ok(())
+            }
+            Expr::Bin(op, a, b) if op.is_comparison() => {
+                // `x == 0` / `x != 0` get the idiomatic test %eax,%eax.
+                if matches!(**b, Expr::Num(0)) && matches!(op, BinOp::Eq | BinOp::Ne) {
+                    self.gen_expr(a)?;
+                    self.test_eax();
+                } else {
+                    self.gen_expr(a)?;
+                    self.push_eax();
+                    self.gen_expr(b)?;
+                    self.emit(Inst::new(Op::Mov).dst(ECX).src(EAX));
+                    self.pop(EAX);
+                    self.emit(Inst::new(Op::Cmp).dst(EAX).src(ECX));
+                }
+                let mut cond = comparison_cond(*op);
+                if !when_true {
+                    cond = invert(cond);
+                }
+                self.asm.jcc(cond, target);
+                Ok(())
+            }
+            Expr::Bin(BinOp::And, a, b) => {
+                if when_true {
+                    let skip = self.asm.new_label();
+                    self.gen_branch(a, skip, false)?;
+                    self.gen_branch(b, target, true)?;
+                    self.asm.bind(skip);
+                } else {
+                    self.gen_branch(a, target, false)?;
+                    self.gen_branch(b, target, false)?;
+                }
+                Ok(())
+            }
+            Expr::Bin(BinOp::Or, a, b) => {
+                if when_true {
+                    self.gen_branch(a, target, true)?;
+                    self.gen_branch(b, target, true)?;
+                } else {
+                    let skip = self.asm.new_label();
+                    self.gen_branch(a, skip, true)?;
+                    self.gen_branch(b, target, false)?;
+                    self.asm.bind(skip);
+                }
+                Ok(())
+            }
+            _ => {
+                self.gen_expr(e)?;
+                self.test_eax();
+                self.asm.jcc(if when_true { Cond::Ne } else { Cond::E }, target);
+                Ok(())
+            }
+        }
+    }
+
+    // ── expressions ──────────────────────────────────────────────────
+
+    /// Generate code leaving the expression value in `%eax`; returns the
+    /// static type of the value.
+    fn gen_expr(&mut self, e: &Expr) -> Result<Type, CompileError> {
+        match e {
+            Expr::Num(n) => {
+                self.mov_eax_imm(*n as i64);
+                Ok(Type::Int)
+            }
+            Expr::CharLit(c) => {
+                self.mov_eax_imm(*c as i64);
+                Ok(Type::Char)
+            }
+            Expr::Str(s) => {
+                let text = String::from_utf8_lossy(s).into_owned();
+                let r = self.asm.cstr(&text);
+                self.asm.emit_sym(
+                    Inst::new(Op::Mov).dst(EAX).src(Operand::Imm(0)),
+                    SymSlot::ImmSrc,
+                    SymRef::data(r),
+                );
+                Ok(Type::Ptr(Box::new(Type::Char)))
+            }
+            Expr::Var(_) | Expr::Index(_, _) | Expr::Deref(_) => {
+                let ty = self.gen_addr(e)?;
+                Ok(self.load_from_addr_in_eax(&ty))
+            }
+            Expr::Addr(inner) => {
+                let ty = self.gen_addr(inner)?;
+                Ok(Type::Ptr(Box::new(ty)))
+            }
+            Expr::Un(op, inner) => {
+                self.gen_expr(inner)?;
+                match op {
+                    UnOp::Neg => self.emit(Inst::new(Op::Neg).dst(EAX)),
+                    UnOp::BitNot => self.emit(Inst::new(Op::Not).dst(EAX)),
+                    UnOp::Not => {
+                        self.test_eax();
+                        self.set_eax_from_cond(Cond::E);
+                    }
+                }
+                Ok(Type::Int)
+            }
+            Expr::Bin(BinOp::And | BinOp::Or, _, _) => {
+                // Materialize a short-circuit condition as 0/1.
+                let true_l = self.asm.new_label();
+                let end_l = self.asm.new_label();
+                self.gen_branch(e, true_l, true)?;
+                self.mov_eax_imm(0);
+                self.asm.jmp(end_l);
+                self.asm.bind(true_l);
+                self.mov_eax_imm(1);
+                self.asm.bind(end_l);
+                Ok(Type::Int)
+            }
+            Expr::Bin(op, a, b) if op.is_comparison() => {
+                self.gen_expr(a)?;
+                self.push_eax();
+                self.gen_expr(b)?;
+                self.emit(Inst::new(Op::Mov).dst(ECX).src(EAX));
+                self.pop(EAX);
+                self.emit(Inst::new(Op::Cmp).dst(EAX).src(ECX));
+                self.set_eax_from_cond(comparison_cond(*op));
+                Ok(Type::Int)
+            }
+            Expr::Bin(op, a, b) => {
+                let ta = self.gen_expr(a)?;
+                self.push_eax();
+                let tb = self.gen_expr(b)?;
+                self.emit(Inst::new(Op::Mov).dst(ECX).src(EAX));
+                self.pop(EAX);
+                self.gen_arith(*op, &ta, &tb)
+            }
+            Expr::Assign(lhs, rhs) => {
+                let lty = self.gen_addr(lhs)?;
+                self.push_eax();
+                self.gen_expr(rhs)?;
+                self.pop(ECX);
+                // eax = value, ecx = address
+                match lty {
+                    Type::Char => self.emit(
+                        Inst::new(Op::Mov)
+                            .dst(Operand::Mem(MemOperand::base_disp(Reg32::Ecx, 0)))
+                            .src(Operand::Reg8(Reg8::Al))
+                            .size(OpSize::Byte),
+                    ),
+                    _ => self.emit(
+                        Inst::new(Op::Mov)
+                            .dst(Operand::Mem(MemOperand::base_disp(Reg32::Ecx, 0)))
+                            .src(EAX),
+                    ),
+                }
+                Ok(lty)
+            }
+            Expr::PostIncDec(lv, inc) => {
+                let ty = self.gen_addr(lv)?;
+                let step = match ty.pointee() {
+                    Some(t) => t.size() as i64,
+                    None => 1,
+                };
+                self.emit(Inst::new(Op::Mov).dst(ECX).src(EAX));
+                let old = self.load_from_addr_in_eax(&ty);
+                self.push_eax();
+                let op = if *inc { Op::Add } else { Op::Sub };
+                match ty {
+                    Type::Char => self.emit(
+                        Inst::new(op)
+                            .dst(Operand::Mem(MemOperand::base_disp(Reg32::Ecx, 0)))
+                            .src(Operand::Imm(step))
+                            .size(OpSize::Byte),
+                    ),
+                    _ => self.emit(
+                        Inst::new(op)
+                            .dst(Operand::Mem(MemOperand::base_disp(Reg32::Ecx, 0)))
+                            .src(Operand::Imm(step)),
+                    ),
+                }
+                self.pop(EAX);
+                Ok(old)
+            }
+            Expr::Call(name, args) => self.gen_call(name, args),
+        }
+    }
+
+    fn gen_call(&mut self, name: &str, args: &[Expr]) -> Result<Type, CompileError> {
+        if let Some(n) = name.strip_prefix("__syscall") {
+            let argc: usize = n
+                .parse()
+                .map_err(|_| CompileError::new(format!("unknown intrinsic `{name}`")))?;
+            if argc > 3 || args.len() != argc + 1 {
+                return Err(CompileError::new(format!(
+                    "`{name}` expects {} arguments",
+                    argc + 1
+                )));
+            }
+            for a in args {
+                self.gen_expr(a)?;
+                self.push_eax();
+            }
+            // Stack now: n, a1, a2, a3 (a3 on top).
+            let regs = [EBX, ECX, EDX];
+            for i in (0..argc).rev() {
+                self.pop(regs[i]);
+            }
+            self.pop(EAX);
+            self.emit(Inst::new(Op::Int(0x80)));
+            return Ok(Type::Int);
+        }
+        for a in args.iter().rev() {
+            // Constant and string-literal arguments push immediates
+            // directly, as gcc does (`push $0x2000` in the paper's
+            // Figure 3).
+            match a {
+                Expr::Num(n) => {
+                    self.emit(Inst::new(Op::Push).dst(Operand::Imm(*n as i64)));
+                }
+                Expr::CharLit(c) => {
+                    self.emit(Inst::new(Op::Push).dst(Operand::Imm(*c as i64)));
+                }
+                Expr::Str(s) => {
+                    let text = String::from_utf8_lossy(s).into_owned();
+                    let r = self.asm.cstr(&text);
+                    self.asm.emit_sym(
+                        Inst::new(Op::Push).dst(Operand::Imm(0)),
+                        SymSlot::ImmDst,
+                        SymRef::data(r),
+                    );
+                }
+                _ => {
+                    self.gen_expr(a)?;
+                    self.push_eax();
+                }
+            }
+        }
+        self.asm.call(name);
+        if !args.is_empty() {
+            self.emit(
+                Inst::new(Op::Add)
+                    .dst(ESP)
+                    .src(Operand::Imm(4 * args.len() as i64)),
+            );
+        }
+        Ok(Type::Int)
+    }
+
+    fn gen_arith(&mut self, op: BinOp, ta: &Type, tb: &Type) -> Result<Type, CompileError> {
+        // eax = lhs, ecx = rhs.
+        let scale = |g: &mut Self, reg: Operand, size: u32| {
+            if size > 1 {
+                let mut i = Inst::new(Op::Imul3).dst(reg).src(reg);
+                i.src2 = Some(Operand::Imm(size as i64));
+                g.emit(i);
+            }
+        };
+        match op {
+            BinOp::Add => {
+                let mut out = Type::Int;
+                if let Some(p) = ta.pointee() {
+                    scale(self, ECX, p.size());
+                    out = ta.decay();
+                } else if let Some(p) = tb.pointee() {
+                    scale(self, EAX, p.size());
+                    out = tb.decay();
+                }
+                self.emit(Inst::new(Op::Add).dst(EAX).src(ECX));
+                Ok(out)
+            }
+            BinOp::Sub => {
+                if let (Some(pa), Some(_)) = (ta.pointee(), tb.pointee()) {
+                    self.emit(Inst::new(Op::Sub).dst(EAX).src(ECX));
+                    let sz = pa.size();
+                    if sz == 4 {
+                        self.emit(Inst::new(Op::Sar).dst(EAX).src(Operand::Imm(2)));
+                    } else if sz == 2 {
+                        self.emit(Inst::new(Op::Sar).dst(EAX).src(Operand::Imm(1)));
+                    }
+                    return Ok(Type::Int);
+                }
+                if let Some(p) = ta.pointee() {
+                    scale(self, ECX, p.size());
+                    self.emit(Inst::new(Op::Sub).dst(EAX).src(ECX));
+                    return Ok(ta.decay());
+                }
+                self.emit(Inst::new(Op::Sub).dst(EAX).src(ECX));
+                Ok(Type::Int)
+            }
+            BinOp::Mul => {
+                self.emit(Inst::new(Op::Imul2).dst(EAX).src(ECX));
+                Ok(Type::Int)
+            }
+            BinOp::Div | BinOp::Rem => {
+                self.emit(Inst::new(Op::Cdq));
+                self.emit(Inst::new(Op::Idiv).dst(ECX));
+                if op == BinOp::Rem {
+                    self.emit(Inst::new(Op::Mov).dst(EAX).src(EDX));
+                }
+                Ok(Type::Int)
+            }
+            BinOp::Shl => {
+                self.emit(Inst::new(Op::Shl).dst(EAX).src(Operand::Reg8(Reg8::Cl)));
+                Ok(Type::Int)
+            }
+            BinOp::Shr => {
+                // C ints are signed here: arithmetic shift.
+                self.emit(Inst::new(Op::Sar).dst(EAX).src(Operand::Reg8(Reg8::Cl)));
+                Ok(Type::Int)
+            }
+            BinOp::BitAnd => {
+                self.emit(Inst::new(Op::And).dst(EAX).src(ECX));
+                Ok(Type::Int)
+            }
+            BinOp::BitOr => {
+                self.emit(Inst::new(Op::Or).dst(EAX).src(ECX));
+                Ok(Type::Int)
+            }
+            BinOp::BitXor => {
+                self.emit(Inst::new(Op::Xor).dst(EAX).src(ECX));
+                Ok(Type::Int)
+            }
+            _ => Err(CompileError::new(format!("unexpected operator {op:?}"))),
+        }
+    }
+
+    /// Generate the address of an lvalue into `%eax`; returns the lvalue's
+    /// (non-decayed) type.
+    fn gen_addr(&mut self, e: &Expr) -> Result<Type, CompileError> {
+        match e {
+            Expr::Var(name) => {
+                let (loc, ty) = self
+                    .lookup(name)
+                    .ok_or_else(|| CompileError::new(format!("unknown variable `{name}`")))?;
+                match loc {
+                    VarLoc::Local(off) => self.emit(
+                        Inst::new(Op::Lea)
+                            .dst(EAX)
+                            .src(Operand::Mem(MemOperand::base_disp(Reg32::Ebp, off))),
+                    ),
+                    VarLoc::Global(r) => self.asm.emit_sym(
+                        Inst::new(Op::Mov).dst(EAX).src(Operand::Imm(0)),
+                        SymSlot::ImmSrc,
+                        SymRef::data(r),
+                    ),
+                }
+                Ok(ty)
+            }
+            Expr::Deref(p) => {
+                let ty = self.gen_expr(p)?;
+                ty.pointee()
+                    .cloned()
+                    .ok_or_else(|| CompileError::new("dereference of non-pointer"))
+            }
+            Expr::Index(a, i) => {
+                let ty = self.gen_expr(a)?;
+                let elem = ty
+                    .pointee()
+                    .cloned()
+                    .ok_or_else(|| CompileError::new("indexing a non-pointer"))?;
+                self.push_eax();
+                self.gen_expr(i)?;
+                if elem.size() > 1 {
+                    let mut m = Inst::new(Op::Imul3).dst(EAX).src(EAX);
+                    m.src2 = Some(Operand::Imm(elem.size() as i64));
+                    self.emit(m);
+                }
+                self.emit(Inst::new(Op::Mov).dst(ECX).src(EAX));
+                self.pop(EAX);
+                self.emit(Inst::new(Op::Add).dst(EAX).src(ECX));
+                Ok(elem)
+            }
+            _ => Err(CompileError::new("expression is not an lvalue")),
+        }
+    }
+
+    /// With an address in `%eax`, load the value of type `ty`; arrays decay
+    /// (the address is the value). Returns the value type.
+    fn load_from_addr_in_eax(&mut self, ty: &Type) -> Type {
+        match ty {
+            Type::Array(elem, _) => Type::Ptr(elem.clone()),
+            Type::Char => {
+                let mut i = Inst::new(Op::Movsx)
+                    .dst(EAX)
+                    .src(Operand::Mem(MemOperand::base_disp(Reg32::Eax, 0)));
+                i.size2 = OpSize::Byte;
+                self.emit(i);
+                Type::Char
+            }
+            _ => {
+                self.emit(
+                    Inst::new(Op::Mov)
+                        .dst(EAX)
+                        .src(Operand::Mem(MemOperand::base_disp(Reg32::Eax, 0))),
+                );
+                ty.clone()
+            }
+        }
+    }
+
+    fn store_to(&mut self, loc: VarLoc, ty: &Type) {
+        match loc {
+            VarLoc::Local(off) => match ty {
+                Type::Char => self.emit(
+                    Inst::new(Op::Mov)
+                        .dst(Operand::Mem(MemOperand::base_disp(Reg32::Ebp, off)))
+                        .src(Operand::Reg8(Reg8::Al))
+                        .size(OpSize::Byte),
+                ),
+                _ => self.emit(
+                    Inst::new(Op::Mov)
+                        .dst(Operand::Mem(MemOperand::base_disp(Reg32::Ebp, off)))
+                        .src(EAX),
+                ),
+            },
+            VarLoc::Global(r) => {
+                let inst = match ty {
+                    Type::Char => Inst::new(Op::Mov)
+                        .dst(Operand::Mem(MemOperand::abs(0)))
+                        .src(Operand::Reg8(Reg8::Al))
+                        .size(OpSize::Byte),
+                    _ => Inst::new(Op::Mov)
+                        .dst(Operand::Mem(MemOperand::abs(0)))
+                        .src(EAX),
+                };
+                self.asm.emit_sym(inst, SymSlot::MemDst, SymRef::data(r));
+            }
+        }
+    }
+
+    fn set_eax_from_cond(&mut self, c: Cond) {
+        self.emit(
+            Inst::new(Op::Setcc(c))
+                .dst(Operand::Reg8(Reg8::Al))
+                .size(OpSize::Byte),
+        );
+        let mut i = Inst::new(Op::Movzx).dst(EAX).src(Operand::Reg8(Reg8::Al));
+        i.size2 = OpSize::Byte;
+        self.emit(i);
+    }
+}
+
+#[derive(Clone, Copy)]
+enum VarLoc {
+    Local(i32),
+    Global(DataRef),
+}
+
+fn comparison_cond(op: BinOp) -> Cond {
+    match op {
+        BinOp::Eq => Cond::E,
+        BinOp::Ne => Cond::Ne,
+        BinOp::Lt => Cond::L,
+        BinOp::Le => Cond::Le,
+        BinOp::Gt => Cond::G,
+        BinOp::Ge => Cond::Ge,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// The IA-32 condition-code negation: flip the low bit, exactly the
+/// single-bit adjacency the paper exploits.
+fn invert(c: Cond) -> Cond {
+    Cond::from_nibble(c as u8 ^ 1)
+}
+
+/// Total bytes of locals declared anywhere in the body (no reuse across
+/// blocks — matches unoptimized compiler output).
+fn frame_size(stmts: &[Stmt]) -> u32 {
+    let mut total = 0;
+    for s in stmts {
+        total += match s {
+            Stmt::Decl { ty, .. } => ty.size().max(1).div_ceil(4) * 4,
+            Stmt::If { then, els, .. } => frame_size(then) + frame_size(els),
+            Stmt::While { body, .. } => frame_size(body),
+            Stmt::For { init, body, .. } => {
+                let i = match init.as_deref() {
+                    Some(s) => frame_size(std::slice::from_ref(s)),
+                    None => 0,
+                };
+                i + frame_size(body)
+            }
+            Stmt::Block(b) => frame_size(b),
+            _ => 0,
+        };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn gen(src: &str) -> Result<fisec_asm::Image, CompileError> {
+        let prog = parse(src).expect("parse");
+        let mut asm = Assembler::new();
+        compile_program(&prog, &mut asm).map(|()| asm.assemble(0x0804_8000, 0x0810_0000).unwrap())
+    }
+
+    #[test]
+    fn minimal_main_compiles() {
+        let img = gen("int main() { return 7; }").unwrap();
+        assert!(img.func("main").is_some());
+        // prologue present: push ebp; mov ebp, esp
+        assert_eq!(&img.text[..3], &[0x55, 0x89, 0xE5]);
+    }
+
+    #[test]
+    fn strcmp_eq_zero_emits_test_jcc() {
+        let img = gen(
+            "int check(int x) { if (x == 0) { return 1; } return 2; }",
+        )
+        .unwrap();
+        // Look for test eax,eax (85 C0) followed by jne (75).
+        let t = &img.text;
+        let found = t
+            .windows(3)
+            .any(|w| w[0] == 0x85 && w[1] == 0xC0 && w[2] == 0x75);
+        assert!(found, "expected `test %eax,%eax; jne` in {t:02x?}");
+    }
+
+    #[test]
+    fn unknown_variable_errors() {
+        let e = gen("int main() { return nope; }").unwrap_err();
+        assert!(e.msg.contains("unknown variable"));
+        assert_eq!(e.func.as_deref(), Some("main"));
+    }
+
+    #[test]
+    fn non_lvalue_assignment_errors() {
+        assert!(gen("int main() { 1 = 2; return 0; }").is_err());
+    }
+
+    #[test]
+    fn break_outside_loop_errors() {
+        assert!(gen("int main() { break; }").is_err());
+    }
+
+    #[test]
+    fn frame_size_accounts_arrays_and_blocks() {
+        let prog = parse(
+            "int f() { int a; char buf[10]; if (a) { int b; } while (a) { int c[2]; } return 0; }",
+        )
+        .unwrap();
+        // a=4, buf=12 (rounded), b=4, c=8 => 28
+        assert_eq!(frame_size(&prog.funcs[0].body), 28);
+    }
+
+    #[test]
+    fn syscall_intrinsic_emits_int80() {
+        let img = gen("int main() { return __syscall3(4, 1, 0, 0); }").unwrap();
+        let t = &img.text;
+        assert!(t.windows(2).any(|w| w == [0xCD, 0x80]));
+    }
+
+    #[test]
+    fn bad_intrinsic_arity_errors() {
+        assert!(gen("int main() { return __syscall3(1); }").is_err());
+        assert!(gen("int main() { return __syscall9(1,2,3,4,5,6,7,8,9,0); }").is_err());
+    }
+
+    #[test]
+    fn global_initializers() {
+        let img = gen("int x = 258; char c = 'A'; char s[8] = \"hi\"; int main() { return x; }")
+            .unwrap();
+        let xs = img.data_symbol("x").unwrap();
+        assert_eq!(xs.len, 4);
+        assert_eq!(&img.data[(xs.addr - img.data_base) as usize..][..4], &[2, 1, 0, 0]);
+        let ss = img.data_symbol("s").unwrap();
+        assert_eq!(ss.len, 8);
+        assert_eq!(
+            &img.data[(ss.addr - img.data_base) as usize..][..8],
+            b"hi\0\0\0\0\0\0"
+        );
+    }
+
+    #[test]
+    fn string_too_long_errors() {
+        assert!(gen("char s[2] = \"toolong\"; int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn conditional_branches_present_in_loops() {
+        let img = gen("int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) s = s + i; return s; }").unwrap();
+        let f = img.func("main").unwrap().clone();
+        let insts = img.decode_func(&f);
+        assert!(insts.iter().any(|(_, i)| i.is_cond_branch()));
+        // The whole body decodes cleanly.
+        assert!(insts.iter().all(|(_, i)| !matches!(i.op, Op::Invalid(_))));
+    }
+
+    #[test]
+    fn short_circuit_materialization() {
+        let img = gen("int f(int a, int b) { return a && b; }").unwrap();
+        let f = img.func("f").unwrap().clone();
+        let insts = img.decode_func(&f);
+        // Needs at least two conditional branches (one per operand).
+        let branches = insts.iter().filter(|(_, i)| i.is_cond_branch()).count();
+        assert!(branches >= 2, "got {branches}");
+    }
+}

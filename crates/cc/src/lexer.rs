@@ -1,0 +1,360 @@
+//! Lexer for the mini-C dialect.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal.
+    Num(i32),
+    /// String literal (escapes already processed, no NUL terminator).
+    Str(Vec<u8>),
+    /// Character literal.
+    CharLit(u8),
+    /// Identifier or keyword (keywords are matched by the parser).
+    Ident(String),
+    /// Punctuation / operator, e.g. `"=="`, `"{"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::CharLit(c) => write!(f, "'{}'", *c as char),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    // Longest first so maximal munch works.
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--", "+=", "-=", "*=",
+    "/=", "%=", "&=", "|=", "^=", "->", "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&",
+    "|", "^", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+];
+
+/// Tokenize mini-C source.
+///
+/// # Errors
+/// [`LexError`] on malformed literals, unterminated comments/strings, or
+/// characters outside the language.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let err = |msg: &str, line: u32| LexError {
+        msg: msg.to_string(),
+        line,
+    };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(err("unterminated block comment", start));
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut val: i64;
+                if c == b'0' && i + 1 < b.len() && (b[i + 1] | 0x20) == b'x' {
+                    i += 2;
+                    let hs = i;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hs {
+                        return Err(err("empty hex literal", line));
+                    }
+                    val = i64::from_str_radix(&src[hs..i], 16)
+                        .map_err(|_| err("hex literal out of range", line))?;
+                } else {
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    val = src[start..i]
+                        .parse::<i64>()
+                        .map_err(|_| err("integer literal out of range", line))?;
+                }
+                if val > u32::MAX as i64 {
+                    return Err(err("integer literal out of range", line));
+                }
+                if val > i32::MAX as i64 {
+                    val -= 1 << 32; // wrap like C unsigned-to-signed
+                }
+                toks.push(SpannedTok {
+                    tok: Tok::Num(val as i32),
+                    line,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(SpannedTok {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            b'"' => {
+                i += 1;
+                let mut s = Vec::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(err("unterminated string literal", line));
+                    }
+                    match b[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            if i >= b.len() {
+                                return Err(err("bad escape", line));
+                            }
+                            s.push(unescape(b[i]).ok_or_else(|| err("bad escape", line))?);
+                            i += 1;
+                        }
+                        b'\n' => return Err(err("newline in string literal", line)),
+                        ch => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            b'\'' => {
+                i += 1;
+                if i >= b.len() {
+                    return Err(err("unterminated char literal", line));
+                }
+                let v = if b[i] == b'\\' {
+                    i += 1;
+                    if i >= b.len() {
+                        return Err(err("bad escape", line));
+                    }
+                    unescape(b[i]).ok_or_else(|| err("bad escape", line))?
+                } else {
+                    b[i]
+                };
+                i += 1;
+                if i >= b.len() || b[i] != b'\'' {
+                    return Err(err("unterminated char literal", line));
+                }
+                i += 1;
+                toks.push(SpannedTok {
+                    tok: Tok::CharLit(v),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &src[i..];
+                let p = PUNCTS.iter().find(|p| rest.starts_with(**p));
+                match p {
+                    Some(p) => {
+                        toks.push(SpannedTok {
+                            tok: Tok::Punct(p),
+                            line,
+                        });
+                        i += p.len();
+                    }
+                    None => {
+                        return Err(err(&format!("unexpected character `{}`", c as char), line))
+                    }
+                }
+            }
+        }
+    }
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+fn unescape(c: u8) -> Option<u8> {
+    Some(match c {
+        b'n' => b'\n',
+        b'r' => b'\r',
+        b't' => b'\t',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'"' => b'"',
+        b'\'' => b'\'',
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            toks("0 42 0x10 0xFF"),
+            vec![
+                Tok::Num(0),
+                Tok::Num(42),
+                Tok::Num(16),
+                Tok::Num(255),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_large_hex_wraps_to_signed() {
+        assert_eq!(toks("0xFFFFFFFF")[0], Tok::Num(-1));
+        assert!(lex("0x100000000").is_err());
+    }
+
+    #[test]
+    fn lex_idents_and_puncts() {
+        assert_eq!(
+            toks("if (a == b) { a++; }"),
+            vec![
+                Tok::Ident("if".into()),
+                Tok::Punct("("),
+                Tok::Ident("a".into()),
+                Tok::Punct("=="),
+                Tok::Ident("b".into()),
+                Tok::Punct(")"),
+                Tok::Punct("{"),
+                Tok::Ident("a".into()),
+                Tok::Punct("++"),
+                Tok::Punct(";"),
+                Tok::Punct("}"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        assert_eq!(
+            toks(r#""hi\n\t\"x\"\0""#)[0],
+            Tok::Str(b"hi\n\t\"x\"\0".to_vec())
+        );
+    }
+
+    #[test]
+    fn lex_char_literals() {
+        assert_eq!(toks("'a' '\\n' '\\0'")[..3], [
+            Tok::CharLit(b'a'),
+            Tok::CharLit(b'\n'),
+            Tok::CharLit(0)
+        ]);
+    }
+
+    #[test]
+    fn lex_comments() {
+        assert_eq!(
+            toks("a // line\nb /* block\nmulti */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_line_numbers() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("'x").is_err());
+        assert!(lex("$").is_err());
+        assert!(lex("\"bad \\q escape\"").is_err());
+    }
+
+    #[test]
+    fn maximal_munch() {
+        assert_eq!(
+            toks("a<<=b <= < <<"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<="),
+                Tok::Punct("<"),
+                Tok::Punct("<<"),
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! # fisec-cc — a mini-C compiler targeting the fisec IA-32 substrate
+//!
+//! The study's target applications (the ftpd- and sshd-like servers in
+//! `fisec-apps`) are written in a small C dialect and compiled to machine
+//! code by this crate, so that injected single-bit errors hit *real
+//! compiled instruction patterns* — `cmp`/`test` + `Jcc` decision points,
+//! cdecl frames, `strcmp` loops — rather than hand-waved pseudo-code.
+//!
+//! Pipeline: [`parser::parse`] → [`codegen::compile_program`] →
+//! [`fisec_asm::Assembler::assemble`]. [`build_image`] bundles the pieces:
+//! it prepends the mini libc, appends the `_start` stub, and assembles at
+//! the canonical bases.
+//!
+//! ## Language
+//!
+//! `int` (32-bit signed), `char` (8-bit signed), pointers, fixed arrays,
+//! globals (with int/string initializers), `if`/`else`, `while`, `for`,
+//! `break`/`continue`/`return`, the full C operator set minus `?:` and
+//! comma, function calls (cdecl), string/char literals, postfix `++`/`--`,
+//! and the `__syscall0..3` intrinsics that lower to `int 0x80`.
+//!
+//! ```
+//! let img = fisec_cc::build_image(&["int main() { return 41 + 1; }"]).unwrap();
+//! assert!(img.func("main").is_some());
+//! assert!(img.func("_start").is_some());
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod libc;
+pub mod parser;
+
+pub use codegen::{compile_program, CompileError};
+pub use libc::MINI_LIBC;
+pub use parser::{parse, ParseError};
+
+use fisec_asm::{Assembler, Image};
+use fisec_x86::{Inst, Op, Operand, Reg32};
+use std::fmt;
+
+/// Canonical text segment base (mirrors Linux i386 `0x08048000`).
+pub const TEXT_BASE: u32 = 0x0804_8000;
+/// Canonical data segment base.
+pub const DATA_BASE: u32 = 0x0810_0000;
+
+/// Errors from [`build_image`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Source failed to parse.
+    Parse(ParseError),
+    /// Source failed to compile.
+    Compile(CompileError),
+    /// Assembly/linking failed.
+    Asm(fisec_asm::AsmError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Parse(e) => write!(f, "{e}"),
+            BuildError::Compile(e) => write!(f, "{e}"),
+            BuildError::Asm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ParseError> for BuildError {
+    fn from(e: ParseError) -> Self {
+        BuildError::Parse(e)
+    }
+}
+
+impl From<CompileError> for BuildError {
+    fn from(e: CompileError) -> Self {
+        BuildError::Compile(e)
+    }
+}
+
+impl From<fisec_asm::AsmError> for BuildError {
+    fn from(e: fisec_asm::AsmError) -> Self {
+        BuildError::Asm(e)
+    }
+}
+
+/// Emit the `_start` stub: call `main`, then `exit(eax)`.
+pub fn emit_start(asm: &mut Assembler) {
+    asm.begin_func("_start");
+    asm.call("main");
+    asm.emit(
+        Inst::new(Op::Mov)
+            .dst(Operand::Reg(Reg32::Ebx))
+            .src(Operand::Reg(Reg32::Eax)),
+    );
+    asm.emit(
+        Inst::new(Op::Mov)
+            .dst(Operand::Reg(Reg32::Eax))
+            .src(Operand::Imm(1)),
+    );
+    asm.emit(Inst::new(Op::Int(0x80)));
+    asm.end_func();
+}
+
+/// Compile the given mini-C sources together with the mini libc and a
+/// `_start` stub into a loadable [`Image`] at the canonical bases.
+///
+/// # Errors
+/// [`BuildError`] wrapping the failing stage.
+pub fn build_image(sources: &[&str]) -> Result<Image, BuildError> {
+    build_image_at(sources, TEXT_BASE, DATA_BASE)
+}
+
+/// [`build_image`] with explicit segment bases.
+///
+/// # Errors
+/// [`BuildError`] wrapping the failing stage.
+pub fn build_image_at(
+    sources: &[&str],
+    text_base: u32,
+    data_base: u32,
+) -> Result<Image, BuildError> {
+    let mut all = String::from(MINI_LIBC);
+    for s in sources {
+        all.push('\n');
+        all.push_str(s);
+    }
+    let prog = parse(&all)?;
+    let mut asm = Assembler::new();
+    emit_start(&mut asm);
+    compile_program(&prog, &mut asm)?;
+    Ok(asm.assemble(text_base, data_base)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_image_includes_libc_and_start() {
+        let img = build_image(&["int main() { return strlen(\"four\"); }"]).unwrap();
+        assert!(img.func("_start").is_some());
+        assert!(img.func("strcmp").is_some());
+        assert!(img.func("main").is_some());
+        assert_eq!(img.func("_start").unwrap().start, TEXT_BASE);
+    }
+
+    #[test]
+    fn build_errors_surface() {
+        assert!(matches!(
+            build_image(&["int main() { return }"]),
+            Err(BuildError::Parse(_))
+        ));
+        assert!(matches!(
+            build_image(&["int main() { return missing_var; }"]),
+            Err(BuildError::Compile(_))
+        ));
+        // Calling an undefined function is a link-time (assembler) error.
+        assert!(matches!(
+            build_image(&["int main() { return nosuchfn(); }"]),
+            Err(BuildError::Asm(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        // `strlen` already exists in the libc.
+        assert!(matches!(
+            build_image(&["int strlen(char *s) { return 0; } int main() { return 0; }"]),
+            Err(BuildError::Asm(fisec_asm::AsmError::DuplicateSymbol(_)))
+        ));
+    }
+}

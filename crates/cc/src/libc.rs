@@ -1,0 +1,193 @@
+//! The mini libc, written in mini-C and compiled into every image.
+//!
+//! These routines are deliberately ordinary compiled code (not host-side
+//! intrinsics): the study injects faults into *application text*, and
+//! `strcmp`-style comparison loops are exactly the kind of code the paper's
+//! Example 1 walks through (`call strcmp; test %eax,%eax; jne`).
+
+/// Syscall numbers follow Linux i386: 1=exit, 3=read, 4=write.
+pub const MINI_LIBC: &str = r#"
+int read(int fd, char *buf, int n) {
+    return __syscall3(3, fd, buf, n);
+}
+
+int write(int fd, char *buf, int n) {
+    return __syscall3(4, fd, buf, n);
+}
+
+void exit(int code) {
+    __syscall3(1, code, 0, 0);
+}
+
+int strlen(char *s) {
+    int n;
+    n = 0;
+    while (s[n]) {
+        n++;
+    }
+    return n;
+}
+
+int strcmp(char *a, char *b) {
+    int i;
+    i = 0;
+    while (a[i] && b[i] && a[i] == b[i]) {
+        i++;
+    }
+    return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+    int i;
+    i = 0;
+    if (n == 0) {
+        return 0;
+    }
+    while (i < n - 1 && a[i] && b[i] && a[i] == b[i]) {
+        i++;
+    }
+    return a[i] - b[i];
+}
+
+void strcpy(char *dst, char *src) {
+    int i;
+    i = 0;
+    while (src[i]) {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = 0;
+}
+
+void strncpy_safe(char *dst, char *src, int max) {
+    int i;
+    i = 0;
+    while (i < max - 1 && src[i]) {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = 0;
+}
+
+void strcat(char *dst, char *src) {
+    strcpy(dst + strlen(dst), src);
+}
+
+void memset(char *p, int v, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        p[i] = v;
+    }
+}
+
+void memcpy(char *dst, char *src, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        dst[i] = src[i];
+    }
+}
+
+int atoi(char *s) {
+    int v;
+    int sign;
+    v = 0;
+    sign = 1;
+    if (*s == '-') {
+        sign = -1;
+        s++;
+    }
+    while (*s >= '0' && *s <= '9') {
+        v = v * 10 + (*s - '0');
+        s++;
+    }
+    return v * sign;
+}
+
+void itoa(int v, char *out) {
+    char tmp[16];
+    int i;
+    int j;
+    if (v == 0) {
+        out[0] = '0';
+        out[1] = 0;
+        return;
+    }
+    j = 0;
+    if (v < 0) {
+        out[j] = '-';
+        j++;
+        v = -v;
+    }
+    i = 0;
+    while (v > 0) {
+        tmp[i] = '0' + v % 10;
+        v = v / 10;
+        i++;
+    }
+    while (i > 0) {
+        i--;
+        out[j] = tmp[i];
+        j++;
+    }
+    out[j] = 0;
+}
+
+int write_str(int fd, char *s) {
+    return write(fd, s, strlen(s));
+}
+
+/*
+ * A stand-in for crypt(3): a deterministic string hash rendered as text.
+ * The control-flow structure around it (strcmp of hashed strings) is what
+ * the study exercises; the hash itself is immaterial.
+ */
+void crypt_hash(char *password, char *out) {
+    int h;
+    int i;
+    h = 5381;
+    i = 0;
+    while (password[i]) {
+        h = h * 33 + password[i];
+        i++;
+    }
+    if (h < 0) {
+        h = -h;
+    }
+    itoa(h, out);
+}
+"#;
+
+/// Maximum bytes a `read` may transfer in one call (mirrors a page-sized
+/// kernel buffer; keeps rogue reads bounded).
+pub const READ_MAX: u32 = 8192;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn libc_parses() {
+        let p = parse(MINI_LIBC).unwrap();
+        let names: Vec<&str> = p.funcs.iter().map(|f| f.name.as_str()).collect();
+        for expected in [
+            "read",
+            "write",
+            "exit",
+            "strlen",
+            "strcmp",
+            "strncmp",
+            "strcpy",
+            "strncpy_safe",
+            "strcat",
+            "memset",
+            "memcpy",
+            "atoi",
+            "itoa",
+            "write_str",
+            "crypt_hash",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+}

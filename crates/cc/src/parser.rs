@@ -1,0 +1,701 @@
+//! Recursive-descent parser for the mini-C dialect.
+
+use crate::ast::{BinOp, Expr, Func, Global, GlobalInit, Program, Stmt, Type, UnOp};
+use crate::lexer::{lex, SpannedTok, Tok};
+use std::fmt;
+
+/// Parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a mini-C translation unit.
+///
+/// # Errors
+/// [`ParseError`] with the offending line on malformed input.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError {
+        msg: e.msg,
+        line: e.line,
+    })?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            msg: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            t => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected identifier, found {t}"))
+            }
+        }
+    }
+
+    fn base_type(&mut self) -> Result<Option<Type>, ParseError> {
+        let t = if self.eat_kw("int") {
+            Type::Int
+        } else if self.eat_kw("char") {
+            Type::Char
+        } else if self.eat_kw("void") {
+            Type::Void
+        } else {
+            return Ok(None);
+        };
+        let mut t = t;
+        while self.eat_punct("*") {
+            t = Type::Ptr(Box::new(t));
+        }
+        Ok(Some(t))
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        while !matches!(self.peek(), Tok::Eof) {
+            let Some(ty) = self.base_type()? else {
+                return self.err(format!("expected declaration, found {}", self.peek()));
+            };
+            let name = self.ident()?;
+            if self.eat_punct("(") {
+                // Function definition or prototype.
+                let params = self.params()?;
+                if self.eat_punct(";") {
+                    continue; // prototype — bodies are resolved by name
+                }
+                self.expect_punct("{")?;
+                let body = self.block_body()?;
+                prog.funcs.push(Func {
+                    ret: ty,
+                    name,
+                    params,
+                    body,
+                });
+            } else {
+                // Global variable.
+                let g = self.global_rest(ty, name)?;
+                prog.globals.push(g);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn params(&mut self) -> Result<Vec<(Type, String)>, ParseError> {
+        let mut params = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(params);
+        }
+        if matches!(self.peek(), Tok::Ident(s) if s == "void")
+            && matches!(self.peek2(), Tok::Punct(")"))
+        {
+            self.bump();
+            self.bump();
+            return Ok(params);
+        }
+        loop {
+            let Some(ty) = self.base_type()? else {
+                return self.err("expected parameter type");
+            };
+            let name = self.ident()?;
+            params.push((ty, name));
+            if self.eat_punct(")") {
+                break;
+            }
+            self.expect_punct(",")?;
+        }
+        Ok(params)
+    }
+
+    fn global_rest(&mut self, ty: Type, name: String) -> Result<Global, ParseError> {
+        let mut ty = ty;
+        if self.eat_punct("[") {
+            // Sized or (for string initializers) unsized array.
+            if let Tok::Num(n) = self.peek().clone() {
+                self.bump();
+                self.expect_punct("]")?;
+                if n <= 0 {
+                    return self.err("array length must be positive");
+                }
+                ty = Type::Array(Box::new(ty), n as u32);
+            } else {
+                self.expect_punct("]")?;
+                ty = Type::Array(Box::new(ty), 0); // fixed up by initializer
+            }
+        }
+        let init = if self.eat_punct("=") {
+            match self.bump() {
+                Tok::Num(n) => GlobalInit::Num(n),
+                Tok::Str(s) => GlobalInit::Str(s),
+                Tok::CharLit(c) => GlobalInit::Num(c as i32),
+                t => return self.err(format!("unsupported global initializer {t}")),
+            }
+        } else {
+            GlobalInit::Zero
+        };
+        // Fix up unsized arrays from string initializers.
+        if let (Type::Array(elem, 0), GlobalInit::Str(s)) = (&ty, &init) {
+            ty = Type::Array(elem.clone(), s.len() as u32 + 1);
+        }
+        if matches!(ty, Type::Array(_, 0)) {
+            return self.err("unsized array requires a string initializer");
+        }
+        if matches!(init, GlobalInit::Str(_)) && !matches!(ty, Type::Array(_, _)) {
+            return self.err("string initializer requires a char array");
+        }
+        self.expect_punct(";")?;
+        Ok(Global { ty, name, init })
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), Tok::Eof) {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        // Declaration?
+        if matches!(self.peek(), Tok::Ident(s) if s == "int" || s == "char") {
+            let ty = self.base_type()?.expect("checked");
+            let name = self.ident()?;
+            let mut ty = ty;
+            if self.eat_punct("[") {
+                let Tok::Num(n) = self.bump() else {
+                    return self.err("expected array length");
+                };
+                self.expect_punct("]")?;
+                if n <= 0 {
+                    return self.err("array length must be positive");
+                }
+                ty = Type::Array(Box::new(ty), n as u32);
+            }
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decl { ty, name, init });
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = self.stmt_or_block()?;
+            let els = if self.eat_kw("else") {
+                self.stmt_or_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else {
+                let s = self.stmt()?; // consumes the `;` (decl or expr stmt)
+                Some(Box::new(s))
+            };
+            let cond = if self.eat_punct(";") {
+                None
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(e)
+            };
+            let step = if self.eat_punct(")") {
+                None
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Some(e)
+            };
+            let body = self.stmt_or_block()?;
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
+        }
+        if self.eat_kw("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.eat_punct("{") {
+            return Ok(Stmt::Block(self.block_body()?));
+        }
+        if self.eat_punct(";") {
+            return Ok(Stmt::Block(Vec::new()));
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.eat_punct("{") {
+            self.block_body()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    // Expression precedence (lowest to highest):
+    // assignment, ||, &&, |, ^, &, ==/!=, relational, shift, additive,
+    // multiplicative, unary, postfix, primary.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.logical_or()?;
+        for (tok, op) in [
+            ("+=", BinOp::Add),
+            ("-=", BinOp::Sub),
+            ("*=", BinOp::Mul),
+            ("/=", BinOp::Div),
+            ("%=", BinOp::Rem),
+            ("&=", BinOp::BitAnd),
+            ("|=", BinOp::BitOr),
+            ("^=", BinOp::BitXor),
+            ("<<=", BinOp::Shl),
+            (">>=", BinOp::Shr),
+        ] {
+            if self.eat_punct(tok) {
+                let rhs = self.assignment()?;
+                return Ok(Expr::Assign(
+                    Box::new(lhs.clone()),
+                    Box::new(Expr::Bin(op, Box::new(lhs), Box::new(rhs))),
+                ));
+            }
+        }
+        if self.eat_punct("=") {
+            let rhs = self.assignment()?;
+            return Ok(Expr::Assign(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.logical_and()?;
+        while self.eat_punct("||") {
+            let r = self.logical_and()?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_or()?;
+        while self.eat_punct("&&") {
+            let r = self.bit_or()?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_xor()?;
+        while self.eat_punct("|") {
+            let r = self.bit_xor()?;
+            e = Expr::Bin(BinOp::BitOr, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_and()?;
+        while self.eat_punct("^") {
+            let r = self.bit_and()?;
+            e = Expr::Bin(BinOp::BitXor, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality()?;
+        while self.eat_punct("&") {
+            let r = self.equality()?;
+            e = Expr::Bin(BinOp::BitAnd, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.relational()?;
+        loop {
+            if self.eat_punct("==") {
+                let r = self.relational()?;
+                e = Expr::Bin(BinOp::Eq, Box::new(e), Box::new(r));
+            } else if self.eat_punct("!=") {
+                let r = self.relational()?;
+                e = Expr::Bin(BinOp::Ne, Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = if self.eat_punct("<=") {
+                BinOp::Le
+            } else if self.eat_punct(">=") {
+                BinOp::Ge
+            } else if self.eat_punct("<") {
+                BinOp::Lt
+            } else if self.eat_punct(">") {
+                BinOp::Gt
+            } else {
+                return Ok(e);
+            };
+            let r = self.shift()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = if self.eat_punct("<<") {
+                BinOp::Shl
+            } else if self.eat_punct(">>") {
+                BinOp::Shr
+            } else {
+                return Ok(e);
+            };
+            let r = self.additive()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                BinOp::Add
+            } else if self.eat_punct("-") {
+                BinOp::Sub
+            } else {
+                return Ok(e);
+            };
+            let r = self.multiplicative()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                BinOp::Mul
+            } else if self.eat_punct("/") {
+                BinOp::Div
+            } else if self.eat_punct("%") {
+                BinOp::Rem
+            } else {
+                return Ok(e);
+            };
+            let r = self.unary()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::Un(UnOp::BitNot, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("*") {
+            return Ok(Expr::Deref(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("&") {
+            return Ok(Expr::Addr(Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_punct("(") {
+                let Expr::Var(name) = e else {
+                    return self.err("only direct calls are supported");
+                };
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat_punct(")") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                e = Expr::Call(name, args);
+            } else if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if self.eat_punct("++") {
+                e = Expr::PostIncDec(Box::new(e), true);
+            } else if self.eat_punct("--") {
+                e = Expr::PostIncDec(Box::new(e), false);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Tok::Num(n) => Ok(Expr::Num(n)),
+            Tok::CharLit(c) => Ok(Expr::CharLit(c)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Ident(s) => Ok(Expr::Var(s)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            t => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(format!("expected expression, found {t}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_function() {
+        let p = parse("int main() { return 0; }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert_eq!(p.funcs[0].body, vec![Stmt::Return(Some(Expr::Num(0)))]);
+    }
+
+    #[test]
+    fn parse_params_and_pointers() {
+        let p = parse("int f(char *s, int n) { return n; }").unwrap();
+        assert_eq!(
+            p.funcs[0].params,
+            vec![
+                (Type::Ptr(Box::new(Type::Char)), "s".into()),
+                (Type::Int, "n".into())
+            ]
+        );
+        let p = parse("char **argv_handler(void) { return 0; }").unwrap();
+        assert_eq!(
+            p.funcs[0].ret,
+            Type::Ptr(Box::new(Type::Ptr(Box::new(Type::Char))))
+        );
+    }
+
+    #[test]
+    fn parse_globals() {
+        let p = parse(
+            "int counter = 5;\nchar buf[64];\nchar motd[] = \"hi\\n\";\nint zero;",
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 4);
+        assert_eq!(p.globals[0].init, GlobalInit::Num(5));
+        assert_eq!(p.globals[1].ty, Type::Array(Box::new(Type::Char), 64));
+        assert_eq!(p.globals[2].ty, Type::Array(Box::new(Type::Char), 4));
+        assert_eq!(p.globals[3].init, GlobalInit::Zero);
+    }
+
+    #[test]
+    fn parse_precedence() {
+        let p = parse("int f() { return 1 + 2 * 3 == 7 && 4 < 5; }").unwrap();
+        let Stmt::Return(Some(e)) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        // ((1 + (2*3)) == 7) && (4 < 5)
+        let Expr::Bin(BinOp::And, l, r) = e else { panic!("{e:?}") };
+        assert!(matches!(**l, Expr::Bin(BinOp::Eq, _, _)));
+        assert!(matches!(**r, Expr::Bin(BinOp::Lt, _, _)));
+    }
+
+    #[test]
+    fn parse_if_else_chain() {
+        let p = parse("int f(int x) { if (x == 1) return 1; else if (x == 2) return 2; else return 3; }")
+            .unwrap();
+        let Stmt::If { els, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(els[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parse_loops() {
+        let p = parse("int f() { int i; for (i = 0; i < 10; i++) { if (i == 5) break; } while (i) i--; return i; }").unwrap();
+        assert_eq!(p.funcs[0].body.len(), 4);
+        assert!(matches!(p.funcs[0].body[1], Stmt::For { .. }));
+        assert!(matches!(p.funcs[0].body[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parse_for_with_decl_init() {
+        let p = parse("int f() { for (int i = 0; i < 4; i++) ; return 0; }").unwrap();
+        let Stmt::For { init, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(init.as_deref(), Some(Stmt::Decl { .. })));
+    }
+
+    #[test]
+    fn parse_compound_assignment_desugars() {
+        let p = parse("int f(int x) { x += 2; return x; }").unwrap();
+        let Stmt::Expr(Expr::Assign(lhs, rhs)) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(**lhs, Expr::Var("x".into()));
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn parse_pointer_expressions() {
+        let p = parse("int f(char *p) { *p = 'x'; return p[1] + *(p + 2); }").unwrap();
+        assert!(matches!(
+            p.funcs[0].body[0],
+            Stmt::Expr(Expr::Assign(_, _))
+        ));
+    }
+
+    #[test]
+    fn parse_call_args() {
+        let p = parse("int f() { return g(1, h(2), \"s\"); }").unwrap();
+        let Stmt::Return(Some(Expr::Call(name, args))) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(name, "g");
+        assert_eq!(args.len(), 3);
+    }
+
+    #[test]
+    fn parse_prototypes_ignored() {
+        let p = parse("int strcmp(char *a, char *b);\nint main() { return 0; }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_have_lines() {
+        let e = parse("int main() {\n  return 0\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(parse("int main() { 1 + ; }").is_err());
+        assert!(parse("float f() { }").is_err());
+        assert!(parse("int a[0];").is_err());
+        assert!(parse("int main() {").is_err());
+    }
+
+    #[test]
+    fn parse_address_of_and_not() {
+        let p = parse("int f(int x) { int *p; p = &x; return !*p; }").unwrap();
+        assert_eq!(p.funcs[0].body.len(), 3);
+    }
+}

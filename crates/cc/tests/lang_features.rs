@@ -1,0 +1,284 @@
+//! End-to-end language-feature tests: compile mini-C programs and verify
+//! their behaviour on the simulated machine (exit codes via `_start`).
+
+use fisec_cc::build_image;
+use fisec_x86::{Machine, Memory, Perms, Reg32, Region, RunOutcome};
+
+/// Compile and run to the exit syscall; returns the exit code.
+fn run(src: &str) -> i32 {
+    let image = build_image(&[src]).expect("compiles");
+    let mut mem = Memory::new();
+    mem.map(Region::with_data(
+        "text",
+        image.text_base,
+        image.text.clone(),
+        Perms::RX,
+    ))
+    .unwrap();
+    if !image.data.is_empty() {
+        mem.map(Region::with_data(
+            "data",
+            image.data_base,
+            image.data.clone(),
+            Perms::RW,
+        ))
+        .unwrap();
+    }
+    mem.map(Region::zeroed("stack", 0xBFFE_0000, 0x2_0000, Perms::RW))
+        .unwrap();
+    let mut m = Machine::new(mem);
+    m.cpu.eip = image.func("_start").unwrap().start;
+    m.cpu.regs[Reg32::Esp as usize] = 0xBFFF_FFF0;
+    match m.run_until_event(10_000_000) {
+        RunOutcome::Syscall(0x80) => m.cpu.regs[3] as i32,
+        other => panic!("no clean exit: {other:?}"),
+    }
+}
+
+#[test]
+fn while_loop_and_compound_assign() {
+    assert_eq!(
+        run("int main() { int s; int i; s = 0; i = 1; while (i <= 10) { s += i; i++; } return s; }"),
+        55
+    );
+}
+
+#[test]
+fn for_loop_with_break_continue() {
+    assert_eq!(
+        run(
+            "int main() { int s; s = 0; for (int i = 0; i < 100; i++) { \
+             if (i % 2 == 0) { continue; } if (i > 10) { break; } s += i; } return s; }"
+        ),
+        1 + 3 + 5 + 7 + 9
+    );
+}
+
+#[test]
+fn nested_loops() {
+    assert_eq!(
+        run(
+            "int main() { int n; n = 0; for (int i = 0; i < 5; i++) \
+             for (int j = 0; j < 5; j++) if (i == j) n++; return n; }"
+        ),
+        5
+    );
+}
+
+#[test]
+fn pointers_and_address_of() {
+    assert_eq!(
+        run("int main() { int x; int *p; x = 5; p = &x; *p = *p + 2; return x; }"),
+        7
+    );
+}
+
+#[test]
+fn pointer_arithmetic_scales() {
+    assert_eq!(
+        run(
+            "int main() { int a[4]; int *p; a[0] = 10; a[1] = 20; a[2] = 30; \
+             p = a; p = p + 2; return *p; }"
+        ),
+        30
+    );
+    assert_eq!(
+        run(
+            "int main() { char s[4]; char *p; s[0] = 'x'; s[1] = 'y'; \
+             p = s; p = p + 1; return *p; }"
+        ),
+        b'y' as i32
+    );
+}
+
+#[test]
+fn pointer_difference() {
+    assert_eq!(
+        run("int main() { int a[8]; int *p; int *q; p = a; q = &a[5]; return q - p; }"),
+        5
+    );
+}
+
+#[test]
+fn arrays_and_indexing() {
+    assert_eq!(
+        run(
+            "int main() { int a[10]; int i; for (i = 0; i < 10; i++) a[i] = i * i; \
+             return a[7]; }"
+        ),
+        49
+    );
+}
+
+#[test]
+fn char_sign_extension() {
+    // char is signed: 0x80 must load as -128.
+    assert_eq!(
+        run("int main() { char c; c = 128; return c; }"),
+        -128
+    );
+}
+
+#[test]
+fn global_state_persists_across_calls() {
+    assert_eq!(
+        run(
+            "int counter; void bump() { counter++; } \
+             int main() { bump(); bump(); bump(); return counter; }"
+        ),
+        3
+    );
+}
+
+#[test]
+fn recursion_with_args() {
+    assert_eq!(
+        run("int ack(int m, int n) { if (m == 0) { return n + 1; } if (n == 0) { return ack(m - 1, 1); } return ack(m - 1, ack(m, n - 1)); } int main() { return ack(2, 3); }"),
+        9
+    );
+}
+
+#[test]
+fn post_increment_returns_old_value() {
+    assert_eq!(run("int main() { int i; i = 5; int j; j = i++; return j * 10 + i; }"), 56);
+    assert_eq!(run("int main() { int i; i = 5; int j; j = i--; return j * 10 + i; }"), 54);
+}
+
+#[test]
+fn post_increment_on_pointers_steps_by_size() {
+    assert_eq!(
+        run(
+            "int main() { int a[3]; int *p; a[0] = 1; a[1] = 2; a[2] = 3; \
+             p = a; p++; p++; return *p; }"
+        ),
+        3
+    );
+}
+
+#[test]
+fn short_circuit_skips_side_effects() {
+    assert_eq!(
+        run(
+            "int hits; int bump() { hits++; return 1; } \
+             int main() { int r; r = 0 && bump(); r = 1 || bump(); return hits; }"
+        ),
+        0
+    );
+    assert_eq!(
+        run(
+            "int hits; int bump() { hits++; return 1; } \
+             int main() { int r; r = 1 && bump(); r = 0 || bump(); return hits; }"
+        ),
+        2
+    );
+}
+
+#[test]
+fn string_literals_are_addressable() {
+    assert_eq!(
+        run("int main() { char *s; s = \"hello\"; return s[1]; }"),
+        b'e' as i32
+    );
+    assert_eq!(run("int main() { return strlen(\"hello world\"); }"), 11);
+}
+
+#[test]
+fn assignment_is_an_expression() {
+    assert_eq!(
+        run("int main() { int a; int b; a = b = 21; return a + b; }"),
+        42
+    );
+}
+
+#[test]
+fn else_if_chains() {
+    let prog = |x: i32| {
+        format!(
+            "int classify(int x) {{ if (x < 0) {{ return 1; }} else if (x == 0) \
+             {{ return 2; }} else if (x < 10) {{ return 3; }} else {{ return 4; }} }} \
+             int main() {{ return classify({x}); }}"
+        )
+    };
+    assert_eq!(run(&prog(-5)), 1);
+    assert_eq!(run(&prog(0)), 2);
+    assert_eq!(run(&prog(5)), 3);
+    assert_eq!(run(&prog(50)), 4);
+}
+
+#[test]
+fn comparisons_are_signed() {
+    assert_eq!(run("int main() { int a; a = -1; if (a < 1) { return 1; } return 0; }"), 1);
+}
+
+#[test]
+fn division_follows_c_truncation() {
+    assert_eq!(run("int main() { return -7 / 2; }"), -3);
+    assert_eq!(run("int main() { return -7 % 2; }"), -1);
+    assert_eq!(run("int main() { return 7 / -2; }"), -3);
+}
+
+#[test]
+fn global_char_arrays_with_string_init() {
+    assert_eq!(
+        run("char msg[] = \"abc\"; int main() { return msg[0] + msg[2] - 2 * 'a'; }"),
+        (b'a' + b'c' - 2 * b'a') as i32
+    );
+}
+
+#[test]
+fn shadowing_in_nested_blocks() {
+    assert_eq!(
+        run(
+            "int main() { int x; x = 1; { int x; x = 2; { int x; x = 3; } } return x; }"
+        ),
+        1
+    );
+}
+
+#[test]
+fn char_pointer_write_through() {
+    assert_eq!(
+        run(
+            "int main() { char buf[4]; char *p; p = buf; *p = 'A'; p[1] = 'B'; \
+             return buf[0] * 1000 + buf[1]; }"
+        ),
+        (b'A' as i32) * 1000 + b'B' as i32
+    );
+}
+
+#[test]
+fn mixed_char_int_arithmetic() {
+    assert_eq!(
+        run("int main() { char c; int i; c = 'z'; i = c - 'a'; return i; }"),
+        25
+    );
+}
+
+#[test]
+fn hex_literals_and_bitops() {
+    assert_eq!(
+        run("int main() { return (0xF0 | 0x0F) ^ 0xFF; }"),
+        0
+    );
+    assert_eq!(run("int main() { return 0x2000; }"), 8192);
+}
+
+#[test]
+fn deep_expression_stack_discipline() {
+    // Exercises the push/pop expression stack across nesting.
+    assert_eq!(
+        run("int main() { return ((1+2)*(3+4) - (5-6)*(7+8)) / 2; }"),
+        (21 + 15) / 2
+    );
+}
+
+#[test]
+fn function_results_feed_arguments() {
+    assert_eq!(
+        run(
+            "int twice(int x) { return 2 * x; } int inc(int x) { return x + 1; } \
+             int main() { return twice(inc(twice(5))); }"
+        ),
+        22
+    );
+}

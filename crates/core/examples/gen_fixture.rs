@@ -1,0 +1,12 @@
+//! Regenerate the snapshot fixture (run after intentional behaviour
+//! changes): cargo run --release -p fisec-core --example gen_fixture
+use fisec_apps::AppSpec;
+use fisec_core::{run_campaign, CampaignConfig, CampaignSummary};
+
+fn main() {
+    let mut app = AppSpec::ftpd();
+    app.auth_funcs = vec!["pass"];
+    app.clients.truncate(2);
+    let r = run_campaign(&app, &CampaignConfig::default());
+    println!("{}", CampaignSummary::from(&r).to_json());
+}

@@ -1,0 +1,325 @@
+//! `fisec` — command-line driver for the DSN'01 reproduction.
+//!
+//! ```text
+//! fisec table1  [--app ftpd|sshd|both] [--threads N] [--json]
+//! fisec table3  [--app ...]
+//! fisec table5  [--app ...]
+//! fisec figure4 [--app ftpd] [--client N]
+//! fisec random  [--runs N] [--seed S] [--new-encoding]
+//! fisec load    [--samples N] [--seed S]
+//! fisec targets [--app ...]
+//! fisec disasm  --app ftpd [--func pass]
+//! fisec breakins [--app ...]
+//! fisec forensics [--app ftpd] [--top K]
+//! ```
+
+use fisec_apps::AppSpec;
+use fisec_core::{
+    figure4, load, random, run_campaign, tables, CampaignConfig, CampaignSummary, EncodingScheme,
+};
+use fisec_inject::{crash_forensics, enumerate_targets, golden_run, run_injection, OutcomeClass};
+use std::process::ExitCode;
+
+struct Args {
+    cmd: String,
+    app: String,
+    func: Option<String>,
+    client: usize,
+    runs: usize,
+    samples: usize,
+    seed: u64,
+    threads: Option<usize>,
+    top: usize,
+    json: bool,
+    new_encoding: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().ok_or_else(usage)?;
+    let mut a = Args {
+        cmd,
+        app: "both".into(),
+        func: None,
+        client: 1,
+        runs: 3000,
+        samples: 200,
+        seed: 2001,
+        threads: None,
+        top: 3,
+        json: false,
+        new_encoding: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            argv.next().ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--app" => a.app = val("--app")?,
+            "--func" => a.func = Some(val("--func")?),
+            "--client" => a.client = val("--client")?.parse().map_err(|e| format!("{e}"))?,
+            "--runs" => a.runs = val("--runs")?.parse().map_err(|e| format!("{e}"))?,
+            "--samples" => a.samples = val("--samples")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => a.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                a.threads = Some(val("--threads")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--top" => a.top = val("--top")?.parse().map_err(|e| format!("{e}"))?,
+            "--json" => a.json = true,
+            "--new-encoding" => a.new_encoding = true,
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(a)
+}
+
+fn usage() -> String {
+    "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|forensics|ablation> [flags]\n\
+     flags: --app ftpd|sshd|both  --func NAME  --client N  --runs N  --samples N\n\
+            --seed S  --threads N  --top K  --json  --new-encoding"
+        .to_string()
+}
+
+fn apps_for(name: &str) -> Result<Vec<AppSpec>, String> {
+    match name {
+        "ftpd" => Ok(vec![AppSpec::ftpd()]),
+        "sshd" => Ok(vec![AppSpec::sshd()]),
+        "both" => Ok(vec![AppSpec::ftpd(), AppSpec::sshd()]),
+        other => Err(format!("unknown app `{other}` (use ftpd, sshd or both)")),
+    }
+}
+
+fn cfg_of(a: &Args, scheme: EncodingScheme) -> CampaignConfig {
+    let mut cfg = CampaignConfig {
+        scheme,
+        ..CampaignConfig::default()
+    };
+    if let Some(t) = a.threads {
+        cfg.threads = t;
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(args: &Args) -> Result<(), String> {
+    match args.cmd.as_str() {
+        "table1" | "table3" => {
+            let apps = apps_for(&args.app)?;
+            let scheme = if args.new_encoding {
+                EncodingScheme::NewEncoding
+            } else {
+                EncodingScheme::Baseline
+            };
+            let cfg = cfg_of(args, scheme);
+            let results: Vec<_> = apps.iter().map(|a| run_campaign(a, &cfg)).collect();
+            let refs: Vec<_> = results.iter().collect();
+            if args.json {
+                for r in &results {
+                    println!("{}", CampaignSummary::from(r).to_json());
+                }
+            } else if args.cmd == "table1" {
+                println!("{}", tables::render_table1(&refs));
+            } else {
+                println!("{}", tables::render_table2());
+                println!("{}", tables::render_table3(&refs));
+            }
+        }
+        "table5" => {
+            let apps = apps_for(&args.app)?;
+            let base_cfg = cfg_of(args, EncodingScheme::Baseline);
+            let new_cfg = cfg_of(args, EncodingScheme::NewEncoding);
+            let base: Vec<_> = apps.iter().map(|a| run_campaign(a, &base_cfg)).collect();
+            let new: Vec<_> = apps.iter().map(|a| run_campaign(a, &new_cfg)).collect();
+            if args.json {
+                for r in base.iter().chain(&new) {
+                    println!("{}", CampaignSummary::from(r).to_json());
+                }
+            } else {
+                println!("{}", fisec_encoding::render_table4());
+                let b: Vec<_> = base.iter().collect();
+                let n: Vec<_> = new.iter().collect();
+                println!("{}", tables::render_table5(&b, &n));
+            }
+        }
+        "figure4" => {
+            let apps = apps_for(if args.app == "both" { "ftpd" } else { &args.app })?;
+            let app = &apps[0];
+            let cfg = cfg_of(args, EncodingScheme::Baseline);
+            let result = run_campaign(app, &cfg);
+            let idx = args.client.saturating_sub(1).min(result.clients.len() - 1);
+            let c = &result.clients[idx];
+            let h = figure4::histogram(&c.crash_latencies);
+            if args.json {
+                println!("{}", serde_json::to_string_pretty(&h).map_err(|e| e.to_string())?);
+            } else {
+                println!("{}", figure4::render(&h));
+                println!(
+                    "transient deviations before crash: {} of {}",
+                    c.transient_deviations,
+                    c.crash_latencies.len()
+                );
+            }
+        }
+        "random" => {
+            let apps = apps_for(if args.app == "both" { "ftpd" } else { &args.app })?;
+            let scheme = if args.new_encoding {
+                EncodingScheme::NewEncoding
+            } else {
+                EncodingScheme::Baseline
+            };
+            let r = random::run_random_campaign_scheme(&apps[0], args.runs, args.seed, scheme);
+            if args.json {
+                println!("{}", serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?);
+            } else {
+                println!(
+                    "runs {}  no-effect {}  SD {}  FSV {}  BRK {}",
+                    r.runs, r.no_effect, r.sd, r.fsv, r.brk
+                );
+                match r.errors_per_breakin() {
+                    Some(n) => println!("about one out of {n:.0} errors causes a security violation"),
+                    None => println!("no break-in in this sample"),
+                }
+            }
+        }
+        "load" => {
+            let apps = apps_for(if args.app == "both" { "ftpd" } else { &args.app })?;
+            let r = load::run_load_study(&apps[0], args.samples, args.seed);
+            if args.json {
+                println!("{}", serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?);
+            } else {
+                println!("{}", load::render(&r));
+            }
+        }
+        "targets" => {
+            for app in apps_for(&args.app)? {
+                let set = enumerate_targets(&app.image, &app.auth_funcs, false);
+                println!(
+                    "{}: {} branch instructions ({} conditional), {} injection runs per client, auth = {:.1}% of text",
+                    app.name,
+                    set.instructions,
+                    set.cond_branches,
+                    set.runs(),
+                    app.image.text_fraction(&app.auth_funcs) * 100.0
+                );
+            }
+        }
+        "disasm" => {
+            let apps = apps_for(if args.app == "both" { "ftpd" } else { &args.app })?;
+            let app = &apps[0];
+            let funcs: Vec<String> = match &args.func {
+                Some(f) => vec![f.clone()],
+                None => app.auth_funcs.iter().map(|s| s.to_string()).collect(),
+            };
+            for name in funcs {
+                let f = app
+                    .image
+                    .func(&name)
+                    .ok_or(format!("no function `{name}` in {}", app.name))?
+                    .clone();
+                println!("{:08x} <{}>:", f.start, f.name);
+                let start = (f.start - app.image.text_base) as usize;
+                let end = (f.end - app.image.text_base) as usize;
+                for line in fisec_x86::disassemble(&app.image.text[start..end], f.start) {
+                    println!("{line}");
+                }
+                println!();
+            }
+        }
+        "breakins" => {
+            for app in apps_for(&args.app)? {
+                let client = &app.clients[0];
+                let golden = golden_run(&app.image, client).map_err(|e| e.to_string())?;
+                let set = enumerate_targets(&app.image, &app.auth_funcs, true);
+                println!("{} ({}):", app.name, client.name);
+                for t in set
+                    .targets
+                    .iter()
+                    .filter(|t| t.byte_index == 0 || (t.first_byte == 0x0F && t.byte_index == 1))
+                {
+                    let r = run_injection(&app.image, client, &golden, t, EncodingScheme::Baseline)
+                        .map_err(|e| e.to_string())?;
+                    if r.outcome == OutcomeClass::Breakin {
+                        let off = (t.addr - app.image.text_base) as usize;
+                        let before = fisec_x86::decode(&app.image.text[off..off + 8]);
+                        let mut bytes = app.image.text[off..off + 8].to_vec();
+                        bytes[t.byte_index as usize] ^= 1 << t.bit;
+                        let after = fisec_x86::decode(&bytes);
+                        println!(
+                            "  {:08x}: {}  ->  {}  (bit {} of byte {})",
+                            t.addr,
+                            fisec_x86::fmt_att(&before, t.addr),
+                            fisec_x86::fmt_att(&after, t.addr),
+                            t.bit,
+                            t.byte_index
+                        );
+                    }
+                }
+            }
+        }
+        "ablation" => {
+            let cfg = cfg_of(args, EncodingScheme::Baseline);
+            println!("== entry points (sshd, Client1) ==");
+            let ep = fisec_core::ablation::entry_points_study(&cfg);
+            println!("{}", fisec_core::ablation::render_entry_points(&ep));
+            println!("== sampling vs exhaustive (ftpd, Client1) ==");
+            let mut ftpd = AppSpec::ftpd();
+            ftpd.clients.truncate(1);
+            let result = run_campaign(&ftpd, &cfg);
+            let (truth, rows) = fisec_core::ablation::sampling_study(
+                &result,
+                0,
+                &[50, 200, 500, result.runs_per_client],
+                500,
+                args.seed,
+            );
+            println!("{}", fisec_core::ablation::render_sampling(truth, &rows));
+        }
+        "forensics" => {
+            let apps = apps_for(if args.app == "both" { "ftpd" } else { &args.app })?;
+            let app = &apps[0];
+            let client = &app.clients[0];
+            let set = enumerate_targets(&app.image, &app.auth_funcs, false);
+            // Collect crash reports and show the longest transient windows.
+            let mut reports = Vec::new();
+            for t in &set.targets {
+                if t.bit % 4 != 0 {
+                    continue; // sample every 4th bit for speed
+                }
+                if let Some(r) = crash_forensics(&app.image, client, t, EncodingScheme::Baseline)
+                    .map_err(|e| e.to_string())?
+                {
+                    reports.push((t.addr, r));
+                }
+            }
+            reports.sort_by_key(|(_, r)| std::cmp::Reverse(r.latency));
+            println!(
+                "{} crashes sampled; {} longest transient windows:",
+                reports.len(),
+                args.top
+            );
+            for (addr, r) in reports.iter().take(args.top) {
+                println!("\ninjected at {addr:#010x}:");
+                print!("{r}");
+            }
+        }
+        other => return Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+    Ok(())
+}

@@ -1,0 +1,261 @@
+//! Selective exhaustive injection campaigns (paper §4/§5).
+
+use crate::counts::{LocationCounts, OutcomeCounts};
+use fisec_apps::AppSpec;
+use fisec_encoding::EncodingScheme;
+use fisec_inject::{
+    enumerate_targets, golden_run, run_injection, GoldenRun, InjectionTarget, OutcomeClass,
+};
+use serde::{Deserialize, Serialize};
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Restrict to conditional branches only (`true` drops the MISC
+    /// control-transfer instructions from the target set).
+    pub cond_branches_only: bool,
+    /// Encoding under test.
+    pub scheme: EncodingScheme,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            cond_branches_only: false,
+            scheme: EncodingScheme::Baseline,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// One injection run's record (kept for breakdowns and Figure 4).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Target instruction address.
+    pub addr: u32,
+    /// Byte within the instruction.
+    pub byte_index: u8,
+    /// Bit within the byte.
+    pub bit: u8,
+    /// Classified outcome.
+    pub outcome_abbrev: char,
+    /// Location class abbreviation index (Table 2 order).
+    pub location_index: u8,
+    /// Crash latency in instructions, when the run crashed.
+    pub crash_latency: Option<u64>,
+    /// Crash runs whose pre-crash traffic deviated from golden.
+    pub transient_deviation: bool,
+}
+
+/// Per-client campaign result (one column of Tables 1/3/5).
+#[derive(Debug, Clone)]
+pub struct ClientCampaign {
+    /// Client name ("Client1"...).
+    pub client: String,
+    /// Whether the golden run denies this client.
+    pub golden_denied: bool,
+    /// Golden run.
+    pub golden: GoldenRun,
+    /// Outcome tallies.
+    pub counts: OutcomeCounts,
+    /// Location tallies over the BRK∪FSV runs (Table 3).
+    pub brkfsv_by_location: LocationCounts,
+    /// Crash latencies (instructions between activation and crash).
+    pub crash_latencies: Vec<u64>,
+    /// Crash runs with pre-crash traffic deviation (transient window).
+    pub transient_deviations: usize,
+    /// Full per-run records.
+    pub records: Vec<RunRecord>,
+}
+
+/// Campaign result for one application under one encoding.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Application name ("ftpd"/"sshd").
+    pub app: String,
+    /// Encoding under test.
+    pub scheme: EncodingScheme,
+    /// Number of targeted instructions.
+    pub instructions: usize,
+    /// Conditional branches among them.
+    pub cond_branches: usize,
+    /// Runs per client (= target bits).
+    pub runs_per_client: usize,
+    /// Per-client results in paper order.
+    pub clients: Vec<ClientCampaign>,
+}
+
+impl CampaignResult {
+    /// Sum of BRK over all clients.
+    pub fn total_brk(&self) -> usize {
+        self.clients.iter().map(|c| c.counts.brk).sum()
+    }
+
+    /// Sum of FSV over all clients.
+    pub fn total_fsv(&self) -> usize {
+        self.clients.iter().map(|c| c.counts.fsv).sum()
+    }
+}
+
+/// Run the full selective-exhaustive campaign for `app`.
+///
+/// # Panics
+/// Panics if the image cannot be loaded (a programming error: the same
+/// image already ran its golden sessions).
+pub fn run_campaign(app: &AppSpec, cfg: &CampaignConfig) -> CampaignResult {
+    let set = enumerate_targets(&app.image, &app.auth_funcs, cfg.cond_branches_only);
+    let mut clients = Vec::with_capacity(app.clients.len());
+    for spec in &app.clients {
+        let golden = golden_run(&app.image, spec).expect("image loads");
+        let records = run_targets(app, spec, &golden, &set.targets, cfg);
+        let mut cc = ClientCampaign {
+            client: spec.name.clone(),
+            golden_denied: spec.golden_denied,
+            golden,
+            counts: OutcomeCounts::default(),
+            brkfsv_by_location: LocationCounts::default(),
+            crash_latencies: Vec::new(),
+            transient_deviations: 0,
+            records: Vec::new(),
+        };
+        for (target, run) in set.targets.iter().zip(&records) {
+            cc.counts.add(run.outcome);
+            if matches!(
+                run.outcome,
+                OutcomeClass::Breakin | OutcomeClass::FailSilenceViolation
+            ) {
+                cc.brkfsv_by_location.add(target.location);
+            }
+            if let Some(lat) = run.crash_latency {
+                cc.crash_latencies.push(lat);
+            }
+            if run.transient_deviation {
+                cc.transient_deviations += 1;
+            }
+            cc.records.push(RunRecord {
+                addr: target.addr,
+                byte_index: target.byte_index,
+                bit: target.bit,
+                outcome_abbrev: match run.outcome {
+                    OutcomeClass::NotActivated => 'N',
+                    OutcomeClass::NotManifested => 'M',
+                    OutcomeClass::SystemDetection => 'S',
+                    OutcomeClass::FailSilenceViolation => 'F',
+                    OutcomeClass::Breakin => 'B',
+                },
+                location_index: fisec_inject::ErrorLocation::ALL
+                    .iter()
+                    .position(|l| *l == target.location)
+                    .unwrap_or(5) as u8,
+                crash_latency: run.crash_latency,
+                transient_deviation: run.transient_deviation,
+            });
+        }
+        clients.push(cc);
+    }
+    CampaignResult {
+        app: app.name.to_string(),
+        scheme: cfg.scheme,
+        instructions: set.instructions,
+        cond_branches: set.cond_branches,
+        runs_per_client: set.targets.len(),
+        clients,
+    }
+}
+
+/// Execute all targets for one client, optionally sharded over threads.
+fn run_targets(
+    app: &AppSpec,
+    spec: &fisec_apps::ClientSpec,
+    golden: &GoldenRun,
+    targets: &[InjectionTarget],
+    cfg: &CampaignConfig,
+) -> Vec<fisec_inject::InjectionRun> {
+    let threads = cfg.threads.max(1);
+    if threads == 1 || targets.len() < 64 {
+        return targets
+            .iter()
+            .map(|t| {
+                run_injection(&app.image, spec, golden, t, cfg.scheme).expect("image loads")
+            })
+            .collect();
+    }
+    let chunk = targets.len().div_ceil(threads);
+    let mut out: Vec<Vec<fisec_inject::InjectionRun>> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for shard in targets.chunks(chunk) {
+            handles.push(s.spawn(move || {
+                shard
+                    .iter()
+                    .map(|t| {
+                        run_injection(&app.image, spec, golden, t, cfg.scheme)
+                            .expect("image loads")
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            out.push(h.join().expect("worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisec_apps::AppSpec;
+
+    /// A cut-down campaign over a few targets to keep test time sane;
+    /// the full campaigns run in the bench harness.
+    #[test]
+    fn mini_campaign_classifies_and_tallies() {
+        let app = AppSpec::ftpd();
+        let set = enumerate_targets(&app.image, &["pass"], true);
+        // Take the first 3 instructions' worth of opcode bits only.
+        let targets: Vec<_> = set
+            .targets
+            .iter()
+            .filter(|t| t.byte_index == 0)
+            .take(24)
+            .copied()
+            .collect();
+        let spec = &app.clients[0]; // Client1 (attack)
+        let golden = golden_run(&app.image, spec).unwrap();
+        let cfg = CampaignConfig::default();
+        let runs = run_targets(&app, spec, &golden, &targets, &cfg);
+        assert_eq!(runs.len(), 24);
+        let mut counts = OutcomeCounts::default();
+        for r in &runs {
+            counts.add(r.outcome);
+        }
+        assert_eq!(counts.total(), 24);
+        // Opcode-bit flips on a hot path must manifest somehow.
+        assert!(counts.activated() > 0);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let app = AppSpec::ftpd();
+        let set = enumerate_targets(&app.image, &["pass"], true);
+        let targets: Vec<_> = set.targets.iter().take(80).copied().collect();
+        let spec = &app.clients[0];
+        let golden = golden_run(&app.image, spec).unwrap();
+        let seq_cfg = CampaignConfig {
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let par_cfg = CampaignConfig {
+            threads: 4,
+            ..CampaignConfig::default()
+        };
+        let a = run_targets(&app, spec, &golden, &targets, &seq_cfg);
+        let b = run_targets(&app, spec, &golden, &targets, &par_cfg);
+        let oa: Vec<_> = a.iter().map(|r| r.outcome).collect();
+        let ob: Vec<_> = b.iter().map(|r| r.outcome).collect();
+        assert_eq!(oa, ob);
+    }
+}

@@ -1,0 +1,209 @@
+//! Outcome and location tallies.
+
+use fisec_inject::{ErrorLocation, OutcomeClass};
+use serde::{Deserialize, Serialize};
+
+/// Tally of the five outcome classes (one Table 1 column).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Not activated.
+    pub na: usize,
+    /// Activated but not manifested.
+    pub nm: usize,
+    /// System detection (crash).
+    pub sd: usize,
+    /// Fail-silence violation.
+    pub fsv: usize,
+    /// Security break-in.
+    pub brk: usize,
+}
+
+impl OutcomeCounts {
+    /// Record one outcome.
+    pub fn add(&mut self, o: OutcomeClass) {
+        match o {
+            OutcomeClass::NotActivated => self.na += 1,
+            OutcomeClass::NotManifested => self.nm += 1,
+            OutcomeClass::SystemDetection => self.sd += 1,
+            OutcomeClass::FailSilenceViolation => self.fsv += 1,
+            OutcomeClass::Breakin => self.brk += 1,
+        }
+    }
+
+    /// Count for one class.
+    pub fn get(&self, o: OutcomeClass) -> usize {
+        match o {
+            OutcomeClass::NotActivated => self.na,
+            OutcomeClass::NotManifested => self.nm,
+            OutcomeClass::SystemDetection => self.sd,
+            OutcomeClass::FailSilenceViolation => self.fsv,
+            OutcomeClass::Breakin => self.brk,
+        }
+    }
+
+    /// Number of activated errors (everything but NA).
+    pub fn activated(&self) -> usize {
+        self.nm + self.sd + self.fsv + self.brk
+    }
+
+    /// Total runs.
+    pub fn total(&self) -> usize {
+        self.na + self.activated()
+    }
+
+    /// A class count as a percentage of activated errors (the paper's
+    /// right-hand columns). `None` for NA (the paper prints a dash).
+    pub fn pct_of_activated(&self, o: OutcomeClass) -> Option<f64> {
+        if o == OutcomeClass::NotActivated {
+            return None;
+        }
+        let act = self.activated();
+        if act == 0 {
+            return Some(0.0);
+        }
+        Some(self.get(o) as f64 * 100.0 / act as f64)
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        self.na += other.na;
+        self.nm += other.nm;
+        self.sd += other.sd;
+        self.fsv += other.fsv;
+        self.brk += other.brk;
+    }
+}
+
+/// Tally by error location (one Table 3 column; BRK∪FSV runs only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocationCounts {
+    /// 2BC.
+    pub c2bc: usize,
+    /// 2BO.
+    pub c2bo: usize,
+    /// 6BC1.
+    pub c6bc1: usize,
+    /// 6BC2.
+    pub c6bc2: usize,
+    /// 6BO.
+    pub c6bo: usize,
+    /// MISC.
+    pub misc: usize,
+}
+
+impl LocationCounts {
+    /// Record one location.
+    pub fn add(&mut self, l: ErrorLocation) {
+        match l {
+            ErrorLocation::TwoByteCondOpcode => self.c2bc += 1,
+            ErrorLocation::TwoByteCondOperand => self.c2bo += 1,
+            ErrorLocation::SixByteCond1 => self.c6bc1 += 1,
+            ErrorLocation::SixByteCond2 => self.c6bc2 += 1,
+            ErrorLocation::SixByteCondOperand => self.c6bo += 1,
+            ErrorLocation::Misc => self.misc += 1,
+        }
+    }
+
+    /// Count for one location.
+    pub fn get(&self, l: ErrorLocation) -> usize {
+        match l {
+            ErrorLocation::TwoByteCondOpcode => self.c2bc,
+            ErrorLocation::TwoByteCondOperand => self.c2bo,
+            ErrorLocation::SixByteCond1 => self.c6bc1,
+            ErrorLocation::SixByteCond2 => self.c6bc2,
+            ErrorLocation::SixByteCondOperand => self.c6bo,
+            ErrorLocation::Misc => self.misc,
+        }
+    }
+
+    /// Total tallied cases.
+    pub fn total(&self) -> usize {
+        self.c2bc + self.c2bo + self.c6bc1 + self.c6bc2 + self.c6bo + self.misc
+    }
+
+    /// One location as a percentage of the total. 0 when empty.
+    pub fn pct(&self, l: ErrorLocation) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.get(l) as f64 * 100.0 / t as f64
+        }
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &LocationCounts) {
+        self.c2bc += other.c2bc;
+        self.c2bo += other.c2bo;
+        self.c6bc1 += other.c6bc1;
+        self.c6bc2 += other.c6bc2;
+        self.c6bo += other.c6bo;
+        self.misc += other.misc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_counts_roundtrip() {
+        let mut c = OutcomeCounts::default();
+        for o in OutcomeClass::ALL {
+            c.add(o);
+            assert_eq!(c.get(o), 1);
+        }
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.activated(), 4);
+        assert_eq!(c.pct_of_activated(OutcomeClass::NotActivated), None);
+        assert_eq!(
+            c.pct_of_activated(OutcomeClass::Breakin),
+            Some(25.0)
+        );
+    }
+
+    #[test]
+    fn zero_activated_is_zero_pct() {
+        let mut c = OutcomeCounts::default();
+        c.add(OutcomeClass::NotActivated);
+        assert_eq!(c.pct_of_activated(OutcomeClass::Breakin), Some(0.0));
+    }
+
+    #[test]
+    fn location_counts_roundtrip() {
+        let mut c = LocationCounts::default();
+        for l in ErrorLocation::ALL {
+            c.add(l);
+            assert_eq!(c.get(l), 1);
+        }
+        assert_eq!(c.total(), 6);
+        assert!((c.pct(ErrorLocation::Misc) - 100.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = OutcomeCounts::default();
+        a.add(OutcomeClass::Breakin);
+        let mut b = OutcomeCounts::default();
+        b.add(OutcomeClass::Breakin);
+        b.add(OutcomeClass::NotActivated);
+        a.merge(&b);
+        assert_eq!(a.brk, 2);
+        assert_eq!(a.na, 1);
+        let mut la = LocationCounts::default();
+        la.add(ErrorLocation::Misc);
+        let mut lb = LocationCounts::default();
+        lb.add(ErrorLocation::Misc);
+        la.merge(&lb);
+        assert_eq!(la.misc, 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut c = OutcomeCounts::default();
+        c.add(OutcomeClass::SystemDetection);
+        let s = serde_json::to_string(&c).unwrap();
+        let back: OutcomeCounts = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,170 @@
+//! Extension experiment (the paper's §7 future work: "exploring error
+//! propagation and its impact on system security"): single-bit errors in
+//! the **data segment** rather than the text segment.
+//!
+//! Data errors hit the account database, the stored password hashes, the
+//! session state and — most interestingly — configuration flags like the
+//! sshd mechanism switches. The campaign enumerates every bit of every
+//! named data symbol, injects it as a latent error (present from process
+//! start, like a stuck memory cell), runs the attack client, and
+//! classifies the outcome with the same golden-run comparison as the
+//! text campaigns.
+
+use crate::counts::OutcomeCounts;
+use fisec_apps::AppSpec;
+use fisec_inject::{classify_run, golden_run, OutcomeClass};
+use fisec_os::run_session;
+use serde::{Deserialize, Serialize};
+
+/// Per-symbol tallies of a data-segment campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolOutcome {
+    /// Data symbol name.
+    pub symbol: String,
+    /// Bits injected (= 8 × symbol length).
+    pub bits: usize,
+    /// Outcome tallies (NA means "indistinguishable from golden" here:
+    /// with latent errors there is no activation breakpoint).
+    pub counts: OutcomeCounts,
+}
+
+/// Result of the data-segment campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataCampaignResult {
+    /// Application name.
+    pub app: String,
+    /// Client used (the attack pattern).
+    pub client: String,
+    /// Per-symbol breakdown, ordered by break-in count (then FSV).
+    pub symbols: Vec<SymbolOutcome>,
+}
+
+impl DataCampaignResult {
+    /// Total runs.
+    pub fn runs(&self) -> usize {
+        self.symbols.iter().map(|s| s.bits).sum()
+    }
+
+    /// Total break-ins.
+    pub fn total_brk(&self) -> usize {
+        self.symbols.iter().map(|s| s.counts.brk).sum()
+    }
+
+    /// Symbols whose corruption can break authentication.
+    pub fn vulnerable_symbols(&self) -> Vec<&str> {
+        self.symbols
+            .iter()
+            .filter(|s| s.counts.brk > 0)
+            .map(|s| s.symbol.as_str())
+            .collect()
+    }
+}
+
+/// Exhaustively inject every bit of every named data symbol (skipping
+/// symbols longer than `max_symbol_len` bytes to keep buffers like the
+/// audit scratch space from dominating the run count).
+pub fn run_data_campaign(app: &AppSpec, max_symbol_len: u32) -> DataCampaignResult {
+    let spec = &app.clients[0];
+    let golden = golden_run(&app.image, spec).expect("image loads");
+    let budget = (golden.icount * 8).max(400_000);
+    let mut symbols = Vec::new();
+    for sym in &app.image.symbols.data {
+        if sym.len == 0 || sym.len > max_symbol_len {
+            continue;
+        }
+        let mut counts = OutcomeCounts::default();
+        let base = (sym.addr - app.image.data_base) as usize;
+        for byte in 0..sym.len as usize {
+            for bit in 0..8u8 {
+                let mut corrupted = app.image.clone();
+                corrupted.data[base + byte] ^= 1 << bit;
+                let r = run_session(&corrupted, spec.make(), budget).expect("image loads");
+                let run = classify_run(&golden, r.stop, r.client, r.trace, None);
+                // Latent data errors have no activation marker; fold
+                // "identical to golden" into NA for reporting.
+                if run.outcome == OutcomeClass::NotManifested {
+                    counts.add(OutcomeClass::NotActivated);
+                } else {
+                    counts.add(run.outcome);
+                }
+            }
+        }
+        symbols.push(SymbolOutcome {
+            symbol: sym.name.clone(),
+            bits: sym.len as usize * 8,
+            counts,
+        });
+    }
+    symbols.sort_by(|a, b| {
+        (b.counts.brk, b.counts.fsv).cmp(&(a.counts.brk, a.counts.fsv))
+    });
+    DataCampaignResult {
+        app: app.name.to_string(),
+        client: spec.name.clone(),
+        symbols,
+    }
+}
+
+/// Render the campaign as a table (symbols with any manifestation).
+pub fn render(r: &DataCampaignResult) -> String {
+    let mut out = format!(
+        "data-segment single-bit errors, {} {} attacking\n\
+         {:<20} {:>6} {:>8} {:>6} {:>6} {:>6}\n",
+        r.app, r.client, "symbol", "bits", "silent", "SD", "FSV", "BRK"
+    );
+    for s in &r.symbols {
+        if s.counts.activated() == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<20} {:>6} {:>8} {:>6} {:>6} {:>6}\n",
+            s.symbol, s.bits, s.counts.na, s.counts.sd, s.counts.fsv, s.counts.brk
+        ));
+    }
+    out.push_str(&format!(
+        "total: {} runs, {} break-ins (vulnerable symbols: {})\n",
+        r.runs(),
+        r.total_brk(),
+        r.vulnerable_symbols().join(", ")
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisec_apps::AppSpec;
+
+    /// Focused campaign over the sshd config flags: flipping the low bit
+    /// of a zeroed mechanism switch re-enables dead code, and corrupting
+    /// stored account state must never help the attacker log in.
+    #[test]
+    fn sshd_config_flags_are_data_attack_surface() {
+        let mut app = AppSpec::sshd();
+        app.clients.truncate(1);
+        // Keep it quick: only small symbols (flags, small strings).
+        let r = run_data_campaign(&app, 12);
+        assert!(r.runs() > 0);
+        // Outcome partition sanity.
+        for s in &r.symbols {
+            assert_eq!(s.counts.total(), s.bits);
+        }
+        // The stored expected-hash and account names may cause FSV
+        // (wrongful denials of *other* runs) but not break-ins for a
+        // wrong-password attacker; a break-in could only come from state
+        // that bypasses the comparison. Whatever happens, BRK must be
+        // rare and the report must render.
+        let rendered = render(&r);
+        assert!(rendered.contains("total:"));
+    }
+
+    #[test]
+    fn ftpd_data_errors_classify_cleanly() {
+        let mut app = AppSpec::ftpd();
+        app.clients.truncate(1);
+        let r = run_data_campaign(&app, 8);
+        assert!(r.runs() >= 8 * 8);
+        let again = run_data_campaign(&app, 8);
+        assert_eq!(r, again, "data campaign must be deterministic");
+    }
+}

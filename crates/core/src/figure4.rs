@@ -1,0 +1,132 @@
+//! Figure 4: histogram of instructions executed between error activation
+//! and crash, in log2 bins ("bin(x) includes all crashes between 2^(x-1)
+//! and 2^x instructions").
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bins (bin 15 covers 16384..=32768; anything above folds into
+/// the last bin, matching the paper's axis).
+pub const BINS: usize = 16;
+
+/// The Figure 4 histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Frequencies per log2 bin.
+    pub bins: [u64; BINS],
+    /// Number of samples.
+    pub samples: u64,
+    /// Fraction of crashes within 100 instructions of activation (the
+    /// paper reports 91.5%).
+    pub within_100: f64,
+    /// Largest observed latency.
+    pub max_latency: u64,
+}
+
+/// Bin index for a latency: smallest `x` with `latency <= 2^x`.
+pub fn bin_index(latency: u64) -> usize {
+    if latency <= 1 {
+        return 0;
+    }
+    let x = 64 - (latency - 1).leading_zeros() as usize;
+    x.min(BINS - 1)
+}
+
+/// Build the histogram from crash latencies.
+pub fn histogram(latencies: &[u64]) -> LatencyHistogram {
+    let mut bins = [0u64; BINS];
+    let mut within = 0u64;
+    let mut max = 0u64;
+    for &l in latencies {
+        bins[bin_index(l)] += 1;
+        if l < 100 {
+            within += 1;
+        }
+        max = max.max(l);
+    }
+    let samples = latencies.len() as u64;
+    LatencyHistogram {
+        bins,
+        samples,
+        within_100: if samples == 0 {
+            0.0
+        } else {
+            within as f64 / samples as f64
+        },
+        max_latency: max,
+    }
+}
+
+/// Render as an ASCII bar chart in the paper's layout (X axis log2).
+pub fn render(h: &LatencyHistogram) -> String {
+    let mut out = String::from(
+        "Number of instructions between error and crash (log2 bins)\n",
+    );
+    let peak = h.bins.iter().copied().max().unwrap_or(0).max(1);
+    for (i, &n) in h.bins.iter().enumerate() {
+        let lo = if i == 0 { 1 } else { (1u64 << (i - 1)) + 1 };
+        let hi = 1u64 << i;
+        let bar_len = (n * 50 / peak) as usize;
+        let label = if i == BINS - 1 {
+            format!(">{lo}")
+        } else {
+            format!("{lo}..{hi}")
+        };
+        out.push_str(&format!("{label:>14} | {:<50} {n}\n", "#".repeat(bar_len)));
+    }
+    out.push_str(&format!(
+        "samples: {}   within 100 instructions: {:.1}%   max: {}\n",
+        h.samples,
+        h.within_100 * 100.0,
+        h.max_latency
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_boundaries_match_paper_definition() {
+        // bin(x) covers (2^(x-1), 2^x].
+        assert_eq!(bin_index(1), 0);
+        assert_eq!(bin_index(2), 1);
+        assert_eq!(bin_index(3), 2);
+        assert_eq!(bin_index(4), 2);
+        assert_eq!(bin_index(5), 3);
+        assert_eq!(bin_index(8), 3);
+        assert_eq!(bin_index(9), 4);
+        assert_eq!(bin_index(1024), 10);
+        assert_eq!(bin_index(1025), 11);
+        assert_eq!(bin_index(16384), 14);
+        assert_eq!(bin_index(16385), 15);
+        // Overflow folds into the last bin.
+        assert_eq!(bin_index(1 << 30), BINS - 1);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let h = histogram(&[1, 2, 50, 99, 100, 20_000]);
+        assert_eq!(h.samples, 6);
+        assert_eq!(h.max_latency, 20_000);
+        assert!((h.within_100 - 4.0 / 6.0).abs() < 1e-9);
+        assert_eq!(h.bins.iter().sum::<u64>(), 6);
+        assert_eq!(h.bins[BINS - 1], 1);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = histogram(&[]);
+        assert_eq!(h.samples, 0);
+        assert_eq!(h.within_100, 0.0);
+        assert!(render(&h).contains("samples: 0"));
+    }
+
+    #[test]
+    fn render_has_all_bins() {
+        let h = histogram(&[1, 7, 120, 5000]);
+        let s = render(&h);
+        assert_eq!(s.lines().count(), BINS + 2);
+        assert!(s.contains("within 100 instructions"));
+    }
+}

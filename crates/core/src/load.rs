@@ -1,0 +1,126 @@
+//! The §5.4 load/diversity study.
+//!
+//! The paper argues that a *latent* error (persisting in memory across
+//! forked connection handlers) manifests with higher probability as the
+//! server load carries more *diversified* client request patterns,
+//! because diverse patterns exercise more of the code. This module
+//! quantifies that: sample random latent text errors, replay each client
+//! pattern against the corrupted image, and report the probability that
+//! at least one of the first `k` patterns manifests the error, as a
+//! function of `k`.
+
+use crate::random::run_with_latent_error;
+use fisec_apps::AppSpec;
+use fisec_inject::{golden_run, GoldenRun, OutcomeClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of the load/diversity study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadStudyResult {
+    /// Sampled latent errors.
+    pub samples: usize,
+    /// `manifest_probability[k-1]` = P(at least one of the first `k`
+    /// client patterns manifests the error).
+    pub manifest_probability: Vec<f64>,
+}
+
+impl LoadStudyResult {
+    /// The probabilities must be monotonically non-decreasing in `k`
+    /// (more diverse load can only expose more).
+    pub fn is_monotone(&self) -> bool {
+        self.manifest_probability
+            .windows(2)
+            .all(|w| w[1] >= w[0] - 1e-12)
+    }
+}
+
+/// Run the study over `samples` random single-bit latent errors.
+pub fn run_load_study(app: &AppSpec, samples: usize, seed: u64) -> LoadStudyResult {
+    let goldens: Vec<GoldenRun> = app
+        .clients
+        .iter()
+        .map(|c| golden_run(&app.image, c).expect("image loads"))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k_max = app.clients.len();
+    let mut manifest_by_k = vec![0usize; k_max];
+    for _ in 0..samples {
+        let offset = rng.gen_range(0..app.image.text.len());
+        let bit = rng.gen_range(0..8u8);
+        let mut manifested_so_far = false;
+        for (k, (spec, golden)) in app.clients.iter().zip(&goldens).enumerate() {
+            if !manifested_so_far {
+                let run = run_with_latent_error(&app.image, spec, golden, offset, bit);
+                if run.outcome != OutcomeClass::NotManifested {
+                    manifested_so_far = true;
+                }
+            }
+            if manifested_so_far {
+                manifest_by_k[k] += 1;
+            }
+        }
+    }
+    LoadStudyResult {
+        samples,
+        manifest_probability: manifest_by_k
+            .iter()
+            .map(|m| {
+                if samples == 0 {
+                    0.0
+                } else {
+                    *m as f64 / samples as f64
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Render the study as a small table.
+pub fn render(r: &LoadStudyResult) -> String {
+    let mut out = String::from(
+        "distinct client patterns (k)   P(latent error manifests)\n",
+    );
+    for (i, p) in r.manifest_probability.iter().enumerate() {
+        out.push_str(&format!("{:>29}   {:>24.3}\n", i + 1, p));
+    }
+    out.push_str(&format!("samples: {}\n", r.samples));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisec_apps::AppSpec;
+
+    #[test]
+    fn load_study_is_monotone_and_reproducible() {
+        let app = AppSpec::ftpd();
+        let a = run_load_study(&app, 12, 7);
+        let b = run_load_study(&app, 12, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.manifest_probability.len(), 4);
+        assert!(a.is_monotone(), "{:?}", a.manifest_probability);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let r = LoadStudyResult {
+            samples: 10,
+            manifest_probability: vec![0.3, 0.4, 0.4, 0.5],
+        };
+        assert!(r.is_monotone());
+        let s = render(&r);
+        assert_eq!(s.lines().count(), 6);
+        assert!(s.contains("samples: 10"));
+    }
+
+    #[test]
+    fn empty_study() {
+        let app = AppSpec::sshd();
+        let r = run_load_study(&app, 0, 0);
+        assert_eq!(r.samples, 0);
+        assert!(r.manifest_probability.iter().all(|p| *p == 0.0));
+    }
+}

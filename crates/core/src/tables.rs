@@ -1,0 +1,260 @@
+//! Paper-layout table renderers (Tables 1, 3 and 5).
+
+use crate::campaign::CampaignResult;
+use fisec_inject::{ErrorLocation, OutcomeClass};
+
+fn col_header(r: &CampaignResult) -> Vec<String> {
+    r.clients
+        .iter()
+        .map(|c| format!("{} {}", r.app.to_uppercase(), c.client))
+        .collect()
+}
+
+/// Render Table 1 ("FTP and SSH Result Distributions"): one count column
+/// and one %-of-activated column per client, rows NA/NM/SD/FSV/BRK.
+pub fn render_table1(results: &[&CampaignResult]) -> String {
+    let mut out = String::new();
+    let headers: Vec<String> = results.iter().flat_map(|r| col_header(r)).collect();
+    out.push_str(&format!("{:<6}", "Type"));
+    for h in &headers {
+        out.push_str(&format!("{h:>22}"));
+    }
+    out.push('\n');
+    for class in OutcomeClass::ALL {
+        out.push_str(&format!("{:<6}", class.abbrev()));
+        for r in results {
+            for c in &r.clients {
+                let n = c.counts.get(class);
+                let cell = match c.counts.pct_of_activated(class) {
+                    None => format!("{n:>8}        -"),
+                    Some(p) => {
+                        // The attack categories print a dash for clients
+                        // that cannot break in, mirroring the paper.
+                        if class == OutcomeClass::Breakin && !c.golden_denied && n == 0 {
+                            format!("{:>8}        -", "-")
+                        } else {
+                            format!("{n:>8}  {p:>6.2}%")
+                        }
+                    }
+                };
+                out.push_str(&format!("{cell:>22}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Table 3 ("Break-ins and Fail Silence Violations by Location"):
+/// rows 2BC/2BO/6BC1/6BC2/6BO/MISC plus a Total row.
+pub fn render_table3(results: &[&CampaignResult]) -> String {
+    let mut out = String::new();
+    let headers: Vec<String> = results.iter().flat_map(|r| col_header(r)).collect();
+    out.push_str(&format!("{:<9}", "Location"));
+    for h in &headers {
+        out.push_str(&format!("{h:>22}"));
+    }
+    out.push('\n');
+    for loc in ErrorLocation::ALL {
+        out.push_str(&format!("{:<9}", loc.abbrev()));
+        for r in results {
+            for c in &r.clients {
+                let n = c.brkfsv_by_location.get(loc);
+                let p = c.brkfsv_by_location.pct(loc);
+                out.push_str(&format!("{:>22}", format!("{n:>8}  {p:>6.2}%")));
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<9}", "Total"));
+    for r in results {
+        for c in &r.clients {
+            let n = c.brkfsv_by_location.total();
+            out.push_str(&format!("{:>22}", format!("{n:>8}        -")));
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// FSV/BRK reduction percentages between a baseline and a new-encoding
+/// campaign for the same app/client (paper Table 5's last two rows).
+pub fn reduction_pct(base: usize, new: usize) -> Option<f64> {
+    if base == 0 {
+        return None;
+    }
+    Some((base as f64 - new as f64) * 100.0 / base as f64)
+}
+
+/// Render Table 5 ("Results from New Encoding"): the Table 1 layout under
+/// the new encoding, plus FSV Red. / BRK Red. rows against the baseline.
+///
+/// # Panics
+/// Panics if the two slices do not pair up app-by-app and
+/// client-by-client.
+pub fn render_table5(baseline: &[&CampaignResult], new: &[&CampaignResult]) -> String {
+    assert_eq!(baseline.len(), new.len(), "app count mismatch");
+    let mut out = render_table1(new);
+    // Reduction rows.
+    let mut fsv_row = format!("{:<6}", "FSVRd");
+    let mut brk_row = format!("{:<6}", "BRKRd");
+    for (b, n) in baseline.iter().zip(new) {
+        assert_eq!(b.app, n.app, "app order mismatch");
+        assert_eq!(b.clients.len(), n.clients.len(), "client count mismatch");
+        for (bc, nc) in b.clients.iter().zip(&n.clients) {
+            assert_eq!(bc.client, nc.client, "client order mismatch");
+            let fsv = match reduction_pct(bc.counts.fsv, nc.counts.fsv) {
+                Some(p) => format!("{:>8}  {p:>6.0}%", bc.counts.fsv - nc.counts.fsv.min(bc.counts.fsv)),
+                None => format!("{:>8}        -", "-"),
+            };
+            fsv_row.push_str(&format!("{fsv:>22}"));
+            let brk = match reduction_pct(bc.counts.brk, nc.counts.brk) {
+                Some(p) => format!("{:>8}  {p:>6.0}%", bc.counts.brk - nc.counts.brk.min(bc.counts.brk)),
+                None => format!("{:>8}        -", "-"),
+            };
+            brk_row.push_str(&format!("{brk:>22}"));
+        }
+    }
+    out.push_str(&fsv_row);
+    out.push('\n');
+    out.push_str(&brk_row);
+    out.push('\n');
+    out
+}
+
+/// Render Table 2 (the location taxonomy — definitional).
+pub fn render_table2() -> String {
+    let mut out = String::from("Abbr.  Definition\n");
+    for l in ErrorLocation::ALL {
+        out.push_str(&format!("{:<6} {}\n", l.abbrev(), l.definition()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::ClientCampaign;
+    use crate::counts::{LocationCounts, OutcomeCounts};
+    use fisec_encoding::EncodingScheme;
+    use fisec_inject::GoldenRun;
+    use fisec_net::{ClientStatus, Trace};
+    use fisec_os::Stop;
+
+    fn fake_client(name: &str, counts: OutcomeCounts) -> ClientCampaign {
+        ClientCampaign {
+            client: name.to_string(),
+            golden_denied: name == "Client1",
+            golden: GoldenRun {
+                stop: Stop::Exited(0),
+                client: ClientStatus::Denied,
+                trace: Trace::default(),
+                icount: 1000,
+            },
+            counts,
+            brkfsv_by_location: {
+                let mut l = LocationCounts::default();
+                for _ in 0..counts.fsv + counts.brk {
+                    l.add(fisec_inject::ErrorLocation::TwoByteCondOpcode);
+                }
+                l
+            },
+            crash_latencies: vec![10, 20, 5000],
+            transient_deviations: 1,
+            records: Vec::new(),
+        }
+    }
+
+    fn fake_result(app: &str, brk: usize, fsv: usize) -> CampaignResult {
+        CampaignResult {
+            app: app.to_string(),
+            scheme: EncodingScheme::Baseline,
+            instructions: 50,
+            cond_branches: 40,
+            runs_per_client: 1000,
+            clients: vec![
+                fake_client(
+                    "Client1",
+                    OutcomeCounts {
+                        na: 800,
+                        nm: 100,
+                        sd: 100 - brk - fsv,
+                        fsv,
+                        brk,
+                    },
+                ),
+                fake_client(
+                    "Client2",
+                    OutcomeCounts {
+                        na: 700,
+                        nm: 150,
+                        sd: 130,
+                        fsv: 20,
+                        brk: 0,
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn table1_layout() {
+        let r = fake_result("ftpd", 3, 10);
+        let s = render_table1(&[&r]);
+        assert!(s.contains("FTPD Client1"));
+        assert!(s.contains("NA"));
+        assert!(s.contains("BRK"));
+        // NA row prints dashes for the percentage.
+        let na_line = s.lines().find(|l| l.starts_with("NA")).unwrap();
+        assert!(na_line.contains('-'));
+        // Client2 BRK prints a dash (cannot break in, golden grants).
+        let brk_line = s.lines().find(|l| l.starts_with("BRK")).unwrap();
+        assert!(brk_line.contains('-'));
+        assert!(brk_line.contains('3'));
+    }
+
+    #[test]
+    fn table3_totals() {
+        let r = fake_result("ssh", 2, 8);
+        let s = render_table3(&[&r]);
+        let total_line = s.lines().find(|l| l.starts_with("Total")).unwrap();
+        assert!(total_line.contains("10")); // 2 + 8 for Client1
+        assert!(s.contains("2BC"));
+        assert!(s.contains("MISC"));
+    }
+
+    #[test]
+    fn reduction_math() {
+        assert_eq!(reduction_pct(7, 1), Some(600.0 / 7.0));
+        assert_eq!(reduction_pct(0, 0), None);
+        assert_eq!(reduction_pct(10, 10), Some(0.0));
+        assert_eq!(reduction_pct(10, 0), Some(100.0));
+    }
+
+    #[test]
+    fn table5_has_reduction_rows() {
+        let base = fake_result("ftpd", 7, 20);
+        let new = fake_result("ftpd", 1, 14);
+        let s = render_table5(&[&base], &[&new]);
+        assert!(s.contains("FSVRd"));
+        assert!(s.contains("BRKRd"));
+        // 7 -> 1 is an 86% reduction, the paper's headline number.
+        let brk_line = s.lines().find(|l| l.starts_with("BRKRd")).unwrap();
+        assert!(brk_line.contains("86%"), "{brk_line}");
+    }
+
+    #[test]
+    fn table2_definitions() {
+        let s = render_table2();
+        assert!(s.contains("2BC"));
+        assert!(s.contains("Opcode of 2-byte conditional branch instruction"));
+        assert_eq!(s.lines().count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "app count mismatch")]
+    fn table5_mismatch_panics() {
+        let base = fake_result("ftpd", 1, 1);
+        let _ = render_table5(&[&base], &[]);
+    }
+}

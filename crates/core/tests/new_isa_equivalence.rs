@@ -1,0 +1,130 @@
+//! Validation the paper could not perform (§6.2): build the hypothetical
+//! re-encoded processor *for real* and verify that the paper's
+//! old→new→flip→new→old evaluation trick produces outcome-identical
+//! experiments.
+//!
+//! Direct path: re-encode the server image into the new ISA
+//! ([`fisec_encoding::reencode_image_text`]), run it on a machine whose
+//! decoder understands the new ISA ([`fisec_encoding::decode_new_isa`]),
+//! and flip the target bit directly in the re-encoded text.
+//!
+//! Trick path: `run_injection(..., EncodingScheme::NewEncoding)` on the
+//! unmodified image and stock decoder.
+
+use fisec_apps::{AppSpec, ClientSpec};
+use fisec_asm::Image;
+use fisec_core::EncodingScheme;
+use fisec_encoding::{decode_new_isa, reencode_image_text};
+use fisec_inject::{
+    classify_run, enumerate_targets, golden_run, run_injection, GoldenRun, InjectionTarget,
+    OutcomeClass,
+};
+use fisec_os::{Process, Stop};
+
+/// Run one injection *directly on the new-ISA processor*.
+fn run_direct_new_isa(
+    new_image: &Image,
+    client: &ClientSpec,
+    golden: &GoldenRun,
+    target: &InjectionTarget,
+) -> OutcomeClass {
+    let mut p = Process::load(new_image, client.make()).expect("loads");
+    p.machine.set_decoder(decode_new_isa);
+    p.set_budget((golden.icount * 8).max(400_000));
+    p.machine.add_breakpoint(target.addr);
+    let first = p.run();
+    let Stop::Breakpoint(_) = first else {
+        return OutcomeClass::NotActivated;
+    };
+    let byte_addr = target.addr.wrapping_add(u32::from(target.byte_index));
+    let orig = p.machine.mem.peek8(byte_addr).expect("mapped");
+    // Direct flip in new-ISA text: this IS the fault model on the
+    // hypothetical processor.
+    p.machine.mem.poke8(byte_addr, orig ^ (1 << target.bit)).expect("mapped");
+    p.machine.remove_breakpoint(target.addr);
+    let activation = p.icount();
+    let stop = p.run();
+    let latency = match stop {
+        Stop::Crashed(_) => Some(p.icount() - activation),
+        _ => None,
+    };
+    classify_run(golden, stop, p.client_status(), p.trace(), latency).outcome
+}
+
+#[test]
+fn golden_runs_identical_on_reencoded_cpu() {
+    for app in [AppSpec::ftpd(), AppSpec::sshd()] {
+        let new_image = reencode_image_text(&app.image);
+        assert_ne!(app.image.text, new_image.text, "{}: text must change", app.name);
+        for spec in &app.clients {
+            let old_golden = golden_run(&app.image, spec).unwrap();
+            let mut p = Process::load(&new_image, spec.make()).unwrap();
+            p.machine.set_decoder(decode_new_isa);
+            p.set_budget(50_000_000);
+            let stop = p.run();
+            assert_eq!(stop, old_golden.stop, "{} {}", app.name, spec.name);
+            assert_eq!(p.client_status(), old_golden.client);
+            assert!(
+                p.trace().matches(&old_golden.trace),
+                "{} {}: traffic must be identical on the re-encoded CPU",
+                app.name,
+                spec.name
+            );
+            assert_eq!(
+                p.icount(),
+                old_golden.icount,
+                "instruction counts must match exactly"
+            );
+        }
+    }
+}
+
+#[test]
+fn trick_and_direct_injection_agree() {
+    let app = AppSpec::ftpd();
+    let new_image = reencode_image_text(&app.image);
+    let client = &app.clients[0];
+    let golden = golden_run(&app.image, client).unwrap();
+    let set = enumerate_targets(&app.image, &["pass"], false);
+    // Sample broadly: every opcode bit plus a spread of operand bits.
+    let sample: Vec<_> = set
+        .targets
+        .iter()
+        .filter(|t| t.byte_index == 0 || (t.bit % 3 == 0))
+        .collect();
+    assert!(sample.len() > 150, "sample too small: {}", sample.len());
+    let mut checked = 0;
+    for t in sample {
+        let trick = run_injection(&app.image, client, &golden, t, EncodingScheme::NewEncoding)
+            .unwrap()
+            .outcome;
+        let direct = run_direct_new_isa(&new_image, client, &golden, t);
+        assert_eq!(
+            trick, direct,
+            "divergence at {:#x} byte {} bit {}",
+            t.addr, t.byte_index, t.bit
+        );
+        checked += 1;
+    }
+    assert!(checked > 150);
+}
+
+#[test]
+fn trick_and_direct_agree_for_sshd_cond_branches() {
+    let app = AppSpec::sshd();
+    let new_image = reencode_image_text(&app.image);
+    let client = &app.clients[0];
+    let golden = golden_run(&app.image, client).unwrap();
+    let set = enumerate_targets(&app.image, &["auth_password"], true);
+    for t in &set.targets {
+        let trick = run_injection(&app.image, client, &golden, t, EncodingScheme::NewEncoding)
+            .unwrap()
+            .outcome;
+        let direct = run_direct_new_isa(&new_image, client, &golden, t);
+        assert_eq!(
+            trick, direct,
+            "divergence at {:#x} byte {} bit {}",
+            t.addr, t.byte_index, t.bit
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Snapshot regression test: the campaigns are fully deterministic, so
+//! the exact outcome tallies of a reference campaign are pinned in a
+//! committed fixture. Any semantic drift in the CPU, compiler,
+//! assembler, OS, clients, classifier or encoding shows up here as an
+//! exact diff.
+//!
+//! After an *intentional* behaviour change, regenerate with:
+//!
+//! ```text
+//! cargo run --release -p fisec-core --example gen_fixture \
+//!     > crates/core/tests/fixtures/ftpd_pass_campaign.json
+//! ```
+
+use fisec_apps::AppSpec;
+use fisec_core::{run_campaign, CampaignConfig, CampaignSummary};
+
+const FIXTURE: &str = include_str!("fixtures/ftpd_pass_campaign.json");
+
+#[test]
+fn campaign_matches_committed_snapshot() {
+    let mut app = AppSpec::ftpd();
+    app.auth_funcs = vec!["pass"];
+    app.clients.truncate(2);
+    let r = run_campaign(&app, &CampaignConfig::default());
+    let got = CampaignSummary::from(&r);
+    let want: CampaignSummary =
+        serde_json::from_str(FIXTURE).expect("fixture parses");
+    assert_eq!(
+        got, want,
+        "campaign drifted from the committed snapshot; if the change is \
+         intentional, regenerate the fixture (see module docs)"
+    );
+}
+
+#[test]
+fn snapshot_fixture_is_sane() {
+    let want: CampaignSummary = serde_json::from_str(FIXTURE).unwrap();
+    assert_eq!(want.app, "ftpd");
+    assert_eq!(want.clients.len(), 2);
+    // The fixture itself must respect the study invariants.
+    for c in &want.clients {
+        assert_eq!(c.counts.total(), want.runs_per_client);
+    }
+    assert!(want.clients[0].counts.brk > 0);
+    assert_eq!(want.clients[1].counts.brk, 0);
+}

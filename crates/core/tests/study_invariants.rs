@@ -1,0 +1,196 @@
+//! Cross-crate integration tests: invariants of the reproduction study
+//! that must hold regardless of exact counts.
+
+use fisec_apps::AppSpec;
+use fisec_core::{figure4, run_campaign, tables, CampaignConfig, EncodingScheme};
+use fisec_inject::{enumerate_targets, golden_run, run_injection, OutcomeClass};
+use fisec_net::ClientStatus;
+
+/// A small but real campaign: ftpd, Client1 + Client2, pass() branches
+/// only. Used by several tests below; ~2.5k runs, a few seconds.
+fn small_ftpd_campaign() -> fisec_core::CampaignResult {
+    let mut app = AppSpec::ftpd();
+    app.auth_funcs = vec!["pass"];
+    app.clients.truncate(2);
+    run_campaign(&app, &CampaignConfig::default())
+}
+
+#[test]
+fn outcome_counts_partition_the_runs() {
+    let r = small_ftpd_campaign();
+    for c in &r.clients {
+        assert_eq!(
+            c.counts.total(),
+            r.runs_per_client,
+            "client {} counts must cover every run",
+            c.client
+        );
+        // Latencies come only from crashes; BRK can crash after granting,
+        // so the latency count may slightly exceed the SD tally.
+        assert!(c.crash_latencies.len() >= c.counts.sd);
+        assert!(c.crash_latencies.len() <= c.counts.sd + c.counts.brk);
+        assert!(c.transient_deviations <= c.crash_latencies.len());
+        assert_eq!(c.records.len(), r.runs_per_client);
+    }
+}
+
+#[test]
+fn breakins_only_for_denied_clients() {
+    let r = small_ftpd_campaign();
+    for c in &r.clients {
+        if !c.golden_denied {
+            assert_eq!(
+                c.counts.brk, 0,
+                "client {} is granted in the golden run; BRK is undefined",
+                c.client
+            );
+        }
+    }
+    // And the attack client does see break-ins in pass().
+    assert!(
+        r.clients[0].counts.brk > 0,
+        "expected je/jne-style break-ins for Client1"
+    );
+}
+
+#[test]
+fn new_encoding_reduces_cond_branch_breakins() {
+    let mut app = AppSpec::ftpd();
+    app.auth_funcs = vec!["pass"];
+    app.clients.truncate(1); // Client1 only
+    let base = run_campaign(&app, &CampaignConfig::default());
+    let new = run_campaign(
+        &app,
+        &CampaignConfig {
+            scheme: EncodingScheme::NewEncoding,
+            ..CampaignConfig::default()
+        },
+    );
+    assert!(
+        new.clients[0].counts.brk < base.clients[0].counts.brk,
+        "new encoding must reduce break-ins: {} -> {}",
+        base.clients[0].counts.brk,
+        new.clients[0].counts.brk
+    );
+    // The reduction comes from the 2BC/6BC2 classes, as the paper found.
+    let b = &base.clients[0].brkfsv_by_location;
+    let n = &new.clients[0].brkfsv_by_location;
+    assert!(b.c2bc > n.c2bc, "2BC cases must shrink: {} -> {}", b.c2bc, n.c2bc);
+}
+
+#[test]
+fn activation_is_all_or_nothing_per_instruction() {
+    // Either every bit of an instruction activates (the instruction
+    // executed) or none does — activation only depends on reaching the
+    // address.
+    let app = AppSpec::ftpd();
+    let spec = &app.clients[0];
+    let golden = golden_run(&app.image, spec).unwrap();
+    let set = enumerate_targets(&app.image, &["pass"], true);
+    use std::collections::HashMap;
+    let mut by_addr: HashMap<u32, Vec<bool>> = HashMap::new();
+    for t in set.targets.iter().take(160) {
+        let r = run_injection(&app.image, spec, &golden, t, EncodingScheme::Baseline).unwrap();
+        by_addr.entry(t.addr).or_default().push(r.activated);
+    }
+    for (addr, acts) in by_addr {
+        assert!(
+            acts.iter().all(|a| *a == acts[0]),
+            "instruction at {addr:#x} has mixed activation"
+        );
+    }
+}
+
+#[test]
+fn golden_runs_all_match_expectations() {
+    for app in [AppSpec::ftpd(), AppSpec::sshd()] {
+        for spec in &app.clients {
+            let g = golden_run(&app.image, spec).unwrap();
+            assert_eq!(
+                g.stop,
+                fisec_os::Stop::Exited(0),
+                "{} {} golden must exit cleanly",
+                app.name,
+                spec.name
+            );
+            let want = if spec.golden_denied {
+                ClientStatus::Denied
+            } else {
+                ClientStatus::Granted
+            };
+            assert_eq!(g.client, want, "{} {}", app.name, spec.name);
+            assert!(g.icount > 1_000, "{} {} did almost nothing", app.name, spec.name);
+        }
+    }
+}
+
+#[test]
+fn specific_jne_flip_reproduces_example1() {
+    // The paper's Example 1, pinned: in pass(), the branch guarding
+    // `rval` after the strcmp decides grant/deny; flipping its opcode's
+    // low bit grants access to the wrong-password client.
+    let app = AppSpec::ftpd();
+    let spec = &app.clients[0];
+    let golden = golden_run(&app.image, spec).unwrap();
+    let set = enumerate_targets(&app.image, &["pass"], true);
+    let brk_targets: Vec<_> = set
+        .targets
+        .iter()
+        .filter(|t| t.byte_index == 0 && t.bit == 0)
+        .filter(|t| {
+            let r = run_injection(&app.image, spec, &golden, t, EncodingScheme::Baseline).unwrap();
+            r.outcome == OutcomeClass::Breakin
+        })
+        .collect();
+    assert!(!brk_targets.is_empty(), "bit 0 of some Jcc opcode must break in");
+    // Deterministic: re-running the same target reproduces the break-in.
+    let t = brk_targets[0];
+    for _ in 0..3 {
+        let r = run_injection(&app.image, spec, &golden, t, EncodingScheme::Baseline).unwrap();
+        assert_eq!(r.outcome, OutcomeClass::Breakin);
+    }
+    // And the same flip under the new encoding does not break in.
+    let r = run_injection(&app.image, spec, &golden, t, EncodingScheme::NewEncoding).unwrap();
+    assert_ne!(r.outcome, OutcomeClass::Breakin);
+}
+
+#[test]
+fn table_renderers_accept_real_results() {
+    let r = small_ftpd_campaign();
+    let t1 = tables::render_table1(&[&r]);
+    assert!(t1.contains("FTPD Client1"));
+    assert!(t1.contains("BRK"));
+    let t3 = tables::render_table3(&[&r]);
+    assert!(t3.contains("2BC"));
+    let f4 = figure4::render(&figure4::histogram(&r.clients[0].crash_latencies));
+    assert!(f4.contains("samples"));
+}
+
+#[test]
+fn na_runs_leave_no_traces_of_effect() {
+    // A never-executed instruction's corruption must not affect the run.
+    let app = AppSpec::ftpd();
+    let spec = &app.clients[0]; // Client1 never reaches retr()'s grant path
+    let golden = golden_run(&app.image, spec).unwrap();
+    let set = enumerate_targets(&app.image, &["retr"], true);
+    let mut nas = 0;
+    for t in set.targets.iter().take(48) {
+        let r = run_injection(&app.image, spec, &golden, t, EncodingScheme::Baseline).unwrap();
+        if !r.activated {
+            assert_eq!(r.outcome, OutcomeClass::NotActivated);
+            assert_eq!(r.client, golden.client);
+            nas += 1;
+        }
+    }
+    assert!(nas > 0, "retr() must be unreached for the denied client");
+}
+
+#[test]
+fn crash_latency_counts_instructions_not_wallclock() {
+    // Crash latencies must be small positive integers for immediate
+    // crashes and reproducible run to run.
+    let r1 = small_ftpd_campaign();
+    let r2 = small_ftpd_campaign();
+    assert_eq!(r1.clients[0].crash_latencies, r2.clients[0].crash_latencies);
+    assert!(r1.clients[0].crash_latencies.iter().all(|l| *l >= 1));
+}

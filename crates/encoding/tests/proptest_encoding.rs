@@ -1,0 +1,68 @@
+//! Property tests for the §6 encoding scheme.
+
+use fisec_encoding::{
+    hamming, map_0f_second, map_1byte, remap_flip, ByteCtx, EncodingScheme,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Injection under either scheme is an involution per (byte, bit):
+    /// flipping the same bit twice restores the original byte. For the
+    /// new encoding this is the composition ι∘flip∘ι applied twice.
+    #[test]
+    fn remap_flip_is_involution(byte in any::<u8>(), bit in 0u8..8) {
+        for scheme in [EncodingScheme::Baseline, EncodingScheme::NewEncoding] {
+            for ctx in [ByteCtx::OneByteOpcode, ByteCtx::SecondOpcodeByte, ByteCtx::Other] {
+                let once = remap_flip(byte, bit, ctx, scheme);
+                let twice = remap_flip(once, bit, ctx, scheme);
+                prop_assert_eq!(twice, byte, "scheme {:?} ctx {:?}", scheme, ctx);
+            }
+        }
+    }
+
+    /// The baseline flip changes exactly one bit; the new-encoding flip
+    /// changes the *new-space* byte by one bit (which may be several bits
+    /// in old space).
+    #[test]
+    fn flip_distances(byte in any::<u8>(), bit in 0u8..8) {
+        let base = remap_flip(byte, bit, ByteCtx::OneByteOpcode, EncodingScheme::Baseline);
+        prop_assert_eq!(hamming(byte, base), 1);
+        let new = remap_flip(byte, bit, ByteCtx::OneByteOpcode, EncodingScheme::NewEncoding);
+        prop_assert_eq!(hamming(map_1byte(byte), map_1byte(new)), 1);
+    }
+
+    /// The mapping preserves distinctness (it is a bijection).
+    #[test]
+    fn mapping_is_injective(a in any::<u8>(), b in any::<u8>()) {
+        if a != b {
+            prop_assert_ne!(map_1byte(a), map_1byte(b));
+            prop_assert_ne!(map_0f_second(a), map_0f_second(b));
+        }
+    }
+
+    /// Headline security property, exhaustively by proptest over the
+    /// branch block: a single-bit error under the new encoding never
+    /// converts one conditional branch into a *different* one.
+    #[test]
+    fn no_branch_to_branch_transitions(delta in 0u8..16, bit in 0u8..8) {
+        let b2 = 0x70 + delta;
+        let r2 = remap_flip(b2, bit, ByteCtx::OneByteOpcode, EncodingScheme::NewEncoding);
+        if (0x70..=0x7F).contains(&r2) {
+            prop_assert_eq!(r2, b2);
+        }
+        let b6 = 0x80 + delta;
+        let r6 = remap_flip(b6, bit, ByteCtx::SecondOpcodeByte, EncodingScheme::NewEncoding);
+        if (0x80..=0x8F).contains(&r6) {
+            prop_assert_eq!(r6, b6);
+        }
+    }
+
+    /// Operand bytes are untouched by the mapping under both schemes.
+    #[test]
+    fn operand_ctx_is_plain_flip(byte in any::<u8>(), bit in 0u8..8) {
+        let a = remap_flip(byte, bit, ByteCtx::Other, EncodingScheme::Baseline);
+        let b = remap_flip(byte, bit, ByteCtx::Other, EncodingScheme::NewEncoding);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, byte ^ (1 << bit));
+    }
+}

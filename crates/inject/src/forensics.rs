@@ -1,0 +1,171 @@
+//! Crash forensics: what did the server execute between error activation
+//! and the crash?
+//!
+//! The paper's §5.4 examines crash cases with long latency — the
+//! *transient window of vulnerability* — by looking at the work the
+//! server performed while corrupted ("in several cases erroneous
+//! messages were sent out"). This module re-runs an injection with EIP
+//! tracing enabled and summarizes the corrupted execution path at
+//! function granularity.
+
+use crate::target::InjectionTarget;
+use fisec_apps::ClientSpec;
+use fisec_asm::Image;
+use fisec_encoding::{remap_flip, ByteCtx, EncodingScheme};
+use fisec_os::{Process, Stop};
+use std::fmt;
+
+/// Per-function slice of the corrupted execution path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSegment {
+    /// Function name, or `"?"` for addresses outside any known symbol.
+    pub func: String,
+    /// Consecutive instructions spent there.
+    pub instructions: u64,
+}
+
+/// Forensic report for one crashing injection.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// Instructions between activation and crash.
+    pub latency: u64,
+    /// How the run ended.
+    pub stop: Stop,
+    /// Function-granular path from activation to the crash (merged
+    /// consecutive segments, capped by the trace window).
+    pub path: Vec<PathSegment>,
+    /// Messages the corrupted server emitted after activation (bytes).
+    pub messages_after_activation: usize,
+}
+
+impl fmt::Display for CrashReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "crash after {} instructions ({}), {} bytes sent while corrupted",
+            self.latency, self.stop, self.messages_after_activation
+        )?;
+        for seg in &self.path {
+            writeln!(f, "  {:<24} {:>8} instructions", seg.func, seg.instructions)?;
+        }
+        Ok(())
+    }
+}
+
+/// Size of the EIP ring buffer used for path reconstruction.
+pub const TRACE_WINDOW: usize = 65_536;
+
+/// Re-run an injection with tracing and produce a [`CrashReport`].
+/// Returns `None` when the target does not activate or the run does not
+/// crash.
+///
+/// # Errors
+/// Propagates [`fisec_os::LoadError`].
+pub fn crash_forensics(
+    image: &Image,
+    client: &ClientSpec,
+    target: &InjectionTarget,
+    scheme: EncodingScheme,
+) -> Result<Option<CrashReport>, fisec_os::LoadError> {
+    let mut p = Process::load(image, client.make())?;
+    p.set_budget(5_000_000);
+    p.machine.add_breakpoint(target.addr);
+    let Stop::Breakpoint(_) = p.run() else {
+        return Ok(None);
+    };
+    let byte_addr = target.addr.wrapping_add(target.byte_index as u32);
+    let orig = p.machine.mem.peek8(byte_addr).expect("mapped");
+    let ctx = if target.byte_index == 0 {
+        ByteCtx::OneByteOpcode
+    } else if target.byte_index == 1 && target.first_byte == 0x0F {
+        ByteCtx::SecondOpcodeByte
+    } else {
+        ByteCtx::Other
+    };
+    p.machine
+        .mem
+        .poke8(byte_addr, remap_flip(orig, target.bit, ctx, scheme))
+        .expect("mapped");
+    p.machine.remove_breakpoint(target.addr);
+    p.machine.enable_eip_trace(TRACE_WINDOW);
+    let activation_icount = p.icount();
+    let bytes_before: usize = traffic_bytes(&p);
+
+    let stop = p.run();
+    if !stop.is_crash() {
+        return Ok(None);
+    }
+    let latency = p.icount() - activation_icount;
+    let bytes_after = traffic_bytes(&p) - bytes_before;
+
+    // Reconstruct the function-level path.
+    let mut path: Vec<PathSegment> = Vec::new();
+    for eip in p.machine.eip_trace() {
+        let name = image
+            .symbols
+            .funcs
+            .iter()
+            .find(|f| (f.start..f.end).contains(&eip))
+            .map_or("?", |f| f.name.as_str());
+        match path.last_mut() {
+            Some(seg) if seg.func == name => seg.instructions += 1,
+            _ => path.push(PathSegment {
+                func: name.to_string(),
+                instructions: 1,
+            }),
+        }
+    }
+    Ok(Some(CrashReport {
+        latency,
+        stop,
+        path,
+        messages_after_activation: bytes_after,
+    }))
+}
+
+fn traffic_bytes(p: &Process) -> usize {
+    p.trace().messages().iter().map(|m| m.bytes.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::enumerate_targets;
+    use fisec_apps::AppSpec;
+
+    #[test]
+    fn forensics_reconstructs_crash_paths() {
+        let app = AppSpec::ftpd();
+        let client = &app.clients[0];
+        let set = enumerate_targets(&app.image, &["pass"], true);
+        // Find a crashing target among offset-byte flips.
+        let mut found = false;
+        for t in set.targets.iter().filter(|t| t.byte_index == 1).take(64) {
+            if let Some(report) =
+                crash_forensics(&app.image, client, t, EncodingScheme::Baseline).unwrap()
+            {
+                assert!(report.latency >= 1);
+                assert!(!report.path.is_empty());
+                let total: u64 = report.path.iter().map(|s| s.instructions).sum();
+                assert!(total <= TRACE_WINDOW as u64);
+                // The path must pass through the injected function or its
+                // callees before dying.
+                let display = format!("{report}");
+                assert!(display.contains("instructions"));
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no crashing offset flip found in pass()");
+    }
+
+    #[test]
+    fn non_activating_target_yields_none() {
+        let app = AppSpec::ftpd();
+        let client = &app.clients[0]; // denied: never reaches retr()'s body
+        let set = enumerate_targets(&app.image, &["retr"], true);
+        let r = crash_forensics(&app.image, client, &set.targets[0], EncodingScheme::Baseline)
+            .unwrap();
+        assert!(r.is_none());
+    }
+}

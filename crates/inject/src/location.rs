@@ -1,0 +1,141 @@
+//! Error-location taxonomy (the paper's Table 2).
+
+use fisec_x86::Inst;
+use std::fmt;
+
+/// Where inside an instruction an injected bit lives (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ErrorLocation {
+    /// 2BC — opcode byte of a 2-byte conditional branch.
+    TwoByteCondOpcode,
+    /// 2BO — operand (offset) byte of a 2-byte conditional branch.
+    TwoByteCondOperand,
+    /// 6BC1 — first opcode byte (`0x0F`) of a 6-byte conditional branch.
+    SixByteCond1,
+    /// 6BC2 — second opcode byte of a 6-byte conditional branch.
+    SixByteCond2,
+    /// 6BO — operand (offset) bytes of a 6-byte conditional branch.
+    SixByteCondOperand,
+    /// MISC — other injected instructions (unconditional jumps, calls,
+    /// returns, loops; see DESIGN.md on the paper's nonzero MISC rows).
+    Misc,
+}
+
+impl ErrorLocation {
+    /// All six classes in the paper's Table 2/3 order.
+    pub const ALL: [ErrorLocation; 6] = [
+        ErrorLocation::TwoByteCondOpcode,
+        ErrorLocation::TwoByteCondOperand,
+        ErrorLocation::SixByteCond1,
+        ErrorLocation::SixByteCond2,
+        ErrorLocation::SixByteCondOperand,
+        ErrorLocation::Misc,
+    ];
+
+    /// The paper's abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ErrorLocation::TwoByteCondOpcode => "2BC",
+            ErrorLocation::TwoByteCondOperand => "2BO",
+            ErrorLocation::SixByteCond1 => "6BC1",
+            ErrorLocation::SixByteCond2 => "6BC2",
+            ErrorLocation::SixByteCondOperand => "6BO",
+            ErrorLocation::Misc => "MISC",
+        }
+    }
+
+    /// The paper's definition text (Table 2 right column).
+    pub fn definition(self) -> &'static str {
+        match self {
+            ErrorLocation::TwoByteCondOpcode => {
+                "Opcode of 2-byte conditional branch instruction"
+            }
+            ErrorLocation::TwoByteCondOperand => {
+                "Operand of 2-byte conditional branch instruction"
+            }
+            ErrorLocation::SixByteCond1 => {
+                "Byte 1 of opcode of 6-byte conditional branch instruction"
+            }
+            ErrorLocation::SixByteCond2 => {
+                "Byte 2 of opcode of 6-byte conditional branch instruction"
+            }
+            ErrorLocation::SixByteCondOperand => {
+                "Operand of 6-byte conditional branch instruction"
+            }
+            ErrorLocation::Misc => "Others",
+        }
+    }
+
+    /// Classify a bit position within a decoded instruction.
+    pub fn classify(inst: &Inst, byte_index: u8) -> ErrorLocation {
+        if inst.is_cond_branch() {
+            match (inst.len, byte_index) {
+                (2, 0) => ErrorLocation::TwoByteCondOpcode,
+                (2, _) => ErrorLocation::TwoByteCondOperand,
+                (6, 0) => ErrorLocation::SixByteCond1,
+                (6, 1) => ErrorLocation::SixByteCond2,
+                (6, _) => ErrorLocation::SixByteCondOperand,
+                // Prefixed/word-size forms would land here; our compiler
+                // never emits them, but stay total.
+                _ => ErrorLocation::Misc,
+            }
+        } else {
+            ErrorLocation::Misc
+        }
+    }
+}
+
+impl fmt::Display for ErrorLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisec_x86::{decode, Cond, Op};
+
+    #[test]
+    fn classify_two_byte_branch() {
+        let i = decode(&[0x74, 0x06]);
+        assert_eq!(i.op, Op::Jcc(Cond::E));
+        assert_eq!(
+            ErrorLocation::classify(&i, 0),
+            ErrorLocation::TwoByteCondOpcode
+        );
+        assert_eq!(
+            ErrorLocation::classify(&i, 1),
+            ErrorLocation::TwoByteCondOperand
+        );
+    }
+
+    #[test]
+    fn classify_six_byte_branch() {
+        let i = decode(&[0x0F, 0x84, 0, 1, 0, 0]);
+        assert_eq!(ErrorLocation::classify(&i, 0), ErrorLocation::SixByteCond1);
+        assert_eq!(ErrorLocation::classify(&i, 1), ErrorLocation::SixByteCond2);
+        for b in 2..6 {
+            assert_eq!(
+                ErrorLocation::classify(&i, b),
+                ErrorLocation::SixByteCondOperand
+            );
+        }
+    }
+
+    #[test]
+    fn classify_misc() {
+        let jmp = decode(&[0xEB, 0x05]);
+        assert_eq!(ErrorLocation::classify(&jmp, 0), ErrorLocation::Misc);
+        let call = decode(&[0xE8, 0, 0, 0, 0]);
+        assert_eq!(ErrorLocation::classify(&call, 2), ErrorLocation::Misc);
+    }
+
+    #[test]
+    fn table2_fixture() {
+        assert_eq!(ErrorLocation::ALL.len(), 6);
+        assert_eq!(ErrorLocation::TwoByteCondOpcode.abbrev(), "2BC");
+        assert_eq!(ErrorLocation::SixByteCond2.abbrev(), "6BC2");
+        assert!(ErrorLocation::Misc.definition().contains("Others"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for trace normalization and diffing.
+
+use fisec_net::{Dir, Message, Trace};
+use proptest::prelude::*;
+
+fn arb_messages() -> impl Strategy<Value = Vec<Message>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![Just(Dir::ToClient), Just(Dir::ToServer)],
+            proptest::collection::vec(any::<u8>(), 0..12),
+        )
+            .prop_map(|(dir, bytes)| Message { dir, bytes }),
+        0..16,
+    )
+}
+
+proptest! {
+    /// Normalization is idempotent.
+    #[test]
+    fn normalization_idempotent(msgs in arb_messages()) {
+        let t1 = Trace::normalized(msgs);
+        let t2 = Trace::normalized(t1.messages().to_vec());
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// Normalization preserves the per-direction byte streams.
+    #[test]
+    fn normalization_preserves_bytes(msgs in arb_messages()) {
+        let collect = |ms: &[Message], d: Dir| -> Vec<u8> {
+            ms.iter().filter(|m| m.dir == d).flat_map(|m| m.bytes.clone()).collect()
+        };
+        let before_c = collect(&msgs, Dir::ToClient);
+        let before_s = collect(&msgs, Dir::ToServer);
+        let t = Trace::normalized(msgs);
+        prop_assert_eq!(collect(t.messages(), Dir::ToClient), before_c);
+        prop_assert_eq!(collect(t.messages(), Dir::ToServer), before_s);
+    }
+
+    /// After normalization, adjacent messages always alternate direction
+    /// and none is empty.
+    #[test]
+    fn normalized_alternates(msgs in arb_messages()) {
+        let t = Trace::normalized(msgs);
+        for w in t.messages().windows(2) {
+            prop_assert_ne!(w[0].dir, w[1].dir);
+        }
+        prop_assert!(t.messages().iter().all(|m| !m.bytes.is_empty()));
+    }
+
+    /// Chunking invariance: re-splitting a trace's payloads arbitrarily
+    /// yields an equal normalized trace.
+    #[test]
+    fn chunking_invariance(msgs in arb_messages(), split in 1usize..5) {
+        let t = Trace::normalized(msgs.clone());
+        let rechunked: Vec<Message> = msgs
+            .into_iter()
+            .flat_map(|m| {
+                m.bytes
+                    .chunks(split)
+                    .map(|c| Message { dir: m.dir, bytes: c.to_vec() })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        prop_assert!(t.matches(&Trace::normalized(rechunked)));
+    }
+
+    /// A trace always matches itself and divergence is symmetric in
+    /// *presence* (if a diverges from b, b diverges from a).
+    #[test]
+    fn divergence_symmetry(a in arb_messages(), b in arb_messages()) {
+        let ta = Trace::normalized(a);
+        let tb = Trace::normalized(b);
+        prop_assert!(ta.matches(&ta.clone()));
+        prop_assert_eq!(ta.first_divergence(&tb).is_some(), tb.first_divergence(&ta).is_some());
+        if ta.matches(&tb) {
+            prop_assert_eq!(ta, tb);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Failure injection against the harness itself: truncated images,
+//! missing symbols, hostile clients. The experiment infrastructure must
+//! degrade with clear errors, never panics or bogus classifications.
+
+use fisec_asm::{Image, SymbolTable};
+use fisec_cc::build_image;
+use fisec_net::{ClientDriver, ClientStatus};
+use fisec_os::{run_session, LoadError, Process, Stop};
+
+struct MuteClient;
+
+impl ClientDriver for MuteClient {
+    fn on_server_data(&mut self, _d: &[u8], _out: &mut dyn FnMut(Vec<u8>)) {}
+    fn status(&self) -> ClientStatus {
+        ClientStatus::InProgress
+    }
+}
+
+#[test]
+fn image_without_start_is_rejected() {
+    let img = Image {
+        text: vec![0x90, 0xC3],
+        data: vec![],
+        text_base: 0x1000,
+        data_base: 0x2000,
+        symbols: SymbolTable::default(),
+    };
+    let err = Process::load(&img, Box::new(MuteClient)).unwrap_err();
+    assert_eq!(err, LoadError::NoEntry);
+    assert!(err.to_string().contains("_start"));
+}
+
+#[test]
+fn overlapping_segments_are_rejected() {
+    let img = Image {
+        text: vec![0x90; 64],
+        data: vec![0; 64],
+        text_base: 0x1000,
+        data_base: 0x1020, // overlaps text
+        symbols: SymbolTable {
+            funcs: vec![fisec_asm::FuncSymbol {
+                name: "_start".into(),
+                start: 0x1000,
+                end: 0x1040,
+            }],
+            data: vec![],
+        },
+    };
+    assert!(matches!(
+        Process::load(&img, Box::new(MuteClient)),
+        Err(LoadError::Map(_))
+    ));
+}
+
+#[test]
+fn truncated_text_crashes_cleanly() {
+    // Cut the image mid-function: execution runs off the end of the
+    // mapped text and must report a fetch fault, not panic.
+    let mut img = build_image(&["int main() { return f(); } int f() { return 1; }"]).unwrap();
+    img.text.truncate(img.text.len() / 4);
+    let r = run_session(&img, Box::new(MuteClient), 100_000).unwrap();
+    match r.stop {
+        Stop::Crashed(f) => assert_eq!(f.signal_name(), "SIGSEGV"),
+        other => panic!("expected crash, got {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_client_flooding_is_bounded() {
+    // A client that queues data endlessly cannot hang the harness: the
+    // instruction budget stops the run.
+    struct Flood;
+    impl ClientDriver for Flood {
+        fn on_server_data(&mut self, _d: &[u8], out: &mut dyn FnMut(Vec<u8>)) {
+            out(vec![b'A'; 4096]);
+        }
+        fn on_server_read_idle(&mut self, out: &mut dyn FnMut(Vec<u8>)) {
+            out(vec![b'A'; 4096]);
+        }
+        fn status(&self) -> ClientStatus {
+            ClientStatus::InProgress
+        }
+    }
+    let img = build_image(&[r#"
+        int main() {
+            char buf[64];
+            while (1) {
+                if (read(0, buf, 63) <= 0) { return 1; }
+            }
+            return 0;
+        }
+    "#])
+    .unwrap();
+    let r = run_session(&img, Box::new(Flood), 200_000).unwrap();
+    assert_eq!(r.stop, Stop::Budget);
+    assert!(r.icount <= 200_000);
+}
+
+#[test]
+fn client_disconnecting_early_deadlocks_not_panics() {
+    // Client answers the banner once and then goes silent while the
+    // server expects a command: deadlock detection must trigger.
+    struct OneShot {
+        sent: bool,
+    }
+    impl ClientDriver for OneShot {
+        fn on_server_data(&mut self, _d: &[u8], out: &mut dyn FnMut(Vec<u8>)) {
+            if !self.sent {
+                self.sent = true;
+                out(b"HELLO\r\n".to_vec());
+            }
+        }
+        fn status(&self) -> ClientStatus {
+            ClientStatus::InProgress
+        }
+    }
+    let img = build_image(&[r#"
+        int main() {
+            char buf[64];
+            int n;
+            write_str(1, "220 ready\r\n");
+            n = read(0, buf, 63);
+            n = read(0, buf, 63); /* never arrives */
+            return n;
+        }
+    "#])
+    .unwrap();
+    let r = run_session(&img, Box::new(OneShot { sent: false }), 200_000).unwrap();
+    assert_eq!(r.stop, Stop::Deadlock);
+}
+
+#[test]
+fn zero_length_reads_and_writes_are_noops() {
+    let img = build_image(&[r#"
+        int main() {
+            char buf[8];
+            int a;
+            int b;
+            a = read(0, buf, 0);
+            b = write(1, buf, 0);
+            return a * 10 + b;
+        }
+    "#])
+    .unwrap();
+    let r = run_session(&img, Box::new(MuteClient), 100_000).unwrap();
+    assert_eq!(r.stop, Stop::Exited(0));
+}
+
+#[test]
+fn stack_exhaustion_faults_as_segv() {
+    // Unbounded recursion must hit the guard gap below the stack.
+    let img = build_image(&["int f(int n) { return f(n + 1); } int main() { return f(0); }"])
+        .unwrap();
+    let r = run_session(&img, Box::new(MuteClient), 10_000_000).unwrap();
+    match r.stop {
+        Stop::Crashed(f) => assert_eq!(f.signal_name(), "SIGSEGV"),
+        other => panic!("expected stack overflow crash, got {other:?}"),
+    }
+}

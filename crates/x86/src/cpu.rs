@@ -1,0 +1,1597 @@
+//! The IA-32 interpreter.
+//!
+//! [`Machine`] couples a [`Cpu`] register file with a [`Memory`] address
+//! space and executes decoded instructions one at a time. It surfaces three
+//! kinds of events to its embedder (the simulated OS / the fault injector):
+//! software interrupts (syscalls), faults (mapped to POSIX signal names),
+//! and breakpoint hits. The instruction counter is architecturally precise —
+//! the paper's Figure 4 (instructions between error activation and crash)
+//! is measured with it.
+
+use crate::decode::decode;
+use crate::eflags::{AF, CF, DF, OF, PF, RESERVED1, SF, ZF};
+use crate::flags;
+use crate::inst::{
+    Cond, Fault, Inst, InvalidKind, MemOperand, Op, OpSize, Operand, Reg8, RepKind, StrOp,
+};
+use crate::mem::Memory;
+
+/// Register file and flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cpu {
+    /// EAX..EDI in IA-32 encoding order (index with [`crate::Reg32`]).
+    pub regs: [u32; 8],
+    /// Instruction pointer.
+    pub eip: u32,
+    /// Flags register.
+    pub eflags: u32,
+}
+
+impl Default for Cpu {
+    fn default() -> Cpu {
+        Cpu {
+            regs: [0; 8],
+            eip: 0,
+            eflags: RESERVED1,
+        }
+    }
+}
+
+impl Cpu {
+    /// Fresh CPU with zeroed registers.
+    pub fn new() -> Cpu {
+        Cpu::default()
+    }
+
+    /// Read an 8-bit register.
+    pub fn get8(&self, r: Reg8) -> u8 {
+        let n = r as usize;
+        if n < 4 {
+            self.regs[n] as u8
+        } else {
+            (self.regs[n - 4] >> 8) as u8
+        }
+    }
+
+    /// Write an 8-bit register.
+    pub fn set8(&mut self, r: Reg8, v: u8) {
+        let n = r as usize;
+        if n < 4 {
+            self.regs[n] = (self.regs[n] & !0xFF) | v as u32;
+        } else {
+            self.regs[n - 4] = (self.regs[n - 4] & !0xFF00) | ((v as u32) << 8);
+        }
+    }
+
+    /// Evaluate a condition against the current flags.
+    pub fn cond(&self, c: Cond) -> bool {
+        let f = self.eflags;
+        let cf = f & CF != 0;
+        let zf = f & ZF != 0;
+        let sf = f & SF != 0;
+        let of = f & OF != 0;
+        let pf = f & PF != 0;
+        match c {
+            Cond::O => of,
+            Cond::No => !of,
+            Cond::B => cf,
+            Cond::Nb => !cf,
+            Cond::E => zf,
+            Cond::Ne => !zf,
+            Cond::Be => cf || zf,
+            Cond::A => !cf && !zf,
+            Cond::S => sf,
+            Cond::Ns => !sf,
+            Cond::P => pf,
+            Cond::Np => !pf,
+            Cond::L => sf != of,
+            Cond::Ge => sf == of,
+            Cond::Le => zf || (sf != of),
+            Cond::G => !zf && (sf == of),
+        }
+    }
+}
+
+/// Result of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Instruction executed normally.
+    Executed,
+    /// `int n` executed (EIP already points past it). `int 0x80` is the
+    /// Linux syscall gate; the embedder services it and resumes.
+    Syscall(u8),
+    /// The instruction faulted; EIP still points at it.
+    Fault(Fault),
+}
+
+/// Result of [`Machine::run_until_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Execution reached a breakpoint (before executing the instruction
+    /// at this address).
+    Breakpoint(u32),
+    /// A software interrupt needs servicing.
+    Syscall(u8),
+    /// The program faulted (crash).
+    Fault(Fault),
+    /// The step budget was exhausted (runaway/hang detection).
+    Budget,
+}
+
+/// Size of the decoded-instruction cache (direct-mapped, power of two).
+const ICACHE_SIZE: usize = 4096;
+
+#[derive(Debug, Clone, Copy)]
+struct ICacheEntry {
+    addr: u32,
+    inst: Inst,
+}
+
+/// A CPU bound to an address space.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Architectural registers.
+    pub cpu: Cpu,
+    /// Address space.
+    pub mem: Memory,
+    /// Instructions retired since construction.
+    pub icount: u64,
+    breakpoints: Vec<u32>,
+    icache: Vec<ICacheEntry>,
+    icache_gen: u64,
+    trace_buf: Vec<u32>,
+    trace_cap: usize,
+    trace_next: usize,
+    decoder: fn(&[u8]) -> Inst,
+}
+
+const ICACHE_EMPTY: u32 = u32::MAX; // _start never sits at 0xFFFFFFFF
+
+impl Machine {
+    /// New machine over the given memory, with a zeroed CPU.
+    pub fn new(mem: Memory) -> Machine {
+        Machine {
+            cpu: Cpu::new(),
+            mem,
+            icount: 0,
+            breakpoints: Vec::new(),
+            icache: Vec::new(),
+            icache_gen: 0,
+            trace_buf: Vec::new(),
+            trace_cap: 0,
+            trace_next: 0,
+            decoder: decode,
+        }
+    }
+
+    /// Replace the instruction decoder — e.g. with a decoder for the
+    /// paper's re-encoded instruction set, turning this machine into the
+    /// "hypothetical processor" of §6.2. Clears the decoded-instruction
+    /// cache.
+    pub fn set_decoder(&mut self, decoder: fn(&[u8]) -> Inst) {
+        self.decoder = decoder;
+        self.icache.clear();
+    }
+
+    /// Record the EIP of every retired instruction into a ring buffer of
+    /// `capacity` entries (crash forensics). Zero disables tracing.
+    pub fn enable_eip_trace(&mut self, capacity: usize) {
+        self.trace_buf.clear();
+        self.trace_cap = capacity;
+        self.trace_next = 0;
+    }
+
+    /// The most recent EIPs, oldest first (at most the configured
+    /// capacity).
+    pub fn eip_trace(&self) -> Vec<u32> {
+        if self.trace_buf.len() < self.trace_cap {
+            self.trace_buf.clone()
+        } else {
+            let mut v = Vec::with_capacity(self.trace_cap);
+            v.extend_from_slice(&self.trace_buf[self.trace_next..]);
+            v.extend_from_slice(&self.trace_buf[..self.trace_next]);
+            v
+        }
+    }
+
+    /// Arm a breakpoint. Hitting it pauses execution *before* the
+    /// instruction at `addr` runs.
+    pub fn add_breakpoint(&mut self, addr: u32) {
+        if !self.breakpoints.contains(&addr) {
+            self.breakpoints.push(addr);
+        }
+    }
+
+    /// Disarm a breakpoint. Returns true if it was armed.
+    pub fn remove_breakpoint(&mut self, addr: u32) -> bool {
+        let before = self.breakpoints.len();
+        self.breakpoints.retain(|a| *a != addr);
+        self.breakpoints.len() != before
+    }
+
+    /// Run until a breakpoint, syscall, fault, or `max_steps` instructions.
+    pub fn run_until_event(&mut self, max_steps: u64) -> RunOutcome {
+        let mut steps = 0u64;
+        loop {
+            if !self.breakpoints.is_empty() && self.breakpoints.contains(&self.cpu.eip) {
+                return RunOutcome::Breakpoint(self.cpu.eip);
+            }
+            if steps >= max_steps {
+                return RunOutcome::Budget;
+            }
+            steps += 1;
+            match self.step() {
+                StepEvent::Executed => {}
+                StepEvent::Syscall(n) => return RunOutcome::Syscall(n),
+                StepEvent::Fault(f) => return RunOutcome::Fault(f),
+            }
+        }
+    }
+
+    /// Fetch, decode and execute one instruction.
+    pub fn step(&mut self) -> StepEvent {
+        let eip = self.cpu.eip;
+        let inst = match self.fetch_decode(eip) {
+            Ok(i) => i,
+            Err(f) => return StepEvent::Fault(f),
+        };
+        self.icount += 1;
+        if self.trace_cap > 0 {
+            if self.trace_buf.len() < self.trace_cap {
+                self.trace_buf.push(eip);
+            } else {
+                self.trace_buf[self.trace_next] = eip;
+                self.trace_next = (self.trace_next + 1) % self.trace_cap;
+            }
+        }
+        let next = eip.wrapping_add(inst.len as u32);
+        match self.exec(&inst, eip, next) {
+            Ok(Flow::Next) => {
+                self.cpu.eip = next;
+                StepEvent::Executed
+            }
+            Ok(Flow::Jump(t)) => {
+                self.cpu.eip = t;
+                StepEvent::Executed
+            }
+            Ok(Flow::Syscall(v)) => {
+                self.cpu.eip = next;
+                StepEvent::Syscall(v)
+            }
+            Err(f) => StepEvent::Fault(f),
+        }
+    }
+
+    /// Fetch+decode with a direct-mapped cache keyed on EIP, invalidated
+    /// whenever executable bytes change (the injector's pokes).
+    fn fetch_decode(&mut self, eip: u32) -> Result<Inst, Fault> {
+        let gen = self.mem.exec_gen();
+        if self.icache_gen != gen || self.icache.is_empty() {
+            self.icache.clear();
+            self.icache.resize(
+                ICACHE_SIZE,
+                ICacheEntry {
+                    addr: ICACHE_EMPTY,
+                    inst: Inst::new(crate::inst::Op::Nop),
+                },
+            );
+            self.icache_gen = gen;
+        }
+        let slot = (eip as usize ^ (eip as usize >> 12)) & (ICACHE_SIZE - 1);
+        let e = &self.icache[slot];
+        if e.addr == eip {
+            return Ok(e.inst);
+        }
+        let (window, n) = self.mem.fetch_window(eip)?;
+        let inst = (self.decoder)(&window[..n]);
+        self.icache[slot] = ICacheEntry { addr: eip, inst };
+        Ok(inst)
+    }
+
+    /// Effective address of a memory operand.
+    pub fn ea(&self, m: &MemOperand) -> u32 {
+        let mut a = m.disp as u32;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.cpu.regs[b as usize]);
+        }
+        if let Some((i, s)) = m.index {
+            a = a.wrapping_add(self.cpu.regs[i as usize].wrapping_mul(s as u32));
+        }
+        a
+    }
+
+    fn read_val(&self, op: &Operand, size: OpSize) -> Result<u32, Fault> {
+        Ok(match op {
+            Operand::Reg(r) => self.cpu.regs[*r as usize],
+            Operand::Reg16(r) => self.cpu.regs[*r as usize] & 0xFFFF,
+            Operand::Reg8(r) => self.cpu.get8(*r) as u32,
+            Operand::Imm(v) => (*v as u32) & size.mask(),
+            Operand::Mem(m) => {
+                let a = self.ea(m);
+                match size {
+                    OpSize::Byte => self.mem.read8(a)? as u32,
+                    OpSize::Word => self.mem.read16(a)? as u32,
+                    OpSize::Dword => self.mem.read32(a)?,
+                }
+            }
+            Operand::Rel(_) => 0,
+        })
+    }
+
+    fn write_val(&mut self, op: &Operand, size: OpSize, v: u32) -> Result<(), Fault> {
+        match op {
+            Operand::Reg(r) => self.cpu.regs[*r as usize] = v,
+            Operand::Reg16(r) => {
+                let n = *r as usize;
+                self.cpu.regs[n] = (self.cpu.regs[n] & !0xFFFF) | (v & 0xFFFF);
+            }
+            Operand::Reg8(r) => self.cpu.set8(*r, v as u8),
+            Operand::Mem(m) => {
+                let a = self.ea(m);
+                match size {
+                    OpSize::Byte => self.mem.write8(a, v as u8)?,
+                    OpSize::Word => self.mem.write16(a, v as u16)?,
+                    OpSize::Dword => self.mem.write32(a, v)?,
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, v: u32, size: OpSize) -> Result<(), Fault> {
+        let esp = self.cpu.regs[4].wrapping_sub(size.bytes().max(2));
+        match size {
+            OpSize::Word => self.mem.write16(esp, v as u16)?,
+            _ => self.mem.write32(esp, v)?,
+        }
+        self.cpu.regs[4] = esp;
+        Ok(())
+    }
+
+    fn pop(&mut self, size: OpSize) -> Result<u32, Fault> {
+        let esp = self.cpu.regs[4];
+        let v = match size {
+            OpSize::Word => self.mem.read16(esp)? as u32,
+            _ => self.mem.read32(esp)?,
+        };
+        self.cpu.regs[4] = esp.wrapping_add(size.bytes().max(2));
+        Ok(v)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(&mut self, i: &Inst, eip: u32, next: u32) -> Result<Flow, Fault> {
+        let size = i.size;
+        let f = &mut self.cpu.eflags;
+        match i.op {
+            Op::Invalid(kind) => {
+                return Err(match kind {
+                    InvalidKind::Undefined => Fault::InvalidOpcode(eip),
+                    InvalidKind::Privileged | InvalidKind::TooLong => {
+                        Fault::GeneralProtection(eip)
+                    }
+                    InvalidKind::Truncated => Fault::FetchFault(eip),
+                })
+            }
+            Op::Nop | Op::Fpu | Op::Fwait => {}
+            Op::Mov => {
+                let v = self.read_val(&i.src.unwrap(), size)?;
+                self.write_val(&i.dst.unwrap(), size, v)?;
+            }
+            Op::Movzx => {
+                let v = self.read_val(&i.src.unwrap(), i.size2)?;
+                self.write_val(&i.dst.unwrap(), size, v & i.size2.mask())?;
+            }
+            Op::Movsx => {
+                let v = self.read_val(&i.src.unwrap(), i.size2)?;
+                let s = match i.size2 {
+                    OpSize::Byte => v as u8 as i8 as i32 as u32,
+                    OpSize::Word => v as u16 as i16 as i32 as u32,
+                    OpSize::Dword => v,
+                };
+                self.write_val(&i.dst.unwrap(), size, s & size.mask())?;
+            }
+            Op::Lea => {
+                let Operand::Mem(m) = i.src.unwrap() else {
+                    return Err(Fault::InvalidOpcode(eip));
+                };
+                let a = self.ea(&m);
+                self.write_val(&i.dst.unwrap(), OpSize::Dword, a)?;
+            }
+            Op::Xchg => {
+                let a = self.read_val(&i.dst.unwrap(), size)?;
+                let b = self.read_val(&i.src.unwrap(), size)?;
+                self.write_val(&i.dst.unwrap(), size, b)?;
+                self.write_val(&i.src.unwrap(), size, a)?;
+            }
+            Op::Add | Op::Or | Op::Adc | Op::Sbb | Op::And | Op::Sub | Op::Xor | Op::Cmp
+            | Op::Test => {
+                let a = self.read_val(&i.dst.unwrap(), size)?;
+                let b = self.read_val(&i.src.unwrap(), size)?;
+                let f = &mut self.cpu.eflags;
+                let carry = *f & CF != 0;
+                let (r, write) = match i.op {
+                    Op::Add => (flags::add(f, a, b, size, true), true),
+                    Op::Adc => (flags::adc(f, a, b, carry, size), true),
+                    Op::Sub => (flags::sub(f, a, b, size, true), true),
+                    Op::Sbb => (flags::sbb(f, a, b, carry, size), true),
+                    Op::Cmp => (flags::sub(f, a, b, size, true), false),
+                    Op::And => (flags::logic(f, a & b, size), true),
+                    Op::Test => (flags::logic(f, a & b, size), false),
+                    Op::Or => (flags::logic(f, a | b, size), true),
+                    Op::Xor => (flags::logic(f, a ^ b, size), true),
+                    _ => unreachable!(),
+                };
+                if write {
+                    self.write_val(&i.dst.unwrap(), size, r)?;
+                }
+            }
+            Op::Inc | Op::Dec => {
+                let a = self.read_val(&i.dst.unwrap(), size)?;
+                let f = &mut self.cpu.eflags;
+                let r = if i.op == Op::Inc {
+                    flags::add(f, a, 1, size, false)
+                } else {
+                    flags::sub(f, a, 1, size, false)
+                };
+                self.write_val(&i.dst.unwrap(), size, r)?;
+            }
+            Op::Neg => {
+                let a = self.read_val(&i.dst.unwrap(), size)?;
+                let f = &mut self.cpu.eflags;
+                let r = flags::sub(f, 0, a, size, true);
+                self.write_val(&i.dst.unwrap(), size, r)?;
+            }
+            Op::Not => {
+                let a = self.read_val(&i.dst.unwrap(), size)?;
+                self.write_val(&i.dst.unwrap(), size, !a & size.mask())?;
+            }
+            Op::Mul => {
+                let src = self.read_val(&i.dst.unwrap(), size)?;
+                self.mul_impl(src, size, false);
+            }
+            Op::Imul1 => {
+                let src = self.read_val(&i.dst.unwrap(), size)?;
+                self.mul_impl(src, size, true);
+            }
+            Op::Imul2 | Op::Imul3 => {
+                let lhs = if i.op == Op::Imul2 {
+                    self.read_val(&i.dst.unwrap(), size)?
+                } else {
+                    self.read_val(&i.src.unwrap(), size)?
+                };
+                let rhs = if i.op == Op::Imul2 {
+                    self.read_val(&i.src.unwrap(), size)?
+                } else {
+                    self.read_val(&i.src2.unwrap(), size)?
+                };
+                let full = (lhs as i32 as i64) * (rhs as i32 as i64);
+                let r = full as u32 & size.mask();
+                let f = &mut self.cpu.eflags;
+                flags::zsp(f, r, size);
+                let overflow = full != (r as i32 as i64);
+                flags::set_bits(f, CF | OF, if overflow { CF | OF } else { 0 });
+                self.write_val(&i.dst.unwrap(), size, r)?;
+            }
+            Op::Div => {
+                let d = self.read_val(&i.dst.unwrap(), size)?;
+                self.div_impl(d, size, false, eip)?;
+            }
+            Op::Idiv => {
+                let d = self.read_val(&i.dst.unwrap(), size)?;
+                self.div_impl(d, size, true, eip)?;
+            }
+            Op::Shl | Op::Shr | Op::Sar | Op::Rol | Op::Ror | Op::Rcl | Op::Rcr => {
+                let a = self.read_val(&i.dst.unwrap(), size)?;
+                let cnt = self.read_val(&i.src.unwrap(), OpSize::Byte)? & 31;
+                let r = self.shift_impl(i.op, a, cnt, size);
+                self.write_val(&i.dst.unwrap(), size, r)?;
+            }
+            Op::Shld | Op::Shrd => {
+                let a = self.read_val(&i.dst.unwrap(), size)?;
+                let b = self.read_val(&i.src.unwrap(), size)?;
+                let cnt = self.read_val(&i.src2.unwrap(), OpSize::Byte)? & 31;
+                if cnt != 0 {
+                    let bits = size.bytes() * 8;
+                    let r = if cnt >= bits {
+                        a // undefined on hardware; keep deterministic
+                    } else if i.op == Op::Shld {
+                        ((a << cnt) | (b >> (bits - cnt))) & size.mask()
+                    } else {
+                        ((a >> cnt) | (b << (bits - cnt))) & size.mask()
+                    };
+                    let f = &mut self.cpu.eflags;
+                    flags::zsp(f, r, size);
+                    self.write_val(&i.dst.unwrap(), size, r)?;
+                }
+            }
+            Op::Bt | Op::Bts | Op::Btr | Op::Btc => {
+                let idx = self.read_val(&i.src.unwrap(), size)?;
+                let (val, loc): (u32, Option<(u32, OpSize)>) = match i.dst.unwrap() {
+                    Operand::Mem(m) if matches!(i.src, Some(Operand::Reg(_))) => {
+                        // Register bit offsets address adjacent memory.
+                        let byte_off = ((idx as i32) >> 5).wrapping_mul(4);
+                        let a = self.ea(&m).wrapping_add(byte_off as u32);
+                        (self.mem.read32(a)?, Some((a, OpSize::Dword)))
+                    }
+                    d => (self.read_val(&d, size)?, None),
+                };
+                let bit = idx & 31;
+                let cf = (val >> bit) & 1 != 0;
+                let newv = match i.op {
+                    Op::Bts => val | (1 << bit),
+                    Op::Btr => val & !(1 << bit),
+                    Op::Btc => val ^ (1 << bit),
+                    _ => val,
+                };
+                flags::set_bits(&mut self.cpu.eflags, CF, if cf { CF } else { 0 });
+                if i.op != Op::Bt {
+                    match loc {
+                        Some((a, _)) => self.mem.write32(a, newv)?,
+                        None => self.write_val(&i.dst.unwrap(), size, newv)?,
+                    }
+                }
+            }
+            Op::Xadd => {
+                let a = self.read_val(&i.dst.unwrap(), size)?;
+                let b = self.read_val(&i.src.unwrap(), size)?;
+                let f = &mut self.cpu.eflags;
+                let r = flags::add(f, a, b, size, true);
+                self.write_val(&i.src.unwrap(), size, a)?;
+                self.write_val(&i.dst.unwrap(), size, r)?;
+            }
+            Op::Cmpxchg => {
+                let acc = match size {
+                    OpSize::Byte => self.cpu.get8(Reg8::Al) as u32,
+                    _ => self.cpu.regs[0] & size.mask(),
+                };
+                let d = self.read_val(&i.dst.unwrap(), size)?;
+                let f = &mut self.cpu.eflags;
+                flags::sub(f, acc, d, size, true);
+                if acc == d {
+                    let s = self.read_val(&i.src.unwrap(), size)?;
+                    self.write_val(&i.dst.unwrap(), size, s)?;
+                } else {
+                    match size {
+                        OpSize::Byte => self.cpu.set8(Reg8::Al, d as u8),
+                        OpSize::Word => {
+                            self.cpu.regs[0] = (self.cpu.regs[0] & !0xFFFF) | d;
+                        }
+                        OpSize::Dword => self.cpu.regs[0] = d,
+                    }
+                }
+            }
+            Op::Bswap => {
+                if let Some(Operand::Reg(r)) = i.dst {
+                    self.cpu.regs[r as usize] = self.cpu.regs[r as usize].swap_bytes();
+                }
+            }
+            Op::Arpl => {
+                flags::set_bits(&mut self.cpu.eflags, ZF, 0);
+            }
+            Op::Push => {
+                let v = self.read_val(&i.dst.unwrap(), size)?;
+                self.push(v, size)?;
+            }
+            Op::Pop => {
+                let v = self.pop(size)?;
+                self.write_val(&i.dst.unwrap(), size, v)?;
+            }
+            Op::Pusha => {
+                let esp0 = self.cpu.regs[4];
+                for n in 0..8 {
+                    let v = if n == 4 { esp0 } else { self.cpu.regs[n] };
+                    self.push(v, OpSize::Dword)?;
+                }
+            }
+            Op::Popa => {
+                for n in (0..8).rev() {
+                    let v = self.pop(OpSize::Dword)?;
+                    if n != 4 {
+                        self.cpu.regs[n] = v;
+                    }
+                }
+            }
+            Op::Pushf => {
+                let v = self.cpu.eflags | RESERVED1;
+                self.push(v, OpSize::Dword)?;
+            }
+            Op::Popf => {
+                let v = self.pop(OpSize::Dword)?;
+                let settable = CF | PF | AF | ZF | SF | DF | OF;
+                self.cpu.eflags = (v & settable) | RESERVED1;
+            }
+            Op::Sahf => {
+                let ah = self.cpu.get8(Reg8::Ah) as u32;
+                let mask = CF | PF | AF | ZF | SF;
+                flags::set_bits(&mut self.cpu.eflags, mask, ah);
+            }
+            Op::Lahf => {
+                let v = (self.cpu.eflags & (CF | PF | AF | ZF | SF)) | RESERVED1;
+                self.cpu.set8(Reg8::Ah, v as u8);
+            }
+            Op::Cwde => match size {
+                OpSize::Word => {
+                    let al = self.cpu.get8(Reg8::Al) as i8 as i16 as u16;
+                    self.cpu.regs[0] = (self.cpu.regs[0] & !0xFFFF) | al as u32;
+                }
+                _ => {
+                    let ax = self.cpu.regs[0] as u16 as i16 as i32 as u32;
+                    self.cpu.regs[0] = ax;
+                }
+            },
+            Op::Cdq => match size {
+                OpSize::Word => {
+                    let sign = if self.cpu.regs[0] & 0x8000 != 0 { 0xFFFF } else { 0 };
+                    self.cpu.regs[2] = (self.cpu.regs[2] & !0xFFFF) | sign;
+                }
+                _ => {
+                    self.cpu.regs[2] = if self.cpu.regs[0] & 0x8000_0000 != 0 {
+                        0xFFFF_FFFF
+                    } else {
+                        0
+                    };
+                }
+            },
+            Op::Clc => flags::set_bits(f, CF, 0),
+            Op::Stc => flags::set_bits(f, CF, CF),
+            Op::Cmc => *f ^= CF,
+            Op::Cld => flags::set_bits(f, DF, 0),
+            Op::Std => flags::set_bits(f, DF, DF),
+            Op::Salc => {
+                let v = if self.cpu.eflags & CF != 0 { 0xFF } else { 0 };
+                self.cpu.set8(Reg8::Al, v);
+            }
+            Op::Xlat => {
+                let a = self.cpu.regs[3].wrapping_add(self.cpu.get8(Reg8::Al) as u32);
+                let v = self.mem.read8(a)?;
+                self.cpu.set8(Reg8::Al, v);
+            }
+            Op::Aaa | Op::Aas => {
+                let al = self.cpu.get8(Reg8::Al);
+                let ah = self.cpu.get8(Reg8::Ah);
+                let adjust = (al & 0xF) > 9 || self.cpu.eflags & AF != 0;
+                if adjust {
+                    if i.op == Op::Aaa {
+                        self.cpu.set8(Reg8::Al, al.wrapping_add(6) & 0xF);
+                        self.cpu.set8(Reg8::Ah, ah.wrapping_add(1));
+                    } else {
+                        self.cpu.set8(Reg8::Al, al.wrapping_sub(6) & 0xF);
+                        self.cpu.set8(Reg8::Ah, ah.wrapping_sub(1));
+                    }
+                } else {
+                    self.cpu.set8(Reg8::Al, al & 0xF);
+                }
+                let bits = if adjust { AF | CF } else { 0 };
+                flags::set_bits(&mut self.cpu.eflags, AF | CF, bits);
+            }
+            Op::Daa | Op::Das => {
+                let al = self.cpu.get8(Reg8::Al);
+                let mut v = al;
+                let mut cf = self.cpu.eflags & CF != 0;
+                let af = self.cpu.eflags & AF != 0;
+                let mut new_af = false;
+                if (al & 0xF) > 9 || af {
+                    v = if i.op == Op::Daa {
+                        v.wrapping_add(6)
+                    } else {
+                        v.wrapping_sub(6)
+                    };
+                    new_af = true;
+                }
+                if al > 0x99 || cf {
+                    v = if i.op == Op::Daa {
+                        v.wrapping_add(0x60)
+                    } else {
+                        v.wrapping_sub(0x60)
+                    };
+                    cf = true;
+                } else {
+                    cf = false;
+                }
+                self.cpu.set8(Reg8::Al, v);
+                let f = &mut self.cpu.eflags;
+                flags::zsp(f, v as u32, OpSize::Byte);
+                let mut bits = 0;
+                if cf {
+                    bits |= CF;
+                }
+                if new_af {
+                    bits |= AF;
+                }
+                flags::set_bits(f, CF | AF, bits);
+            }
+            Op::Aam(n) => {
+                if n == 0 {
+                    return Err(Fault::DivideError(eip));
+                }
+                let al = self.cpu.get8(Reg8::Al);
+                self.cpu.set8(Reg8::Ah, al / n);
+                self.cpu.set8(Reg8::Al, al % n);
+                let v = self.cpu.get8(Reg8::Al) as u32;
+                flags::zsp(&mut self.cpu.eflags, v, OpSize::Byte);
+            }
+            Op::Aad(n) => {
+                let al = self.cpu.get8(Reg8::Al);
+                let ah = self.cpu.get8(Reg8::Ah);
+                let v = al.wrapping_add(ah.wrapping_mul(n));
+                self.cpu.set8(Reg8::Al, v);
+                self.cpu.set8(Reg8::Ah, 0);
+                flags::zsp(&mut self.cpu.eflags, v as u32, OpSize::Byte);
+            }
+            Op::Cpuid => {
+                // Deterministic pseudo-identification.
+                let leaf = self.cpu.regs[0];
+                if leaf == 0 {
+                    self.cpu.regs[0] = 1;
+                    self.cpu.regs[3] = u32::from_le_bytes(*b"Fisc"); // EBX
+                    self.cpu.regs[2] = u32::from_le_bytes(*b"-x86"); // EDX... (toy)
+                    self.cpu.regs[1] = u32::from_le_bytes(*b"Sim "); // ECX
+                } else {
+                    self.cpu.regs[0] = 0;
+                    self.cpu.regs[1] = 0;
+                    self.cpu.regs[2] = 0;
+                    self.cpu.regs[3] = 0;
+                }
+            }
+            Op::Rdtsc => {
+                self.cpu.regs[0] = self.icount as u32;
+                self.cpu.regs[2] = (self.icount >> 32) as u32;
+            }
+            Op::Bound => {
+                let v = self.read_val(&i.dst.unwrap(), size)? as i32;
+                let Operand::Mem(m) = i.src.unwrap() else {
+                    return Err(Fault::InvalidOpcode(eip));
+                };
+                let a = self.ea(&m);
+                let lo = self.mem.read32(a)? as i32;
+                let hi = self.mem.read32(a.wrapping_add(4))? as i32;
+                if v < lo || v > hi {
+                    return Err(Fault::Trap(eip));
+                }
+            }
+            Op::Str(s) => {
+                return self.string_op(s, i.rep, size, next).map(|_| Flow::Next);
+            }
+            // ── control transfer ─────────────────────────────────────
+            Op::Jcc(c) => {
+                if self.cpu.cond(c) {
+                    let Some(Operand::Rel(d)) = i.dst else {
+                        return Err(Fault::InvalidOpcode(eip));
+                    };
+                    let mut t = next.wrapping_add(d as u32);
+                    if size == OpSize::Word {
+                        t &= 0xFFFF;
+                    }
+                    return Ok(Flow::Jump(t));
+                }
+            }
+            Op::Setcc(c) => {
+                let v = self.cpu.cond(c) as u32;
+                self.write_val(&i.dst.unwrap(), OpSize::Byte, v)?;
+            }
+            Op::Jmp => {
+                let Some(Operand::Rel(d)) = i.dst else {
+                    return Err(Fault::InvalidOpcode(eip));
+                };
+                let mut t = next.wrapping_add(d as u32);
+                if size == OpSize::Word {
+                    t &= 0xFFFF;
+                }
+                return Ok(Flow::Jump(t));
+            }
+            Op::JmpInd => {
+                let t = self.read_val(&i.dst.unwrap(), OpSize::Dword)?;
+                return Ok(Flow::Jump(t));
+            }
+            Op::Call => {
+                let Some(Operand::Rel(d)) = i.dst else {
+                    return Err(Fault::InvalidOpcode(eip));
+                };
+                self.push(next, OpSize::Dword)?;
+                let mut t = next.wrapping_add(d as u32);
+                if size == OpSize::Word {
+                    t &= 0xFFFF;
+                }
+                return Ok(Flow::Jump(t));
+            }
+            Op::CallInd => {
+                let t = self.read_val(&i.dst.unwrap(), OpSize::Dword)?;
+                self.push(next, OpSize::Dword)?;
+                return Ok(Flow::Jump(t));
+            }
+            Op::Ret(extra) => {
+                let t = self.pop(OpSize::Dword)?;
+                self.cpu.regs[4] = self.cpu.regs[4].wrapping_add(extra as u32);
+                return Ok(Flow::Jump(t));
+            }
+            Op::Leave => {
+                self.cpu.regs[4] = self.cpu.regs[5];
+                let v = self.pop(OpSize::Dword)?;
+                self.cpu.regs[5] = v;
+            }
+            Op::Enter(frame, nest) => {
+                self.push(self.cpu.regs[5], OpSize::Dword)?;
+                let ft = self.cpu.regs[4];
+                let level = nest % 32;
+                if level > 0 {
+                    for _ in 1..level {
+                        self.cpu.regs[5] = self.cpu.regs[5].wrapping_sub(4);
+                        let v = self.mem.read32(self.cpu.regs[5])?;
+                        self.push(v, OpSize::Dword)?;
+                    }
+                    self.push(ft, OpSize::Dword)?;
+                }
+                self.cpu.regs[5] = ft;
+                self.cpu.regs[4] = self.cpu.regs[4].wrapping_sub(frame as u32);
+            }
+            Op::Loop | Op::Loope | Op::Loopne => {
+                let ecx = self.cpu.regs[1].wrapping_sub(1);
+                self.cpu.regs[1] = ecx;
+                let zf = self.cpu.eflags & ZF != 0;
+                let take = ecx != 0
+                    && match i.op {
+                        Op::Loope => zf,
+                        Op::Loopne => !zf,
+                        _ => true,
+                    };
+                if take {
+                    let Some(Operand::Rel(d)) = i.dst else {
+                        return Err(Fault::InvalidOpcode(eip));
+                    };
+                    return Ok(Flow::Jump(next.wrapping_add(d as u32)));
+                }
+            }
+            Op::Jecxz => {
+                if self.cpu.regs[1] == 0 {
+                    let Some(Operand::Rel(d)) = i.dst else {
+                        return Err(Fault::InvalidOpcode(eip));
+                    };
+                    return Ok(Flow::Jump(next.wrapping_add(d as u32)));
+                }
+            }
+            Op::Int(n) => {
+                if n == 0x80 {
+                    return Ok(Flow::Syscall(n));
+                }
+                return Err(Fault::Trap(eip));
+            }
+            Op::Int3 => return Err(Fault::Trap(eip)),
+            Op::Into => {
+                if self.cpu.eflags & OF != 0 {
+                    return Err(Fault::Trap(eip));
+                }
+            }
+        }
+        Ok(Flow::Next)
+    }
+
+    fn mul_impl(&mut self, src: u32, size: OpSize, signed: bool) {
+        match size {
+            OpSize::Byte => {
+                let al = self.cpu.get8(Reg8::Al);
+                let r: u16 = if signed {
+                    ((al as i8 as i16) * (src as u8 as i8 as i16)) as u16
+                } else {
+                    (al as u16) * (src as u8 as u16)
+                };
+                self.cpu.regs[0] = (self.cpu.regs[0] & !0xFFFF) | r as u32;
+                let over = if signed {
+                    (r as i16) != (r as u8 as i8 as i16)
+                } else {
+                    r > 0xFF
+                };
+                flags::set_bits(&mut self.cpu.eflags, CF | OF, if over { CF | OF } else { 0 });
+            }
+            OpSize::Word => {
+                let ax = self.cpu.regs[0] as u16;
+                let r: u32 = if signed {
+                    ((ax as i16 as i32) * (src as u16 as i16 as i32)) as u32
+                } else {
+                    (ax as u32) * (src as u16 as u32)
+                };
+                self.cpu.regs[0] = (self.cpu.regs[0] & !0xFFFF) | (r & 0xFFFF);
+                self.cpu.regs[2] = (self.cpu.regs[2] & !0xFFFF) | (r >> 16);
+                let over = if signed {
+                    (r as i32) != (r as u16 as i16 as i32)
+                } else {
+                    r > 0xFFFF
+                };
+                flags::set_bits(&mut self.cpu.eflags, CF | OF, if over { CF | OF } else { 0 });
+            }
+            OpSize::Dword => {
+                let eax = self.cpu.regs[0];
+                let r: u64 = if signed {
+                    ((eax as i32 as i64) * (src as i32 as i64)) as u64
+                } else {
+                    (eax as u64) * (src as u64)
+                };
+                self.cpu.regs[0] = r as u32;
+                self.cpu.regs[2] = (r >> 32) as u32;
+                let over = if signed {
+                    (r as i64) != (r as u32 as i32 as i64)
+                } else {
+                    r > 0xFFFF_FFFF
+                };
+                flags::set_bits(&mut self.cpu.eflags, CF | OF, if over { CF | OF } else { 0 });
+            }
+        }
+    }
+
+    fn div_impl(&mut self, src: u32, size: OpSize, signed: bool, eip: u32) -> Result<(), Fault> {
+        match size {
+            OpSize::Byte => {
+                let dividend = self.cpu.regs[0] as u16;
+                let divisor = src as u8;
+                if divisor == 0 {
+                    return Err(Fault::DivideError(eip));
+                }
+                if signed {
+                    let dd = dividend as i16;
+                    let dv = divisor as i8 as i16;
+                    let q = dd.wrapping_div(dv);
+                    let r = dd.wrapping_rem(dv);
+                    if q > i8::MAX as i16 || q < i8::MIN as i16 {
+                        return Err(Fault::DivideError(eip));
+                    }
+                    self.cpu.set8(Reg8::Al, q as u8);
+                    self.cpu.set8(Reg8::Ah, r as u8);
+                } else {
+                    let q = dividend / divisor as u16;
+                    let r = dividend % divisor as u16;
+                    if q > 0xFF {
+                        return Err(Fault::DivideError(eip));
+                    }
+                    self.cpu.set8(Reg8::Al, q as u8);
+                    self.cpu.set8(Reg8::Ah, r as u8);
+                }
+            }
+            OpSize::Word => {
+                let dividend =
+                    ((self.cpu.regs[2] as u16 as u32) << 16) | (self.cpu.regs[0] as u16 as u32);
+                let divisor = src as u16;
+                if divisor == 0 {
+                    return Err(Fault::DivideError(eip));
+                }
+                if signed {
+                    let dd = dividend as i32;
+                    let dv = divisor as i16 as i32;
+                    let q = dd.wrapping_div(dv);
+                    let r = dd.wrapping_rem(dv);
+                    if q > i16::MAX as i32 || q < i16::MIN as i32 {
+                        return Err(Fault::DivideError(eip));
+                    }
+                    self.cpu.regs[0] = (self.cpu.regs[0] & !0xFFFF) | (q as u16 as u32);
+                    self.cpu.regs[2] = (self.cpu.regs[2] & !0xFFFF) | (r as u16 as u32);
+                } else {
+                    let q = dividend / divisor as u32;
+                    let r = dividend % divisor as u32;
+                    if q > 0xFFFF {
+                        return Err(Fault::DivideError(eip));
+                    }
+                    self.cpu.regs[0] = (self.cpu.regs[0] & !0xFFFF) | q;
+                    self.cpu.regs[2] = (self.cpu.regs[2] & !0xFFFF) | r;
+                }
+            }
+            OpSize::Dword => {
+                let dividend = ((self.cpu.regs[2] as u64) << 32) | self.cpu.regs[0] as u64;
+                if src == 0 {
+                    return Err(Fault::DivideError(eip));
+                }
+                if signed {
+                    let dd = dividend as i64;
+                    let dv = src as i32 as i64;
+                    if dd == i64::MIN && dv == -1 {
+                        return Err(Fault::DivideError(eip));
+                    }
+                    let q = dd.wrapping_div(dv);
+                    let r = dd.wrapping_rem(dv);
+                    if q > i32::MAX as i64 || q < i32::MIN as i64 {
+                        return Err(Fault::DivideError(eip));
+                    }
+                    self.cpu.regs[0] = q as u32;
+                    self.cpu.regs[2] = r as u32;
+                } else {
+                    let q = dividend / src as u64;
+                    let r = dividend % src as u64;
+                    if q > u32::MAX as u64 {
+                        return Err(Fault::DivideError(eip));
+                    }
+                    self.cpu.regs[0] = q as u32;
+                    self.cpu.regs[2] = r as u32;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn shift_impl(&mut self, op: Op, a: u32, cnt: u32, size: OpSize) -> u32 {
+        let bits = size.bytes() * 8;
+        if cnt == 0 {
+            return a & size.mask();
+        }
+        let a = a & size.mask();
+        let f = &mut self.cpu.eflags;
+        match op {
+            Op::Shl => {
+                let r = if cnt >= bits { 0 } else { (a << cnt) & size.mask() };
+                let cf = if cnt <= bits {
+                    (a >> (bits - cnt)) & 1 != 0
+                } else {
+                    false
+                };
+                flags::zsp(f, r, size);
+                let of = ((r & size.sign_bit()) != 0) != cf;
+                let mut b = 0;
+                if cf {
+                    b |= CF;
+                }
+                if of {
+                    b |= OF;
+                }
+                flags::set_bits(f, CF | OF, b);
+                r
+            }
+            Op::Shr => {
+                let r = if cnt >= bits { 0 } else { a >> cnt };
+                let cf = if cnt <= bits {
+                    (a >> (cnt - 1)) & 1 != 0
+                } else {
+                    false
+                };
+                flags::zsp(f, r, size);
+                let of = a & size.sign_bit() != 0;
+                let mut b = 0;
+                if cf {
+                    b |= CF;
+                }
+                if of {
+                    b |= OF;
+                }
+                flags::set_bits(f, CF | OF, b);
+                r
+            }
+            Op::Sar => {
+                let sa = ((a << (32 - bits)) as i32) >> (32 - bits); // sign-extend to i32
+                let r = if cnt >= bits {
+                    ((sa >> 31) as u32) & size.mask()
+                } else {
+                    ((sa >> cnt) as u32) & size.mask()
+                };
+                let cf = if cnt <= bits {
+                    ((sa >> (cnt - 1)) & 1) != 0
+                } else {
+                    sa < 0
+                };
+                flags::zsp(f, r, size);
+                flags::set_bits(f, CF | OF, if cf { CF } else { 0 });
+                r
+            }
+            Op::Rol => {
+                let c = cnt % bits;
+                let r = if c == 0 {
+                    a
+                } else {
+                    ((a << c) | (a >> (bits - c))) & size.mask()
+                };
+                let cf = r & 1 != 0;
+                flags::set_bits(f, CF, if cf { CF } else { 0 });
+                r
+            }
+            Op::Ror => {
+                let c = cnt % bits;
+                let r = if c == 0 {
+                    a
+                } else {
+                    ((a >> c) | (a << (bits - c))) & size.mask()
+                };
+                let cf = r & size.sign_bit() != 0;
+                flags::set_bits(f, CF, if cf { CF } else { 0 });
+                r
+            }
+            Op::Rcl | Op::Rcr => {
+                let mut v = a;
+                let mut cf = (*f & CF) != 0;
+                for _ in 0..cnt {
+                    if op == Op::Rcl {
+                        let new_cf = v & size.sign_bit() != 0;
+                        v = ((v << 1) | cf as u32) & size.mask();
+                        cf = new_cf;
+                    } else {
+                        let new_cf = v & 1 != 0;
+                        v = (v >> 1) | ((cf as u32) * size.sign_bit());
+                        cf = new_cf;
+                    }
+                }
+                flags::set_bits(f, CF, if cf { CF } else { 0 });
+                v
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn string_op(
+        &mut self,
+        s: StrOp,
+        rep: Option<RepKind>,
+        size: OpSize,
+        _next: u32,
+    ) -> Result<(), Fault> {
+        let step = size.bytes();
+        let delta = |f: u32| -> u32 {
+            if f & DF != 0 {
+                0u32.wrapping_sub(step)
+            } else {
+                step
+            }
+        };
+        loop {
+            if rep.is_some() && self.cpu.regs[1] == 0 {
+                break;
+            }
+            let esi = self.cpu.regs[6];
+            let edi = self.cpu.regs[7];
+            let d = delta(self.cpu.eflags);
+            match s {
+                StrOp::Movs => {
+                    let v = match size {
+                        OpSize::Byte => self.mem.read8(esi)? as u32,
+                        OpSize::Word => self.mem.read16(esi)? as u32,
+                        OpSize::Dword => self.mem.read32(esi)?,
+                    };
+                    match size {
+                        OpSize::Byte => self.mem.write8(edi, v as u8)?,
+                        OpSize::Word => self.mem.write16(edi, v as u16)?,
+                        OpSize::Dword => self.mem.write32(edi, v)?,
+                    }
+                    self.cpu.regs[6] = esi.wrapping_add(d);
+                    self.cpu.regs[7] = edi.wrapping_add(d);
+                }
+                StrOp::Stos => {
+                    let v = self.cpu.regs[0];
+                    match size {
+                        OpSize::Byte => self.mem.write8(edi, v as u8)?,
+                        OpSize::Word => self.mem.write16(edi, v as u16)?,
+                        OpSize::Dword => self.mem.write32(edi, v)?,
+                    }
+                    self.cpu.regs[7] = edi.wrapping_add(d);
+                }
+                StrOp::Lods => {
+                    let v = match size {
+                        OpSize::Byte => self.mem.read8(esi)? as u32,
+                        OpSize::Word => self.mem.read16(esi)? as u32,
+                        OpSize::Dword => self.mem.read32(esi)?,
+                    };
+                    match size {
+                        OpSize::Byte => self.cpu.set8(Reg8::Al, v as u8),
+                        OpSize::Word => {
+                            self.cpu.regs[0] = (self.cpu.regs[0] & !0xFFFF) | v;
+                        }
+                        OpSize::Dword => self.cpu.regs[0] = v,
+                    }
+                    self.cpu.regs[6] = esi.wrapping_add(d);
+                }
+                StrOp::Scas => {
+                    let m = match size {
+                        OpSize::Byte => self.mem.read8(edi)? as u32,
+                        OpSize::Word => self.mem.read16(edi)? as u32,
+                        OpSize::Dword => self.mem.read32(edi)?,
+                    };
+                    let acc = self.cpu.regs[0] & size.mask();
+                    flags::sub(&mut self.cpu.eflags, acc, m, size, true);
+                    self.cpu.regs[7] = edi.wrapping_add(d);
+                }
+                StrOp::Cmps => {
+                    let a = match size {
+                        OpSize::Byte => self.mem.read8(esi)? as u32,
+                        OpSize::Word => self.mem.read16(esi)? as u32,
+                        OpSize::Dword => self.mem.read32(esi)?,
+                    };
+                    let b = match size {
+                        OpSize::Byte => self.mem.read8(edi)? as u32,
+                        OpSize::Word => self.mem.read16(edi)? as u32,
+                        OpSize::Dword => self.mem.read32(edi)?,
+                    };
+                    flags::sub(&mut self.cpu.eflags, a, b, size, true);
+                    self.cpu.regs[6] = esi.wrapping_add(d);
+                    self.cpu.regs[7] = edi.wrapping_add(d);
+                }
+            }
+            match rep {
+                None => break,
+                Some(k) => {
+                    self.cpu.regs[1] = self.cpu.regs[1].wrapping_sub(1);
+                    if self.cpu.regs[1] == 0 {
+                        break;
+                    }
+                    let zf = self.cpu.eflags & ZF != 0;
+                    let term = match (k, s) {
+                        (RepKind::RepE, StrOp::Scas | StrOp::Cmps) => !zf,
+                        (RepKind::RepNe, StrOp::Scas | StrOp::Cmps) => zf,
+                        _ => false,
+                    };
+                    if term {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+enum Flow {
+    Next,
+    Jump(u32),
+    Syscall(u8),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{Perms, Region};
+
+    /// Build a machine with the given text at 0x1000, a stack at
+    /// 0x8000..0x9000 (ESP=0x9000) and data at 0x2000.
+    fn machine(text: Vec<u8>) -> Machine {
+        let mut mem = Memory::new();
+        mem.map(Region::with_data("text", 0x1000, text, Perms::RX))
+            .unwrap();
+        mem.map(Region::zeroed("data", 0x2000, 0x1000, Perms::RW))
+            .unwrap();
+        mem.map(Region::zeroed("stack", 0x8000, 0x1000, Perms::RW))
+            .unwrap();
+        let mut m = Machine::new(mem);
+        m.cpu.eip = 0x1000;
+        m.cpu.regs[4] = 0x9000;
+        m
+    }
+
+    fn run_steps(m: &mut Machine, n: usize) {
+        for _ in 0..n {
+            assert_eq!(m.step(), StepEvent::Executed, "at eip={:#x}", m.cpu.eip);
+        }
+    }
+
+    #[test]
+    fn mov_add_sequence() {
+        // mov eax, 5; mov ebx, 7; add eax, ebx
+        let mut m = machine(vec![0xB8, 5, 0, 0, 0, 0xBB, 7, 0, 0, 0, 0x01, 0xD8]);
+        run_steps(&mut m, 3);
+        assert_eq!(m.cpu.regs[0], 12);
+        assert_eq!(m.icount, 3);
+    }
+
+    #[test]
+    fn push_pop_stack_discipline() {
+        // push 0x2000; pop eax
+        let mut m = machine(vec![0x68, 0x00, 0x20, 0x00, 0x00, 0x58]);
+        run_steps(&mut m, 1);
+        assert_eq!(m.cpu.regs[4], 0x8FFC);
+        run_steps(&mut m, 1);
+        assert_eq!(m.cpu.regs[0], 0x2000);
+        assert_eq!(m.cpu.regs[4], 0x9000);
+    }
+
+    #[test]
+    fn je_taken_and_not_taken() {
+        // xor eax, eax; test eax, eax; je +2; inc ebx; inc ecx
+        let text = vec![0x31, 0xC0, 0x85, 0xC0, 0x74, 0x01, 0x43, 0x41];
+        let mut m = machine(text);
+        run_steps(&mut m, 4);
+        // je taken: skipped inc ebx, executed inc ecx.
+        assert_eq!(m.cpu.regs[3], 0);
+        assert_eq!(m.cpu.regs[1], 1);
+
+        // mov eax,1; test eax,eax; je +2; inc ebx; inc ecx
+        let text = vec![0xB8, 1, 0, 0, 0, 0x85, 0xC0, 0x74, 0x01, 0x43, 0x41];
+        let mut m = machine(text);
+        run_steps(&mut m, 5);
+        assert_eq!(m.cpu.regs[3], 1);
+        assert_eq!(m.cpu.regs[1], 1);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        // call +3; inc ebx; (jmp to end); [target]: mov eax, 9; ret
+        // layout: 0x1000: E8 04 00 00 00 (call 0x1009)
+        //         0x1005: 43 (inc ebx)
+        //         0x1006: EB 06 (jmp 0x100E)
+        //         0x1008: 90
+        //         0x1009: B8 09 00 00 00? overlaps; use simpler layout:
+        let text = vec![
+            0xE8, 0x02, 0x00, 0x00, 0x00, // call 0x1007
+            0x43, // inc ebx
+            0xF4, // hlt (should not execute)
+            0xB8, 0x09, 0x00, 0x00, 0x00, // 0x1007: mov eax,9
+            0xC3, // ret
+        ];
+        let mut m = machine(text);
+        run_steps(&mut m, 3); // call, mov, ret
+        assert_eq!(m.cpu.regs[0], 9);
+        assert_eq!(m.cpu.eip, 0x1005);
+        run_steps(&mut m, 1); // inc ebx
+        assert_eq!(m.cpu.regs[3], 1);
+    }
+
+    #[test]
+    fn syscall_event() {
+        // mov eax, 1; int 0x80
+        let mut m = machine(vec![0xB8, 1, 0, 0, 0, 0xCD, 0x80]);
+        run_steps(&mut m, 1);
+        assert_eq!(m.step(), StepEvent::Syscall(0x80));
+        assert_eq!(m.cpu.eip, 0x1007); // advanced past int
+    }
+
+    #[test]
+    fn invalid_opcode_faults_sigill() {
+        // 0x0F 0x0B = ud2
+        let mut m = machine(vec![0x0F, 0x0B]);
+        let StepEvent::Fault(f) = m.step() else {
+            panic!("expected fault")
+        };
+        assert_eq!(f.signal_name(), "SIGILL");
+        assert_eq!(m.cpu.eip, 0x1000); // eip not advanced
+    }
+
+    #[test]
+    fn wild_store_faults_sigsegv() {
+        // mov [0x5000], eax — unmapped
+        let mut m = machine(vec![0xA3, 0x00, 0x50, 0x00, 0x00]);
+        let StepEvent::Fault(f) = m.step() else {
+            panic!("expected fault")
+        };
+        assert_eq!(f.signal_name(), "SIGSEGV");
+    }
+
+    #[test]
+    fn wild_jump_faults_fetch() {
+        // jmp -0x1000 (to unmapped 0x5)
+        let mut m = machine(vec![0xE9, 0x00, 0xF0, 0xFF, 0xFF]);
+        assert_eq!(m.step(), StepEvent::Executed);
+        let StepEvent::Fault(f) = m.step() else {
+            panic!("expected fault")
+        };
+        assert!(matches!(f, Fault::FetchFault(_)));
+    }
+
+    #[test]
+    fn divide_by_zero_faults_sigfpe() {
+        // xor ecx, ecx; mov eax, 5; div ecx
+        let mut m = machine(vec![0x31, 0xC9, 0xB8, 5, 0, 0, 0, 0xF7, 0xF1]);
+        run_steps(&mut m, 2);
+        let StepEvent::Fault(f) = m.step() else {
+            panic!("expected fault")
+        };
+        assert_eq!(f.signal_name(), "SIGFPE");
+    }
+
+    #[test]
+    fn div_and_idiv_results() {
+        // mov edx,0; mov eax,100; mov ecx,7; div ecx
+        let mut m = machine(vec![
+            0xBA, 0, 0, 0, 0, 0xB8, 100, 0, 0, 0, 0xB9, 7, 0, 0, 0, 0xF7, 0xF1,
+        ]);
+        run_steps(&mut m, 4);
+        assert_eq!(m.cpu.regs[0], 14);
+        assert_eq!(m.cpu.regs[2], 2);
+        // idiv: -100 / 7 = -14 rem -2
+        let mut m = machine(vec![
+            0xB8, 0x9C, 0xFF, 0xFF, 0xFF, // mov eax, -100
+            0x99, // cdq
+            0xB9, 7, 0, 0, 0, // mov ecx, 7
+            0xF7, 0xF9, // idiv ecx
+        ]);
+        run_steps(&mut m, 4);
+        assert_eq!(m.cpu.regs[0] as i32, -14);
+        assert_eq!(m.cpu.regs[2] as i32, -2);
+    }
+
+    #[test]
+    fn breakpoint_pauses_before_instruction() {
+        let mut m = machine(vec![0x40, 0x40, 0x40]); // inc eax x3
+        m.add_breakpoint(0x1001);
+        let out = m.run_until_event(100);
+        assert_eq!(out, RunOutcome::Breakpoint(0x1001));
+        assert_eq!(m.cpu.regs[0], 1); // only first inc ran
+        assert!(m.remove_breakpoint(0x1001));
+        assert!(!m.remove_breakpoint(0x1001));
+    }
+
+    #[test]
+    fn budget_exhaustion() {
+        // jmp self
+        let mut m = machine(vec![0xEB, 0xFE]);
+        assert_eq!(m.run_until_event(1000), RunOutcome::Budget);
+        assert_eq!(m.icount, 1000);
+    }
+
+    #[test]
+    fn rep_movsb_copies() {
+        // esi=0x2000, edi=0x2010, ecx=4; rep movsb
+        let mut m = machine(vec![0xF3, 0xA4]);
+        m.mem.write_bytes(0x2000, b"abcd").unwrap();
+        m.cpu.regs[6] = 0x2000;
+        m.cpu.regs[7] = 0x2010;
+        m.cpu.regs[1] = 4;
+        run_steps(&mut m, 1);
+        assert_eq!(m.mem.read_bytes(0x2010, 4).unwrap(), b"abcd");
+        assert_eq!(m.cpu.regs[1], 0);
+        assert_eq!(m.cpu.regs[6], 0x2004);
+    }
+
+    #[test]
+    fn repe_cmpsb_compares() {
+        let mut m = machine(vec![0xF3, 0xA6]);
+        m.mem.write_bytes(0x2000, b"abcX").unwrap();
+        m.mem.write_bytes(0x2010, b"abcY").unwrap();
+        m.cpu.regs[6] = 0x2000;
+        m.cpu.regs[7] = 0x2010;
+        m.cpu.regs[1] = 4;
+        run_steps(&mut m, 1);
+        // Stops on the mismatch at offset 3; ZF clear.
+        assert_eq!(m.cpu.eflags & ZF, 0);
+        assert_eq!(m.cpu.regs[1], 0);
+    }
+
+    #[test]
+    fn string_op_faults_propagate() {
+        // rep stosb into unmapped memory
+        let mut m = machine(vec![0xF3, 0xAA]);
+        m.cpu.regs[7] = 0x5000;
+        m.cpu.regs[1] = 10;
+        let StepEvent::Fault(f) = m.step() else {
+            panic!("expected fault")
+        };
+        assert_eq!(f.signal_name(), "SIGSEGV");
+    }
+
+    #[test]
+    fn leave_restores_frame() {
+        // push ebp; mov ebp, esp; sub esp, 0x10; leave; ret would need stack
+        let mut m = machine(vec![0x55, 0x89, 0xE5, 0x83, 0xEC, 0x10, 0xC9]);
+        m.cpu.regs[5] = 0xAAAA;
+        run_steps(&mut m, 4);
+        assert_eq!(m.cpu.regs[5], 0xAAAA);
+        assert_eq!(m.cpu.regs[4], 0x9000);
+    }
+
+    #[test]
+    fn setcc_materializes_flag() {
+        // cmp eax, 0 ; sete al
+        let mut m = machine(vec![0x83, 0xF8, 0x00, 0x0F, 0x94, 0xC0]);
+        run_steps(&mut m, 2);
+        assert_eq!(m.cpu.regs[0] & 0xFF, 1);
+    }
+
+    #[test]
+    fn movzx_movsx() {
+        // mov al, 0x80; movzx ebx, al; movsx ecx, al
+        let mut m = machine(vec![0xB0, 0x80, 0x0F, 0xB6, 0xD8, 0x0F, 0xBE, 0xC8]);
+        run_steps(&mut m, 3);
+        assert_eq!(m.cpu.regs[3], 0x80);
+        assert_eq!(m.cpu.regs[1], 0xFFFF_FF80);
+    }
+
+    #[test]
+    fn int3_faults_trap() {
+        let mut m = machine(vec![0xCC]);
+        let StepEvent::Fault(f) = m.step() else {
+            panic!("expected fault")
+        };
+        assert_eq!(f, Fault::Trap(0x1000));
+    }
+
+    #[test]
+    fn conditions_cover_both_polarities() {
+        let mut cpu = Cpu::new();
+        cpu.eflags = ZF;
+        assert!(cpu.cond(Cond::E));
+        assert!(!cpu.cond(Cond::Ne));
+        assert!(cpu.cond(Cond::Be));
+        assert!(!cpu.cond(Cond::A));
+        assert!(cpu.cond(Cond::Le));
+        cpu.eflags = SF;
+        assert!(cpu.cond(Cond::S));
+        assert!(cpu.cond(Cond::L)); // SF != OF
+        assert!(!cpu.cond(Cond::Ge));
+        cpu.eflags = SF | OF;
+        assert!(cpu.cond(Cond::Ge));
+        cpu.eflags = CF;
+        assert!(cpu.cond(Cond::B));
+        assert!(!cpu.cond(Cond::Nb));
+    }
+
+    #[test]
+    fn pusha_popa_roundtrip() {
+        let mut m = machine(vec![0x60, 0x61]);
+        for n in 0..8 {
+            if n != 4 {
+                m.cpu.regs[n] = 0x100 + n as u32;
+            }
+        }
+        let before = m.cpu.regs;
+        run_steps(&mut m, 2);
+        assert_eq!(m.cpu.regs, before);
+    }
+
+    #[test]
+    fn xchg_reg_mem() {
+        // mov [0x2000], eax via xchg
+        let mut m = machine(vec![0x87, 0x05, 0x00, 0x20, 0x00, 0x00]);
+        m.cpu.regs[0] = 42;
+        m.mem.write32(0x2000, 7).unwrap();
+        run_steps(&mut m, 1);
+        assert_eq!(m.cpu.regs[0], 7);
+        assert_eq!(m.mem.read32(0x2000).unwrap(), 42);
+    }
+
+    #[test]
+    fn shifts_behave() {
+        // mov eax, 3; shl eax, 4 => 48
+        let mut m = machine(vec![0xB8, 3, 0, 0, 0, 0xC1, 0xE0, 0x04]);
+        run_steps(&mut m, 2);
+        assert_eq!(m.cpu.regs[0], 48);
+        // sar of negative keeps sign: mov eax,-8; sar eax,1 => -4
+        let mut m = machine(vec![0xB8, 0xF8, 0xFF, 0xFF, 0xFF, 0xD1, 0xF8]);
+        run_steps(&mut m, 2);
+        assert_eq!(m.cpu.regs[0] as i32, -4);
+    }
+
+    #[test]
+    fn imul3_sets_result() {
+        // imul eax, ecx, 10
+        let mut m = machine(vec![0x6B, 0xC1, 0x0A]);
+        m.cpu.regs[1] = 7;
+        run_steps(&mut m, 1);
+        assert_eq!(m.cpu.regs[0], 70);
+    }
+
+    #[test]
+    fn indirect_call_through_register() {
+        // mov eax, 0x1008; call eax; hlt; [0x1008]: ret
+        let mut m = machine(vec![
+            0xB8, 0x08, 0x10, 0x00, 0x00, // mov eax, 0x1008
+            0xFF, 0xD0, // call eax
+            0xF4, // 0x1007: hlt (skipped by ret to here? no: ret to 0x1007)
+            0xC3, // 0x1008: ret
+        ]);
+        run_steps(&mut m, 3);
+        assert_eq!(m.cpu.eip, 0x1007);
+    }
+
+    #[test]
+    fn loop_decrements_ecx() {
+        // mov ecx, 3; [l]: inc eax; loop l
+        let mut m = machine(vec![0xB9, 3, 0, 0, 0, 0x40, 0xE2, 0xFD]);
+        run_steps(&mut m, 1 + 3 * 2);
+        assert_eq!(m.cpu.regs[0], 3);
+        assert_eq!(m.cpu.regs[1], 0);
+    }
+
+    #[test]
+    fn rel16_branch_truncates_eip_and_faults() {
+        // 66 E9 00 00: jmp rel16 0 -> eip &= 0xFFFF -> unmapped, fetch fault
+        let mut m = machine(vec![0x66, 0xE9, 0x00, 0x00]);
+        assert_eq!(m.step(), StepEvent::Executed);
+        let StepEvent::Fault(f) = m.step() else {
+            panic!("expected fetch fault")
+        };
+        assert!(matches!(f, Fault::FetchFault(_)));
+    }
+
+    #[test]
+    fn flipped_je_to_jne_takes_other_path() {
+        // The core phenomenon of the paper, at machine level:
+        //   xor eax,eax; test eax,eax; J? +1; inc ebx; inc ecx
+        let good = vec![0x31, 0xC0, 0x85, 0xC0, 0x74, 0x01, 0x43, 0x41];
+        let mut flipped = good.clone();
+        flipped[4] ^= 0x01; // je -> jne
+        let mut m1 = machine(good);
+        run_steps(&mut m1, 4);
+        let mut m2 = machine(flipped);
+        run_steps(&mut m2, 5);
+        assert_eq!(m1.cpu.regs[3], 0); // je skipped inc ebx
+        assert_eq!(m2.cpu.regs[3], 1); // jne fell through into it
+    }
+}

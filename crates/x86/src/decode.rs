@@ -1,0 +1,1279 @@
+//! A total decoder for the IA-32 subset.
+//!
+//! `decode` never fails: undefined, privileged-in-user-mode and truncated
+//! byte sequences decode to [`Op::Invalid`] instructions that fault when
+//! executed. This totality matters because the fault injector produces
+//! arbitrary bytes and the study's outcome distribution depends on what a
+//! real processor would do with them.
+//!
+//! Documented simplifications (see DESIGN.md §6):
+//!
+//! * segment-override prefixes are decoded and ignored (flat memory);
+//! * the 0x67 address-size prefix on an instruction with a memory operand
+//!   decodes as a privileged-class invalid instruction (16-bit addressing is
+//!   not modelled; the resulting fault class, SIGSEGV-like, matches what a
+//!   wild 16-bit effective address would almost always produce);
+//! * x87 opcodes decode with their correct length and execute as integer
+//!   no-ops.
+
+use crate::inst::{
+    Cond, Inst, InvalidKind, MemOperand, Op, OpSize, Operand, Reg16, Reg32, Reg8, RepKind, StrOp,
+};
+
+/// Byte cursor over the fetch window.
+struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(bytes: &'a [u8]) -> Cur<'a> {
+        Cur { bytes, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, InvalidKind> {
+        if self.pos >= 15 {
+            return Err(InvalidKind::TooLong);
+        }
+        let b = *self.bytes.get(self.pos).ok_or(InvalidKind::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, InvalidKind> {
+        let lo = self.u8()? as u16;
+        let hi = self.u8()? as u16;
+        Ok(lo | (hi << 8))
+    }
+
+    fn u32(&mut self) -> Result<u32, InvalidKind> {
+        let mut v = 0u32;
+        for i in 0..4 {
+            v |= (self.u8()? as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn i8(&mut self) -> Result<i8, InvalidKind> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn i32(&mut self) -> Result<i32, InvalidKind> {
+        Ok(self.u32()? as i32)
+    }
+}
+
+/// Prefixes gathered before the opcode.
+#[derive(Default, Clone, Copy)]
+struct Prefixes {
+    opsize: bool,
+    addrsize: bool,
+    lock: bool,
+    rep: Option<RepKind>,
+    seg: bool,
+}
+
+/// Immediate width selector for the current operand size.
+fn imm_for(c: &mut Cur, osz: OpSize) -> Result<i64, InvalidKind> {
+    Ok(match osz {
+        OpSize::Byte => c.i8()? as i64,
+        OpSize::Word => c.u16()? as i16 as i64,
+        OpSize::Dword => c.i32()? as i64,
+    })
+}
+
+/// Wrap a register number as an operand of the given size.
+fn reg_op(n: u8, osz: OpSize) -> Operand {
+    match osz {
+        OpSize::Byte => Operand::Reg8(Reg8::from_num(n)),
+        OpSize::Word => Operand::Reg16(Reg16::from_num(n)),
+        OpSize::Dword => Operand::Reg(Reg32::from_num(n)),
+    }
+}
+
+/// Decoded ModRM: the `reg` field and the r/m operand.
+struct ModRm {
+    reg: u8,
+    rm: Operand,
+}
+
+/// Decode a ModRM byte (and SIB/displacement) with 32-bit addressing.
+fn modrm(c: &mut Cur, osz: OpSize, pfx: &Prefixes) -> Result<ModRm, InvalidKind> {
+    let b = c.u8()?;
+    let md = b >> 6;
+    let reg = (b >> 3) & 7;
+    let rm = b & 7;
+    if md == 3 {
+        return Ok(ModRm {
+            reg,
+            rm: reg_op(rm, osz),
+        });
+    }
+    // Memory operand. 16-bit addressing is not modelled.
+    if pfx.addrsize {
+        return Err(InvalidKind::Privileged);
+    }
+    let mut mem = MemOperand::default();
+    let rm_final = rm;
+    if rm_final == 4 {
+        // SIB byte.
+        let sib = c.u8()?;
+        let scale = 1u8 << (sib >> 6);
+        let index = (sib >> 3) & 7;
+        let base = sib & 7;
+        if index != 4 {
+            mem.index = Some((Reg32::from_num(index), scale));
+        }
+        if base == 5 && md == 0 {
+            mem.disp = c.i32()?;
+        } else {
+            mem.base = Some(Reg32::from_num(base));
+        }
+    } else if rm_final == 5 && md == 0 {
+        mem.disp = c.i32()?;
+    } else {
+        mem.base = Some(Reg32::from_num(rm_final));
+    }
+    match md {
+        1 => mem.disp = mem.disp.wrapping_add(c.i8()? as i32),
+        2 => mem.disp = mem.disp.wrapping_add(c.i32()?),
+        _ => {}
+    }
+    Ok(ModRm {
+        reg,
+        rm: Operand::Mem(mem),
+    })
+}
+
+const GRP1: [Op; 8] = [
+    Op::Add,
+    Op::Or,
+    Op::Adc,
+    Op::Sbb,
+    Op::And,
+    Op::Sub,
+    Op::Xor,
+    Op::Cmp,
+];
+
+const GRP2: [Op; 8] = [
+    Op::Rol,
+    Op::Ror,
+    Op::Rcl,
+    Op::Rcr,
+    Op::Shl,
+    Op::Shr,
+    Op::Shl, // /6 is an alias of SAL/SHL
+    Op::Sar,
+];
+
+/// Decode one instruction from `bytes` (the fetch window). The returned
+/// instruction's `len` is the number of bytes consumed; for invalid
+/// encodings `len` covers the bytes examined (at least 1 when any byte was
+/// available).
+pub fn decode(bytes: &[u8]) -> Inst {
+    let mut c = Cur::new(bytes);
+    let mut pfx = Prefixes::default();
+    match decode_inner(&mut c, &mut pfx) {
+        Ok(mut i) => {
+            i.len = c.pos.max(1) as u8;
+            if pfx.lock && !lockable(&i) {
+                return invalid(InvalidKind::Undefined, c.pos);
+            }
+            i
+        }
+        Err(kind) => invalid(kind, c.pos),
+    }
+}
+
+fn invalid(kind: InvalidKind, pos: usize) -> Inst {
+    Inst::new(Op::Invalid(kind)).len(pos.max(1) as u8)
+}
+
+fn lockable(i: &Inst) -> bool {
+    let mem_dst = matches!(i.dst, Some(Operand::Mem(_)));
+    mem_dst
+        && matches!(
+            i.op,
+            Op::Add
+                | Op::Or
+                | Op::Adc
+                | Op::Sbb
+                | Op::And
+                | Op::Sub
+                | Op::Xor
+                | Op::Not
+                | Op::Neg
+                | Op::Inc
+                | Op::Dec
+                | Op::Xchg
+                | Op::Xadd
+                | Op::Cmpxchg
+                | Op::Bts
+                | Op::Btr
+                | Op::Btc
+        )
+}
+
+fn decode_inner(c: &mut Cur, pfx: &mut Prefixes) -> Result<Inst, InvalidKind> {
+    // Prefix loop.
+    let opcode = loop {
+        let b = c.u8()?;
+        match b {
+            0x66 => pfx.opsize = true,
+            0x67 => pfx.addrsize = true,
+            0xF0 => pfx.lock = true,
+            0xF2 => pfx.rep = Some(RepKind::RepNe),
+            0xF3 => pfx.rep = Some(RepKind::RepE),
+            0x26 | 0x2E | 0x36 | 0x3E | 0x64 | 0x65 => pfx.seg = true,
+            _ => break b,
+        }
+    };
+    let osz = if pfx.opsize {
+        OpSize::Word
+    } else {
+        OpSize::Dword
+    };
+
+    match opcode {
+        // ── ALU block ────────────────────────────────────────────────
+        0x00..=0x05
+        | 0x08..=0x0D
+        | 0x10..=0x15
+        | 0x18..=0x1D
+        | 0x20..=0x25
+        | 0x28..=0x2D
+        | 0x30..=0x35
+        | 0x38..=0x3D => {
+            let op = GRP1[(opcode >> 3) as usize];
+            match opcode & 7 {
+                0 => {
+                    let m = modrm(c, OpSize::Byte, pfx)?;
+                    Ok(Inst::new(op)
+                        .dst(m.rm)
+                        .src(reg_op(m.reg, OpSize::Byte))
+                        .size(OpSize::Byte))
+                }
+                1 => {
+                    let m = modrm(c, osz, pfx)?;
+                    Ok(Inst::new(op).dst(m.rm).src(reg_op(m.reg, osz)).size(osz))
+                }
+                2 => {
+                    let m = modrm(c, OpSize::Byte, pfx)?;
+                    Ok(Inst::new(op)
+                        .dst(reg_op(m.reg, OpSize::Byte))
+                        .src(m.rm)
+                        .size(OpSize::Byte))
+                }
+                3 => {
+                    let m = modrm(c, osz, pfx)?;
+                    Ok(Inst::new(op).dst(reg_op(m.reg, osz)).src(m.rm).size(osz))
+                }
+                4 => {
+                    let imm = c.i8()? as i64;
+                    Ok(Inst::new(op)
+                        .dst(Operand::Reg8(Reg8::Al))
+                        .src(Operand::Imm(imm))
+                        .size(OpSize::Byte))
+                }
+                5 => {
+                    let imm = imm_for(c, osz)?;
+                    Ok(Inst::new(op)
+                        .dst(reg_op(0, osz))
+                        .src(Operand::Imm(imm))
+                        .size(osz))
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        // ── segment pushes / pops ────────────────────────────────────
+        // Pushing a segment register pushes the (fixed) Linux user
+        // selector; popping one would reload a segment and can fault on an
+        // arbitrary stack value, so it is privileged-class here.
+        0x06 | 0x0E | 0x16 | 0x1E => Ok(Inst::new(Op::Push).dst(Operand::Imm(0x2B)).size(osz)),
+        0x07 | 0x17 | 0x1F => Err(InvalidKind::Privileged),
+
+        0x0F => decode_0f(c, pfx, osz),
+
+        0x27 => Ok(Inst::new(Op::Daa).size(OpSize::Byte)),
+        0x2F => Ok(Inst::new(Op::Das).size(OpSize::Byte)),
+        0x37 => Ok(Inst::new(Op::Aaa).size(OpSize::Byte)),
+        0x3F => Ok(Inst::new(Op::Aas).size(OpSize::Byte)),
+
+        // ── inc/dec/push/pop reg ─────────────────────────────────────
+        0x40..=0x47 => Ok(Inst::new(Op::Inc).dst(reg_op(opcode & 7, osz)).size(osz)),
+        0x48..=0x4F => Ok(Inst::new(Op::Dec).dst(reg_op(opcode & 7, osz)).size(osz)),
+        0x50..=0x57 => Ok(Inst::new(Op::Push).dst(reg_op(opcode & 7, osz)).size(osz)),
+        0x58..=0x5F => Ok(Inst::new(Op::Pop).dst(reg_op(opcode & 7, osz)).size(osz)),
+
+        0x60 => Ok(Inst::new(Op::Pusha)),
+        0x61 => Ok(Inst::new(Op::Popa)),
+        0x62 => {
+            let m = modrm(c, osz, pfx)?;
+            if !matches!(m.rm, Operand::Mem(_)) {
+                return Err(InvalidKind::Undefined);
+            }
+            Ok(Inst::new(Op::Bound).dst(reg_op(m.reg, osz)).src(m.rm).size(osz))
+        }
+        0x63 => {
+            let m = modrm(c, OpSize::Word, pfx)?;
+            Ok(Inst::new(Op::Arpl)
+                .dst(m.rm)
+                .src(reg_op(m.reg, OpSize::Word))
+                .size(OpSize::Word))
+        }
+
+        0x68 => {
+            let imm = imm_for(c, osz)?;
+            Ok(Inst::new(Op::Push).dst(Operand::Imm(imm)).size(osz))
+        }
+        0x69 => {
+            let m = modrm(c, osz, pfx)?;
+            let imm = imm_for(c, osz)?;
+            Ok(Inst {
+                op: Op::Imul3,
+                dst: Some(reg_op(m.reg, osz)),
+                src: Some(m.rm),
+                src2: Some(Operand::Imm(imm)),
+                size: osz,
+                size2: osz,
+                rep: None,
+                len: 0,
+            })
+        }
+        0x6A => {
+            let imm = c.i8()? as i64;
+            Ok(Inst::new(Op::Push).dst(Operand::Imm(imm)).size(osz))
+        }
+        0x6B => {
+            let m = modrm(c, osz, pfx)?;
+            let imm = c.i8()? as i64;
+            Ok(Inst {
+                op: Op::Imul3,
+                dst: Some(reg_op(m.reg, osz)),
+                src: Some(m.rm),
+                src2: Some(Operand::Imm(imm)),
+                size: osz,
+                size2: osz,
+                rep: None,
+                len: 0,
+            })
+        }
+        0x6C..=0x6F => Err(InvalidKind::Privileged), // ins/outs: I/O ports
+
+        // ── conditional branches, rel8 ───────────────────────────────
+        0x70..=0x7F => {
+            let d = c.i8()? as i32;
+            Ok(Inst::new(Op::Jcc(Cond::from_nibble(opcode & 0xF))).dst(Operand::Rel(d)))
+        }
+
+        // ── group 1 immediates ───────────────────────────────────────
+        0x80 | 0x82 => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            let imm = c.i8()? as i64;
+            Ok(Inst::new(GRP1[m.reg as usize])
+                .dst(m.rm)
+                .src(Operand::Imm(imm))
+                .size(OpSize::Byte))
+        }
+        0x81 => {
+            let m = modrm(c, osz, pfx)?;
+            let imm = imm_for(c, osz)?;
+            Ok(Inst::new(GRP1[m.reg as usize])
+                .dst(m.rm)
+                .src(Operand::Imm(imm))
+                .size(osz))
+        }
+        0x83 => {
+            let m = modrm(c, osz, pfx)?;
+            let imm = c.i8()? as i64;
+            Ok(Inst::new(GRP1[m.reg as usize])
+                .dst(m.rm)
+                .src(Operand::Imm(imm))
+                .size(osz))
+        }
+
+        0x84 => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            Ok(Inst::new(Op::Test)
+                .dst(m.rm)
+                .src(reg_op(m.reg, OpSize::Byte))
+                .size(OpSize::Byte))
+        }
+        0x85 => {
+            let m = modrm(c, osz, pfx)?;
+            Ok(Inst::new(Op::Test).dst(m.rm).src(reg_op(m.reg, osz)).size(osz))
+        }
+        0x86 => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            Ok(Inst::new(Op::Xchg)
+                .dst(m.rm)
+                .src(reg_op(m.reg, OpSize::Byte))
+                .size(OpSize::Byte))
+        }
+        0x87 => {
+            let m = modrm(c, osz, pfx)?;
+            Ok(Inst::new(Op::Xchg).dst(m.rm).src(reg_op(m.reg, osz)).size(osz))
+        }
+
+        // ── mov ──────────────────────────────────────────────────────
+        0x88 => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            Ok(Inst::new(Op::Mov)
+                .dst(m.rm)
+                .src(reg_op(m.reg, OpSize::Byte))
+                .size(OpSize::Byte))
+        }
+        0x89 => {
+            let m = modrm(c, osz, pfx)?;
+            Ok(Inst::new(Op::Mov).dst(m.rm).src(reg_op(m.reg, osz)).size(osz))
+        }
+        0x8A => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            Ok(Inst::new(Op::Mov)
+                .dst(reg_op(m.reg, OpSize::Byte))
+                .src(m.rm)
+                .size(OpSize::Byte))
+        }
+        0x8B => {
+            let m = modrm(c, osz, pfx)?;
+            Ok(Inst::new(Op::Mov).dst(reg_op(m.reg, osz)).src(m.rm).size(osz))
+        }
+        0x8C => {
+            // mov r/m16, sreg — stores the fixed user selector.
+            let m = modrm(c, OpSize::Word, pfx)?;
+            if m.reg > 5 {
+                return Err(InvalidKind::Undefined);
+            }
+            Ok(Inst::new(Op::Mov)
+                .dst(m.rm)
+                .src(Operand::Imm(0x2B))
+                .size(OpSize::Word))
+        }
+        0x8D => {
+            let m = modrm(c, osz, pfx)?;
+            if !matches!(m.rm, Operand::Mem(_)) {
+                return Err(InvalidKind::Undefined);
+            }
+            Ok(Inst::new(Op::Lea).dst(reg_op(m.reg, OpSize::Dword)).src(m.rm))
+        }
+        0x8E => Err(InvalidKind::Privileged), // mov sreg, r/m
+        0x8F => {
+            let m = modrm(c, osz, pfx)?;
+            if m.reg != 0 {
+                return Err(InvalidKind::Undefined);
+            }
+            Ok(Inst::new(Op::Pop).dst(m.rm).size(osz))
+        }
+
+        0x90 => Ok(Inst::new(Op::Nop)),
+        0x91..=0x97 => Ok(Inst::new(Op::Xchg)
+            .dst(reg_op(0, osz))
+            .src(reg_op(opcode & 7, osz))
+            .size(osz)),
+
+        0x98 => Ok(Inst::new(Op::Cwde).size(osz)),
+        0x99 => Ok(Inst::new(Op::Cdq).size(osz)),
+        0x9A => Err(InvalidKind::Privileged), // call far
+        0x9B => Ok(Inst::new(Op::Fwait)),
+        0x9C => Ok(Inst::new(Op::Pushf)),
+        0x9D => Ok(Inst::new(Op::Popf)),
+        0x9E => Ok(Inst::new(Op::Sahf)),
+        0x9F => Ok(Inst::new(Op::Lahf)),
+
+        // ── moffs forms ──────────────────────────────────────────────
+        0xA0 => {
+            let a = c.u32()?;
+            Ok(Inst::new(Op::Mov)
+                .dst(Operand::Reg8(Reg8::Al))
+                .src(Operand::Mem(MemOperand::abs(a)))
+                .size(OpSize::Byte))
+        }
+        0xA1 => {
+            let a = c.u32()?;
+            Ok(Inst::new(Op::Mov)
+                .dst(reg_op(0, osz))
+                .src(Operand::Mem(MemOperand::abs(a)))
+                .size(osz))
+        }
+        0xA2 => {
+            let a = c.u32()?;
+            Ok(Inst::new(Op::Mov)
+                .dst(Operand::Mem(MemOperand::abs(a)))
+                .src(Operand::Reg8(Reg8::Al))
+                .size(OpSize::Byte))
+        }
+        0xA3 => {
+            let a = c.u32()?;
+            Ok(Inst::new(Op::Mov)
+                .dst(Operand::Mem(MemOperand::abs(a)))
+                .src(reg_op(0, osz))
+                .size(osz))
+        }
+
+        // ── string ops ───────────────────────────────────────────────
+        0xA4 => Ok(str_inst(StrOp::Movs, OpSize::Byte, pfx)),
+        0xA5 => Ok(str_inst(StrOp::Movs, osz, pfx)),
+        0xA6 => Ok(str_inst(StrOp::Cmps, OpSize::Byte, pfx)),
+        0xA7 => Ok(str_inst(StrOp::Cmps, osz, pfx)),
+        0xA8 => {
+            let imm = c.i8()? as i64;
+            Ok(Inst::new(Op::Test)
+                .dst(Operand::Reg8(Reg8::Al))
+                .src(Operand::Imm(imm))
+                .size(OpSize::Byte))
+        }
+        0xA9 => {
+            let imm = imm_for(c, osz)?;
+            Ok(Inst::new(Op::Test)
+                .dst(reg_op(0, osz))
+                .src(Operand::Imm(imm))
+                .size(osz))
+        }
+        0xAA => Ok(str_inst(StrOp::Stos, OpSize::Byte, pfx)),
+        0xAB => Ok(str_inst(StrOp::Stos, osz, pfx)),
+        0xAC => Ok(str_inst(StrOp::Lods, OpSize::Byte, pfx)),
+        0xAD => Ok(str_inst(StrOp::Lods, osz, pfx)),
+        0xAE => Ok(str_inst(StrOp::Scas, OpSize::Byte, pfx)),
+        0xAF => Ok(str_inst(StrOp::Scas, osz, pfx)),
+
+        // ── mov reg, imm ─────────────────────────────────────────────
+        0xB0..=0xB7 => {
+            let imm = c.u8()? as i64;
+            Ok(Inst::new(Op::Mov)
+                .dst(Operand::Reg8(Reg8::from_num(opcode & 7)))
+                .src(Operand::Imm(imm))
+                .size(OpSize::Byte))
+        }
+        0xB8..=0xBF => {
+            let imm = imm_for(c, osz)?;
+            Ok(Inst::new(Op::Mov)
+                .dst(reg_op(opcode & 7, osz))
+                .src(Operand::Imm(imm))
+                .size(osz))
+        }
+
+        // ── shifts ───────────────────────────────────────────────────
+        0xC0 => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            let imm = c.u8()? as i64;
+            Ok(Inst::new(GRP2[m.reg as usize])
+                .dst(m.rm)
+                .src(Operand::Imm(imm))
+                .size(OpSize::Byte))
+        }
+        0xC1 => {
+            let m = modrm(c, osz, pfx)?;
+            let imm = c.u8()? as i64;
+            Ok(Inst::new(GRP2[m.reg as usize])
+                .dst(m.rm)
+                .src(Operand::Imm(imm))
+                .size(osz))
+        }
+        0xD0 => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            Ok(Inst::new(GRP2[m.reg as usize])
+                .dst(m.rm)
+                .src(Operand::Imm(1))
+                .size(OpSize::Byte))
+        }
+        0xD1 => {
+            let m = modrm(c, osz, pfx)?;
+            Ok(Inst::new(GRP2[m.reg as usize])
+                .dst(m.rm)
+                .src(Operand::Imm(1))
+                .size(osz))
+        }
+        0xD2 => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            Ok(Inst::new(GRP2[m.reg as usize])
+                .dst(m.rm)
+                .src(Operand::Reg8(Reg8::Cl))
+                .size(OpSize::Byte))
+        }
+        0xD3 => {
+            let m = modrm(c, osz, pfx)?;
+            Ok(Inst::new(GRP2[m.reg as usize])
+                .dst(m.rm)
+                .src(Operand::Reg8(Reg8::Cl))
+                .size(osz))
+        }
+
+        0xC2 => {
+            let imm = c.u16()?;
+            Ok(Inst::new(Op::Ret(imm)))
+        }
+        0xC3 => Ok(Inst::new(Op::Ret(0))),
+        0xC4 | 0xC5 => Err(InvalidKind::Privileged), // les/lds
+        0xC6 => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            if m.reg != 0 {
+                return Err(InvalidKind::Undefined);
+            }
+            let imm = c.u8()? as i64;
+            Ok(Inst::new(Op::Mov)
+                .dst(m.rm)
+                .src(Operand::Imm(imm))
+                .size(OpSize::Byte))
+        }
+        0xC7 => {
+            let m = modrm(c, osz, pfx)?;
+            if m.reg != 0 {
+                return Err(InvalidKind::Undefined);
+            }
+            let imm = imm_for(c, osz)?;
+            Ok(Inst::new(Op::Mov).dst(m.rm).src(Operand::Imm(imm)).size(osz))
+        }
+        0xC8 => {
+            let frame = c.u16()?;
+            let nest = c.u8()?;
+            Ok(Inst::new(Op::Enter(frame, nest)))
+        }
+        0xC9 => Ok(Inst::new(Op::Leave)),
+        0xCA | 0xCB | 0xCF => Err(InvalidKind::Privileged), // retf/iret
+        0xCC => Ok(Inst::new(Op::Int3)),
+        0xCD => {
+            let n = c.u8()?;
+            Ok(Inst::new(Op::Int(n)))
+        }
+        0xCE => Ok(Inst::new(Op::Into)),
+
+        0xD4 => {
+            let n = c.u8()?;
+            Ok(Inst::new(Op::Aam(n)).size(OpSize::Byte))
+        }
+        0xD5 => {
+            let n = c.u8()?;
+            Ok(Inst::new(Op::Aad(n)).size(OpSize::Byte))
+        }
+        0xD6 => Ok(Inst::new(Op::Salc).size(OpSize::Byte)),
+        0xD7 => Ok(Inst::new(Op::Xlat).size(OpSize::Byte)),
+
+        // ── x87: decode length via ModRM, execute as no-op ───────────
+        0xD8..=0xDF => {
+            let _ = modrm(c, OpSize::Dword, pfx)?;
+            Ok(Inst::new(Op::Fpu))
+        }
+
+        // ── loops ────────────────────────────────────────────────────
+        0xE0 => {
+            let d = c.i8()? as i32;
+            Ok(Inst::new(Op::Loopne).dst(Operand::Rel(d)))
+        }
+        0xE1 => {
+            let d = c.i8()? as i32;
+            Ok(Inst::new(Op::Loope).dst(Operand::Rel(d)))
+        }
+        0xE2 => {
+            let d = c.i8()? as i32;
+            Ok(Inst::new(Op::Loop).dst(Operand::Rel(d)))
+        }
+        0xE3 => {
+            let d = c.i8()? as i32;
+            Ok(Inst::new(Op::Jecxz).dst(Operand::Rel(d)))
+        }
+
+        0xE4..=0xE7 | 0xEC..=0xEF => Err(InvalidKind::Privileged), // in/out
+
+        0xE8 => {
+            let d = match osz {
+                OpSize::Word => c.u16()? as i16 as i32,
+                _ => c.i32()?,
+            };
+            Ok(Inst::new(Op::Call).dst(Operand::Rel(d)).size(osz))
+        }
+        0xE9 => {
+            let d = match osz {
+                OpSize::Word => c.u16()? as i16 as i32,
+                _ => c.i32()?,
+            };
+            Ok(Inst::new(Op::Jmp).dst(Operand::Rel(d)).size(osz))
+        }
+        0xEA => Err(InvalidKind::Privileged), // jmp far
+        0xEB => {
+            let d = c.i8()? as i32;
+            Ok(Inst::new(Op::Jmp).dst(Operand::Rel(d)))
+        }
+
+        0xF1 => Ok(Inst::new(Op::Int(1))),
+        0xF4 => Err(InvalidKind::Privileged), // hlt
+        0xF5 => Ok(Inst::new(Op::Cmc)),
+
+        // ── group 3 ──────────────────────────────────────────────────
+        0xF6 => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            grp3(c, m, OpSize::Byte)
+        }
+        0xF7 => {
+            let m = modrm(c, osz, pfx)?;
+            grp3(c, m, osz)
+        }
+
+        0xF8 => Ok(Inst::new(Op::Clc)),
+        0xF9 => Ok(Inst::new(Op::Stc)),
+        0xFA | 0xFB => Err(InvalidKind::Privileged), // cli/sti
+        0xFC => Ok(Inst::new(Op::Cld)),
+        0xFD => Ok(Inst::new(Op::Std)),
+
+        0xFE => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            match m.reg {
+                0 => Ok(Inst::new(Op::Inc).dst(m.rm).size(OpSize::Byte)),
+                1 => Ok(Inst::new(Op::Dec).dst(m.rm).size(OpSize::Byte)),
+                _ => Err(InvalidKind::Undefined),
+            }
+        }
+        0xFF => {
+            let m = modrm(c, osz, pfx)?;
+            match m.reg {
+                0 => Ok(Inst::new(Op::Inc).dst(m.rm).size(osz)),
+                1 => Ok(Inst::new(Op::Dec).dst(m.rm).size(osz)),
+                2 => Ok(Inst::new(Op::CallInd).dst(m.rm).size(osz)),
+                3 | 5 => Err(InvalidKind::Privileged), // far forms
+                4 => Ok(Inst::new(Op::JmpInd).dst(m.rm).size(osz)),
+                6 => Ok(Inst::new(Op::Push).dst(m.rm).size(osz)),
+                _ => Err(InvalidKind::Undefined),
+            }
+        }
+
+        // 0x66/0x67/F0/F2/F3/seg handled as prefixes above; anything that
+        // falls through here is undefined in our map.
+        _ => Err(InvalidKind::Undefined),
+    }
+}
+
+fn str_inst(op: StrOp, size: OpSize, pfx: &Prefixes) -> Inst {
+    let mut i = Inst::new(Op::Str(op)).size(size);
+    i.rep = pfx.rep;
+    i
+}
+
+fn grp3(c: &mut Cur, m: ModRm, osz: OpSize) -> Result<Inst, InvalidKind> {
+    match m.reg {
+        0 | 1 => {
+            let imm = imm_for(c, osz)?;
+            Ok(Inst::new(Op::Test).dst(m.rm).src(Operand::Imm(imm)).size(osz))
+        }
+        2 => Ok(Inst::new(Op::Not).dst(m.rm).size(osz)),
+        3 => Ok(Inst::new(Op::Neg).dst(m.rm).size(osz)),
+        4 => Ok(Inst::new(Op::Mul).dst(m.rm).size(osz)),
+        5 => Ok(Inst::new(Op::Imul1).dst(m.rm).size(osz)),
+        6 => Ok(Inst::new(Op::Div).dst(m.rm).size(osz)),
+        7 => Ok(Inst::new(Op::Idiv).dst(m.rm).size(osz)),
+        _ => unreachable!(),
+    }
+}
+
+/// Two-byte (0x0F-escaped) opcodes.
+fn decode_0f(c: &mut Cur, pfx: &Prefixes, osz: OpSize) -> Result<Inst, InvalidKind> {
+    let op2 = c.u8()?;
+    match op2 {
+        // Conditional branches rel32 (rel16 under the operand-size prefix;
+        // the paper's footnote excludes 16-bit offsets from its campaigns
+        // but the decoder still has to handle bytes that flip into them).
+        0x80..=0x8F => {
+            let d = match osz {
+                OpSize::Word => c.u16()? as i16 as i32,
+                _ => c.i32()?,
+            };
+            Ok(Inst::new(Op::Jcc(Cond::from_nibble(op2 & 0xF)))
+                .dst(Operand::Rel(d))
+                .size(osz))
+        }
+        0x90..=0x9F => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            Ok(Inst::new(Op::Setcc(Cond::from_nibble(op2 & 0xF)))
+                .dst(m.rm)
+                .size(OpSize::Byte))
+        }
+        0x18..=0x1F => {
+            // Hint-nop / prefetch space: decode ModRM, execute as nop.
+            let _ = modrm(c, osz, pfx)?;
+            Ok(Inst::new(Op::Nop))
+        }
+        0x31 => Ok(Inst::new(Op::Rdtsc)),
+        0xA0 | 0xA8 => Ok(Inst::new(Op::Push).dst(Operand::Imm(0x33)).size(osz)),
+        0xA1 | 0xA9 => Err(InvalidKind::Privileged), // pop fs/gs
+        0xA2 => Ok(Inst::new(Op::Cpuid)),
+        0xA3 | 0xAB | 0xB3 | 0xBB => {
+            let m = modrm(c, osz, pfx)?;
+            let op = match op2 {
+                0xA3 => Op::Bt,
+                0xAB => Op::Bts,
+                0xB3 => Op::Btr,
+                _ => Op::Btc,
+            };
+            Ok(Inst::new(op).dst(m.rm).src(reg_op(m.reg, osz)).size(osz))
+        }
+        0xBA => {
+            let m = modrm(c, osz, pfx)?;
+            let imm = c.u8()? as i64;
+            let op = match m.reg {
+                4 => Op::Bt,
+                5 => Op::Bts,
+                6 => Op::Btr,
+                7 => Op::Btc,
+                _ => return Err(InvalidKind::Undefined),
+            };
+            Ok(Inst::new(op).dst(m.rm).src(Operand::Imm(imm)).size(osz))
+        }
+        0xA4 | 0xAC => {
+            let m = modrm(c, osz, pfx)?;
+            let imm = c.u8()? as i64;
+            let op = if op2 == 0xA4 { Op::Shld } else { Op::Shrd };
+            Ok(Inst {
+                op,
+                dst: Some(m.rm),
+                src: Some(reg_op(m.reg, osz)),
+                src2: Some(Operand::Imm(imm)),
+                size: osz,
+                size2: osz,
+                rep: None,
+                len: 0,
+            })
+        }
+        0xA5 | 0xAD => {
+            let m = modrm(c, osz, pfx)?;
+            let op = if op2 == 0xA5 { Op::Shld } else { Op::Shrd };
+            Ok(Inst {
+                op,
+                dst: Some(m.rm),
+                src: Some(reg_op(m.reg, osz)),
+                src2: Some(Operand::Reg8(Reg8::Cl)),
+                size: osz,
+                size2: osz,
+                rep: None,
+                len: 0,
+            })
+        }
+        0xAF => {
+            let m = modrm(c, osz, pfx)?;
+            Ok(Inst::new(Op::Imul2).dst(reg_op(m.reg, osz)).src(m.rm).size(osz))
+        }
+        0xB0 => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            Ok(Inst::new(Op::Cmpxchg)
+                .dst(m.rm)
+                .src(reg_op(m.reg, OpSize::Byte))
+                .size(OpSize::Byte))
+        }
+        0xB1 => {
+            let m = modrm(c, osz, pfx)?;
+            Ok(Inst::new(Op::Cmpxchg).dst(m.rm).src(reg_op(m.reg, osz)).size(osz))
+        }
+        0xB6 => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            let mut i = Inst::new(Op::Movzx).dst(reg_op(m.reg, osz)).src(m.rm).size(osz);
+            i.size2 = OpSize::Byte;
+            Ok(i)
+        }
+        0xB7 => {
+            let m = modrm(c, OpSize::Word, pfx)?;
+            let mut i = Inst::new(Op::Movzx)
+                .dst(reg_op(m.reg, OpSize::Dword))
+                .src(m.rm)
+                .size(OpSize::Dword);
+            i.size2 = OpSize::Word;
+            Ok(i)
+        }
+        0xBE => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            let mut i = Inst::new(Op::Movsx).dst(reg_op(m.reg, osz)).src(m.rm).size(osz);
+            i.size2 = OpSize::Byte;
+            Ok(i)
+        }
+        0xBF => {
+            let m = modrm(c, OpSize::Word, pfx)?;
+            let mut i = Inst::new(Op::Movsx)
+                .dst(reg_op(m.reg, OpSize::Dword))
+                .src(m.rm)
+                .size(OpSize::Dword);
+            i.size2 = OpSize::Word;
+            Ok(i)
+        }
+        0xC0 => {
+            let m = modrm(c, OpSize::Byte, pfx)?;
+            Ok(Inst::new(Op::Xadd)
+                .dst(m.rm)
+                .src(reg_op(m.reg, OpSize::Byte))
+                .size(OpSize::Byte))
+        }
+        0xC1 => {
+            let m = modrm(c, osz, pfx)?;
+            Ok(Inst::new(Op::Xadd).dst(m.rm).src(reg_op(m.reg, osz)).size(osz))
+        }
+        0xC8..=0xCF => Ok(Inst::new(Op::Bswap).dst(Operand::Reg(Reg32::from_num(op2 & 7)))),
+        // System instructions (lgdt, mov cr, invlpg, wrmsr, ...) and
+        // anything else in the 0x0F space we do not model.
+        0x00..=0x09 | 0x20..=0x23 | 0x30 | 0x32..=0x33 => Err(InvalidKind::Privileged),
+        _ => Err(InvalidKind::Undefined),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(bytes: &[u8]) -> Inst {
+        decode(bytes)
+    }
+
+    #[test]
+    fn decode_mov_reg_imm32() {
+        let i = d(&[0xB8, 0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(i.op, Op::Mov);
+        assert_eq!(i.dst, Some(Operand::Reg(Reg32::Eax)));
+        assert_eq!(i.src, Some(Operand::Imm(0x12345678)));
+        assert_eq!(i.len, 5);
+    }
+
+    #[test]
+    fn decode_jcc_rel8() {
+        let i = d(&[0x74, 0x06]);
+        assert_eq!(i.op, Op::Jcc(Cond::E));
+        assert_eq!(i.dst, Some(Operand::Rel(6)));
+        assert_eq!(i.len, 2);
+        let i = d(&[0x75, 0xFE]); // jne .-2
+        assert_eq!(i.op, Op::Jcc(Cond::Ne));
+        assert_eq!(i.dst, Some(Operand::Rel(-2)));
+    }
+
+    #[test]
+    fn decode_jcc_rel32() {
+        let i = d(&[0x0F, 0x84, 0x10, 0x00, 0x00, 0x00]);
+        assert_eq!(i.op, Op::Jcc(Cond::E));
+        assert_eq!(i.dst, Some(Operand::Rel(0x10)));
+        assert_eq!(i.len, 6);
+    }
+
+    #[test]
+    fn decode_modrm_reg_reg() {
+        // 89 D8: mov eax, ebx  (mov r/m32, r32 with mod=11, reg=ebx, rm=eax)
+        let i = d(&[0x89, 0xD8]);
+        assert_eq!(i.op, Op::Mov);
+        assert_eq!(i.dst, Some(Operand::Reg(Reg32::Eax)));
+        assert_eq!(i.src, Some(Operand::Reg(Reg32::Ebx)));
+    }
+
+    #[test]
+    fn decode_modrm_disp8() {
+        // 8B 45 FC: mov eax, [ebp-4]
+        let i = d(&[0x8B, 0x45, 0xFC]);
+        assert_eq!(i.op, Op::Mov);
+        assert_eq!(i.dst, Some(Operand::Reg(Reg32::Eax)));
+        assert_eq!(
+            i.src,
+            Some(Operand::Mem(MemOperand::base_disp(Reg32::Ebp, -4)))
+        );
+        assert_eq!(i.len, 3);
+    }
+
+    #[test]
+    fn decode_modrm_sib() {
+        // 8B 04 9D 78 56 34 12 : mov eax, [ebx*4 + 0x12345678]
+        let i = d(&[0x8B, 0x04, 0x9D, 0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(
+            i.src,
+            Some(Operand::Mem(MemOperand {
+                base: None,
+                index: Some((Reg32::Ebx, 4)),
+                disp: 0x12345678,
+            }))
+        );
+        assert_eq!(i.len, 7);
+    }
+
+    #[test]
+    fn decode_sib_base_and_index() {
+        // 8B 44 88 04: mov eax, [eax + ecx*4 + 4]
+        let i = d(&[0x8B, 0x44, 0x88, 0x04]);
+        assert_eq!(
+            i.src,
+            Some(Operand::Mem(MemOperand {
+                base: Some(Reg32::Eax),
+                index: Some((Reg32::Ecx, 4)),
+                disp: 4,
+            }))
+        );
+    }
+
+    #[test]
+    fn decode_disp32_direct() {
+        // A1: mov eax, moffs32
+        let i = d(&[0xA1, 0x00, 0x20, 0x00, 0x00]);
+        assert_eq!(i.src, Some(Operand::Mem(MemOperand::abs(0x2000))));
+        // 8B 0D disp32: mov ecx, [disp32]
+        let i = d(&[0x8B, 0x0D, 0x00, 0x20, 0x00, 0x00]);
+        assert_eq!(i.dst, Some(Operand::Reg(Reg32::Ecx)));
+        assert_eq!(i.src, Some(Operand::Mem(MemOperand::abs(0x2000))));
+    }
+
+    #[test]
+    fn decode_push_pop() {
+        assert_eq!(d(&[0x50]).op, Op::Push);
+        assert_eq!(d(&[0x50]).dst, Some(Operand::Reg(Reg32::Eax)));
+        assert_eq!(d(&[0x51]).dst, Some(Operand::Reg(Reg32::Ecx)));
+        assert_eq!(d(&[0x58]).op, Op::Pop);
+        let i = d(&[0x68, 0x00, 0x20, 0x00, 0x00]); // push 0x2000
+        assert_eq!(i.op, Op::Push);
+        assert_eq!(i.dst, Some(Operand::Imm(0x2000)));
+        let i = d(&[0x6A, 0xFF]); // push -1
+        assert_eq!(i.dst, Some(Operand::Imm(-1)));
+    }
+
+    #[test]
+    fn decode_alu_group1() {
+        // 83 C4 08: add esp, 8
+        let i = d(&[0x83, 0xC4, 0x08]);
+        assert_eq!(i.op, Op::Add);
+        assert_eq!(i.dst, Some(Operand::Reg(Reg32::Esp)));
+        assert_eq!(i.src, Some(Operand::Imm(8)));
+        // 81 /7: cmp
+        let i = d(&[0x81, 0xF9, 0x00, 0x01, 0x00, 0x00]); // cmp ecx, 0x100
+        assert_eq!(i.op, Op::Cmp);
+        assert_eq!(i.src, Some(Operand::Imm(0x100)));
+    }
+
+    #[test]
+    fn decode_test_and_call() {
+        // 85 C0: test eax, eax
+        let i = d(&[0x85, 0xC0]);
+        assert_eq!(i.op, Op::Test);
+        assert_eq!(i.dst, Some(Operand::Reg(Reg32::Eax)));
+        assert_eq!(i.src, Some(Operand::Reg(Reg32::Eax)));
+        // E8 rel32
+        let i = d(&[0xE8, 0xFB, 0xFF, 0xFF, 0xFF]);
+        assert_eq!(i.op, Op::Call);
+        assert_eq!(i.dst, Some(Operand::Rel(-5)));
+    }
+
+    #[test]
+    fn decode_single_bit_flip_of_je_is_jne() {
+        let je = [0x74u8, 0x06];
+        let jne = [je[0] ^ 0x01, je[1]];
+        assert_eq!(d(&je).op, Op::Jcc(Cond::E));
+        assert_eq!(d(&jne).op, Op::Jcc(Cond::Ne));
+    }
+
+    #[test]
+    fn decode_flip_of_push_eax_is_push_ecx() {
+        // The paper's Example 1: push %eax (0x50) -> push %ecx (0x51).
+        assert_eq!(d(&[0x50]).dst, Some(Operand::Reg(Reg32::Eax)));
+        assert_eq!(d(&[0x51]).dst, Some(Operand::Reg(Reg32::Ecx)));
+    }
+
+    #[test]
+    fn totality_no_panic_on_all_single_bytes() {
+        for b in 0u16..=255 {
+            let i = d(&[b as u8]);
+            assert!(i.len >= 1);
+        }
+    }
+
+    #[test]
+    fn totality_no_panic_on_all_two_byte_0f() {
+        for b in 0u16..=255 {
+            let i = d(&[0x0F, b as u8, 0, 0, 0, 0, 0, 0]);
+            assert!(i.len >= 1);
+        }
+    }
+
+    #[test]
+    fn truncated_sequences_are_invalid() {
+        let i = d(&[0xB8, 0x01]); // mov eax, imm32 cut short
+        assert_eq!(i.op, Op::Invalid(InvalidKind::Truncated));
+        let i = d(&[0x0F]);
+        assert_eq!(i.op, Op::Invalid(InvalidKind::Truncated));
+        let i = d(&[]);
+        assert_eq!(i.op, Op::Invalid(InvalidKind::Truncated));
+        assert_eq!(i.len, 1);
+    }
+
+    #[test]
+    fn too_many_prefixes_is_invalid() {
+        let bytes = [0x66u8; 15];
+        let i = d(&bytes);
+        assert_eq!(i.op, Op::Invalid(InvalidKind::TooLong));
+    }
+
+    #[test]
+    fn privileged_decode_as_privileged() {
+        for b in [0xF4u8, 0xFA, 0xFB, 0xEA, 0x9A, 0xE4, 0xEC, 0x8E, 0xCF] {
+            let i = d(&[b, 0, 0, 0, 0, 0, 0]);
+            assert_eq!(
+                i.op,
+                Op::Invalid(InvalidKind::Privileged),
+                "byte {b:#x} should be privileged-class"
+            );
+        }
+    }
+
+    #[test]
+    fn grp3_and_grp5() {
+        // F7 D8: neg eax
+        let i = d(&[0xF7, 0xD8]);
+        assert_eq!(i.op, Op::Neg);
+        // F7 /0 test imm32
+        let i = d(&[0xF7, 0xC0, 1, 0, 0, 0]);
+        assert_eq!(i.op, Op::Test);
+        assert_eq!(i.src, Some(Operand::Imm(1)));
+        // FF D0: call eax
+        let i = d(&[0xFF, 0xD0]);
+        assert_eq!(i.op, Op::CallInd);
+        // FF E0: jmp eax
+        let i = d(&[0xFF, 0xE0]);
+        assert_eq!(i.op, Op::JmpInd);
+        // FF 75 08: push [ebp+8]
+        let i = d(&[0xFF, 0x75, 0x08]);
+        assert_eq!(i.op, Op::Push);
+        // FF /7 undefined
+        let i = d(&[0xFF, 0xF8]);
+        assert_eq!(i.op, Op::Invalid(InvalidKind::Undefined));
+    }
+
+    #[test]
+    fn string_ops_and_rep() {
+        let i = d(&[0xF3, 0xA4]); // rep movsb
+        assert_eq!(i.op, Op::Str(StrOp::Movs));
+        assert_eq!(i.rep, Some(RepKind::RepE));
+        assert_eq!(i.size, OpSize::Byte);
+        let i = d(&[0xF2, 0xAE]); // repne scasb
+        assert_eq!(i.rep, Some(RepKind::RepNe));
+        let i = d(&[0xA5]); // movsd
+        assert_eq!(i.size, OpSize::Dword);
+        assert_eq!(i.rep, None);
+    }
+
+    #[test]
+    fn setcc_and_movzx() {
+        // 0F 94 C0: sete al
+        let i = d(&[0x0F, 0x94, 0xC0]);
+        assert_eq!(i.op, Op::Setcc(Cond::E));
+        assert_eq!(i.dst, Some(Operand::Reg8(Reg8::Al)));
+        // 0F B6 C0: movzx eax, al
+        let i = d(&[0x0F, 0xB6, 0xC0]);
+        assert_eq!(i.op, Op::Movzx);
+        assert_eq!(i.size2, OpSize::Byte);
+    }
+
+    #[test]
+    fn leave_ret_int() {
+        assert_eq!(d(&[0xC9]).op, Op::Leave);
+        assert_eq!(d(&[0xC3]).op, Op::Ret(0));
+        assert_eq!(d(&[0xC2, 0x08, 0x00]).op, Op::Ret(8));
+        assert_eq!(d(&[0xCD, 0x80]).op, Op::Int(0x80));
+        assert_eq!(d(&[0xCC]).op, Op::Int3);
+    }
+
+    #[test]
+    fn lea_requires_memory() {
+        let i = d(&[0x8D, 0xC0]); // lea eax, eax — undefined
+        assert_eq!(i.op, Op::Invalid(InvalidKind::Undefined));
+        let i = d(&[0x8D, 0x44, 0x88, 0x04]); // lea eax, [eax+ecx*4+4]
+        assert_eq!(i.op, Op::Lea);
+    }
+
+    #[test]
+    fn fpu_opcodes_are_sized_nops() {
+        // D9 45 F8: fld dword [ebp-8] — 3 bytes
+        let i = d(&[0xD9, 0x45, 0xF8]);
+        assert_eq!(i.op, Op::Fpu);
+        assert_eq!(i.len, 3);
+        // DE C1: faddp — 2 bytes
+        let i = d(&[0xDE, 0xC1]);
+        assert_eq!(i.len, 2);
+    }
+
+    #[test]
+    fn lock_on_non_lockable_is_undefined() {
+        let i = d(&[0xF0, 0x89, 0xD8]); // lock mov eax, ebx
+        assert_eq!(i.op, Op::Invalid(InvalidKind::Undefined));
+        let i = d(&[0xF0, 0x01, 0x03]); // lock add [ebx], eax
+        assert_eq!(i.op, Op::Add);
+    }
+
+    #[test]
+    fn opsize_prefix_effects() {
+        // 66 B8 34 12: mov ax, 0x1234
+        let i = d(&[0x66, 0xB8, 0x34, 0x12]);
+        assert_eq!(i.op, Op::Mov);
+        assert_eq!(i.dst, Some(Operand::Reg16(Reg16::Ax)));
+        assert_eq!(i.src, Some(Operand::Imm(0x1234)));
+        assert_eq!(i.len, 4);
+        // 66 0F 84 xx xx: jcc rel16 — 5 bytes
+        let i = d(&[0x66, 0x0F, 0x84, 0x02, 0x00]);
+        assert_eq!(i.op, Op::Jcc(Cond::E));
+        assert_eq!(i.len, 5);
+        assert_eq!(i.size, OpSize::Word);
+    }
+
+    #[test]
+    fn addrsize_prefix_with_memory_faults() {
+        let i = d(&[0x67, 0x8B, 0x45, 0xFC, 0x00]);
+        assert_eq!(i.op, Op::Invalid(InvalidKind::Privileged));
+        // Register forms are fine.
+        let i = d(&[0x67, 0x89, 0xD8]);
+        assert_eq!(i.op, Op::Mov);
+    }
+
+    #[test]
+    fn seg_override_is_ignored() {
+        let i = d(&[0x65, 0x8B, 0x45, 0xFC]); // gs: mov eax,[ebp-4]
+        assert_eq!(i.op, Op::Mov);
+        assert_eq!(i.len, 4);
+    }
+
+    #[test]
+    fn bswap_and_bit_ops() {
+        let i = d(&[0x0F, 0xC8]);
+        assert_eq!(i.op, Op::Bswap);
+        assert_eq!(i.dst, Some(Operand::Reg(Reg32::Eax)));
+        let i = d(&[0x0F, 0xA3, 0xC8]); // bt eax, ecx
+        assert_eq!(i.op, Op::Bt);
+        let i = d(&[0x0F, 0xBA, 0xE0, 0x05]); // bt eax, 5
+        assert_eq!(i.op, Op::Bt);
+        assert_eq!(i.src, Some(Operand::Imm(5)));
+    }
+
+    #[test]
+    fn imul_forms() {
+        let i = d(&[0x0F, 0xAF, 0xC3]); // imul eax, ebx
+        assert_eq!(i.op, Op::Imul2);
+        let i = d(&[0x6B, 0xC0, 0x0A]); // imul eax, eax, 10
+        assert_eq!(i.op, Op::Imul3);
+        assert_eq!(i.src2, Some(Operand::Imm(10)));
+        let i = d(&[0x69, 0xC0, 0x00, 0x01, 0x00, 0x00]); // imul eax, eax, 256
+        assert_eq!(i.src2, Some(Operand::Imm(256)));
+        let i = d(&[0xF7, 0xEB]); // imul ebx (one-op)
+        assert_eq!(i.op, Op::Imul1);
+    }
+
+    #[test]
+    fn xchg_nop_aliases() {
+        assert_eq!(d(&[0x90]).op, Op::Nop);
+        let i = d(&[0x91]); // xchg eax, ecx
+        assert_eq!(i.op, Op::Xchg);
+        assert_eq!(i.src, Some(Operand::Reg(Reg32::Ecx)));
+    }
+
+    #[test]
+    fn len_accounting_includes_prefixes() {
+        let i = d(&[0x66, 0x90]);
+        assert_eq!(i.len, 2);
+        let i = d(&[0x2E, 0x74, 0x05]); // cs: je
+        assert_eq!(i.len, 3);
+        assert_eq!(i.op, Op::Jcc(Cond::E));
+    }
+
+    #[test]
+    fn enter_and_loops() {
+        let i = d(&[0xC8, 0x10, 0x00, 0x00]);
+        assert_eq!(i.op, Op::Enter(0x10, 0));
+        assert_eq!(i.len, 4);
+        assert_eq!(d(&[0xE2, 0xFE]).op, Op::Loop);
+        assert_eq!(d(&[0xE3, 0x02]).op, Op::Jecxz);
+        assert_eq!(d(&[0xE0, 0x00]).op, Op::Loopne);
+        assert_eq!(d(&[0xE1, 0x00]).op, Op::Loope);
+    }
+}

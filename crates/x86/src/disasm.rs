@@ -1,0 +1,312 @@
+//! AT&T-flavoured disassembly formatting.
+//!
+//! The [`fmt_att`] formatter renders decoded instructions the way the
+//! paper's figures do (`jne <232>`, `test %eax,%eax`, `push $0x8062907`),
+//! and [`DisasmLine`]/[`disassemble`] produce objdump-style listings used
+//! by the examples and the CLI's `disasm` subcommand.
+
+use crate::inst::{Inst, InvalidKind, Op, OpSize, Operand, RepKind, StrOp};
+
+/// One listing line: address, raw bytes, rendered text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Instruction address.
+    pub addr: u32,
+    /// Raw encoded bytes.
+    pub bytes: Vec<u8>,
+    /// AT&T-style rendering.
+    pub text: String,
+}
+
+impl std::fmt::Display for DisasmLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let hex: Vec<String> = self.bytes.iter().map(|b| format!("{b:02x}")).collect();
+        write!(f, "{:8x}:\t{:<21}\t{}", self.addr, hex.join(" "), self.text)
+    }
+}
+
+/// Render a sized operand AT&T-style.
+fn fmt_operand(op: &Operand, next: u32) -> String {
+    match op {
+        Operand::Reg(r) => format!("%{r}"),
+        Operand::Reg16(r) => format!("%{r}"),
+        Operand::Reg8(r) => format!("%{r}"),
+        Operand::Imm(v) => {
+            if *v < 0 {
+                format!("$-{:#x}", v.unsigned_abs())
+            } else {
+                format!("${v:#x}")
+            }
+        }
+        Operand::Rel(d) => format!("{:#x}", next.wrapping_add(*d as u32)),
+        Operand::Mem(m) => {
+            let mut s = String::new();
+            if m.disp != 0 || (m.base.is_none() && m.index.is_none()) {
+                if m.disp < 0 {
+                    s.push_str(&format!("-{:#x}", (m.disp as i64).unsigned_abs()));
+                } else {
+                    s.push_str(&format!("{:#x}", m.disp));
+                }
+            }
+            if m.base.is_some() || m.index.is_some() {
+                s.push('(');
+                if let Some(b) = m.base {
+                    s.push_str(&format!("%{b}"));
+                }
+                if let Some((i, sc)) = m.index {
+                    s.push_str(&format!(",%{i},{sc}"));
+                }
+                s.push(')');
+            }
+            s
+        }
+    }
+}
+
+fn size_suffix(size: OpSize) -> &'static str {
+    match size {
+        OpSize::Byte => "b",
+        OpSize::Word => "w",
+        OpSize::Dword => "l",
+    }
+}
+
+/// Mnemonic for an operation.
+fn mnemonic(i: &Inst) -> String {
+    match i.op {
+        Op::Add => "add".into(),
+        Op::Or => "or".into(),
+        Op::Adc => "adc".into(),
+        Op::Sbb => "sbb".into(),
+        Op::And => "and".into(),
+        Op::Sub => "sub".into(),
+        Op::Xor => "xor".into(),
+        Op::Cmp => "cmp".into(),
+        Op::Test => "test".into(),
+        Op::Mov => "mov".into(),
+        Op::Movzx => "movz".into(),
+        Op::Movsx => "movs".into(),
+        Op::Lea => "lea".into(),
+        Op::Xchg => "xchg".into(),
+        Op::Push => "push".into(),
+        Op::Pop => "pop".into(),
+        Op::Inc => "inc".into(),
+        Op::Dec => "dec".into(),
+        Op::Neg => "neg".into(),
+        Op::Not => "not".into(),
+        Op::Mul => "mul".into(),
+        Op::Imul1 | Op::Imul2 | Op::Imul3 => "imul".into(),
+        Op::Div => "div".into(),
+        Op::Idiv => "idiv".into(),
+        Op::Shl => "shl".into(),
+        Op::Shr => "shr".into(),
+        Op::Sar => "sar".into(),
+        Op::Rol => "rol".into(),
+        Op::Ror => "ror".into(),
+        Op::Rcl => "rcl".into(),
+        Op::Rcr => "rcr".into(),
+        Op::Shld => "shld".into(),
+        Op::Shrd => "shrd".into(),
+        Op::Bt => "bt".into(),
+        Op::Bts => "bts".into(),
+        Op::Btr => "btr".into(),
+        Op::Btc => "btc".into(),
+        Op::Xadd => "xadd".into(),
+        Op::Bswap => "bswap".into(),
+        Op::Cmpxchg => "cmpxchg".into(),
+        Op::Arpl => "arpl".into(),
+        Op::Jcc(c) => format!("j{}", c.suffix()),
+        Op::Setcc(c) => format!("set{}", c.suffix()),
+        Op::Jmp | Op::JmpInd => "jmp".into(),
+        Op::Call | Op::CallInd => "call".into(),
+        Op::Ret(_) => "ret".into(),
+        Op::Leave => "leave".into(),
+        Op::Enter(_, _) => "enter".into(),
+        Op::Nop => "nop".into(),
+        Op::Int(n) => format!("int ${n:#x}"),
+        Op::Int3 => "int3".into(),
+        Op::Into => "into".into(),
+        Op::Pushf => "pushf".into(),
+        Op::Popf => "popf".into(),
+        Op::Sahf => "sahf".into(),
+        Op::Lahf => "lahf".into(),
+        Op::Cwde => {
+            if i.size == OpSize::Word {
+                "cbw".into()
+            } else {
+                "cwde".into()
+            }
+        }
+        Op::Cdq => {
+            if i.size == OpSize::Word {
+                "cwd".into()
+            } else {
+                "cdq".into()
+            }
+        }
+        Op::Pusha => "pusha".into(),
+        Op::Popa => "popa".into(),
+        Op::Clc => "clc".into(),
+        Op::Stc => "stc".into(),
+        Op::Cmc => "cmc".into(),
+        Op::Cld => "cld".into(),
+        Op::Std => "std".into(),
+        Op::Loop => "loop".into(),
+        Op::Loope => "loope".into(),
+        Op::Loopne => "loopne".into(),
+        Op::Jecxz => "jecxz".into(),
+        Op::Str(s) => {
+            let rep = match i.rep {
+                Some(RepKind::RepE) => "rep ",
+                Some(RepKind::RepNe) => "repne ",
+                None => "",
+            };
+            let base = match s {
+                StrOp::Movs => "movs",
+                StrOp::Stos => "stos",
+                StrOp::Lods => "lods",
+                StrOp::Scas => "scas",
+                StrOp::Cmps => "cmps",
+            };
+            format!("{rep}{base}{}", size_suffix(i.size))
+        }
+        Op::Xlat => "xlat".into(),
+        Op::Bound => "bound".into(),
+        Op::Aaa => "aaa".into(),
+        Op::Aas => "aas".into(),
+        Op::Daa => "daa".into(),
+        Op::Das => "das".into(),
+        Op::Aam(_) => "aam".into(),
+        Op::Aad(_) => "aad".into(),
+        Op::Salc => "salc".into(),
+        Op::Fpu => "(x87)".into(),
+        Op::Cpuid => "cpuid".into(),
+        Op::Rdtsc => "rdtsc".into(),
+        Op::Fwait => "fwait".into(),
+        Op::Invalid(k) => match k {
+            InvalidKind::Undefined => "(bad)".into(),
+            InvalidKind::Privileged => "(priv)".into(),
+            InvalidKind::Truncated => "(trunc)".into(),
+            InvalidKind::TooLong => "(toolong)".into(),
+        },
+    }
+}
+
+/// Format one instruction at `addr` AT&T-style (operands reversed
+/// relative to the internal dst/src order, as AT&T does).
+pub fn fmt_att(i: &Inst, addr: u32) -> String {
+    let next = addr.wrapping_add(i.len as u32);
+    let m = mnemonic(i);
+    let mut ops: Vec<String> = Vec::new();
+    // AT&T operand order: src, dst (i.e., reversed).
+    if let Some(s2) = &i.src2 {
+        ops.push(fmt_operand(s2, next));
+    }
+    if let Some(s) = &i.src {
+        ops.push(fmt_operand(s, next));
+    }
+    if let Some(d) = &i.dst {
+        ops.push(fmt_operand(d, next));
+    }
+    match i.op {
+        Op::Ret(0) | Op::Int(_) | Op::Int3 | Op::Str(_) => m,
+        Op::Ret(n) => format!("ret ${n:#x}"),
+        Op::Enter(f, l) => format!("enter ${f:#x}, ${l:#x}"),
+        Op::Aam(n) | Op::Aad(n) => format!("{m} ${n:#x}"),
+        _ if ops.is_empty() => m,
+        _ => format!("{m} {}", ops.join(",")),
+    }
+}
+
+/// Disassemble a byte range linearly starting at `base`.
+pub fn disassemble(bytes: &[u8], base: u32) -> Vec<DisasmLine> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let i = crate::decode(&bytes[pos..bytes.len().min(pos + 15)]);
+        let addr = base + pos as u32;
+        out.push(DisasmLine {
+            addr,
+            bytes: bytes[pos..(pos + i.len as usize).min(bytes.len())].to_vec(),
+            text: fmt_att(&i, addr),
+        });
+        pos += i.len as usize;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    fn att(bytes: &[u8], addr: u32) -> String {
+        fmt_att(&decode(bytes), addr)
+    }
+
+    #[test]
+    fn renders_paper_figure1_sequence() {
+        // The disassembly in the paper's Figure 1.
+        assert_eq!(att(&[0x50], 0x216), "push %eax");
+        assert_eq!(att(&[0x51], 0x216), "push %ecx");
+        assert_eq!(att(&[0x85, 0xC0], 0x226), "test %eax,%eax");
+        assert_eq!(att(&[0x75, 0x02], 0x228), "jne 0x22c");
+        assert_eq!(att(&[0x31, 0xDB], 0x230), "xor %ebx,%ebx");
+        assert_eq!(att(&[0x74, 0x10], 0x234), "je 0x246");
+        assert_eq!(att(&[0x68, 0x07, 0x29, 0x06, 0x08], 0x240), "push $0x8062907");
+    }
+
+    #[test]
+    fn renders_memory_operands() {
+        assert_eq!(att(&[0x8B, 0x45, 0xFC], 0), "mov -0x4(%ebp),%eax");
+        assert_eq!(
+            att(&[0x8B, 0x44, 0x88, 0x04], 0),
+            "mov 0x4(%eax,%ecx,4),%eax"
+        );
+        assert_eq!(att(&[0xA1, 0x00, 0x20, 0x00, 0x00], 0), "mov 0x2000,%eax");
+        assert_eq!(att(&[0x89, 0x03], 0), "mov %eax,(%ebx)");
+    }
+
+    #[test]
+    fn renders_calls_and_rets() {
+        assert_eq!(att(&[0xE8, 0x0B, 0x00, 0x00, 0x00], 0x100), "call 0x110");
+        assert_eq!(att(&[0xC3], 0), "ret");
+        assert_eq!(att(&[0xC2, 0x08, 0x00], 0), "ret $0x8");
+        assert_eq!(att(&[0xCD, 0x80], 0), "int $0x80");
+    }
+
+    #[test]
+    fn renders_string_and_invalid() {
+        assert_eq!(att(&[0xF3, 0xA4], 0), "rep movsb");
+        assert_eq!(att(&[0x0F, 0x0B], 0), "(bad)");
+        assert_eq!(att(&[0xF4], 0), "(priv)");
+        assert_eq!(att(&[0xD6], 0), "salc");
+    }
+
+    #[test]
+    fn renders_negative_immediates() {
+        assert_eq!(att(&[0x6A, 0xFF], 0), "push $-0x1");
+        assert_eq!(att(&[0x83, 0xC4, 0xF8], 0), "add $-0x8,%esp");
+    }
+
+    #[test]
+    fn listing_covers_bytes() {
+        let bytes = vec![0x55, 0x89, 0xE5, 0xB8, 1, 0, 0, 0, 0xC9, 0xC3];
+        let lines = disassemble(&bytes, 0x1000);
+        assert_eq!(lines.len(), 5);
+        let total: usize = lines.iter().map(|l| l.bytes.len()).sum();
+        assert_eq!(total, bytes.len());
+        assert_eq!(lines[0].text, "push %ebp");
+        assert_eq!(lines[1].text, "mov %esp,%ebp");
+        let rendered = format!("{}", lines[0]);
+        assert!(rendered.contains("1000:"));
+        assert!(rendered.contains("55"));
+    }
+
+    #[test]
+    fn renders_imul3_and_setcc() {
+        assert_eq!(att(&[0x6B, 0xC1, 0x0A], 0), "imul $0xa,%ecx,%eax");
+        assert_eq!(att(&[0x0F, 0x94, 0xC0], 0), "sete %al");
+        assert_eq!(att(&[0x0F, 0xB6, 0xC0], 0), "movz %al,%eax");
+    }
+}

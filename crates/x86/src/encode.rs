@@ -1,0 +1,750 @@
+//! Encoder for the instruction subset the assembler and compiler emit.
+//!
+//! The encoder and decoder satisfy `decode(&encode(i)?) == i` (up to the
+//! `len` field, which only the decoder fills in) for every instruction the
+//! encoder accepts — a property test in `tests/` exercises this over the
+//! whole encodable space.
+//!
+//! Branch displacement selection mirrors the hardware reality the paper
+//! depends on: `Jcc`/`jmp` with a displacement that fits in `i8` get the
+//! short (2-byte, opcodes `0x70..=0x7F`/`0xEB`) form, others the long
+//! (6-byte `0x0F 0x80..=0x8F` / 5-byte `0xE9`) form. The two-pass assembler
+//! uses the same rule for relaxation.
+
+use crate::inst::{Inst, MemOperand, Op, OpSize, Operand, Reg32, Reg8, RepKind, StrOp};
+use std::fmt;
+
+/// Errors from [`encode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The operation is not in the encodable subset.
+    UnsupportedOp(String),
+    /// The operand combination is not encodable for this op.
+    BadOperands(String),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::UnsupportedOp(s) => write!(f, "unsupported instruction: {s}"),
+            EncodeError::BadOperands(s) => write!(f, "bad operand combination: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn bad(i: &Inst) -> EncodeError {
+    EncodeError::BadOperands(format!("{i}"))
+}
+
+/// Emit ModRM (+ SIB + displacement) for `reg` field and an r/m operand.
+fn put_modrm(out: &mut Vec<u8>, reg: u8, rm: &Operand) -> Result<(), EncodeError> {
+    match rm {
+        Operand::Reg(r) => out.push(0xC0 | (reg << 3) | *r as u8),
+        Operand::Reg16(r) => out.push(0xC0 | (reg << 3) | *r as u8),
+        Operand::Reg8(r) => out.push(0xC0 | (reg << 3) | *r as u8),
+        Operand::Mem(m) => put_mem(out, reg, m)?,
+        _ => {
+            return Err(EncodeError::BadOperands(
+                "immediate/rel used as r/m".to_string(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn put_mem(out: &mut Vec<u8>, reg: u8, m: &MemOperand) -> Result<(), EncodeError> {
+    if let Some((idx, scale)) = m.index {
+        if idx == Reg32::Esp {
+            return Err(EncodeError::BadOperands("esp cannot be an index".into()));
+        }
+        let ss = match scale {
+            1 => 0u8,
+            2 => 1,
+            4 => 2,
+            8 => 3,
+            _ => return Err(EncodeError::BadOperands(format!("bad scale {scale}"))),
+        };
+        match m.base {
+            None => {
+                // mod=00, rm=100, SIB base=101: [index*scale + disp32]
+                out.push((reg << 3) | 4);
+                out.push((ss << 6) | ((idx as u8) << 3) | 5);
+                out.extend_from_slice(&m.disp.to_le_bytes());
+            }
+            Some(base) => {
+                let (md, disp_bytes): (u8, &[u8]) = if m.disp == 0 && base != Reg32::Ebp {
+                    (0, &[])
+                } else if (-128..=127).contains(&m.disp) {
+                    (1, &m.disp.to_le_bytes()[..1])
+                } else {
+                    (2, &m.disp.to_le_bytes()[..])
+                };
+                // Cannot borrow twice; copy disp bytes.
+                let db = disp_bytes.to_vec();
+                out.push((md << 6) | (reg << 3) | 4);
+                out.push((ss << 6) | ((idx as u8) << 3) | base as u8);
+                out.extend_from_slice(&db);
+            }
+        }
+        return Ok(());
+    }
+    match m.base {
+        None => {
+            // [disp32]
+            out.push((reg << 3) | 5);
+            out.extend_from_slice(&m.disp.to_le_bytes());
+        }
+        Some(Reg32::Esp) => {
+            // Needs SIB with no index.
+            let (md, db): (u8, Vec<u8>) = if m.disp == 0 {
+                (0, vec![])
+            } else if (-128..=127).contains(&m.disp) {
+                (1, m.disp.to_le_bytes()[..1].to_vec())
+            } else {
+                (2, m.disp.to_le_bytes().to_vec())
+            };
+            out.push((md << 6) | (reg << 3) | 4);
+            out.push(0x24); // scale=0, index=100 (none), base=esp
+            out.extend_from_slice(&db);
+        }
+        Some(base) => {
+            let (md, db): (u8, Vec<u8>) = if m.disp == 0 && base != Reg32::Ebp {
+                (0, vec![])
+            } else if (-128..=127).contains(&m.disp) {
+                (1, m.disp.to_le_bytes()[..1].to_vec())
+            } else {
+                (2, m.disp.to_le_bytes().to_vec())
+            };
+            out.push((md << 6) | (reg << 3) | base as u8);
+            out.extend_from_slice(&db);
+        }
+    }
+    Ok(())
+}
+
+fn alu_index(op: Op) -> Option<u8> {
+    Some(match op {
+        Op::Add => 0,
+        Op::Or => 1,
+        Op::Adc => 2,
+        Op::Sbb => 3,
+        Op::And => 4,
+        Op::Sub => 5,
+        Op::Xor => 6,
+        Op::Cmp => 7,
+        _ => return None,
+    })
+}
+
+fn shift_index(op: Op) -> Option<u8> {
+    Some(match op {
+        Op::Rol => 0,
+        Op::Ror => 1,
+        Op::Rcl => 2,
+        Op::Rcr => 3,
+        Op::Shl => 4,
+        Op::Shr => 5,
+        Op::Sar => 7,
+        _ => return None,
+    })
+}
+
+/// Encode an instruction to bytes.
+///
+/// # Errors
+/// [`EncodeError`] if the op or operand combination is outside the
+/// encodable subset (the decoder understands strictly more than the
+/// encoder produces).
+pub fn encode(i: &Inst) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::with_capacity(8);
+    if i.size == OpSize::Word {
+        // Only a few word-size forms are needed; emit the prefix up front.
+        out.push(0x66);
+    }
+    match i.op {
+        // ── ALU ──────────────────────────────────────────────────────
+        op if alu_index(op).is_some() => {
+            let n = alu_index(op).unwrap();
+            match (i.dst, i.src) {
+                (Some(dst @ (Operand::Reg(_) | Operand::Reg16(_))), Some(Operand::Imm(v)))
+                    if i.size != OpSize::Byte =>
+                {
+                    if i.size == OpSize::Dword && (-128..=127).contains(&v) {
+                        out.push(0x83);
+                        put_modrm(&mut out, n, &dst)?;
+                        out.push(v as u8);
+                    } else {
+                        out.push(0x81);
+                        put_modrm(&mut out, n, &dst)?;
+                        match i.size {
+                            OpSize::Word => out.extend_from_slice(&(v as u16).to_le_bytes()),
+                            _ => out.extend_from_slice(&(v as u32).to_le_bytes()),
+                        }
+                    }
+                }
+                (Some(dst @ Operand::Mem(_)), Some(Operand::Imm(v))) => match i.size {
+                    OpSize::Byte => {
+                        out.push(0x80);
+                        put_modrm(&mut out, n, &dst)?;
+                        out.push(v as u8);
+                    }
+                    OpSize::Word => {
+                        out.push(0x81);
+                        put_modrm(&mut out, n, &dst)?;
+                        out.extend_from_slice(&(v as u16).to_le_bytes());
+                    }
+                    OpSize::Dword => {
+                        if (-128..=127).contains(&v) {
+                            out.push(0x83);
+                            put_modrm(&mut out, n, &dst)?;
+                            out.push(v as u8);
+                        } else {
+                            out.push(0x81);
+                            put_modrm(&mut out, n, &dst)?;
+                            out.extend_from_slice(&(v as u32).to_le_bytes());
+                        }
+                    }
+                },
+                (Some(dst @ Operand::Reg8(_)), Some(Operand::Imm(v))) => {
+                    out.push(0x80);
+                    put_modrm(&mut out, n, &dst)?;
+                    out.push(v as u8);
+                }
+                (Some(dst @ (Operand::Mem(_) | Operand::Reg(_) | Operand::Reg16(_))), Some(Operand::Reg(s))) => {
+                    out.push((n << 3) | 0x01);
+                    put_modrm(&mut out, s as u8, &dst)?;
+                }
+                (Some(dst @ Operand::Mem(_)), Some(Operand::Reg8(s))) => {
+                    out.push(n << 3);
+                    put_modrm(&mut out, s as u8, &dst)?;
+                }
+                (Some(Operand::Reg8(d)), Some(src @ (Operand::Mem(_) | Operand::Reg8(_)))) => {
+                    out.push((n << 3) | 0x02);
+                    put_modrm(&mut out, d as u8, &src)?;
+                }
+                (Some(Operand::Reg(d)), Some(src @ Operand::Mem(_))) => {
+                    out.push((n << 3) | 0x03);
+                    put_modrm(&mut out, d as u8, &src)?;
+                }
+                _ => return Err(bad(i)),
+            }
+        }
+
+        Op::Test => match (i.dst, i.src) {
+            (Some(dst @ (Operand::Reg(_) | Operand::Mem(_))), Some(Operand::Reg(s)))
+                if i.size == OpSize::Dword =>
+            {
+                out.push(0x85);
+                put_modrm(&mut out, s as u8, &dst)?;
+            }
+            (Some(dst @ (Operand::Reg8(_) | Operand::Mem(_))), Some(Operand::Reg8(s))) => {
+                out.push(0x84);
+                put_modrm(&mut out, s as u8, &dst)?;
+            }
+            (Some(dst @ (Operand::Reg(_) | Operand::Mem(_))), Some(Operand::Imm(v)))
+                if i.size == OpSize::Dword =>
+            {
+                out.push(0xF7);
+                put_modrm(&mut out, 0, &dst)?;
+                out.extend_from_slice(&(v as u32).to_le_bytes());
+            }
+            (Some(dst @ (Operand::Reg8(_) | Operand::Mem(_))), Some(Operand::Imm(v))) => {
+                out.push(0xF6);
+                put_modrm(&mut out, 0, &dst)?;
+                out.push(v as u8);
+            }
+            _ => return Err(bad(i)),
+        },
+
+        // ── mov ──────────────────────────────────────────────────────
+        Op::Mov => match (i.dst, i.src) {
+            (Some(Operand::Reg(d)), Some(Operand::Imm(v))) if i.size == OpSize::Dword => {
+                out.push(0xB8 + d as u8);
+                out.extend_from_slice(&(v as u32).to_le_bytes());
+            }
+            (Some(Operand::Reg16(d)), Some(Operand::Imm(v))) => {
+                out.push(0xB8 + d as u8);
+                out.extend_from_slice(&(v as u16).to_le_bytes());
+            }
+            (Some(Operand::Reg8(d)), Some(Operand::Imm(v))) => {
+                out.push(0xB0 + d as u8);
+                out.push(v as u8);
+            }
+            (Some(dst @ Operand::Mem(_)), Some(Operand::Imm(v))) => match i.size {
+                OpSize::Byte => {
+                    out.push(0xC6);
+                    put_modrm(&mut out, 0, &dst)?;
+                    out.push(v as u8);
+                }
+                OpSize::Word => {
+                    out.push(0xC7);
+                    put_modrm(&mut out, 0, &dst)?;
+                    out.extend_from_slice(&(v as u16).to_le_bytes());
+                }
+                OpSize::Dword => {
+                    out.push(0xC7);
+                    put_modrm(&mut out, 0, &dst)?;
+                    out.extend_from_slice(&(v as u32).to_le_bytes());
+                }
+            },
+            (Some(dst @ (Operand::Reg(_) | Operand::Mem(_))), Some(Operand::Reg(s)))
+                if i.size == OpSize::Dword =>
+            {
+                out.push(0x89);
+                put_modrm(&mut out, s as u8, &dst)?;
+            }
+            (Some(Operand::Reg(d)), Some(src @ Operand::Mem(_))) if i.size == OpSize::Dword => {
+                out.push(0x8B);
+                put_modrm(&mut out, d as u8, &src)?;
+            }
+            (Some(dst @ (Operand::Reg8(_) | Operand::Mem(_))), Some(Operand::Reg8(s))) => {
+                out.push(0x88);
+                put_modrm(&mut out, s as u8, &dst)?;
+            }
+            (Some(Operand::Reg8(d)), Some(src @ Operand::Mem(_))) => {
+                out.push(0x8A);
+                put_modrm(&mut out, d as u8, &src)?;
+            }
+            _ => return Err(bad(i)),
+        },
+
+        Op::Movzx | Op::Movsx => {
+            let base: u8 = if i.op == Op::Movzx { 0xB6 } else { 0xBE };
+            let (Some(Operand::Reg(d)), Some(src)) = (i.dst, i.src) else {
+                return Err(bad(i));
+            };
+            out.push(0x0F);
+            match i.size2 {
+                OpSize::Byte => out.push(base),
+                OpSize::Word => out.push(base + 1),
+                OpSize::Dword => return Err(bad(i)),
+            }
+            put_modrm(&mut out, d as u8, &src)?;
+        }
+
+        Op::Lea => {
+            let (Some(Operand::Reg(d)), Some(src @ Operand::Mem(_))) = (i.dst, i.src) else {
+                return Err(bad(i));
+            };
+            out.push(0x8D);
+            put_modrm(&mut out, d as u8, &src)?;
+        }
+
+        Op::Xchg => match (i.dst, i.src) {
+            (Some(dst @ (Operand::Reg(_) | Operand::Mem(_))), Some(Operand::Reg(s))) => {
+                out.push(0x87);
+                put_modrm(&mut out, s as u8, &dst)?;
+            }
+            _ => return Err(bad(i)),
+        },
+
+        // ── stack ────────────────────────────────────────────────────
+        Op::Push => match i.dst {
+            Some(Operand::Reg(r)) => out.push(0x50 + r as u8),
+            Some(Operand::Imm(v)) => {
+                if (-128..=127).contains(&v) {
+                    out.push(0x6A);
+                    out.push(v as u8);
+                } else {
+                    out.push(0x68);
+                    out.extend_from_slice(&(v as u32).to_le_bytes());
+                }
+            }
+            Some(m @ Operand::Mem(_)) => {
+                out.push(0xFF);
+                put_modrm(&mut out, 6, &m)?;
+            }
+            _ => return Err(bad(i)),
+        },
+        Op::Pop => match i.dst {
+            Some(Operand::Reg(r)) => out.push(0x58 + r as u8),
+            Some(m @ Operand::Mem(_)) => {
+                out.push(0x8F);
+                put_modrm(&mut out, 0, &m)?;
+            }
+            _ => return Err(bad(i)),
+        },
+
+        // ── unary ────────────────────────────────────────────────────
+        Op::Inc | Op::Dec => {
+            let n: u8 = if i.op == Op::Inc { 0 } else { 1 };
+            match i.dst {
+                Some(Operand::Reg(r)) if i.size == OpSize::Dword => {
+                    out.push(if i.op == Op::Inc { 0x40 } else { 0x48 } + r as u8)
+                }
+                Some(m @ Operand::Mem(_)) if i.size == OpSize::Dword => {
+                    out.push(0xFF);
+                    put_modrm(&mut out, n, &m)?;
+                }
+                Some(d @ (Operand::Reg8(_) | Operand::Mem(_))) if i.size == OpSize::Byte => {
+                    out.push(0xFE);
+                    put_modrm(&mut out, n, &d)?;
+                }
+                _ => return Err(bad(i)),
+            }
+        }
+        Op::Neg | Op::Not | Op::Mul | Op::Imul1 | Op::Div | Op::Idiv => {
+            let n: u8 = match i.op {
+                Op::Not => 2,
+                Op::Neg => 3,
+                Op::Mul => 4,
+                Op::Imul1 => 5,
+                Op::Div => 6,
+                Op::Idiv => 7,
+                _ => unreachable!(),
+            };
+            let Some(d) = i.dst else { return Err(bad(i)) };
+            out.push(if i.size == OpSize::Byte { 0xF6 } else { 0xF7 });
+            put_modrm(&mut out, n, &d)?;
+        }
+        Op::Imul2 => {
+            let (Some(Operand::Reg(d)), Some(src)) = (i.dst, i.src) else {
+                return Err(bad(i));
+            };
+            out.push(0x0F);
+            out.push(0xAF);
+            put_modrm(&mut out, d as u8, &src)?;
+        }
+        Op::Imul3 => {
+            let (Some(Operand::Reg(d)), Some(src), Some(Operand::Imm(v))) = (i.dst, i.src, i.src2)
+            else {
+                return Err(bad(i));
+            };
+            if (-128..=127).contains(&v) {
+                out.push(0x6B);
+                put_modrm(&mut out, d as u8, &src)?;
+                out.push(v as u8);
+            } else {
+                out.push(0x69);
+                put_modrm(&mut out, d as u8, &src)?;
+                out.extend_from_slice(&(v as u32).to_le_bytes());
+            }
+        }
+
+        // ── shifts ───────────────────────────────────────────────────
+        op if shift_index(op).is_some() => {
+            let n = shift_index(op).unwrap();
+            let Some(d) = i.dst else { return Err(bad(i)) };
+            let byte = i.size == OpSize::Byte;
+            match i.src {
+                Some(Operand::Imm(1)) => {
+                    out.push(if byte { 0xD0 } else { 0xD1 });
+                    put_modrm(&mut out, n, &d)?;
+                }
+                Some(Operand::Imm(v)) => {
+                    out.push(if byte { 0xC0 } else { 0xC1 });
+                    put_modrm(&mut out, n, &d)?;
+                    out.push(v as u8);
+                }
+                Some(Operand::Reg8(Reg8::Cl)) => {
+                    out.push(if byte { 0xD2 } else { 0xD3 });
+                    put_modrm(&mut out, n, &d)?;
+                }
+                _ => return Err(bad(i)),
+            }
+        }
+
+        // ── control transfer ─────────────────────────────────────────
+        Op::Jcc(c) => {
+            let Some(Operand::Rel(d)) = i.dst else {
+                return Err(bad(i));
+            };
+            if (-128..=127).contains(&d) {
+                out.push(0x70 | c as u8);
+                out.push(d as u8);
+            } else {
+                out.push(0x0F);
+                out.push(0x80 | c as u8);
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+        }
+        Op::Setcc(c) => {
+            let Some(d) = i.dst else { return Err(bad(i)) };
+            out.push(0x0F);
+            out.push(0x90 | c as u8);
+            put_modrm(&mut out, 0, &d)?;
+        }
+        Op::Jmp => {
+            let Some(Operand::Rel(d)) = i.dst else {
+                return Err(bad(i));
+            };
+            if (-128..=127).contains(&d) {
+                out.push(0xEB);
+                out.push(d as u8);
+            } else {
+                out.push(0xE9);
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+        }
+        Op::JmpInd => {
+            let Some(d) = i.dst else { return Err(bad(i)) };
+            out.push(0xFF);
+            put_modrm(&mut out, 4, &d)?;
+        }
+        Op::Call => {
+            let Some(Operand::Rel(d)) = i.dst else {
+                return Err(bad(i));
+            };
+            out.push(0xE8);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Op::CallInd => {
+            let Some(d) = i.dst else { return Err(bad(i)) };
+            out.push(0xFF);
+            put_modrm(&mut out, 2, &d)?;
+        }
+        Op::Ret(0) => out.push(0xC3),
+        Op::Ret(n) => {
+            out.push(0xC2);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Op::Leave => out.push(0xC9),
+        Op::Loop => {
+            let Some(Operand::Rel(d)) = i.dst else {
+                return Err(bad(i));
+            };
+            if !(-128..=127).contains(&d) {
+                return Err(bad(i));
+            }
+            out.push(0xE2);
+            out.push(d as u8);
+        }
+        Op::Jecxz => {
+            let Some(Operand::Rel(d)) = i.dst else {
+                return Err(bad(i));
+            };
+            if !(-128..=127).contains(&d) {
+                return Err(bad(i));
+            }
+            out.push(0xE3);
+            out.push(d as u8);
+        }
+
+        // ── misc ─────────────────────────────────────────────────────
+        Op::Nop => out.push(0x90),
+        Op::Int3 => out.push(0xCC),
+        Op::Int(n) => {
+            out.push(0xCD);
+            out.push(n);
+        }
+        Op::Cdq => out.push(0x99),
+        Op::Cwde => out.push(0x98),
+        Op::Pushf => out.push(0x9C),
+        Op::Popf => out.push(0x9D),
+        Op::Clc => out.push(0xF8),
+        Op::Stc => out.push(0xF9),
+        Op::Cld => out.push(0xFC),
+        Op::Std => out.push(0xFD),
+        Op::Str(s) => {
+            if let Some(r) = i.rep {
+                // rep prefix must precede 0x66; fix ordering if present.
+                let pos = if i.size == OpSize::Word { out.len() - 1 } else { out.len() };
+                out.insert(
+                    pos,
+                    match r {
+                        RepKind::RepE => 0xF3,
+                        RepKind::RepNe => 0xF2,
+                    },
+                );
+            }
+            let byte = i.size == OpSize::Byte;
+            out.push(match (s, byte) {
+                (StrOp::Movs, true) => 0xA4,
+                (StrOp::Movs, false) => 0xA5,
+                (StrOp::Cmps, true) => 0xA6,
+                (StrOp::Cmps, false) => 0xA7,
+                (StrOp::Stos, true) => 0xAA,
+                (StrOp::Stos, false) => 0xAB,
+                (StrOp::Lods, true) => 0xAC,
+                (StrOp::Lods, false) => 0xAD,
+                (StrOp::Scas, true) => 0xAE,
+                (StrOp::Scas, false) => 0xAF,
+            });
+        }
+
+        ref op => return Err(EncodeError::UnsupportedOp(format!("{op:?}"))),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::inst::Cond;
+
+    fn roundtrip(i: Inst) {
+        let bytes = encode(&i).unwrap_or_else(|e| panic!("encode {i}: {e}"));
+        let mut expect = i;
+        expect.len = bytes.len() as u8;
+        let got = decode(&bytes);
+        assert_eq!(got, expect, "bytes {bytes:02x?}");
+    }
+
+    #[test]
+    fn roundtrip_mov_forms() {
+        roundtrip(Inst::new(Op::Mov).dst(Operand::Reg(Reg32::Eax)).src(Operand::Imm(0x1234)));
+        roundtrip(Inst::new(Op::Mov).dst(Operand::Reg(Reg32::Edi)).src(Operand::Imm(-1)));
+        roundtrip(
+            Inst::new(Op::Mov)
+                .dst(Operand::Reg(Reg32::Eax))
+                .src(Operand::Mem(MemOperand::base_disp(Reg32::Ebp, -8))),
+        );
+        roundtrip(
+            Inst::new(Op::Mov)
+                .dst(Operand::Mem(MemOperand::base_disp(Reg32::Esp, 4)))
+                .src(Operand::Reg(Reg32::Ecx)),
+        );
+        roundtrip(
+            Inst::new(Op::Mov)
+                .dst(Operand::Mem(MemOperand::abs(0x2000)))
+                .src(Operand::Imm(7)),
+        );
+        roundtrip(
+            Inst::new(Op::Mov)
+                .dst(Operand::Reg8(Reg8::Al))
+                .src(Operand::Imm(0x41))
+                .size(OpSize::Byte),
+        );
+    }
+
+    #[test]
+    fn roundtrip_alu() {
+        roundtrip(Inst::new(Op::Add).dst(Operand::Reg(Reg32::Esp)).src(Operand::Imm(8)));
+        roundtrip(Inst::new(Op::Sub).dst(Operand::Reg(Reg32::Esp)).src(Operand::Imm(0x1000)));
+        roundtrip(Inst::new(Op::Cmp).dst(Operand::Reg(Reg32::Eax)).src(Operand::Reg(Reg32::Ebx)));
+        roundtrip(Inst::new(Op::Xor).dst(Operand::Reg(Reg32::Ebx)).src(Operand::Reg(Reg32::Ebx)));
+        roundtrip(
+            Inst::new(Op::And)
+                .dst(Operand::Reg(Reg32::Eax))
+                .src(Operand::Mem(MemOperand::base_disp(Reg32::Esi, 0))),
+        );
+    }
+
+    #[test]
+    fn roundtrip_branches() {
+        roundtrip(Inst::new(Op::Jcc(Cond::E)).dst(Operand::Rel(6)));
+        roundtrip(Inst::new(Op::Jcc(Cond::Ne)).dst(Operand::Rel(-2)));
+        roundtrip(Inst::new(Op::Jcc(Cond::G)).dst(Operand::Rel(1000)));
+        roundtrip(Inst::new(Op::Jmp).dst(Operand::Rel(5)));
+        roundtrip(Inst::new(Op::Jmp).dst(Operand::Rel(-4096)));
+        roundtrip(Inst::new(Op::Call).dst(Operand::Rel(0x100)));
+        roundtrip(Inst::new(Op::Ret(0)));
+        roundtrip(Inst::new(Op::Ret(8)));
+    }
+
+    #[test]
+    fn jcc_short_form_is_two_bytes() {
+        let bytes = encode(&Inst::new(Op::Jcc(Cond::E)).dst(Operand::Rel(6))).unwrap();
+        assert_eq!(bytes, vec![0x74, 0x06]);
+        let bytes = encode(&Inst::new(Op::Jcc(Cond::Ne)).dst(Operand::Rel(200))).unwrap();
+        assert_eq!(bytes.len(), 6);
+        assert_eq!(&bytes[..2], &[0x0F, 0x85]);
+    }
+
+    #[test]
+    fn roundtrip_stack_ops() {
+        roundtrip(Inst::new(Op::Push).dst(Operand::Reg(Reg32::Ebp)));
+        roundtrip(Inst::new(Op::Push).dst(Operand::Imm(0x2000)));
+        roundtrip(Inst::new(Op::Push).dst(Operand::Imm(-1)));
+        roundtrip(Inst::new(Op::Push).dst(Operand::Mem(MemOperand::base_disp(Reg32::Ebp, 8))));
+        roundtrip(Inst::new(Op::Pop).dst(Operand::Reg(Reg32::Ebp)));
+        roundtrip(Inst::new(Op::Leave));
+    }
+
+    #[test]
+    fn roundtrip_muldiv() {
+        roundtrip(Inst::new(Op::Imul2).dst(Operand::Reg(Reg32::Eax)).src(Operand::Reg(Reg32::Ecx)));
+        roundtrip(
+            Inst {
+                op: Op::Imul3,
+                dst: Some(Operand::Reg(Reg32::Eax)),
+                src: Some(Operand::Reg(Reg32::Eax)),
+                src2: Some(Operand::Imm(10)),
+                size: OpSize::Dword,
+                size2: OpSize::Dword,
+                rep: None,
+                len: 0,
+            },
+        );
+        roundtrip(Inst::new(Op::Div).dst(Operand::Reg(Reg32::Ecx)));
+        roundtrip(Inst::new(Op::Idiv).dst(Operand::Reg(Reg32::Ecx)));
+        roundtrip(Inst::new(Op::Cdq));
+        roundtrip(Inst::new(Op::Neg).dst(Operand::Reg(Reg32::Eax)));
+    }
+
+    #[test]
+    fn roundtrip_shifts() {
+        roundtrip(Inst::new(Op::Shl).dst(Operand::Reg(Reg32::Eax)).src(Operand::Imm(4)));
+        roundtrip(Inst::new(Op::Sar).dst(Operand::Reg(Reg32::Edx)).src(Operand::Imm(1)));
+        roundtrip(Inst::new(Op::Shr).dst(Operand::Reg(Reg32::Eax)).src(Operand::Reg8(Reg8::Cl)));
+    }
+
+    #[test]
+    fn roundtrip_setcc_movzx() {
+        roundtrip(Inst::new(Op::Setcc(Cond::E)).dst(Operand::Reg8(Reg8::Al)).size(OpSize::Byte));
+        let mut i = Inst::new(Op::Movzx)
+            .dst(Operand::Reg(Reg32::Eax))
+            .src(Operand::Reg8(Reg8::Al));
+        i.size2 = OpSize::Byte;
+        roundtrip(i);
+    }
+
+    #[test]
+    fn roundtrip_sib_addressing() {
+        roundtrip(
+            Inst::new(Op::Lea).dst(Operand::Reg(Reg32::Eax)).src(Operand::Mem(MemOperand {
+                base: Some(Reg32::Ebx),
+                index: Some((Reg32::Ecx, 4)),
+                disp: 8,
+            })),
+        );
+        roundtrip(
+            Inst::new(Op::Mov)
+                .dst(Operand::Reg(Reg32::Edx))
+                .src(Operand::Mem(MemOperand {
+                    base: None,
+                    index: Some((Reg32::Esi, 2)),
+                    disp: 0x3000,
+                })),
+        );
+    }
+
+    #[test]
+    fn roundtrip_string_ops() {
+        let mut i = Inst::new(Op::Str(StrOp::Movs)).size(OpSize::Byte);
+        i.rep = Some(RepKind::RepE);
+        roundtrip(i);
+        let mut i = Inst::new(Op::Str(StrOp::Scas)).size(OpSize::Byte);
+        i.rep = Some(RepKind::RepNe);
+        roundtrip(i);
+        roundtrip(Inst::new(Op::Str(StrOp::Stos)).size(OpSize::Dword));
+    }
+
+    #[test]
+    fn roundtrip_int() {
+        roundtrip(Inst::new(Op::Int(0x80)));
+        roundtrip(Inst::new(Op::Int3));
+        roundtrip(Inst::new(Op::Nop));
+    }
+
+    #[test]
+    fn esp_index_rejected() {
+        let i = Inst::new(Op::Lea).dst(Operand::Reg(Reg32::Eax)).src(Operand::Mem(MemOperand {
+            base: None,
+            index: Some((Reg32::Esp, 1)),
+            disp: 0,
+        }));
+        assert!(encode(&i).is_err());
+    }
+
+    #[test]
+    fn unsupported_op_errors() {
+        assert!(matches!(
+            encode(&Inst::new(Op::Cpuid)),
+            Err(EncodeError::UnsupportedOp(_))
+        ));
+    }
+}

@@ -1,0 +1,250 @@
+//! EFLAGS computation helpers.
+//!
+//! The interpreter keeps the live EFLAGS value in `Cpu::eflags`; these
+//! functions compute the status-flag updates for arithmetic and logic
+//! results the way IA-32 defines them. Correct flag semantics matter for
+//! this study: the entire phenomenon under investigation is "a flipped
+//! conditional branch reads the same flags but takes the other path".
+
+use crate::eflags::{AF, CF, OF, PF, SF, ZF};
+use crate::inst::OpSize;
+
+/// Parity flag: set if the low byte of the result has even parity.
+pub fn parity(result: u32) -> bool {
+    (result as u8).count_ones().is_multiple_of(2)
+}
+
+/// Replace the given `mask` of bits in `flags` with `new_bits`.
+pub fn set_bits(flags: &mut u32, mask: u32, new_bits: u32) {
+    *flags = (*flags & !mask) | (new_bits & mask);
+}
+
+/// Set ZF/SF/PF from a result of the given size.
+pub fn zsp(flags: &mut u32, result: u32, size: OpSize) {
+    let r = result & size.mask();
+    let mut bits = 0;
+    if r == 0 {
+        bits |= ZF;
+    }
+    if r & size.sign_bit() != 0 {
+        bits |= SF;
+    }
+    if parity(r) {
+        bits |= PF;
+    }
+    set_bits(flags, ZF | SF | PF, bits);
+}
+
+/// Flags for `add` (also `inc` when `update_cf` is false).
+pub fn add(flags: &mut u32, a: u32, b: u32, size: OpSize, update_cf: bool) -> u32 {
+    let mask = size.mask();
+    let (a, b) = (a & mask, b & mask);
+    let r = a.wrapping_add(b) & mask;
+    zsp(flags, r, size);
+    let carry = (a as u64 + b as u64) > mask as u64;
+    let sign = size.sign_bit();
+    let overflow = ((a ^ r) & (b ^ r) & sign) != 0;
+    let aux = ((a ^ b ^ r) & 0x10) != 0;
+    let mut bits = 0;
+    if carry {
+        bits |= CF;
+    }
+    if overflow {
+        bits |= OF;
+    }
+    if aux {
+        bits |= AF;
+    }
+    let m = if update_cf { CF | OF | AF } else { OF | AF };
+    set_bits(flags, m, bits);
+    r
+}
+
+/// Flags for `adc`.
+pub fn adc(flags: &mut u32, a: u32, b: u32, carry_in: bool, size: OpSize) -> u32 {
+    let mask = size.mask();
+    let (a, b) = (a & mask, b & mask);
+    let cin = carry_in as u32;
+    let r = a.wrapping_add(b).wrapping_add(cin) & mask;
+    zsp(flags, r, size);
+    let carry = (a as u64 + b as u64 + cin as u64) > mask as u64;
+    let sign = size.sign_bit();
+    let overflow = ((a ^ r) & (b ^ r) & sign) != 0;
+    let aux = ((a ^ b ^ r) & 0x10) != 0;
+    let mut bits = 0;
+    if carry {
+        bits |= CF;
+    }
+    if overflow {
+        bits |= OF;
+    }
+    if aux {
+        bits |= AF;
+    }
+    set_bits(flags, CF | OF | AF, bits);
+    r
+}
+
+/// Flags for `sub`/`cmp` (also `dec` when `update_cf` is false).
+pub fn sub(flags: &mut u32, a: u32, b: u32, size: OpSize, update_cf: bool) -> u32 {
+    let mask = size.mask();
+    let (a, b) = (a & mask, b & mask);
+    let r = a.wrapping_sub(b) & mask;
+    zsp(flags, r, size);
+    let borrow = a < b;
+    let sign = size.sign_bit();
+    let overflow = ((a ^ b) & (a ^ r) & sign) != 0;
+    let aux = ((a ^ b ^ r) & 0x10) != 0;
+    let mut bits = 0;
+    if borrow {
+        bits |= CF;
+    }
+    if overflow {
+        bits |= OF;
+    }
+    if aux {
+        bits |= AF;
+    }
+    let m = if update_cf { CF | OF | AF } else { OF | AF };
+    set_bits(flags, m, bits);
+    r
+}
+
+/// Flags for `sbb`.
+pub fn sbb(flags: &mut u32, a: u32, b: u32, borrow_in: bool, size: OpSize) -> u32 {
+    let mask = size.mask();
+    let (a, b) = (a & mask, b & mask);
+    let bin = borrow_in as u32;
+    let r = a.wrapping_sub(b).wrapping_sub(bin) & mask;
+    zsp(flags, r, size);
+    let borrow = (a as u64) < (b as u64 + bin as u64);
+    let sign = size.sign_bit();
+    let overflow = ((a ^ b) & (a ^ r) & sign) != 0;
+    let aux = ((a ^ b ^ r) & 0x10) != 0;
+    let mut bits = 0;
+    if borrow {
+        bits |= CF;
+    }
+    if overflow {
+        bits |= OF;
+    }
+    if aux {
+        bits |= AF;
+    }
+    set_bits(flags, CF | OF | AF, bits);
+    r
+}
+
+/// Flags for `and`/`or`/`xor`/`test`: CF=OF=0, ZSP from result.
+pub fn logic(flags: &mut u32, result: u32, size: OpSize) -> u32 {
+    let r = result & size.mask();
+    zsp(flags, r, size);
+    set_bits(flags, CF | OF | AF, 0);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eflags;
+
+    #[test]
+    fn zero_result_sets_zf() {
+        let mut f = 0;
+        let r = sub(&mut f, 5, 5, OpSize::Dword, true);
+        assert_eq!(r, 0);
+        assert_ne!(f & ZF, 0);
+        assert_eq!(f & SF, 0);
+        assert_eq!(f & CF, 0);
+    }
+
+    #[test]
+    fn borrow_sets_cf() {
+        let mut f = 0;
+        let r = sub(&mut f, 3, 5, OpSize::Dword, true);
+        assert_eq!(r, (-2i32) as u32);
+        assert_ne!(f & CF, 0);
+        assert_ne!(f & SF, 0);
+        assert_eq!(f & ZF, 0);
+    }
+
+    #[test]
+    fn signed_overflow_add() {
+        let mut f = 0;
+        add(&mut f, 0x7FFF_FFFF, 1, OpSize::Dword, true);
+        assert_ne!(f & OF, 0);
+        assert_ne!(f & SF, 0);
+        assert_eq!(f & CF, 0);
+    }
+
+    #[test]
+    fn unsigned_carry_add() {
+        let mut f = 0;
+        let r = add(&mut f, 0xFFFF_FFFF, 1, OpSize::Dword, true);
+        assert_eq!(r, 0);
+        assert_ne!(f & CF, 0);
+        assert_ne!(f & ZF, 0);
+        assert_eq!(f & OF, 0);
+    }
+
+    #[test]
+    fn byte_size_masks_result() {
+        let mut f = 0;
+        let r = add(&mut f, 0xFF, 1, OpSize::Byte, true);
+        assert_eq!(r, 0);
+        assert_ne!(f & CF, 0);
+        assert_ne!(f & ZF, 0);
+    }
+
+    #[test]
+    fn parity_is_low_byte_even_ones() {
+        assert!(parity(0b11)); // two ones
+        assert!(!parity(0b1)); // one one
+        assert!(parity(0)); // zero ones
+        assert!(parity(0x1_00)); // high bits ignored
+    }
+
+    #[test]
+    fn logic_clears_cf_of() {
+        let mut f = CF | OF;
+        logic(&mut f, 0xFF, OpSize::Byte);
+        assert_eq!(f & (CF | OF), 0);
+        assert_ne!(f & SF, 0);
+    }
+
+    #[test]
+    fn inc_preserves_cf() {
+        let mut f = CF;
+        add(&mut f, 0xFFFF_FFFF, 1, OpSize::Dword, false);
+        assert_ne!(f & CF, 0); // CF untouched by inc
+        assert_ne!(f & ZF, 0);
+    }
+
+    #[test]
+    fn adc_chains_carry() {
+        let mut f = 0;
+        let r = adc(&mut f, 0xFFFF_FFFF, 0, true, OpSize::Dword);
+        assert_eq!(r, 0);
+        assert_ne!(f & CF, 0);
+        let carry = (f & CF) != 0;
+        let r2 = adc(&mut f, 1, 2, carry, OpSize::Dword);
+        assert_eq!(r2, 4);
+    }
+
+    #[test]
+    fn sbb_chains_borrow() {
+        let mut f = 0;
+        let r = sbb(&mut f, 0, 0, true, OpSize::Dword);
+        assert_eq!(r, 0xFFFF_FFFF);
+        assert_ne!(f & CF, 0);
+    }
+
+    #[test]
+    fn aux_flag_nibble_carry() {
+        let mut f = 0;
+        add(&mut f, 0x0F, 0x01, OpSize::Byte, true);
+        assert_ne!(f & eflags::AF, 0);
+        add(&mut f, 0x07, 0x01, OpSize::Byte, true);
+        assert_eq!(f & eflags::AF, 0);
+    }
+}

@@ -1,0 +1,890 @@
+//! Instruction model: operations, operands, conditions, faults.
+//!
+//! The model is deliberately uniform: one [`Inst`] struct with up to three
+//! [`Operand`]s plus an operand size. The decoder produces these and the
+//! interpreter consumes them; the encoder accepts the subset needed by the
+//! assembler.
+
+use std::fmt;
+
+/// A 32-bit general-purpose register, in IA-32 encoding order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Reg32 {
+    /// Accumulator.
+    Eax = 0,
+    /// Counter.
+    Ecx = 1,
+    /// Data.
+    Edx = 2,
+    /// Base.
+    Ebx = 3,
+    /// Stack pointer.
+    Esp = 4,
+    /// Frame pointer.
+    Ebp = 5,
+    /// Source index.
+    Esi = 6,
+    /// Destination index.
+    Edi = 7,
+}
+
+impl Reg32 {
+    /// All eight registers in encoding order.
+    pub const ALL: [Reg32; 8] = [
+        Reg32::Eax,
+        Reg32::Ecx,
+        Reg32::Edx,
+        Reg32::Ebx,
+        Reg32::Esp,
+        Reg32::Ebp,
+        Reg32::Esi,
+        Reg32::Edi,
+    ];
+
+    /// Register for an encoding number (0..=7).
+    ///
+    /// # Panics
+    /// Panics if `n > 7`.
+    pub fn from_num(n: u8) -> Reg32 {
+        Self::ALL[n as usize]
+    }
+
+    /// Short AT&T-style name (without the `%`).
+    pub fn name(self) -> &'static str {
+        ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"][self as usize]
+    }
+}
+
+impl fmt::Display for Reg32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A 16-bit register (low halves of the 32-bit registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Reg16 {
+    /// Low 16 bits of EAX.
+    Ax = 0,
+    /// Low 16 bits of ECX.
+    Cx = 1,
+    /// Low 16 bits of EDX.
+    Dx = 2,
+    /// Low 16 bits of EBX.
+    Bx = 3,
+    /// Low 16 bits of ESP.
+    Sp = 4,
+    /// Low 16 bits of EBP.
+    Bp = 5,
+    /// Low 16 bits of ESI.
+    Si = 6,
+    /// Low 16 bits of EDI.
+    Di = 7,
+}
+
+impl Reg16 {
+    /// Register for an encoding number (0..=7).
+    ///
+    /// # Panics
+    /// Panics if `n > 7`.
+    pub fn from_num(n: u8) -> Reg16 {
+        [
+            Reg16::Ax,
+            Reg16::Cx,
+            Reg16::Dx,
+            Reg16::Bx,
+            Reg16::Sp,
+            Reg16::Bp,
+            Reg16::Si,
+            Reg16::Di,
+        ][n as usize]
+    }
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        ["ax", "cx", "dx", "bx", "sp", "bp", "si", "di"][self as usize]
+    }
+}
+
+impl fmt::Display for Reg16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An 8-bit register. `Al..Bl` are the low bytes of EAX..EBX; `Ah..Bh` the
+/// second bytes, matching IA-32 encoding numbers 0..=7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Reg8 {
+    /// Low byte of EAX.
+    Al = 0,
+    /// Low byte of ECX.
+    Cl = 1,
+    /// Low byte of EDX.
+    Dl = 2,
+    /// Low byte of EBX.
+    Bl = 3,
+    /// Second byte of EAX.
+    Ah = 4,
+    /// Second byte of ECX.
+    Ch = 5,
+    /// Second byte of EDX.
+    Dh = 6,
+    /// Second byte of EBX.
+    Bh = 7,
+}
+
+impl Reg8 {
+    /// Register for an encoding number (0..=7).
+    ///
+    /// # Panics
+    /// Panics if `n > 7`.
+    pub fn from_num(n: u8) -> Reg8 {
+        [
+            Reg8::Al,
+            Reg8::Cl,
+            Reg8::Dl,
+            Reg8::Bl,
+            Reg8::Ah,
+            Reg8::Ch,
+            Reg8::Dh,
+            Reg8::Bh,
+        ][n as usize]
+    }
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        ["al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"][self as usize]
+    }
+}
+
+impl fmt::Display for Reg8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Operand size of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpSize {
+    /// 8-bit.
+    Byte,
+    /// 16-bit (operand-size prefix).
+    Word,
+    /// 32-bit (default in our flat model).
+    Dword,
+}
+
+impl OpSize {
+    /// Size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            OpSize::Byte => 1,
+            OpSize::Word => 2,
+            OpSize::Dword => 4,
+        }
+    }
+
+    /// Mask of the low `bytes()*8` bits.
+    pub fn mask(self) -> u32 {
+        match self {
+            OpSize::Byte => 0xFF,
+            OpSize::Word => 0xFFFF,
+            OpSize::Dword => 0xFFFF_FFFF,
+        }
+    }
+
+    /// Position of the sign bit.
+    pub fn sign_bit(self) -> u32 {
+        match self {
+            OpSize::Byte => 0x80,
+            OpSize::Word => 0x8000,
+            OpSize::Dword => 0x8000_0000,
+        }
+    }
+}
+
+/// A memory operand computed as `base + index*scale + disp` in the flat
+/// address space (segment overrides are decoded but have no effect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MemOperand {
+    /// Base register, if any.
+    pub base: Option<Reg32>,
+    /// Index register (never ESP) and scale (1, 2, 4 or 8), if any.
+    pub index: Option<(Reg32, u8)>,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+impl MemOperand {
+    /// Absolute-address operand (`[disp]`).
+    pub fn abs(addr: u32) -> MemOperand {
+        MemOperand {
+            base: None,
+            index: None,
+            disp: addr as i32,
+        }
+    }
+
+    /// Base-plus-displacement operand (`[reg + disp]`).
+    pub fn base_disp(base: Reg32, disp: i32) -> MemOperand {
+        MemOperand {
+            base: Some(base),
+            index: None,
+            disp,
+        }
+    }
+}
+
+impl fmt::Display for MemOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some((i, s)) = self.index {
+            if wrote {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}*{s}")?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                if self.disp < 0 {
+                    write!(f, "-{:#x}", (self.disp as i64).unsigned_abs())?;
+                } else {
+                    write!(f, "+{:#x}", self.disp)?;
+                }
+            } else {
+                write!(f, "{:#x}", self.disp as u32)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// 32-bit register.
+    Reg(Reg32),
+    /// 16-bit register.
+    Reg16(Reg16),
+    /// 8-bit register.
+    Reg8(Reg8),
+    /// Memory reference; access width comes from the instruction's `size`.
+    Mem(MemOperand),
+    /// Immediate (sign-extended to 64 bits so that both signed and unsigned
+    /// 32-bit immediates are representable without loss).
+    Imm(i64),
+    /// Branch displacement relative to the end of the instruction.
+    Rel(i32),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "%{r}"),
+            Operand::Reg16(r) => write!(f, "%{r}"),
+            Operand::Reg8(r) => write!(f, "%{r}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+            Operand::Imm(i) => write!(f, "${i:#x}"),
+            Operand::Rel(d) => write!(f, ".{d:+}"),
+        }
+    }
+}
+
+/// Condition codes in IA-32 encoding order (the low nibble of `Jcc`/`SETcc`
+/// opcodes). `Cond::E as u8 == 0x4`, so `0x74` is `JE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow.
+    O = 0x0,
+    /// Not overflow.
+    No = 0x1,
+    /// Below (unsigned <), aka carry.
+    B = 0x2,
+    /// Not below (unsigned >=), aka not carry.
+    Nb = 0x3,
+    /// Equal / zero.
+    E = 0x4,
+    /// Not equal / not zero.
+    Ne = 0x5,
+    /// Below or equal (unsigned <=), aka not above.
+    Be = 0x6,
+    /// Above (unsigned >).
+    A = 0x7,
+    /// Sign (negative).
+    S = 0x8,
+    /// Not sign.
+    Ns = 0x9,
+    /// Parity even.
+    P = 0xA,
+    /// Parity odd.
+    Np = 0xB,
+    /// Less (signed <).
+    L = 0xC,
+    /// Greater or equal (signed >=).
+    Ge = 0xD,
+    /// Less or equal (signed <=).
+    Le = 0xE,
+    /// Greater (signed >).
+    G = 0xF,
+}
+
+impl Cond {
+    /// All sixteen conditions in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Nb,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// Condition for the low nibble of a `Jcc` opcode.
+    ///
+    /// # Panics
+    /// Panics if `n > 0xF`.
+    pub fn from_nibble(n: u8) -> Cond {
+        Self::ALL[n as usize]
+    }
+
+    /// Mnemonic suffix ("e", "ne", ...).
+    pub fn suffix(self) -> &'static str {
+        [
+            "o", "no", "b", "nb", "e", "ne", "be", "a", "s", "ns", "p", "np", "l", "ge", "le", "g",
+        ][self as usize]
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Why a byte sequence failed to decode into a real instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvalidKind {
+    /// Undefined opcode (`#UD`-class).
+    Undefined,
+    /// A real IA-32 instruction that is privileged or unsupported in our
+    /// user-mode flat model (`hlt`, `in`/`out`, far control transfers,
+    /// segment register writes, `iret`, ...). Faults like `#GP` on Linux.
+    Privileged,
+    /// The instruction ran past the readable bytes (fetch crossed into
+    /// unmapped memory).
+    Truncated,
+    /// More than 15 bytes of prefixes+opcode.
+    TooLong,
+}
+
+/// String-instruction family selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrOp {
+    /// `movs` — copy \[ESI\] to \[EDI\].
+    Movs,
+    /// `stos` — store AL/AX/EAX to \[EDI\].
+    Stos,
+    /// `lods` — load AL/AX/EAX from \[ESI\].
+    Lods,
+    /// `scas` — compare AL/AX/EAX with \[EDI\].
+    Scas,
+    /// `cmps` — compare \[ESI\] with \[EDI\].
+    Cmps,
+}
+
+/// REP prefix kind attached to a string instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RepKind {
+    /// `rep` / `repe` (0xF3).
+    RepE,
+    /// `repne` (0xF2).
+    RepNe,
+}
+
+/// Operations understood by the interpreter.
+///
+/// Binary ALU operations take `dst, src`; unary take `dst`. Shifts take
+/// `dst, count`. `Imul3` takes `dst, src, imm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Integer add.
+    Add,
+    /// Bitwise or.
+    Or,
+    /// Add with carry.
+    Adc,
+    /// Subtract with borrow.
+    Sbb,
+    /// Bitwise and.
+    And,
+    /// Integer subtract.
+    Sub,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Compare (subtract, flags only).
+    Cmp,
+    /// Logical compare (and, flags only).
+    Test,
+    /// Move.
+    Mov,
+    /// Move with zero extension (src is 8- or 16-bit, per `size2`).
+    Movzx,
+    /// Move with sign extension.
+    Movsx,
+    /// Load effective address.
+    Lea,
+    /// Exchange.
+    Xchg,
+    /// Push onto the stack.
+    Push,
+    /// Pop from the stack.
+    Pop,
+    /// Increment.
+    Inc,
+    /// Decrement.
+    Dec,
+    /// Two's-complement negate.
+    Neg,
+    /// One's-complement.
+    Not,
+    /// Unsigned multiply into EDX:EAX.
+    Mul,
+    /// Signed multiply into EDX:EAX (one-operand form).
+    Imul1,
+    /// Signed multiply, two-operand (`imul r, r/m`).
+    Imul2,
+    /// Signed multiply, three-operand (`imul r, r/m, imm`).
+    Imul3,
+    /// Unsigned divide EDX:EAX by operand.
+    Div,
+    /// Signed divide EDX:EAX by operand.
+    Idiv,
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    /// Rotate left.
+    Rol,
+    /// Rotate right.
+    Ror,
+    /// Rotate left through carry.
+    Rcl,
+    /// Rotate right through carry.
+    Rcr,
+    /// Conditional branch.
+    Jcc(Cond),
+    /// Set byte on condition.
+    Setcc(Cond),
+    /// Unconditional relative jump.
+    Jmp,
+    /// Indirect jump through r/m.
+    JmpInd,
+    /// Relative call.
+    Call,
+    /// Indirect call through r/m.
+    CallInd,
+    /// Near return, popping `imm` extra bytes.
+    Ret(u16),
+    /// `leave` (mov esp,ebp; pop ebp).
+    Leave,
+    /// `enter imm16, imm8` (we support nesting level 0 only; other levels
+    /// fault as unsupported).
+    Enter(u16, u8),
+    /// No operation.
+    Nop,
+    /// Software interrupt `int imm8`.
+    Int(u8),
+    /// Breakpoint trap (0xCC).
+    Int3,
+    /// `into` — interrupt on overflow.
+    Into,
+    /// Push EFLAGS.
+    Pushf,
+    /// Pop EFLAGS.
+    Popf,
+    /// Store AH into flags.
+    Sahf,
+    /// Load flags into AH.
+    Lahf,
+    /// Sign-extend AL into AX (`cbw`) or AX into EAX (`cwde`), per size.
+    Cwde,
+    /// Sign-extend EAX into EDX:EAX (`cdq`) or AX into DX:AX (`cwd`).
+    Cdq,
+    /// Push all eight GPRs.
+    Pusha,
+    /// Pop all eight GPRs (ESP value discarded).
+    Popa,
+    /// Clear carry.
+    Clc,
+    /// Set carry.
+    Stc,
+    /// Complement carry.
+    Cmc,
+    /// Clear direction.
+    Cld,
+    /// Set direction.
+    Std,
+    /// `loop` — dec ECX, branch if nonzero.
+    Loop,
+    /// `loope` — dec ECX, branch if nonzero and ZF.
+    Loope,
+    /// `loopne` — dec ECX, branch if nonzero and !ZF.
+    Loopne,
+    /// `jecxz` — branch if ECX is zero.
+    Jecxz,
+    /// String operation with optional REP prefix.
+    Str(StrOp),
+    /// `xlat` — AL = \[EBX + AL\].
+    Xlat,
+    /// `bound r, m` — fault if register outside bounds pair.
+    Bound,
+    /// ASCII-adjust family (`aaa`, `aas`, `daa`, `das`, `aam`, `aad`). We
+    /// implement them with correct AL/AH semantics since flipped bits can
+    /// produce them in integer code.
+    Aaa,
+    /// See [`Op::Aaa`].
+    Aas,
+    /// See [`Op::Aaa`].
+    Daa,
+    /// See [`Op::Aaa`].
+    Das,
+    /// `aam imm8` — divides AL by imm; imm 0 faults (#DE).
+    Aam(u8),
+    /// `aad imm8`.
+    Aad(u8),
+    /// `salc` — undocumented: AL = CF ? 0xFF : 0.
+    Salc,
+    /// Bit test (`bt r/m, r` or `bt r/m, imm8`): CF = selected bit.
+    Bt,
+    /// Bit test and set.
+    Bts,
+    /// Bit test and reset.
+    Btr,
+    /// Bit test and complement.
+    Btc,
+    /// Double-precision shift left (`shld dst, src, count`).
+    Shld,
+    /// Double-precision shift right.
+    Shrd,
+    /// Exchange and add (`xadd r/m, r`).
+    Xadd,
+    /// Byte-swap a 32-bit register.
+    Bswap,
+    /// Compare and exchange (`cmpxchg r/m, r`).
+    Cmpxchg,
+    /// `arpl r/m16, r16` — adjust RPL; we model it as "ZF := 0" only (flat
+    /// protection model; documented simplification).
+    Arpl,
+    /// x87 floating-point instruction: decoded with correct length, executed
+    /// as an architectural no-op for integer state (see DESIGN.md).
+    Fpu,
+    /// `cpuid` — sets EAX..EDX to fixed identification values.
+    Cpuid,
+    /// `rdtsc` — returns the current instruction count (deterministic).
+    Rdtsc,
+    /// `wait`/`fwait` — no-op.
+    Fwait,
+    /// Not a valid/executable instruction; faults when executed.
+    Invalid(InvalidKind),
+}
+
+/// Faults raised by the interpreter, mapped onto the POSIX signals the
+/// paper's injector observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Invalid or undefined opcode — `SIGILL`.
+    InvalidOpcode(u32),
+    /// Privileged/unsupported instruction in user mode — `SIGSEGV` (Linux
+    /// delivers `#GP` as SIGSEGV).
+    GeneralProtection(u32),
+    /// Data access to unmapped or protection-violating memory — `SIGSEGV`.
+    MemAccess {
+        /// Faulting data address.
+        addr: u32,
+        /// True for writes.
+        write: bool,
+    },
+    /// Instruction fetch from unmapped or non-executable memory — `SIGSEGV`.
+    FetchFault(u32),
+    /// Integer divide error (`div`/`idiv`/`aam 0`) — `SIGFPE`.
+    DivideError(u32),
+    /// `int3`/`into`/`bound`/unknown `int n` executed without a handler —
+    /// `SIGTRAP`-class.
+    Trap(u32),
+}
+
+impl Fault {
+    /// Name of the POSIX signal this fault corresponds to under Linux.
+    pub fn signal_name(self) -> &'static str {
+        match self {
+            Fault::InvalidOpcode(_) => "SIGILL",
+            Fault::GeneralProtection(_)
+            | Fault::MemAccess { .. }
+            | Fault::FetchFault(_) => "SIGSEGV",
+            Fault::DivideError(_) => "SIGFPE",
+            Fault::Trap(_) => "SIGTRAP",
+        }
+    }
+
+    /// EIP (or faulting address) associated with the fault.
+    pub fn addr(self) -> u32 {
+        match self {
+            Fault::InvalidOpcode(a)
+            | Fault::GeneralProtection(a)
+            | Fault::FetchFault(a)
+            | Fault::DivideError(a)
+            | Fault::Trap(a) => a,
+            Fault::MemAccess { addr, .. } => addr,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::InvalidOpcode(a) => write!(f, "invalid opcode at {a:#010x}"),
+            Fault::GeneralProtection(a) => write!(f, "general protection fault at {a:#010x}"),
+            Fault::MemAccess { addr, write } => write!(
+                f,
+                "invalid memory {} at {addr:#010x}",
+                if *write { "write" } else { "read" }
+            ),
+            Fault::FetchFault(a) => write!(f, "instruction fetch fault at {a:#010x}"),
+            Fault::DivideError(a) => write!(f, "divide error at {a:#010x}"),
+            Fault::Trap(a) => write!(f, "trap at {a:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Operation.
+    pub op: Op,
+    /// Destination / first operand.
+    pub dst: Option<Operand>,
+    /// Source / second operand.
+    pub src: Option<Operand>,
+    /// Third operand (`imul r, r/m, imm`).
+    pub src2: Option<Operand>,
+    /// Operation width.
+    pub size: OpSize,
+    /// Source width for `movzx`/`movsx` (the narrower one).
+    pub size2: OpSize,
+    /// REP prefix on string instructions.
+    pub rep: Option<RepKind>,
+    /// Encoded length in bytes (1..=15).
+    pub len: u8,
+}
+
+impl Inst {
+    /// A bare instruction of the given op with no operands, dword size,
+    /// length 1. Builder-style helpers fill the rest.
+    pub fn new(op: Op) -> Inst {
+        Inst {
+            op,
+            dst: None,
+            src: None,
+            src2: None,
+            size: OpSize::Dword,
+            size2: OpSize::Dword,
+            rep: None,
+            len: 1,
+        }
+    }
+
+    /// Set the destination operand.
+    pub fn dst(mut self, o: Operand) -> Inst {
+        self.dst = Some(o);
+        self
+    }
+
+    /// Set the source operand.
+    pub fn src(mut self, o: Operand) -> Inst {
+        self.src = Some(o);
+        self
+    }
+
+    /// Set the operand size.
+    pub fn size(mut self, s: OpSize) -> Inst {
+        self.size = s;
+        self
+    }
+
+    /// Set the encoded length.
+    pub fn len(mut self, l: u8) -> Inst {
+        self.len = l;
+        self
+    }
+
+    /// True if this is a control-transfer instruction (conditional branch,
+    /// jump, call, return, loop) — the injection target set of the study.
+    pub fn is_control_transfer(&self) -> bool {
+        matches!(
+            self.op,
+            Op::Jcc(_)
+                | Op::Jmp
+                | Op::JmpInd
+                | Op::Call
+                | Op::CallInd
+                | Op::Ret(_)
+                | Op::Loop
+                | Op::Loope
+                | Op::Loopne
+                | Op::Jecxz
+        )
+    }
+
+    /// True if this is a conditional branch.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self.op, Op::Jcc(_))
+    }
+
+    /// True for branch instructions in the study's sense: conditional
+    /// branches, unconditional jumps and loop instructions — but not
+    /// calls or returns (the paper's Table 3 MISC rows are far too small
+    /// for calls to have been included).
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self.op,
+            Op::Jcc(_)
+                | Op::Jmp
+                | Op::JmpInd
+                | Op::Loop
+                | Op::Loope
+                | Op::Loopne
+                | Op::Jecxz
+        )
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Op::Jcc(c) => write!(f, "j{c}")?,
+            Op::Setcc(c) => write!(f, "set{c}")?,
+            Op::Str(s) => {
+                if let Some(r) = self.rep {
+                    write!(
+                        f,
+                        "{} ",
+                        match r {
+                            RepKind::RepE => "rep",
+                            RepKind::RepNe => "repne",
+                        }
+                    )?;
+                }
+                write!(f, "{s:?}")?;
+            }
+            Op::Int(n) => write!(f, "int {n:#x}")?,
+            Op::Ret(0) => write!(f, "ret")?,
+            Op::Ret(n) => write!(f, "ret {n:#x}")?,
+            ref op => write!(f, "{op:?}")?,
+        }
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        if let Some(s) = self.src {
+            write!(f, ", {s}")?;
+        }
+        if let Some(s2) = self.src2 {
+            write!(f, ", {s2}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_nibble_roundtrip() {
+        for (i, c) in Cond::ALL.iter().enumerate() {
+            assert_eq!(*c as u8, i as u8);
+            assert_eq!(Cond::from_nibble(i as u8), *c);
+        }
+    }
+
+    #[test]
+    fn je_is_0x74_by_convention() {
+        assert_eq!(0x70u8 | Cond::E as u8, 0x74);
+        assert_eq!(0x70u8 | Cond::Ne as u8, 0x75);
+    }
+
+    #[test]
+    fn opsize_masks() {
+        assert_eq!(OpSize::Byte.mask(), 0xFF);
+        assert_eq!(OpSize::Word.mask(), 0xFFFF);
+        assert_eq!(OpSize::Dword.mask(), 0xFFFF_FFFF);
+        assert_eq!(OpSize::Byte.sign_bit(), 0x80);
+        assert_eq!(OpSize::Dword.bytes(), 4);
+    }
+
+    #[test]
+    fn fault_signals() {
+        assert_eq!(Fault::InvalidOpcode(0).signal_name(), "SIGILL");
+        assert_eq!(
+            Fault::MemAccess {
+                addr: 0,
+                write: true
+            }
+            .signal_name(),
+            "SIGSEGV"
+        );
+        assert_eq!(Fault::DivideError(0).signal_name(), "SIGFPE");
+        assert_eq!(Fault::Trap(4).addr(), 4);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Inst::new(Op::Mov)
+            .dst(Operand::Reg(Reg32::Eax))
+            .src(Operand::Imm(7));
+        assert_eq!(format!("{i}"), "Mov %eax, $0x7");
+        let j = Inst::new(Op::Jcc(Cond::E)).dst(Operand::Rel(5));
+        assert_eq!(format!("{j}"), "je .+5");
+        let m = MemOperand {
+            base: Some(Reg32::Ebp),
+            index: None,
+            disp: -8,
+        };
+        assert_eq!(format!("{m}"), "[ebp-0x8]");
+    }
+
+    #[test]
+    fn control_transfer_predicate() {
+        assert!(Inst::new(Op::Jcc(Cond::E)).is_control_transfer());
+        assert!(Inst::new(Op::Jmp).is_control_transfer());
+        assert!(Inst::new(Op::Call).is_control_transfer());
+        assert!(Inst::new(Op::Ret(0)).is_control_transfer());
+        assert!(!Inst::new(Op::Mov).is_control_transfer());
+        assert!(Inst::new(Op::Jcc(Cond::E)).is_cond_branch());
+        assert!(!Inst::new(Op::Jmp).is_cond_branch());
+    }
+}

@@ -1,0 +1,506 @@
+//! Flat 32-bit memory with per-region permissions.
+//!
+//! The process image is a small set of non-overlapping regions (text, data,
+//! stack, ...). Any access outside a region, or violating a region's
+//! permissions, raises a [`Fault`] — the analogue of `SIGSEGV` that produces
+//! the paper's *system detection* (crash) outcomes.
+
+use crate::inst::Fault;
+use std::fmt;
+
+/// Region permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perms {
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+    /// Executable.
+    pub exec: bool,
+}
+
+impl Perms {
+    /// Read-only.
+    pub const R: Perms = Perms {
+        read: true,
+        write: false,
+        exec: false,
+    };
+    /// Read-write.
+    pub const RW: Perms = Perms {
+        read: true,
+        write: true,
+        exec: false,
+    };
+    /// Read-execute (text segments).
+    pub const RX: Perms = Perms {
+        read: true,
+        write: false,
+        exec: true,
+    };
+    /// Read-write-execute (used by tests only).
+    pub const RWX: Perms = Perms {
+        read: true,
+        write: true,
+        exec: true,
+    };
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' },
+            if self.exec { 'x' } else { '-' }
+        )
+    }
+}
+
+/// A contiguous mapped region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    name: String,
+    start: u32,
+    data: Vec<u8>,
+    perms: Perms,
+}
+
+impl Region {
+    /// A zero-filled region of `len` bytes.
+    ///
+    /// # Panics
+    /// Panics if the region would wrap past the end of the address space or
+    /// is empty.
+    pub fn zeroed(name: &str, start: u32, len: u32, perms: Perms) -> Region {
+        Self::with_data(name, start, vec![0; len as usize], perms)
+    }
+
+    /// A region initialized with `data`.
+    ///
+    /// # Panics
+    /// Panics if the region would wrap past the end of the address space or
+    /// is empty.
+    pub fn with_data(name: &str, start: u32, data: Vec<u8>, perms: Perms) -> Region {
+        assert!(!data.is_empty(), "region {name} must not be empty");
+        assert!(
+            (start as u64) + (data.len() as u64) <= (u32::MAX as u64) + 1,
+            "region {name} wraps the address space"
+        );
+        Region {
+            name: name.to_string(),
+            start,
+            data,
+            perms,
+        }
+    }
+
+    /// Region name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// First mapped address.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// One past the last mapped address (may be 2^32, reported as u64).
+    pub fn end(&self) -> u64 {
+        self.start as u64 + self.data.len() as u64
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Always false (regions are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Permissions.
+    pub fn perms(&self) -> Perms {
+        self.perms
+    }
+
+    fn contains(&self, addr: u32) -> bool {
+        (addr as u64) >= (self.start as u64) && (addr as u64) < self.end()
+    }
+}
+
+/// The process address space: a sorted set of disjoint regions.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    regions: Vec<Region>,
+    /// Bumped whenever executable bytes may have changed (injector pokes,
+    /// writes into rwx regions); lets the CPU invalidate its decoded-
+    /// instruction cache.
+    exec_gen: u64,
+}
+
+/// Error mapping a region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapError {
+    /// Name of the region that failed to map.
+    pub name: String,
+    /// Name of the overlapping existing region.
+    pub overlaps: String,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region {} overlaps existing region {}", self.name, self.overlaps)
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl Memory {
+    /// An empty address space.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Map a region.
+    ///
+    /// # Errors
+    /// Returns [`MapError`] if it overlaps an existing region.
+    pub fn map(&mut self, region: Region) -> Result<(), MapError> {
+        for r in &self.regions {
+            let disjoint = region.end() <= r.start as u64 || (region.start as u64) >= r.end();
+            if !disjoint {
+                return Err(MapError {
+                    name: region.name.clone(),
+                    overlaps: r.name.clone(),
+                });
+            }
+        }
+        self.regions.push(region);
+        self.regions.sort_by_key(|r| r.start);
+        Ok(())
+    }
+
+    /// Iterate over mapped regions in address order.
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter()
+    }
+
+    /// The region containing `addr`, if any.
+    pub fn region_at(&self, addr: u32) -> Option<&Region> {
+        let idx = match self.regions.binary_search_by_key(&addr, |r| r.start) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let r = &self.regions[idx];
+        r.contains(addr).then_some(r)
+    }
+
+    fn region_at_mut(&mut self, addr: u32) -> Option<&mut Region> {
+        let idx = match self.regions.binary_search_by_key(&addr, |r| r.start) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let r = &mut self.regions[idx];
+        r.contains(addr).then_some(r)
+    }
+
+    /// Read one byte for data access.
+    ///
+    /// # Errors
+    /// [`Fault::MemAccess`] if unmapped or not readable.
+    pub fn read8(&self, addr: u32) -> Result<u8, Fault> {
+        let r = self
+            .region_at(addr)
+            .filter(|r| r.perms.read)
+            .ok_or(Fault::MemAccess { addr, write: false })?;
+        Ok(r.data[(addr - r.start) as usize])
+    }
+
+    /// Read a little-endian 16-bit value.
+    ///
+    /// # Errors
+    /// [`Fault::MemAccess`] if any byte is unmapped or not readable.
+    pub fn read16(&self, addr: u32) -> Result<u16, Fault> {
+        let lo = self.read8(addr)? as u16;
+        let hi = self.read8(addr.wrapping_add(1))? as u16;
+        Ok(lo | (hi << 8))
+    }
+
+    /// Read a little-endian 32-bit value.
+    ///
+    /// # Errors
+    /// [`Fault::MemAccess`] if any byte is unmapped or not readable.
+    pub fn read32(&self, addr: u32) -> Result<u32, Fault> {
+        let mut v = 0u32;
+        for i in 0..4 {
+            v |= (self.read8(addr.wrapping_add(i))? as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Current generation of executable bytes (see [`Memory::poke8`]).
+    pub fn exec_gen(&self) -> u64 {
+        self.exec_gen
+    }
+
+    /// Write one byte.
+    ///
+    /// # Errors
+    /// [`Fault::MemAccess`] if unmapped or not writable.
+    pub fn write8(&mut self, addr: u32, val: u8) -> Result<(), Fault> {
+        let r = self
+            .region_at_mut(addr)
+            .filter(|r| r.perms.write)
+            .ok_or(Fault::MemAccess { addr, write: true })?;
+        let exec = r.perms.exec;
+        let off = (addr - r.start) as usize;
+        r.data[off] = val;
+        if exec {
+            self.exec_gen += 1;
+        }
+        Ok(())
+    }
+
+    /// Write a little-endian 16-bit value.
+    ///
+    /// # Errors
+    /// [`Fault::MemAccess`] if any byte is unmapped or not writable.
+    pub fn write16(&mut self, addr: u32, val: u16) -> Result<(), Fault> {
+        self.write8(addr, val as u8)?;
+        self.write8(addr.wrapping_add(1), (val >> 8) as u8)
+    }
+
+    /// Write a little-endian 32-bit value.
+    ///
+    /// # Errors
+    /// [`Fault::MemAccess`] if any byte is unmapped or not writable.
+    pub fn write32(&mut self, addr: u32, val: u32) -> Result<(), Fault> {
+        for i in 0..4 {
+            self.write8(addr.wrapping_add(i), (val >> (8 * i)) as u8)?;
+        }
+        Ok(())
+    }
+
+    /// Fetch up to 15 instruction bytes starting at `addr` from executable
+    /// memory. Returns the bytes actually available (stops at a region
+    /// boundary unless the next region is also executable and contiguous).
+    ///
+    /// # Errors
+    /// [`Fault::FetchFault`] if `addr` itself is unmapped or not executable.
+    pub fn fetch_window(&self, addr: u32) -> Result<([u8; 15], usize), Fault> {
+        let mut buf = [0u8; 15];
+        let first = self
+            .region_at(addr)
+            .filter(|r| r.perms.exec)
+            .ok_or(Fault::FetchFault(addr))?;
+        let mut n = 0usize;
+        let mut r = first;
+        let mut a = addr;
+        while n < 15 {
+            if !r.contains(a) {
+                match self.region_at(a).filter(|r| r.perms.exec) {
+                    Some(next) => r = next,
+                    None => break,
+                }
+            }
+            buf[n] = r.data[(a - r.start) as usize];
+            n += 1;
+            a = a.wrapping_add(1);
+            if a == 0 {
+                break; // wrapped the address space
+            }
+        }
+        Ok((buf, n))
+    }
+
+    /// Bulk-read `len` bytes (for the OS and the injector; same permission
+    /// rules as [`Memory::read8`]).
+    ///
+    /// # Errors
+    /// [`Fault::MemAccess`] on the first inaccessible byte.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, Fault> {
+        let mut v = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            v.push(self.read8(addr.wrapping_add(i))?);
+        }
+        Ok(v)
+    }
+
+    /// Read a NUL-terminated string of at most `max` bytes.
+    ///
+    /// # Errors
+    /// [`Fault::MemAccess`] if the string runs into inaccessible memory
+    /// before a NUL or `max` is reached.
+    pub fn read_cstr(&self, addr: u32, max: u32) -> Result<Vec<u8>, Fault> {
+        let mut v = Vec::new();
+        for i in 0..max {
+            let b = self.read8(addr.wrapping_add(i))?;
+            if b == 0 {
+                break;
+            }
+            v.push(b);
+        }
+        Ok(v)
+    }
+
+    /// Bulk-write bytes (same permission rules as [`Memory::write8`]).
+    ///
+    /// # Errors
+    /// [`Fault::MemAccess`] on the first inaccessible byte; earlier bytes
+    /// will already have been written.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write8(addr.wrapping_add(i as u32), *b)?;
+        }
+        Ok(())
+    }
+
+    /// Write one byte *ignoring write permissions* (still requires the byte
+    /// to be mapped). This is the injector's interface for corrupting the
+    /// text segment — the analogue of a debugger poking a read-only page.
+    ///
+    /// # Errors
+    /// [`Fault::MemAccess`] if unmapped.
+    pub fn poke8(&mut self, addr: u32, val: u8) -> Result<(), Fault> {
+        let r = self
+            .region_at_mut(addr)
+            .ok_or(Fault::MemAccess { addr, write: true })?;
+        let off = (addr - r.start) as usize;
+        r.data[off] = val;
+        self.exec_gen += 1;
+        Ok(())
+    }
+
+    /// Read one byte ignoring read permissions (injector/debugger view).
+    ///
+    /// # Errors
+    /// [`Fault::MemAccess`] if unmapped.
+    pub fn peek8(&self, addr: u32) -> Result<u8, Fault> {
+        let r = self
+            .region_at(addr)
+            .ok_or(Fault::MemAccess { addr, write: false })?;
+        Ok(r.data[(addr - r.start) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_region_mem() -> Memory {
+        let mut m = Memory::new();
+        m.map(Region::with_data("text", 0x1000, vec![0x90; 16], Perms::RX))
+            .unwrap();
+        m.map(Region::zeroed("data", 0x2000, 32, Perms::RW)).unwrap();
+        m
+    }
+
+    #[test]
+    fn map_rejects_overlap() {
+        let mut m = two_region_mem();
+        let err = m
+            .map(Region::zeroed("bad", 0x1008, 16, Perms::RW))
+            .unwrap_err();
+        assert_eq!(err.overlaps, "text");
+        // Adjacent is fine.
+        m.map(Region::zeroed("ok", 0x1010, 16, Perms::RW)).unwrap();
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = two_region_mem();
+        m.write32(0x2000, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.read32(0x2000).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(m.read8(0x2000).unwrap(), 0xEF);
+        assert_eq!(m.read16(0x2002).unwrap(), 0xDEAD);
+    }
+
+    #[test]
+    fn write_to_text_faults() {
+        let mut m = two_region_mem();
+        assert_eq!(
+            m.write8(0x1000, 0).unwrap_err(),
+            Fault::MemAccess {
+                addr: 0x1000,
+                write: true
+            }
+        );
+        // But the injector's poke works.
+        m.poke8(0x1000, 0xCC).unwrap();
+        assert_eq!(m.peek8(0x1000).unwrap(), 0xCC);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = two_region_mem();
+        assert!(m.read8(0x0).is_err());
+        assert!(m.read8(0x1FFF).is_err());
+        assert!(m.read32(0x200E).is_ok());
+        assert!(m.read32(0x201D).is_err()); // crosses the end
+    }
+
+    #[test]
+    fn fetch_requires_exec() {
+        let m = two_region_mem();
+        let (_, n) = m.fetch_window(0x1000).unwrap();
+        assert_eq!(n, 15);
+        let (_, n) = m.fetch_window(0x100E).unwrap();
+        assert_eq!(n, 2); // only 2 bytes left in text
+        assert_eq!(m.fetch_window(0x2000).unwrap_err(), Fault::FetchFault(0x2000));
+        assert_eq!(m.fetch_window(0x5000).unwrap_err(), Fault::FetchFault(0x5000));
+    }
+
+    #[test]
+    fn fetch_crosses_contiguous_exec_regions() {
+        let mut m = Memory::new();
+        m.map(Region::with_data("a", 0x1000, vec![1; 16], Perms::RX))
+            .unwrap();
+        m.map(Region::with_data("b", 0x1010, vec![2; 16], Perms::RX))
+            .unwrap();
+        let (buf, n) = m.fetch_window(0x100C).unwrap();
+        assert_eq!(n, 15);
+        assert_eq!(&buf[..4], &[1, 1, 1, 1]);
+        assert_eq!(buf[4], 2);
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut m = two_region_mem();
+        m.write_bytes(0x2000, b"hello\0world").unwrap();
+        assert_eq!(m.read_cstr(0x2000, 64).unwrap(), b"hello");
+        assert_eq!(m.read_cstr(0x2006, 3).unwrap(), b"wor"); // max reached
+    }
+
+    #[test]
+    fn region_accessors() {
+        let m = two_region_mem();
+        let r = m.region_at(0x1005).unwrap();
+        assert_eq!(r.name(), "text");
+        assert_eq!(r.start(), 0x1000);
+        assert_eq!(r.len(), 16);
+        assert_eq!(r.end(), 0x1010);
+        assert!(!r.is_empty());
+        assert_eq!(format!("{}", r.perms()), "r-x");
+        assert!(m.region_at(0x0FFF).is_none());
+    }
+
+    #[test]
+    fn high_memory_region_end_does_not_overflow() {
+        let mut m = Memory::new();
+        m.map(Region::zeroed("top", 0xFFFF_FFF0, 16, Perms::RW))
+            .unwrap();
+        assert_eq!(m.region_at(0xFFFF_FFFF).unwrap().name(), "top");
+        assert!(m.read8(0xFFFF_FFFF).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "wraps the address space")]
+    fn wrapping_region_panics() {
+        Region::zeroed("bad", 0xFFFF_FFF0, 17, Perms::RW);
+    }
+}

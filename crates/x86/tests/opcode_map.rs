@@ -1,0 +1,135 @@
+//! Golden opcode-map test: pins the decoding *class* of every one-byte
+//! opcode so decoder changes are always deliberate. The classes matter
+//! to the study: an injected byte's class determines whether the run
+//! crashes with SIGILL (undefined), SIGSEGV (privileged), or keeps
+//! executing (valid instruction).
+
+use fisec_x86::{decode, InvalidKind, Op};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Decodes to an executable instruction.
+    Valid,
+    /// Decodes but faults as privileged/unsupported (#GP-class).
+    Priv,
+    /// Undefined opcode (#UD-class).
+    Undef,
+}
+
+fn classify(first: u8) -> Class {
+    // Follow each opcode with enough plausible bytes for any operand
+    // form (ModRM with SIB+disp32 and imm32).
+    let tail = [0x84u8, 0x24, 0x10, 0x00, 0x00, 0x00, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77];
+    let mut bytes = vec![first];
+    bytes.extend_from_slice(&tail);
+    let i = decode(&bytes);
+    match i.op {
+        Op::Invalid(InvalidKind::Privileged) => Class::Priv,
+        Op::Invalid(InvalidKind::Undefined) => Class::Undef,
+        Op::Invalid(k) => panic!("unexpected invalid kind {k:?} for {first:#04x}"),
+        _ => Class::Valid,
+    }
+}
+
+#[test]
+fn one_byte_opcode_classes_are_pinned() {
+    use Class::{Priv, Undef, Valid};
+    // Expected class for every one-byte opcode 0x00..=0xFF.
+    // Prefix bytes classify through whatever follows; with our tail they
+    // end up Valid (the tail decodes as test/and forms).
+    let mut expect = [Valid; 256];
+    let privileged = [
+        0x07u8, 0x17, 0x1F, // pop seg
+        0x6C, 0x6D, 0x6E, 0x6F, // ins/outs
+        0x8E, // mov sreg, r/m
+        0x9A, // call far
+        0xC4, 0xC5, // les/lds
+        0xCA, 0xCB, 0xCF, // retf/iret
+        0xE4, 0xE5, 0xE6, 0xE7, 0xEC, 0xED, 0xEE, 0xEF, // in/out
+        0xEA, // jmp far
+        0xF4, // hlt
+        0xFA, 0xFB, // cli/sti
+    ];
+    for b in privileged {
+        expect[b as usize] = Priv;
+    }
+    // 0x62 bound with mod=11 (our tail's ModRM 0x84 is mod=10, memory —
+    // so bound is Valid here). 0x8D lea with memory ModRM: Valid.
+    // 0xD6 salc is valid (undocumented but executes).
+    // F-group: 0xF0 lock with our tail (test [..], ..) — `test` is not
+    // lockable, so lock+tail is Undefined.
+    expect[0xF0] = Undef;
+    // 0x67 address-size prefix followed by our memory-ModRM tail decodes
+    // as privileged-class (16-bit addressing is not modelled).
+    expect[0x67] = Priv;
+    // 0x0F leads into the two-byte map; with tail byte 0x84 it is je
+    // rel32 => Valid.
+
+    let mut failures = Vec::new();
+    for b in 0u16..=255 {
+        let got = classify(b as u8);
+        let want = expect[b as usize];
+        if got != want {
+            failures.push(format!("{b:#04x}: got {got:?}, want {want:?}"));
+        }
+    }
+    assert!(failures.is_empty(), "opcode map drifted:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn two_byte_opcode_known_points() {
+    // Spot-pin the 0x0F second-byte map regions.
+    let mk = |b2: u8| {
+        let bytes = [0x0F, b2, 0xC0, 0x11, 0x22, 0x33, 0x44, 0x55];
+        decode(&bytes).op
+    };
+    // Branches.
+    for b2 in 0x80..=0x8F {
+        assert!(matches!(mk(b2), Op::Jcc(_)), "{b2:#04x}");
+    }
+    // setcc.
+    for b2 in 0x90..=0x9F {
+        assert!(matches!(mk(b2), Op::Setcc(_)), "{b2:#04x}");
+    }
+    // Hint-nop space.
+    for b2 in 0x18..=0x1F {
+        assert_eq!(mk(b2), Op::Nop, "{b2:#04x}");
+    }
+    assert_eq!(mk(0xA2), Op::Cpuid);
+    assert_eq!(mk(0xAF), Op::Imul2);
+    assert_eq!(mk(0xB6), Op::Movzx);
+    assert_eq!(mk(0xBE), Op::Movsx);
+    assert_eq!(mk(0x31), Op::Rdtsc);
+    assert_eq!(mk(0xC8), Op::Bswap);
+    assert_eq!(mk(0x0B), Op::Invalid(InvalidKind::Undefined)); // ud2
+    assert_eq!(mk(0x01), Op::Invalid(InvalidKind::Privileged)); // lgdt etc.
+    assert_eq!(mk(0x30), Op::Invalid(InvalidKind::Privileged)); // wrmsr
+}
+
+#[test]
+fn every_single_byte_flip_of_je_decodes_to_expected_family() {
+    // The exact transition set the paper's §6 analyses for je (0x74).
+    let expect: [(u8, &str); 8] = [
+        (0x75, "jcc"),  // bit 0 -> jne
+        (0x76, "jcc"),  // bit 1 -> jbe
+        (0x70, "jcc"),  // bit 2 -> jo
+        (0x7C, "jcc"),  // bit 3 -> jl
+        (0x64, "pfx"),  // bit 4 -> fs prefix
+        (0x54, "push"), // bit 5 -> push esp
+        (0x34, "alu"),  // bit 6 -> xor al, imm8
+        (0xF4, "priv"), // bit 7 -> hlt
+    ];
+    for (i, (byte, family)) in expect.iter().enumerate() {
+        assert_eq!(0x74u8 ^ (1 << i), *byte);
+        let decoded = decode(&[*byte, 0x06, 0x90, 0x90]);
+        let ok = match *family {
+            "jcc" => matches!(decoded.op, Op::Jcc(_)),
+            "pfx" => decoded.len >= 2, // prefix consumed + following inst
+            "push" => decoded.op == Op::Push,
+            "alu" => decoded.op == Op::Xor,
+            "priv" => decoded.op == Op::Invalid(InvalidKind::Privileged),
+            _ => unreachable!(),
+        };
+        assert!(ok, "bit {i}: {byte:#04x} decoded as {:?}", decoded.op);
+    }
+}

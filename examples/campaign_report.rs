@@ -1,0 +1,103 @@
+//! Regenerate the paper's full evaluation: Tables 1, 2, 3, 4, 5, Figure 4,
+//! the §7 random-injection estimate and the §5.4 load study.
+//!
+//! ```text
+//! cargo run --release --example campaign_report [--quick]
+//! ```
+//!
+//! `--quick` shrinks the random studies so the whole report finishes in
+//! well under a minute.
+
+use fisec_apps::AppSpec;
+use fisec_core::{
+    figure4, load, random, run_campaign, tables, CampaignConfig, CampaignSummary, EncodingScheme,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let random_runs = if quick { 300 } else { 3000 };
+    let load_samples = if quick { 40 } else { 200 };
+
+    let ftpd = AppSpec::ftpd();
+    let sshd = AppSpec::sshd();
+
+    println!("== Injection targets ==");
+    for app in [&ftpd, &sshd] {
+        let set = fisec_inject::enumerate_targets(&app.image, &app.auth_funcs, false);
+        println!(
+            "{}: {} control-transfer instructions ({} conditional branches), {} bits => {} runs/client; auth section = {:.1}% of text",
+            app.name,
+            set.instructions,
+            set.cond_branches,
+            set.runs(),
+            set.runs(),
+            app.image.text_fraction(&app.auth_funcs) * 100.0
+        );
+    }
+
+    let base_cfg = CampaignConfig::default();
+    let new_cfg = CampaignConfig {
+        scheme: EncodingScheme::NewEncoding,
+        ..base_cfg
+    };
+
+    eprintln!("running baseline campaigns...");
+    let ftp_base = run_campaign(&ftpd, &base_cfg);
+    let ssh_base = run_campaign(&sshd, &base_cfg);
+
+    println!("\n== Table 1: FTP and SSH Result Distributions ==");
+    println!("{}", tables::render_table1(&[&ftp_base, &ssh_base]));
+
+    println!("== Table 2: Error Location Abbreviations ==");
+    println!("{}", tables::render_table2());
+
+    println!("== Table 3: Break-ins and Fail Silence Violations by Location ==");
+    println!("{}", tables::render_table3(&[&ftp_base, &ssh_base]));
+
+    println!("== Table 4: Conditional Branch Encoding Mapping ==");
+    println!("{}", fisec_encoding::render_table4());
+
+    eprintln!("running new-encoding campaigns...");
+    let ftp_new = run_campaign(&ftpd, &new_cfg);
+    let ssh_new = run_campaign(&sshd, &new_cfg);
+
+    println!("== Table 5: FTP and SSH Results from New Encoding ==");
+    println!(
+        "{}",
+        tables::render_table5(&[&ftp_base, &ssh_base], &[&ftp_new, &ssh_new])
+    );
+
+    println!("== Figure 4: Instructions between Error and Crash (FTP Client1) ==");
+    let lat = &ftp_base.clients[0].crash_latencies;
+    let hist = figure4::histogram(lat);
+    println!("{}", figure4::render(&hist));
+    let transient = ftp_base.clients[0].transient_deviations;
+    println!(
+        "crashes with pre-crash traffic deviation (transient vulnerability window): {} of {}\n",
+        transient,
+        lat.len()
+    );
+
+    eprintln!("running random-injection campaign ({random_runs} errors)...");
+    println!("== §7: Random single-bit errors over the whole text segment ==");
+    let r = random::run_random_campaign(&ftpd, random_runs, 2001);
+    println!(
+        "runs {}  no-effect {}  SD {}  FSV {}  BRK {}",
+        r.runs, r.no_effect, r.sd, r.fsv, r.brk
+    );
+    match r.errors_per_breakin() {
+        Some(n) => println!("=> about one out of {n:.0} single-bit errors causes a security violation\n"),
+        None => println!("=> no break-in in this sample\n"),
+    }
+
+    eprintln!("running load/diversity study ({load_samples} samples)...");
+    println!("== §5.4: Latent-error manifestation vs. client diversity ==");
+    let l = load::run_load_study(&ftpd, load_samples, 77);
+    println!("{}", load::render(&l));
+
+    // Machine-readable snapshot for EXPERIMENTS.md regression comparison.
+    println!("== JSON summaries ==");
+    for c in [&ftp_base, &ssh_base, &ftp_new, &ssh_new] {
+        println!("{}", CampaignSummary::from(c).to_json());
+    }
+}

@@ -1,0 +1,88 @@
+//! Reproduce the paper's §3.2 Example 1: a single-bit error in the
+//! `pass()` function of the ftpd-like server lets a client with a wrong
+//! password log in and retrieve the protected file.
+//!
+//! We enumerate the conditional branches of `pass()`, flip each opcode
+//! bit in turn (a breakpoint-triggered injection, as NFTAPE did), and
+//! report which flips hand FTP Client1 (valid user, wrong password) the
+//! secret file.
+//!
+//! ```text
+//! cargo run --release --example ftp_breakin
+//! ```
+
+use fisec_apps::AppSpec;
+use fisec_encoding::EncodingScheme;
+use fisec_inject::{
+    enumerate_targets, golden_run, run_injection, OutcomeClass,
+};
+
+fn main() {
+    let app = AppSpec::ftpd();
+    let client1 = &app.clients[0];
+    let golden = golden_run(&app.image, client1).expect("golden run");
+    println!(
+        "golden run: Client1 (user alice, wrong password) -> {:?}, server {}",
+        golden.client, golden.stop
+    );
+    assert_eq!(golden.client, fisec_net::ClientStatus::Denied);
+
+    // All opcode bits of the conditional branches inside pass().
+    let set = enumerate_targets(&app.image, &["pass"], true);
+    let opcode_bits: Vec<_> = set
+        .targets
+        .iter()
+        .filter(|t| t.byte_index == 0 || (t.first_byte == 0x0F && t.byte_index == 1))
+        .collect();
+    println!(
+        "\npass() has {} conditional branches; probing {} opcode bits under the stock encoding\n",
+        set.cond_branches,
+        opcode_bits.len()
+    );
+
+    let mut breakins = Vec::new();
+    for t in &opcode_bits {
+        let r = run_injection(&app.image, client1, &golden, t, EncodingScheme::Baseline)
+            .expect("run");
+        if r.outcome == OutcomeClass::Breakin {
+            breakins.push((**t, r));
+        }
+    }
+
+    println!("BREAK-INS ({} found):", breakins.len());
+    for (t, r) in &breakins {
+        // Disassemble the victim instruction before and after the flip.
+        let off = (t.addr - app.image.text_base) as usize;
+        let before = fisec_x86::decode(&app.image.text[off..off + 8]);
+        let mut bytes = app.image.text[off..off + 8].to_vec();
+        bytes[t.byte_index as usize] ^= 1 << t.bit;
+        let after = fisec_x86::decode(&bytes);
+        println!(
+            "  {:#010x}: {before}  --bit {} of byte {}-->  {after}   [client: {:?}, server: {}]",
+            t.addr, t.bit, t.byte_index, r.client, r.stop
+        );
+    }
+    assert!(
+        !breakins.is_empty(),
+        "expected at least one je/jne-style break-in in pass()"
+    );
+
+    // The paper's fix: repeat the same flips under the new encoding.
+    let survived: Vec<_> = breakins
+        .iter()
+        .filter(|(t, _)| {
+            let r = run_injection(&app.image, client1, &golden, t, EncodingScheme::NewEncoding)
+                .expect("run");
+            r.outcome == OutcomeClass::Breakin
+        })
+        .collect();
+    println!(
+        "\nunder the new parity encoding, {} of {} of those flips still break in",
+        survived.len(),
+        breakins.len()
+    );
+    println!(
+        "(each grant/deny branch flip now lands on a non-branch opcode instead of\n\
+         the opposite condition — the Hamming distance within the branch block is 2)"
+    );
+}

@@ -1,0 +1,108 @@
+//! Quickstart: the core phenomenon in ~60 lines.
+//!
+//! We assemble a tiny authentication decision — "grant only when the
+//! check flag is zero" — and show that flipping a single bit of the `je`
+//! opcode (0x74 → 0x75, `jne`) reverses the decision, because IA-32
+//! encodes opposite branch conditions one Hamming distance apart.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fisec_asm::{mov_ri, Assembler};
+use fisec_x86::{
+    decode, Cond, Inst, Machine, MemOperand, Memory, Op, Operand, Perms, Reg32, Region,
+};
+
+const TEXT: u32 = 0x0804_8000;
+const DATA: u32 = 0x0810_0000;
+
+/// Build: eax = [rval]; test eax,eax; je grant; mov eax,0; ret; grant:
+/// mov eax,1; ret — the shape of the paper's Figure 1.
+fn build() -> fisec_asm::Image {
+    let mut a = Assembler::new();
+    let rval = a.data("rval", vec![1, 0, 0, 0], 4); // wrong password: rval != 0
+    let grant = a.new_label();
+    a.begin_func("decide");
+    a.emit_sym(
+        Inst::new(Op::Mov)
+            .dst(Operand::Reg(Reg32::Eax))
+            .src(Operand::Mem(MemOperand::abs(0))),
+        fisec_asm::SymSlot::MemSrc,
+        fisec_asm::SymRef::data(rval),
+    );
+    a.emit(
+        Inst::new(Op::Test)
+            .dst(Operand::Reg(Reg32::Eax))
+            .src(Operand::Reg(Reg32::Eax)),
+    );
+    a.jcc(Cond::E, grant); // rval == 0 -> grant
+    a.emit(mov_ri(Reg32::Eax, 0)); // deny
+    a.emit(Inst::new(Op::Ret(0)));
+    a.bind(grant);
+    a.emit(mov_ri(Reg32::Eax, 1)); // grant
+    a.emit(Inst::new(Op::Ret(0)));
+    a.end_func();
+    a.assemble(TEXT, DATA).expect("assembles")
+}
+
+/// Run `decide` to its `ret` and return EAX (1 = access granted).
+fn run(image: &fisec_asm::Image) -> u32 {
+    let mut mem = Memory::new();
+    mem.map(Region::with_data("text", TEXT, image.text.clone(), Perms::RX))
+        .unwrap();
+    mem.map(Region::with_data("data", DATA, image.data.clone(), Perms::RW))
+        .unwrap();
+    mem.map(Region::zeroed("stack", 0x9000_0000, 0x1000, Perms::RW))
+        .unwrap();
+    let mut m = Machine::new(mem);
+    m.cpu.eip = TEXT;
+    m.cpu.regs[Reg32::Esp as usize] = 0x9000_0FF0;
+    // Plant a sentinel return address; `ret` jumps there and faults,
+    // which is how we know the function finished.
+    m.mem.write32(0x9000_0FF0, 0xDEAD_0000).unwrap();
+    loop {
+        match m.step() {
+            fisec_x86::StepEvent::Executed if m.cpu.eip == 0xDEAD_0000 => break,
+            fisec_x86::StepEvent::Executed => {}
+            e => panic!("unexpected event {e:?} at {:#x}", m.cpu.eip),
+        }
+    }
+    m.cpu.regs[Reg32::Eax as usize]
+}
+
+fn main() {
+    let image = build();
+
+    // Locate the je and show its encoding.
+    let f = image.func("decide").unwrap().clone();
+    let (je_addr, je) = image
+        .decode_func(&f)
+        .into_iter()
+        .find(|(_, i)| i.is_cond_branch())
+        .expect("decide has a branch");
+    let off = (je_addr - TEXT) as usize;
+    println!("correct binary : {je} at {je_addr:#x}, opcode {:#04x}", image.text[off]);
+
+    assert_eq!(run(&image), 0);
+    println!("correct run    : access DENIED (rval != 0), as the programmer intended");
+
+    // Flip one bit of the branch opcode: je (0x74) becomes jne (0x75).
+    let mut corrupted = image.clone();
+    corrupted.text[off] ^= 0x01;
+    let flipped = decode(&corrupted.text[off..off + 2]);
+    println!(
+        "single-bit flip: opcode {:#04x} -> {:#04x} ({flipped})",
+        image.text[off], corrupted.text[off]
+    );
+
+    assert_eq!(run(&corrupted), 1);
+    println!("corrupted run  : access GRANTED — a permanent security hole");
+    println!();
+    println!(
+        "Under the paper's re-encoding, je maps to {:#04x}; no single-bit\n\
+         flip of it reaches another conditional branch (see the\n\
+         new_encoding_demo example).",
+        fisec_encoding::map_1byte(0x74)
+    );
+}

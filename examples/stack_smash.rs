@@ -1,0 +1,110 @@
+//! Reproduce the paper's §3.4 Example 3: a single-bit error in
+//! `packet_read()`'s buffer setup opens the door to a stack-overflow
+//! attack that hands control of EIP to the remote client.
+//!
+//! `packet_read` compiles exactly like the paper's Figure 3 — the 8 KiB
+//! buffer length is pushed as `push $0x2000` and the buffer address as
+//! `lea -0x2000(%ebp), %eax; push %eax` — and `read(0, buf, 8192)` is
+//! bounds-correct. We flip **one bit** (bit 12 of the `lea`
+//! displacement), which silently moves the buffer 4 KiB up the stack, to
+//! `ebp-0x1000`. The very same `read` now writes the client's bytes over
+//! `packet_read`'s saved return address: a persistent attacker who sends
+//! a long version string with chosen bytes at offset 0x1004 takes EIP.
+//!
+//! ```text
+//! cargo run --release --example stack_smash
+//! ```
+
+use fisec_apps::build_sshd;
+use fisec_net::{ClientDriver, ClientStatus};
+use fisec_os::{run_session, Stop};
+use fisec_x86::{Fault, MemOperand, Op, Operand};
+
+/// Where the attacker's EIP lands relative to the relocated buffer:
+/// buffer at `ebp-0x1000`, saved return address at `ebp+4`.
+const RET_OFFSET: usize = 0x1000 + 4;
+/// The EIP value the attacker chooses (ASCII "ABCD" little-endian).
+const MARKER: u32 = 0x4443_4241;
+
+/// A persistent attacker: answers the banner with a 4 KiB+ version
+/// string carrying the marker at the return-address offset.
+struct Attacker {
+    sent: bool,
+}
+
+impl ClientDriver for Attacker {
+    fn on_server_data(&mut self, _data: &[u8], out: &mut dyn FnMut(Vec<u8>)) {
+        if !self.sent {
+            self.sent = true;
+            let mut payload = b"SSH-1.5-attacker-".to_vec();
+            payload.resize(RET_OFFSET, b'A'); // padding, no newline
+            payload.extend_from_slice(&MARKER.to_le_bytes());
+            // The overflow also runs over packet_read's arguments at
+            // ebp+8 (the out pointer) and ebp+12 (outmax). A careful
+            // attacker keeps the function alive until its `ret`: point
+            // `out` at scratch stack space and make `outmax` tiny.
+            payload.extend_from_slice(&0xBFFF_F000u32.to_le_bytes());
+            payload.extend_from_slice(&2u32.to_le_bytes());
+            payload.extend_from_slice(b"\r\n");
+            out(payload);
+        }
+    }
+
+    fn status(&self) -> ClientStatus {
+        ClientStatus::InProgress
+    }
+}
+
+fn main() {
+    let image = build_sshd().expect("sshd builds");
+    let f = image.func("packet_read").expect("packet_read exists").clone();
+
+    // Confirm the Figure 3 shape: push $0x2000 followed by the buffer lea.
+    let insts = image.decode_func(&f);
+    assert!(
+        insts
+            .iter()
+            .any(|(_, i)| i.op == Op::Push && i.dst == Some(Operand::Imm(0x2000))),
+        "packet_read must push the 8192 length immediate"
+    );
+    let (lea_addr, lea) = insts
+        .iter()
+        .find(|(_, i)| {
+            i.op == Op::Lea
+                && i.src == Some(Operand::Mem(MemOperand::base_disp(fisec_x86::Reg32::Ebp, -0x2000)))
+        })
+        .expect("packet_read has the buffer lea");
+    println!("victim instruction: {lea} at {lea_addr:#x} (the Figure 3 buffer)");
+
+    // The attack against the *correct* binary fails: read() is bounded
+    // by the real buffer, the copy into the caller is bounded by outmax.
+    let golden = run_session(&image, Box::new(Attacker { sent: false }), 5_000_000)
+        .expect("load");
+    println!(
+        "correct binary under attack: server {} (no hijack; the long version string is truncated safely)",
+        golden.stop
+    );
+    assert!(!matches!(golden.stop, Stop::Crashed(Fault::FetchFault(a)) if a == MARKER));
+
+    // Flip bit 12 of the lea displacement: -0x2000 -> -0x1000.
+    let off = (*lea_addr - image.text_base) as usize;
+    let disp_lo = off + (lea.len as usize - 4);
+    let mut corrupted = image.clone();
+    corrupted.text[disp_lo + 1] ^= 0x10;
+    let new_inst = fisec_x86::decode(&corrupted.text[off..off + lea.len as usize]);
+    println!("after a single-bit flip: {new_inst} — buffer silently moved 4 KiB up");
+
+    let smashed = run_session(&corrupted, Box::new(Attacker { sent: false }), 5_000_000)
+        .expect("load");
+    let Stop::Crashed(Fault::FetchFault(eip)) = smashed.stop else {
+        panic!("expected a wild fetch, got {:?}", smashed.stop);
+    };
+    println!("corrupted binary under attack: wild jump to EIP = {eip:#010x}");
+    assert_eq!(eip, MARKER, "EIP must be the attacker's chosen bytes");
+    println!(
+        "\n=> EIP {:#010x} is exactly the 4 bytes the client placed at offset {:#x}\n\
+         of its version string: the paper's 'opportunity for stack overflow\n\
+         attacks, i.e., hijack the server process'.",
+        MARKER, RET_OFFSET
+    );
+}
