@@ -2,7 +2,7 @@
 
 /// Accumulates raw bytes and yields complete `\n`-terminated lines with
 /// the terminator (and any preceding `\r`) stripped.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LineBuf {
     buf: Vec<u8>,
 }

@@ -543,7 +543,7 @@ enum FtpState {
 }
 
 /// Scripted FTP client implementing the paper's four access patterns.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FtpClient {
     pattern: FtpPattern,
     state: FtpState,
@@ -665,8 +665,8 @@ impl FtpClient {
 /// Parse a leading 3-digit FTP reply code.
 fn reply_code(line: &[u8]) -> Option<u32> {
     if line.len() >= 3 && line[..3].iter().all(u8::is_ascii_digit) {
-        let code = (line[0] - b'0') as u32 * 100 + (line[1] - b'0') as u32 * 10
-            + (line[2] - b'0') as u32;
+        let code =
+            (line[0] - b'0') as u32 * 100 + (line[1] - b'0') as u32 * 10 + (line[2] - b'0') as u32;
         Some(code)
     } else {
         None
@@ -782,6 +782,7 @@ mod tests {
         // Even logged in as guest, secret.txt stays protected; the server
         // must answer 550.
         let img = build_ftpd().unwrap();
+        #[derive(Clone)]
         struct Raw {
             step: usize,
             lines: LineBuf,

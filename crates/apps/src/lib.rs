@@ -17,7 +17,9 @@ pub mod ftpd;
 pub mod sshd;
 
 pub use ftpd::{build_ftpd, FtpClient, FtpPattern, FTPD_AUTH_FUNCS, FTPD_SRC};
-pub use sshd::{build_sshd, build_sshd_single_entry, SshClient, SshPattern, SSHD_AUTH_FUNCS, SSHD_SRC};
+pub use sshd::{
+    build_sshd, build_sshd_single_entry, SshClient, SshPattern, SSHD_AUTH_FUNCS, SSHD_SRC,
+};
 
 use fisec_asm::Image;
 use fisec_net::ClientDriver;

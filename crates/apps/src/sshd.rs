@@ -446,7 +446,7 @@ enum SshState {
 }
 
 /// Scripted SSH client implementing the paper's two access patterns.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SshClient {
     pattern: SshPattern,
     state: SshState,
@@ -672,11 +672,19 @@ mod tests {
         assert_eq!(multi.text, single.text, "ablation must not change text");
         assert_ne!(multi.data, single.data);
         // Correct password still works; rhosts/none/rsa paths are dead.
-        let ok = run_session(&single, SshClient::boxed(SshPattern::CorrectPassword), 5_000_000)
-            .unwrap();
+        let ok = run_session(
+            &single,
+            SshClient::boxed(SshPattern::CorrectPassword),
+            5_000_000,
+        )
+        .unwrap();
         assert_eq!(ok.client, ClientStatus::Granted);
-        let bad = run_session(&single, SshClient::boxed(SshPattern::WrongPassword), 5_000_000)
-            .unwrap();
+        let bad = run_session(
+            &single,
+            SshClient::boxed(SshPattern::WrongPassword),
+            5_000_000,
+        )
+        .unwrap();
         assert_eq!(bad.client, ClientStatus::Denied);
     }
 
@@ -687,8 +695,7 @@ mod tests {
         let f = img.func("packet_read").unwrap().clone();
         let insts = img.decode_func(&f);
         let has_push_2000 = insts.iter().any(|(_, i)| {
-            i.op == fisec_x86::Op::Push
-                && i.dst == Some(fisec_x86::Operand::Imm(0x2000))
+            i.op == fisec_x86::Op::Push && i.dst == Some(fisec_x86::Operand::Imm(0x2000))
         });
         assert!(has_push_2000, "no `push $0x2000` in packet_read");
     }

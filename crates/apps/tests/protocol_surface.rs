@@ -7,6 +7,7 @@ use fisec_os::{Process, Stop};
 
 /// A raw client that sends a fixed command script, one line per server
 /// reply burst, and records everything the server said.
+#[derive(Clone)]
 struct Script {
     steps: Vec<&'static str>,
     next: usize,
@@ -32,9 +33,7 @@ impl ClientDriver for Script {
             self.saw.push(String::from_utf8_lossy(&l).into_owned());
             // Reply only to complete status lines (3-digit + space), so
             // multi-line payloads don't trigger extra sends.
-            let is_status = l.len() >= 4
-                && l[..3].iter().all(u8::is_ascii_digit)
-                && l[3] == b' ';
+            let is_status = l.len() >= 4 && l[..3].iter().all(u8::is_ascii_digit) && l[3] == b' ';
             if is_status && self.next < self.steps.len() {
                 out(format!("{}\r\n", self.steps[self.next]).into_bytes());
                 self.next += 1;
@@ -136,12 +135,7 @@ fn unknown_command_and_noop_type_syst() {
 
 #[test]
 fn bad_directory_rejected() {
-    let (_, lines) = drive_ftpd(vec![
-        "USER alice",
-        "PASS wonderland",
-        "CWD /etc",
-        "QUIT",
-    ]);
+    let (_, lines) = drive_ftpd(vec!["USER alice", "PASS wonderland", "CWD /etc", "QUIT"]);
     assert_has(&lines, "550 No such directory");
 }
 
@@ -178,6 +172,7 @@ fn guest_email_validation() {
             format!("PASS {bad}"),
             "QUIT".into(),
         ];
+        #[derive(Clone)]
         struct Owned {
             steps: Vec<String>,
             next: usize,
@@ -247,6 +242,7 @@ fn three_failed_logins_close_the_connection() {
 #[test]
 fn sshd_rejects_non_ssh_version() {
     let img = build_sshd().unwrap();
+    #[derive(Clone)]
     struct BadVersion {
         sent: bool,
     }
@@ -277,6 +273,7 @@ fn sshd_rejects_non_ssh_version() {
 #[test]
 fn sshd_protocol_error_on_garbage_method() {
     let img = build_sshd().unwrap();
+    #[derive(Clone)]
     struct Garbage {
         stage: usize,
         lines: LineBuf,
@@ -330,6 +327,7 @@ fn sshd_protocol_error_on_garbage_method() {
 #[test]
 fn sshd_three_password_failures_disconnect() {
     let img = build_sshd().unwrap();
+    #[derive(Clone)]
     struct Persistent {
         stage: usize,
         tries: usize,
@@ -391,6 +389,7 @@ fn sshd_three_password_failures_disconnect() {
 #[test]
 fn sshd_session_loop_handles_unknown_requests() {
     let img = build_sshd().unwrap();
+    #[derive(Clone)]
     struct LoggedIn {
         stage: usize,
         lines: LineBuf,

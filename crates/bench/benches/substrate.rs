@@ -3,7 +3,8 @@
 //! exhaustive campaigns take (~10^4 sessions × ~10^5 instructions).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use fisec_apps::{build_ftpd, build_sshd};
+use fisec_apps::{build_ftpd, build_sshd, AppSpec};
+use fisec_core::{run_campaign, CampaignConfig, ExecutionMode};
 use fisec_x86::{decode, Machine, Memory, Perms, Region};
 
 fn bench_decoder(c: &mut Criterion) {
@@ -63,5 +64,41 @@ fn bench_build(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_decoder, bench_interpreter, bench_build);
+fn bench_campaign_engines(c: &mut Criterion) {
+    // Head-to-head: the checkpointed engine vs the from-scratch
+    // reference oracle on the same real (cut-down) campaign — ftpd
+    // pass() branches, attack + correct-password clients. The
+    // differential tests prove the results identical; this measures the
+    // speedup the snapshot engine buys (EXPERIMENTS.md records the
+    // full-report numbers).
+    let mut app = AppSpec::ftpd();
+    app.auth_funcs = vec!["pass"];
+    app.clients.truncate(2);
+    let runs = fisec_inject::enumerate_targets(&app.image, &app.auth_funcs, false).runs()
+        * app.clients.len();
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(runs as u64));
+    for (label, mode) in [
+        ("snapshot_engine", ExecutionMode::Snapshot),
+        ("from_scratch_engine", ExecutionMode::FromScratch),
+    ] {
+        let cfg = CampaignConfig {
+            mode,
+            ..CampaignConfig::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(run_campaign(&app, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decoder,
+    bench_interpreter,
+    bench_build,
+    bench_campaign_engines
+);
 criterion_main!(benches);

@@ -396,7 +396,8 @@ impl<'a> FnGen<'a> {
             _ => {
                 self.gen_expr(e)?;
                 self.test_eax();
-                self.asm.jcc(if when_true { Cond::Ne } else { Cond::E }, target);
+                self.asm
+                    .jcc(if when_true { Cond::Ne } else { Cond::E }, target);
                 Ok(())
             }
         }
@@ -850,10 +851,7 @@ mod tests {
 
     #[test]
     fn strcmp_eq_zero_emits_test_jcc() {
-        let img = gen(
-            "int check(int x) { if (x == 0) { return 1; } return 2; }",
-        )
-        .unwrap();
+        let img = gen("int check(int x) { if (x == 0) { return 1; } return 2; }").unwrap();
         // Look for test eax,eax (85 C0) followed by jne (75).
         let t = &img.text;
         let found = t
@@ -904,11 +902,14 @@ mod tests {
 
     #[test]
     fn global_initializers() {
-        let img = gen("int x = 258; char c = 'A'; char s[8] = \"hi\"; int main() { return x; }")
-            .unwrap();
+        let img =
+            gen("int x = 258; char c = 'A'; char s[8] = \"hi\"; int main() { return x; }").unwrap();
         let xs = img.data_symbol("x").unwrap();
         assert_eq!(xs.len, 4);
-        assert_eq!(&img.data[(xs.addr - img.data_base) as usize..][..4], &[2, 1, 0, 0]);
+        assert_eq!(
+            &img.data[(xs.addr - img.data_base) as usize..][..4],
+            &[2, 1, 0, 0]
+        );
         let ss = img.data_symbol("s").unwrap();
         assert_eq!(ss.len, 8);
         assert_eq!(
@@ -924,7 +925,10 @@ mod tests {
 
     #[test]
     fn conditional_branches_present_in_loops() {
-        let img = gen("int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) s = s + i; return s; }").unwrap();
+        let img = gen(
+            "int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) s = s + i; return s; }",
+        )
+        .unwrap();
         let f = img.func("main").unwrap().clone();
         let insts = img.decode_func(&f);
         assert!(insts.iter().any(|(_, i)| i.is_cond_branch()));

@@ -61,8 +61,8 @@ impl std::error::Error for LexError {}
 const PUNCTS: &[&str] = &[
     // Longest first so maximal munch works.
     "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--", "+=", "-=", "*=",
-    "/=", "%=", "&=", "|=", "^=", "->", "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&",
-    "|", "^", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+    "/=", "%=", "&=", "|=", "^=", "->", "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|",
+    "^", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
 ];
 
 /// Tokenize mini-C source.
@@ -305,11 +305,10 @@ mod tests {
 
     #[test]
     fn lex_char_literals() {
-        assert_eq!(toks("'a' '\\n' '\\0'")[..3], [
-            Tok::CharLit(b'a'),
-            Tok::CharLit(b'\n'),
-            Tok::CharLit(0)
-        ]);
+        assert_eq!(
+            toks("'a' '\\n' '\\0'")[..3],
+            [Tok::CharLit(b'a'), Tok::CharLit(b'\n'), Tok::CharLit(0)]
+        );
     }
 
     #[test]

@@ -598,10 +598,8 @@ mod tests {
 
     #[test]
     fn parse_globals() {
-        let p = parse(
-            "int counter = 5;\nchar buf[64];\nchar motd[] = \"hi\\n\";\nint zero;",
-        )
-        .unwrap();
+        let p =
+            parse("int counter = 5;\nchar buf[64];\nchar motd[] = \"hi\\n\";\nint zero;").unwrap();
         assert_eq!(p.globals.len(), 4);
         assert_eq!(p.globals[0].init, GlobalInit::Num(5));
         assert_eq!(p.globals[1].ty, Type::Array(Box::new(Type::Char), 64));
@@ -616,15 +614,19 @@ mod tests {
             panic!()
         };
         // ((1 + (2*3)) == 7) && (4 < 5)
-        let Expr::Bin(BinOp::And, l, r) = e else { panic!("{e:?}") };
+        let Expr::Bin(BinOp::And, l, r) = e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(**l, Expr::Bin(BinOp::Eq, _, _)));
         assert!(matches!(**r, Expr::Bin(BinOp::Lt, _, _)));
     }
 
     #[test]
     fn parse_if_else_chain() {
-        let p = parse("int f(int x) { if (x == 1) return 1; else if (x == 2) return 2; else return 3; }")
-            .unwrap();
+        let p = parse(
+            "int f(int x) { if (x == 1) return 1; else if (x == 2) return 2; else return 3; }",
+        )
+        .unwrap();
         let Stmt::If { els, .. } = &p.funcs[0].body[0] else {
             panic!()
         };
@@ -661,10 +663,7 @@ mod tests {
     #[test]
     fn parse_pointer_expressions() {
         let p = parse("int f(char *p) { *p = 'x'; return p[1] + *(p + 2); }").unwrap();
-        assert!(matches!(
-            p.funcs[0].body[0],
-            Stmt::Expr(Expr::Assign(_, _))
-        ));
+        assert!(matches!(p.funcs[0].body[0], Stmt::Expr(Expr::Assign(_, _))));
     }
 
     #[test]

@@ -38,7 +38,9 @@ fn run(src: &str) -> i32 {
 #[test]
 fn while_loop_and_compound_assign() {
     assert_eq!(
-        run("int main() { int s; int i; s = 0; i = 1; while (i <= 10) { s += i; i++; } return s; }"),
+        run(
+            "int main() { int s; int i; s = 0; i = 1; while (i <= 10) { s += i; i++; } return s; }"
+        ),
         55
     );
 }
@@ -57,10 +59,8 @@ fn for_loop_with_break_continue() {
 #[test]
 fn nested_loops() {
     assert_eq!(
-        run(
-            "int main() { int n; n = 0; for (int i = 0; i < 5; i++) \
-             for (int j = 0; j < 5; j++) if (i == j) n++; return n; }"
-        ),
+        run("int main() { int n; n = 0; for (int i = 0; i < 5; i++) \
+             for (int j = 0; j < 5; j++) if (i == j) n++; return n; }"),
         5
     );
 }
@@ -83,10 +83,8 @@ fn pointer_arithmetic_scales() {
         30
     );
     assert_eq!(
-        run(
-            "int main() { char s[4]; char *p; s[0] = 'x'; s[1] = 'y'; \
-             p = s; p = p + 1; return *p; }"
-        ),
+        run("int main() { char s[4]; char *p; s[0] = 'x'; s[1] = 'y'; \
+             p = s; p = p + 1; return *p; }"),
         b'y' as i32
     );
 }
@@ -113,19 +111,14 @@ fn arrays_and_indexing() {
 #[test]
 fn char_sign_extension() {
     // char is signed: 0x80 must load as -128.
-    assert_eq!(
-        run("int main() { char c; c = 128; return c; }"),
-        -128
-    );
+    assert_eq!(run("int main() { char c; c = 128; return c; }"), -128);
 }
 
 #[test]
 fn global_state_persists_across_calls() {
     assert_eq!(
-        run(
-            "int counter; void bump() { counter++; } \
-             int main() { bump(); bump(); bump(); return counter; }"
-        ),
+        run("int counter; void bump() { counter++; } \
+             int main() { bump(); bump(); bump(); return counter; }"),
         3
     );
 }
@@ -140,8 +133,14 @@ fn recursion_with_args() {
 
 #[test]
 fn post_increment_returns_old_value() {
-    assert_eq!(run("int main() { int i; i = 5; int j; j = i++; return j * 10 + i; }"), 56);
-    assert_eq!(run("int main() { int i; i = 5; int j; j = i--; return j * 10 + i; }"), 54);
+    assert_eq!(
+        run("int main() { int i; i = 5; int j; j = i++; return j * 10 + i; }"),
+        56
+    );
+    assert_eq!(
+        run("int main() { int i; i = 5; int j; j = i--; return j * 10 + i; }"),
+        54
+    );
 }
 
 #[test]
@@ -158,17 +157,13 @@ fn post_increment_on_pointers_steps_by_size() {
 #[test]
 fn short_circuit_skips_side_effects() {
     assert_eq!(
-        run(
-            "int hits; int bump() { hits++; return 1; } \
-             int main() { int r; r = 0 && bump(); r = 1 || bump(); return hits; }"
-        ),
+        run("int hits; int bump() { hits++; return 1; } \
+             int main() { int r; r = 0 && bump(); r = 1 || bump(); return hits; }"),
         0
     );
     assert_eq!(
-        run(
-            "int hits; int bump() { hits++; return 1; } \
-             int main() { int r; r = 1 && bump(); r = 0 || bump(); return hits; }"
-        ),
+        run("int hits; int bump() { hits++; return 1; } \
+             int main() { int r; r = 1 && bump(); r = 0 || bump(); return hits; }"),
         2
     );
 }
@@ -207,7 +202,10 @@ fn else_if_chains() {
 
 #[test]
 fn comparisons_are_signed() {
-    assert_eq!(run("int main() { int a; a = -1; if (a < 1) { return 1; } return 0; }"), 1);
+    assert_eq!(
+        run("int main() { int a; a = -1; if (a < 1) { return 1; } return 0; }"),
+        1
+    );
 }
 
 #[test]
@@ -228,9 +226,7 @@ fn global_char_arrays_with_string_init() {
 #[test]
 fn shadowing_in_nested_blocks() {
     assert_eq!(
-        run(
-            "int main() { int x; x = 1; { int x; x = 2; { int x; x = 3; } } return x; }"
-        ),
+        run("int main() { int x; x = 1; { int x; x = 2; { int x; x = 3; } } return x; }"),
         1
     );
 }
@@ -256,10 +252,7 @@ fn mixed_char_int_arithmetic() {
 
 #[test]
 fn hex_literals_and_bitops() {
-    assert_eq!(
-        run("int main() { return (0xF0 | 0x0F) ^ 0xFF; }"),
-        0
-    );
+    assert_eq!(run("int main() { return (0xF0 | 0x0F) ^ 0xFF; }"), 0);
     assert_eq!(run("int main() { return 0x2000; }"), 8192);
 }
 

@@ -286,10 +286,7 @@ fn pinned_programs() {
         (
             vec![PStmt::Assign(
                 0,
-                PExpr::Sar(
-                    Box::new(PExpr::Shl(Box::new(PExpr::Var(0)), 11)),
-                    3,
-                ),
+                PExpr::Sar(Box::new(PExpr::Shl(Box::new(PExpr::Var(0)), 11)), 3),
             )],
             [-5, 1, 2, 3],
         ),

@@ -110,9 +110,7 @@ pub fn sampling_study(
         let mut estimates = Vec::with_capacity(resamples);
         let mut missed = 0usize;
         for _ in 0..resamples {
-            let sample: Vec<_> = records
-                .choose_multiple(&mut rng, k)
-                .collect();
+            let sample: Vec<_> = records.choose_multiple(&mut rng, k).collect();
             let act = sample
                 .iter()
                 .filter(|r| r.outcome_abbrev != 'N')

@@ -61,9 +61,7 @@ fn parse_args() -> Result<Args, String> {
             "--runs" => a.runs = val("--runs")?.parse().map_err(|e| format!("{e}"))?,
             "--samples" => a.samples = val("--samples")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => a.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
-            "--threads" => {
-                a.threads = Some(val("--threads")?.parse().map_err(|e| format!("{e}"))?)
-            }
+            "--threads" => a.threads = Some(val("--threads")?.parse().map_err(|e| format!("{e}"))?),
             "--top" => a.top = val("--top")?.parse().map_err(|e| format!("{e}"))?,
             "--json" => a.json = true,
             "--new-encoding" => a.new_encoding = true,
@@ -159,7 +157,11 @@ fn run(args: &Args) -> Result<(), String> {
             }
         }
         "figure4" => {
-            let apps = apps_for(if args.app == "both" { "ftpd" } else { &args.app })?;
+            let apps = apps_for(if args.app == "both" {
+                "ftpd"
+            } else {
+                &args.app
+            })?;
             let app = &apps[0];
             let cfg = cfg_of(args, EncodingScheme::Baseline);
             let result = run_campaign(app, &cfg);
@@ -167,7 +169,10 @@ fn run(args: &Args) -> Result<(), String> {
             let c = &result.clients[idx];
             let h = figure4::histogram(&c.crash_latencies);
             if args.json {
-                println!("{}", serde_json::to_string_pretty(&h).map_err(|e| e.to_string())?);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&h).map_err(|e| e.to_string())?
+                );
             } else {
                 println!("{}", figure4::render(&h));
                 println!(
@@ -178,7 +183,11 @@ fn run(args: &Args) -> Result<(), String> {
             }
         }
         "random" => {
-            let apps = apps_for(if args.app == "both" { "ftpd" } else { &args.app })?;
+            let apps = apps_for(if args.app == "both" {
+                "ftpd"
+            } else {
+                &args.app
+            })?;
             let scheme = if args.new_encoding {
                 EncodingScheme::NewEncoding
             } else {
@@ -186,23 +195,35 @@ fn run(args: &Args) -> Result<(), String> {
             };
             let r = random::run_random_campaign_scheme(&apps[0], args.runs, args.seed, scheme);
             if args.json {
-                println!("{}", serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
+                );
             } else {
                 println!(
                     "runs {}  no-effect {}  SD {}  FSV {}  BRK {}",
                     r.runs, r.no_effect, r.sd, r.fsv, r.brk
                 );
                 match r.errors_per_breakin() {
-                    Some(n) => println!("about one out of {n:.0} errors causes a security violation"),
+                    Some(n) => {
+                        println!("about one out of {n:.0} errors causes a security violation")
+                    }
                     None => println!("no break-in in this sample"),
                 }
             }
         }
         "load" => {
-            let apps = apps_for(if args.app == "both" { "ftpd" } else { &args.app })?;
+            let apps = apps_for(if args.app == "both" {
+                "ftpd"
+            } else {
+                &args.app
+            })?;
             let r = load::run_load_study(&apps[0], args.samples, args.seed);
             if args.json {
-                println!("{}", serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
+                );
             } else {
                 println!("{}", load::render(&r));
             }
@@ -221,7 +242,11 @@ fn run(args: &Args) -> Result<(), String> {
             }
         }
         "disasm" => {
-            let apps = apps_for(if args.app == "both" { "ftpd" } else { &args.app })?;
+            let apps = apps_for(if args.app == "both" {
+                "ftpd"
+            } else {
+                &args.app
+            })?;
             let app = &apps[0];
             let funcs: Vec<String> = match &args.func {
                 Some(f) => vec![f.clone()],
@@ -292,7 +317,11 @@ fn run(args: &Args) -> Result<(), String> {
             println!("{}", fisec_core::ablation::render_sampling(truth, &rows));
         }
         "forensics" => {
-            let apps = apps_for(if args.app == "both" { "ftpd" } else { &args.app })?;
+            let apps = apps_for(if args.app == "both" {
+                "ftpd"
+            } else {
+                &args.app
+            })?;
             let app = &apps[0];
             let client = &app.clients[0];
             let set = enumerate_targets(&app.image, &app.auth_funcs, false);

@@ -4,9 +4,30 @@ use crate::counts::{LocationCounts, OutcomeCounts};
 use fisec_apps::AppSpec;
 use fisec_encoding::EncodingScheme;
 use fisec_inject::{
-    enumerate_targets, golden_run, run_injection, GoldenRun, InjectionTarget, OutcomeClass,
+    enumerate_targets, golden_run, golden_run_with_coverage, run_injection, run_injection_group,
+    GoldenRun, InjectionRun, InjectionTarget, OutcomeClass,
 };
+use fisec_os::Stop;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How the engine executes the per-target experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Checkpoint-based: boot each (client, instruction-address) pair to
+    /// the breakpoint once, snapshot, and replay only the post-flip
+    /// suffix for every byte×bit of that instruction. Targets at
+    /// addresses the golden run never executes are classified NA from
+    /// the golden coverage set without spawning a run. Produces results
+    /// bit-identical to [`ExecutionMode::FromScratch`] (enforced by the
+    /// differential tests) at a fraction of the wall-clock.
+    #[default]
+    Snapshot,
+    /// Reference oracle: every experiment boots the server from scratch,
+    /// exactly the paper's §4 procedure.
+    FromScratch,
+}
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Copy)]
@@ -18,6 +39,8 @@ pub struct CampaignConfig {
     pub scheme: EncodingScheme,
     /// Worker threads (1 = sequential).
     pub threads: usize,
+    /// Checkpoint-based fast path (default) or from-scratch oracle.
+    pub mode: ExecutionMode,
 }
 
 impl Default for CampaignConfig {
@@ -26,12 +49,13 @@ impl Default for CampaignConfig {
             cond_branches_only: false,
             scheme: EncodingScheme::Baseline,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            mode: ExecutionMode::default(),
         }
     }
 }
 
 /// One injection run's record (kept for breakdowns and Figure 4).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunRecord {
     /// Target instruction address.
     pub addr: u32,
@@ -148,7 +172,8 @@ pub fn run_campaign(app: &AppSpec, cfg: &CampaignConfig) -> CampaignResult {
                 location_index: fisec_inject::ErrorLocation::ALL
                     .iter()
                     .position(|l| *l == target.location)
-                    .unwrap_or(5) as u8,
+                    .expect("every ErrorLocation variant appears in ErrorLocation::ALL")
+                    as u8,
                 crash_latency: run.crash_latency,
                 transient_deviation: run.transient_deviation,
             });
@@ -165,25 +190,39 @@ pub fn run_campaign(app: &AppSpec, cfg: &CampaignConfig) -> CampaignResult {
     }
 }
 
-/// Execute all targets for one client, optionally sharded over threads.
+/// Execute all targets for one client, dispatching on the configured
+/// [`ExecutionMode`], optionally sharded over threads. Results are in
+/// target order regardless of mode or thread count.
 fn run_targets(
     app: &AppSpec,
     spec: &fisec_apps::ClientSpec,
     golden: &GoldenRun,
     targets: &[InjectionTarget],
     cfg: &CampaignConfig,
-) -> Vec<fisec_inject::InjectionRun> {
+) -> Vec<InjectionRun> {
+    match cfg.mode {
+        ExecutionMode::FromScratch => run_targets_from_scratch(app, spec, golden, targets, cfg),
+        ExecutionMode::Snapshot => run_targets_snapshot(app, spec, golden, targets, cfg),
+    }
+}
+
+/// The reference oracle: one full boot per experiment (paper §4).
+fn run_targets_from_scratch(
+    app: &AppSpec,
+    spec: &fisec_apps::ClientSpec,
+    golden: &GoldenRun,
+    targets: &[InjectionTarget],
+    cfg: &CampaignConfig,
+) -> Vec<InjectionRun> {
     let threads = cfg.threads.max(1);
     if threads == 1 || targets.len() < 64 {
         return targets
             .iter()
-            .map(|t| {
-                run_injection(&app.image, spec, golden, t, cfg.scheme).expect("image loads")
-            })
+            .map(|t| run_injection(&app.image, spec, golden, t, cfg.scheme).expect("image loads"))
             .collect();
     }
     let chunk = targets.len().div_ceil(threads);
-    let mut out: Vec<Vec<fisec_inject::InjectionRun>> = Vec::new();
+    let mut out: Vec<Vec<InjectionRun>> = Vec::new();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for shard in targets.chunks(chunk) {
@@ -191,8 +230,7 @@ fn run_targets(
                 shard
                     .iter()
                     .map(|t| {
-                        run_injection(&app.image, spec, golden, t, cfg.scheme)
-                            .expect("image loads")
+                        run_injection(&app.image, spec, golden, t, cfg.scheme).expect("image loads")
                     })
                     .collect::<Vec<_>>()
             }));
@@ -202,6 +240,107 @@ fn run_targets(
         }
     });
     out.into_iter().flatten().collect()
+}
+
+/// The checkpointed fast path.
+///
+/// Targets are grouped by instruction address (enumeration emits them
+/// address-major, so groups are contiguous slices). Groups at addresses
+/// the golden run never executes are synthesized as NA wholesale — the
+/// injected run's pre-activation execution is identical to golden, so
+/// its breakpoint can never be hit and it must stop exactly as golden
+/// did. The remaining groups each boot once to the breakpoint and
+/// replay per-bit suffixes from a snapshot; a shared work queue feeds
+/// groups to the worker threads (groups vary wildly in cost, so static
+/// chunking would straggle).
+fn run_targets_snapshot(
+    app: &AppSpec,
+    spec: &fisec_apps::ClientSpec,
+    golden: &GoldenRun,
+    targets: &[InjectionTarget],
+    cfg: &CampaignConfig,
+) -> Vec<InjectionRun> {
+    // Contiguous same-address slices, with each group's offset into
+    // `targets` so results can be reassembled in target order.
+    let mut groups: Vec<(usize, &[InjectionTarget])> = Vec::new();
+    let mut start = 0;
+    for i in 1..=targets.len() {
+        if i == targets.len() || targets[i].addr != targets[start].addr {
+            groups.push((start, &targets[start..i]));
+            start = i;
+        }
+    }
+
+    // The NA pre-filter is sound only when the golden run's stop proves
+    // the replayed prefix cannot reach the breakpoint: an Exited or
+    // Deadlock golden run stops at the same point under the (larger)
+    // injection budget, while a Budget golden would keep running and a
+    // fetch-faulted golden stops *before* its final address enters the
+    // coverage set. Outside the safe cases every group runs for real.
+    let coverage = if matches!(golden.stop, Stop::Exited(_) | Stop::Deadlock) {
+        let (gold2, cov) = golden_run_with_coverage(&app.image, spec).expect("image loads");
+        debug_assert_eq!(gold2.icount, golden.icount);
+        Some(cov)
+    } else {
+        None
+    };
+    let synth_na = |n: usize| -> Vec<InjectionRun> {
+        let na = InjectionRun {
+            outcome: OutcomeClass::NotActivated,
+            activated: false,
+            stop: golden.stop.clone(),
+            client: golden.client,
+            crash_latency: None,
+            transient_deviation: false,
+            divergence: None,
+        };
+        vec![na; n]
+    };
+
+    let mut slots: Vec<Option<Vec<InjectionRun>>> = vec![None; groups.len()];
+    let live: Vec<usize> = groups
+        .iter()
+        .enumerate()
+        .filter_map(|(gi, (_, group))| match &coverage {
+            Some(cov) if !cov.contains(&group[0].addr) => {
+                slots[gi] = Some(synth_na(group.len()));
+                None
+            }
+            _ => Some(gi),
+        })
+        .collect();
+
+    let threads = cfg.threads.max(1).min(live.len().max(1));
+    if threads <= 1 {
+        for &gi in &live {
+            let (_, group) = groups[gi];
+            slots[gi] = Some(
+                run_injection_group(&app.image, spec, golden, group, cfg.scheme)
+                    .expect("image loads"),
+            );
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots_mx = Mutex::new(&mut slots);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&gi) = live.get(i) else { break };
+                    let (_, group) = groups[gi];
+                    let runs = run_injection_group(&app.image, spec, golden, group, cfg.scheme)
+                        .expect("image loads");
+                    slots_mx.lock().expect("no worker panicked")[gi] = Some(runs);
+                });
+            }
+        });
+    }
+
+    let mut out = Vec::with_capacity(targets.len());
+    for done in slots {
+        out.extend(done.expect("every group ran or was synthesized"));
+    }
+    out
 }
 
 #[cfg(test)]

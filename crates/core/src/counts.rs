@@ -156,10 +156,7 @@ mod tests {
         assert_eq!(c.total(), 5);
         assert_eq!(c.activated(), 4);
         assert_eq!(c.pct_of_activated(OutcomeClass::NotActivated), None);
-        assert_eq!(
-            c.pct_of_activated(OutcomeClass::Breakin),
-            Some(25.0)
-        );
+        assert_eq!(c.pct_of_activated(OutcomeClass::Breakin), Some(25.0));
     }
 
     #[test]

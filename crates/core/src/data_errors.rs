@@ -95,8 +95,11 @@ pub fn run_data_campaign(app: &AppSpec, max_symbol_len: u32) -> DataCampaignResu
             counts,
         });
     }
-    symbols.sort_by(|a, b| {
-        (b.counts.brk, b.counts.fsv).cmp(&(a.counts.brk, a.counts.fsv))
+    symbols.sort_by_key(|s| {
+        (
+            std::cmp::Reverse(s.counts.brk),
+            std::cmp::Reverse(s.counts.fsv),
+        )
     });
     DataCampaignResult {
         app: app.name.to_string(),

@@ -58,9 +58,7 @@ pub fn histogram(latencies: &[u64]) -> LatencyHistogram {
 
 /// Render as an ASCII bar chart in the paper's layout (X axis log2).
 pub fn render(h: &LatencyHistogram) -> String {
-    let mut out = String::from(
-        "Number of instructions between error and crash (log2 bins)\n",
-    );
+    let mut out = String::from("Number of instructions between error and crash (log2 bins)\n");
     let peak = h.bins.iter().copied().max().unwrap_or(0).max(1);
     for (i, &n) in h.bins.iter().enumerate() {
         let lo = if i == 0 { 1 } else { (1u64 << (i - 1)) + 1 };

@@ -37,7 +37,9 @@ pub mod load;
 pub mod random;
 pub mod tables;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, ClientCampaign};
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignResult, ClientCampaign, ExecutionMode, RunRecord,
+};
 pub use counts::{LocationCounts, OutcomeCounts};
 pub use fisec_encoding::EncodingScheme;
 

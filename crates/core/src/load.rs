@@ -79,9 +79,7 @@ pub fn run_load_study(app: &AppSpec, samples: usize, seed: u64) -> LoadStudyResu
 
 /// Render the study as a small table.
 pub fn render(r: &LoadStudyResult) -> String {
-    let mut out = String::from(
-        "distinct client patterns (k)   P(latent error manifests)\n",
-    );
+    let mut out = String::from("distinct client patterns (k)   P(latent error manifests)\n");
     for (i, p) in r.manifest_probability.iter().enumerate() {
         out.push_str(&format!("{:>29}   {:>24.3}\n", i + 1, p));
     }

@@ -104,12 +104,18 @@ pub fn render_table5(baseline: &[&CampaignResult], new: &[&CampaignResult]) -> S
         for (bc, nc) in b.clients.iter().zip(&n.clients) {
             assert_eq!(bc.client, nc.client, "client order mismatch");
             let fsv = match reduction_pct(bc.counts.fsv, nc.counts.fsv) {
-                Some(p) => format!("{:>8}  {p:>6.0}%", bc.counts.fsv - nc.counts.fsv.min(bc.counts.fsv)),
+                Some(p) => format!(
+                    "{:>8}  {p:>6.0}%",
+                    bc.counts.fsv - nc.counts.fsv.min(bc.counts.fsv)
+                ),
                 None => format!("{:>8}        -", "-"),
             };
             fsv_row.push_str(&format!("{fsv:>22}"));
             let brk = match reduction_pct(bc.counts.brk, nc.counts.brk) {
-                Some(p) => format!("{:>8}  {p:>6.0}%", bc.counts.brk - nc.counts.brk.min(bc.counts.brk)),
+                Some(p) => format!(
+                    "{:>8}  {p:>6.0}%",
+                    bc.counts.brk - nc.counts.brk.min(bc.counts.brk)
+                ),
                 None => format!("{:>8}        -", "-"),
             };
             brk_row.push_str(&format!("{brk:>22}"));

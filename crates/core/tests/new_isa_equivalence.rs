@@ -40,7 +40,10 @@ fn run_direct_new_isa(
     let orig = p.machine.mem.peek8(byte_addr).expect("mapped");
     // Direct flip in new-ISA text: this IS the fault model on the
     // hypothetical processor.
-    p.machine.mem.poke8(byte_addr, orig ^ (1 << target.bit)).expect("mapped");
+    p.machine
+        .mem
+        .poke8(byte_addr, orig ^ (1 << target.bit))
+        .expect("mapped");
     p.machine.remove_breakpoint(target.addr);
     let activation = p.icount();
     let stop = p.run();
@@ -55,7 +58,11 @@ fn run_direct_new_isa(
 fn golden_runs_identical_on_reencoded_cpu() {
     for app in [AppSpec::ftpd(), AppSpec::sshd()] {
         let new_image = reencode_image_text(&app.image);
-        assert_ne!(app.image.text, new_image.text, "{}: text must change", app.name);
+        assert_ne!(
+            app.image.text, new_image.text,
+            "{}: text must change",
+            app.name
+        );
         for spec in &app.clients {
             let old_golden = golden_run(&app.image, spec).unwrap();
             let mut p = Process::load(&new_image, spec.make()).unwrap();

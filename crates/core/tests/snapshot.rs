@@ -23,8 +23,7 @@ fn campaign_matches_committed_snapshot() {
     app.clients.truncate(2);
     let r = run_campaign(&app, &CampaignConfig::default());
     let got = CampaignSummary::from(&r);
-    let want: CampaignSummary =
-        serde_json::from_str(FIXTURE).expect("fixture parses");
+    let want: CampaignSummary = serde_json::from_str(FIXTURE).expect("fixture parses");
     assert_eq!(
         got, want,
         "campaign drifted from the committed snapshot; if the change is \

@@ -75,7 +75,12 @@ fn new_encoding_reduces_cond_branch_breakins() {
     // The reduction comes from the 2BC/6BC2 classes, as the paper found.
     let b = &base.clients[0].brkfsv_by_location;
     let n = &new.clients[0].brkfsv_by_location;
-    assert!(b.c2bc > n.c2bc, "2BC cases must shrink: {} -> {}", b.c2bc, n.c2bc);
+    assert!(
+        b.c2bc > n.c2bc,
+        "2BC cases must shrink: {} -> {}",
+        b.c2bc,
+        n.c2bc
+    );
 }
 
 #[test]
@@ -119,7 +124,12 @@ fn golden_runs_all_match_expectations() {
                 ClientStatus::Granted
             };
             assert_eq!(g.client, want, "{} {}", app.name, spec.name);
-            assert!(g.icount > 1_000, "{} {} did almost nothing", app.name, spec.name);
+            assert!(
+                g.icount > 1_000,
+                "{} {} did almost nothing",
+                app.name,
+                spec.name
+            );
         }
     }
 }
@@ -142,7 +152,10 @@ fn specific_jne_flip_reproduces_example1() {
             r.outcome == OutcomeClass::Breakin
         })
         .collect();
-    assert!(!brk_targets.is_empty(), "bit 0 of some Jcc opcode must break in");
+    assert!(
+        !brk_targets.is_empty(),
+        "bit 0 of some Jcc opcode must break in"
+    );
     // Deterministic: re-running the same target reproduces the break-in.
     let t = brk_targets[0];
     for _ in 0..3 {

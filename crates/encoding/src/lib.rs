@@ -184,9 +184,7 @@ pub fn min_pairwise_hd(set: &[u8]) -> Option<u32> {
 
 /// Render Table 4 in the paper's layout.
 pub fn render_table4() -> String {
-    let mut out = String::from(
-        "Mnemonic  2-byte Old  2-byte New  6-byte Old  6-byte New\n",
-    );
+    let mut out = String::from("Mnemonic  2-byte Old  2-byte New  6-byte Old  6-byte New\n");
     for r in table4() {
         out.push_str(&format!(
             "{:<9} {:<11} {:<11} 0F {:<8} 0F {:<8}\n",
@@ -259,7 +257,12 @@ mod tests {
         // error can turn one conditional branch into another.
         for old in 0x70u8..=0x7F {
             for bit in 0..8 {
-                let result = remap_flip(old, bit, ByteCtx::OneByteOpcode, EncodingScheme::NewEncoding);
+                let result = remap_flip(
+                    old,
+                    bit,
+                    ByteCtx::OneByteOpcode,
+                    EncodingScheme::NewEncoding,
+                );
                 if (0x70..=0x7F).contains(&result) {
                     assert_eq!(
                         result, old,
@@ -270,8 +273,12 @@ mod tests {
         }
         for old in 0x80u8..=0x8F {
             for bit in 0..8 {
-                let result =
-                    remap_flip(old, bit, ByteCtx::SecondOpcodeByte, EncodingScheme::NewEncoding);
+                let result = remap_flip(
+                    old,
+                    bit,
+                    ByteCtx::SecondOpcodeByte,
+                    EncodingScheme::NewEncoding,
+                );
                 if (0x80..=0x8F).contains(&result) {
                     assert_eq!(result, old);
                 }

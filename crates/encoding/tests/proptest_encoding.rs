@@ -1,8 +1,6 @@
 //! Property tests for the §6 encoding scheme.
 
-use fisec_encoding::{
-    hamming, map_0f_second, map_1byte, remap_flip, ByteCtx, EncodingScheme,
-};
+use fisec_encoding::{hamming, map_0f_second, map_1byte, remap_flip, ByteCtx, EncodingScheme};
 use proptest::prelude::*;
 
 proptest! {

@@ -62,7 +62,11 @@ pub struct GoldenRun {
 }
 
 /// Result of one injection experiment.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq` compare every field; the differential tests lean on
+/// this to prove the checkpointed engine bit-identical to from-scratch
+/// replays.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InjectionRun {
     /// Classified outcome.
     pub outcome: OutcomeClass,
@@ -122,9 +126,10 @@ pub fn classify_run(
     crash_latency: Option<u64>,
 ) -> InjectionRun {
     let golden_denied = golden.client != ClientStatus::Granted;
-    let divergence = golden.trace.first_divergence(&trace).map(|(i, d)| {
-        format!("message {i}: {d}")
-    });
+    let divergence = golden
+        .trace
+        .first_divergence(&trace)
+        .map(|(i, d)| format!("message {i}: {d}"));
 
     let outcome = if golden_denied && client == ClientStatus::Granted {
         OutcomeClass::Breakin
@@ -193,7 +198,13 @@ mod tests {
     #[test]
     fn identical_run_is_nm() {
         let g = golden_denied();
-        let r = classify_run(&g, Stop::Exited(0), ClientStatus::Denied, g.trace.clone(), None);
+        let r = classify_run(
+            &g,
+            Stop::Exited(0),
+            ClientStatus::Denied,
+            g.trace.clone(),
+            None,
+        );
         assert_eq!(r.outcome, OutcomeClass::NotManifested);
         assert!(r.divergence.is_none());
     }
@@ -262,13 +273,7 @@ mod tests {
     fn hang_is_fsv() {
         let g = golden_denied();
         for stop in [Stop::Budget, Stop::Deadlock] {
-            let r = classify_run(
-                &g,
-                stop,
-                ClientStatus::InProgress,
-                g.trace.clone(),
-                None,
-            );
+            let r = classify_run(&g, stop, ClientStatus::InProgress, g.trace.clone(), None);
             assert_eq!(r.outcome, OutcomeClass::FailSilenceViolation);
         }
     }
@@ -354,6 +359,93 @@ mod tests {
         // Wrong direction.
         let wrong_dir = trace_from(&[(Dir::ToServer, "220 ready\r\n")]);
         assert!(!trace_is_prefix(&wrong_dir, &g));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_fsv_hang() {
+        // A run that spins until the instruction budget runs out is a
+        // hang-class fail-silence violation even when the traffic so far
+        // matches golden perfectly.
+        let g = golden_denied();
+        let r = classify_run(
+            &g,
+            Stop::Budget,
+            ClientStatus::InProgress,
+            g.trace.clone(),
+            None,
+        );
+        assert_eq!(r.outcome, OutcomeClass::FailSilenceViolation);
+        assert!(r.stop.is_hang());
+        assert_eq!(r.crash_latency, None);
+        assert!(!r.transient_deviation);
+    }
+
+    #[test]
+    fn breakpoint_stop_is_fsv_not_nm() {
+        // A stray breakpoint stop (e.g. the corrupted program jumping
+        // back onto a still-armed breakpoint address) is neither a clean
+        // exit nor a crash/hang: it must not classify as NotManifested
+        // even with golden-identical traffic and verdict.
+        let g = golden_denied();
+        let r = classify_run(
+            &g,
+            Stop::Breakpoint(0x1000),
+            g.client,
+            g.trace.clone(),
+            None,
+        );
+        assert_eq!(r.outcome, OutcomeClass::FailSilenceViolation);
+    }
+
+    #[test]
+    fn empty_client_trace_against_golden() {
+        // A run that dies before any traffic: empty trace is a valid
+        // prefix (no transient deviation), but a non-crash empty-trace
+        // run diverges from golden ("extra message" on golden's side).
+        let g = golden_denied();
+        let empty = Trace::default();
+        assert!(trace_is_prefix(&empty, &g.trace));
+        let r = classify_run(
+            &g,
+            Stop::Crashed(Fault::InvalidOpcode(0x2000)),
+            ClientStatus::InProgress,
+            empty.clone(),
+            Some(1),
+        );
+        assert_eq!(r.outcome, OutcomeClass::SystemDetection);
+        assert!(!r.transient_deviation);
+        let r = classify_run(&g, Stop::Exited(0), ClientStatus::InProgress, empty, None);
+        assert_eq!(r.outcome, OutcomeClass::FailSilenceViolation);
+        assert!(r.divergence.unwrap().contains("extra message"));
+    }
+
+    #[test]
+    fn empty_golden_trace_is_handled() {
+        // Degenerate golden (server said nothing): identical empty run
+        // is NM; any traffic at all is divergence.
+        let g = GoldenRun {
+            stop: Stop::Exited(0),
+            client: ClientStatus::Denied,
+            trace: Trace::default(),
+            icount: 100,
+        };
+        let r = classify_run(
+            &g,
+            Stop::Exited(0),
+            ClientStatus::Denied,
+            Trace::default(),
+            None,
+        );
+        assert_eq!(r.outcome, OutcomeClass::NotManifested);
+        let r = classify_run(
+            &g,
+            Stop::Exited(0),
+            ClientStatus::Denied,
+            trace_from(&[(Dir::ToClient, "garbage")]),
+            None,
+        );
+        assert_eq!(r.outcome, OutcomeClass::FailSilenceViolation);
+        assert!(r.divergence.unwrap().contains("missing message"));
     }
 
     #[test]

@@ -164,8 +164,13 @@ mod tests {
         let app = AppSpec::ftpd();
         let client = &app.clients[0]; // denied: never reaches retr()'s body
         let set = enumerate_targets(&app.image, &["retr"], true);
-        let r = crash_forensics(&app.image, client, &set.targets[0], EncodingScheme::Baseline)
-            .unwrap();
+        let r = crash_forensics(
+            &app.image,
+            client,
+            &set.targets[0],
+            EncodingScheme::Baseline,
+        )
+        .unwrap();
         assert!(r.is_none());
     }
 }

@@ -49,6 +49,36 @@ pub fn golden_run(image: &Image, client: &ClientSpec) -> Result<GoldenRun, fisec
     })
 }
 
+/// Record the golden run *and* the set of instruction addresses it
+/// executes. The campaign engine uses the coverage set to classify
+/// targets at never-executed addresses as NA without spawning a run:
+/// execution before activation is identical to golden, so a breakpoint
+/// at an uncovered address can never be hit.
+///
+/// # Errors
+/// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
+pub fn golden_run_with_coverage(
+    image: &Image,
+    client: &ClientSpec,
+) -> Result<(GoldenRun, std::collections::HashSet<u32>), fisec_os::LoadError> {
+    let mut p = Process::load(image, client.make())?;
+    p.set_budget(50_000_000);
+    p.machine.enable_coverage();
+    let stop = p.run();
+    let golden = GoldenRun {
+        stop,
+        client: p.client_status(),
+        trace: p.trace(),
+        icount: p.icount(),
+    };
+    let coverage = p
+        .machine
+        .coverage()
+        .expect("coverage was enabled before the run")
+        .clone();
+    Ok((golden, coverage))
+}
+
 /// Execute one injection experiment.
 ///
 /// # Errors
@@ -108,6 +138,97 @@ pub fn run_injection(
         final_trace,
         crash_latency,
     ))
+}
+
+/// Execute every experiment in a group of targets sharing one
+/// instruction address, replaying the boot-to-breakpoint prefix only
+/// once.
+///
+/// The process boots with a breakpoint at the shared address exactly as
+/// [`run_injection`] does. If the breakpoint is never hit, every target
+/// in the group is NA with the same record the from-scratch path would
+/// produce (pre-activation execution is deterministic). Otherwise the
+/// process is checkpointed at the breakpoint and each target replays
+/// only the post-flip suffix from the restored checkpoint: peek the
+/// pristine byte, flip, disarm, run, classify — observably identical to
+/// a from-scratch run because [`fisec_os::Process::restore`] rewinds
+/// registers, memory, icount, breakpoints and the client channel.
+///
+/// # Errors
+/// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
+///
+/// # Panics
+/// If the targets do not all share one instruction address.
+pub fn run_injection_group(
+    image: &Image,
+    client: &ClientSpec,
+    golden: &GoldenRun,
+    targets: &[InjectionTarget],
+    scheme: EncodingScheme,
+) -> Result<Vec<InjectionRun>, fisec_os::LoadError> {
+    let Some(addr) = targets.first().map(|t| t.addr) else {
+        return Ok(Vec::new());
+    };
+    assert!(
+        targets.iter().all(|t| t.addr == addr),
+        "run_injection_group requires targets sharing one address"
+    );
+    let mut p = Process::load(image, client.make())?;
+    let budget = (golden.icount * BUDGET_MULTIPLIER).max(BUDGET_FLOOR);
+    p.set_budget(budget);
+    p.machine.add_breakpoint(addr);
+
+    let first = p.run();
+    let Stop::Breakpoint(_) = first else {
+        // Instruction never executed: the whole group is not activated,
+        // and (determinism) every from-scratch run would stop the same
+        // way with the same client verdict.
+        let na = InjectionRun {
+            outcome: OutcomeClass::NotActivated,
+            activated: false,
+            stop: first,
+            client: p.client_status(),
+            crash_latency: None,
+            transient_deviation: false,
+            divergence: None,
+        };
+        return Ok(vec![na; targets.len()]);
+    };
+
+    let checkpoint = p.snapshot();
+    let activation_icount = p.icount();
+    let mut runs = Vec::with_capacity(targets.len());
+    for target in targets {
+        p.restore(&checkpoint);
+        let byte_addr = target.addr.wrapping_add(target.byte_index as u32);
+        let orig = p
+            .machine
+            .mem
+            .peek8(byte_addr)
+            .expect("target byte is mapped: it was decoded from the image");
+        let ctx = byte_ctx(target);
+        let corrupted = remap_flip(orig, target.bit, ctx, scheme);
+        p.machine
+            .mem
+            .poke8(byte_addr, corrupted)
+            .expect("target byte is mapped");
+        p.machine.remove_breakpoint(target.addr);
+
+        let stop = p.run();
+        let final_trace = p.trace();
+        let crash_latency = match stop {
+            Stop::Crashed(_) => Some(p.icount() - activation_icount),
+            _ => None,
+        };
+        runs.push(classify_run(
+            golden,
+            stop,
+            p.client_status(),
+            final_trace,
+            crash_latency,
+        ));
+    }
+    Ok(runs)
 }
 
 /// Determine the §6.2 mapping context for the corrupted byte.

@@ -47,21 +47,15 @@ impl ErrorLocation {
     /// The paper's definition text (Table 2 right column).
     pub fn definition(self) -> &'static str {
         match self {
-            ErrorLocation::TwoByteCondOpcode => {
-                "Opcode of 2-byte conditional branch instruction"
-            }
-            ErrorLocation::TwoByteCondOperand => {
-                "Operand of 2-byte conditional branch instruction"
-            }
+            ErrorLocation::TwoByteCondOpcode => "Opcode of 2-byte conditional branch instruction",
+            ErrorLocation::TwoByteCondOperand => "Operand of 2-byte conditional branch instruction",
             ErrorLocation::SixByteCond1 => {
                 "Byte 1 of opcode of 6-byte conditional branch instruction"
             }
             ErrorLocation::SixByteCond2 => {
                 "Byte 2 of opcode of 6-byte conditional branch instruction"
             }
-            ErrorLocation::SixByteCondOperand => {
-                "Operand of 6-byte conditional branch instruction"
-            }
+            ErrorLocation::SixByteCondOperand => "Operand of 6-byte conditional branch instruction",
             ErrorLocation::Misc => "Others",
         }
     }

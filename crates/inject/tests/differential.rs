@@ -1,0 +1,110 @@
+//! Differential tests: the checkpointed group runner must be observably
+//! indistinguishable from booting every experiment from scratch.
+//!
+//! `run_injection_group` replays a snapshot taken at the breakpoint for
+//! every byte×bit of an instruction; these tests re-run the same pinned
+//! target slices through the one-boot-per-experiment `run_injection`
+//! oracle and require the full `InjectionRun` records — outcome class,
+//! activation, stop reason, client verdict, crash latency, transient
+//! deviation flag and divergence text — to agree field for field, for
+//! both servers and both encodings.
+
+use fisec_apps::AppSpec;
+use fisec_encoding::EncodingScheme;
+use fisec_inject::{
+    enumerate_targets, golden_run, run_injection, run_injection_group, InjectionTarget,
+    OutcomeClass,
+};
+
+/// Group a target slice into contiguous same-address runs.
+fn by_addr(targets: &[InjectionTarget]) -> Vec<&[InjectionTarget]> {
+    let mut groups = Vec::new();
+    let mut start = 0;
+    for i in 1..=targets.len() {
+        if i == targets.len() || targets[i].addr != targets[start].addr {
+            groups.push(&targets[start..i]);
+            start = i;
+        }
+    }
+    groups
+}
+
+/// Run every target in `slice` through both engines and compare records.
+fn assert_paths_agree(app: &AppSpec, client_idx: usize, slice: &[InjectionTarget]) {
+    let spec = &app.clients[client_idx];
+    let golden = golden_run(&app.image, spec).unwrap();
+    for scheme in [EncodingScheme::Baseline, EncodingScheme::NewEncoding] {
+        for group in by_addr(slice) {
+            let fast = run_injection_group(&app.image, spec, &golden, group, scheme).unwrap();
+            let slow: Vec<_> = group
+                .iter()
+                .map(|t| run_injection(&app.image, spec, &golden, t, scheme).unwrap())
+                .collect();
+            assert_eq!(
+                fast, slow,
+                "{} {} {:?} group at {:#010x} diverged between engines",
+                app.name, spec.name, scheme, group[0].addr
+            );
+        }
+    }
+}
+
+#[test]
+fn ftpd_pass_slice_agrees_between_engines() {
+    let app = AppSpec::ftpd();
+    let set = enumerate_targets(&app.image, &["pass"], true);
+    // Every bit of the first four pass() branch instructions: activated
+    // runs with BRK/SD/FSV/NM mixes under Client1 (attack).
+    let slice: Vec<_> = set.targets.iter().take(4 * 48).copied().collect();
+    assert!(slice.len() >= 96, "expected several instructions' worth");
+    assert_paths_agree(&app, 0, &slice);
+}
+
+#[test]
+fn ftpd_granted_client_slice_agrees_between_engines() {
+    // Client2 (correct password): golden grants, so the engines must
+    // also agree on the no-BRK side of the classification.
+    let app = AppSpec::ftpd();
+    let set = enumerate_targets(&app.image, &["pass"], true);
+    let slice: Vec<_> = set.targets.iter().take(2 * 48).copied().collect();
+    assert_paths_agree(&app, 1, &slice);
+}
+
+#[test]
+fn sshd_auth_password_slice_agrees_between_engines() {
+    let app = AppSpec::sshd();
+    let set = enumerate_targets(&app.image, &["auth_password"], true);
+    let slice: Vec<_> = set.targets.iter().take(3 * 48).copied().collect();
+    assert!(!slice.is_empty());
+    assert_paths_agree(&app, 0, &slice);
+}
+
+#[test]
+fn unreached_group_is_na_in_both_engines() {
+    // Client1 is denied and never drives retr(); a whole group there
+    // must come back NotActivated from both engines, with identical
+    // stop/client fields.
+    let app = AppSpec::ftpd();
+    let spec = &app.clients[0];
+    let golden = golden_run(&app.image, spec).unwrap();
+    let set = enumerate_targets(&app.image, &["retr"], true);
+    let group = by_addr(&set.targets)[0];
+    let fast =
+        run_injection_group(&app.image, spec, &golden, group, EncodingScheme::Baseline).unwrap();
+    assert!(fast.iter().all(|r| r.outcome == OutcomeClass::NotActivated));
+    let slow: Vec<_> = group
+        .iter()
+        .map(|t| run_injection(&app.image, spec, &golden, t, EncodingScheme::Baseline).unwrap())
+        .collect();
+    assert_eq!(fast, slow);
+}
+
+#[test]
+fn empty_group_is_empty() {
+    let app = AppSpec::ftpd();
+    let spec = &app.clients[0];
+    let golden = golden_run(&app.image, spec).unwrap();
+    let runs =
+        run_injection_group(&app.image, spec, &golden, &[], EncodingScheme::Baseline).unwrap();
+    assert!(runs.is_empty());
+}

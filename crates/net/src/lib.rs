@@ -51,7 +51,7 @@ pub enum ClientStatus {
 /// Implementations are deterministic state machines: the fault injector
 /// runs the same client against golden and faulty servers and compares
 /// the traffic.
-pub trait ClientDriver {
+pub trait ClientDriver: CloneClient {
     /// Server delivered `data`; queue any replies through `out`.
     fn on_server_data(&mut self, data: &[u8], out: &mut dyn FnMut(Vec<u8>));
 
@@ -64,6 +64,27 @@ pub trait ClientDriver {
     fn status(&self) -> ClientStatus;
 }
 
+/// Object-safe cloning for boxed [`ClientDriver`]s, so [`Channel`] (and
+/// with it a whole simulated process) can be checkpointed mid-session.
+/// Blanket-implemented for every `Clone` client; implementors only need
+/// `#[derive(Clone)]`.
+pub trait CloneClient {
+    /// Clone into a fresh box.
+    fn clone_box(&self) -> Box<dyn ClientDriver>;
+}
+
+impl<T: ClientDriver + Clone + 'static> CloneClient for T {
+    fn clone_box(&self) -> Box<dyn ClientDriver> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn ClientDriver> {
+    fn clone(&self) -> Box<dyn ClientDriver> {
+        self.clone_box()
+    }
+}
+
 /// Result of a server-side read.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReadOutcome {
@@ -74,7 +95,10 @@ pub enum ReadOutcome {
 }
 
 /// A synchronous duplex channel between the simulated server and a
-/// [`ClientDriver`], recording a [`Trace`] of all traffic.
+/// [`ClientDriver`], recording a [`Trace`] of all traffic. Cloning
+/// captures the client state machine, queued bytes and trace — the
+/// channel half of a process checkpoint.
+#[derive(Clone)]
 pub struct Channel {
     client: Box<dyn ClientDriver>,
     to_server: VecDeque<u8>,
@@ -227,6 +251,7 @@ mod tests {
 
     /// Echo client: replies "ok\n" to every server message, grants after
     /// seeing "PASS".
+    #[derive(Clone)]
     struct EchoClient {
         granted: bool,
     }
@@ -356,6 +381,7 @@ mod tests {
     }
 
     /// Speak-first client for `on_server_read_idle`.
+    #[derive(Clone)]
     struct SpeakFirst {
         spoken: bool,
     }

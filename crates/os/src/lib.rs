@@ -110,6 +110,20 @@ pub struct Process {
 /// authentication session takes well under 100k instructions.
 pub const DEFAULT_BUDGET: u64 = 5_000_000;
 
+/// Full state of a [`Process`] captured by [`Process::snapshot`]:
+/// machine (registers, memory, icount, breakpoints, trace ring),
+/// channel (client state machine, queued bytes, traffic trace), exit
+/// status and budget. Restoring rewinds the whole simulated world to
+/// the capture point, so one boot-to-breakpoint prefix can be replayed
+/// under many different injected faults.
+#[derive(Debug, Clone)]
+pub struct ProcessSnapshot {
+    machine: fisec_x86::MachineSnapshot,
+    channel: Channel,
+    exit_code: Option<i32>,
+    budget: u64,
+}
+
 impl Process {
     /// Load `image` and connect it to `client`.
     ///
@@ -155,6 +169,27 @@ impl Process {
     /// Override the instruction budget.
     pub fn set_budget(&mut self, budget: u64) {
         self.budget = budget;
+    }
+
+    /// Checkpoint the whole simulated world: machine, channel (client
+    /// state + traffic so far), exit status and budget.
+    pub fn snapshot(&self) -> ProcessSnapshot {
+        ProcessSnapshot {
+            machine: self.machine.snapshot(),
+            channel: self.channel.clone(),
+            exit_code: self.exit_code,
+            budget: self.budget,
+        }
+    }
+
+    /// Rewind to a previously captured [`ProcessSnapshot`] of this
+    /// process. Execution after the restore is observably identical to
+    /// execution from the original capture point.
+    pub fn restore(&mut self, snap: &ProcessSnapshot) {
+        self.machine.restore(&snap.machine);
+        self.channel = snap.channel.clone();
+        self.exit_code = snap.exit_code;
+        self.budget = snap.budget;
     }
 
     /// Instructions retired so far.
@@ -316,6 +351,7 @@ mod tests {
     use fisec_net::ClientDriver;
 
     /// Client that feeds scripted lines on demand and records what it saw.
+    #[derive(Clone)]
     struct ScriptClient {
         inputs: Vec<Vec<u8>>,
         next: usize,

@@ -7,6 +7,7 @@ use fisec_cc::build_image;
 use fisec_net::{ClientDriver, ClientStatus};
 use fisec_os::{run_session, LoadError, Process, Stop};
 
+#[derive(Clone)]
 struct MuteClient;
 
 impl ClientDriver for MuteClient {
@@ -69,6 +70,7 @@ fn truncated_text_crashes_cleanly() {
 fn hostile_client_flooding_is_bounded() {
     // A client that queues data endlessly cannot hang the harness: the
     // instruction budget stops the run.
+    #[derive(Clone)]
     struct Flood;
     impl ClientDriver for Flood {
         fn on_server_data(&mut self, _d: &[u8], out: &mut dyn FnMut(Vec<u8>)) {
@@ -100,6 +102,7 @@ fn hostile_client_flooding_is_bounded() {
 fn client_disconnecting_early_deadlocks_not_panics() {
     // Client answers the banner once and then goes silent while the
     // server expects a command: deadlock detection must trigger.
+    #[derive(Clone)]
     struct OneShot {
         sent: bool,
     }
@@ -149,8 +152,8 @@ fn zero_length_reads_and_writes_are_noops() {
 #[test]
 fn stack_exhaustion_faults_as_segv() {
     // Unbounded recursion must hit the guard gap below the stack.
-    let img = build_image(&["int f(int n) { return f(n + 1); } int main() { return f(0); }"])
-        .unwrap();
+    let img =
+        build_image(&["int f(int n) { return f(n + 1); } int main() { return f(0); }"]).unwrap();
     let r = run_session(&img, Box::new(MuteClient), 10_000_000).unwrap();
     match r.stop {
         Stop::Crashed(f) => assert_eq!(f.signal_name(), "SIGSEGV"),

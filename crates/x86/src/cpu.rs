@@ -142,7 +142,29 @@ pub struct Machine {
     trace_buf: Vec<u32>,
     trace_cap: usize,
     trace_next: usize,
+    coverage: Option<std::collections::HashSet<u32>>,
     decoder: fn(&[u8]) -> Inst,
+}
+
+/// Architectural state captured by [`Machine::snapshot`].
+///
+/// Holds everything needed to rewind a machine to an earlier point of
+/// the same execution: registers, the full address space, the retired
+/// instruction count, armed breakpoints, the EIP trace ring, and the
+/// coverage set when enabled. The decoded-instruction cache is *not*
+/// part of the snapshot — it is a pure performance artifact and is
+/// dropped on [`Machine::restore`] so stale decodes of since-modified
+/// bytes can never leak across a rewind.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    cpu: Cpu,
+    mem: Memory,
+    icount: u64,
+    breakpoints: Vec<u32>,
+    trace_buf: Vec<u32>,
+    trace_cap: usize,
+    trace_next: usize,
+    coverage: Option<std::collections::HashSet<u32>>,
 }
 
 const ICACHE_EMPTY: u32 = u32::MAX; // _start never sits at 0xFFFFFFFF
@@ -160,8 +182,56 @@ impl Machine {
             trace_buf: Vec::new(),
             trace_cap: 0,
             trace_next: 0,
+            coverage: None,
             decoder: decode,
         }
+    }
+
+    /// Capture the architectural state (registers, memory, icount,
+    /// breakpoints, trace ring, coverage) for a later [`Machine::restore`].
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            cpu: self.cpu.clone(),
+            mem: self.mem.clone(),
+            icount: self.icount,
+            breakpoints: self.breakpoints.clone(),
+            trace_buf: self.trace_buf.clone(),
+            trace_cap: self.trace_cap,
+            trace_next: self.trace_next,
+            coverage: self.coverage.clone(),
+        }
+    }
+
+    /// Rewind to a previously captured snapshot of *this* execution.
+    ///
+    /// The decoded-instruction cache is dropped: restoring memory also
+    /// rewinds its modification generation, so a stale cache could
+    /// otherwise serve decodes of bytes poked between snapshot and
+    /// restore. The decoder function itself is not snapshot state and
+    /// is left untouched.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        self.cpu = snap.cpu.clone();
+        self.mem = snap.mem.clone();
+        self.icount = snap.icount;
+        self.breakpoints = snap.breakpoints.clone();
+        self.trace_buf = snap.trace_buf.clone();
+        self.trace_cap = snap.trace_cap;
+        self.trace_next = snap.trace_next;
+        self.coverage = snap.coverage.clone();
+        self.icache.clear();
+    }
+
+    /// Record the set of distinct EIPs executed from now on. The
+    /// campaign engine uses the golden run's coverage to skip injection
+    /// targets at never-executed addresses.
+    pub fn enable_coverage(&mut self) {
+        self.coverage = Some(std::collections::HashSet::new());
+    }
+
+    /// Distinct executed EIPs since [`Machine::enable_coverage`], if
+    /// recording is on.
+    pub fn coverage(&self) -> Option<&std::collections::HashSet<u32>> {
+        self.coverage.as_ref()
     }
 
     /// Replace the instruction decoder — e.g. with a decoder for the
@@ -236,6 +306,9 @@ impl Machine {
             Err(f) => return StepEvent::Fault(f),
         };
         self.icount += 1;
+        if let Some(cov) = &mut self.coverage {
+            cov.insert(eip);
+        }
         if self.trace_cap > 0 {
             if self.trace_buf.len() < self.trace_cap {
                 self.trace_buf.push(eip);
@@ -367,9 +440,7 @@ impl Machine {
             Op::Invalid(kind) => {
                 return Err(match kind {
                     InvalidKind::Undefined => Fault::InvalidOpcode(eip),
-                    InvalidKind::Privileged | InvalidKind::TooLong => {
-                        Fault::GeneralProtection(eip)
-                    }
+                    InvalidKind::Privileged | InvalidKind::TooLong => Fault::GeneralProtection(eip),
                     InvalidKind::Truncated => Fault::FetchFault(eip),
                 })
             }
@@ -404,7 +475,14 @@ impl Machine {
                 self.write_val(&i.dst.unwrap(), size, b)?;
                 self.write_val(&i.src.unwrap(), size, a)?;
             }
-            Op::Add | Op::Or | Op::Adc | Op::Sbb | Op::And | Op::Sub | Op::Xor | Op::Cmp
+            Op::Add
+            | Op::Or
+            | Op::Adc
+            | Op::Sbb
+            | Op::And
+            | Op::Sub
+            | Op::Xor
+            | Op::Cmp
             | Op::Test => {
                 let a = self.read_val(&i.dst.unwrap(), size)?;
                 let b = self.read_val(&i.src.unwrap(), size)?;
@@ -622,7 +700,11 @@ impl Machine {
             },
             Op::Cdq => match size {
                 OpSize::Word => {
-                    let sign = if self.cpu.regs[0] & 0x8000 != 0 { 0xFFFF } else { 0 };
+                    let sign = if self.cpu.regs[0] & 0x8000 != 0 {
+                        0xFFFF
+                    } else {
+                        0
+                    };
                     self.cpu.regs[2] = (self.cpu.regs[2] & !0xFFFF) | sign;
                 }
                 _ => {
@@ -881,7 +963,11 @@ impl Machine {
                 } else {
                     r > 0xFF
                 };
-                flags::set_bits(&mut self.cpu.eflags, CF | OF, if over { CF | OF } else { 0 });
+                flags::set_bits(
+                    &mut self.cpu.eflags,
+                    CF | OF,
+                    if over { CF | OF } else { 0 },
+                );
             }
             OpSize::Word => {
                 let ax = self.cpu.regs[0] as u16;
@@ -897,7 +983,11 @@ impl Machine {
                 } else {
                     r > 0xFFFF
                 };
-                flags::set_bits(&mut self.cpu.eflags, CF | OF, if over { CF | OF } else { 0 });
+                flags::set_bits(
+                    &mut self.cpu.eflags,
+                    CF | OF,
+                    if over { CF | OF } else { 0 },
+                );
             }
             OpSize::Dword => {
                 let eax = self.cpu.regs[0];
@@ -913,7 +1003,11 @@ impl Machine {
                 } else {
                     r > 0xFFFF_FFFF
                 };
-                flags::set_bits(&mut self.cpu.eflags, CF | OF, if over { CF | OF } else { 0 });
+                flags::set_bits(
+                    &mut self.cpu.eflags,
+                    CF | OF,
+                    if over { CF | OF } else { 0 },
+                );
             }
         }
     }
@@ -1014,7 +1108,11 @@ impl Machine {
         let f = &mut self.cpu.eflags;
         match op {
             Op::Shl => {
-                let r = if cnt >= bits { 0 } else { (a << cnt) & size.mask() };
+                let r = if cnt >= bits {
+                    0
+                } else {
+                    (a << cnt) & size.mask()
+                };
                 let cf = if cnt <= bits {
                     (a >> (bits - cnt)) & 1 != 0
                 } else {

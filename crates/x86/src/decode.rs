@@ -314,7 +314,10 @@ fn decode_inner(c: &mut Cur, pfx: &mut Prefixes) -> Result<Inst, InvalidKind> {
             if !matches!(m.rm, Operand::Mem(_)) {
                 return Err(InvalidKind::Undefined);
             }
-            Ok(Inst::new(Op::Bound).dst(reg_op(m.reg, osz)).src(m.rm).size(osz))
+            Ok(Inst::new(Op::Bound)
+                .dst(reg_op(m.reg, osz))
+                .src(m.rm)
+                .size(osz))
         }
         0x63 => {
             let m = modrm(c, OpSize::Word, pfx)?;
@@ -403,7 +406,10 @@ fn decode_inner(c: &mut Cur, pfx: &mut Prefixes) -> Result<Inst, InvalidKind> {
         }
         0x85 => {
             let m = modrm(c, osz, pfx)?;
-            Ok(Inst::new(Op::Test).dst(m.rm).src(reg_op(m.reg, osz)).size(osz))
+            Ok(Inst::new(Op::Test)
+                .dst(m.rm)
+                .src(reg_op(m.reg, osz))
+                .size(osz))
         }
         0x86 => {
             let m = modrm(c, OpSize::Byte, pfx)?;
@@ -414,7 +420,10 @@ fn decode_inner(c: &mut Cur, pfx: &mut Prefixes) -> Result<Inst, InvalidKind> {
         }
         0x87 => {
             let m = modrm(c, osz, pfx)?;
-            Ok(Inst::new(Op::Xchg).dst(m.rm).src(reg_op(m.reg, osz)).size(osz))
+            Ok(Inst::new(Op::Xchg)
+                .dst(m.rm)
+                .src(reg_op(m.reg, osz))
+                .size(osz))
         }
 
         // ── mov ──────────────────────────────────────────────────────
@@ -427,7 +436,10 @@ fn decode_inner(c: &mut Cur, pfx: &mut Prefixes) -> Result<Inst, InvalidKind> {
         }
         0x89 => {
             let m = modrm(c, osz, pfx)?;
-            Ok(Inst::new(Op::Mov).dst(m.rm).src(reg_op(m.reg, osz)).size(osz))
+            Ok(Inst::new(Op::Mov)
+                .dst(m.rm)
+                .src(reg_op(m.reg, osz))
+                .size(osz))
         }
         0x8A => {
             let m = modrm(c, OpSize::Byte, pfx)?;
@@ -438,7 +450,10 @@ fn decode_inner(c: &mut Cur, pfx: &mut Prefixes) -> Result<Inst, InvalidKind> {
         }
         0x8B => {
             let m = modrm(c, osz, pfx)?;
-            Ok(Inst::new(Op::Mov).dst(reg_op(m.reg, osz)).src(m.rm).size(osz))
+            Ok(Inst::new(Op::Mov)
+                .dst(reg_op(m.reg, osz))
+                .src(m.rm)
+                .size(osz))
         }
         0x8C => {
             // mov r/m16, sreg — stores the fixed user selector.
@@ -456,7 +471,9 @@ fn decode_inner(c: &mut Cur, pfx: &mut Prefixes) -> Result<Inst, InvalidKind> {
             if !matches!(m.rm, Operand::Mem(_)) {
                 return Err(InvalidKind::Undefined);
             }
-            Ok(Inst::new(Op::Lea).dst(reg_op(m.reg, OpSize::Dword)).src(m.rm))
+            Ok(Inst::new(Op::Lea)
+                .dst(reg_op(m.reg, OpSize::Dword))
+                .src(m.rm))
         }
         0x8E => Err(InvalidKind::Privileged), // mov sreg, r/m
         0x8F => {
@@ -623,7 +640,10 @@ fn decode_inner(c: &mut Cur, pfx: &mut Prefixes) -> Result<Inst, InvalidKind> {
                 return Err(InvalidKind::Undefined);
             }
             let imm = imm_for(c, osz)?;
-            Ok(Inst::new(Op::Mov).dst(m.rm).src(Operand::Imm(imm)).size(osz))
+            Ok(Inst::new(Op::Mov)
+                .dst(m.rm)
+                .src(Operand::Imm(imm))
+                .size(osz))
         }
         0xC8 => {
             let frame = c.u16()?;
@@ -753,7 +773,10 @@ fn grp3(c: &mut Cur, m: ModRm, osz: OpSize) -> Result<Inst, InvalidKind> {
     match m.reg {
         0 | 1 => {
             let imm = imm_for(c, osz)?;
-            Ok(Inst::new(Op::Test).dst(m.rm).src(Operand::Imm(imm)).size(osz))
+            Ok(Inst::new(Op::Test)
+                .dst(m.rm)
+                .src(Operand::Imm(imm))
+                .size(osz))
         }
         2 => Ok(Inst::new(Op::Not).dst(m.rm).size(osz)),
         3 => Ok(Inst::new(Op::Neg).dst(m.rm).size(osz)),
@@ -849,7 +872,10 @@ fn decode_0f(c: &mut Cur, pfx: &Prefixes, osz: OpSize) -> Result<Inst, InvalidKi
         }
         0xAF => {
             let m = modrm(c, osz, pfx)?;
-            Ok(Inst::new(Op::Imul2).dst(reg_op(m.reg, osz)).src(m.rm).size(osz))
+            Ok(Inst::new(Op::Imul2)
+                .dst(reg_op(m.reg, osz))
+                .src(m.rm)
+                .size(osz))
         }
         0xB0 => {
             let m = modrm(c, OpSize::Byte, pfx)?;
@@ -860,11 +886,17 @@ fn decode_0f(c: &mut Cur, pfx: &Prefixes, osz: OpSize) -> Result<Inst, InvalidKi
         }
         0xB1 => {
             let m = modrm(c, osz, pfx)?;
-            Ok(Inst::new(Op::Cmpxchg).dst(m.rm).src(reg_op(m.reg, osz)).size(osz))
+            Ok(Inst::new(Op::Cmpxchg)
+                .dst(m.rm)
+                .src(reg_op(m.reg, osz))
+                .size(osz))
         }
         0xB6 => {
             let m = modrm(c, OpSize::Byte, pfx)?;
-            let mut i = Inst::new(Op::Movzx).dst(reg_op(m.reg, osz)).src(m.rm).size(osz);
+            let mut i = Inst::new(Op::Movzx)
+                .dst(reg_op(m.reg, osz))
+                .src(m.rm)
+                .size(osz);
             i.size2 = OpSize::Byte;
             Ok(i)
         }
@@ -879,7 +911,10 @@ fn decode_0f(c: &mut Cur, pfx: &Prefixes, osz: OpSize) -> Result<Inst, InvalidKi
         }
         0xBE => {
             let m = modrm(c, OpSize::Byte, pfx)?;
-            let mut i = Inst::new(Op::Movsx).dst(reg_op(m.reg, osz)).src(m.rm).size(osz);
+            let mut i = Inst::new(Op::Movsx)
+                .dst(reg_op(m.reg, osz))
+                .src(m.rm)
+                .size(osz);
             i.size2 = OpSize::Byte;
             Ok(i)
         }
@@ -901,7 +936,10 @@ fn decode_0f(c: &mut Cur, pfx: &Prefixes, osz: OpSize) -> Result<Inst, InvalidKi
         }
         0xC1 => {
             let m = modrm(c, osz, pfx)?;
-            Ok(Inst::new(Op::Xadd).dst(m.rm).src(reg_op(m.reg, osz)).size(osz))
+            Ok(Inst::new(Op::Xadd)
+                .dst(m.rm)
+                .src(reg_op(m.reg, osz))
+                .size(osz))
         }
         0xC8..=0xCF => Ok(Inst::new(Op::Bswap).dst(Operand::Reg(Reg32::from_num(op2 & 7)))),
         // System instructions (lgdt, mov cr, invlpg, wrmsr, ...) and

@@ -253,7 +253,10 @@ mod tests {
         assert_eq!(att(&[0x75, 0x02], 0x228), "jne 0x22c");
         assert_eq!(att(&[0x31, 0xDB], 0x230), "xor %ebx,%ebx");
         assert_eq!(att(&[0x74, 0x10], 0x234), "je 0x246");
-        assert_eq!(att(&[0x68, 0x07, 0x29, 0x06, 0x08], 0x240), "push $0x8062907");
+        assert_eq!(
+            att(&[0x68, 0x07, 0x29, 0x06, 0x08], 0x240),
+            "push $0x8062907"
+        );
     }
 
     #[test]

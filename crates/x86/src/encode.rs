@@ -212,7 +212,10 @@ pub fn encode(i: &Inst) -> Result<Vec<u8>, EncodeError> {
                     put_modrm(&mut out, n, &dst)?;
                     out.push(v as u8);
                 }
-                (Some(dst @ (Operand::Mem(_) | Operand::Reg(_) | Operand::Reg16(_))), Some(Operand::Reg(s))) => {
+                (
+                    Some(dst @ (Operand::Mem(_) | Operand::Reg(_) | Operand::Reg16(_))),
+                    Some(Operand::Reg(s)),
+                ) => {
                     out.push((n << 3) | 0x01);
                     put_modrm(&mut out, s as u8, &dst)?;
                 }
@@ -540,7 +543,11 @@ pub fn encode(i: &Inst) -> Result<Vec<u8>, EncodeError> {
         Op::Str(s) => {
             if let Some(r) = i.rep {
                 // rep prefix must precede 0x66; fix ordering if present.
-                let pos = if i.size == OpSize::Word { out.len() - 1 } else { out.len() };
+                let pos = if i.size == OpSize::Word {
+                    out.len() - 1
+                } else {
+                    out.len()
+                };
                 out.insert(
                     pos,
                     match r {
@@ -585,8 +592,16 @@ mod tests {
 
     #[test]
     fn roundtrip_mov_forms() {
-        roundtrip(Inst::new(Op::Mov).dst(Operand::Reg(Reg32::Eax)).src(Operand::Imm(0x1234)));
-        roundtrip(Inst::new(Op::Mov).dst(Operand::Reg(Reg32::Edi)).src(Operand::Imm(-1)));
+        roundtrip(
+            Inst::new(Op::Mov)
+                .dst(Operand::Reg(Reg32::Eax))
+                .src(Operand::Imm(0x1234)),
+        );
+        roundtrip(
+            Inst::new(Op::Mov)
+                .dst(Operand::Reg(Reg32::Edi))
+                .src(Operand::Imm(-1)),
+        );
         roundtrip(
             Inst::new(Op::Mov)
                 .dst(Operand::Reg(Reg32::Eax))
@@ -612,10 +627,26 @@ mod tests {
 
     #[test]
     fn roundtrip_alu() {
-        roundtrip(Inst::new(Op::Add).dst(Operand::Reg(Reg32::Esp)).src(Operand::Imm(8)));
-        roundtrip(Inst::new(Op::Sub).dst(Operand::Reg(Reg32::Esp)).src(Operand::Imm(0x1000)));
-        roundtrip(Inst::new(Op::Cmp).dst(Operand::Reg(Reg32::Eax)).src(Operand::Reg(Reg32::Ebx)));
-        roundtrip(Inst::new(Op::Xor).dst(Operand::Reg(Reg32::Ebx)).src(Operand::Reg(Reg32::Ebx)));
+        roundtrip(
+            Inst::new(Op::Add)
+                .dst(Operand::Reg(Reg32::Esp))
+                .src(Operand::Imm(8)),
+        );
+        roundtrip(
+            Inst::new(Op::Sub)
+                .dst(Operand::Reg(Reg32::Esp))
+                .src(Operand::Imm(0x1000)),
+        );
+        roundtrip(
+            Inst::new(Op::Cmp)
+                .dst(Operand::Reg(Reg32::Eax))
+                .src(Operand::Reg(Reg32::Ebx)),
+        );
+        roundtrip(
+            Inst::new(Op::Xor)
+                .dst(Operand::Reg(Reg32::Ebx))
+                .src(Operand::Reg(Reg32::Ebx)),
+        );
         roundtrip(
             Inst::new(Op::And)
                 .dst(Operand::Reg(Reg32::Eax))
@@ -656,19 +687,21 @@ mod tests {
 
     #[test]
     fn roundtrip_muldiv() {
-        roundtrip(Inst::new(Op::Imul2).dst(Operand::Reg(Reg32::Eax)).src(Operand::Reg(Reg32::Ecx)));
         roundtrip(
-            Inst {
-                op: Op::Imul3,
-                dst: Some(Operand::Reg(Reg32::Eax)),
-                src: Some(Operand::Reg(Reg32::Eax)),
-                src2: Some(Operand::Imm(10)),
-                size: OpSize::Dword,
-                size2: OpSize::Dword,
-                rep: None,
-                len: 0,
-            },
+            Inst::new(Op::Imul2)
+                .dst(Operand::Reg(Reg32::Eax))
+                .src(Operand::Reg(Reg32::Ecx)),
         );
+        roundtrip(Inst {
+            op: Op::Imul3,
+            dst: Some(Operand::Reg(Reg32::Eax)),
+            src: Some(Operand::Reg(Reg32::Eax)),
+            src2: Some(Operand::Imm(10)),
+            size: OpSize::Dword,
+            size2: OpSize::Dword,
+            rep: None,
+            len: 0,
+        });
         roundtrip(Inst::new(Op::Div).dst(Operand::Reg(Reg32::Ecx)));
         roundtrip(Inst::new(Op::Idiv).dst(Operand::Reg(Reg32::Ecx)));
         roundtrip(Inst::new(Op::Cdq));
@@ -677,14 +710,30 @@ mod tests {
 
     #[test]
     fn roundtrip_shifts() {
-        roundtrip(Inst::new(Op::Shl).dst(Operand::Reg(Reg32::Eax)).src(Operand::Imm(4)));
-        roundtrip(Inst::new(Op::Sar).dst(Operand::Reg(Reg32::Edx)).src(Operand::Imm(1)));
-        roundtrip(Inst::new(Op::Shr).dst(Operand::Reg(Reg32::Eax)).src(Operand::Reg8(Reg8::Cl)));
+        roundtrip(
+            Inst::new(Op::Shl)
+                .dst(Operand::Reg(Reg32::Eax))
+                .src(Operand::Imm(4)),
+        );
+        roundtrip(
+            Inst::new(Op::Sar)
+                .dst(Operand::Reg(Reg32::Edx))
+                .src(Operand::Imm(1)),
+        );
+        roundtrip(
+            Inst::new(Op::Shr)
+                .dst(Operand::Reg(Reg32::Eax))
+                .src(Operand::Reg8(Reg8::Cl)),
+        );
     }
 
     #[test]
     fn roundtrip_setcc_movzx() {
-        roundtrip(Inst::new(Op::Setcc(Cond::E)).dst(Operand::Reg8(Reg8::Al)).size(OpSize::Byte));
+        roundtrip(
+            Inst::new(Op::Setcc(Cond::E))
+                .dst(Operand::Reg8(Reg8::Al))
+                .size(OpSize::Byte),
+        );
         let mut i = Inst::new(Op::Movzx)
             .dst(Operand::Reg(Reg32::Eax))
             .src(Operand::Reg8(Reg8::Al));
@@ -695,11 +744,13 @@ mod tests {
     #[test]
     fn roundtrip_sib_addressing() {
         roundtrip(
-            Inst::new(Op::Lea).dst(Operand::Reg(Reg32::Eax)).src(Operand::Mem(MemOperand {
-                base: Some(Reg32::Ebx),
-                index: Some((Reg32::Ecx, 4)),
-                disp: 8,
-            })),
+            Inst::new(Op::Lea)
+                .dst(Operand::Reg(Reg32::Eax))
+                .src(Operand::Mem(MemOperand {
+                    base: Some(Reg32::Ebx),
+                    index: Some((Reg32::Ecx, 4)),
+                    disp: 8,
+                })),
         );
         roundtrip(
             Inst::new(Op::Mov)
@@ -732,11 +783,13 @@ mod tests {
 
     #[test]
     fn esp_index_rejected() {
-        let i = Inst::new(Op::Lea).dst(Operand::Reg(Reg32::Eax)).src(Operand::Mem(MemOperand {
-            base: None,
-            index: Some((Reg32::Esp, 1)),
-            disp: 0,
-        }));
+        let i = Inst::new(Op::Lea)
+            .dst(Operand::Reg(Reg32::Eax))
+            .src(Operand::Mem(MemOperand {
+                base: None,
+                index: Some((Reg32::Esp, 1)),
+                disp: 0,
+            }));
         assert!(encode(&i).is_err());
     }
 

@@ -641,9 +641,9 @@ impl Fault {
     pub fn signal_name(self) -> &'static str {
         match self {
             Fault::InvalidOpcode(_) => "SIGILL",
-            Fault::GeneralProtection(_)
-            | Fault::MemAccess { .. }
-            | Fault::FetchFault(_) => "SIGSEGV",
+            Fault::GeneralProtection(_) | Fault::MemAccess { .. } | Fault::FetchFault(_) => {
+                "SIGSEGV"
+            }
             Fault::DivideError(_) => "SIGFPE",
             Fault::Trap(_) => "SIGTRAP",
         }
@@ -772,13 +772,7 @@ impl Inst {
     pub fn is_branch(&self) -> bool {
         matches!(
             self.op,
-            Op::Jcc(_)
-                | Op::Jmp
-                | Op::JmpInd
-                | Op::Loop
-                | Op::Loope
-                | Op::Loopne
-                | Op::Jecxz
+            Op::Jcc(_) | Op::Jmp | Op::JmpInd | Op::Loop | Op::Loope | Op::Loopne | Op::Jecxz
         )
     }
 }

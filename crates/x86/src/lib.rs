@@ -44,7 +44,7 @@ pub mod flags;
 pub mod inst;
 pub mod mem;
 
-pub use cpu::{Cpu, Machine, RunOutcome, StepEvent};
+pub use cpu::{Cpu, Machine, MachineSnapshot, RunOutcome, StepEvent};
 pub use decode::decode;
 pub use disasm::{disassemble, fmt_att, DisasmLine};
 pub use encode::encode;

@@ -152,7 +152,11 @@ pub struct MapError {
 
 impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "region {} overlaps existing region {}", self.name, self.overlaps)
+        write!(
+            f,
+            "region {} overlaps existing region {}",
+            self.name, self.overlaps
+        )
     }
 }
 
@@ -396,7 +400,8 @@ mod tests {
         let mut m = Memory::new();
         m.map(Region::with_data("text", 0x1000, vec![0x90; 16], Perms::RX))
             .unwrap();
-        m.map(Region::zeroed("data", 0x2000, 32, Perms::RW)).unwrap();
+        m.map(Region::zeroed("data", 0x2000, 32, Perms::RW))
+            .unwrap();
         m
     }
 
@@ -451,8 +456,14 @@ mod tests {
         assert_eq!(n, 15);
         let (_, n) = m.fetch_window(0x100E).unwrap();
         assert_eq!(n, 2); // only 2 bytes left in text
-        assert_eq!(m.fetch_window(0x2000).unwrap_err(), Fault::FetchFault(0x2000));
-        assert_eq!(m.fetch_window(0x5000).unwrap_err(), Fault::FetchFault(0x5000));
+        assert_eq!(
+            m.fetch_window(0x2000).unwrap_err(),
+            Fault::FetchFault(0x2000)
+        );
+        assert_eq!(
+            m.fetch_window(0x5000).unwrap_err(),
+            Fault::FetchFault(0x5000)
+        );
     }
 
     #[test]

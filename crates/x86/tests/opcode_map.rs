@@ -19,7 +19,9 @@ enum Class {
 fn classify(first: u8) -> Class {
     // Follow each opcode with enough plausible bytes for any operand
     // form (ModRM with SIB+disp32 and imm32).
-    let tail = [0x84u8, 0x24, 0x10, 0x00, 0x00, 0x00, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77];
+    let tail = [
+        0x84u8, 0x24, 0x10, 0x00, 0x00, 0x00, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+    ];
     let mut bytes = vec![first];
     bytes.extend_from_slice(&tail);
     let i = decode(&bytes);
@@ -73,7 +75,11 @@ fn one_byte_opcode_classes_are_pinned() {
             failures.push(format!("{b:#04x}: got {got:?}, want {want:?}"));
         }
     }
-    assert!(failures.is_empty(), "opcode map drifted:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "opcode map drifted:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]

@@ -89,7 +89,10 @@ fn arb_reg8() -> impl Strategy<Value = Reg8> {
 fn arb_mem() -> impl Strategy<Value = MemOperand> {
     (
         proptest::option::of(arb_reg()),
-        proptest::option::of((arb_reg().prop_filter("esp is not an index", |r| *r != Reg32::Esp), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])),
+        proptest::option::of((
+            arb_reg().prop_filter("esp is not an index", |r| *r != Reg32::Esp),
+            prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+        )),
         any::<i32>(),
     )
         .prop_map(|(base, index, disp)| MemOperand { base, index, disp })
@@ -113,15 +116,17 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         // ALU reg, reg / reg, imm / reg, mem / mem, reg
         (arb_alu_op(), arb_reg(), arb_reg())
             .prop_map(|(op, d, s)| Inst::new(op).dst(Operand::Reg(d)).src(Operand::Reg(s))),
-        (arb_alu_op(), arb_reg(), any::<i32>())
-            .prop_map(|(op, d, v)| Inst::new(op).dst(Operand::Reg(d)).src(Operand::Imm(v as i64))),
+        (arb_alu_op(), arb_reg(), any::<i32>()).prop_map(|(op, d, v)| Inst::new(op)
+            .dst(Operand::Reg(d))
+            .src(Operand::Imm(v as i64))),
         (arb_alu_op(), arb_reg(), arb_mem())
             .prop_map(|(op, d, m)| Inst::new(op).dst(Operand::Reg(d)).src(Operand::Mem(m))),
         (arb_alu_op(), arb_mem(), arb_reg())
             .prop_map(|(op, m, s)| Inst::new(op).dst(Operand::Mem(m)).src(Operand::Reg(s))),
         // mov forms
-        (arb_reg(), any::<i32>())
-            .prop_map(|(d, v)| Inst::new(Op::Mov).dst(Operand::Reg(d)).src(Operand::Imm(v as i64))),
+        (arb_reg(), any::<i32>()).prop_map(|(d, v)| Inst::new(Op::Mov)
+            .dst(Operand::Reg(d))
+            .src(Operand::Imm(v as i64))),
         (arb_reg(), arb_mem())
             .prop_map(|(d, m)| Inst::new(Op::Mov).dst(Operand::Reg(d)).src(Operand::Mem(m))),
         (arb_mem(), arb_reg())
@@ -133,16 +138,15 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
                 .size(OpSize::Byte)
         }),
         // lea
-        (arb_reg(), arb_mem()).prop_map(|(d, m)| Inst::new(Op::Lea)
-            .dst(Operand::Reg(d))
-            .src(Operand::Mem(m))),
+        (arb_reg(), arb_mem())
+            .prop_map(|(d, m)| Inst::new(Op::Lea).dst(Operand::Reg(d)).src(Operand::Mem(m))),
         // stack
         arb_reg().prop_map(|r| Inst::new(Op::Push).dst(Operand::Reg(r))),
         any::<i32>().prop_map(|v| Inst::new(Op::Push).dst(Operand::Imm(v as i64))),
         arb_reg().prop_map(|r| Inst::new(Op::Pop).dst(Operand::Reg(r))),
         // branches
-        (0u8..16, any::<i32>()).prop_map(|(c, d)| Inst::new(Op::Jcc(Cond::from_nibble(c)))
-            .dst(Operand::Rel(d))),
+        (0u8..16, any::<i32>())
+            .prop_map(|(c, d)| Inst::new(Op::Jcc(Cond::from_nibble(c))).dst(Operand::Rel(d))),
         any::<i32>().prop_map(|d| Inst::new(Op::Jmp).dst(Operand::Rel(d))),
         any::<i32>().prop_map(|d| Inst::new(Op::Call).dst(Operand::Rel(d))),
         // unary / misc

@@ -9,9 +9,12 @@ use fisec_x86::{Fault, Machine, Memory, Perms, Reg32, Reg8, Region, StepEvent};
 
 fn machine(text: Vec<u8>) -> Machine {
     let mut mem = Memory::new();
-    mem.map(Region::with_data("text", 0x1000, text, Perms::RX)).unwrap();
-    mem.map(Region::zeroed("data", 0x2000, 0x1000, Perms::RW)).unwrap();
-    mem.map(Region::zeroed("stack", 0x8000, 0x1000, Perms::RW)).unwrap();
+    mem.map(Region::with_data("text", 0x1000, text, Perms::RX))
+        .unwrap();
+    mem.map(Region::zeroed("data", 0x2000, 0x1000, Perms::RW))
+        .unwrap();
+    mem.map(Region::zeroed("stack", 0x8000, 0x1000, Perms::RW))
+        .unwrap();
     let mut m = Machine::new(mem);
     m.cpu.eip = 0x1000;
     m.cpu.regs[Reg32::Esp as usize] = 0x9000;
@@ -76,7 +79,9 @@ fn aam_divides_and_aad_recombines() {
 #[test]
 fn aam_zero_is_divide_error() {
     let mut m = machine(vec![0xD4, 0x00]);
-    let StepEvent::Fault(f) = m.step() else { panic!() };
+    let StepEvent::Fault(f) = m.step() else {
+        panic!()
+    };
     assert_eq!(f, Fault::DivideError(0x1000));
 }
 
@@ -235,7 +240,9 @@ fn bound_passes_inside_and_traps_outside() {
     m.mem.write32(0x2000, 5).unwrap();
     m.mem.write32(0x2004, 10).unwrap();
     m.cpu.regs[0] = 12;
-    let StepEvent::Fault(f) = m.step() else { panic!() };
+    let StepEvent::Fault(f) = m.step() else {
+        panic!()
+    };
     assert_eq!(f, Fault::Trap(0x1000));
 }
 
@@ -262,7 +269,9 @@ fn into_traps_only_on_overflow() {
     // mov eax, 0x7fffffff; inc eax (OF set); into -> trap.
     let mut m = machine(vec![0xB8, 0xFF, 0xFF, 0xFF, 0x7F, 0x40, 0xCE]);
     steps(&mut m, 2);
-    let StepEvent::Fault(f) = m.step() else { panic!() };
+    let StepEvent::Fault(f) = m.step() else {
+        panic!()
+    };
     assert_eq!(f, Fault::Trap(0x1006));
     // Without overflow: no-op.
     let mut m = machine(vec![0x31, 0xC0, 0xCE, 0x90]);
@@ -333,7 +342,8 @@ fn self_modifying_code_through_rwx_invalidates_icache() {
         0x90, // nop
         0x40, // inc eax -> patched to inc ecx (0x41)
     ];
-    mem.map(Region::with_data("rwx", 0x1000, text, Perms::RWX)).unwrap();
+    mem.map(Region::with_data("rwx", 0x1000, text, Perms::RWX))
+        .unwrap();
     let mut m = Machine::new(mem);
     m.cpu.eip = 0x1000;
     // Warm the cache by... just run; the write happens before first fetch

@@ -2,19 +2,28 @@
 //! the §7 random-injection estimate and the §5.4 load study.
 //!
 //! ```text
-//! cargo run --release --example campaign_report [--quick]
+//! cargo run --release --example campaign_report [--quick] [--from-scratch]
 //! ```
 //!
 //! `--quick` shrinks the random studies so the whole report finishes in
-//! well under a minute.
+//! well under a minute. `--from-scratch` runs the campaigns on the
+//! one-boot-per-experiment reference oracle instead of the default
+//! checkpoint-based engine (identical results, much slower — see the
+//! "Campaign runtime" section of EXPERIMENTS.md).
 
 use fisec_apps::AppSpec;
 use fisec_core::{
     figure4, load, random, run_campaign, tables, CampaignConfig, CampaignSummary, EncodingScheme,
+    ExecutionMode,
 };
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if std::env::args().any(|a| a == "--from-scratch") {
+        ExecutionMode::FromScratch
+    } else {
+        ExecutionMode::Snapshot
+    };
     let random_runs = if quick { 300 } else { 3000 };
     let load_samples = if quick { 40 } else { 200 };
 
@@ -35,7 +44,10 @@ fn main() {
         );
     }
 
-    let base_cfg = CampaignConfig::default();
+    let base_cfg = CampaignConfig {
+        mode,
+        ..CampaignConfig::default()
+    };
     let new_cfg = CampaignConfig {
         scheme: EncodingScheme::NewEncoding,
         ..base_cfg
@@ -86,7 +98,9 @@ fn main() {
         r.runs, r.no_effect, r.sd, r.fsv, r.brk
     );
     match r.errors_per_breakin() {
-        Some(n) => println!("=> about one out of {n:.0} single-bit errors causes a security violation\n"),
+        Some(n) => {
+            println!("=> about one out of {n:.0} single-bit errors causes a security violation\n")
+        }
         None => println!("=> no break-in in this sample\n"),
     }
 

@@ -13,9 +13,7 @@
 
 use fisec_apps::AppSpec;
 use fisec_encoding::EncodingScheme;
-use fisec_inject::{
-    enumerate_targets, golden_run, run_injection, OutcomeClass,
-};
+use fisec_inject::{enumerate_targets, golden_run, run_injection, OutcomeClass};
 
 fn main() {
     let app = AppSpec::ftpd();
@@ -42,8 +40,8 @@ fn main() {
 
     let mut breakins = Vec::new();
     for t in &opcode_bits {
-        let r = run_injection(&app.image, client1, &golden, t, EncodingScheme::Baseline)
-            .expect("run");
+        let r =
+            run_injection(&app.image, client1, &golden, t, EncodingScheme::Baseline).expect("run");
         if r.outcome == OutcomeClass::Breakin {
             breakins.push((**t, r));
         }

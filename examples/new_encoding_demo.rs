@@ -35,8 +35,19 @@ fn main() {
     println!("inject je (0x74), flipping each bit under the new encoding:");
     for bit in 0..8 {
         let old_flip = remap_flip(0x74, bit, ByteCtx::OneByteOpcode, EncodingScheme::Baseline);
-        let new_flip = remap_flip(0x74, bit, ByteCtx::OneByteOpcode, EncodingScheme::NewEncoding);
-        let branchy = |b: u8| if (0x70..=0x7F).contains(&b) { "BRANCH" } else { "other" };
+        let new_flip = remap_flip(
+            0x74,
+            bit,
+            ByteCtx::OneByteOpcode,
+            EncodingScheme::NewEncoding,
+        );
+        let branchy = |b: u8| {
+            if (0x70..=0x7F).contains(&b) {
+                "BRANCH"
+            } else {
+                "other"
+            }
+        };
         println!(
             "  bit {bit}: baseline -> {old_flip:#04x} ({}), new encoding -> {new_flip:#04x} ({})",
             branchy(old_flip),

@@ -49,10 +49,20 @@ fn build() -> fisec_asm::Image {
 /// Run `decide` to its `ret` and return EAX (1 = access granted).
 fn run(image: &fisec_asm::Image) -> u32 {
     let mut mem = Memory::new();
-    mem.map(Region::with_data("text", TEXT, image.text.clone(), Perms::RX))
-        .unwrap();
-    mem.map(Region::with_data("data", DATA, image.data.clone(), Perms::RW))
-        .unwrap();
+    mem.map(Region::with_data(
+        "text",
+        TEXT,
+        image.text.clone(),
+        Perms::RX,
+    ))
+    .unwrap();
+    mem.map(Region::with_data(
+        "data",
+        DATA,
+        image.data.clone(),
+        Perms::RW,
+    ))
+    .unwrap();
     mem.map(Region::zeroed("stack", 0x9000_0000, 0x1000, Perms::RW))
         .unwrap();
     let mut m = Machine::new(mem);
@@ -82,7 +92,10 @@ fn main() {
         .find(|(_, i)| i.is_cond_branch())
         .expect("decide has a branch");
     let off = (je_addr - TEXT) as usize;
-    println!("correct binary : {je} at {je_addr:#x}, opcode {:#04x}", image.text[off]);
+    println!(
+        "correct binary : {je} at {je_addr:#x}, opcode {:#04x}",
+        image.text[off]
+    );
 
     assert_eq!(run(&image), 0);
     println!("correct run    : access DENIED (rval != 0), as the programmer intended");

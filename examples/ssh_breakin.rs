@@ -23,8 +23,8 @@ fn probe(app: &AppSpec, funcs: &[&str]) -> (usize, usize, Vec<(u32, String)>) {
         .collect();
     let mut breakins = Vec::new();
     for t in &opcode_bits {
-        let r = run_injection(&app.image, client1, &golden, t, EncodingScheme::Baseline)
-            .expect("run");
+        let r =
+            run_injection(&app.image, client1, &golden, t, EncodingScheme::Baseline).expect("run");
         if r.outcome == OutcomeClass::Breakin {
             let off = (t.addr - app.image.text_base) as usize;
             let before = fisec_x86::decode(&app.image.text[off..off + 8]);

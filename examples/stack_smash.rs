@@ -28,6 +28,7 @@ const MARKER: u32 = 0x4443_4241;
 
 /// A persistent attacker: answers the banner with a 4 KiB+ version
 /// string carrying the marker at the return-address offset.
+#[derive(Clone)]
 struct Attacker {
     sent: bool,
 }
@@ -57,7 +58,10 @@ impl ClientDriver for Attacker {
 
 fn main() {
     let image = build_sshd().expect("sshd builds");
-    let f = image.func("packet_read").expect("packet_read exists").clone();
+    let f = image
+        .func("packet_read")
+        .expect("packet_read exists")
+        .clone();
 
     // Confirm the Figure 3 shape: push $0x2000 followed by the buffer lea.
     let insts = image.decode_func(&f);
@@ -71,15 +75,18 @@ fn main() {
         .iter()
         .find(|(_, i)| {
             i.op == Op::Lea
-                && i.src == Some(Operand::Mem(MemOperand::base_disp(fisec_x86::Reg32::Ebp, -0x2000)))
+                && i.src
+                    == Some(Operand::Mem(MemOperand::base_disp(
+                        fisec_x86::Reg32::Ebp,
+                        -0x2000,
+                    )))
         })
         .expect("packet_read has the buffer lea");
     println!("victim instruction: {lea} at {lea_addr:#x} (the Figure 3 buffer)");
 
     // The attack against the *correct* binary fails: read() is bounded
     // by the real buffer, the copy into the caller is bounded by outmax.
-    let golden = run_session(&image, Box::new(Attacker { sent: false }), 5_000_000)
-        .expect("load");
+    let golden = run_session(&image, Box::new(Attacker { sent: false }), 5_000_000).expect("load");
     println!(
         "correct binary under attack: server {} (no hijack; the long version string is truncated safely)",
         golden.stop
@@ -94,8 +101,8 @@ fn main() {
     let new_inst = fisec_x86::decode(&corrupted.text[off..off + lea.len as usize]);
     println!("after a single-bit flip: {new_inst} — buffer silently moved 4 KiB up");
 
-    let smashed = run_session(&corrupted, Box::new(Attacker { sent: false }), 5_000_000)
-        .expect("load");
+    let smashed =
+        run_session(&corrupted, Box::new(Attacker { sent: false }), 5_000_000).expect("load");
     let Stop::Crashed(Fault::FetchFault(eip)) = smashed.stop else {
         panic!("expected a wild fetch, got {:?}", smashed.stop);
     };

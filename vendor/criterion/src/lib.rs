@@ -1,0 +1,202 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API the bench harness
+//! uses: `Criterion::{bench_function, benchmark_group, sample_size}`,
+//! groups with `throughput`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is plain
+//! wall-clock: per sample, the closure runs once and the median/min/max
+//! over samples are reported. Like upstream, running the bench binary
+//! without `--bench` (as `cargo test` does) executes nothing so test
+//! runs stay fast; `cargo bench` passes `--bench` and runs everything.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work performed per iteration, for derived rates in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        run_bench(name, self.sample_size, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.name, name),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Close the group (upstream API shape; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (one sample = one call).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed = Some(start.elapsed());
+        drop(black_box(out));
+    }
+}
+
+fn run_bench(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up run (not recorded).
+    let mut b = Bencher::default();
+    f(&mut b);
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher::default();
+        f(&mut b);
+        times.push(b.elapsed.unwrap_or_default());
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let min = times[0];
+    let max = times[times.len() - 1];
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            "  {:.1} MiB/s",
+            n as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+        ),
+        Throughput::Elements(n) => {
+            format!("  {:.2} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
+        }
+    });
+    println!(
+        "{name:<40} time: [{min:>10.2?} {median:>10.2?} {max:>10.2?}]{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Collect benchmark functions into a named group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes --bench; `cargo test` runs bench
+            // binaries without it, expecting a fast no-op (upstream
+            // criterion behaves the same way).
+            if !::std::env::args().any(|a| a == "--bench") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(2);
+        g.bench_function("counted", |b| {
+            calls += 1;
+            b.iter(|| black_box(calls))
+        });
+        g.finish();
+        // Warm-up + 2 samples.
+        assert_eq!(calls, 3);
+    }
+}

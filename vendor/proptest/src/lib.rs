@@ -1,0 +1,449 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates-io access, so the workspace
+//! vendors the subset of proptest it uses: the [`strategy::Strategy`]
+//! trait with `prop_map`/`prop_filter`/`prop_recursive`/`boxed`,
+//! integer-range/tuple/`Just`/union strategies, `any::<T>()`,
+//! `collection::vec`, `option::of`, `array::uniform4`, and the
+//! `proptest!`/`prop_assert*!`/`prop_oneof!` macros.
+//!
+//! Differences from upstream: generation is seeded deterministically
+//! per test (same inputs every run — failures are inherently
+//! reproducible), and there is **no shrinking**: a failing case reports
+//! the generated inputs verbatim.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports for tests.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+use strategy::Strategy;
+use test_runner::TestRng;
+
+/// Canonical strategy for a type ("any value of `T`").
+pub trait Arbitrary: Sized + 'static {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy generating any value of a primitive type.
+pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for AnyPrim<T> {
+    fn clone(&self) -> AnyPrim<T> {
+        AnyPrim(std::marker::PhantomData)
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+
+            fn arbitrary() -> AnyPrim<$t> {
+                AnyPrim(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+
+    fn arbitrary() -> AnyPrim<bool> {
+        AnyPrim(std::marker::PhantomData)
+    }
+}
+
+/// Strategy generating fixed-size arrays of an [`Arbitrary`] type.
+pub struct AnyArray<T, const N: usize>(std::marker::PhantomData<T>);
+
+impl<T, const N: usize> Clone for AnyArray<T, N> {
+    fn clone(&self) -> AnyArray<T, N> {
+        AnyArray(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Strategy for AnyArray<T, N> {
+    type Value = [T; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [T; N] {
+        let strat = T::arbitrary();
+        std::array::from_fn(|_| strat.generate(rng))
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    type Strategy = AnyArray<T, N>;
+
+    fn arbitrary() -> AnyArray<T, N> {
+        AnyArray(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi_incl: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_incl: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from a [`SizeRange`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_incl - self.size.lo + 1) as u64;
+            let len = self.size.lo + (rng.u64_below(span) as usize);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec<T>` strategy with the given element strategy and size.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<T>` (`None` one time in four).
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.u64_below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `Option<T>` strategy over the given inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[T; 4]` from one element strategy.
+    #[derive(Clone)]
+    pub struct Uniform4<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 4] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    /// Four independent draws from `element`.
+    pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+        Uniform4 { element }
+    }
+}
+
+/// Boolean property assertion; failure fails the current case (with the
+/// generated inputs in the panic message) rather than panicking mid-run.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {:?} == {:?}: {}",
+                    a,
+                    b,
+                    ::std::format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a != *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {:?} != {:?}: {}",
+                    a,
+                    b,
+                    ::std::format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Weighted or unweighted union of strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_proptest(__config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    let __inputs = ::std::format!(
+                        concat!("" $(, stringify!($arg), " = {:?}; ")*),
+                        $(&$arg),*
+                    );
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    (__inputs, __result)
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("t", 0);
+        let s = (10u8..20).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((20..40).contains(&v) && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        let mut rng = TestRng::deterministic("u", 1);
+        let s = prop_oneof![1 => Just(1u8), 1 => Just(2), 3 => Just(3)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(!seen[0] && seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn filter_retries_until_predicate_holds() {
+        let mut rng = TestRng::deterministic("f", 2);
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0u8..8)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::deterministic("r", 3);
+        for _ in 0..50 {
+            assert!(depth(&s.generate(&mut rng)) <= 3);
+        }
+    }
+
+    #[test]
+    fn collections_and_options_respect_shapes() {
+        let mut rng = TestRng::deterministic("c", 4);
+        let vs = crate::collection::vec(any::<u8>(), 2..5);
+        let os = crate::option::of(0u8..4);
+        let ar = crate::array::uniform4(0u8..9);
+        let mut saw_none = false;
+        for _ in 0..100 {
+            let v = vs.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            if os.generate(&mut rng).is_none() {
+                saw_none = true;
+            }
+            assert!(ar.generate(&mut rng).iter().all(|x| *x < 9));
+        }
+        assert!(saw_none);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(a in 0u32..50, b in any::<u8>(), v in crate::collection::vec(0i32..5, 0..4)) {
+            prop_assert!(a < 50);
+            prop_assert_eq!(a + 1, 1 + a, "commutativity for {}", a);
+            prop_assert_ne!(i32::from(b) - 1, 256);
+            prop_assert!(v.len() < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "macro_failure_reports")]
+    fn failing_case_panics_with_inputs() {
+        proptest! {
+            #[allow(clippy::assertions_on_constants)]
+            fn macro_failure_reports(x in 0u8..4) {
+                prop_assert!(x > 100);
+            }
+        }
+        macro_failure_reports();
+    }
+}

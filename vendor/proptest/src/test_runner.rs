@@ -1,0 +1,138 @@
+//! Deterministic test execution: per-test RNG, configuration, and the
+//! case loop behind the `proptest!` macro.
+
+/// Per-test pseudo-random source (xoshiro256**, seeded from the test
+/// name and case index — every run generates the same cases).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// RNG for case `index` of the test named `name`.
+    pub fn deterministic(name: &str, index: u64) -> TestRng {
+        // FNV-1a over the name, mixed with the case index, expanded by
+        // SplitMix64.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut sm = h ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw below `n` (which must be nonzero).
+    pub fn u64_below(&mut self, n: u64) -> u64 {
+        (((self.next_u64() as u128).wrapping_mul(n as u128)) >> 64) as u64
+    }
+}
+
+/// How a property test case can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The inputs were rejected (e.g. by an assumption); the case is
+    /// retried with fresh inputs.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed property.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected set of inputs.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Property-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Upper bound on rejected cases across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Default configuration with a specific case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Drive one property test: `f` generates inputs from the RNG it is
+/// given and runs the body, returning the inputs' debug rendering and
+/// the body's verdict.
+///
+/// # Panics
+/// Panics (failing the enclosing `#[test]`) on the first failing case,
+/// with the generated inputs in the message.
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    let mut seed_index = 0u64;
+    while case < config.cases {
+        let mut rng = TestRng::deterministic(name, seed_index);
+        seed_index += 1;
+        let (inputs, result) = f(&mut rng);
+        match result {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "proptest {name}: too many rejected cases ({rejects}), last: {reason}"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name}: case {case} failed: {msg}\n\
+                     minimal-input reporting: none (no shrinking); inputs: {inputs}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates-io access, so the workspace
+//! vendors a minimal serde: everything serializes through one
+//! self-describing [`Value`] data model, and `#[derive(Serialize,
+//! Deserialize)]` (from the sibling `serde_derive` stand-in, enabled by
+//! the `derive` feature) works for plain named-field structs — the only
+//! shapes this workspace derives. `serde_json` renders and parses
+//! `Value` trees.
+
+use std::fmt;
+
+/// Self-describing data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also how `None` serializes).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key/value map (insertion order preserved so snapshots
+    /// render deterministically).
+    Object(Vec<(String, Value)>),
+}
+
+/// Shared `null` for lookups of absent fields.
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    /// Field lookup on an object; absent keys and non-objects read as
+    /// [`Value::Null`] (so `Option` fields tolerate missing keys while
+    /// required fields produce a type error).
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+
+    /// Short type label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error with a dotted-path context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// New error from a message.
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+
+    /// Wrap with the name of the field being deserialized.
+    pub fn in_field(self, field: &str) -> Error {
+        Error(format!("{field}: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a [`Value`] tree.
+    ///
+    /// # Errors
+    /// [`Error`] when the value's shape does not match `Self`.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<char, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::msg(format!(
+                "expected single-char string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, Error> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range"))),
+                    other => Err(Error::msg(format!(
+                        "expected integer, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::UInt(n as u64)
+                } else {
+                    Value::Int(n)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, Error> {
+                match v {
+                    Value::UInt(n) => i64::try_from(*n)
+                        .ok()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| Error::msg(format!("{n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range"))),
+                    other => Err(Error::msg(format!(
+                        "expected integer, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    other => Err(Error::msg(format!(
+                        "expected number, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Array(xs) => xs
+                .iter()
+                .enumerate()
+                .map(|(i, x)| T::deserialize(x).map_err(|e| e.in_field(&format!("[{i}]"))))
+                .collect(),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<[T; N], Error> {
+        let xs = Vec::<T>::deserialize(v)?;
+        let n = xs.len();
+        <[T; N]>::try_from(xs)
+            .map_err(|_| Error::msg(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(i32::deserialize(&(-7i32).serialize()).unwrap(), -7);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(char::deserialize(&'B'.serialize()).unwrap(), 'B');
+        assert_eq!(
+            Option::<u64>::deserialize(&Some(9u64).serialize()).unwrap(),
+            Some(9)
+        );
+        assert_eq!(Option::<u64>::deserialize(&Value::Null).unwrap(), None);
+        let v: Vec<usize> = vec![1, 2, 3];
+        assert_eq!(Vec::<usize>::deserialize(&v.serialize()).unwrap(), v);
+    }
+
+    #[test]
+    fn missing_field_reads_null() {
+        let obj = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(obj.field("a"), &Value::UInt(1));
+        assert_eq!(obj.field("b"), &Value::Null);
+        assert!(u32::deserialize(obj.field("b")).is_err());
+        assert_eq!(Option::<u32>::deserialize(obj.field("b")).unwrap(), None);
+    }
+
+    #[test]
+    fn range_errors_are_reported() {
+        assert!(u8::deserialize(&Value::UInt(300)).is_err());
+        assert!(u32::deserialize(&Value::Int(-1)).is_err());
+        let e = String::deserialize(&Value::UInt(3)).unwrap_err();
+        assert!(e.to_string().contains("expected string"));
+    }
+}

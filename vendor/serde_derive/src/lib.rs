@@ -1,0 +1,171 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! Supports exactly the shapes this workspace derives: non-generic
+//! structs with named fields. The input token stream is parsed by hand
+//! (no syn/quote in the offline environment): attributes and
+//! visibility markers are skipped, field names collected, and the
+//! `impl` blocks are rendered as strings and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the derive target.
+struct Struct {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream) -> Struct {
+    let mut iter = input.into_iter();
+    for tt in iter.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "struct" {
+                break;
+            }
+            if id.to_string() == "enum" || id.to_string() == "union" {
+                panic!("vendored serde_derive only supports structs with named fields");
+            }
+        }
+    }
+    let name = match iter.by_ref().next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("expected struct name"),
+    };
+    for tt in iter {
+        if let TokenTree::Group(g) = &tt {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    return Struct {
+                        name,
+                        fields: parse_fields(g.stream()),
+                    };
+                }
+                Delimiter::Parenthesis => {
+                    panic!("vendored serde_derive does not support tuple structs");
+                }
+                _ => {}
+            }
+        }
+        if let TokenTree::Punct(p) = &tt {
+            if p.as_char() == '<' {
+                panic!("vendored serde_derive does not support generic structs");
+            }
+        }
+    }
+    // Unit struct: serialize as an empty object.
+    Struct {
+        name,
+        fields: Vec::new(),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    'fields: loop {
+        // Skip attributes (`#[...]`, including rendered doc comments).
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next(); // the bracketed attribute body
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility (`pub`, `pub(crate)`, ...).
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => panic!("expected field name, found {other}"),
+            None => break,
+        }
+        // Skip `: Type` up to the next top-level comma. Generic
+        // argument lists nest via `<`/`>` puncts, so track that depth;
+        // parenthesized/bracketed types arrive as single groups.
+        let mut depth = 0i32;
+        loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}
+
+/// `#[derive(Serialize)]` for named-field structs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let pushes: String = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push((::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::serialize(&self.{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n\
+         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n\
+         let _ = &mut fields;\n\
+         {pushes}\
+         ::serde::Value::Object(fields)\n\
+         }}\n\
+         }}\n",
+        name = s.name,
+        pushes = pushes
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` for named-field structs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let inits: String = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize(v.field(\"{f}\"))\
+                 .map_err(|e| e.in_field(\"{f}\"))?,\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) \
+         -> ::std::result::Result<{name}, ::serde::Error> {{\n\
+         let _ = v;\n\
+         ::std::result::Result::Ok({name} {{\n\
+         {inits}\
+         }})\n\
+         }}\n\
+         }}\n",
+        name = s.name,
+        inits = inits
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
