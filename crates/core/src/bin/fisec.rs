@@ -10,16 +10,28 @@
 //! fisec targets [--app ...]
 //! fisec disasm  --app ftpd [--func pass]
 //! fisec breakins [--app ...]
-//! fisec forensics [--app ftpd] [--top K]
+//! fisec ablation [--seed S]
+//! fisec forensics [--app ftpd] [--top K] [--stride N]
+//! fisec stats TRACE.jsonl [--json]
 //! ```
+//!
+//! The campaign commands (`table1`/`table3`/`table5`/`figure4`) accept
+//! `--trace-out PATH` to stream one JSONL event per injection run and
+//! `--progress` for a live runs/s meter plus a phase-profile breakdown
+//! on stderr; `fisec stats` replays a saved trace back into the tables.
 
 use fisec_apps::AppSpec;
 use fisec_core::{
-    figure4, load, random, run_campaign, tables, CampaignConfig, CampaignSummary, EncodingScheme,
+    figure4, load, random, run_campaign, run_campaign_traced, tables, trace, CampaignConfig,
+    CampaignSummary, EncodingScheme,
 };
 use fisec_inject::{crash_forensics, enumerate_targets, golden_run, run_injection, OutcomeClass};
+use fisec_telemetry::{JsonlSink, NullSink, Telemetry};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
+#[derive(Debug)]
 struct Args {
     cmd: String,
     app: String,
@@ -30,12 +42,20 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     top: usize,
+    stride: usize,
     json: bool,
     new_encoding: bool,
+    trace_out: Option<String>,
+    progress: bool,
+    path: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1);
+    parse_args_from(std::env::args().skip(1))
+}
+
+fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut argv = argv.into_iter();
     let cmd = argv.next().ok_or_else(usage)?;
     let mut a = Args {
         cmd,
@@ -47,8 +67,12 @@ fn parse_args() -> Result<Args, String> {
         seed: 2001,
         threads: None,
         top: 3,
+        stride: 4,
         json: false,
         new_encoding: false,
+        trace_out: None,
+        progress: false,
+        path: None,
     };
     while let Some(flag) = argv.next() {
         let mut val = |name: &str| -> Result<String, String> {
@@ -63,8 +87,17 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => a.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--threads" => a.threads = Some(val("--threads")?.parse().map_err(|e| format!("{e}"))?),
             "--top" => a.top = val("--top")?.parse().map_err(|e| format!("{e}"))?,
+            "--stride" => {
+                a.stride = val("--stride")?.parse().map_err(|e| format!("{e}"))?;
+                if a.stride == 0 {
+                    return Err("--stride must be at least 1".to_string());
+                }
+            }
             "--json" => a.json = true,
             "--new-encoding" => a.new_encoding = true,
+            "--trace-out" => a.trace_out = Some(val("--trace-out")?),
+            "--progress" => a.progress = true,
+            other if !other.starts_with('-') && a.path.is_none() => a.path = Some(flag),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -72,9 +105,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|forensics|ablation> [flags]\n\
+    "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|ablation|forensics|stats> [flags]\n\
      flags: --app ftpd|sshd|both  --func NAME  --client N  --runs N  --samples N\n\
-            --seed S  --threads N  --top K  --json  --new-encoding"
+            --seed S  --threads N  --top K  --stride N  --json  --new-encoding\n\
+            --trace-out PATH  --progress\n\
+     stats takes the trace file as a positional argument: fisec stats run.jsonl"
         .to_string()
 }
 
@@ -98,6 +133,36 @@ fn cfg_of(a: &Args, scheme: EncodingScheme) -> CampaignConfig {
     cfg
 }
 
+/// Build the telemetry bundle the campaign commands run under:
+/// `--trace-out` streams JSONL events, `--progress` adds the live meter
+/// (and, on its own, still collects metrics for the stderr breakdown).
+fn telemetry_for(args: &Args) -> Result<Telemetry, String> {
+    match &args.trace_out {
+        Some(path) => {
+            let sink = JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Telemetry::new(Arc::new(sink), args.progress))
+        }
+        None if args.progress => Ok(Telemetry::new(Arc::new(NullSink), true)),
+        None => Ok(Telemetry::disabled()),
+    }
+}
+
+/// After the campaigns: print the phase breakdown and engine metrics to
+/// stderr when the user asked to watch (`--progress`).
+fn report_telemetry(args: &Args, tel: &Telemetry, wall_start: Instant) {
+    tel.sink.flush();
+    if !args.progress {
+        return;
+    }
+    let snap = tel.metrics.snapshot();
+    let wall = u64::try_from(wall_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    eprint!(
+        "{}",
+        fisec_telemetry::render_phase_table(snap.phases(), wall)
+    );
+    eprint!("{}", snap.render());
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -117,6 +182,13 @@ fn main() -> ExitCode {
 
 #[allow(clippy::too_many_lines)]
 fn run(args: &Args) -> Result<(), String> {
+    if args.cmd != "stats" {
+        if let Some(p) = &args.path {
+            return Err(format!(
+                "unexpected argument `{p}` (only `stats` takes a positional trace file)"
+            ));
+        }
+    }
     match args.cmd.as_str() {
         "table1" | "table3" => {
             let apps = apps_for(&args.app)?;
@@ -126,7 +198,13 @@ fn run(args: &Args) -> Result<(), String> {
                 EncodingScheme::Baseline
             };
             let cfg = cfg_of(args, scheme);
-            let results: Vec<_> = apps.iter().map(|a| run_campaign(a, &cfg)).collect();
+            let tel = telemetry_for(args)?;
+            let wall_start = Instant::now();
+            let results: Vec<_> = apps
+                .iter()
+                .map(|a| run_campaign_traced(a, &cfg, &tel))
+                .collect();
+            report_telemetry(args, &tel, wall_start);
             let refs: Vec<_> = results.iter().collect();
             if args.json {
                 for r in &results {
@@ -143,8 +221,17 @@ fn run(args: &Args) -> Result<(), String> {
             let apps = apps_for(&args.app)?;
             let base_cfg = cfg_of(args, EncodingScheme::Baseline);
             let new_cfg = cfg_of(args, EncodingScheme::NewEncoding);
-            let base: Vec<_> = apps.iter().map(|a| run_campaign(a, &base_cfg)).collect();
-            let new: Vec<_> = apps.iter().map(|a| run_campaign(a, &new_cfg)).collect();
+            let tel = telemetry_for(args)?;
+            let wall_start = Instant::now();
+            let base: Vec<_> = apps
+                .iter()
+                .map(|a| run_campaign_traced(a, &base_cfg, &tel))
+                .collect();
+            let new: Vec<_> = apps
+                .iter()
+                .map(|a| run_campaign_traced(a, &new_cfg, &tel))
+                .collect();
+            report_telemetry(args, &tel, wall_start);
             if args.json {
                 for r in base.iter().chain(&new) {
                     println!("{}", CampaignSummary::from(r).to_json());
@@ -163,10 +250,20 @@ fn run(args: &Args) -> Result<(), String> {
                 &args.app
             })?;
             let app = &apps[0];
+            if args.client == 0 || args.client > app.clients.len() {
+                return Err(format!(
+                    "--client {} out of range for {} (valid: 1..={})",
+                    args.client,
+                    app.name,
+                    app.clients.len()
+                ));
+            }
             let cfg = cfg_of(args, EncodingScheme::Baseline);
-            let result = run_campaign(app, &cfg);
-            let idx = args.client.saturating_sub(1).min(result.clients.len() - 1);
-            let c = &result.clients[idx];
+            let tel = telemetry_for(args)?;
+            let wall_start = Instant::now();
+            let result = run_campaign_traced(app, &cfg, &tel);
+            report_telemetry(args, &tel, wall_start);
+            let c = &result.clients[args.client - 1];
             let h = figure4::histogram(&c.crash_latencies);
             if args.json {
                 println!(
@@ -180,6 +277,23 @@ fn run(args: &Args) -> Result<(), String> {
                     c.transient_deviations,
                     c.crash_latencies.len()
                 );
+            }
+        }
+        "stats" => {
+            let path = args
+                .path
+                .as_ref()
+                .ok_or("stats needs a trace file: fisec stats run.jsonl")?;
+            let campaigns = trace::read_trace(path)?;
+            if campaigns.is_empty() {
+                return Err(format!("{path}: no campaigns in trace"));
+            }
+            if args.json {
+                for c in &campaigns {
+                    println!("{}", CampaignSummary::from(&c.result).to_json());
+                }
+            } else {
+                print!("{}", trace::render_stats(&campaigns));
             }
         }
         "random" => {
@@ -325,11 +439,13 @@ fn run(args: &Args) -> Result<(), String> {
             let app = &apps[0];
             let client = &app.clients[0];
             let set = enumerate_targets(&app.image, &app.auth_funcs, false);
-            // Collect crash reports and show the longest transient windows.
+            // Collect crash reports and show the longest transient
+            // windows, sampling every `--stride`th bit for speed
+            // (stride 1 = exhaustive).
             let mut reports = Vec::new();
             for t in &set.targets {
-                if t.bit % 4 != 0 {
-                    continue; // sample every 4th bit for speed
+                if !(t.bit as usize).is_multiple_of(args.stride) {
+                    continue;
                 }
                 if let Some(r) = crash_forensics(&app.image, client, t, EncodingScheme::Baseline)
                     .map_err(|e| e.to_string())?
@@ -351,4 +467,115 @@ fn run(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown command `{other}`\n{}", usage())),
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_round_trip() {
+        let a = parse(&["table1"]).unwrap();
+        assert_eq!(a.cmd, "table1");
+        assert_eq!(a.app, "both");
+        assert_eq!(a.client, 1);
+        assert_eq!(a.stride, 4);
+        assert_eq!(a.threads, None);
+        assert!(!a.json && !a.new_encoding && !a.progress);
+        assert!(a.trace_out.is_none() && a.path.is_none() && a.func.is_none());
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        let a = parse(&[
+            "table1",
+            "--app",
+            "ftpd",
+            "--threads",
+            "2",
+            "--json",
+            "--new-encoding",
+            "--trace-out",
+            "t.jsonl",
+            "--progress",
+            "--stride",
+            "1",
+            "--client",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(a.app, "ftpd");
+        assert_eq!(a.threads, Some(2));
+        assert!(a.json && a.new_encoding && a.progress);
+        assert_eq!(a.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.stride, 1);
+        assert_eq!(a.client, 3);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_with_usage() {
+        let e = parse(&["table1", "--martian"]).unwrap_err();
+        assert!(e.contains("unknown flag `--martian`"), "{e}");
+        assert!(e.contains("usage:"), "{e}");
+    }
+
+    #[test]
+    fn missing_flag_value_is_rejected() {
+        let e = parse(&["table1", "--threads"]).unwrap_err();
+        assert!(e.contains("--threads needs a value"), "{e}");
+        let e = parse(&["figure4", "--trace-out"]).unwrap_err();
+        assert!(e.contains("--trace-out needs a value"), "{e}");
+    }
+
+    #[test]
+    fn non_numeric_values_are_rejected() {
+        assert!(parse(&["table1", "--threads", "many"]).is_err());
+        assert!(parse(&["figure4", "--client", "first"]).is_err());
+        assert!(parse(&["forensics", "--stride", "-1"]).is_err());
+    }
+
+    #[test]
+    fn zero_stride_is_rejected() {
+        let e = parse(&["forensics", "--stride", "0"]).unwrap_err();
+        assert!(e.contains("--stride must be at least 1"), "{e}");
+    }
+
+    #[test]
+    fn positional_path_lands_in_path() {
+        let a = parse(&["stats", "run.jsonl", "--json"]).unwrap();
+        assert_eq!(a.path.as_deref(), Some("run.jsonl"));
+        assert!(a.json);
+        // A second positional is an error, not a silent overwrite.
+        assert!(parse(&["stats", "a.jsonl", "b.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn no_command_shows_usage() {
+        let e = parse(&[]).unwrap_err();
+        assert!(e.contains("usage:"), "{e}");
+    }
+
+    #[test]
+    fn figure4_client_range_is_checked() {
+        for bad in [0, 99] {
+            let a = Args {
+                client: bad,
+                ..parse(&["figure4", "--app", "ftpd"]).unwrap()
+            };
+            let e = run(&a).unwrap_err();
+            assert!(e.contains("out of range"), "client {bad}: {e}");
+            assert!(e.contains("1..="), "client {bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn positional_rejected_outside_stats() {
+        let a = parse(&["table1", "run.jsonl"]).unwrap();
+        let e = run(&a).unwrap_err();
+        assert!(e.contains("unexpected argument"), "{e}");
+    }
 }

@@ -4,13 +4,18 @@ use crate::counts::{LocationCounts, OutcomeCounts};
 use fisec_apps::AppSpec;
 use fisec_encoding::EncodingScheme;
 use fisec_inject::{
-    enumerate_targets, golden_run, golden_run_with_coverage, run_injection, run_injection_group,
-    GoldenRun, InjectionRun, InjectionTarget, OutcomeClass,
+    enumerate_targets, golden_run, golden_run_with_coverage, run_injection_group_metered,
+    run_injection_metered, GoldenRun, GroupMeta, InjectionRun, InjectionTarget, OutcomeClass,
+    RunMeta,
 };
 use fisec_os::Stop;
+use fisec_telemetry::{
+    metric, CampaignEndEvent, CampaignEvent, MetricsShard, Phase, RunEvent, Telemetry, TraceEvent,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// How the engine executes the per-target experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,6 +32,16 @@ pub enum ExecutionMode {
     /// Reference oracle: every experiment boots the server from scratch,
     /// exactly the paper's §4 procedure.
     FromScratch,
+}
+
+impl ExecutionMode {
+    /// Stable label used in trace headers and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutionMode::Snapshot => "snapshot",
+            ExecutionMode::FromScratch => "from-scratch",
+        }
+    }
 }
 
 /// Campaign configuration.
@@ -123,17 +138,250 @@ impl CampaignResult {
     }
 }
 
-/// Run the full selective-exhaustive campaign for `app`.
+/// Table-2-order index of an error location (shared by [`RunRecord`]
+/// and the run-event stream).
+fn location_index(loc: fisec_inject::ErrorLocation) -> u8 {
+    fisec_inject::ErrorLocation::ALL
+        .iter()
+        .position(|l| *l == loc)
+        .expect("every ErrorLocation variant appears in ErrorLocation::ALL") as u8
+}
+
+/// Table-1-order index of an outcome (progress-tally slot).
+fn outcome_index(outcome: OutcomeClass) -> usize {
+    OutcomeClass::ALL
+        .iter()
+        .position(|o| *o == outcome)
+        .expect("every OutcomeClass variant appears in OutcomeClass::ALL")
+}
+
+fn micros_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Events buffered per worker before one batched sink emission.
+const EVENT_BATCH: usize = 256;
+
+/// Per-worker telemetry accumulator: a private metrics shard plus an
+/// event batch, folded into the shared [`Telemetry`] exactly once when
+/// the worker finishes. When telemetry is disabled every method is one
+/// branch.
+struct WorkerTel<'a> {
+    tel: &'a Telemetry,
+    client: usize,
+    worker: usize,
+    shard: MetricsShard,
+    batch: Vec<TraceEvent>,
+}
+
+impl<'a> WorkerTel<'a> {
+    fn new(tel: &'a Telemetry, client: usize, worker: usize) -> WorkerTel<'a> {
+        WorkerTel {
+            tel,
+            client,
+            worker,
+            shard: MetricsShard::new(),
+            batch: Vec::new(),
+        }
+    }
+
+    fn push_event(
+        &mut self,
+        target: &InjectionTarget,
+        run: &InjectionRun,
+        icount: u64,
+        micros: u64,
+        snapshot_replay: bool,
+    ) {
+        self.batch.push(TraceEvent::Run(RunEvent {
+            client: self.client,
+            addr: target.addr,
+            byte_index: target.byte_index,
+            bit: target.bit,
+            outcome: run.outcome.abbrev().to_string(),
+            location: location_index(target.location),
+            worker: self.worker,
+            snapshot_replay,
+            na_prefilter: false,
+            icount,
+            micros,
+            crash_latency: run.crash_latency,
+            transient_deviation: run.transient_deviation,
+        }));
+    }
+
+    fn flush_if_full(&mut self) {
+        if self.batch.len() >= EVENT_BATCH {
+            self.tel.sink.emit_batch(&self.batch);
+            self.batch.clear();
+        }
+    }
+
+    /// One from-scratch experiment: the boot belongs to the run.
+    fn note_fresh(
+        &mut self,
+        target: &InjectionTarget,
+        run: &InjectionRun,
+        meta: RunMeta,
+        gmeta: GroupMeta,
+    ) {
+        if !self.tel.enabled() {
+            return;
+        }
+        let micros = gmeta.boot_micros + meta.run_micros;
+        self.shard.inc(metric::RUNS, 1);
+        self.shard.inc(metric::FRESH_BOOTS, 1);
+        self.shard.observe(metric::REPLAY_MICROS, micros);
+        self.shard.observe(metric::ICOUNT, meta.icount);
+        self.shard.phase_add(Phase::Boot, gmeta.boot_micros);
+        self.shard.phase_add(Phase::Replay, meta.run_micros);
+        self.shard.phase_add(Phase::Classify, meta.classify_micros);
+        if self.tel.events_enabled() {
+            self.push_event(target, run, meta.icount, micros, false);
+            self.flush_if_full();
+        }
+        let mut tally = [0u64; 5];
+        tally[outcome_index(run.outcome)] = 1;
+        self.tel.progress.add(tally, 1);
+    }
+
+    /// One executed checkpoint group (activated or not).
+    fn note_group(
+        &mut self,
+        targets: &[InjectionTarget],
+        runs: &[(InjectionRun, RunMeta)],
+        gmeta: GroupMeta,
+    ) {
+        if !self.tel.enabled() {
+            return;
+        }
+        self.shard.inc(metric::RUNS, runs.len() as u64);
+        self.shard.inc(metric::GROUPS, 1);
+        self.shard.inc(metric::FRESH_BOOTS, 1);
+        self.shard.inc(metric::RESTORES, gmeta.restores);
+        self.shard.observe(metric::GROUP_SIZE, runs.len() as u64);
+        self.shard
+            .observe(metric::RESTORES_PER_GROUP, gmeta.restores);
+        self.shard.phase_add(Phase::Boot, gmeta.boot_micros);
+        self.shard.phase_add(Phase::Snapshot, gmeta.snapshot_micros);
+        let mut tally = [0u64; 5];
+        for ((run, meta), target) in runs.iter().zip(targets) {
+            self.shard.observe(metric::REPLAY_MICROS, meta.run_micros);
+            self.shard.observe(metric::ICOUNT, meta.icount);
+            self.shard.phase_add(Phase::Replay, meta.run_micros);
+            self.shard.phase_add(Phase::Classify, meta.classify_micros);
+            tally[outcome_index(run.outcome)] += 1;
+            if self.tel.events_enabled() {
+                self.push_event(target, run, meta.icount, meta.run_micros, gmeta.activated);
+            }
+        }
+        if self.tel.events_enabled() {
+            self.flush_if_full();
+        }
+        self.tel.progress.add(tally, 1);
+    }
+
+    /// A group classified NA wholesale by the golden-coverage
+    /// pre-filter: no process ever ran, so icount/micros are zero.
+    fn note_prefilter(&mut self, targets: &[InjectionTarget]) {
+        if !self.tel.enabled() {
+            return;
+        }
+        let n = targets.len() as u64;
+        self.shard.inc(metric::RUNS, n);
+        self.shard.inc(metric::NA_PREFILTER_RUNS, n);
+        if self.tel.events_enabled() {
+            for target in targets {
+                self.batch.push(TraceEvent::Run(RunEvent {
+                    client: self.client,
+                    addr: target.addr,
+                    byte_index: target.byte_index,
+                    bit: target.bit,
+                    outcome: OutcomeClass::NotActivated.abbrev().to_string(),
+                    location: location_index(target.location),
+                    worker: self.worker,
+                    snapshot_replay: false,
+                    na_prefilter: true,
+                    icount: 0,
+                    micros: 0,
+                    crash_latency: None,
+                    transient_deviation: false,
+                }));
+            }
+            self.flush_if_full();
+        }
+        self.tel.progress.add([n, 0, 0, 0, 0], 1);
+    }
+
+    fn observe_queue_wait(&mut self, micros: u64) {
+        if self.tel.enabled() {
+            self.shard.observe(metric::QUEUE_WAIT, micros);
+        }
+    }
+
+    /// Flush remaining events and fold the shard into the registry.
+    fn finish(self) {
+        if !self.tel.enabled() {
+            return;
+        }
+        if !self.batch.is_empty() {
+            self.tel.sink.emit_batch(&self.batch);
+        }
+        self.tel.metrics.absorb(&self.shard);
+    }
+}
+
+/// Run the full selective-exhaustive campaign for `app` without
+/// telemetry (the instrumentation reduces to one branch per site).
 ///
 /// # Panics
 /// Panics if the image cannot be loaded (a programming error: the same
 /// image already ran its golden sessions).
 pub fn run_campaign(app: &AppSpec, cfg: &CampaignConfig) -> CampaignResult {
+    run_campaign_traced(app, cfg, &Telemetry::disabled())
+}
+
+/// [`run_campaign`] with observability: emits a campaign header, one
+/// [`RunEvent`] per injection run and a closing [`CampaignEndEvent`]
+/// into `tel`'s sink, accumulates counters/histograms/phase timings in
+/// its metrics registry, and drives its progress meter. Results are
+/// bit-identical to the untraced path.
+///
+/// # Panics
+/// Panics if the image cannot be loaded (a programming error: the same
+/// image already ran its golden sessions).
+pub fn run_campaign_traced(app: &AppSpec, cfg: &CampaignConfig, tel: &Telemetry) -> CampaignResult {
+    let wall_start = Instant::now();
+    let before = tel.enabled().then(|| tel.metrics.snapshot());
     let set = enumerate_targets(&app.image, &app.auth_funcs, cfg.cond_branches_only);
+    if tel.events_enabled() {
+        tel.sink.emit(&TraceEvent::Campaign(CampaignEvent {
+            app: app.name.to_string(),
+            scheme: cfg.scheme.to_string(),
+            mode: cfg.mode.name().to_string(),
+            instructions: set.instructions,
+            cond_branches: set.cond_branches,
+            runs_per_client: set.targets.len(),
+            clients: app.clients.iter().map(|c| c.name.clone()).collect(),
+            golden_denied: app.clients.iter().map(|c| c.golden_denied).collect(),
+        }));
+    }
+    tel.progress.begin(
+        &format!("{} [{}]", app.name, cfg.scheme),
+        (set.targets.len() * app.clients.len()) as u64,
+    );
+
+    let mut main = MetricsShard::new();
     let mut clients = Vec::with_capacity(app.clients.len());
-    for spec in &app.clients {
+    for (ci, spec) in app.clients.iter().enumerate() {
+        let boot_start = Instant::now();
         let golden = golden_run(&app.image, spec).expect("image loads");
-        let records = run_targets(app, spec, &golden, &set.targets, cfg);
+        if tel.enabled() {
+            main.inc(metric::FRESH_BOOTS, 1);
+            main.phase_add(Phase::Boot, micros_since(boot_start));
+        }
+        let records = run_targets(app, spec, &golden, &set.targets, cfg, tel, ci);
+        let tally_start = Instant::now();
         let mut cc = ClientCampaign {
             client: spec.name.clone(),
             golden_denied: spec.golden_denied,
@@ -169,25 +417,52 @@ pub fn run_campaign(app: &AppSpec, cfg: &CampaignConfig) -> CampaignResult {
                     OutcomeClass::FailSilenceViolation => 'F',
                     OutcomeClass::Breakin => 'B',
                 },
-                location_index: fisec_inject::ErrorLocation::ALL
-                    .iter()
-                    .position(|l| *l == target.location)
-                    .expect("every ErrorLocation variant appears in ErrorLocation::ALL")
-                    as u8,
+                location_index: location_index(target.location),
                 crash_latency: run.crash_latency,
                 transient_deviation: run.transient_deviation,
             });
         }
+        if tel.enabled() {
+            main.phase_add(Phase::Reassemble, micros_since(tally_start));
+        }
         clients.push(cc);
     }
-    CampaignResult {
+    tel.progress.finish();
+
+    let result = CampaignResult {
         app: app.name.to_string(),
         scheme: cfg.scheme,
         instructions: set.instructions,
         cond_branches: set.cond_branches,
         runs_per_client: set.targets.len(),
         clients,
+    };
+
+    if tel.enabled() {
+        tel.metrics.absorb(&main);
+        // The registry may span several campaigns (the report generator
+        // reuses one bundle), so the trailer is the delta over this one.
+        let after = tel.metrics.snapshot();
+        let before = before.expect("snapshot taken when telemetry is enabled");
+        let phase = |p| after.phases().get(p).saturating_sub(before.phases().get(p));
+        let ctr = |n| after.counter(n).saturating_sub(before.counter(n));
+        if tel.events_enabled() {
+            tel.sink.emit(&TraceEvent::CampaignEnd(CampaignEndEvent {
+                wall_micros: micros_since(wall_start),
+                boot_micros: phase(Phase::Boot),
+                snapshot_micros: phase(Phase::Snapshot),
+                replay_micros: phase(Phase::Replay),
+                classify_micros: phase(Phase::Classify),
+                reassemble_micros: phase(Phase::Reassemble),
+                runs: ctr(metric::RUNS),
+                na_prefilter_runs: ctr(metric::NA_PREFILTER_RUNS),
+                restores: ctr(metric::RESTORES),
+                fresh_boots: ctr(metric::FRESH_BOOTS),
+            }));
+        }
+        tel.sink.flush();
     }
+    result
 }
 
 /// Execute all targets for one client, dispatching on the configured
@@ -199,10 +474,16 @@ fn run_targets(
     golden: &GoldenRun,
     targets: &[InjectionTarget],
     cfg: &CampaignConfig,
+    tel: &Telemetry,
+    client_idx: usize,
 ) -> Vec<InjectionRun> {
     match cfg.mode {
-        ExecutionMode::FromScratch => run_targets_from_scratch(app, spec, golden, targets, cfg),
-        ExecutionMode::Snapshot => run_targets_snapshot(app, spec, golden, targets, cfg),
+        ExecutionMode::FromScratch => {
+            run_targets_from_scratch(app, spec, golden, targets, cfg, tel, client_idx)
+        }
+        ExecutionMode::Snapshot => {
+            run_targets_snapshot(app, spec, golden, targets, cfg, tel, client_idx)
+        }
     }
 }
 
@@ -213,26 +494,44 @@ fn run_targets_from_scratch(
     golden: &GoldenRun,
     targets: &[InjectionTarget],
     cfg: &CampaignConfig,
+    tel: &Telemetry,
+    client_idx: usize,
 ) -> Vec<InjectionRun> {
     let threads = cfg.threads.max(1);
     if threads == 1 || targets.len() < 64 {
-        return targets
+        let mut wt = WorkerTel::new(tel, client_idx, 0);
+        let out = targets
             .iter()
-            .map(|t| run_injection(&app.image, spec, golden, t, cfg.scheme).expect("image loads"))
+            .map(|t| {
+                let (run, meta, gmeta) =
+                    run_injection_metered(&app.image, spec, golden, t, cfg.scheme)
+                        .expect("image loads");
+                wt.note_fresh(t, &run, meta, gmeta);
+                run
+            })
             .collect();
+        wt.finish();
+        return out;
     }
     let chunk = targets.len().div_ceil(threads);
     let mut out: Vec<Vec<InjectionRun>> = Vec::new();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
-        for shard in targets.chunks(chunk) {
+        for (w, shard) in targets.chunks(chunk).enumerate() {
             handles.push(s.spawn(move || {
-                shard
+                let mut wt = WorkerTel::new(tel, client_idx, w + 1);
+                let runs = shard
                     .iter()
                     .map(|t| {
-                        run_injection(&app.image, spec, golden, t, cfg.scheme).expect("image loads")
+                        let (run, meta, gmeta) =
+                            run_injection_metered(&app.image, spec, golden, t, cfg.scheme)
+                                .expect("image loads");
+                        wt.note_fresh(t, &run, meta, gmeta);
+                        run
                     })
-                    .collect::<Vec<_>>()
+                    .collect::<Vec<_>>();
+                wt.finish();
+                runs
             }));
         }
         for h in handles {
@@ -259,6 +558,8 @@ fn run_targets_snapshot(
     golden: &GoldenRun,
     targets: &[InjectionTarget],
     cfg: &CampaignConfig,
+    tel: &Telemetry,
+    client_idx: usize,
 ) -> Vec<InjectionRun> {
     // Contiguous same-address slices, with each group's offset into
     // `targets` so results can be reassembled in target order.
@@ -271,6 +572,10 @@ fn run_targets_snapshot(
         }
     }
 
+    // Worker 0 is the campaign thread: it owns the coverage boot, the
+    // pre-filter, the sequential path and the final reassembly.
+    let mut wt0 = WorkerTel::new(tel, client_idx, 0);
+
     // The NA pre-filter is sound only when the golden run's stop proves
     // the replayed prefix cannot reach the breakpoint: an Exited or
     // Deadlock golden run stops at the same point under the (larger)
@@ -278,8 +583,13 @@ fn run_targets_snapshot(
     // fetch-faulted golden stops *before* its final address enters the
     // coverage set. Outside the safe cases every group runs for real.
     let coverage = if matches!(golden.stop, Stop::Exited(_) | Stop::Deadlock) {
+        let cov_start = Instant::now();
         let (gold2, cov) = golden_run_with_coverage(&app.image, spec).expect("image loads");
         debug_assert_eq!(gold2.icount, golden.icount);
+        if tel.enabled() {
+            wt0.shard.inc(metric::FRESH_BOOTS, 1);
+            wt0.shard.phase_add(Phase::Boot, micros_since(cov_start));
+        }
         Some(cov)
     } else {
         None
@@ -304,6 +614,7 @@ fn run_targets_snapshot(
         .filter_map(|(gi, (_, group))| match &coverage {
             Some(cov) if !cov.contains(&group[0].addr) => {
                 slots[gi] = Some(synth_na(group.len()));
+                wt0.note_prefilter(group);
                 None
             }
             _ => Some(gi),
@@ -314,32 +625,55 @@ fn run_targets_snapshot(
     if threads <= 1 {
         for &gi in &live {
             let (_, group) = groups[gi];
-            slots[gi] = Some(
-                run_injection_group(&app.image, spec, golden, group, cfg.scheme)
-                    .expect("image loads"),
-            );
+            let (runs, gmeta) =
+                run_injection_group_metered(&app.image, spec, golden, group, cfg.scheme)
+                    .expect("image loads");
+            wt0.note_group(group, &runs, gmeta);
+            slots[gi] = Some(runs.into_iter().map(|(run, _)| run).collect());
         }
     } else {
         let next = AtomicUsize::new(0);
         let slots_mx = Mutex::new(&mut slots);
         std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&gi) = live.get(i) else { break };
-                    let (_, group) = groups[gi];
-                    let runs = run_injection_group(&app.image, spec, golden, group, cfg.scheme)
+            for w in 0..threads {
+                let next = &next;
+                let live = &live;
+                let groups = &groups;
+                let slots_mx = &slots_mx;
+                s.spawn(move || {
+                    let mut wt = WorkerTel::new(tel, client_idx, w + 1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&gi) = live.get(i) else { break };
+                        let (_, group) = groups[gi];
+                        let (runs, gmeta) = run_injection_group_metered(
+                            &app.image, spec, golden, group, cfg.scheme,
+                        )
                         .expect("image loads");
-                    slots_mx.lock().expect("no worker panicked")[gi] = Some(runs);
+                        wt.note_group(group, &runs, gmeta);
+                        let wait_start = Instant::now();
+                        let mut guard = slots_mx.lock().expect("no worker panicked");
+                        let wait = micros_since(wait_start);
+                        guard[gi] = Some(runs.into_iter().map(|(run, _)| run).collect());
+                        drop(guard);
+                        wt.observe_queue_wait(wait);
+                    }
+                    wt.finish();
                 });
             }
         });
     }
 
+    let reassemble_start = Instant::now();
     let mut out = Vec::with_capacity(targets.len());
     for done in slots {
         out.extend(done.expect("every group ran or was synthesized"));
     }
+    if tel.enabled() {
+        wt0.shard
+            .phase_add(Phase::Reassemble, micros_since(reassemble_start));
+    }
+    wt0.finish();
     out
 }
 
@@ -365,7 +699,15 @@ mod tests {
         let spec = &app.clients[0]; // Client1 (attack)
         let golden = golden_run(&app.image, spec).unwrap();
         let cfg = CampaignConfig::default();
-        let runs = run_targets(&app, spec, &golden, &targets, &cfg);
+        let runs = run_targets(
+            &app,
+            spec,
+            &golden,
+            &targets,
+            &cfg,
+            &Telemetry::disabled(),
+            0,
+        );
         assert_eq!(runs.len(), 24);
         let mut counts = OutcomeCounts::default();
         for r in &runs {
@@ -391,10 +733,33 @@ mod tests {
             threads: 4,
             ..CampaignConfig::default()
         };
-        let a = run_targets(&app, spec, &golden, &targets, &seq_cfg);
-        let b = run_targets(&app, spec, &golden, &targets, &par_cfg);
+        let tel = Telemetry::disabled();
+        let a = run_targets(&app, spec, &golden, &targets, &seq_cfg, &tel, 0);
+        let b = run_targets(&app, spec, &golden, &targets, &par_cfg, &tel, 0);
         let oa: Vec<_> = a.iter().map(|r| r.outcome).collect();
         let ob: Vec<_> = b.iter().map(|r| r.outcome).collect();
         assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn traced_campaign_emits_one_event_per_run() {
+        let app = AppSpec::ftpd();
+        let sink = std::sync::Arc::new(fisec_telemetry::MemorySink::new());
+        let tel = Telemetry::new(sink.clone(), false);
+        let cfg = CampaignConfig {
+            cond_branches_only: true,
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign_traced(&app, &cfg, &tel);
+        let events = sink.events();
+        let runs = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Run(_)))
+            .count();
+        assert_eq!(runs, result.runs_per_client * result.clients.len());
+        assert!(matches!(events.first(), Some(TraceEvent::Campaign(_))));
+        assert!(matches!(events.last(), Some(TraceEvent::CampaignEnd(_))));
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter(metric::RUNS), runs as u64);
     }
 }

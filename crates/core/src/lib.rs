@@ -36,9 +36,11 @@ pub mod figure4;
 pub mod load;
 pub mod random;
 pub mod tables;
+pub mod trace;
 
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignResult, ClientCampaign, ExecutionMode, RunRecord,
+    run_campaign, run_campaign_traced, CampaignConfig, CampaignResult, ClientCampaign,
+    ExecutionMode, RunRecord,
 };
 pub use counts::{LocationCounts, OutcomeCounts};
 pub use fisec_encoding::EncodingScheme;

@@ -1,0 +1,352 @@
+//! Replay a saved telemetry trace back into campaign results.
+//!
+//! `fisec <cmd> --trace-out run.jsonl` records one [`RunEvent`] per
+//! injection run between a campaign header and trailer. This module
+//! rebuilds [`CampaignResult`]s from that stream so `fisec stats` can
+//! re-render the paper's tables (byte-identical to the live output for
+//! a complete trace) plus the phase breakdown — without re-running a
+//! single injection.
+
+use crate::campaign::{CampaignResult, ClientCampaign, RunRecord};
+use crate::counts::{LocationCounts, OutcomeCounts};
+use crate::tables::render_table1;
+use fisec_encoding::EncodingScheme;
+use fisec_inject::{ErrorLocation, GoldenRun, OutcomeClass};
+use fisec_net::{ClientStatus, Trace};
+use fisec_os::Stop;
+use fisec_telemetry::{
+    metric, read_jsonl_path, render_phase_table, CampaignEndEvent, CampaignEvent, LogHistogram,
+    PhaseTimes, RunEvent, TraceEvent,
+};
+use std::path::Path;
+
+/// One campaign reconstructed from a trace: its header, the rebuilt
+/// result, the trailer (absent when the stream was truncated) and the
+/// raw run events for custom analysis.
+#[derive(Debug, Clone)]
+pub struct ReplayedCampaign {
+    /// Campaign header as recorded.
+    pub header: CampaignEvent,
+    /// Result rebuilt from the run events. The golden runs are stubs
+    /// (only `golden_denied` survives a trace); every consumer of the
+    /// tables reads tallies and records, not golden state.
+    pub result: CampaignResult,
+    /// Campaign trailer, when the stream contains one.
+    pub end: Option<CampaignEndEvent>,
+    /// Run events in emission order.
+    pub run_events: Vec<RunEvent>,
+}
+
+fn scheme_of(label: &str) -> Result<EncodingScheme, String> {
+    [EncodingScheme::Baseline, EncodingScheme::NewEncoding]
+        .into_iter()
+        .find(|s| s.to_string() == label)
+        .ok_or_else(|| format!("unknown scheme label `{label}`"))
+}
+
+fn outcome_of(abbrev: &str) -> Result<OutcomeClass, String> {
+    OutcomeClass::ALL
+        .into_iter()
+        .find(|o| o.abbrev() == abbrev)
+        .ok_or_else(|| format!("unknown outcome `{abbrev}`"))
+}
+
+fn outcome_char(o: OutcomeClass) -> char {
+    match o {
+        OutcomeClass::NotActivated => 'N',
+        OutcomeClass::NotManifested => 'M',
+        OutcomeClass::SystemDetection => 'S',
+        OutcomeClass::FailSilenceViolation => 'F',
+        OutcomeClass::Breakin => 'B',
+    }
+}
+
+/// A placeholder golden run for replayed results: traces record only
+/// whether the golden run denied the client, which is all the renderers
+/// consult.
+fn stub_golden(denied: bool) -> GoldenRun {
+    GoldenRun {
+        stop: Stop::Exited(0),
+        client: if denied {
+            ClientStatus::Denied
+        } else {
+            ClientStatus::Granted
+        },
+        trace: Trace::default(),
+        icount: 0,
+    }
+}
+
+/// Group a parsed event stream into campaigns.
+///
+/// # Errors
+/// A message when a run event appears outside a campaign, references a
+/// client the header does not name, or carries an unknown label.
+pub fn parse_trace(events: &[TraceEvent]) -> Result<Vec<ReplayedCampaign>, String> {
+    let mut campaigns: Vec<ReplayedCampaign> = Vec::new();
+    let mut open = false;
+    for (i, ev) in events.iter().enumerate() {
+        let at = || format!("event {}", i + 1);
+        match ev {
+            TraceEvent::Campaign(hdr) => {
+                if hdr.clients.len() != hdr.golden_denied.len() {
+                    return Err(format!(
+                        "{}: campaign header names {} clients but {} golden verdicts",
+                        at(),
+                        hdr.clients.len(),
+                        hdr.golden_denied.len()
+                    ));
+                }
+                let clients = hdr
+                    .clients
+                    .iter()
+                    .zip(&hdr.golden_denied)
+                    .map(|(name, &denied)| ClientCampaign {
+                        client: name.clone(),
+                        golden_denied: denied,
+                        golden: stub_golden(denied),
+                        counts: OutcomeCounts::default(),
+                        brkfsv_by_location: LocationCounts::default(),
+                        crash_latencies: Vec::new(),
+                        transient_deviations: 0,
+                        records: Vec::new(),
+                    })
+                    .collect();
+                campaigns.push(ReplayedCampaign {
+                    header: hdr.clone(),
+                    result: CampaignResult {
+                        app: hdr.app.clone(),
+                        scheme: scheme_of(&hdr.scheme).map_err(|e| format!("{}: {e}", at()))?,
+                        instructions: hdr.instructions,
+                        cond_branches: hdr.cond_branches,
+                        runs_per_client: hdr.runs_per_client,
+                        clients,
+                    },
+                    end: None,
+                    run_events: Vec::new(),
+                });
+                open = true;
+            }
+            TraceEvent::Run(run) => {
+                if !open {
+                    return Err(format!("{}: run event outside a campaign", at()));
+                }
+                let campaign = campaigns.last_mut().expect("open implies a campaign");
+                let outcome = outcome_of(&run.outcome).map_err(|e| format!("{}: {e}", at()))?;
+                let location = *ErrorLocation::ALL
+                    .get(run.location as usize)
+                    .ok_or_else(|| {
+                        format!("{}: location index {} out of range", at(), run.location)
+                    })?;
+                let cc =
+                    campaign.result.clients.get_mut(run.client).ok_or_else(|| {
+                        format!("{}: client index {} out of range", at(), run.client)
+                    })?;
+                cc.counts.add(outcome);
+                if matches!(
+                    outcome,
+                    OutcomeClass::Breakin | OutcomeClass::FailSilenceViolation
+                ) {
+                    cc.brkfsv_by_location.add(location);
+                }
+                if let Some(lat) = run.crash_latency {
+                    cc.crash_latencies.push(lat);
+                }
+                if run.transient_deviation {
+                    cc.transient_deviations += 1;
+                }
+                cc.records.push(RunRecord {
+                    addr: run.addr,
+                    byte_index: run.byte_index,
+                    bit: run.bit,
+                    outcome_abbrev: outcome_char(outcome),
+                    location_index: run.location,
+                    crash_latency: run.crash_latency,
+                    transient_deviation: run.transient_deviation,
+                });
+                campaign.run_events.push(run.clone());
+            }
+            TraceEvent::CampaignEnd(end) => {
+                if !open {
+                    return Err(format!("{}: campaign_end without a campaign", at()));
+                }
+                campaigns.last_mut().expect("open implies a campaign").end = Some(*end);
+                open = false;
+            }
+        }
+    }
+    Ok(campaigns)
+}
+
+/// Read and group a JSONL trace file.
+///
+/// # Errors
+/// A message for unreadable files, malformed lines or an inconsistent
+/// event stream.
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<ReplayedCampaign>, String> {
+    parse_trace(&read_jsonl_path(path)?)
+}
+
+fn is_complete(c: &ReplayedCampaign) -> bool {
+    c.run_events.len() == c.result.runs_per_client * c.result.clients.len()
+}
+
+/// Render the summary for a replayed trace: the Table 1 layout per
+/// consecutive same-scheme group of campaigns (byte-identical to the
+/// live `fisec table1` output when the trace is complete), then a
+/// per-campaign detail block with engine aggregates, the phase
+/// breakdown and replay-cost histograms.
+pub fn render_stats(campaigns: &[ReplayedCampaign]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < campaigns.len() {
+        let scheme = campaigns[i].result.scheme;
+        let mut j = i;
+        while j < campaigns.len() && campaigns[j].result.scheme == scheme {
+            j += 1;
+        }
+        let refs: Vec<&CampaignResult> = campaigns[i..j].iter().map(|c| &c.result).collect();
+        out.push_str(&render_table1(&refs));
+        out.push('\n');
+        i = j;
+    }
+
+    for c in campaigns {
+        out.push_str(&format!(
+            "== {} [{}] — {} engine ==\n",
+            c.header.app, c.header.scheme, c.header.mode
+        ));
+        out.push_str(&format!(
+            "{} instructions ({} conditional branches), {} runs x {} clients\n",
+            c.header.instructions,
+            c.header.cond_branches,
+            c.header.runs_per_client,
+            c.header.clients.len()
+        ));
+        if !is_complete(c) {
+            out.push_str(&format!(
+                "TRUNCATED trace: {} of {} run events present\n",
+                c.run_events.len(),
+                c.result.runs_per_client * c.result.clients.len()
+            ));
+        }
+        if let Some(end) = c.end {
+            out.push_str(&format!(
+                "runs {}  na-prefilter {}  fresh boots {}  restores {}\n",
+                end.runs, end.na_prefilter_runs, end.fresh_boots, end.restores
+            ));
+            let phases = PhaseTimes {
+                micros: [
+                    end.boot_micros,
+                    end.snapshot_micros,
+                    end.replay_micros,
+                    end.classify_micros,
+                    end.reassemble_micros,
+                ],
+            };
+            out.push_str(&render_phase_table(&phases, end.wall_micros));
+        }
+        // Rebuild per-run cost histograms from the executed events (the
+        // pre-filter's synthesized runs would skew them toward zero).
+        let mut micros = LogHistogram::default();
+        let mut icount = LogHistogram::default();
+        for run in c.run_events.iter().filter(|r| !r.na_prefilter) {
+            micros.record(run.micros);
+            icount.record(run.icount);
+        }
+        for (name, h) in [(metric::REPLAY_MICROS, &micros), (metric::ICOUNT, &icount)] {
+            if h.count > 0 {
+                out.push_str(&format!(
+                    "{name:<24} n={:<9} mean={:<11.1} p50<={:<9} p99<={:<11} max={}\n",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.max
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ev(client: usize, outcome: &str, bit: u8) -> TraceEvent {
+        TraceEvent::Run(RunEvent {
+            client,
+            addr: 0x0804_8000,
+            byte_index: 0,
+            bit,
+            outcome: outcome.to_string(),
+            location: 0,
+            worker: 0,
+            snapshot_replay: true,
+            na_prefilter: false,
+            icount: 1000,
+            micros: 10,
+            crash_latency: if outcome == "SD" { Some(7) } else { None },
+            transient_deviation: false,
+        })
+    }
+
+    fn header(runs_per_client: usize) -> TraceEvent {
+        TraceEvent::Campaign(CampaignEvent {
+            app: "ftpd".to_string(),
+            scheme: "baseline x86".to_string(),
+            mode: "snapshot".to_string(),
+            instructions: 1,
+            cond_branches: 1,
+            runs_per_client,
+            clients: vec!["Client1".to_string()],
+            golden_denied: vec![true],
+        })
+    }
+
+    #[test]
+    fn rebuilds_tallies_from_events() {
+        let events = vec![
+            header(3),
+            run_ev(0, "NA", 0),
+            run_ev(0, "SD", 1),
+            run_ev(0, "BRK", 2),
+            TraceEvent::CampaignEnd(CampaignEndEvent {
+                runs: 3,
+                ..CampaignEndEvent::default()
+            }),
+        ];
+        let campaigns = parse_trace(&events).unwrap();
+        assert_eq!(campaigns.len(), 1);
+        let c = &campaigns[0];
+        assert!(is_complete(c));
+        assert_eq!(c.result.clients[0].counts.na, 1);
+        assert_eq!(c.result.clients[0].counts.sd, 1);
+        assert_eq!(c.result.clients[0].counts.brk, 1);
+        assert_eq!(c.result.clients[0].crash_latencies, vec![7]);
+        assert_eq!(c.result.clients[0].records.len(), 3);
+        assert_eq!(c.end.unwrap().runs, 3);
+        let s = render_stats(&campaigns);
+        assert!(s.contains("FTPD Client1"), "{s}");
+        assert!(s.contains("snapshot engine"), "{s}");
+    }
+
+    #[test]
+    fn rejects_orphan_and_malformed_events() {
+        assert!(parse_trace(&[run_ev(0, "NA", 0)]).is_err());
+        assert!(parse_trace(&[TraceEvent::CampaignEnd(CampaignEndEvent::default())]).is_err());
+        assert!(parse_trace(&[header(1), run_ev(5, "NA", 0)]).is_err());
+        assert!(parse_trace(&[header(1), run_ev(0, "XX", 0)]).is_err());
+    }
+
+    #[test]
+    fn truncated_trace_is_flagged_not_fatal() {
+        let campaigns = parse_trace(&[header(3), run_ev(0, "NA", 0)]).unwrap();
+        assert!(!is_complete(&campaigns[0]));
+        assert!(campaigns[0].end.is_none());
+        let s = render_stats(&campaigns);
+        assert!(s.contains("TRUNCATED"), "{s}");
+    }
+}

@@ -28,6 +28,7 @@ use fisec_asm::Image;
 use fisec_encoding::{remap_flip, ByteCtx, EncodingScheme};
 use fisec_net::Trace;
 use fisec_os::{Process, Stop};
+use std::time::Instant;
 
 /// Default multiplier on the golden run's instruction count used as the
 /// per-run budget (runaway/hang detection).
@@ -79,6 +80,42 @@ pub fn golden_run_with_coverage(
     Ok((golden, coverage))
 }
 
+/// Per-run execution metadata reported by the metered entry points, for
+/// the telemetry layer: what the run cost, not what it concluded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Guest instructions retired for this run: since the restore point
+    /// for a snapshot replay, since boot for a fresh run. For a group
+    /// whose breakpoint was never reached, every synthesized NA run
+    /// reports the shared prefix's icount (the work a from-scratch run
+    /// would have retired).
+    pub icount: u64,
+    /// Host microseconds executing the post-activation suffix (0 for
+    /// runs that never activated).
+    pub run_micros: u64,
+    /// Host microseconds classifying the outcome against golden.
+    pub classify_micros: u64,
+}
+
+/// Per-boot metadata shared by every run of a metered call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupMeta {
+    /// Host microseconds booting from `_start` to the breakpoint (or to
+    /// the natural stop when the breakpoint was never reached).
+    pub boot_micros: u64,
+    /// Host microseconds capturing the checkpoint (0 when no checkpoint
+    /// was taken).
+    pub snapshot_micros: u64,
+    /// Checkpoint restores performed.
+    pub restores: u64,
+    /// Whether the breakpoint was reached (the error could activate).
+    pub activated: bool,
+}
+
+fn micros_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Execute one injection experiment.
 ///
 /// # Errors
@@ -90,15 +127,33 @@ pub fn run_injection(
     target: &InjectionTarget,
     scheme: EncodingScheme,
 ) -> Result<InjectionRun, fisec_os::LoadError> {
+    run_injection_metered(image, client, golden, target, scheme).map(|(run, _, _)| run)
+}
+
+/// [`run_injection`] plus the run's execution metadata (icount, host
+/// time split by phase). The extra cost over the unmetered path is a
+/// handful of monotonic-clock reads.
+///
+/// # Errors
+/// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
+pub fn run_injection_metered(
+    image: &Image,
+    client: &ClientSpec,
+    golden: &GoldenRun,
+    target: &InjectionTarget,
+    scheme: EncodingScheme,
+) -> Result<(InjectionRun, RunMeta, GroupMeta), fisec_os::LoadError> {
+    let boot_start = Instant::now();
     let mut p = Process::load(image, client.make())?;
     let budget = (golden.icount * BUDGET_MULTIPLIER).max(BUDGET_FLOOR);
     p.set_budget(budget);
     p.machine.add_breakpoint(target.addr);
 
     let first = p.run();
+    let boot_micros = micros_since(boot_start);
     let Stop::Breakpoint(_) = first else {
         // Instruction never executed: error not activated.
-        return Ok(InjectionRun {
+        let run = InjectionRun {
             outcome: OutcomeClass::NotActivated,
             activated: false,
             stop: first,
@@ -106,7 +161,17 @@ pub fn run_injection(
             crash_latency: None,
             transient_deviation: false,
             divergence: None,
-        });
+        };
+        let meta = RunMeta {
+            icount: p.icount(),
+            run_micros: 0,
+            classify_micros: 0,
+        };
+        let group = GroupMeta {
+            boot_micros,
+            ..GroupMeta::default()
+        };
+        return Ok((run, meta, group));
     };
 
     // Activated: corrupt the byte and continue.
@@ -125,19 +190,28 @@ pub fn run_injection(
     p.machine.remove_breakpoint(target.addr);
     let activation_icount = p.icount();
 
+    let run_start = Instant::now();
     let stop = p.run();
+    let run_micros = micros_since(run_start);
     let final_trace = p.trace();
     let crash_latency = match stop {
         Stop::Crashed(_) => Some(p.icount() - activation_icount),
         _ => None,
     };
-    Ok(classify_run(
-        golden,
-        stop,
-        p.client_status(),
-        final_trace,
-        crash_latency,
-    ))
+    let classify_start = Instant::now();
+    let run = classify_run(golden, stop, p.client_status(), final_trace, crash_latency);
+    let meta = RunMeta {
+        icount: p.icount(),
+        run_micros,
+        classify_micros: micros_since(classify_start),
+    };
+    let group = GroupMeta {
+        boot_micros,
+        snapshot_micros: 0,
+        restores: 0,
+        activated: true,
+    };
+    Ok((run, meta, group))
 }
 
 /// Execute every experiment in a group of targets sharing one
@@ -166,23 +240,47 @@ pub fn run_injection_group(
     targets: &[InjectionTarget],
     scheme: EncodingScheme,
 ) -> Result<Vec<InjectionRun>, fisec_os::LoadError> {
+    run_injection_group_metered(image, client, golden, targets, scheme)
+        .map(|(runs, _)| runs.into_iter().map(|(run, _)| run).collect())
+}
+
+/// [`run_injection_group`] plus per-run and per-boot execution metadata
+/// for the telemetry layer. Results are bit-identical to the unmetered
+/// path; the only extra work is monotonic-clock reads around each phase.
+///
+/// # Errors
+/// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
+///
+/// # Panics
+/// If the targets do not all share one instruction address.
+pub fn run_injection_group_metered(
+    image: &Image,
+    client: &ClientSpec,
+    golden: &GoldenRun,
+    targets: &[InjectionTarget],
+    scheme: EncodingScheme,
+) -> Result<(Vec<(InjectionRun, RunMeta)>, GroupMeta), fisec_os::LoadError> {
     let Some(addr) = targets.first().map(|t| t.addr) else {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), GroupMeta::default()));
     };
     assert!(
         targets.iter().all(|t| t.addr == addr),
         "run_injection_group requires targets sharing one address"
     );
+    let boot_start = Instant::now();
     let mut p = Process::load(image, client.make())?;
     let budget = (golden.icount * BUDGET_MULTIPLIER).max(BUDGET_FLOOR);
     p.set_budget(budget);
     p.machine.add_breakpoint(addr);
 
     let first = p.run();
+    let boot_micros = micros_since(boot_start);
     let Stop::Breakpoint(_) = first else {
         // Instruction never executed: the whole group is not activated,
         // and (determinism) every from-scratch run would stop the same
-        // way with the same client verdict.
+        // way with the same client verdict. Each synthesized run is
+        // billed the shared prefix's icount — the work a from-scratch
+        // run would have retired.
         let na = InjectionRun {
             outcome: OutcomeClass::NotActivated,
             activated: false,
@@ -192,13 +290,25 @@ pub fn run_injection_group(
             transient_deviation: false,
             divergence: None,
         };
-        return Ok(vec![na; targets.len()]);
+        let meta = RunMeta {
+            icount: p.icount(),
+            run_micros: 0,
+            classify_micros: 0,
+        };
+        let group = GroupMeta {
+            boot_micros,
+            ..GroupMeta::default()
+        };
+        return Ok((vec![(na, meta); targets.len()], group));
     };
 
+    let snapshot_start = Instant::now();
     let checkpoint = p.snapshot();
+    let snapshot_micros = micros_since(snapshot_start);
     let activation_icount = p.icount();
     let mut runs = Vec::with_capacity(targets.len());
     for target in targets {
+        let replay_start = Instant::now();
         p.restore(&checkpoint);
         let byte_addr = target.addr.wrapping_add(target.byte_index as u32);
         let orig = p
@@ -215,20 +325,28 @@ pub fn run_injection_group(
         p.machine.remove_breakpoint(target.addr);
 
         let stop = p.run();
+        let run_micros = micros_since(replay_start);
         let final_trace = p.trace();
         let crash_latency = match stop {
             Stop::Crashed(_) => Some(p.icount() - activation_icount),
             _ => None,
         };
-        runs.push(classify_run(
-            golden,
-            stop,
-            p.client_status(),
-            final_trace,
-            crash_latency,
-        ));
+        let classify_start = Instant::now();
+        let run = classify_run(golden, stop, p.client_status(), final_trace, crash_latency);
+        let meta = RunMeta {
+            icount: p.icount().saturating_sub(activation_icount),
+            run_micros,
+            classify_micros: micros_since(classify_start),
+        };
+        runs.push((run, meta));
     }
-    Ok(runs)
+    let group = GroupMeta {
+        boot_micros,
+        snapshot_micros,
+        restores: p.restore_count(),
+        activated: true,
+    };
+    Ok((runs, group))
 }
 
 /// Determine the §6.2 mapping context for the corrupted byte.

@@ -197,6 +197,19 @@ impl Process {
         self.machine.icount
     }
 
+    /// Instructions retired since an earlier [`Process::icount`] mark.
+    /// Note a [`Process::restore`] rewinds `icount`, so take the mark
+    /// after the restore when measuring one replayed suffix.
+    pub fn icount_since(&self, mark: u64) -> u64 {
+        self.machine.icount.saturating_sub(mark)
+    }
+
+    /// How many checkpoint restores this process has performed
+    /// (monotonic — restoring does not rewind it).
+    pub fn restore_count(&self) -> u64 {
+        self.machine.restore_count()
+    }
+
     /// The client's verdict so far.
     pub fn client_status(&self) -> ClientStatus {
         self.channel.client_status()
@@ -387,6 +400,26 @@ mod tests {
 
     fn build(src: &str) -> fisec_asm::Image {
         fisec_cc::build_image(&[src]).expect("build")
+    }
+
+    #[test]
+    fn restore_count_counts_process_rewinds() {
+        let img = build("int main() { return 42; }");
+        let mut p = Process::load(&img, ScriptClient::new(&[])).unwrap();
+        assert_eq!(p.restore_count(), 0);
+        let snap = p.snapshot();
+        let mark = p.icount();
+        assert_eq!(p.run(), Stop::Exited(42));
+        let ran = p.icount_since(mark);
+        assert!(ran > 0);
+        p.restore(&snap);
+        assert_eq!(p.restore_count(), 1);
+        // The rewound process replays to the same stop with the same
+        // instruction delta.
+        let mark = p.icount();
+        assert_eq!(p.run(), Stop::Exited(42));
+        assert_eq!(p.icount_since(mark), ran);
+        assert_eq!(p.restore_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,438 @@
+//! The structured run-event stream: schema, sinks and JSONL transport.
+//!
+//! A trace is a sequence of [`TraceEvent`]s. On disk each event is one
+//! JSON object per line, tagged by an `"event"` field:
+//!
+//! ```text
+//! {"event":"campaign","app":"ftpd","scheme":"baseline x86",...}
+//! {"event":"run","client":0,"addr":134512678,"byte_index":0,"bit":3,...}
+//! {"event":"campaign_end","app":"ftpd","wall_micros":812345,...}
+//! ```
+//!
+//! The `campaign` header scopes the `run` events that follow it (their
+//! `client` field indexes its `clients` array), and `campaign_end`
+//! closes the campaign with the phase breakdown, so a saved stream is a
+//! self-contained, replayable record of the whole experiment.
+
+use serde::{Deserialize, Serialize, Value};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Campaign header: identifies the app/scheme/engine and names the
+/// clients so per-run events can reference them by index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignEvent {
+    /// Application name ("ftpd"/"sshd").
+    pub app: String,
+    /// Encoding scheme label (`EncodingScheme`'s `Display`).
+    pub scheme: String,
+    /// Execution engine: "snapshot" or "from-scratch".
+    pub mode: String,
+    /// Targeted instructions.
+    pub instructions: usize,
+    /// Conditional branches among them.
+    pub cond_branches: usize,
+    /// Injection runs per client (= target bits).
+    pub runs_per_client: usize,
+    /// Client names in paper order.
+    pub clients: Vec<String>,
+    /// Whether the golden run denies each client (same order).
+    pub golden_denied: Vec<bool>,
+}
+
+/// One injection run. Exactly one of these is emitted per experiment,
+/// including runs the NA pre-filter classified without execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunEvent {
+    /// Index into the enclosing campaign header's `clients`.
+    pub client: usize,
+    /// Target instruction address.
+    pub addr: u32,
+    /// Byte within the instruction.
+    pub byte_index: u8,
+    /// Bit within the byte.
+    pub bit: u8,
+    /// Outcome abbreviation: NA/NM/SD/FSV/BRK.
+    pub outcome: String,
+    /// Error-location index in Table 2 order.
+    pub location: u8,
+    /// Worker thread that executed the run (0 = the campaign thread).
+    pub worker: usize,
+    /// True when the run replayed a checkpoint instead of booting fresh.
+    pub snapshot_replay: bool,
+    /// True when the run was classified NA from golden coverage without
+    /// ever executing (the pre-filter); `icount`/`micros` are then 0.
+    pub na_prefilter: bool,
+    /// Guest instructions retired for this run (since the restore point
+    /// for snapshot replays, since boot for fresh runs).
+    pub icount: u64,
+    /// Host microseconds spent executing the run (excluding the shared
+    /// boot-to-breakpoint prefix of a snapshot group).
+    pub micros: u64,
+    /// Crash latency in instructions, when the run crashed.
+    pub crash_latency: Option<u64>,
+    /// Whether pre-crash traffic deviated from golden.
+    pub transient_deviation: bool,
+}
+
+/// Campaign trailer: wall-clock, the phase breakdown and engine-level
+/// aggregates for the whole campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CampaignEndEvent {
+    /// Wall-clock microseconds for the whole campaign.
+    pub wall_micros: u64,
+    /// Attributed microseconds: booting processes to the breakpoint.
+    pub boot_micros: u64,
+    /// Attributed microseconds: capturing checkpoints.
+    pub snapshot_micros: u64,
+    /// Attributed microseconds: executing post-flip suffixes.
+    pub replay_micros: u64,
+    /// Attributed microseconds: classifying outcomes against golden.
+    pub classify_micros: u64,
+    /// Attributed microseconds: tallying and reassembling results.
+    pub reassemble_micros: u64,
+    /// Total injection runs.
+    pub runs: u64,
+    /// Runs classified NA by the golden-coverage pre-filter.
+    pub na_prefilter_runs: u64,
+    /// Checkpoint restores performed.
+    pub restores: u64,
+    /// Fresh process boots (golden runs, group boots, from-scratch runs).
+    pub fresh_boots: u64,
+}
+
+/// One element of a telemetry trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Campaign header.
+    Campaign(CampaignEvent),
+    /// One injection run.
+    Run(RunEvent),
+    /// Campaign trailer.
+    CampaignEnd(CampaignEndEvent),
+}
+
+impl TraceEvent {
+    fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::Campaign(_) => "campaign",
+            TraceEvent::Run(_) => "run",
+            TraceEvent::CampaignEnd(_) => "campaign_end",
+        }
+    }
+
+    /// Encode as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let body = match self {
+            TraceEvent::Campaign(e) => e.serialize(),
+            TraceEvent::Run(e) => e.serialize(),
+            TraceEvent::CampaignEnd(e) => e.serialize(),
+        };
+        let mut fields = vec![("event".to_string(), Value::Str(self.tag().to_string()))];
+        if let Value::Object(body_fields) = body {
+            fields.extend(body_fields);
+        }
+        serde_json::to_string(&Value::Object(fields)).expect("events contain no non-finite floats")
+    }
+
+    /// Decode one JSON line.
+    ///
+    /// # Errors
+    /// A message when the line is not JSON, lacks an `event` tag, or
+    /// does not match the tagged schema.
+    pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+        let Value::Str(tag) = v.field("event") else {
+            return Err("missing `event` tag".to_string());
+        };
+        match tag.as_str() {
+            "campaign" => CampaignEvent::deserialize(&v)
+                .map(TraceEvent::Campaign)
+                .map_err(|e| format!("campaign event: {e}")),
+            "run" => RunEvent::deserialize(&v)
+                .map(TraceEvent::Run)
+                .map_err(|e| format!("run event: {e}")),
+            "campaign_end" => CampaignEndEvent::deserialize(&v)
+                .map(TraceEvent::CampaignEnd)
+                .map_err(|e| format!("campaign_end event: {e}")),
+            other => Err(format!("unknown event tag `{other}`")),
+        }
+    }
+}
+
+/// Destination for the event stream. Implementations must tolerate
+/// concurrent emission from worker threads.
+pub trait EventSink: Send + Sync {
+    /// Does emitting to this sink do anything? Engines skip building
+    /// events entirely when this is false.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event.
+    fn emit(&self, ev: &TraceEvent);
+
+    /// Record a batch under one lock acquisition where possible.
+    /// Workers buffer per-group and flush through this.
+    fn emit_batch(&self, evs: &[TraceEvent]) {
+        for ev in evs {
+            self.emit(ev);
+        }
+    }
+
+    /// Push buffered output to its destination.
+    fn flush(&self) {}
+}
+
+/// The zero-cost default sink: drops everything, reports disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&self, _ev: &TraceEvent) {}
+}
+
+/// Collects events in memory; the differential tests compare its
+/// contents against the campaign result.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// New empty collector.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Copy of everything collected so far, in emission order.
+    ///
+    /// # Panics
+    /// If a thread panicked while emitting (poisoned lock).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("no emitter panicked").clone()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, ev: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("no emitter panicked")
+            .push(ev.clone());
+    }
+
+    fn emit_batch(&self, evs: &[TraceEvent]) {
+        self.events
+            .lock()
+            .expect("no emitter panicked")
+            .extend_from_slice(evs);
+    }
+}
+
+/// Streams events as JSON Lines to any writer (normally a file created
+/// by the CLI's `--trace-out`).
+pub struct JsonlSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and stream events into it.
+    ///
+    /// # Errors
+    /// The underlying [`std::fs::File::create`] error.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let f = std::fs::File::create(path)?;
+        Ok(JsonlSink::from_writer(Box::new(f)))
+    }
+
+    /// Stream events into an arbitrary writer.
+    pub fn from_writer(w: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink {
+            out: Mutex::new(BufWriter::new(w)),
+        }
+    }
+
+    fn write_line(w: &mut BufWriter<Box<dyn Write + Send>>, ev: &TraceEvent) {
+        // A full disk mid-campaign should not kill the experiment;
+        // the stats replayer reports truncated streams instead.
+        let _ = writeln!(w, "{}", ev.to_json_line());
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, ev: &TraceEvent) {
+        let mut w = self.out.lock().expect("no emitter panicked");
+        JsonlSink::write_line(&mut w, ev);
+    }
+
+    fn emit_batch(&self, evs: &[TraceEvent]) {
+        let mut w = self.out.lock().expect("no emitter panicked");
+        for ev in evs {
+            JsonlSink::write_line(&mut w, ev);
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("no emitter panicked").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Parse a JSONL event stream. Blank lines are skipped; the first
+/// malformed line aborts with its line number.
+///
+/// # Errors
+/// A message naming the offending line.
+pub fn read_jsonl(r: impl BufRead) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(TraceEvent::parse_line(&line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+/// [`read_jsonl`] over a file path.
+///
+/// # Errors
+/// A message for unreadable files or malformed lines.
+pub fn read_jsonl_path(path: impl AsRef<Path>) -> Result<Vec<TraceEvent>, String> {
+    let path = path.as_ref();
+    let f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    read_jsonl(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> RunEvent {
+        RunEvent {
+            client: 0,
+            addr: 0x0804_8012,
+            byte_index: 1,
+            bit: 6,
+            outcome: "BRK".to_string(),
+            location: 0,
+            worker: 3,
+            snapshot_replay: true,
+            na_prefilter: false,
+            icount: 48_211,
+            micros: 412,
+            crash_latency: None,
+            transient_deviation: false,
+        }
+    }
+
+    #[test]
+    fn run_event_round_trips() {
+        let ev = TraceEvent::Run(sample_run());
+        let line = ev.to_json_line();
+        assert!(line.starts_with("{\"event\":\"run\""), "{line}");
+        assert_eq!(TraceEvent::parse_line(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn campaign_events_round_trip() {
+        let hdr = TraceEvent::Campaign(CampaignEvent {
+            app: "ftpd".to_string(),
+            scheme: "baseline x86".to_string(),
+            mode: "snapshot".to_string(),
+            instructions: 42,
+            cond_branches: 27,
+            runs_per_client: 1072,
+            clients: vec!["Client1".to_string(), "Client2".to_string()],
+            golden_denied: vec![true, false],
+        });
+        let end = TraceEvent::CampaignEnd(CampaignEndEvent {
+            wall_micros: 1_000_000,
+            replay_micros: 700_000,
+            runs: 2144,
+            ..CampaignEndEvent::default()
+        });
+        for ev in [hdr, end] {
+            assert_eq!(TraceEvent::parse_line(&ev.to_json_line()).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TraceEvent::parse_line("not json").is_err());
+        assert!(TraceEvent::parse_line("{\"no\":\"tag\"}").is_err());
+        assert!(TraceEvent::parse_line("{\"event\":\"martian\"}").is_err());
+        let err = TraceEvent::parse_line("{\"event\":\"run\",\"client\":0}").unwrap_err();
+        assert!(err.contains("run event"), "{err}");
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = MemorySink::new();
+        let a = TraceEvent::Run(sample_run());
+        let b = TraceEvent::CampaignEnd(CampaignEndEvent::default());
+        sink.emit(&a);
+        sink.emit_batch(std::slice::from_ref(&b));
+        assert_eq!(sink.events(), vec![a, b]);
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_reader() {
+        // Write through a JsonlSink into a shared buffer, then parse.
+        #[derive(Clone, Default)]
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Shared::default();
+        let sink = JsonlSink::from_writer(Box::new(buf.clone()));
+        let ev = TraceEvent::Run(sample_run());
+        sink.emit(&ev);
+        sink.emit_batch(&[ev.clone(), ev.clone()]);
+        sink.flush();
+        let bytes = buf.0.lock().unwrap().clone();
+        let got = read_jsonl(&bytes[..]).unwrap();
+        assert_eq!(got, vec![ev.clone(), ev.clone(), ev]);
+    }
+
+    #[test]
+    fn read_jsonl_skips_blanks_and_reports_line_numbers() {
+        let ok = "\n{\"event\":\"campaign_end\",\"wall_micros\":1,\"boot_micros\":0,\
+                  \"snapshot_micros\":0,\"replay_micros\":0,\"classify_micros\":0,\
+                  \"reassemble_micros\":0,\"runs\":0,\"na_prefilter_runs\":0,\
+                  \"restores\":0,\"fresh_boots\":0}\n\n";
+        assert_eq!(read_jsonl(ok.as_bytes()).unwrap().len(), 1);
+        let err = read_jsonl("{}\n".as_bytes()).unwrap_err();
+        assert!(err.starts_with("line 1"), "{err}");
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        NullSink.emit(&TraceEvent::CampaignEnd(CampaignEndEvent::default()));
+    }
+}

@@ -1,0 +1,135 @@
+//! # fisec-telemetry — observability for the injection engine
+//!
+//! The campaign engine drives hundreds of thousands of simulated
+//! process runs; this crate is how you *see* it working, NFTAPE-style
+//! (the paper's harness logged every injection run for post-hoc
+//! analysis, §4). Three layers, all zero-cost when disabled:
+//!
+//! * an **event stream** ([`event`]): one structured record per
+//!   injection run (target, outcome, worker, snapshot-vs-fresh-boot,
+//!   NA-prefilter hit, instructions, microseconds), emitted through an
+//!   [`EventSink`] — a no-op [`NullSink`], an in-memory collector
+//!   ([`MemorySink`]) or a JSONL writer ([`JsonlSink`]) whose output
+//!   `fisec stats` can replay back into the paper's tables;
+//! * a **metrics registry** ([`metrics`]): named counters and log₂
+//!   histograms (replay latency, group size, queue wait, icount per
+//!   run) accumulated in per-worker [`MetricsShard`]s that merge into
+//!   the shared [`MetricsRegistry`] only when a worker finishes, so the
+//!   hot path never contends a lock;
+//! * a **phase profiler** ([`profile`]): attributes campaign wall-clock
+//!   to boot / snapshot / replay / classify / reassemble and renders a
+//!   breakdown table, giving every perf PR a measured baseline.
+//!
+//! A [`Telemetry`] bundle carries all three plus a live [`Progress`]
+//! meter (runs/s, ETA, per-outcome tally on stderr). The engine takes
+//! `&Telemetry`; [`Telemetry::disabled`] makes every instrumentation
+//! site a single branch.
+
+pub mod event;
+pub mod metrics;
+pub mod profile;
+pub mod progress;
+
+pub use event::{
+    read_jsonl, read_jsonl_path, CampaignEndEvent, CampaignEvent, EventSink, JsonlSink, MemorySink,
+    NullSink, RunEvent, TraceEvent,
+};
+pub use metrics::{metric, LogHistogram, MetricsRegistry, MetricsShard};
+pub use profile::{render_phase_table, Phase, PhaseTimes};
+pub use progress::Progress;
+
+use std::sync::Arc;
+
+/// Everything the campaign engine needs to report what it is doing:
+/// an event sink, a metrics registry and a live progress meter.
+pub struct Telemetry {
+    enabled: bool,
+    /// Destination for the structured per-run event stream.
+    pub sink: Arc<dyn EventSink>,
+    /// Counters, histograms and phase timings, merged across workers.
+    pub metrics: MetricsRegistry,
+    /// Live throughput/ETA meter (stderr).
+    pub progress: Progress,
+}
+
+impl Telemetry {
+    /// The default: every sink is a no-op and instrumentation sites
+    /// reduce to one `enabled()` branch.
+    pub fn disabled() -> Telemetry {
+        Telemetry {
+            enabled: false,
+            sink: Arc::new(NullSink),
+            metrics: MetricsRegistry::new(),
+            progress: Progress::new(false),
+        }
+    }
+
+    /// Full collection into `sink`, with the live progress meter on
+    /// when `progress` is set.
+    pub fn new(sink: Arc<dyn EventSink>, progress: bool) -> Telemetry {
+        Telemetry {
+            enabled: true,
+            sink,
+            metrics: MetricsRegistry::new(),
+            progress: Progress::new(progress),
+        }
+    }
+
+    /// Metrics and phase profile only: no event stream, no progress
+    /// meter. Used by benches and the report generator to print a
+    /// breakdown without paying for per-run events.
+    pub fn collecting() -> Telemetry {
+        Telemetry {
+            enabled: true,
+            sink: Arc::new(NullSink),
+            metrics: MetricsRegistry::new(),
+            progress: Progress::new(false),
+        }
+    }
+
+    /// Should the engine collect metrics/timings at all?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Should the engine build per-run events? (Implies [`enabled`](Telemetry::enabled).)
+    pub fn events_enabled(&self) -> bool {
+        self.enabled && self.sink.enabled()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled)
+            .field("events", &self.sink.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_bundle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        assert!(!t.events_enabled());
+        assert!(!t.sink.enabled());
+    }
+
+    #[test]
+    fn memory_bundle_collects() {
+        let t = Telemetry::new(Arc::new(MemorySink::new()), false);
+        assert!(t.enabled());
+        assert!(t.events_enabled());
+    }
+
+    #[test]
+    fn collecting_bundle_has_no_event_stream() {
+        let t = Telemetry::collecting();
+        assert!(t.enabled());
+        assert!(!t.events_enabled());
+    }
+}

@@ -1,0 +1,346 @@
+//! Counters and log₂-scale histograms, sharded per worker.
+//!
+//! The injection hot path must never contend a lock, so workers record
+//! into a private [`MetricsShard`] and fold it into the shared
+//! [`MetricsRegistry`] exactly once, when they finish. The registry's
+//! mutex is therefore taken O(workers) times per campaign, not O(runs).
+
+use crate::profile::{Phase, PhaseTimes};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Canonical metric names used by the campaign engine.
+pub mod metric {
+    /// Counter: total injection runs executed or synthesized.
+    pub const RUNS: &str = "runs";
+    /// Counter: checkpoint groups executed.
+    pub const GROUPS: &str = "groups";
+    /// Counter: runs classified NA by the golden-coverage pre-filter.
+    pub const NA_PREFILTER_RUNS: &str = "na_prefilter_runs";
+    /// Counter: fresh process boots (golden, group or from-scratch).
+    pub const FRESH_BOOTS: &str = "fresh_boots";
+    /// Counter: checkpoint restores.
+    pub const RESTORES: &str = "restores";
+    /// Histogram: host microseconds per run replay.
+    pub const REPLAY_MICROS: &str = "replay_micros_per_run";
+    /// Histogram: guest instructions retired per run.
+    pub const ICOUNT: &str = "icount_per_run";
+    /// Histogram: targets per checkpoint group.
+    pub const GROUP_SIZE: &str = "group_size";
+    /// Histogram: microseconds a worker waited to obtain its next group.
+    pub const QUEUE_WAIT: &str = "queue_wait_micros";
+    /// Histogram: checkpoint restores per group.
+    pub const RESTORES_PER_GROUP: &str = "restores_per_group";
+}
+
+/// Number of log₂ buckets; bucket `i` covers `(2^(i-1), 2^i]`, with 0
+/// and 1 in bucket 0 and everything above `2^62` folded into the last.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A fixed-size log₂ histogram of `u64` samples. Recording is two adds
+/// and a bucket increment — cheap enough for the per-run path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Bucket frequencies.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+/// Bucket index for a sample: smallest `x` with `v <= 2^x`.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    let x = 64 - (v - 1).leading_zeros() as usize;
+    x.min(HIST_BUCKETS - 1)
+}
+
+impl LogHistogram {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.sum += v;
+        self.min = if self.count == 0 { v } else { self.min.min(v) };
+        self.max = self.max.max(v);
+        self.count += 1;
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0..=1.0`), clamped to the observed max; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return (1u64 << i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A worker-private accumulation of counters, histograms and phase
+/// timings. No interior locking: exactly one thread writes a shard.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsShard {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, LogHistogram>,
+    phases: PhaseTimes,
+}
+
+impl MetricsShard {
+    /// New empty shard.
+    pub fn new() -> MetricsShard {
+        MetricsShard::default()
+    }
+
+    /// Add `by` to the counter `name`.
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Record `v` into the histogram `name`.
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// Attribute `micros` to `phase`.
+    pub fn phase_add(&mut self, phase: Phase, micros: u64) {
+        self.phases.add(phase, micros);
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram, if anything was observed under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// The phase timings accumulated in this shard.
+    pub fn phases(&self) -> &PhaseTimes {
+        &self.phases
+    }
+
+    /// Fold another shard into this one.
+    pub fn merge(&mut self, other: &MetricsShard) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
+        self.phases.merge(&other.phases);
+    }
+
+    /// Render counters and histogram summaries as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name:<24} {v:>12}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name:<24} n={:<9} mean={:<11.1} p50<={:<9} p99<={:<11} max={}\n",
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max
+            ));
+        }
+        out
+    }
+}
+
+/// The shared sink worker shards merge into at join time.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    merged: Mutex<MetricsShard>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Fold a finished worker's shard into the registry. Called once
+    /// per worker per campaign — never on the per-run path.
+    ///
+    /// # Panics
+    /// If another thread panicked while merging (poisoned lock).
+    pub fn absorb(&self, shard: &MetricsShard) {
+        self.merged.lock().expect("no merger panicked").merge(shard);
+    }
+
+    /// A copy of everything merged so far.
+    ///
+    /// # Panics
+    /// If another thread panicked while merging (poisoned lock).
+    pub fn snapshot(&self) -> MetricsShard {
+        self.merged.lock().expect("no merger panicked").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = LogHistogram::default();
+        for v in [1, 2, 50, 99, 100, 20_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 20_000);
+        assert_eq!(h.sum, 20_252);
+        assert!((h.mean() - 20_252.0 / 6.0).abs() < 1e-9);
+        // p50 falls in the bucket holding the 3rd sample (50 -> 2^6).
+        assert_eq!(h.quantile(0.5), 64);
+        assert_eq!(h.quantile(1.0), 20_000);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        let mut all = LogHistogram::default();
+        for (i, v) in [3u64, 7, 900, 12, 0, 44_000].iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.record(*v);
+            all.record(*v);
+        }
+        let mut merged = LogHistogram::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, all);
+        // Merging an empty histogram is a no-op.
+        merged.merge(&LogHistogram::default());
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = LogHistogram::default();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn shard_roundtrip_and_merge() {
+        let mut a = MetricsShard::new();
+        a.inc(metric::RUNS, 10);
+        a.observe(metric::GROUP_SIZE, 48);
+        a.phase_add(Phase::Replay, 500);
+        let mut b = MetricsShard::new();
+        b.inc(metric::RUNS, 5);
+        b.inc(metric::GROUPS, 1);
+        b.observe(metric::GROUP_SIZE, 16);
+        a.merge(&b);
+        assert_eq!(a.counter(metric::RUNS), 15);
+        assert_eq!(a.counter(metric::GROUPS), 1);
+        assert_eq!(a.counter("never"), 0);
+        assert_eq!(a.histogram(metric::GROUP_SIZE).unwrap().count, 2);
+        assert!(a.histogram("never").is_none());
+        assert_eq!(a.phases().get(Phase::Replay), 500);
+    }
+
+    #[test]
+    fn registry_absorbs_from_threads() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut shard = MetricsShard::new();
+                    for i in 0..100 {
+                        shard.inc(metric::RUNS, 1);
+                        shard.observe(metric::REPLAY_MICROS, i);
+                    }
+                    reg.absorb(&shard);
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(metric::RUNS), 400);
+        assert_eq!(snap.histogram(metric::REPLAY_MICROS).unwrap().count, 400);
+    }
+
+    #[test]
+    fn render_mentions_every_metric() {
+        let mut shard = MetricsShard::new();
+        shard.inc(metric::RUNS, 7);
+        shard.observe(metric::ICOUNT, 1000);
+        let s = shard.render();
+        assert!(s.contains("runs"), "{s}");
+        assert!(s.contains("icount_per_run"), "{s}");
+        assert!(s.contains("n=1"), "{s}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Live campaign progress on stderr: runs/s, completion, ETA and the
+//! running per-outcome tally.
+//!
+//! Workers report per *group* (not per run), so the meter's mutex is
+//! coarse-grained; prints are additionally throttled to a few per
+//! second so a fast campaign is not dominated by terminal writes.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Outcome labels in tally order (Table 1 order).
+pub const OUTCOME_LABELS: [&str; 5] = ["NA", "NM", "SD", "FSV", "BRK"];
+
+/// Minimum interval between prints.
+const PRINT_EVERY_MICROS: u64 = 250_000;
+
+#[derive(Debug)]
+struct State {
+    label: String,
+    total: u64,
+    done: u64,
+    groups: u64,
+    outcomes: [u64; 5],
+    started: Instant,
+    last_print_micros: u64,
+    printed: bool,
+}
+
+/// The live meter. Disabled instances are inert.
+#[derive(Debug)]
+pub struct Progress {
+    enabled: bool,
+    state: Mutex<State>,
+}
+
+impl Progress {
+    /// New meter; when `enabled` is false every method is a no-op.
+    pub fn new(enabled: bool) -> Progress {
+        Progress {
+            enabled,
+            state: Mutex::new(State {
+                label: String::new(),
+                total: 0,
+                done: 0,
+                groups: 0,
+                outcomes: [0; 5],
+                started: Instant::now(),
+                last_print_micros: 0,
+                printed: false,
+            }),
+        }
+    }
+
+    /// Is the meter printing?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Start a new campaign of `total_runs` expected runs.
+    ///
+    /// # Panics
+    /// If another reporter panicked (poisoned lock).
+    pub fn begin(&self, label: &str, total_runs: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut st = self.state.lock().expect("no reporter panicked");
+        st.label = label.to_string();
+        st.total = total_runs;
+        st.done = 0;
+        st.groups = 0;
+        st.outcomes = [0; 5];
+        st.started = Instant::now();
+        st.last_print_micros = 0;
+        st.printed = false;
+    }
+
+    /// Record a finished batch: per-outcome run counts plus how many
+    /// groups it closed. Prints at most every ~250 ms.
+    ///
+    /// # Panics
+    /// If another reporter panicked (poisoned lock).
+    pub fn add(&self, outcomes: [u64; 5], groups: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut st = self.state.lock().expect("no reporter panicked");
+        for (t, d) in st.outcomes.iter_mut().zip(&outcomes) {
+            *t += d;
+        }
+        st.done += outcomes.iter().sum::<u64>();
+        st.groups += groups;
+        let elapsed = st.started.elapsed().as_micros() as u64;
+        if elapsed.saturating_sub(st.last_print_micros) >= PRINT_EVERY_MICROS {
+            st.last_print_micros = elapsed;
+            Progress::print(&mut st, elapsed);
+        }
+    }
+
+    /// Print the final line (if anything was ever printed, end it with
+    /// a newline so later stderr output starts clean).
+    ///
+    /// # Panics
+    /// If another reporter panicked (poisoned lock).
+    pub fn finish(&self) {
+        if !self.enabled {
+            return;
+        }
+        let mut st = self.state.lock().expect("no reporter panicked");
+        let elapsed = st.started.elapsed().as_micros() as u64;
+        Progress::print(&mut st, elapsed);
+        if st.printed {
+            eprintln!();
+            st.printed = false;
+        }
+    }
+
+    fn print(st: &mut State, elapsed_micros: u64) {
+        let secs = (elapsed_micros as f64 / 1e6).max(1e-9);
+        let rate = st.done as f64 / secs;
+        let eta = if rate > 0.0 && st.total > st.done {
+            (st.total - st.done) as f64 / rate
+        } else {
+            0.0
+        };
+        let pct = if st.total == 0 {
+            100.0
+        } else {
+            st.done as f64 * 100.0 / st.total as f64
+        };
+        let mut tally = String::new();
+        for (label, n) in OUTCOME_LABELS.iter().zip(&st.outcomes) {
+            tally.push_str(&format!("  {label} {n}"));
+        }
+        eprint!(
+            "\r{}: {}/{} runs ({pct:.1}%)  {} groups  {rate:.0} runs/s  ETA {eta:.1}s{tally}   ",
+            st.label, st.done, st.total, st.groups
+        );
+        let _ = std::io::stderr().flush();
+        st.printed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_meter_is_inert() {
+        let p = Progress::new(false);
+        assert!(!p.enabled());
+        p.begin("ftpd", 100);
+        p.add([1, 2, 3, 4, 5], 1);
+        p.finish();
+        let st = p.state.lock().unwrap();
+        assert_eq!(st.done, 0, "disabled meter must not accumulate");
+    }
+
+    #[test]
+    fn tallies_accumulate_per_outcome() {
+        // Enabled meter, but throttling keeps the test from printing
+        // more than the final line to stderr.
+        let p = Progress::new(true);
+        p.begin("test", 30);
+        p.add([10, 0, 0, 0, 0], 2);
+        p.add([5, 5, 4, 0, 1], 3);
+        {
+            let st = p.state.lock().unwrap();
+            assert_eq!(st.done, 25);
+            assert_eq!(st.groups, 5);
+            assert_eq!(st.outcomes, [15, 5, 4, 0, 1]);
+        }
+        p.finish();
+    }
+
+    #[test]
+    fn begin_resets_between_campaigns() {
+        let p = Progress::new(true);
+        p.begin("a", 10);
+        p.add([10, 0, 0, 0, 0], 1);
+        p.begin("b", 20);
+        let st = p.state.lock().unwrap();
+        assert_eq!(st.done, 0);
+        assert_eq!(st.total, 20);
+        assert_eq!(st.label, "b");
+    }
+}

@@ -144,6 +144,7 @@ pub struct Machine {
     trace_next: usize,
     coverage: Option<std::collections::HashSet<u32>>,
     decoder: fn(&[u8]) -> Inst,
+    restores: u64,
 }
 
 /// Architectural state captured by [`Machine::snapshot`].
@@ -184,6 +185,7 @@ impl Machine {
             trace_next: 0,
             coverage: None,
             decoder: decode,
+            restores: 0,
         }
     }
 
@@ -219,6 +221,14 @@ impl Machine {
         self.trace_next = snap.trace_next;
         self.coverage = snap.coverage.clone();
         self.icache.clear();
+        self.restores += 1;
+    }
+
+    /// How many times [`Machine::restore`] has rewound this machine.
+    /// Monotonic across restores (deliberately *not* snapshot state) —
+    /// the telemetry layer reports it as replay work performed.
+    pub fn restore_count(&self) -> u64 {
+        self.restores
     }
 
     /// Record the set of distinct EIPs executed from now on. The
@@ -1348,6 +1358,23 @@ mod tests {
     fn run_steps(m: &mut Machine, n: usize) {
         for _ in 0..n {
             assert_eq!(m.step(), StepEvent::Executed, "at eip={:#x}", m.cpu.eip);
+        }
+    }
+
+    #[test]
+    fn restore_count_is_monotonic_across_rewinds() {
+        // mov eax, 5; inc eax
+        let mut m = machine(vec![0xB8, 5, 0, 0, 0, 0x40]);
+        assert_eq!(m.restore_count(), 0);
+        run_steps(&mut m, 1);
+        let snap = m.snapshot();
+        for expected in 1..=3 {
+            run_steps(&mut m, 1);
+            m.restore(&snap);
+            assert_eq!(m.restore_count(), expected);
+            // The counter is replay work performed, not snapshot state:
+            // rewinding must not rewind it.
+            assert_eq!(m.icount, 1);
         }
     }
 
