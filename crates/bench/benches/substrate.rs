@@ -42,17 +42,27 @@ fn bench_interpreter(c: &mut Criterion) {
     ]);
     let mut g = c.benchmark_group("interpreter");
     g.throughput(Throughput::Elements(n as u64 * 4));
-    g.bench_function("alu_loop_instructions", |b| {
-        b.iter(|| {
-            let mut mem = Memory::new();
-            mem.map(Region::with_data("text", 0x1000, text.clone(), Perms::RX))
-                .unwrap();
-            let mut m = Machine::new(mem);
-            m.cpu.eip = 0x1000;
-            let out = m.run_until_event(1 + u64::from(n) * 4);
-            std::hint::black_box((out, m.cpu.regs[0]))
-        })
-    });
+    // Same loop under the block-dispatch engine (default) and the
+    // per-step reference: elements/sec is instructions/sec, so the
+    // ratio of the two is the raw interpreter speedup the block cache
+    // buys (EXPERIMENTS.md records measured numbers).
+    for (label, block_engine) in [
+        ("alu_loop_block_engine", true),
+        ("alu_loop_stepwise", false),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut mem = Memory::new();
+                mem.map(Region::with_data("text", 0x1000, text.clone(), Perms::RX))
+                    .unwrap();
+                let mut m = Machine::new(mem);
+                m.set_block_engine(block_engine);
+                m.cpu.eip = 0x1000;
+                let out = m.run_until_event(1 + u64::from(n) * 4);
+                std::hint::black_box((out, m.cpu.regs[0]))
+            })
+        });
+    }
     g.finish();
 }
 
@@ -79,12 +89,19 @@ fn bench_campaign_engines(c: &mut Criterion) {
     let mut g = c.benchmark_group("campaign");
     g.sample_size(10);
     g.throughput(Throughput::Elements(runs as u64));
-    for (label, mode) in [
-        ("snapshot_engine", ExecutionMode::Snapshot),
-        ("from_scratch_engine", ExecutionMode::FromScratch),
+    for (label, mode, block_cache) in [
+        ("snapshot_engine", ExecutionMode::Snapshot, true),
+        ("snapshot_no_block_cache", ExecutionMode::Snapshot, false),
+        ("from_scratch_engine", ExecutionMode::FromScratch, true),
+        (
+            "from_scratch_no_block_cache",
+            ExecutionMode::FromScratch,
+            false,
+        ),
     ] {
         let cfg = CampaignConfig {
             mode,
+            block_cache,
             ..CampaignConfig::default()
         };
         g.bench_function(label, |b| {

@@ -45,6 +45,7 @@ struct Args {
     stride: usize,
     json: bool,
     new_encoding: bool,
+    no_block_cache: bool,
     trace_out: Option<String>,
     progress: bool,
     path: Option<String>,
@@ -70,6 +71,7 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         stride: 4,
         json: false,
         new_encoding: false,
+        no_block_cache: false,
         trace_out: None,
         progress: false,
         path: None,
@@ -95,6 +97,7 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
             }
             "--json" => a.json = true,
             "--new-encoding" => a.new_encoding = true,
+            "--no-block-cache" => a.no_block_cache = true,
             "--trace-out" => a.trace_out = Some(val("--trace-out")?),
             "--progress" => a.progress = true,
             other if !other.starts_with('-') && a.path.is_none() => a.path = Some(flag),
@@ -108,7 +111,7 @@ fn usage() -> String {
     "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|ablation|forensics|stats> [flags]\n\
      flags: --app ftpd|sshd|both  --func NAME  --client N  --runs N  --samples N\n\
             --seed S  --threads N  --top K  --stride N  --json  --new-encoding\n\
-            --trace-out PATH  --progress\n\
+            --no-block-cache  --trace-out PATH  --progress\n\
      stats takes the trace file as a positional argument: fisec stats run.jsonl"
         .to_string()
 }
@@ -125,6 +128,7 @@ fn apps_for(name: &str) -> Result<Vec<AppSpec>, String> {
 fn cfg_of(a: &Args, scheme: EncodingScheme) -> CampaignConfig {
     let mut cfg = CampaignConfig {
         scheme,
+        block_cache: !a.no_block_cache,
         ..CampaignConfig::default()
     };
     if let Some(t) = a.threads {
@@ -514,6 +518,16 @@ mod tests {
         assert_eq!(a.trace_out.as_deref(), Some("t.jsonl"));
         assert_eq!(a.stride, 1);
         assert_eq!(a.client, 3);
+    }
+
+    #[test]
+    fn no_block_cache_flag_disables_engine() {
+        let a = parse(&["table1"]).unwrap();
+        assert!(!a.no_block_cache);
+        assert!(cfg_of(&a, EncodingScheme::Baseline).block_cache);
+        let a = parse(&["table1", "--no-block-cache"]).unwrap();
+        assert!(a.no_block_cache);
+        assert!(!cfg_of(&a, EncodingScheme::Baseline).block_cache);
     }
 
     #[test]

@@ -4,9 +4,9 @@ use crate::counts::{LocationCounts, OutcomeCounts};
 use fisec_apps::AppSpec;
 use fisec_encoding::EncodingScheme;
 use fisec_inject::{
-    enumerate_targets, golden_run, golden_run_with_coverage, run_injection_group_metered,
-    run_injection_metered, GoldenRun, GroupMeta, InjectionRun, InjectionTarget, OutcomeClass,
-    RunMeta,
+    enumerate_targets, golden_run_opts, golden_run_with_coverage_opts,
+    run_injection_group_metered_opts, run_injection_metered_opts, EngineOpts, GoldenRun, GroupMeta,
+    InjectionRun, InjectionTarget, OutcomeClass, RunMeta,
 };
 use fisec_os::Stop;
 use fisec_telemetry::{
@@ -56,6 +56,10 @@ pub struct CampaignConfig {
     pub threads: usize,
     /// Checkpoint-based fast path (default) or from-scratch oracle.
     pub mode: ExecutionMode,
+    /// Execute guests through the interpreter's basic-block cache
+    /// (default). `false` — the `--no-block-cache` escape hatch — forces
+    /// the reference per-step engine; results are bit-identical.
+    pub block_cache: bool,
 }
 
 impl Default for CampaignConfig {
@@ -65,6 +69,16 @@ impl Default for CampaignConfig {
             scheme: EncodingScheme::Baseline,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             mode: ExecutionMode::default(),
+            block_cache: true,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The engine options every process of this campaign boots with.
+    fn engine(&self) -> EngineOpts {
+        EngineOpts {
+            block_cache: self.block_cache,
         }
     }
 }
@@ -375,7 +389,7 @@ pub fn run_campaign_traced(app: &AppSpec, cfg: &CampaignConfig, tel: &Telemetry)
     let mut clients = Vec::with_capacity(app.clients.len());
     for (ci, spec) in app.clients.iter().enumerate() {
         let boot_start = Instant::now();
-        let golden = golden_run(&app.image, spec).expect("image loads");
+        let golden = golden_run_opts(&app.image, spec, cfg.engine()).expect("image loads");
         if tel.enabled() {
             main.inc(metric::FRESH_BOOTS, 1);
             main.phase_add(Phase::Boot, micros_since(boot_start));
@@ -497,6 +511,7 @@ fn run_targets_from_scratch(
     tel: &Telemetry,
     client_idx: usize,
 ) -> Vec<InjectionRun> {
+    let engine = cfg.engine();
     let threads = cfg.threads.max(1);
     if threads == 1 || targets.len() < 64 {
         let mut wt = WorkerTel::new(tel, client_idx, 0);
@@ -504,7 +519,7 @@ fn run_targets_from_scratch(
             .iter()
             .map(|t| {
                 let (run, meta, gmeta) =
-                    run_injection_metered(&app.image, spec, golden, t, cfg.scheme)
+                    run_injection_metered_opts(&app.image, spec, golden, t, cfg.scheme, engine)
                         .expect("image loads");
                 wt.note_fresh(t, &run, meta, gmeta);
                 run
@@ -523,9 +538,10 @@ fn run_targets_from_scratch(
                 let runs = shard
                     .iter()
                     .map(|t| {
-                        let (run, meta, gmeta) =
-                            run_injection_metered(&app.image, spec, golden, t, cfg.scheme)
-                                .expect("image loads");
+                        let (run, meta, gmeta) = run_injection_metered_opts(
+                            &app.image, spec, golden, t, cfg.scheme, engine,
+                        )
+                        .expect("image loads");
                         wt.note_fresh(t, &run, meta, gmeta);
                         run
                     })
@@ -584,7 +600,8 @@ fn run_targets_snapshot(
     // coverage set. Outside the safe cases every group runs for real.
     let coverage = if matches!(golden.stop, Stop::Exited(_) | Stop::Deadlock) {
         let cov_start = Instant::now();
-        let (gold2, cov) = golden_run_with_coverage(&app.image, spec).expect("image loads");
+        let (gold2, cov) =
+            golden_run_with_coverage_opts(&app.image, spec, cfg.engine()).expect("image loads");
         debug_assert_eq!(gold2.icount, golden.icount);
         if tel.enabled() {
             wt0.shard.inc(metric::FRESH_BOOTS, 1);
@@ -625,13 +642,20 @@ fn run_targets_snapshot(
     if threads <= 1 {
         for &gi in &live {
             let (_, group) = groups[gi];
-            let (runs, gmeta) =
-                run_injection_group_metered(&app.image, spec, golden, group, cfg.scheme)
-                    .expect("image loads");
+            let (runs, gmeta) = run_injection_group_metered_opts(
+                &app.image,
+                spec,
+                golden,
+                group,
+                cfg.scheme,
+                cfg.engine(),
+            )
+            .expect("image loads");
             wt0.note_group(group, &runs, gmeta);
             slots[gi] = Some(runs.into_iter().map(|(run, _)| run).collect());
         }
     } else {
+        let engine = cfg.engine();
         let next = AtomicUsize::new(0);
         let slots_mx = Mutex::new(&mut slots);
         std::thread::scope(|s| {
@@ -646,8 +670,8 @@ fn run_targets_snapshot(
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&gi) = live.get(i) else { break };
                         let (_, group) = groups[gi];
-                        let (runs, gmeta) = run_injection_group_metered(
-                            &app.image, spec, golden, group, cfg.scheme,
+                        let (runs, gmeta) = run_injection_group_metered_opts(
+                            &app.image, spec, golden, group, cfg.scheme, engine,
                         )
                         .expect("image loads");
                         wt.note_group(group, &runs, gmeta);
@@ -681,6 +705,7 @@ fn run_targets_snapshot(
 mod tests {
     use super::*;
     use fisec_apps::AppSpec;
+    use fisec_inject::golden_run;
 
     /// A cut-down campaign over a few targets to keep test time sane;
     /// the full campaigns run in the bench harness.

@@ -94,6 +94,26 @@ fn sshd_full_campaign_identical_across_engines_and_pinned() {
 }
 
 #[test]
+fn full_campaigns_identical_with_and_without_block_cache() {
+    // The interpreter's basic-block engine is a pure speedup: over the
+    // complete ftpd and sshd campaigns, in both execution modes, every
+    // per-run record must be identical with the cache disabled.
+    for app in [AppSpec::ftpd(), AppSpec::sshd()] {
+        for mode in [ExecutionMode::Snapshot, ExecutionMode::FromScratch] {
+            let blk = run_campaign(&app, &cfg(EncodingScheme::Baseline, mode));
+            let stp = run_campaign(
+                &app,
+                &CampaignConfig {
+                    block_cache: false,
+                    ..cfg(EncodingScheme::Baseline, mode)
+                },
+            );
+            assert_campaigns_identical(&blk, &stp);
+        }
+    }
+}
+
+#[test]
 fn snapshot_engine_agrees_sequential_vs_threaded() {
     // The work-queue scheduler must not perturb results or ordering.
     let mut app = AppSpec::ftpd();

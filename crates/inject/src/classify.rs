@@ -49,7 +49,11 @@ impl fmt::Display for OutcomeClass {
 }
 
 /// The recorded golden (error-free) run for one client pattern.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq` compare every field so the engine differential
+/// tests can pin block-mode and step-mode golden runs against each
+/// other.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GoldenRun {
     /// How the golden server stopped (normally `Exited(0)`).
     pub stop: Stop,

@@ -36,17 +36,57 @@ pub const BUDGET_MULTIPLIER: u64 = 8;
 /// Floor for the per-run budget.
 pub const BUDGET_FLOOR: u64 = 400_000;
 
+/// Execution-engine options threaded from the campaign configuration
+/// into every process an injection entry point boots. Orthogonal to
+/// [`EncodingScheme`]: the scheme changes *what* is injected, the engine
+/// options only change *how* execution is simulated — outcomes are
+/// bit-identical either way (pinned by differential tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOpts {
+    /// Execute through the basic-block cache (the default). `false` is
+    /// the `--no-block-cache` escape hatch: the reference per-step
+    /// interpreter.
+    pub block_cache: bool,
+}
+
+impl Default for EngineOpts {
+    fn default() -> EngineOpts {
+        EngineOpts { block_cache: true }
+    }
+}
+
+impl EngineOpts {
+    fn apply(self, p: &mut Process) {
+        p.machine.set_block_engine(self.block_cache);
+    }
+}
+
 /// Record the golden (error-free) run for a client pattern.
 ///
 /// # Errors
 /// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
 pub fn golden_run(image: &Image, client: &ClientSpec) -> Result<GoldenRun, fisec_os::LoadError> {
-    let r = fisec_os::run_session(image, client.make(), 50_000_000)?;
+    golden_run_opts(image, client, EngineOpts::default())
+}
+
+/// [`golden_run`] with explicit engine options.
+///
+/// # Errors
+/// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
+pub fn golden_run_opts(
+    image: &Image,
+    client: &ClientSpec,
+    engine: EngineOpts,
+) -> Result<GoldenRun, fisec_os::LoadError> {
+    let mut p = Process::load(image, client.make())?;
+    engine.apply(&mut p);
+    p.set_budget(50_000_000);
+    let stop = p.run();
     Ok(GoldenRun {
-        stop: r.stop,
-        client: r.client,
-        trace: r.trace,
-        icount: r.icount,
+        stop,
+        client: p.client_status(),
+        trace: p.trace(),
+        icount: p.icount(),
     })
 }
 
@@ -62,7 +102,20 @@ pub fn golden_run_with_coverage(
     image: &Image,
     client: &ClientSpec,
 ) -> Result<(GoldenRun, std::collections::HashSet<u32>), fisec_os::LoadError> {
+    golden_run_with_coverage_opts(image, client, EngineOpts::default())
+}
+
+/// [`golden_run_with_coverage`] with explicit engine options.
+///
+/// # Errors
+/// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
+pub fn golden_run_with_coverage_opts(
+    image: &Image,
+    client: &ClientSpec,
+    engine: EngineOpts,
+) -> Result<(GoldenRun, std::collections::HashSet<u32>), fisec_os::LoadError> {
     let mut p = Process::load(image, client.make())?;
+    engine.apply(&mut p);
     p.set_budget(50_000_000);
     p.machine.enable_coverage();
     let stop = p.run();
@@ -75,8 +128,7 @@ pub fn golden_run_with_coverage(
     let coverage = p
         .machine
         .coverage()
-        .expect("coverage was enabled before the run")
-        .clone();
+        .expect("coverage was enabled before the run");
     Ok((golden, coverage))
 }
 
@@ -143,8 +195,24 @@ pub fn run_injection_metered(
     target: &InjectionTarget,
     scheme: EncodingScheme,
 ) -> Result<(InjectionRun, RunMeta, GroupMeta), fisec_os::LoadError> {
+    run_injection_metered_opts(image, client, golden, target, scheme, EngineOpts::default())
+}
+
+/// [`run_injection_metered`] with explicit engine options.
+///
+/// # Errors
+/// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
+pub fn run_injection_metered_opts(
+    image: &Image,
+    client: &ClientSpec,
+    golden: &GoldenRun,
+    target: &InjectionTarget,
+    scheme: EncodingScheme,
+    engine: EngineOpts,
+) -> Result<(InjectionRun, RunMeta, GroupMeta), fisec_os::LoadError> {
     let boot_start = Instant::now();
     let mut p = Process::load(image, client.make())?;
+    engine.apply(&mut p);
     let budget = (golden.icount * BUDGET_MULTIPLIER).max(BUDGET_FLOOR);
     p.set_budget(budget);
     p.machine.add_breakpoint(target.addr);
@@ -260,6 +328,31 @@ pub fn run_injection_group_metered(
     targets: &[InjectionTarget],
     scheme: EncodingScheme,
 ) -> Result<(Vec<(InjectionRun, RunMeta)>, GroupMeta), fisec_os::LoadError> {
+    run_injection_group_metered_opts(
+        image,
+        client,
+        golden,
+        targets,
+        scheme,
+        EngineOpts::default(),
+    )
+}
+
+/// [`run_injection_group_metered`] with explicit engine options.
+///
+/// # Errors
+/// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
+///
+/// # Panics
+/// If the targets do not all share one instruction address.
+pub fn run_injection_group_metered_opts(
+    image: &Image,
+    client: &ClientSpec,
+    golden: &GoldenRun,
+    targets: &[InjectionTarget],
+    scheme: EncodingScheme,
+    engine: EngineOpts,
+) -> Result<(Vec<(InjectionRun, RunMeta)>, GroupMeta), fisec_os::LoadError> {
     let Some(addr) = targets.first().map(|t| t.addr) else {
         return Ok((Vec::new(), GroupMeta::default()));
     };
@@ -269,6 +362,7 @@ pub fn run_injection_group_metered(
     );
     let boot_start = Instant::now();
     let mut p = Process::load(image, client.make())?;
+    engine.apply(&mut p);
     let budget = (golden.icount * BUDGET_MULTIPLIER).max(BUDGET_FLOOR);
     p.set_budget(budget);
     p.machine.add_breakpoint(addr);

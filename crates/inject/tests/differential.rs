@@ -12,8 +12,8 @@
 use fisec_apps::AppSpec;
 use fisec_encoding::EncodingScheme;
 use fisec_inject::{
-    enumerate_targets, golden_run, run_injection, run_injection_group, InjectionTarget,
-    OutcomeClass,
+    enumerate_targets, golden_run, golden_run_opts, run_injection, run_injection_group,
+    run_injection_group_metered_opts, EngineOpts, InjectionTarget, OutcomeClass,
 };
 
 /// Group a target slice into contiguous same-address runs.
@@ -77,6 +77,57 @@ fn sshd_auth_password_slice_agrees_between_engines() {
     let slice: Vec<_> = set.targets.iter().take(3 * 48).copied().collect();
     assert!(!slice.is_empty());
     assert_paths_agree(&app, 0, &slice);
+}
+
+/// Run a target slice through the group replayer with the block engine
+/// on and off — golden runs included — and require field-for-field
+/// identical `InjectionRun` records under both encodings.
+fn assert_block_modes_agree(app: &AppSpec, client_idx: usize, slice: &[InjectionTarget]) {
+    let spec = &app.clients[client_idx];
+    let blk = EngineOpts { block_cache: true };
+    let stp = EngineOpts { block_cache: false };
+    let golden_blk = golden_run_opts(&app.image, spec, blk).unwrap();
+    let golden_stp = golden_run_opts(&app.image, spec, stp).unwrap();
+    assert_eq!(
+        golden_blk, golden_stp,
+        "{} {} golden runs diverged between block and step engines",
+        app.name, spec.name
+    );
+    for scheme in [EncodingScheme::Baseline, EncodingScheme::NewEncoding] {
+        for group in by_addr(slice) {
+            let fast =
+                run_injection_group_metered_opts(&app.image, spec, &golden_blk, group, scheme, blk)
+                    .unwrap();
+            let slow =
+                run_injection_group_metered_opts(&app.image, spec, &golden_stp, group, scheme, stp)
+                    .unwrap();
+            let fast: Vec<_> = fast.0.into_iter().map(|(run, _)| run).collect();
+            let slow: Vec<_> = slow.0.into_iter().map(|(run, _)| run).collect();
+            assert_eq!(
+                fast, slow,
+                "{} {} {:?} group at {:#010x} diverged between block and step engines",
+                app.name, spec.name, scheme, group[0].addr
+            );
+        }
+    }
+}
+
+#[test]
+fn ftpd_block_engine_agrees_with_step_engine() {
+    let app = AppSpec::ftpd();
+    let set = enumerate_targets(&app.image, &["pass"], true);
+    let slice: Vec<_> = set.targets.iter().take(3 * 48).copied().collect();
+    assert!(slice.len() >= 96);
+    assert_block_modes_agree(&app, 0, &slice);
+}
+
+#[test]
+fn sshd_block_engine_agrees_with_step_engine() {
+    let app = AppSpec::sshd();
+    let set = enumerate_targets(&app.image, &["auth_password"], true);
+    let slice: Vec<_> = set.targets.iter().take(2 * 48).copied().collect();
+    assert!(!slice.is_empty());
+    assert_block_modes_agree(&app, 0, &slice);
 }
 
 #[test]

@@ -177,6 +177,67 @@ proptest! {
     }
 }
 
+/// Injection-shaped group replay: restore to a boot snapshot, flip one
+/// text byte, run — repeated across a whole group of errors. The
+/// journal-based invalidation must retain the overwhelming majority of
+/// the block cache across the group (the injector only ever touches one
+/// byte per run), and every stop must match a step-engine reference.
+#[test]
+fn group_replay_retains_block_cache() {
+    let img = image();
+    let lines: Vec<Vec<u8>> = vec![b"hello\n".to_vec(), b"world\n".to_vec()];
+    let text_len = img.text.len() as u32;
+    let addr_of = |i: u32| img.text_base + (i * 37) % text_len;
+    const RUNS: u32 = 40;
+
+    let mut p = load(&lines, 100_000);
+    let snap = p.snapshot();
+    let _ = p.run(); // golden run primes the cache
+    let primed = p.machine.block_stats();
+    assert!(
+        primed.cached > 10,
+        "golden run populates the cache: {primed:?}"
+    );
+
+    let mut stops = Vec::new();
+    let inv0 = p.machine.block_stats().invalidated;
+    for i in 0..RUNS {
+        p.restore(&snap);
+        let orig = p.machine.mem.peek8(addr_of(i)).unwrap();
+        p.machine.mem.poke8(addr_of(i), orig ^ 0x04).unwrap();
+        stops.push(p.run());
+    }
+    let s = p.machine.block_stats();
+    // Wholesale invalidation would drop the full cache every replay
+    // (RUNS * cached blocks). Targeted invalidation drops only the
+    // blocks covering the flipped byte, at the poke and at the
+    // restore that reverts it — >95% of the cache survives each run.
+    let dropped = s.invalidated - inv0;
+    let wholesale = u64::from(RUNS) * primed.cached as u64;
+    assert!(
+        dropped * 20 <= wholesale,
+        ">95% of the block cache must survive each replay: dropped {dropped} \
+         of a wholesale {wholesale}: {s:?}"
+    );
+    assert!(s.hits > s.built, "replays are served from cache: {s:?}");
+
+    // Step-engine reference: identical stops, run for run.
+    let mut r = load(&lines, 100_000);
+    r.machine.set_block_engine(false);
+    let rsnap = r.snapshot();
+    let _ = r.run();
+    for i in 0..RUNS {
+        r.restore(&rsnap);
+        let orig = r.machine.mem.peek8(addr_of(i)).unwrap();
+        r.machine.mem.poke8(addr_of(i), orig ^ 0x04).unwrap();
+        assert_eq!(
+            r.run(),
+            stops[i as usize],
+            "run {i} diverged from step engine"
+        );
+    }
+}
+
 /// Deterministic (non-property) check that restore clears decode state:
 /// corrupt an executed instruction's bytes after the snapshot, run a
 /// little (so the corrupted decode lands in the icache), restore, and

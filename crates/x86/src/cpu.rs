@@ -8,6 +8,7 @@
 //! the paper's Figure 4 (instructions between error activation and crash)
 //! is measured with it.
 
+use crate::block::{lower, AluK, Block, BlockCache, BlockStats, LInst, MAX_BLOCK_INSTS};
 use crate::decode::decode;
 use crate::eflags::{AF, CF, DF, OF, PF, RESERVED1, SF, ZF};
 use crate::flags;
@@ -15,6 +16,8 @@ use crate::inst::{
     Cond, Fault, Inst, InvalidKind, MemOperand, Op, OpSize, Operand, Reg8, RepKind, StrOp,
 };
 use crate::mem::Memory;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Register file and flags.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,6 +130,63 @@ struct ICacheEntry {
     inst: Inst,
 }
 
+/// Retired-EIP coverage recorder: a dense bitmap — one bit per byte
+/// address — spanning the executable regions, plus a spill set for EIPs
+/// executed anywhere else (reachable only through rwx data regions or
+/// wild jumps, both rare). The bitmap makes the per-instruction mark a
+/// shift and an OR instead of a hash insert.
+#[derive(Debug, Clone)]
+struct Coverage {
+    base: u32,
+    bits: Vec<u64>,
+    spill: HashSet<u32>,
+}
+
+impl Coverage {
+    /// Size the bitmap over the span of `mem`'s executable regions as
+    /// mapped right now (regions never move; later rwx byte writes don't
+    /// change the map).
+    fn new(mem: &Memory) -> Coverage {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for r in mem.regions().filter(|r| r.perms().exec) {
+            lo = lo.min(r.start() as u64);
+            hi = hi.max(r.end());
+        }
+        let span = hi.saturating_sub(lo) as usize;
+        Coverage {
+            base: if span == 0 { 0 } else { lo as u32 },
+            bits: vec![0u64; span.div_ceil(64)],
+            spill: HashSet::new(),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, eip: u32) {
+        if let Some(off) = eip.checked_sub(self.base).map(|o| o as usize) {
+            if let Some(word) = self.bits.get_mut(off / 64) {
+                *word |= 1u64 << (off % 64);
+                return;
+            }
+        }
+        self.spill.insert(eip);
+    }
+
+    /// Materialize as the address set the public coverage API exposes.
+    fn to_set(&self) -> HashSet<u32> {
+        let mut set = self.spill.clone();
+        for (w, &bits) in self.bits.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                set.insert(self.base + (w * 64 + b) as u32);
+                bits &= bits - 1;
+            }
+        }
+        set
+    }
+}
+
 /// A CPU bound to an address space.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -136,13 +196,21 @@ pub struct Machine {
     pub mem: Memory,
     /// Instructions retired since construction.
     pub icount: u64,
+    /// Armed breakpoint addresses, kept sorted for binary search.
     breakpoints: Vec<u32>,
     icache: Vec<ICacheEntry>,
     icache_gen: u64,
+    /// Basic-block cache (see [`crate::block`]) and the executable
+    /// generation its contents were last synchronized against.
+    blocks: BlockCache,
+    blocks_gen: u64,
+    /// Dispatch through cached basic blocks (default). When false,
+    /// [`Machine::run_until_event`] takes the reference per-step path.
+    block_engine: bool,
     trace_buf: Vec<u32>,
     trace_cap: usize,
     trace_next: usize,
-    coverage: Option<std::collections::HashSet<u32>>,
+    coverage: Option<Coverage>,
     decoder: fn(&[u8]) -> Inst,
     restores: u64,
 }
@@ -152,10 +220,11 @@ pub struct Machine {
 /// Holds everything needed to rewind a machine to an earlier point of
 /// the same execution: registers, the full address space, the retired
 /// instruction count, armed breakpoints, the EIP trace ring, and the
-/// coverage set when enabled. The decoded-instruction cache is *not*
-/// part of the snapshot — it is a pure performance artifact and is
-/// dropped on [`Machine::restore`] so stale decodes of since-modified
-/// bytes can never leak across a rewind.
+/// coverage set when enabled. The decoded caches (instructions and
+/// basic blocks) are *not* part of the snapshot — they are pure
+/// performance artifacts; [`Machine::restore`] uses the executable-write
+/// journal to drop exactly the entries covering bytes that changed
+/// since the snapshot was taken.
 #[derive(Debug, Clone)]
 pub struct MachineSnapshot {
     cpu: Cpu,
@@ -165,7 +234,7 @@ pub struct MachineSnapshot {
     trace_buf: Vec<u32>,
     trace_cap: usize,
     trace_next: usize,
-    coverage: Option<std::collections::HashSet<u32>>,
+    coverage: Option<Coverage>,
 }
 
 const ICACHE_EMPTY: u32 = u32::MAX; // _start never sits at 0xFFFFFFFF
@@ -180,6 +249,9 @@ impl Machine {
             breakpoints: Vec::new(),
             icache: Vec::new(),
             icache_gen: 0,
+            blocks: BlockCache::default(),
+            blocks_gen: 0,
+            block_engine: true,
             trace_buf: Vec::new(),
             trace_cap: 0,
             trace_next: 0,
@@ -206,12 +278,34 @@ impl Machine {
 
     /// Rewind to a previously captured snapshot of *this* execution.
     ///
-    /// The decoded-instruction cache is dropped: restoring memory also
-    /// rewinds its modification generation, so a stale cache could
-    /// otherwise serve decodes of bytes poked between snapshot and
-    /// restore. The decoder function itself is not snapshot state and
+    /// The decoded caches survive the rewind wherever the executable-
+    /// write journal can prove they are still exact. When the snapshot
+    /// is an ancestor of the current state (the common case: checkpoint,
+    /// poke one byte, run, restore, repeat), the journal names every
+    /// byte written since it — only blocks covering those bytes are
+    /// dropped, and the instruction cache is cleared only when at least
+    /// one such byte exists. A snapshot from an unrelated lineage drops
+    /// everything. The decoder function itself is not snapshot state and
     /// is left untouched.
     pub fn restore(&mut self, snap: &MachineSnapshot) {
+        let snap_gen = snap.mem.exec_gen();
+        if self.mem.exec_log_extends(&snap.mem) {
+            // Invalidate from the oldest generation either cache could
+            // still reflect: blocks were last synced at `blocks_gen`, and
+            // the restore reverts every write after `snap_gen`.
+            let from = self.blocks_gen.min(snap_gen);
+            let dirty = self.mem.exec_writes_since(from);
+            if !dirty.is_empty() {
+                self.blocks.invalidate_writes(dirty);
+                self.icache.clear();
+            }
+        } else {
+            // Restoring across lineages (or forward past unseen writes):
+            // the byte diff cannot be attributed, drop everything.
+            self.blocks.clear();
+            self.icache.clear();
+        }
+        self.blocks_gen = snap_gen;
         self.cpu = snap.cpu.clone();
         self.mem = snap.mem.clone();
         self.icount = snap.icount;
@@ -220,7 +314,6 @@ impl Machine {
         self.trace_cap = snap.trace_cap;
         self.trace_next = snap.trace_next;
         self.coverage = snap.coverage.clone();
-        self.icache.clear();
         self.restores += 1;
     }
 
@@ -233,24 +326,50 @@ impl Machine {
 
     /// Record the set of distinct EIPs executed from now on. The
     /// campaign engine uses the golden run's coverage to skip injection
-    /// targets at never-executed addresses.
+    /// targets at never-executed addresses. Internally a dense bitmap
+    /// over the executable regions (with a spill set for EIPs outside
+    /// them), so enable it after the image is mapped.
     pub fn enable_coverage(&mut self) {
-        self.coverage = Some(std::collections::HashSet::new());
+        self.coverage = Some(Coverage::new(&self.mem));
     }
 
     /// Distinct executed EIPs since [`Machine::enable_coverage`], if
-    /// recording is on.
-    pub fn coverage(&self) -> Option<&std::collections::HashSet<u32>> {
-        self.coverage.as_ref()
+    /// recording is on (materialized from the internal bitmap).
+    pub fn coverage(&self) -> Option<HashSet<u32>> {
+        self.coverage.as_ref().map(Coverage::to_set)
     }
 
     /// Replace the instruction decoder — e.g. with a decoder for the
     /// paper's re-encoded instruction set, turning this machine into the
     /// "hypothetical processor" of §6.2. Clears the decoded-instruction
-    /// cache.
+    /// and basic-block caches.
     pub fn set_decoder(&mut self, decoder: fn(&[u8]) -> Inst) {
         self.decoder = decoder;
         self.icache.clear();
+        self.blocks.clear();
+    }
+
+    /// Choose the execution engine for [`Machine::run_until_event`]:
+    /// `true` (the default) dispatches cached basic blocks, `false`
+    /// forces the reference per-step interpreter. Outcomes are
+    /// bit-identical either way; the flag exists as an escape hatch and
+    /// for differential testing.
+    pub fn set_block_engine(&mut self, enabled: bool) {
+        if !enabled {
+            self.blocks.clear();
+        }
+        self.block_engine = enabled;
+    }
+
+    /// Whether block dispatch is enabled (see
+    /// [`Machine::set_block_engine`]).
+    pub fn block_engine(&self) -> bool {
+        self.block_engine
+    }
+
+    /// Cumulative basic-block cache counters.
+    pub fn block_stats(&self) -> BlockStats {
+        self.blocks.stats()
     }
 
     /// Record the EIP of every retired instruction into a ring buffer of
@@ -277,8 +396,8 @@ impl Machine {
     /// Arm a breakpoint. Hitting it pauses execution *before* the
     /// instruction at `addr` runs.
     pub fn add_breakpoint(&mut self, addr: u32) {
-        if !self.breakpoints.contains(&addr) {
-            self.breakpoints.push(addr);
+        if let Err(i) = self.breakpoints.binary_search(&addr) {
+            self.breakpoints.insert(i, addr);
         }
     }
 
@@ -289,11 +408,43 @@ impl Machine {
         self.breakpoints.len() != before
     }
 
+    /// Is a breakpoint armed at `eip`? Cheap min/max range pre-check,
+    /// then binary search over the sorted list.
+    #[inline]
+    fn at_breakpoint(&self, eip: u32) -> bool {
+        match (self.breakpoints.first(), self.breakpoints.last()) {
+            (Some(&lo), Some(&hi)) if lo <= eip && eip <= hi => {
+                self.breakpoints.binary_search(&eip).is_ok()
+            }
+            _ => false,
+        }
+    }
+
+    /// Is a breakpoint armed strictly inside `(entry, end)`? A hit at
+    /// `entry` itself is handled by the dispatch loop's pre-check.
+    fn breakpoint_inside(&self, entry: u32, end: u64) -> bool {
+        let i = self.breakpoints.partition_point(|&b| b <= entry);
+        self.breakpoints.get(i).is_some_and(|&b| (b as u64) < end)
+    }
+
     /// Run until a breakpoint, syscall, fault, or `max_steps` instructions.
+    ///
+    /// Dispatches cached basic blocks (see [`crate::block`]) unless the
+    /// per-step engine was selected via [`Machine::set_block_engine`];
+    /// both produce bit-identical outcomes, icounts, coverage and traces.
     pub fn run_until_event(&mut self, max_steps: u64) -> RunOutcome {
+        if self.block_engine {
+            self.run_blocks(max_steps)
+        } else {
+            self.run_stepwise(max_steps)
+        }
+    }
+
+    /// Reference engine: one [`Machine::step`] per loop iteration.
+    fn run_stepwise(&mut self, max_steps: u64) -> RunOutcome {
         let mut steps = 0u64;
         loop {
-            if !self.breakpoints.is_empty() && self.breakpoints.contains(&self.cpu.eip) {
+            if self.at_breakpoint(self.cpu.eip) {
                 return RunOutcome::Breakpoint(self.cpu.eip);
             }
             if steps >= max_steps {
@@ -308,14 +459,328 @@ impl Machine {
         }
     }
 
-    /// Fetch, decode and execute one instruction.
-    pub fn step(&mut self) -> StepEvent {
-        let eip = self.cpu.eip;
-        let inst = match self.fetch_decode(eip) {
-            Ok(i) => i,
-            Err(f) => return StepEvent::Fault(f),
+    /// Block-dispatch engine: look up (or build) the basic block at EIP
+    /// and retire it whole, with one budget/breakpoint check and one
+    /// icount add per block. Falls back to a precise single step whenever
+    /// whole-block retirement could be observed — a breakpoint inside the
+    /// block, the budget expiring mid-block, or an instruction that reads
+    /// the live icount (`rdtsc`) — so every outcome matches
+    /// [`Machine::run_stepwise`] exactly.
+    fn run_blocks(&mut self, max_steps: u64) -> RunOutcome {
+        self.sync_blocks();
+        let mut steps = 0u64;
+        loop {
+            let eip = self.cpu.eip;
+            if self.at_breakpoint(eip) {
+                return RunOutcome::Breakpoint(eip);
+            }
+            if steps >= max_steps {
+                return RunOutcome::Budget;
+            }
+            let block = match self.blocks.get(eip) {
+                Some(b) => b,
+                None => match self.build_block(eip) {
+                    Ok(b) => b,
+                    // Entry fetch fault: same as step()'s fetch_decode
+                    // failure (no icount, no coverage mark).
+                    Err(f) => return RunOutcome::Fault(f),
+                },
+            };
+            if block.reads_icount
+                || (block.insts.len() as u64) > max_steps - steps
+                || self.breakpoint_inside(block.entry, block.end)
+            {
+                steps += 1;
+                match self.step() {
+                    StepEvent::Executed => continue,
+                    StepEvent::Syscall(n) => return RunOutcome::Syscall(n),
+                    StepEvent::Fault(f) => return RunOutcome::Fault(f),
+                }
+            }
+            loop {
+                let gen = self.mem.exec_gen();
+                let (executed, event) = self.exec_block(&block);
+                steps += executed;
+                match event {
+                    StepEvent::Executed => {
+                        // Resident-loop fast path: a block whose
+                        // terminator jumps back to its own entry (tight
+                        // spin/poll loops — the dominant shape of
+                        // budget-bounded hang runs) re-executes without
+                        // paying the dispatch costs again. Sound because
+                        // breakpoints cannot change while we run (entry
+                        // and interior were already cleared above) and a
+                        // self-modification would have changed the
+                        // generation.
+                        if self.cpu.eip == block.entry
+                            && steps + block.insts.len() as u64 <= max_steps
+                            && self.mem.exec_gen() == gen
+                        {
+                            self.blocks.note_resident_hit();
+                            continue;
+                        }
+                        break;
+                    }
+                    StepEvent::Syscall(n) => return RunOutcome::Syscall(n),
+                    StepEvent::Fault(f) => return RunOutcome::Fault(f),
+                }
+            }
+        }
+    }
+
+    /// Bring the block cache in line with the current executable bytes:
+    /// drop exactly the blocks covering bytes written since the last
+    /// sync, as named by the memory journal.
+    fn sync_blocks(&mut self) {
+        let gen = self.mem.exec_gen();
+        if gen == self.blocks_gen {
+            return;
+        }
+        if gen > self.blocks_gen {
+            self.blocks
+                .invalidate_writes(self.mem.exec_writes_since(self.blocks_gen));
+        } else {
+            // Generation moved backwards outside restore(): the diff
+            // cannot be attributed, drop everything.
+            self.blocks.clear();
+        }
+        self.blocks_gen = gen;
+    }
+
+    /// Decode the basic block entered at `eip` and cache it.
+    ///
+    /// # Errors
+    /// [`Fault::FetchFault`] when `eip` itself is unfetchable. A fetch
+    /// fault *past* the first instruction instead ends the block early:
+    /// execution re-dispatches at the unfetchable address and the fault
+    /// surfaces there, exactly as in per-step order.
+    fn build_block(&mut self, eip: u32) -> Result<Arc<Block>, Fault> {
+        let mut insts = Vec::new();
+        let mut reads_icount = false;
+        let mut addr = eip;
+        let mut end = eip as u64;
+        loop {
+            let inst = match self.fetch_decode(addr) {
+                Ok(i) => i,
+                Err(f) => {
+                    if insts.is_empty() {
+                        return Err(f);
+                    }
+                    break;
+                }
+            };
+            let next = addr.wrapping_add(inst.len as u32);
+            insts.push(LInst {
+                addr,
+                next,
+                inst,
+                uop: lower(&inst, next),
+            });
+            end = addr as u64 + u64::from(inst.len.max(1));
+            reads_icount |= matches!(inst.op, Op::Rdtsc);
+            // Control transfers, software interrupts and invalid
+            // instructions all end a block: they are the only ops whose
+            // exec can leave EIP somewhere other than the next address.
+            if inst.is_control_transfer()
+                || matches!(inst.op, Op::Int(_) | Op::Int3 | Op::Into | Op::Invalid(_))
+                || insts.len() >= MAX_BLOCK_INSTS
+            {
+                break;
+            }
+            if next <= addr {
+                break; // zero-length decode or address-space wrap
+            }
+            addr = next;
+        }
+        let block = Arc::new(Block {
+            entry: eip,
+            end,
+            insts,
+            reads_icount,
+        });
+        self.blocks.insert(Arc::clone(&block));
+        Ok(block)
+    }
+
+    /// Execute every instruction of `block`, batching the bookkeeping:
+    /// the icount is added once on exit, and the coverage/trace marks are
+    /// skipped entirely when neither is enabled. Returns the number of
+    /// instructions retired and the terminating event
+    /// ([`StepEvent::Executed`] when the block ran to completion or
+    /// stopped at a self-modification boundary).
+    fn exec_block(&mut self, block: &Block) -> (u64, StepEvent) {
+        let gen0 = self.mem.exec_gen();
+        let marking = self.coverage.is_some() || self.trace_cap > 0;
+        let mut executed = 0u64;
+        for li in &block.insts {
+            if marking {
+                self.mark_retired(li.addr);
+            }
+            executed += 1;
+            match self.exec_uop(li) {
+                Ok(Flow::Next) => self.cpu.eip = li.next,
+                Ok(Flow::Jump(t)) => self.cpu.eip = t,
+                Ok(Flow::Syscall(v)) => {
+                    self.cpu.eip = li.next;
+                    self.icount += executed;
+                    return (executed, StepEvent::Syscall(v));
+                }
+                Err(f) => {
+                    // EIP stays at the faulting instruction, as in step().
+                    self.cpu.eip = li.addr;
+                    self.icount += executed;
+                    return (executed, StepEvent::Fault(f));
+                }
+            }
+            if li.uop.may_write() && self.mem.exec_gen() != gen0 {
+                // The instruction wrote executable bytes; stop at this
+                // boundary so the rest of the block is re-decoded from
+                // the new bytes, exactly as the per-step engine would.
+                self.icount += executed;
+                self.sync_blocks();
+                return (executed, StepEvent::Executed);
+            }
+        }
+        self.icount += executed;
+        (executed, StepEvent::Executed)
+    }
+
+    /// Resolve a lowered effective address.
+    #[inline]
+    fn ea_lowered(&self, ea: crate::block::Ea) -> u32 {
+        let base = if ea.base < 8 {
+            self.cpu.regs[ea.base as usize]
+        } else {
+            0
         };
-        self.icount += 1;
+        base.wrapping_add(ea.disp)
+    }
+
+    /// Execute one lowered instruction. The fast variants are exact
+    /// specializations of the corresponding [`Machine::exec`] paths —
+    /// same flag helpers, same memory-access order, same faults — so
+    /// block execution stays bit-identical to the per-step engine (the
+    /// `block_engine_matches_stepwise` property pins this).
+    #[inline]
+    fn exec_uop(&mut self, li: &LInst) -> Result<Flow, Fault> {
+        use crate::block::UOp;
+        match li.uop {
+            UOp::MovRR { d, s } => {
+                self.cpu.regs[d as usize] = self.cpu.regs[s as usize];
+                Ok(Flow::Next)
+            }
+            UOp::MovRI { d, v } => {
+                self.cpu.regs[d as usize] = v;
+                Ok(Flow::Next)
+            }
+            UOp::MovRM { d, ea } => {
+                let v = self.mem.read32(self.ea_lowered(ea))?;
+                self.cpu.regs[d as usize] = v;
+                Ok(Flow::Next)
+            }
+            UOp::MovMR { ea, s } => {
+                self.mem
+                    .write32(self.ea_lowered(ea), self.cpu.regs[s as usize])?;
+                Ok(Flow::Next)
+            }
+            UOp::MovM8R8 { ea, s } => {
+                let v = self.cpu.get8(s);
+                self.mem.write8(self.ea_lowered(ea), v)?;
+                Ok(Flow::Next)
+            }
+            UOp::MovsxR32M8 { d, ea } => {
+                let v = self.mem.read8(self.ea_lowered(ea))?;
+                self.cpu.regs[d as usize] = v as i8 as i32 as u32;
+                Ok(Flow::Next)
+            }
+            UOp::MovzxR32M8 { d, ea } => {
+                let v = self.mem.read8(self.ea_lowered(ea))?;
+                self.cpu.regs[d as usize] = v as u32;
+                Ok(Flow::Next)
+            }
+            UOp::Lea { d, ea } => {
+                self.cpu.regs[d as usize] = self.ea_lowered(ea);
+                Ok(Flow::Next)
+            }
+            UOp::PushR { s } => {
+                self.push(self.cpu.regs[s as usize], OpSize::Dword)?;
+                Ok(Flow::Next)
+            }
+            UOp::PushI { v } => {
+                self.push(v, OpSize::Dword)?;
+                Ok(Flow::Next)
+            }
+            UOp::PopR { d } => {
+                let v = self.pop(OpSize::Dword)?;
+                self.cpu.regs[d as usize] = v;
+                Ok(Flow::Next)
+            }
+            UOp::IncR { d } => {
+                let a = self.cpu.regs[d as usize];
+                let r = flags::add(&mut self.cpu.eflags, a, 1, OpSize::Dword, false);
+                self.cpu.regs[d as usize] = r;
+                Ok(Flow::Next)
+            }
+            UOp::DecR { d } => {
+                let a = self.cpu.regs[d as usize];
+                let r = flags::sub(&mut self.cpu.eflags, a, 1, OpSize::Dword, false);
+                self.cpu.regs[d as usize] = r;
+                Ok(Flow::Next)
+            }
+            UOp::AluRR { k, d, s } => {
+                let a = self.cpu.regs[d as usize];
+                let b = self.cpu.regs[s as usize];
+                if let Some(r) = alu32(k, &mut self.cpu.eflags, a, b) {
+                    self.cpu.regs[d as usize] = r;
+                }
+                Ok(Flow::Next)
+            }
+            UOp::AluRI { k, d, v } => {
+                let a = self.cpu.regs[d as usize];
+                if let Some(r) = alu32(k, &mut self.cpu.eflags, a, v) {
+                    self.cpu.regs[d as usize] = r;
+                }
+                Ok(Flow::Next)
+            }
+            UOp::AluMI { k, ea, v } => {
+                let addr = self.ea_lowered(ea);
+                let a = self.mem.read32(addr)?;
+                // Flags are computed before the writeback attempt, as in
+                // the generic path.
+                if let Some(r) = alu32(k, &mut self.cpu.eflags, a, v) {
+                    self.mem.write32(addr, r)?;
+                }
+                Ok(Flow::Next)
+            }
+            UOp::JmpRel { t } => Ok(Flow::Jump(t)),
+            UOp::JccRel { c, t } => Ok(if self.cpu.cond(c) {
+                Flow::Jump(t)
+            } else {
+                Flow::Next
+            }),
+            UOp::CallRel { t } => {
+                self.push(li.next, OpSize::Dword)?;
+                Ok(Flow::Jump(t))
+            }
+            UOp::Ret { extra } => {
+                let t = self.pop(OpSize::Dword)?;
+                self.cpu.regs[4] = self.cpu.regs[4].wrapping_add(extra as u32);
+                Ok(Flow::Jump(t))
+            }
+            UOp::Leave => {
+                self.cpu.regs[4] = self.cpu.regs[5];
+                let v = self.pop(OpSize::Dword)?;
+                self.cpu.regs[5] = v;
+                Ok(Flow::Next)
+            }
+            UOp::Nop => Ok(Flow::Next),
+            UOp::Slow => self.exec(&li.inst, li.addr, li.next),
+        }
+    }
+
+    /// Per-retired-instruction coverage and trace bookkeeping.
+    #[inline]
+    fn mark_retired(&mut self, eip: u32) {
         if let Some(cov) = &mut self.coverage {
             cov.insert(eip);
         }
@@ -327,6 +792,17 @@ impl Machine {
                 self.trace_next = (self.trace_next + 1) % self.trace_cap;
             }
         }
+    }
+
+    /// Fetch, decode and execute one instruction.
+    pub fn step(&mut self) -> StepEvent {
+        let eip = self.cpu.eip;
+        let inst = match self.fetch_decode(eip) {
+            Ok(i) => i,
+            Err(f) => return StepEvent::Fault(f),
+        };
+        self.icount += 1;
+        self.mark_retired(eip);
         let next = eip.wrapping_add(inst.len as u32);
         match self.exec(&inst, eip, next) {
             Ok(Flow::Next) => {
@@ -1332,6 +1808,29 @@ enum Flow {
     Next,
     Jump(u32),
     Syscall(u8),
+}
+
+/// 32-bit ALU step shared by the lowered `AluRR`/`AluRI`/`AluMI` forms:
+/// updates the flags exactly as the generic [`Machine::exec`] path does
+/// and returns the result to write back, or `None` for the flag-only
+/// operations (`cmp`, `test`).
+#[inline]
+fn alu32(k: AluK, f: &mut u32, a: u32, b: u32) -> Option<u32> {
+    match k {
+        AluK::Add => Some(flags::add(f, a, b, OpSize::Dword, true)),
+        AluK::Sub => Some(flags::sub(f, a, b, OpSize::Dword, true)),
+        AluK::And => Some(flags::logic(f, a & b, OpSize::Dword)),
+        AluK::Or => Some(flags::logic(f, a | b, OpSize::Dword)),
+        AluK::Xor => Some(flags::logic(f, a ^ b, OpSize::Dword)),
+        AluK::Cmp => {
+            flags::sub(f, a, b, OpSize::Dword, true);
+            None
+        }
+        AluK::Test => {
+            flags::logic(f, a & b, OpSize::Dword);
+            None
+        }
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@
 //! assert_eq!(m.cpu.regs[fisec_x86::Reg32::Eax as usize], 8);
 //! ```
 
+pub mod block;
 pub mod cpu;
 pub mod decode;
 pub mod disasm;
@@ -44,6 +45,7 @@ pub mod flags;
 pub mod inst;
 pub mod mem;
 
+pub use block::{Block, BlockStats};
 pub use cpu::{Cpu, Machine, MachineSnapshot, RunOutcome, StepEvent};
 pub use decode::decode;
 pub use disasm::{disassemble, fmt_att, DisasmLine};

@@ -7,6 +7,7 @@
 
 use crate::inst::Fault;
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Region permissions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,13 +133,26 @@ impl Region {
 }
 
 /// The process address space: a sorted set of disjoint regions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Memory {
     regions: Vec<Region>,
+    /// Index of the most recently resolved region — a pure performance
+    /// hint exploiting the strong locality of guest accesses (runs of
+    /// stack or data traffic hit the same region back to back). Any
+    /// stale value is safe: a miss falls through to the binary search.
+    /// Relaxed atomic so `&self` lookups can refresh it.
+    hint: AtomicU32,
     /// Bumped whenever executable bytes may have changed (injector pokes,
     /// writes into rwx regions); lets the CPU invalidate its decoded-
     /// instruction cache.
     exec_gen: u64,
+    /// Journal of the addresses behind each generation bump: entry `k` is
+    /// the write that moved `exec_gen` from `k` to `k + 1` (invariant:
+    /// `exec_log.len() == exec_gen`). Lets the CPU invalidate exactly the
+    /// decoded blocks covering changed bytes instead of dropping its whole
+    /// cache, and lets snapshot restore prove lineage (see
+    /// [`Memory::exec_log_extends`]).
+    exec_log: Vec<u32>,
 }
 
 /// Error mapping a region.
@@ -161,6 +175,17 @@ impl fmt::Display for MapError {
 }
 
 impl std::error::Error for MapError {}
+
+impl Clone for Memory {
+    fn clone(&self) -> Memory {
+        Memory {
+            regions: self.regions.clone(),
+            hint: AtomicU32::new(self.hint.load(Ordering::Relaxed)),
+            exec_gen: self.exec_gen,
+            exec_log: self.exec_log.clone(),
+        }
+    }
+}
 
 impl Memory {
     /// An empty address space.
@@ -192,25 +217,40 @@ impl Memory {
         self.regions.iter()
     }
 
-    /// The region containing `addr`, if any.
-    pub fn region_at(&self, addr: u32) -> Option<&Region> {
+    /// Index of the region containing `addr`, if any. Checks the
+    /// last-hit hint before falling back to binary search; guest
+    /// accesses are heavily clustered (stack, then a data run, ...), so
+    /// the hint hits far more often than not.
+    #[inline]
+    fn region_index(&self, addr: u32) -> Option<usize> {
+        let h = self.hint.load(Ordering::Relaxed) as usize;
+        if let Some(r) = self.regions.get(h) {
+            if r.contains(addr) {
+                return Some(h);
+            }
+        }
         let idx = match self.regions.binary_search_by_key(&addr, |r| r.start) {
             Ok(i) => i,
             Err(0) => return None,
             Err(i) => i - 1,
         };
-        let r = &self.regions[idx];
-        r.contains(addr).then_some(r)
+        if self.regions[idx].contains(addr) {
+            self.hint.store(idx as u32, Ordering::Relaxed);
+            Some(idx)
+        } else {
+            None
+        }
     }
 
+    /// The region containing `addr`, if any.
+    #[inline]
+    pub fn region_at(&self, addr: u32) -> Option<&Region> {
+        self.region_index(addr).map(|i| &self.regions[i])
+    }
+
+    #[inline]
     fn region_at_mut(&mut self, addr: u32) -> Option<&mut Region> {
-        let idx = match self.regions.binary_search_by_key(&addr, |r| r.start) {
-            Ok(i) => i,
-            Err(0) => return None,
-            Err(i) => i - 1,
-        };
-        let r = &mut self.regions[idx];
-        r.contains(addr).then_some(r)
+        self.region_index(addr).map(|i| &mut self.regions[i])
     }
 
     /// Read one byte for data access.
@@ -230,6 +270,11 @@ impl Memory {
     /// # Errors
     /// [`Fault::MemAccess`] if any byte is unmapped or not readable.
     pub fn read16(&self, addr: u32) -> Result<u16, Fault> {
+        // Fast path: both bytes in one readable region (one region lookup
+        // instead of two).
+        if let Some(b) = self.read_slice(addr, 2) {
+            return Ok(u16::from_le_bytes([b[0], b[1]]));
+        }
         let lo = self.read8(addr)? as u16;
         let hi = self.read8(addr.wrapping_add(1))? as u16;
         Ok(lo | (hi << 8))
@@ -240,6 +285,11 @@ impl Memory {
     /// # Errors
     /// [`Fault::MemAccess`] if any byte is unmapped or not readable.
     pub fn read32(&self, addr: u32) -> Result<u32, Fault> {
+        // Fast path: all four bytes in one readable region (one region
+        // lookup instead of four).
+        if let Some(b) = self.read_slice(addr, 4) {
+            return Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+        }
         let mut v = 0u32;
         for i in 0..4 {
             v |= (self.read8(addr.wrapping_add(i))? as u32) << (8 * i);
@@ -247,9 +297,43 @@ impl Memory {
         Ok(v)
     }
 
+    /// `len` readable bytes starting at `addr` when they all fall inside a
+    /// single readable region; `None` sends the caller to the byte-wise
+    /// path (which also produces the precise fault).
+    #[inline]
+    fn read_slice(&self, addr: u32, len: usize) -> Option<&[u8]> {
+        let r = self.region_at(addr).filter(|r| r.perms.read)?;
+        let off = (addr - r.start) as usize;
+        r.data.get(off..off + len)
+    }
+
     /// Current generation of executable bytes (see [`Memory::poke8`]).
     pub fn exec_gen(&self) -> u64 {
         self.exec_gen
+    }
+
+    /// Addresses written by every generation bump after `gen` (oldest
+    /// first). `exec_writes_since(exec_gen())` is empty; passing a `gen`
+    /// from the future is clamped to empty.
+    pub fn exec_writes_since(&self, gen: u64) -> &[u32] {
+        let from = (gen.min(self.exec_log.len() as u64)) as usize;
+        &self.exec_log[from..]
+    }
+
+    /// True when `earlier`'s write journal is a prefix of this memory's —
+    /// i.e. `earlier` is an ancestor state of the same execution, and the
+    /// bytes that differ between the two are exactly
+    /// `self.exec_writes_since(earlier.exec_gen())`.
+    pub fn exec_log_extends(&self, earlier: &Memory) -> bool {
+        self.exec_log.len() >= earlier.exec_log.len()
+            && self.exec_log[..earlier.exec_log.len()] == earlier.exec_log[..]
+    }
+
+    /// Record one generation bump caused by a write to `addr`.
+    #[inline]
+    fn note_exec_write(&mut self, addr: u32) {
+        self.exec_gen += 1;
+        self.exec_log.push(addr);
     }
 
     /// Write one byte.
@@ -265,7 +349,7 @@ impl Memory {
         let off = (addr - r.start) as usize;
         r.data[off] = val;
         if exec {
-            self.exec_gen += 1;
+            self.note_exec_write(addr);
         }
         Ok(())
     }
@@ -275,6 +359,9 @@ impl Memory {
     /// # Errors
     /// [`Fault::MemAccess`] if any byte is unmapped or not writable.
     pub fn write16(&mut self, addr: u32, val: u16) -> Result<(), Fault> {
+        if self.write_slice(addr, &val.to_le_bytes()) {
+            return Ok(());
+        }
         self.write8(addr, val as u8)?;
         self.write8(addr.wrapping_add(1), (val >> 8) as u8)
     }
@@ -284,10 +371,40 @@ impl Memory {
     /// # Errors
     /// [`Fault::MemAccess`] if any byte is unmapped or not writable.
     pub fn write32(&mut self, addr: u32, val: u32) -> Result<(), Fault> {
+        if self.write_slice(addr, &val.to_le_bytes()) {
+            return Ok(());
+        }
         for i in 0..4 {
             self.write8(addr.wrapping_add(i), (val >> (8 * i)) as u8)?;
         }
         Ok(())
+    }
+
+    /// Store `bytes` when they all fall inside a single writable region
+    /// (one region lookup instead of one per byte). Returns false — having
+    /// written nothing — when they don't, sending the caller to the
+    /// byte-wise path for the partial-write-then-fault semantics.
+    #[inline]
+    fn write_slice(&mut self, addr: u32, bytes: &[u8]) -> bool {
+        let Some(i) = self.region_index(addr) else {
+            return false;
+        };
+        let r = &mut self.regions[i];
+        if !r.perms.write {
+            return false;
+        }
+        let off = (addr - r.start) as usize;
+        let Some(dst) = r.data.get_mut(off..off + bytes.len()) else {
+            return false;
+        };
+        dst.copy_from_slice(bytes);
+        if r.perms.exec {
+            // Same per-byte generation accounting as the byte-wise path.
+            for k in 0..bytes.len() as u32 {
+                self.note_exec_write(addr.wrapping_add(k));
+            }
+        }
+        true
     }
 
     /// Fetch up to 15 instruction bytes starting at `addr` from executable
@@ -328,6 +445,9 @@ impl Memory {
     /// # Errors
     /// [`Fault::MemAccess`] on the first inaccessible byte.
     pub fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, Fault> {
+        if let Some(b) = self.read_slice(addr, len as usize) {
+            return Ok(b.to_vec());
+        }
         let mut v = Vec::with_capacity(len as usize);
         for i in 0..len {
             v.push(self.read8(addr.wrapping_add(i))?);
@@ -376,7 +496,7 @@ impl Memory {
             .ok_or(Fault::MemAccess { addr, write: true })?;
         let off = (addr - r.start) as usize;
         r.data[off] = val;
-        self.exec_gen += 1;
+        self.note_exec_write(addr);
         Ok(())
     }
 
@@ -513,5 +633,64 @@ mod tests {
     #[should_panic(expected = "wraps the address space")]
     fn wrapping_region_panics() {
         Region::zeroed("bad", 0xFFFF_FFF0, 17, Perms::RW);
+    }
+
+    #[test]
+    fn exec_journal_tracks_every_generation_bump() {
+        let mut m = two_region_mem();
+        assert_eq!(m.exec_gen(), 0);
+        assert!(m.exec_writes_since(0).is_empty());
+        m.poke8(0x1003, 0xCC).unwrap(); // text poke: logged
+        m.write8(0x2000, 1).unwrap(); // plain data write: no bump
+        m.poke8(0x2001, 2).unwrap(); // poke always bumps, even non-exec
+        assert_eq!(m.exec_gen(), 2);
+        assert_eq!(m.exec_writes_since(0), &[0x1003, 0x2001]);
+        assert_eq!(m.exec_writes_since(1), &[0x2001]);
+        assert!(m.exec_writes_since(2).is_empty());
+        assert!(m.exec_writes_since(99).is_empty());
+    }
+
+    #[test]
+    fn exec_journal_logs_rwx_multibyte_writes_per_byte() {
+        let mut m = Memory::new();
+        m.map(Region::zeroed("rwx", 0x1000, 16, Perms::RWX))
+            .unwrap();
+        m.write32(0x1004, 0xAABB_CCDD).unwrap();
+        assert_eq!(m.exec_gen(), 4);
+        assert_eq!(m.exec_writes_since(0), &[0x1004, 0x1005, 0x1006, 0x1007]);
+        m.write16(0x100E, 0x1234).unwrap();
+        assert_eq!(m.exec_gen(), 6);
+        assert_eq!(m.exec_writes_since(4), &[0x100E, 0x100F]);
+    }
+
+    #[test]
+    fn exec_log_extends_detects_lineage() {
+        let mut m = two_region_mem();
+        m.poke8(0x1000, 1).unwrap();
+        let snap = m.clone();
+        assert!(m.exec_log_extends(&snap));
+        assert!(snap.exec_log_extends(&m)); // equal states extend each other
+        m.poke8(0x1001, 2).unwrap();
+        assert!(m.exec_log_extends(&snap));
+        assert!(!snap.exec_log_extends(&m));
+        // A divergent history (same gen, different address) is not a prefix.
+        let mut other = snap.clone();
+        other.poke8(0x1002, 3).unwrap();
+        assert!(!other.exec_log_extends(&m));
+        assert!(!m.exec_log_extends(&other));
+    }
+
+    #[test]
+    fn multibyte_fastpaths_match_bytewise_semantics() {
+        let mut m = two_region_mem();
+        // Straddling the end of a region still faults without a partial
+        // read, and partial writes still land before the fault.
+        assert!(m.read16(0x201F).is_err());
+        assert!(m.write32(0x201E, 0xFFFF_FFFF).is_err());
+        assert_eq!(m.read8(0x201F).unwrap(), 0xFF); // partial write landed
+                                                    // Reads spanning adjacent regions take the byte-wise path.
+        m.map(Region::zeroed("more", 0x2020, 4, Perms::RW)).unwrap();
+        m.write8(0x2021, 0xAB).unwrap();
+        assert_eq!(m.read32(0x201E).unwrap(), 0xAB00_FFFF);
     }
 }

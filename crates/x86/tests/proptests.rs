@@ -59,6 +59,39 @@ proptest! {
         prop_assert!(m.icount <= 2000);
     }
 
+    /// The block-dispatch engine is observably identical to the per-step
+    /// reference interpreter on arbitrary byte soup: same outcome, same
+    /// precise icount, same architectural state, same coverage set and
+    /// trace ring. This is the property the campaign's bit-identical
+    /// results rest on.
+    #[test]
+    fn block_engine_matches_stepwise(
+        text in proptest::collection::vec(any::<u8>(), 32..256),
+        budget in 1u64..2000,
+    ) {
+        let build = |text: &[u8]| {
+            let mut mem = Memory::new();
+            mem.map(Region::with_data("text", 0x1000, text.to_vec(), Perms::RX)).unwrap();
+            mem.map(Region::zeroed("stack", 0x8000, 0x2000, Perms::RW)).unwrap();
+            let mut m = Machine::new(mem);
+            m.cpu.eip = 0x1000;
+            m.cpu.regs[Reg32::Esp as usize] = 0x9FF0;
+            m.enable_coverage();
+            m.enable_eip_trace(8);
+            m
+        };
+        let mut blk = build(&text);
+        let mut stp = build(&text);
+        stp.set_block_engine(false);
+        let a = blk.run_until_event(budget);
+        let b = stp.run_until_event(budget);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(blk.icount, stp.icount);
+        prop_assert_eq!(&blk.cpu, &stp.cpu);
+        prop_assert_eq!(blk.coverage(), stp.coverage());
+        prop_assert_eq!(blk.eip_trace(), stp.eip_trace());
+    }
+
     /// Flag state stays within the architectural mask after arbitrary
     /// execution (reserved bit 1 set, no stray bits).
     #[test]

@@ -2,14 +2,16 @@
 //! the §7 random-injection estimate and the §5.4 load study.
 //!
 //! ```text
-//! cargo run --release --example campaign_report [--quick] [--from-scratch]
+//! cargo run --release --example campaign_report [--quick] [--from-scratch] [--no-block-cache]
 //! ```
 //!
 //! `--quick` shrinks the random studies so the whole report finishes in
 //! well under a minute. `--from-scratch` runs the campaigns on the
 //! one-boot-per-experiment reference oracle instead of the default
-//! checkpoint-based engine (identical results, much slower — see the
-//! "Campaign runtime" section of EXPERIMENTS.md).
+//! checkpoint-based engine; `--no-block-cache` disables the
+//! interpreter's basic-block engine. Both switches produce identical
+//! results, only slower — see the "Campaign runtime" section of
+//! EXPERIMENTS.md.
 
 use fisec_apps::AppSpec;
 use fisec_core::{
@@ -46,6 +48,7 @@ fn main() {
 
     let base_cfg = CampaignConfig {
         mode,
+        block_cache: !std::env::args().any(|a| a == "--no-block-cache"),
         ..CampaignConfig::default()
     };
     let new_cfg = CampaignConfig {
