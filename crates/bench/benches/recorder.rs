@@ -1,0 +1,48 @@
+//! Flight-recorder overhead: the full ftpd campaign with the recorder
+//! off (the default) and on. Recorder-off must sit within noise of the
+//! pre-recorder engine — the instrumentation is one branch per block —
+//! while recorder-on pays for the golden continuation per group plus
+//! one edge record per control transfer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fisec_apps::AppSpec;
+use fisec_core::{run_campaign, CampaignConfig};
+
+fn bench(c: &mut Criterion) {
+    let ftpd = AppSpec::ftpd();
+    let off = CampaignConfig::default();
+    let on = CampaignConfig {
+        flight_recorder: true,
+        ..CampaignConfig::default()
+    };
+
+    // Regenerate the cross-check artefact once: the trace-derived
+    // Figure 4 input must equal the live one exactly.
+    let result = run_campaign(&ftpd, &on);
+    for cc in &result.clients {
+        assert_eq!(cc.trace_crash_latencies, cc.crash_latencies);
+    }
+    println!(
+        "\n== recorder cross-check: {} trace-derived latencies match live over {} clients ==",
+        result
+            .clients
+            .iter()
+            .map(|c| c.trace_crash_latencies.len())
+            .sum::<usize>(),
+        result.clients.len()
+    );
+
+    c.bench_function("campaign/ftpd_recorder_off", |b| {
+        b.iter(|| run_campaign(&ftpd, &off))
+    });
+    c.bench_function("campaign/ftpd_recorder_on", |b| {
+        b.iter(|| run_campaign(&ftpd, &on))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -193,6 +193,7 @@ mod tests {
                 },
                 brkfsv_by_location: LocationCounts::default(),
                 crash_latencies: vec![],
+                trace_crash_latencies: vec![],
                 transient_deviations: 0,
                 records,
             }],

@@ -12,6 +12,7 @@
 //! fisec breakins [--app ...]
 //! fisec ablation [--seed S]
 //! fisec forensics [--app ftpd] [--top K] [--stride N]
+//! fisec explain --app ftpd --addr 0xADDR [--byte N] [--bit N]
 //! fisec stats TRACE.jsonl [--json]
 //! ```
 //!
@@ -19,6 +20,11 @@
 //! `--trace-out PATH` to stream one JSONL event per injection run and
 //! `--progress` for a live runs/s meter plus a phase-profile breakdown
 //! on stderr; `fisec stats` replays a saved trace back into the tables.
+//! `--recorder` turns on the flight recorder campaign-wide (divergence
+//! depths in events and metrics); `fisec figure4 --from-trace` rebuilds
+//! the histogram purely from recorded traces and hard-checks it against
+//! the live one. `fisec explain` renders one injection's annotated
+//! divergence timeline against the golden run.
 
 use fisec_apps::AppSpec;
 use fisec_core::{
@@ -49,6 +55,11 @@ struct Args {
     trace_out: Option<String>,
     progress: bool,
     path: Option<String>,
+    addr: Option<u32>,
+    byte: u8,
+    bit: u8,
+    recorder: bool,
+    from_trace: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -75,6 +86,11 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         trace_out: None,
         progress: false,
         path: None,
+        addr: None,
+        byte: 0,
+        bit: 0,
+        recorder: false,
+        from_trace: false,
     };
     while let Some(flag) = argv.next() {
         let mut val = |name: &str| -> Result<String, String> {
@@ -100,6 +116,21 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
             "--no-block-cache" => a.no_block_cache = true,
             "--trace-out" => a.trace_out = Some(val("--trace-out")?),
             "--progress" => a.progress = true,
+            "--addr" => {
+                let v = val("--addr")?;
+                let hex = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X"));
+                a.addr = Some(
+                    match hex {
+                        Some(h) => u32::from_str_radix(h, 16),
+                        None => v.parse(),
+                    }
+                    .map_err(|e| format!("--addr {v}: {e}"))?,
+                );
+            }
+            "--byte" => a.byte = val("--byte")?.parse().map_err(|e| format!("{e}"))?,
+            "--bit" => a.bit = val("--bit")?.parse().map_err(|e| format!("{e}"))?,
+            "--recorder" => a.recorder = true,
+            "--from-trace" => a.from_trace = true,
             other if !other.starts_with('-') && a.path.is_none() => a.path = Some(flag),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -108,11 +139,13 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
 }
 
 fn usage() -> String {
-    "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|ablation|forensics|stats> [flags]\n\
+    "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|ablation|forensics|explain|stats> [flags]\n\
      flags: --app ftpd|sshd|both  --func NAME  --client N  --runs N  --samples N\n\
             --seed S  --threads N  --top K  --stride N  --json  --new-encoding\n\
-            --no-block-cache  --trace-out PATH  --progress\n\
-     stats takes the trace file as a positional argument: fisec stats run.jsonl"
+            --no-block-cache  --trace-out PATH  --progress  --recorder\n\
+            --addr 0xADDR  --byte N  --bit N  --from-trace\n\
+     stats takes the trace file as a positional argument: fisec stats run.jsonl\n\
+     explain renders one injection's divergence timeline: fisec explain --app ftpd --addr 0xADDR --byte N --bit N"
         .to_string()
 }
 
@@ -129,6 +162,7 @@ fn cfg_of(a: &Args, scheme: EncodingScheme) -> CampaignConfig {
     let mut cfg = CampaignConfig {
         scheme,
         block_cache: !a.no_block_cache,
+        flight_recorder: a.recorder || a.from_trace,
         ..CampaignConfig::default()
     };
     if let Some(t) = a.threads {
@@ -268,7 +302,28 @@ fn run(args: &Args) -> Result<(), String> {
             let result = run_campaign_traced(app, &cfg, &tel);
             report_telemetry(args, &tel, wall_start);
             let c = &result.clients[args.client - 1];
-            let h = figure4::histogram(&c.crash_latencies);
+            let h = if args.from_trace {
+                // Rebuild Figure 4 purely from the recorded flight
+                // traces and hard-check it against the live histogram:
+                // any difference is an engine bug, not a rendering one.
+                let live = figure4::histogram(&c.crash_latencies);
+                let traced = figure4::histogram(&c.trace_crash_latencies);
+                if traced != live {
+                    return Err(format!(
+                        "trace-derived Figure 4 diverges from the live histogram:\n\
+                         trace-derived:\n{}\nlive:\n{}",
+                        figure4::render(&traced),
+                        figure4::render(&live)
+                    ));
+                }
+                eprintln!(
+                    "figure4: rebuilt from {} recorded traces; matches the live histogram",
+                    traced.samples
+                );
+                traced
+            } else {
+                figure4::histogram(&c.crash_latencies)
+            };
             if args.json {
                 println!(
                     "{}",
@@ -282,6 +337,25 @@ fn run(args: &Args) -> Result<(), String> {
                     c.crash_latencies.len()
                 );
             }
+        }
+        "explain" => {
+            let apps = apps_for(if args.app == "both" {
+                "ftpd"
+            } else {
+                &args.app
+            })?;
+            let app = &apps[0];
+            let addr = args
+                .addr
+                .ok_or("explain needs --addr 0xADDR (see `fisec breakins` for candidates)")?;
+            let scheme = if args.new_encoding {
+                EncodingScheme::NewEncoding
+            } else {
+                EncodingScheme::Baseline
+            };
+            let text =
+                fisec_core::explain::explain(app, args.client, addr, args.byte, args.bit, scheme)?;
+            print!("{text}");
         }
         "stats" => {
             let path = args
@@ -518,6 +592,44 @@ mod tests {
         assert_eq!(a.trace_out.as_deref(), Some("t.jsonl"));
         assert_eq!(a.stride, 1);
         assert_eq!(a.client, 3);
+    }
+
+    #[test]
+    fn explain_flags_round_trip() {
+        let a = parse(&[
+            "explain",
+            "--app",
+            "ftpd",
+            "--addr",
+            "0x08048123",
+            "--byte",
+            "1",
+            "--bit",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(a.addr, Some(0x0804_8123));
+        assert_eq!(a.byte, 1);
+        assert_eq!(a.bit, 5);
+        // Decimal addresses parse too; garbage is rejected.
+        assert_eq!(parse(&["explain", "--addr", "64"]).unwrap().addr, Some(64));
+        assert!(parse(&["explain", "--addr", "0xzz"]).is_err());
+        // Without --addr the command itself errors out.
+        let e = run(&parse(&["explain", "--app", "ftpd"]).unwrap()).unwrap_err();
+        assert!(e.contains("--addr"), "{e}");
+    }
+
+    #[test]
+    fn recorder_flags_enable_the_flight_recorder() {
+        let a = parse(&["table1"]).unwrap();
+        assert!(!cfg_of(&a, EncodingScheme::Baseline).flight_recorder);
+        let a = parse(&["table1", "--recorder"]).unwrap();
+        assert!(cfg_of(&a, EncodingScheme::Baseline).flight_recorder);
+        // --from-trace implies the recorder: the histogram cannot be
+        // rebuilt from traces nobody recorded.
+        let a = parse(&["figure4", "--from-trace"]).unwrap();
+        assert!(a.from_trace);
+        assert!(cfg_of(&a, EncodingScheme::Baseline).flight_recorder);
     }
 
     #[test]

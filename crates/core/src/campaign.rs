@@ -5,8 +5,8 @@ use fisec_apps::AppSpec;
 use fisec_encoding::EncodingScheme;
 use fisec_inject::{
     enumerate_targets, golden_run_opts, golden_run_with_coverage_opts,
-    run_injection_group_metered_opts, run_injection_metered_opts, EngineOpts, GoldenRun, GroupMeta,
-    InjectionRun, InjectionTarget, OutcomeClass, RunMeta,
+    run_injection_group_recorded, run_injection_recorded, DivergenceReport, EngineOpts, GoldenRun,
+    GroupMeta, InjectionRun, InjectionTarget, OutcomeClass, RunMeta,
 };
 use fisec_os::Stop;
 use fisec_telemetry::{
@@ -60,6 +60,13 @@ pub struct CampaignConfig {
     /// (default). `false` — the `--no-block-cache` escape hatch — forces
     /// the reference per-step engine; results are bit-identical.
     pub block_cache: bool,
+    /// Record a control-flow flight trace for every activated run and
+    /// diff it against the golden continuation (`--recorder`). A pure
+    /// observer: classification results are bit-identical either way
+    /// (enforced by the differential tests); run events gain divergence
+    /// depth and trace-derived latency, and the metrics registry gains
+    /// per-outcome divergence-depth histograms.
+    pub flight_recorder: bool,
 }
 
 impl Default for CampaignConfig {
@@ -70,6 +77,7 @@ impl Default for CampaignConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             mode: ExecutionMode::default(),
             block_cache: true,
+            flight_recorder: false,
         }
     }
 }
@@ -79,7 +87,41 @@ impl CampaignConfig {
     fn engine(&self) -> EngineOpts {
         EngineOpts {
             block_cache: self.block_cache,
+            flight_recorder: self.flight_recorder,
         }
+    }
+}
+
+/// Compact per-run digest of a [`DivergenceReport`]: everything the
+/// campaign keeps after the (trace-heavy) report is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RunDivergence {
+    /// Instructions from activation to the first divergent edge.
+    depth: Option<u64>,
+    /// Crash latency re-derived from the trace (crashed runs only).
+    trace_latency: Option<u64>,
+}
+
+/// What the engine hands back per run once traces are digested away.
+type DigestedRun = (InjectionRun, Option<RunDivergence>);
+
+/// Digest a report against its run; `None` when the recorder was off or
+/// the run never activated.
+fn digest(run: &InjectionRun, rep: Option<&DivergenceReport>) -> Option<RunDivergence> {
+    rep.map(|rep| RunDivergence {
+        depth: rep.divergence_depth,
+        trace_latency: run.crash_latency.map(|_| rep.faulty.retired()),
+    })
+}
+
+/// Metrics histogram a run's divergence depth lands in, by outcome.
+fn depth_metric(outcome: OutcomeClass) -> Option<&'static str> {
+    match outcome {
+        OutcomeClass::NotActivated => None,
+        OutcomeClass::NotManifested => Some(metric::DIVERGENCE_DEPTH_NM),
+        OutcomeClass::SystemDetection => Some(metric::DIVERGENCE_DEPTH_SD),
+        OutcomeClass::FailSilenceViolation => Some(metric::DIVERGENCE_DEPTH_FSV),
+        OutcomeClass::Breakin => Some(metric::DIVERGENCE_DEPTH_BRK),
     }
 }
 
@@ -117,6 +159,12 @@ pub struct ClientCampaign {
     pub brkfsv_by_location: LocationCounts,
     /// Crash latencies (instructions between activation and crash).
     pub crash_latencies: Vec<u64>,
+    /// Crash latencies re-derived from recorded flight traces, in the
+    /// same order as `crash_latencies`. Empty when the campaign ran
+    /// without the flight recorder; equal to `crash_latencies`
+    /// element-for-element when it ran with it (the Figure 4
+    /// cross-check).
+    pub trace_crash_latencies: Vec<u64>,
     /// Crash runs with pre-crash traffic deviation (transient window).
     pub transient_deviations: usize,
     /// Full per-run records.
@@ -203,6 +251,7 @@ impl<'a> WorkerTel<'a> {
         &mut self,
         target: &InjectionTarget,
         run: &InjectionRun,
+        div: Option<RunDivergence>,
         icount: u64,
         micros: u64,
         snapshot_replay: bool,
@@ -221,7 +270,16 @@ impl<'a> WorkerTel<'a> {
             micros,
             crash_latency: run.crash_latency,
             transient_deviation: run.transient_deviation,
+            divergence_depth: div.and_then(|d| d.depth),
+            trace_latency: div.and_then(|d| d.trace_latency),
         }));
+    }
+
+    /// Land a run's divergence depth in the per-outcome histogram.
+    fn observe_divergence(&mut self, run: &InjectionRun, div: Option<RunDivergence>) {
+        if let (Some(depth), Some(name)) = (div.and_then(|d| d.depth), depth_metric(run.outcome)) {
+            self.shard.observe(name, depth);
+        }
     }
 
     fn flush_if_full(&mut self) {
@@ -236,6 +294,7 @@ impl<'a> WorkerTel<'a> {
         &mut self,
         target: &InjectionTarget,
         run: &InjectionRun,
+        div: Option<RunDivergence>,
         meta: RunMeta,
         gmeta: GroupMeta,
     ) {
@@ -250,8 +309,9 @@ impl<'a> WorkerTel<'a> {
         self.shard.phase_add(Phase::Boot, gmeta.boot_micros);
         self.shard.phase_add(Phase::Replay, meta.run_micros);
         self.shard.phase_add(Phase::Classify, meta.classify_micros);
+        self.observe_divergence(run, div);
         if self.tel.events_enabled() {
-            self.push_event(target, run, meta.icount, micros, false);
+            self.push_event(target, run, div, meta.icount, micros, false);
             self.flush_if_full();
         }
         let mut tally = [0u64; 5];
@@ -263,7 +323,7 @@ impl<'a> WorkerTel<'a> {
     fn note_group(
         &mut self,
         targets: &[InjectionTarget],
-        runs: &[(InjectionRun, RunMeta)],
+        runs: &[(InjectionRun, RunMeta, Option<RunDivergence>)],
         gmeta: GroupMeta,
     ) {
         if !self.tel.enabled() {
@@ -279,14 +339,22 @@ impl<'a> WorkerTel<'a> {
         self.shard.phase_add(Phase::Boot, gmeta.boot_micros);
         self.shard.phase_add(Phase::Snapshot, gmeta.snapshot_micros);
         let mut tally = [0u64; 5];
-        for ((run, meta), target) in runs.iter().zip(targets) {
+        for ((run, meta, div), target) in runs.iter().zip(targets) {
             self.shard.observe(metric::REPLAY_MICROS, meta.run_micros);
             self.shard.observe(metric::ICOUNT, meta.icount);
             self.shard.phase_add(Phase::Replay, meta.run_micros);
             self.shard.phase_add(Phase::Classify, meta.classify_micros);
+            self.observe_divergence(run, *div);
             tally[outcome_index(run.outcome)] += 1;
             if self.tel.events_enabled() {
-                self.push_event(target, run, meta.icount, meta.run_micros, gmeta.activated);
+                self.push_event(
+                    target,
+                    run,
+                    *div,
+                    meta.icount,
+                    meta.run_micros,
+                    gmeta.activated,
+                );
             }
         }
         if self.tel.events_enabled() {
@@ -320,6 +388,8 @@ impl<'a> WorkerTel<'a> {
                     micros: 0,
                     crash_latency: None,
                     transient_deviation: false,
+                    divergence_depth: None,
+                    trace_latency: None,
                 }));
             }
             self.flush_if_full();
@@ -403,10 +473,11 @@ pub fn run_campaign_traced(app: &AppSpec, cfg: &CampaignConfig, tel: &Telemetry)
             counts: OutcomeCounts::default(),
             brkfsv_by_location: LocationCounts::default(),
             crash_latencies: Vec::new(),
+            trace_crash_latencies: Vec::new(),
             transient_deviations: 0,
             records: Vec::new(),
         };
-        for (target, run) in set.targets.iter().zip(&records) {
+        for (target, (run, div)) in set.targets.iter().zip(&records) {
             cc.counts.add(run.outcome);
             if matches!(
                 run.outcome,
@@ -416,6 +487,9 @@ pub fn run_campaign_traced(app: &AppSpec, cfg: &CampaignConfig, tel: &Telemetry)
             }
             if let Some(lat) = run.crash_latency {
                 cc.crash_latencies.push(lat);
+            }
+            if let Some(lat) = div.and_then(|d| d.trace_latency) {
+                cc.trace_crash_latencies.push(lat);
             }
             if run.transient_deviation {
                 cc.transient_deviations += 1;
@@ -490,7 +564,7 @@ fn run_targets(
     cfg: &CampaignConfig,
     tel: &Telemetry,
     client_idx: usize,
-) -> Vec<InjectionRun> {
+) -> Vec<(InjectionRun, Option<RunDivergence>)> {
     match cfg.mode {
         ExecutionMode::FromScratch => {
             run_targets_from_scratch(app, spec, golden, targets, cfg, tel, client_idx)
@@ -510,7 +584,7 @@ fn run_targets_from_scratch(
     cfg: &CampaignConfig,
     tel: &Telemetry,
     client_idx: usize,
-) -> Vec<InjectionRun> {
+) -> Vec<(InjectionRun, Option<RunDivergence>)> {
     let engine = cfg.engine();
     let threads = cfg.threads.max(1);
     if threads == 1 || targets.len() < 64 {
@@ -518,18 +592,19 @@ fn run_targets_from_scratch(
         let out = targets
             .iter()
             .map(|t| {
-                let (run, meta, gmeta) =
-                    run_injection_metered_opts(&app.image, spec, golden, t, cfg.scheme, engine)
+                let (run, meta, gmeta, rep) =
+                    run_injection_recorded(&app.image, spec, golden, t, cfg.scheme, engine)
                         .expect("image loads");
-                wt.note_fresh(t, &run, meta, gmeta);
-                run
+                let div = digest(&run, rep.as_ref());
+                wt.note_fresh(t, &run, div, meta, gmeta);
+                (run, div)
             })
             .collect();
         wt.finish();
         return out;
     }
     let chunk = targets.len().div_ceil(threads);
-    let mut out: Vec<Vec<InjectionRun>> = Vec::new();
+    let mut out: Vec<Vec<(InjectionRun, Option<RunDivergence>)>> = Vec::new();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (w, shard) in targets.chunks(chunk).enumerate() {
@@ -538,12 +613,12 @@ fn run_targets_from_scratch(
                 let runs = shard
                     .iter()
                     .map(|t| {
-                        let (run, meta, gmeta) = run_injection_metered_opts(
-                            &app.image, spec, golden, t, cfg.scheme, engine,
-                        )
-                        .expect("image loads");
-                        wt.note_fresh(t, &run, meta, gmeta);
-                        run
+                        let (run, meta, gmeta, rep) =
+                            run_injection_recorded(&app.image, spec, golden, t, cfg.scheme, engine)
+                                .expect("image loads");
+                        let div = digest(&run, rep.as_ref());
+                        wt.note_fresh(t, &run, div, meta, gmeta);
+                        (run, div)
                     })
                     .collect::<Vec<_>>();
                 wt.finish();
@@ -576,7 +651,7 @@ fn run_targets_snapshot(
     cfg: &CampaignConfig,
     tel: &Telemetry,
     client_idx: usize,
-) -> Vec<InjectionRun> {
+) -> Vec<(InjectionRun, Option<RunDivergence>)> {
     // Contiguous same-address slices, with each group's offset into
     // `targets` so results can be reassembled in target order.
     let mut groups: Vec<(usize, &[InjectionTarget])> = Vec::new();
@@ -611,7 +686,7 @@ fn run_targets_snapshot(
     } else {
         None
     };
-    let synth_na = |n: usize| -> Vec<InjectionRun> {
+    let synth_na = |n: usize| -> Vec<(InjectionRun, Option<RunDivergence>)> {
         let na = InjectionRun {
             outcome: OutcomeClass::NotActivated,
             activated: false,
@@ -621,10 +696,29 @@ fn run_targets_snapshot(
             transient_deviation: false,
             divergence: None,
         };
-        vec![na; n]
+        vec![(na, None); n]
     };
 
-    let mut slots: Vec<Option<Vec<InjectionRun>>> = vec![None; groups.len()];
+    // One checkpoint group: run it, digest each report down to the
+    // per-run numbers the campaign keeps, and drop the traces.
+    let run_group = |group: &[InjectionTarget],
+                     wt: &mut WorkerTel<'_>|
+     -> Vec<(InjectionRun, Option<RunDivergence>)> {
+        let (runs, gmeta) =
+            run_injection_group_recorded(&app.image, spec, golden, group, cfg.scheme, cfg.engine())
+                .expect("image loads");
+        let runs: Vec<(InjectionRun, RunMeta, Option<RunDivergence>)> = runs
+            .into_iter()
+            .map(|(run, meta, rep)| {
+                let div = digest(&run, rep.as_ref());
+                (run, meta, div)
+            })
+            .collect();
+        wt.note_group(group, &runs, gmeta);
+        runs.into_iter().map(|(run, _, div)| (run, div)).collect()
+    };
+
+    let mut slots: Vec<Option<Vec<DigestedRun>>> = vec![None; groups.len()];
     let live: Vec<usize> = groups
         .iter()
         .enumerate()
@@ -642,20 +736,10 @@ fn run_targets_snapshot(
     if threads <= 1 {
         for &gi in &live {
             let (_, group) = groups[gi];
-            let (runs, gmeta) = run_injection_group_metered_opts(
-                &app.image,
-                spec,
-                golden,
-                group,
-                cfg.scheme,
-                cfg.engine(),
-            )
-            .expect("image loads");
-            wt0.note_group(group, &runs, gmeta);
-            slots[gi] = Some(runs.into_iter().map(|(run, _)| run).collect());
+            let runs = run_group(group, &mut wt0);
+            slots[gi] = Some(runs);
         }
     } else {
-        let engine = cfg.engine();
         let next = AtomicUsize::new(0);
         let slots_mx = Mutex::new(&mut slots);
         std::thread::scope(|s| {
@@ -664,21 +748,18 @@ fn run_targets_snapshot(
                 let live = &live;
                 let groups = &groups;
                 let slots_mx = &slots_mx;
+                let run_group = &run_group;
                 s.spawn(move || {
                     let mut wt = WorkerTel::new(tel, client_idx, w + 1);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&gi) = live.get(i) else { break };
                         let (_, group) = groups[gi];
-                        let (runs, gmeta) = run_injection_group_metered_opts(
-                            &app.image, spec, golden, group, cfg.scheme, engine,
-                        )
-                        .expect("image loads");
-                        wt.note_group(group, &runs, gmeta);
+                        let runs = run_group(group, &mut wt);
                         let wait_start = Instant::now();
                         let mut guard = slots_mx.lock().expect("no worker panicked");
                         let wait = micros_since(wait_start);
-                        guard[gi] = Some(runs.into_iter().map(|(run, _)| run).collect());
+                        guard[gi] = Some(runs);
                         drop(guard);
                         wt.observe_queue_wait(wait);
                     }
@@ -735,8 +816,9 @@ mod tests {
         );
         assert_eq!(runs.len(), 24);
         let mut counts = OutcomeCounts::default();
-        for r in &runs {
+        for (r, div) in &runs {
             counts.add(r.outcome);
+            assert!(div.is_none(), "recorder off must not produce digests");
         }
         assert_eq!(counts.total(), 24);
         // Opcode-bit flips on a hot path must manifest somehow.
@@ -761,8 +843,8 @@ mod tests {
         let tel = Telemetry::disabled();
         let a = run_targets(&app, spec, &golden, &targets, &seq_cfg, &tel, 0);
         let b = run_targets(&app, spec, &golden, &targets, &par_cfg, &tel, 0);
-        let oa: Vec<_> = a.iter().map(|r| r.outcome).collect();
-        let ob: Vec<_> = b.iter().map(|r| r.outcome).collect();
+        let oa: Vec<_> = a.iter().map(|r| r.0.outcome).collect();
+        let ob: Vec<_> = b.iter().map(|r| r.0.outcome).collect();
         assert_eq!(oa, ob);
     }
 
@@ -786,5 +868,51 @@ mod tests {
         assert!(matches!(events.last(), Some(TraceEvent::CampaignEnd(_))));
         let snap = tel.metrics.snapshot();
         assert_eq!(snap.counter(metric::RUNS), runs as u64);
+    }
+
+    #[test]
+    fn recorder_campaign_cross_checks_latencies_and_observes_depths() {
+        let app = AppSpec::ftpd();
+        let sink = std::sync::Arc::new(fisec_telemetry::MemorySink::new());
+        let tel = Telemetry::new(sink.clone(), false);
+        let cfg = CampaignConfig {
+            cond_branches_only: true,
+            flight_recorder: true,
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign_traced(&app, &cfg, &tel);
+        // The trace-derived latencies must reproduce the live Figure 4
+        // input exactly, element for element.
+        for cc in &result.clients {
+            assert!(!cc.crash_latencies.is_empty());
+            assert_eq!(cc.trace_crash_latencies, cc.crash_latencies);
+        }
+        // Every run event agrees between the live and trace-derived
+        // latency, and activated non-NA runs carry a divergence depth
+        // whenever their control flow left the golden path.
+        let mut depths = 0;
+        for ev in sink.events() {
+            if let TraceEvent::Run(r) = ev {
+                assert_eq!(r.trace_latency, r.crash_latency);
+                if r.divergence_depth.is_some() {
+                    assert_ne!(r.outcome, "NA");
+                    depths += 1;
+                }
+            }
+        }
+        assert!(depths > 0, "no run diverged from golden");
+        // Depths land in the per-outcome histograms.
+        let snap = tel.metrics.snapshot();
+        let observed: u64 = [
+            metric::DIVERGENCE_DEPTH_NM,
+            metric::DIVERGENCE_DEPTH_SD,
+            metric::DIVERGENCE_DEPTH_FSV,
+            metric::DIVERGENCE_DEPTH_BRK,
+        ]
+        .iter()
+        .filter_map(|m| snap.histogram(m))
+        .map(|h| h.count)
+        .sum();
+        assert_eq!(observed, depths);
     }
 }

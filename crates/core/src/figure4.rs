@@ -4,8 +4,10 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Number of bins (bin 15 covers 16384..=32768; anything above folds into
-/// the last bin, matching the paper's axis).
+/// Number of bins. Bin `x` covers `(2^(x-1), 2^x]` — an exact power of
+/// two lands in its own bin (16384 is bin 14), so the last bin, 15,
+/// covers 16385..=32768 plus everything above folded in, matching the
+/// paper's axis.
 pub const BINS: usize = 16;
 
 /// The Figure 4 histogram.
@@ -65,7 +67,9 @@ pub fn render(h: &LatencyHistogram) -> String {
         let hi = 1u64 << i;
         let bar_len = (n * 50 / peak) as usize;
         let label = if i == BINS - 1 {
-            format!(">{lo}")
+            // The fold bin holds everything strictly above 2^(BINS-2):
+            // ">16384", not ">16385" (its lowest member is 16385).
+            format!(">{}", 1u64 << (BINS - 2))
         } else {
             format!("{lo}..{hi}")
         };
@@ -100,6 +104,36 @@ mod tests {
         assert_eq!(bin_index(16385), 15);
         // Overflow folds into the last bin.
         assert_eq!(bin_index(1 << 30), BINS - 1);
+    }
+
+    #[test]
+    fn powers_of_two_land_in_their_own_bin() {
+        // Exact powers of two sit at the top of their bin, never the
+        // next one: latency == 2^x must land in bin x.
+        for x in 0..=14 {
+            assert_eq!(bin_index(1u64 << x), x as usize, "2^{x}");
+        }
+        // Bin 0 holds 0 and 1; bin 1 is exactly {2}.
+        assert_eq!(bin_index(0), 0);
+        assert_eq!(bin_index(1), 0);
+        assert_eq!(bin_index(2), 1);
+        assert_eq!(bin_index(3), 2);
+        // Bin 15 starts at 16385 and folds the overflow.
+        assert_eq!(bin_index(16384), 14);
+        assert_eq!(bin_index(16385), 15);
+        assert_eq!(bin_index(32768), 15);
+        assert_eq!(bin_index(32769), 15);
+        assert_eq!(bin_index(u64::MAX), 15);
+    }
+
+    #[test]
+    fn render_labels_the_fold_bin_by_its_boundary() {
+        let h = histogram(&[20_000]);
+        let s = render(&h);
+        assert!(s.contains(">16384"), "{s}");
+        assert!(!s.contains(">16385"), "{s}");
+        // The non-fold bins keep their inclusive upper bound.
+        assert!(s.contains("8193..16384"), "{s}");
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod ablation;
 pub mod campaign;
 pub mod counts;
 pub mod data_errors;
+pub mod explain;
 pub mod figure4;
 pub mod load;
 pub mod random;

@@ -166,6 +166,7 @@ mod tests {
                 l
             },
             crash_latencies: vec![10, 20, 5000],
+            trace_crash_latencies: vec![],
             transient_deviations: 1,
             records: Vec::new(),
         }

@@ -108,6 +108,7 @@ pub fn parse_trace(events: &[TraceEvent]) -> Result<Vec<ReplayedCampaign>, Strin
                         counts: OutcomeCounts::default(),
                         brkfsv_by_location: LocationCounts::default(),
                         crash_latencies: Vec::new(),
+                        trace_crash_latencies: Vec::new(),
                         transient_deviations: 0,
                         records: Vec::new(),
                     })
@@ -151,6 +152,9 @@ pub fn parse_trace(events: &[TraceEvent]) -> Result<Vec<ReplayedCampaign>, Strin
                 }
                 if let Some(lat) = run.crash_latency {
                     cc.crash_latencies.push(lat);
+                }
+                if let Some(lat) = run.trace_latency {
+                    cc.trace_crash_latencies.push(lat);
                 }
                 if run.transient_deviation {
                     cc.transient_deviations += 1;
@@ -268,6 +272,37 @@ pub fn render_stats(campaigns: &[ReplayedCampaign]) -> String {
         }
         out.push('\n');
     }
+
+    // Aggregate engine view across every campaign that carries a
+    // trailer — the single phase table `--progress` prints live at the
+    // end of a multi-campaign invocation (e.g. table5), so an offline
+    // trace replays to the same bottom line.
+    let ends: Vec<&CampaignEndEvent> = campaigns.iter().filter_map(|c| c.end.as_ref()).collect();
+    if ends.len() > 1 {
+        out.push_str(&format!(
+            "== all {} campaigns — engine aggregate ==\n",
+            ends.len()
+        ));
+        let sum = |f: fn(&CampaignEndEvent) -> u64| ends.iter().map(|e| f(e)).sum::<u64>();
+        out.push_str(&format!(
+            "runs {}  na-prefilter {}  fresh boots {}  restores {}\n",
+            sum(|e| e.runs),
+            sum(|e| e.na_prefilter_runs),
+            sum(|e| e.fresh_boots),
+            sum(|e| e.restores)
+        ));
+        let phases = PhaseTimes {
+            micros: [
+                sum(|e| e.boot_micros),
+                sum(|e| e.snapshot_micros),
+                sum(|e| e.replay_micros),
+                sum(|e| e.classify_micros),
+                sum(|e| e.reassemble_micros),
+            ],
+        };
+        out.push_str(&render_phase_table(&phases, sum(|e| e.wall_micros)));
+        out.push('\n');
+    }
     out
 }
 
@@ -290,6 +325,8 @@ mod tests {
             micros: 10,
             crash_latency: if outcome == "SD" { Some(7) } else { None },
             transient_deviation: false,
+            divergence_depth: None,
+            trace_latency: if outcome == "SD" { Some(7) } else { None },
         })
     }
 
@@ -331,6 +368,48 @@ mod tests {
         let s = render_stats(&campaigns);
         assert!(s.contains("FTPD Client1"), "{s}");
         assert!(s.contains("snapshot engine"), "{s}");
+    }
+
+    #[test]
+    fn multi_campaign_trace_renders_the_progress_aggregate() {
+        let end = |runs, boot| {
+            TraceEvent::CampaignEnd(CampaignEndEvent {
+                runs,
+                boot_micros: boot,
+                wall_micros: boot * 2,
+                ..CampaignEndEvent::default()
+            })
+        };
+        let events = vec![
+            header(1),
+            run_ev(0, "NA", 0),
+            end(1, 100_000),
+            header(1),
+            run_ev(0, "SD", 1),
+            end(1, 300_000),
+        ];
+        let s = render_stats(&parse_trace(&events).unwrap());
+        assert!(
+            s.contains("== all 2 campaigns — engine aggregate =="),
+            "{s}"
+        );
+        // Counter and phase sums across the two trailers.
+        assert!(s.contains("runs 2"), "{s}");
+        assert!(
+            s.lines()
+                .any(|l| l.contains("boot") && l.contains("0.400s")),
+            "{s}"
+        );
+        // A single-campaign trace keeps the per-campaign table only.
+        let single = render_stats(&parse_trace(&events[..3]).unwrap());
+        assert!(!single.contains("aggregate"), "{single}");
+        // The replayed latencies carry the trace-derived cross-check
+        // column along (run_ev gives SD runs trace_latency == 7).
+        let campaigns = parse_trace(&events).unwrap();
+        assert_eq!(
+            campaigns[1].result.clients[0].trace_crash_latencies,
+            vec![7]
+        );
     }
 
     #[test]

@@ -114,6 +114,37 @@ fn full_campaigns_identical_with_and_without_block_cache() {
 }
 
 #[test]
+fn full_campaigns_identical_with_and_without_flight_recorder() {
+    // The flight recorder is a pure observer: over the complete ftpd
+    // campaign, in both execution modes, recorder-on results must be
+    // bit-identical to recorder-off — and the trace-derived crash
+    // latencies must reproduce the live Figure 4 vector exactly.
+    let app = AppSpec::ftpd();
+    for mode in [ExecutionMode::Snapshot, ExecutionMode::FromScratch] {
+        let off = run_campaign(&app, &cfg(EncodingScheme::Baseline, mode));
+        let on = run_campaign(
+            &app,
+            &CampaignConfig {
+                flight_recorder: true,
+                ..cfg(EncodingScheme::Baseline, mode)
+            },
+        );
+        assert_campaigns_identical(&on, &off);
+        for (c_on, c_off) in on.clients.iter().zip(&off.clients) {
+            assert!(
+                c_off.trace_crash_latencies.is_empty(),
+                "recorder-off campaigns record no traces"
+            );
+            assert_eq!(
+                c_on.trace_crash_latencies, c_on.crash_latencies,
+                "{:?} {} trace-derived Figure 4 diverged from live",
+                mode, c_on.client
+            );
+        }
+    }
+}
+
+#[test]
 fn snapshot_engine_agrees_sequential_vs_threaded() {
     // The work-queue scheduler must not perturb results or ordering.
     let mut app = AppSpec::ftpd();

@@ -7,6 +7,12 @@
 //! messages were sent out"). This module re-runs an injection with EIP
 //! tracing enabled and summarizes the corrupted execution path at
 //! function granularity.
+//!
+//! For edge-granular analysis — the first divergent control-flow edge,
+//! propagation depth, and the corrupted-state delta against the golden
+//! continuation — see [`crate::divergence`], which supersedes this view
+//! wherever per-edge detail matters; the function-granular path here
+//! remains the compact summary `fisec forensics` prints.
 
 use crate::target::InjectionTarget;
 use fisec_apps::ClientSpec;
@@ -99,22 +105,14 @@ pub fn crash_forensics(
     let bytes_after = traffic_bytes(&p) - bytes_before;
 
     // Reconstruct the function-level path.
-    let mut path: Vec<PathSegment> = Vec::new();
-    for eip in p.machine.eip_trace() {
-        let name = image
+    let path = merge_path(p.machine.eip_trace().iter().map(|&eip| {
+        image
             .symbols
             .funcs
             .iter()
             .find(|f| (f.start..f.end).contains(&eip))
-            .map_or("?", |f| f.name.as_str());
-        match path.last_mut() {
-            Some(seg) if seg.func == name => seg.instructions += 1,
-            _ => path.push(PathSegment {
-                func: name.to_string(),
-                instructions: 1,
-            }),
-        }
-    }
+            .map_or("?", |f| f.name.as_str())
+    }));
     Ok(Some(CrashReport {
         latency,
         stop,
@@ -125,6 +123,26 @@ pub fn crash_forensics(
 
 fn traffic_bytes(p: &Process) -> usize {
     p.trace().messages().iter().map(|m| m.bytes.len()).sum()
+}
+
+/// Merge a per-instruction stream of function names (one per retired
+/// EIP, `"?"` for addresses outside every known symbol) into
+/// consecutive [`PathSegment`]s: equal neighbours coalesce, every
+/// name change — including into and out of `"?"` gaps — starts a new
+/// segment. The segment instruction counts sum to the input length, so
+/// a trace capped at [`TRACE_WINDOW`] yields a path capped the same.
+pub fn merge_path<'a>(names: impl IntoIterator<Item = &'a str>) -> Vec<PathSegment> {
+    let mut path: Vec<PathSegment> = Vec::new();
+    for name in names {
+        match path.last_mut() {
+            Some(seg) if seg.func == name => seg.instructions += 1,
+            _ => path.push(PathSegment {
+                func: name.to_string(),
+                instructions: 1,
+            }),
+        }
+    }
+    path
 }
 
 #[cfg(test)]
@@ -157,6 +175,53 @@ mod tests {
             }
         }
         assert!(found, "no crashing offset flip found in pass()");
+    }
+
+    #[test]
+    fn merge_path_coalesces_consecutive_same_function_segments() {
+        let path = merge_path(["main", "main", "auth", "auth", "auth", "main"]);
+        assert_eq!(
+            path,
+            vec![
+                PathSegment {
+                    func: "main".into(),
+                    instructions: 2
+                },
+                PathSegment {
+                    func: "auth".into(),
+                    instructions: 3
+                },
+                PathSegment {
+                    func: "main".into(),
+                    instructions: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_path_keeps_symbol_gaps_as_separate_segments() {
+        // "?" gaps must not be merged into neighbouring functions, and
+        // two separate excursions outside the symbol table must remain
+        // two segments (re-entering a name starts a new segment).
+        let path = merge_path(["f", "?", "?", "f", "?", "g"]);
+        let funcs: Vec<&str> = path.iter().map(|s| s.func.as_str()).collect();
+        assert_eq!(funcs, ["f", "?", "f", "?", "g"]);
+        assert_eq!(path[1].instructions, 2);
+        assert_eq!(path[3].instructions, 1);
+    }
+
+    #[test]
+    fn merge_path_is_capped_by_the_trace_window() {
+        // A trace longer than the window arrives pre-capped (the EIP
+        // ring holds the most recent TRACE_WINDOW entries); the merged
+        // path's instruction total equals the input length exactly.
+        let long = vec!["spin"; TRACE_WINDOW + 1000];
+        let capped = &long[..TRACE_WINDOW];
+        let path = merge_path(capped.iter().copied());
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].instructions, TRACE_WINDOW as u64);
+        assert!(merge_path(std::iter::empty()).is_empty());
     }
 
     #[test]

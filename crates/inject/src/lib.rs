@@ -14,11 +14,13 @@
 //!    location taxonomy of Tables 2/3.
 
 pub mod classify;
+pub mod divergence;
 pub mod forensics;
 pub mod location;
 pub mod target;
 
 pub use classify::{classify_run, GoldenRun, InjectionRun, OutcomeClass};
+pub use divergence::{DivergenceReport, GoldenContinuation, RECORDER_EDGES};
 pub use forensics::{crash_forensics, CrashReport, PathSegment};
 pub use location::ErrorLocation;
 pub use target::{enumerate_targets, InjectionTarget, TargetSet};
@@ -47,11 +49,20 @@ pub struct EngineOpts {
     /// the `--no-block-cache` escape hatch: the reference per-step
     /// interpreter.
     pub block_cache: bool,
+    /// Arm the flight recorder on every activated run and diff it
+    /// against a golden continuation of the same checkpoint (see
+    /// [`divergence`]). Off by default; outcomes are bit-identical
+    /// either way (pinned by differential tests) — the flag only adds
+    /// the recorded traces and [`DivergenceReport`]s.
+    pub flight_recorder: bool,
 }
 
 impl Default for EngineOpts {
     fn default() -> EngineOpts {
-        EngineOpts { block_cache: true }
+        EngineOpts {
+            block_cache: true,
+            flight_recorder: false,
+        }
     }
 }
 
@@ -210,6 +221,28 @@ pub fn run_injection_metered_opts(
     scheme: EncodingScheme,
     engine: EngineOpts,
 ) -> Result<(InjectionRun, RunMeta, GroupMeta), fisec_os::LoadError> {
+    run_injection_recorded(image, client, golden, target, scheme, engine)
+        .map(|(run, meta, group, _)| (run, meta, group))
+}
+
+/// [`run_injection_metered_opts`] plus the [`DivergenceReport`] of the
+/// run when `engine.flight_recorder` is on and the error activated.
+/// With the recorder on, the process is checkpointed at the breakpoint
+/// and resumed once *without* the flip (recorder armed) to capture the
+/// golden continuation, then restored and injected as usual — the
+/// injected run's outcome is bit-identical to the recorder-off path.
+///
+/// # Errors
+/// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
+#[allow(clippy::type_complexity)]
+pub fn run_injection_recorded(
+    image: &Image,
+    client: &ClientSpec,
+    golden: &GoldenRun,
+    target: &InjectionTarget,
+    scheme: EncodingScheme,
+    engine: EngineOpts,
+) -> Result<(InjectionRun, RunMeta, GroupMeta, Option<DivergenceReport>), fisec_os::LoadError> {
     let boot_start = Instant::now();
     let mut p = Process::load(image, client.make())?;
     engine.apply(&mut p);
@@ -239,7 +272,23 @@ pub fn run_injection_metered_opts(
             boot_micros,
             ..GroupMeta::default()
         };
-        return Ok((run, meta, group));
+        return Ok((run, meta, group, None));
+    };
+
+    // With the recorder on, capture the golden continuation first: the
+    // checkpoint makes the detour invisible to the injected run (the
+    // restore rewinds registers, memory, icount, breakpoints and the
+    // client channel — the same machinery the group engine relies on).
+    let mut snapshot_micros = 0;
+    let golden_ref = if engine.flight_recorder {
+        let snapshot_start = Instant::now();
+        let checkpoint = p.snapshot();
+        snapshot_micros = micros_since(snapshot_start);
+        let gc = golden_continuation(&mut p, target.addr);
+        p.restore(&checkpoint);
+        Some(gc)
+    } else {
+        None
     };
 
     // Activated: corrupt the byte and continue.
@@ -257,10 +306,20 @@ pub fn run_injection_metered_opts(
         .expect("target byte is mapped");
     p.machine.remove_breakpoint(target.addr);
     let activation_icount = p.icount();
+    if engine.flight_recorder {
+        p.machine.enable_flight_recorder(RECORDER_EDGES);
+    }
 
     let run_start = Instant::now();
     let stop = p.run();
     let run_micros = micros_since(run_start);
+    let report = golden_ref.map(|gc| {
+        let faulty = p
+            .machine
+            .take_flight_trace()
+            .expect("recorder was armed before the run");
+        divergence::diff_run(&gc, faulty, &p.machine.mem)
+    });
     let final_trace = p.trace();
     let crash_latency = match stop {
         Stop::Crashed(_) => Some(p.icount() - activation_icount),
@@ -275,11 +334,29 @@ pub fn run_injection_metered_opts(
     };
     let group = GroupMeta {
         boot_micros,
-        snapshot_micros: 0,
+        snapshot_micros,
         restores: 0,
         activated: true,
     };
-    Ok((run, meta, group))
+    Ok((run, meta, group, report))
+}
+
+/// Resume a process checkpointed at its (disarmed) breakpoint with the
+/// recorder on and no fault planted, capturing the reference the faulty
+/// runs are diffed against. The caller restores the checkpoint after.
+fn golden_continuation(p: &mut Process, addr: u32) -> GoldenContinuation {
+    p.machine.remove_breakpoint(addr);
+    p.machine.enable_flight_recorder(RECORDER_EDGES);
+    let stop = p.run();
+    let trace = p
+        .machine
+        .take_flight_trace()
+        .expect("recorder was armed before the run");
+    GoldenContinuation {
+        trace: std::sync::Arc::new(trace),
+        stop,
+        mem: p.machine.mem.clone(),
+    }
 }
 
 /// Execute every experiment in a group of targets sharing one
@@ -353,6 +430,43 @@ pub fn run_injection_group_metered_opts(
     scheme: EncodingScheme,
     engine: EngineOpts,
 ) -> Result<(Vec<(InjectionRun, RunMeta)>, GroupMeta), fisec_os::LoadError> {
+    run_injection_group_recorded(image, client, golden, targets, scheme, engine).map(
+        |(runs, group)| {
+            (
+                runs.into_iter().map(|(run, meta, _)| (run, meta)).collect(),
+                group,
+            )
+        },
+    )
+}
+
+/// [`run_injection_group_metered_opts`] plus a [`DivergenceReport`] per
+/// activated run when `engine.flight_recorder` is on: the checkpoint is
+/// resumed once without the flip (recorder armed) as the group's golden
+/// continuation, then every target's replay records its own trace and
+/// is diffed against it. Outcomes are bit-identical to the recorder-off
+/// path.
+///
+/// # Errors
+/// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
+///
+/// # Panics
+/// If the targets do not all share one instruction address.
+#[allow(clippy::type_complexity)]
+pub fn run_injection_group_recorded(
+    image: &Image,
+    client: &ClientSpec,
+    golden: &GoldenRun,
+    targets: &[InjectionTarget],
+    scheme: EncodingScheme,
+    engine: EngineOpts,
+) -> Result<
+    (
+        Vec<(InjectionRun, RunMeta, Option<DivergenceReport>)>,
+        GroupMeta,
+    ),
+    fisec_os::LoadError,
+> {
     let Some(addr) = targets.first().map(|t| t.addr) else {
         return Ok((Vec::new(), GroupMeta::default()));
     };
@@ -393,13 +507,18 @@ pub fn run_injection_group_metered_opts(
             boot_micros,
             ..GroupMeta::default()
         };
-        return Ok((vec![(na, meta); targets.len()], group));
+        return Ok((vec![(na, meta, None); targets.len()], group));
     };
 
     let snapshot_start = Instant::now();
     let checkpoint = p.snapshot();
     let snapshot_micros = micros_since(snapshot_start);
     let activation_icount = p.icount();
+    // One golden continuation serves the whole group; the restore at
+    // the top of every replay rewinds the detour.
+    let golden_ref = engine
+        .flight_recorder
+        .then(|| golden_continuation(&mut p, addr));
     let mut runs = Vec::with_capacity(targets.len());
     for target in targets {
         let replay_start = Instant::now();
@@ -417,9 +536,19 @@ pub fn run_injection_group_metered_opts(
             .poke8(byte_addr, corrupted)
             .expect("target byte is mapped");
         p.machine.remove_breakpoint(target.addr);
+        if engine.flight_recorder {
+            p.machine.enable_flight_recorder(RECORDER_EDGES);
+        }
 
         let stop = p.run();
         let run_micros = micros_since(replay_start);
+        let report = golden_ref.as_ref().map(|gc| {
+            let faulty = p
+                .machine
+                .take_flight_trace()
+                .expect("recorder was armed before the replay");
+            divergence::diff_run(gc, faulty, &p.machine.mem)
+        });
         let final_trace = p.trace();
         let crash_latency = match stop {
             Stop::Crashed(_) => Some(p.icount() - activation_icount),
@@ -432,7 +561,7 @@ pub fn run_injection_group_metered_opts(
             run_micros,
             classify_micros: micros_since(classify_start),
         };
-        runs.push((run, meta));
+        runs.push((run, meta, report));
     }
     let group = GroupMeta {
         boot_micros,

@@ -84,8 +84,14 @@ fn sshd_auth_password_slice_agrees_between_engines() {
 /// identical `InjectionRun` records under both encodings.
 fn assert_block_modes_agree(app: &AppSpec, client_idx: usize, slice: &[InjectionTarget]) {
     let spec = &app.clients[client_idx];
-    let blk = EngineOpts { block_cache: true };
-    let stp = EngineOpts { block_cache: false };
+    let blk = EngineOpts {
+        block_cache: true,
+        ..EngineOpts::default()
+    };
+    let stp = EngineOpts {
+        block_cache: false,
+        ..EngineOpts::default()
+    };
     let golden_blk = golden_run_opts(&app.image, spec, blk).unwrap();
     let golden_stp = golden_run_opts(&app.image, spec, stp).unwrap();
     assert_eq!(
@@ -128,6 +134,83 @@ fn sshd_block_engine_agrees_with_step_engine() {
     let slice: Vec<_> = set.targets.iter().take(2 * 48).copied().collect();
     assert!(!slice.is_empty());
     assert_block_modes_agree(&app, 0, &slice);
+}
+
+/// The flight recorder must be a pure observer: recorder-on runs
+/// produce field-for-field identical `InjectionRun`s, and the recorded
+/// traces themselves are identical between the block and step engines.
+#[test]
+fn flight_recorder_is_a_pure_observer_and_engine_independent() {
+    let app = AppSpec::ftpd();
+    let spec = &app.clients[0];
+    let golden = golden_run(&app.image, spec).unwrap();
+    let set = enumerate_targets(&app.image, &["pass"], true);
+    let slice: Vec<_> = set.targets.iter().take(2 * 48).copied().collect();
+    let plain = EngineOpts::default();
+    let recorded = EngineOpts {
+        flight_recorder: true,
+        ..EngineOpts::default()
+    };
+    let recorded_stp = EngineOpts {
+        block_cache: false,
+        flight_recorder: true,
+    };
+    for group in by_addr(&slice) {
+        let off = run_injection_group_metered_opts(
+            &app.image,
+            spec,
+            &golden,
+            group,
+            EncodingScheme::Baseline,
+            plain,
+        )
+        .unwrap();
+        let on = fisec_inject::run_injection_group_recorded(
+            &app.image,
+            spec,
+            &golden,
+            group,
+            EncodingScheme::Baseline,
+            recorded,
+        )
+        .unwrap();
+        let on_stp = fisec_inject::run_injection_group_recorded(
+            &app.image,
+            spec,
+            &golden,
+            group,
+            EncodingScheme::Baseline,
+            recorded_stp,
+        )
+        .unwrap();
+        let off_runs: Vec<_> = off.0.into_iter().map(|(run, _)| run).collect();
+        let on_runs: Vec<_> = on.0.iter().map(|(run, _, _)| run.clone()).collect();
+        assert_eq!(
+            off_runs, on_runs,
+            "recorder changed outcomes at {:#010x}",
+            group[0].addr
+        );
+        // Every activated run carries a report, and the recorded control
+        // flow is engine-independent.
+        for ((run, _, rep), (_, _, rep_stp)) in on.0.iter().zip(&on_stp.0) {
+            assert_eq!(run.activated, rep.is_some());
+            if let (Some(a), Some(b)) = (rep, rep_stp) {
+                assert_eq!(a.faulty, b.faulty, "faulty trace diverged between engines");
+                assert_eq!(
+                    a.golden.as_ref(),
+                    b.golden.as_ref(),
+                    "golden continuation diverged between engines"
+                );
+                assert_eq!(a.first_divergence, b.first_divergence);
+                assert_eq!(a.divergence_depth, b.divergence_depth);
+                // A crashed run's trace-derived latency equals the live
+                // Figure 4 measurement by construction.
+                if let Some(lat) = run.crash_latency {
+                    assert_eq!(a.faulty.retired(), lat);
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -74,6 +74,16 @@ pub struct RunEvent {
     pub crash_latency: Option<u64>,
     /// Whether pre-crash traffic deviated from golden.
     pub transient_deviation: bool,
+    /// Instructions between activation and the first control-flow edge
+    /// diverging from the golden continuation, when the campaign ran
+    /// with the flight recorder and the run's control flow diverged.
+    /// Absent from recorder-off traces (older streams parse fine).
+    pub divergence_depth: Option<u64>,
+    /// Crash latency re-derived from the recorded trace (stop icount −
+    /// activation icount), when the recorder was on and the run
+    /// crashed. Equals `crash_latency` by construction — the trace-only
+    /// Figure 4 rebuild cross-checks the two.
+    pub trace_latency: Option<u64>,
 }
 
 /// Campaign trailer: wall-clock, the phase breakdown and engine-level
@@ -341,6 +351,8 @@ mod tests {
             micros: 412,
             crash_latency: None,
             transient_deviation: false,
+            divergence_depth: None,
+            trace_latency: None,
         }
     }
 
@@ -350,6 +362,26 @@ mod tests {
         let line = ev.to_json_line();
         assert!(line.starts_with("{\"event\":\"run\""), "{line}");
         assert_eq!(TraceEvent::parse_line(&line).unwrap(), ev);
+        let ev = TraceEvent::Run(RunEvent {
+            divergence_depth: Some(17),
+            trace_latency: Some(23),
+            crash_latency: Some(23),
+            ..sample_run()
+        });
+        assert_eq!(TraceEvent::parse_line(&ev.to_json_line()).unwrap(), ev);
+    }
+
+    #[test]
+    fn recorder_fields_are_optional_for_old_traces() {
+        // A pre-recorder stream lacks the divergence fields entirely;
+        // it must still parse, with both reported absent.
+        let line = TraceEvent::Run(sample_run()).to_json_line();
+        let stripped = line
+            .replace(",\"divergence_depth\":null", "")
+            .replace(",\"trace_latency\":null", "");
+        assert_ne!(line, stripped, "fields should serialize as null");
+        let parsed = TraceEvent::parse_line(&stripped).unwrap();
+        assert_eq!(parsed, TraceEvent::Run(sample_run()));
     }
 
     #[test]

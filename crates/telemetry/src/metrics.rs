@@ -32,6 +32,15 @@ pub mod metric {
     pub const QUEUE_WAIT: &str = "queue_wait_micros";
     /// Histogram: checkpoint restores per group.
     pub const RESTORES_PER_GROUP: &str = "restores_per_group";
+    /// Histogram: instructions from activation to the first divergent
+    /// control-flow edge, for runs classified NM (recorder campaigns).
+    pub const DIVERGENCE_DEPTH_NM: &str = "divergence_depth_nm";
+    /// Histogram: divergence depth of runs classified SD.
+    pub const DIVERGENCE_DEPTH_SD: &str = "divergence_depth_sd";
+    /// Histogram: divergence depth of runs classified FSV.
+    pub const DIVERGENCE_DEPTH_FSV: &str = "divergence_depth_fsv";
+    /// Histogram: divergence depth of runs classified BRK.
+    pub const DIVERGENCE_DEPTH_BRK: &str = "divergence_depth_brk";
 }
 
 /// Number of log₂ buckets; bucket `i` covers `(2^(i-1), 2^i]`, with 0

@@ -16,6 +16,7 @@ use crate::inst::{
     Cond, Fault, Inst, InvalidKind, MemOperand, Op, OpSize, Operand, Reg8, RepKind, StrOp,
 };
 use crate::mem::Memory;
+use crate::recorder::{edge_kind, Edge, EdgeKind, FlightRecorder, FlightTrace};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -211,6 +212,7 @@ pub struct Machine {
     trace_cap: usize,
     trace_next: usize,
     coverage: Option<Coverage>,
+    recorder: Option<FlightRecorder>,
     decoder: fn(&[u8]) -> Inst,
     restores: u64,
 }
@@ -256,6 +258,7 @@ impl Machine {
             trace_cap: 0,
             trace_next: 0,
             coverage: None,
+            recorder: None,
             decoder: decode,
             restores: 0,
         }
@@ -314,6 +317,10 @@ impl Machine {
         self.trace_cap = snap.trace_cap;
         self.trace_next = snap.trace_next;
         self.coverage = snap.coverage.clone();
+        // The flight recorder is per-run instrumentation, not snapshot
+        // state: rewinding drops any active recording. The injector
+        // enables it after each restore, once the fault is planted.
+        self.recorder = None;
         self.restores += 1;
     }
 
@@ -390,6 +397,55 @@ impl Machine {
             v.extend_from_slice(&self.trace_buf[self.trace_next..]);
             v.extend_from_slice(&self.trace_buf[..self.trace_next]);
             v
+        }
+    }
+
+    /// Start the flight recorder: from now on every retired control
+    /// transfer appends one [`Edge`] until `capacity` edges are held
+    /// (further edges are counted but dropped — see
+    /// [`crate::recorder`]). The current register file and instruction
+    /// count are captured as the trace start. Recording survives
+    /// [`Machine::snapshot`]-free execution only; [`Machine::restore`]
+    /// drops it.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        self.recorder = Some(FlightRecorder::new(capacity, self.cpu.clone(), self.icount));
+    }
+
+    /// Whether a flight recording is active.
+    pub fn flight_recorder_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Stop the flight recorder and take the completed trace, stamping
+    /// the current register file and instruction count as the stop
+    /// state. `None` when no recording is active.
+    pub fn take_flight_trace(&mut self) -> Option<FlightTrace> {
+        self.recorder
+            .take()
+            .map(|r| r.into_trace(self.cpu.clone(), self.icount))
+    }
+
+    /// Append a control-transfer edge when recording (no-op otherwise).
+    #[inline]
+    fn record_edge(&mut self, kind: EdgeKind, from: u32, to: u32, icount: u64) {
+        if let Some(rec) = &mut self.recorder {
+            rec.push(Edge {
+                from,
+                to,
+                icount,
+                kind,
+            });
+        }
+    }
+
+    /// Record a retired instruction's control flow: `taken` carries the
+    /// jump target when EIP moved, `None` for fall-through (which emits
+    /// an edge only for not-taken conditional branches).
+    #[inline]
+    fn record_flow(&mut self, inst: &Inst, from: u32, taken: Option<u32>, icount: u64) {
+        if let Some(kind) = edge_kind(inst, taken.is_some()) {
+            let to = taken.unwrap_or_else(|| from.wrapping_add(inst.len as u32));
+            self.record_edge(kind, from, to, icount);
         }
     }
 
@@ -483,7 +539,12 @@ impl Machine {
                     Ok(b) => b,
                     // Entry fetch fault: same as step()'s fetch_decode
                     // failure (no icount, no coverage mark).
-                    Err(f) => return RunOutcome::Fault(f),
+                    Err(f) => {
+                        if self.recorder.is_some() {
+                            self.record_edge(EdgeKind::Fault, eip, 0, self.icount);
+                        }
+                        return RunOutcome::Fault(f);
+                    }
                 },
             };
             if block.reads_icount
@@ -611,6 +672,7 @@ impl Machine {
     fn exec_block(&mut self, block: &Block) -> (u64, StepEvent) {
         let gen0 = self.mem.exec_gen();
         let marking = self.coverage.is_some() || self.trace_cap > 0;
+        let recording = self.recorder.is_some();
         let mut executed = 0u64;
         for li in &block.insts {
             if marking {
@@ -618,17 +680,37 @@ impl Machine {
             }
             executed += 1;
             match self.exec_uop(li) {
-                Ok(Flow::Next) => self.cpu.eip = li.next,
-                Ok(Flow::Jump(t)) => self.cpu.eip = t,
+                Ok(Flow::Next) => {
+                    self.cpu.eip = li.next;
+                    if recording {
+                        // Only a not-taken conditional branch emits an
+                        // edge here; classification is by decoded
+                        // instruction, identical to the per-step engine.
+                        self.record_flow(&li.inst, li.addr, None, self.icount + executed);
+                    }
+                }
+                Ok(Flow::Jump(t)) => {
+                    self.cpu.eip = t;
+                    if recording {
+                        self.record_flow(&li.inst, li.addr, Some(t), self.icount + executed);
+                    }
+                }
                 Ok(Flow::Syscall(v)) => {
                     self.cpu.eip = li.next;
                     self.icount += executed;
+                    if recording {
+                        let nr = self.cpu.regs[0];
+                        self.record_edge(EdgeKind::Syscall, li.addr, nr, self.icount);
+                    }
                     return (executed, StepEvent::Syscall(v));
                 }
                 Err(f) => {
                     // EIP stays at the faulting instruction, as in step().
                     self.cpu.eip = li.addr;
                     self.icount += executed;
+                    if recording {
+                        self.record_edge(EdgeKind::Fault, li.addr, 0, self.icount);
+                    }
                     return (executed, StepEvent::Fault(f));
                 }
             }
@@ -799,25 +881,48 @@ impl Machine {
         let eip = self.cpu.eip;
         let inst = match self.fetch_decode(eip) {
             Ok(i) => i,
-            Err(f) => return StepEvent::Fault(f),
+            Err(f) => {
+                // Fetch fault: nothing retired, matching the block
+                // engine's entry-fault path.
+                if self.recorder.is_some() {
+                    self.record_edge(EdgeKind::Fault, eip, 0, self.icount);
+                }
+                return StepEvent::Fault(f);
+            }
         };
         self.icount += 1;
         self.mark_retired(eip);
+        let recording = self.recorder.is_some();
         let next = eip.wrapping_add(inst.len as u32);
         match self.exec(&inst, eip, next) {
             Ok(Flow::Next) => {
                 self.cpu.eip = next;
+                if recording {
+                    self.record_flow(&inst, eip, None, self.icount);
+                }
                 StepEvent::Executed
             }
             Ok(Flow::Jump(t)) => {
                 self.cpu.eip = t;
+                if recording {
+                    self.record_flow(&inst, eip, Some(t), self.icount);
+                }
                 StepEvent::Executed
             }
             Ok(Flow::Syscall(v)) => {
                 self.cpu.eip = next;
+                if recording {
+                    let nr = self.cpu.regs[0];
+                    self.record_edge(EdgeKind::Syscall, eip, nr, self.icount);
+                }
                 StepEvent::Syscall(v)
             }
-            Err(f) => StepEvent::Fault(f),
+            Err(f) => {
+                if recording {
+                    self.record_edge(EdgeKind::Fault, eip, 0, self.icount);
+                }
+                StepEvent::Fault(f)
+            }
         }
     }
 

@@ -44,6 +44,7 @@ pub mod encode;
 pub mod flags;
 pub mod inst;
 pub mod mem;
+pub mod recorder;
 
 pub use block::{Block, BlockStats};
 pub use cpu::{Cpu, Machine, MachineSnapshot, RunOutcome, StepEvent};
@@ -55,6 +56,7 @@ pub use inst::{
     StrOp,
 };
 pub use mem::{Memory, Perms, Region};
+pub use recorder::{Edge, EdgeKind, FlightTrace};
 
 /// EFLAGS bit positions used by the interpreter.
 pub mod eflags {

@@ -127,6 +127,14 @@ impl Region {
         self.perms
     }
 
+    /// The backing bytes, `start()`-based. Read-only view — all writes
+    /// go through [`Memory`] so the executable-write journal stays
+    /// sound. The flight recorder's corrupted-state diff compares two
+    /// address spaces through this without a per-byte permission check.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
     fn contains(&self, addr: u32) -> bool {
         (addr as u64) >= (self.start as u64) && (addr as u64) < self.end()
     }

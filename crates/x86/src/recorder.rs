@@ -1,0 +1,399 @@
+//! The execution flight recorder.
+//!
+//! A bounded control-flow trace: one [`Edge`] per retired control
+//! transfer (taken/not-taken conditional branches, direct and indirect
+//! jumps and calls, returns, software interrupts, faults), plus the
+//! register file and instruction count captured when recording starts
+//! and when the trace is taken. Straight-line instructions emit
+//! nothing, so a traced basic block costs one branch per instruction on
+//! top of normal execution and blocks still retire whole — the recorder
+//! composes with the block engine instead of forcing single-stepping.
+//!
+//! The buffer keeps the *first* `capacity` edges after activation (a
+//! prefix window: golden-vs-faulty divergence happens near the injection
+//! point, and the paper's Figure 4 shows crash latencies concentrated
+//! within ~100 instructions) and counts the overflow, so a runaway run
+//! costs bounded memory.
+//!
+//! Both execution engines ([`crate::Machine::run_until_event`] in block
+//! and per-step mode) emit bit-identical edge streams; edges are
+//! classified from the decoded instruction, never from the lowered µop.
+
+use crate::cpu::Cpu;
+use crate::inst::{Inst, Op};
+use crate::mem::Memory;
+
+/// What kind of control transfer an [`Edge`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Conditional branch (including `loop*`/`jecxz`) that was taken.
+    BranchTaken,
+    /// Conditional branch that fell through.
+    BranchNotTaken,
+    /// Direct unconditional jump.
+    Jump,
+    /// Indirect jump through a register or memory.
+    IndirectJump,
+    /// Direct (relative) call.
+    Call,
+    /// Indirect call through a register or memory.
+    IndirectCall,
+    /// Near return.
+    Ret,
+    /// Software interrupt serviced as a syscall; the edge target is EAX
+    /// (the syscall number), not an address.
+    Syscall,
+    /// The instruction at `from` faulted; the edge target is 0.
+    Fault,
+}
+
+impl EdgeKind {
+    /// Short fixed-width label for rendered timelines.
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeKind::BranchTaken => "br-taken",
+            EdgeKind::BranchNotTaken => "br-fall",
+            EdgeKind::Jump => "jmp",
+            EdgeKind::IndirectJump => "jmp*",
+            EdgeKind::Call => "call",
+            EdgeKind::IndirectCall => "call*",
+            EdgeKind::Ret => "ret",
+            EdgeKind::Syscall => "syscall",
+            EdgeKind::Fault => "fault",
+        }
+    }
+}
+
+/// One recorded control transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Address of the transferring (or faulting) instruction.
+    pub from: u32,
+    /// Transfer target: the next EIP, EAX for [`EdgeKind::Syscall`],
+    /// 0 for [`EdgeKind::Fault`].
+    pub to: u32,
+    /// Absolute retired-instruction count at the edge (the transferring
+    /// instruction included; a fetch fault retires nothing and reports
+    /// the count before it).
+    pub icount: u64,
+    /// Transfer classification.
+    pub kind: EdgeKind,
+}
+
+/// Classify a retired control transfer from its decoded instruction.
+///
+/// Returns `None` for instructions that emit no edge: every
+/// non-control-transfer when it falls through (`taken == false`).
+/// Classification uses only the architectural instruction, so the block
+/// engine (which executes lowered µops) and the per-step engine record
+/// identical streams.
+pub fn edge_kind(inst: &Inst, taken: bool) -> Option<EdgeKind> {
+    match inst.op {
+        Op::Jcc(_) | Op::Loop | Op::Loope | Op::Loopne | Op::Jecxz => Some(if taken {
+            EdgeKind::BranchTaken
+        } else {
+            EdgeKind::BranchNotTaken
+        }),
+        Op::Jmp => taken.then_some(EdgeKind::Jump),
+        Op::JmpInd => taken.then_some(EdgeKind::IndirectJump),
+        Op::Call => taken.then_some(EdgeKind::Call),
+        Op::CallInd => taken.then_some(EdgeKind::IndirectCall),
+        Op::Ret(_) => taken.then_some(EdgeKind::Ret),
+        // No other op produces a jump flow; if one ever does, record it
+        // as a generic jump rather than silently dropping the edge.
+        _ => taken.then_some(EdgeKind::Jump),
+    }
+}
+
+/// Live recorder state owned by a [`crate::Machine`].
+#[derive(Debug, Clone)]
+pub(crate) struct FlightRecorder {
+    cap: usize,
+    edges: Vec<Edge>,
+    total: u64,
+    start_cpu: Cpu,
+    start_icount: u64,
+}
+
+impl FlightRecorder {
+    pub(crate) fn new(cap: usize, cpu: Cpu, icount: u64) -> FlightRecorder {
+        FlightRecorder {
+            cap,
+            edges: Vec::new(),
+            total: 0,
+            start_cpu: cpu,
+            start_icount: icount,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, edge: Edge) {
+        self.total += 1;
+        if self.edges.len() < self.cap {
+            self.edges.push(edge);
+        }
+    }
+
+    pub(crate) fn into_trace(self, stop_cpu: Cpu, stop_icount: u64) -> FlightTrace {
+        FlightTrace {
+            edges: self.edges,
+            total_edges: self.total,
+            start_cpu: self.start_cpu,
+            start_icount: self.start_icount,
+            stop_cpu,
+            stop_icount,
+        }
+    }
+}
+
+/// A completed recording: the bounded edge prefix plus the register
+/// file and instruction count at both ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightTrace {
+    /// The first `capacity` edges after recording started.
+    pub edges: Vec<Edge>,
+    /// Edges observed in total, including any past the buffer bound.
+    pub total_edges: u64,
+    /// Register file when recording started.
+    pub start_cpu: Cpu,
+    /// Retired-instruction count when recording started.
+    pub start_icount: u64,
+    /// Register file when the trace was taken.
+    pub stop_cpu: Cpu,
+    /// Retired-instruction count when the trace was taken.
+    pub stop_icount: u64,
+}
+
+impl FlightTrace {
+    /// Instructions retired while recording — for a trace enabled at
+    /// error activation and taken at the stop, this is exactly the
+    /// paper's Figure 4 crash latency.
+    pub fn retired(&self) -> u64 {
+        self.stop_icount - self.start_icount
+    }
+
+    /// True when edges past the buffer bound were dropped.
+    pub fn truncated(&self) -> bool {
+        self.total_edges > self.edges.len() as u64
+    }
+}
+
+/// Index of the first position where two edge streams differ: a
+/// position where the edges are unequal, or the shorter stream's end
+/// when one is a strict prefix of the other. `None` when the recorded
+/// windows are identical (equal streams — or both truncated at the same
+/// bound before any divergence).
+pub fn first_divergence(golden: &[Edge], faulty: &[Edge]) -> Option<usize> {
+    let n = golden.len().min(faulty.len());
+    (0..n)
+        .find(|&i| golden[i] != faulty[i])
+        .or_else(|| (golden.len() != faulty.len()).then_some(n))
+}
+
+/// One architectural register whose value differs between two stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegDelta {
+    /// Register name (AT&T spelling, plus `eip`/`eflags`).
+    pub name: &'static str,
+    /// Value in the golden continuation at its stop.
+    pub golden: u32,
+    /// Value in the faulty run at its stop.
+    pub faulty: u32,
+}
+
+/// IA-32 register names in encoding order (index with `Reg32`).
+pub const REG_NAMES: [&str; 8] = ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"];
+
+/// Registers (plus EIP and EFLAGS) that differ between two register
+/// files, in encoding order.
+pub fn diff_regs(golden: &Cpu, faulty: &Cpu) -> Vec<RegDelta> {
+    let mut out = Vec::new();
+    for (i, name) in REG_NAMES.iter().enumerate() {
+        if golden.regs[i] != faulty.regs[i] {
+            out.push(RegDelta {
+                name,
+                golden: golden.regs[i],
+                faulty: faulty.regs[i],
+            });
+        }
+    }
+    if golden.eip != faulty.eip {
+        out.push(RegDelta {
+            name: "eip",
+            golden: golden.eip,
+            faulty: faulty.eip,
+        });
+    }
+    if golden.eflags != faulty.eflags {
+        out.push(RegDelta {
+            name: "eflags",
+            golden: golden.eflags,
+            faulty: faulty.eflags,
+        });
+    }
+    out
+}
+
+/// One memory byte that differs between two stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDiffByte {
+    /// Address of the differing byte.
+    pub addr: u32,
+    /// Byte in the golden continuation at its stop.
+    pub golden: u8,
+    /// Byte in the faulty run at its stop.
+    pub faulty: u8,
+}
+
+/// Summary of how two address spaces differ.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemDelta {
+    /// Total differing bytes across all regions.
+    pub bytes_changed: u64,
+    /// The first few differing bytes, lowest addresses first (bounded
+    /// sample for rendering).
+    pub sample: Vec<MemDiffByte>,
+}
+
+/// Byte-compare two address spaces region by region. Regions are
+/// matched pairwise in mapping order (the study's processes never remap
+/// after boot, so golden and faulty layouts are identical); a region
+/// present in only one space counts every byte as changed.
+pub fn diff_memory(golden: &Memory, faulty: &Memory, sample_cap: usize) -> MemDelta {
+    let mut delta = MemDelta::default();
+    let gr: Vec<_> = golden.regions().collect();
+    let fr: Vec<_> = faulty.regions().collect();
+    for i in 0..gr.len().max(fr.len()) {
+        match (gr.get(i), fr.get(i)) {
+            (Some(g), Some(f)) if g.start() == f.start() && g.len() == f.len() => {
+                let (gb, fb) = (g.bytes(), f.bytes());
+                if gb == fb {
+                    continue;
+                }
+                for (off, (a, b)) in gb.iter().zip(fb).enumerate() {
+                    if a != b {
+                        delta.bytes_changed += 1;
+                        if delta.sample.len() < sample_cap {
+                            delta.sample.push(MemDiffByte {
+                                addr: g.start().wrapping_add(off as u32),
+                                golden: *a,
+                                faulty: *b,
+                            });
+                        }
+                    }
+                }
+            }
+            (g, f) => {
+                delta.bytes_changed +=
+                    u64::from(g.map_or(0, |r| r.len())) + u64::from(f.map_or(0, |r| r.len()));
+            }
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(from: u32, to: u32, icount: u64, kind: EdgeKind) -> Edge {
+        Edge {
+            from,
+            to,
+            icount,
+            kind,
+        }
+    }
+
+    #[test]
+    fn edge_kind_classifies_transfers() {
+        use crate::inst::Cond;
+        let jcc = Inst::new(Op::Jcc(Cond::E));
+        assert_eq!(edge_kind(&jcc, true), Some(EdgeKind::BranchTaken));
+        assert_eq!(edge_kind(&jcc, false), Some(EdgeKind::BranchNotTaken));
+        assert_eq!(edge_kind(&Inst::new(Op::Jmp), true), Some(EdgeKind::Jump));
+        assert_eq!(
+            edge_kind(&Inst::new(Op::JmpInd), true),
+            Some(EdgeKind::IndirectJump)
+        );
+        assert_eq!(edge_kind(&Inst::new(Op::Call), true), Some(EdgeKind::Call));
+        assert_eq!(
+            edge_kind(&Inst::new(Op::CallInd), true),
+            Some(EdgeKind::IndirectCall)
+        );
+        assert_eq!(edge_kind(&Inst::new(Op::Ret(0)), true), Some(EdgeKind::Ret));
+        assert_eq!(edge_kind(&Inst::new(Op::Mov), false), None);
+        assert_eq!(
+            edge_kind(&Inst::new(Op::Loop), false),
+            Some(EdgeKind::BranchNotTaken)
+        );
+    }
+
+    #[test]
+    fn recorder_keeps_prefix_and_counts_overflow() {
+        let mut r = FlightRecorder::new(2, Cpu::new(), 10);
+        for i in 0..5u32 {
+            r.push(e(i, i + 1, 10 + u64::from(i), EdgeKind::Jump));
+        }
+        let t = r.into_trace(Cpu::new(), 40);
+        assert_eq!(t.edges.len(), 2);
+        assert_eq!(t.total_edges, 5);
+        assert!(t.truncated());
+        assert_eq!(t.edges[0].from, 0);
+        assert_eq!(t.edges[1].from, 1);
+        assert_eq!(t.retired(), 30);
+    }
+
+    #[test]
+    fn first_divergence_finds_mismatch_and_length_difference() {
+        let a = vec![
+            e(1, 2, 1, EdgeKind::Jump),
+            e(2, 3, 2, EdgeKind::Call),
+            e(3, 4, 3, EdgeKind::Ret),
+        ];
+        let mut b = a.clone();
+        assert_eq!(first_divergence(&a, &b), None);
+        b[1].to = 9;
+        assert_eq!(first_divergence(&a, &b), Some(1));
+        let c = &a[..2];
+        assert_eq!(first_divergence(&a, c), Some(2));
+        assert_eq!(first_divergence(&[], &[]), None);
+    }
+
+    #[test]
+    fn diff_regs_reports_only_changes() {
+        let g = Cpu::new();
+        let mut f = Cpu::new();
+        assert!(diff_regs(&g, &f).is_empty());
+        f.regs[0] = 7;
+        f.eip = 0x1000;
+        let d = diff_regs(&g, &f);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].name, "eax");
+        assert_eq!(d[0].faulty, 7);
+        assert_eq!(d[1].name, "eip");
+    }
+
+    #[test]
+    fn diff_memory_counts_and_samples() {
+        use crate::mem::{Perms, Region};
+        let mut g = Memory::new();
+        g.map(Region::with_data("data", 0x1000, vec![0u8; 64], Perms::RW))
+            .unwrap();
+        let mut f = g.clone();
+        assert_eq!(diff_memory(&g, &f, 4).bytes_changed, 0);
+        f.write8(0x1004, 0xAA).unwrap();
+        f.write8(0x1010, 0xBB).unwrap();
+        let d = diff_memory(&g, &f, 1);
+        assert_eq!(d.bytes_changed, 2);
+        assert_eq!(d.sample.len(), 1);
+        assert_eq!(
+            d.sample[0],
+            MemDiffByte {
+                addr: 0x1004,
+                golden: 0,
+                faulty: 0xAA
+            }
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! at a block boundary, restores that rewind the executable generation,
 //! and self-modifying text.
 
-use fisec_x86::{Machine, Memory, Perms, Reg32, Region, RunOutcome};
+use fisec_x86::{EdgeKind, FlightTrace, Machine, Memory, Perms, Reg32, Region, RunOutcome};
 
 const TEXT: u32 = 0x1000;
 
@@ -221,6 +221,98 @@ fn toggling_engine_mid_execution_is_safe() {
     assert_eq!(reference.run_until_event(114), RunOutcome::Budget);
     assert_eq!(m.icount, reference.icount);
     assert_eq!(m.cpu, reference.cpu);
+}
+
+/// Run `text` under both engines with the flight recorder on and
+/// assert the recorded traces are bit-identical; returns one of them.
+fn assert_flight_traces_agree(text: Vec<u8>, budget: u64) -> FlightTrace {
+    let mut blk = machine(text.clone());
+    let mut stp = machine(text);
+    stp.set_block_engine(false);
+    blk.enable_flight_recorder(1 << 16);
+    stp.enable_flight_recorder(1 << 16);
+    assert_eq!(blk.run_until_event(budget), stp.run_until_event(budget));
+    let a = blk.take_flight_trace().unwrap();
+    let b = stp.take_flight_trace().unwrap();
+    assert_eq!(a, b, "flight traces diverged between engines");
+    a
+}
+
+#[test]
+fn flight_trace_identical_across_engines() {
+    // Branches taken and not taken, through a resident loop.
+    let t = assert_flight_traces_agree(counted_loop(), 50);
+    assert!(t
+        .edges
+        .iter()
+        .any(|e| e.kind == EdgeKind::BranchTaken && e.to == TEXT + 5));
+    assert!(t.edges.iter().any(|e| e.kind == EdgeKind::BranchNotTaken));
+    // Exec fault mid-block: xor edx,edx; xor ecx,ecx; div ecx.
+    let t = assert_flight_traces_agree(vec![0x31, 0xD2, 0x31, 0xC9, 0xF7, 0xF1], 50);
+    assert_eq!(t.edges.last().unwrap().kind, EdgeKind::Fault);
+    assert_eq!(t.edges.last().unwrap().from, TEXT + 4);
+    assert_eq!(t.edges.last().unwrap().icount, 3, "div retires then faults");
+    // Fetch fault: straight-line code falls off the text region.
+    let t = assert_flight_traces_agree(vec![0x40; 4], 50);
+    assert_eq!(
+        t.edges.last().unwrap(),
+        &fisec_x86::Edge {
+            from: TEXT + 4,
+            to: 0,
+            icount: 4,
+            kind: EdgeKind::Fault
+        }
+    );
+}
+
+#[test]
+fn flight_trace_records_calls_rets_and_syscalls() {
+    // mov ecx,3; call f; jmp $; nop; f: inc eax; dec ecx; jnz f; ret
+    let text = vec![
+        0xB9, 0x03, 0x00, 0x00, 0x00, // 0x1000 mov ecx,3
+        0xE8, 0x03, 0x00, 0x00, 0x00, // 0x1005 call 0x100D
+        0xEB, 0xFE, // 0x100A jmp $
+        0x90, // 0x100C nop
+        0x40, // 0x100D inc eax
+        0x49, // 0x100E dec ecx
+        0x75, 0xFC, // 0x100F jnz 0x100D
+        0xC3, // 0x1011 ret
+    ];
+    let t = assert_flight_traces_agree(text, 20);
+    let kinds: Vec<EdgeKind> = t.edges.iter().map(|e| e.kind).collect();
+    assert_eq!(kinds[0], EdgeKind::Call);
+    assert_eq!(t.edges[0].to, TEXT + 0xD);
+    assert!(kinds.contains(&EdgeKind::Ret));
+    let ret = t.edges.iter().find(|e| e.kind == EdgeKind::Ret).unwrap();
+    assert_eq!(ret.to, TEXT + 0xA, "ret returns past the call");
+    // A syscall edge carries EAX (the syscall number) as its target.
+    let t = assert_flight_traces_agree(vec![0xB8, 0x04, 0x00, 0x00, 0x00, 0xCD, 0x80], 20);
+    let sys = t.edges.last().unwrap();
+    assert_eq!(sys.kind, EdgeKind::Syscall);
+    assert_eq!((sys.from, sys.to, sys.icount), (TEXT + 5, 4, 2));
+}
+
+#[test]
+fn flight_recorder_bound_and_restore_semantics() {
+    let mut m = machine(counted_loop());
+    m.enable_flight_recorder(2);
+    assert_eq!(m.run_until_event(100), RunOutcome::Budget);
+    let t = m.take_flight_trace().unwrap();
+    assert_eq!(t.edges.len(), 2, "prefix window holds the bound");
+    assert!(t.truncated());
+    assert!(t.total_edges > 2);
+    assert_eq!(t.retired(), 100);
+    assert!(m.take_flight_trace().is_none(), "taking the trace disarms");
+
+    // A restore drops any active recording: the recorder is per-run
+    // instrumentation, re-armed by the injector after each rewind.
+    let mut m = machine(counted_loop());
+    let snap = m.snapshot();
+    m.enable_flight_recorder(16);
+    assert_eq!(m.run_until_event(10), RunOutcome::Budget);
+    m.restore(&snap);
+    assert!(!m.flight_recorder_enabled());
+    assert!(m.take_flight_trace().is_none());
 }
 
 #[test]
