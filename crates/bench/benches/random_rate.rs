@@ -1,24 +1,44 @@
 //! Regenerates the paper's §7 estimate — "about one out of 3,000
 //! single-bit errors causes security violation" under massive random
-//! injection with the server under constant attack — and benchmarks one
-//! latent-error session.
+//! injection with the server under constant attack — through the
+//! streaming sharded campaign engine, reports the violation rate with
+//! its 95% confidence intervals and the sustained runs/second, and
+//! benchmarks one latent-error session under each execution engine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fisec_apps::AppSpec;
-use fisec_core::random::{run_random_campaign, run_with_latent_error};
-use fisec_inject::golden_run;
+use fisec_core::random::{render_report, run_random_streaming, RandomConfig};
+use fisec_inject::{golden_run, EngineOpts, LatentError, LatentRunner};
+use fisec_telemetry::Telemetry;
+use std::time::Instant;
 
 fn bench(c: &mut Criterion) {
     let ftpd = AppSpec::ftpd();
-    let runs = if fisec_bench::quick_mode() { 300 } else { 3000 };
+    let runs = if fisec_bench::quick_mode() {
+        300
+    } else {
+        10_000
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    let r = run_random_campaign(&ftpd, runs, 2001);
+    let cfg = RandomConfig {
+        runs,
+        seed: 2001,
+        threads,
+        ..RandomConfig::default()
+    };
+    let start = Instant::now();
+    let stats = run_random_streaming(&ftpd, &cfg, &Telemetry::disabled()).unwrap();
+    let secs = start.elapsed().as_secs_f64();
     println!("\n== §7: random single-bit errors, server under constant attack ==");
+    print!("{}", render_report(&stats));
     println!(
-        "runs {}  no-effect {}  SD {}  FSV {}  BRK {}",
-        r.runs, r.no_effect, r.sd, r.fsv, r.brk
+        "throughput: {:.0} runs/s on {threads} threads ({runs} runs in {secs:.2}s)",
+        runs as f64 / secs
     );
-    match r.errors_per_breakin() {
+    match stats.result.errors_per_breakin() {
         Some(n) => println!(
             "=> about one out of {n:.0} single-bit errors causes a security violation\n\
              (the paper reports ~1/3000 on a full-size wu-ftpd text segment; our\n\
@@ -30,16 +50,20 @@ fn bench(c: &mut Criterion) {
 
     let spec = &ftpd.clients[0];
     let golden = golden_run(&ftpd.image, spec).unwrap();
-    c.bench_function("latent_error_session/ftpd_client1", |b| {
-        b.iter(|| {
-            run_with_latent_error(
-                &ftpd.image,
-                spec,
-                &golden,
-                std::hint::black_box(100),
-                std::hint::black_box(3),
-            )
-        })
+    let err = LatentError {
+        offset: 100,
+        corrupted: ftpd.image.text[100] ^ (1 << 3),
+    };
+
+    let mut snap = LatentRunner::snapshot(&ftpd.image, spec, &golden, EngineOpts::default())
+        .expect("image loads");
+    c.bench_function("latent_error_session/ftpd_client1_snapshot", |b| {
+        b.iter(|| snap.run(&golden, std::hint::black_box(err)))
+    });
+
+    let mut scratch = LatentRunner::from_scratch(&ftpd.image, spec, &golden, EngineOpts::default());
+    c.bench_function("latent_error_session/ftpd_client1_from_scratch", |b| {
+        b.iter(|| scratch.run(&golden, std::hint::black_box(err)))
     });
 }
 

@@ -60,6 +60,10 @@ struct Args {
     bit: u8,
     recorder: bool,
     from_trace: bool,
+    batch: usize,
+    target_ci: Option<f64>,
+    resume: Option<String>,
+    from_scratch: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -91,6 +95,10 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         bit: 0,
         recorder: false,
         from_trace: false,
+        batch: 500,
+        target_ci: None,
+        resume: None,
+        from_scratch: false,
     };
     while let Some(flag) = argv.next() {
         let mut val = |name: &str| -> Result<String, String> {
@@ -131,6 +139,21 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
             "--bit" => a.bit = val("--bit")?.parse().map_err(|e| format!("{e}"))?,
             "--recorder" => a.recorder = true,
             "--from-trace" => a.from_trace = true,
+            "--batch" => {
+                a.batch = val("--batch")?.parse().map_err(|e| format!("{e}"))?;
+                if a.batch == 0 {
+                    return Err("--batch must be at least 1".to_string());
+                }
+            }
+            "--target-ci" => {
+                let w: f64 = val("--target-ci")?.parse().map_err(|e| format!("{e}"))?;
+                if !(w > 0.0 && w < 1.0) {
+                    return Err(format!("--target-ci {w} must be in (0, 1)"));
+                }
+                a.target_ci = Some(w);
+            }
+            "--resume" => a.resume = Some(val("--resume")?),
+            "--from-scratch" => a.from_scratch = true,
             other if !other.starts_with('-') && a.path.is_none() => a.path = Some(flag),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -144,8 +167,10 @@ fn usage() -> String {
             --seed S  --threads N  --top K  --stride N  --json  --new-encoding\n\
             --no-block-cache  --trace-out PATH  --progress  --recorder\n\
             --addr 0xADDR  --byte N  --bit N  --from-trace\n\
+            --batch N  --target-ci WIDTH  --resume LEDGER  --from-scratch\n\
      stats takes the trace file as a positional argument: fisec stats run.jsonl\n\
-     explain renders one injection's divergence timeline: fisec explain --app ftpd --addr 0xADDR --byte N --bit N"
+     explain renders one injection's divergence timeline: fisec explain --app ftpd --addr 0xADDR --byte N --bit N\n\
+     random streams a sharded campaign; --trace-out doubles as its resumable ledger"
         .to_string()
 }
 
@@ -362,16 +387,23 @@ fn run(args: &Args) -> Result<(), String> {
                 .path
                 .as_ref()
                 .ok_or("stats needs a trace file: fisec stats run.jsonl")?;
-            let campaigns = trace::read_trace(path)?;
-            if campaigns.is_empty() {
+            let replay = trace::read_trace(path)?;
+            if replay.campaigns.is_empty() && replay.random.is_empty() {
                 return Err(format!("{path}: no campaigns in trace"));
             }
             if args.json {
-                for c in &campaigns {
+                for c in &replay.campaigns {
                     println!("{}", CampaignSummary::from(&c.result).to_json());
                 }
+                for r in &replay.random {
+                    let summary = r.stats.json_summary();
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+                    );
+                }
             } else {
-                print!("{}", trace::render_stats(&campaigns));
+                print!("{}", trace::render_stats(&replay));
             }
         }
         "random" => {
@@ -380,28 +412,93 @@ fn run(args: &Args) -> Result<(), String> {
             } else {
                 &args.app
             })?;
-            let scheme = if args.new_encoding {
-                EncodingScheme::NewEncoding
-            } else {
-                EncodingScheme::Baseline
+            let app = &apps[0];
+            let engine = fisec_inject::EngineOpts {
+                block_cache: !args.no_block_cache,
+                flight_recorder: false,
             };
-            let r = random::run_random_campaign_scheme(&apps[0], args.runs, args.seed, scheme);
+            let threads = args.threads.unwrap_or(1).max(1);
+            let wall_start = Instant::now();
+            let (stats, prior_runs) = if let Some(ledger_path) = &args.resume {
+                // Resume: the ledger header is the configuration; only
+                // execution knobs (threads, engine) come from flags.
+                let ledger = random::read_ledger(ledger_path)?;
+                if ledger.header.app != app.name {
+                    return Err(format!(
+                        "{ledger_path} records a campaign for {} but --app selects {} \
+                         (rerun with --app {})",
+                        ledger.header.app, app.name, ledger.header.app
+                    ));
+                }
+                let mut cfg = random::RandomConfig::from_header(&ledger.header, threads, engine)?;
+                cfg.client = app
+                    .clients
+                    .iter()
+                    .position(|c| c.name == ledger.header.client)
+                    .ok_or_else(|| {
+                        format!(
+                            "ledger client `{}` is not a client of {}",
+                            ledger.header.client, app.name
+                        )
+                    })?;
+                random::truncate_torn_tail(ledger_path, &ledger)?;
+                let sink =
+                    JsonlSink::append(ledger_path).map_err(|e| format!("{ledger_path}: {e}"))?;
+                let tel = Telemetry::new(Arc::new(sink), args.progress);
+                let stats = random::resume_random_streaming(app, &cfg, &ledger, &tel)?;
+                report_telemetry(args, &tel, wall_start);
+                (stats, ledger.committed as usize)
+            } else {
+                if args.client == 0 || args.client > app.clients.len() {
+                    return Err(format!(
+                        "--client {} out of range for {} (valid: 1..={})",
+                        args.client,
+                        app.name,
+                        app.clients.len()
+                    ));
+                }
+                let cfg = random::RandomConfig {
+                    runs: args.runs,
+                    seed: args.seed,
+                    scheme: if args.new_encoding {
+                        EncodingScheme::NewEncoding
+                    } else {
+                        EncodingScheme::Baseline
+                    },
+                    mode: if args.from_scratch {
+                        fisec_core::ExecutionMode::FromScratch
+                    } else {
+                        fisec_core::ExecutionMode::Snapshot
+                    },
+                    client: args.client - 1,
+                    threads,
+                    batch: args.batch,
+                    target_ci: args.target_ci,
+                    engine,
+                };
+                let tel = telemetry_for(args)?;
+                let stats = random::run_random_streaming(app, &cfg, &tel)?;
+                report_telemetry(args, &tel, wall_start);
+                (stats, 0)
+            };
             if args.json {
                 println!(
                     "{}",
-                    serde_json::to_string_pretty(&r).map_err(|e| e.to_string())?
+                    serde_json::to_string_pretty(&stats.json_summary())
+                        .map_err(|e| e.to_string())?
                 );
             } else {
-                println!(
-                    "runs {}  no-effect {}  SD {}  FSV {}  BRK {}",
-                    r.runs, r.no_effect, r.sd, r.fsv, r.brk
-                );
-                match r.errors_per_breakin() {
-                    Some(n) => {
-                        println!("about one out of {n:.0} errors causes a security violation")
+                print!("{}", random::render_report(&stats));
+                let secs = wall_start.elapsed().as_secs_f64();
+                let executed = stats.result.runs.saturating_sub(prior_runs);
+                eprintln!(
+                    "wall {secs:.1}s ({:.0} runs/s this invocation)",
+                    if secs > 0.0 {
+                        executed as f64 / secs
+                    } else {
+                        0.0
                     }
-                    None => println!("no break-in in this sample"),
-                }
+                );
             }
         }
         "load" => {

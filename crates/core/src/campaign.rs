@@ -632,6 +632,35 @@ fn run_targets_from_scratch(
     out.into_iter().flatten().collect()
 }
 
+/// Shared work-queue threading: spawn `threads` scoped workers, each
+/// pulling item indices `0..items` from one atomic counter until the
+/// queue drains. The campaign engine feeds it checkpoint groups and the
+/// random tier feeds it run batches — both have wildly uneven item
+/// costs, which is exactly when a shared queue beats static chunking.
+///
+/// `worker` is called once per thread with the worker id and a `pull`
+/// closure; it owns its loop so per-worker state (telemetry shards,
+/// snapshot processes) lives across items.
+pub fn run_work_queue<W>(threads: usize, items: usize, worker: W)
+where
+    W: Fn(usize, &dyn Fn() -> Option<usize>) + Sync,
+{
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let next = &next;
+            let worker = &worker;
+            s.spawn(move || {
+                let pull = || {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    (i < items).then_some(i)
+                };
+                worker(w, &pull);
+            });
+        }
+    });
+}
+
 /// The checkpointed fast path.
 ///
 /// Targets are grouped by instruction address (enumeration emits them
@@ -740,32 +769,21 @@ fn run_targets_snapshot(
             slots[gi] = Some(runs);
         }
     } else {
-        let next = AtomicUsize::new(0);
         let slots_mx = Mutex::new(&mut slots);
-        std::thread::scope(|s| {
-            for w in 0..threads {
-                let next = &next;
-                let live = &live;
-                let groups = &groups;
-                let slots_mx = &slots_mx;
-                let run_group = &run_group;
-                s.spawn(move || {
-                    let mut wt = WorkerTel::new(tel, client_idx, w + 1);
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&gi) = live.get(i) else { break };
-                        let (_, group) = groups[gi];
-                        let runs = run_group(group, &mut wt);
-                        let wait_start = Instant::now();
-                        let mut guard = slots_mx.lock().expect("no worker panicked");
-                        let wait = micros_since(wait_start);
-                        guard[gi] = Some(runs);
-                        drop(guard);
-                        wt.observe_queue_wait(wait);
-                    }
-                    wt.finish();
-                });
+        run_work_queue(threads, live.len(), |w, pull| {
+            let mut wt = WorkerTel::new(tel, client_idx, w + 1);
+            while let Some(i) = pull() {
+                let gi = live[i];
+                let (_, group) = groups[gi];
+                let runs = run_group(group, &mut wt);
+                let wait_start = Instant::now();
+                let mut guard = slots_mx.lock().expect("no worker panicked");
+                let wait = micros_since(wait_start);
+                guard[gi] = Some(runs);
+                drop(guard);
+                wt.observe_queue_wait(wait);
             }
+            wt.finish();
         });
     }
 

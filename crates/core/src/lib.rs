@@ -36,6 +36,7 @@ pub mod explain;
 pub mod figure4;
 pub mod load;
 pub mod random;
+pub mod stats;
 pub mod tables;
 pub mod trace;
 

@@ -52,7 +52,8 @@ pub fn run_load_study(app: &AppSpec, samples: usize, seed: u64) -> LoadStudyResu
         let mut manifested_so_far = false;
         for (k, (spec, golden)) in app.clients.iter().zip(&goldens).enumerate() {
             if !manifested_so_far {
-                let run = run_with_latent_error(&app.image, spec, golden, offset, bit);
+                let run = run_with_latent_error(&app.image, spec, golden, offset, bit)
+                    .expect("sampled offset/bit are in range");
                 if run.outcome != OutcomeClass::NotManifested {
                     manifested_so_far = true;
                 }

@@ -1,0 +1,398 @@
+//! Binomial confidence intervals for sampled campaigns.
+//!
+//! The random-injection tier estimates a rare-event rate (the paper's
+//! §7 "about one out of 3,000 errors causes a security violation") from
+//! a sample, so the estimate is only meaningful with an explicit
+//! interval. Two standard 95% intervals on a binomial proportion are
+//! provided:
+//!
+//! * **Wilson score** ([`wilson`]): the score-test inversion. Good
+//!   coverage even for small `k`, never leaves `[0, 1]`, cheap
+//!   closed form — this is the interval the adaptive `--target-ci`
+//!   loop drives on.
+//! * **Clopper-Pearson** ([`clopper_pearson`]): the "exact" interval
+//!   from inverting the binomial test; conservative (coverage ≥
+//!   nominal), the conventional companion number in fault-injection
+//!   reports.
+//!
+//! Clopper-Pearson bounds are Beta-distribution quantiles; the
+//! regularized incomplete beta function is evaluated by the standard
+//! continued fraction (Lentz) and inverted by bisection — no external
+//! math dependency, deterministic across platforms.
+
+/// Two-sided z for a 95% normal interval.
+pub const Z95: f64 = 1.959_963_984_540_054;
+
+/// A two-sided confidence interval on a proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ci {
+    /// Lower bound, clamped to `[0, 1]`.
+    pub low: f64,
+    /// Upper bound, clamped to `[0, 1]`.
+    pub high: f64,
+}
+
+impl Ci {
+    /// Interval width `high - low`.
+    pub fn width(&self) -> f64 {
+        self.high - self.low
+    }
+}
+
+/// Wilson score interval for `k` successes in `n` trials at critical
+/// value `z`. For `n == 0` the interval is the vacuous `[0, 1]`.
+pub fn wilson(k: u64, n: u64, z: f64) -> Ci {
+    assert!(k <= n, "k={k} successes out of n={n} trials");
+    if n == 0 {
+        return Ci {
+            low: 0.0,
+            high: 1.0,
+        };
+    }
+    let nf = n as f64;
+    let p = k as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = (p + z2 / (2.0 * nf)) / denom;
+    let half = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt() / denom;
+    // At the edges the closed form is exactly 0 (resp. 1) on paper but
+    // accumulates ~1e-18 of floating-point noise; pin it.
+    Ci {
+        low: if k == 0 {
+            0.0
+        } else {
+            (center - half).max(0.0)
+        },
+        high: if k == n {
+            1.0
+        } else {
+            (center + half).min(1.0)
+        },
+    }
+}
+
+/// [`wilson`] at 95%.
+pub fn wilson95(k: u64, n: u64) -> Ci {
+    wilson(k, n, Z95)
+}
+
+/// Clopper-Pearson ("exact") interval for `k` successes in `n` trials
+/// at significance `alpha` (0.05 for a 95% interval). For `n == 0` the
+/// interval is the vacuous `[0, 1]`; `k == 0` pins the lower bound to 0
+/// and `k == n` pins the upper bound to 1, exactly as the definition
+/// does.
+pub fn clopper_pearson(k: u64, n: u64, alpha: f64) -> Ci {
+    assert!(k <= n, "k={k} successes out of n={n} trials");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha={alpha} out of (0,1)");
+    if n == 0 {
+        return Ci {
+            low: 0.0,
+            high: 1.0,
+        };
+    }
+    let (kf, nf) = (k as f64, n as f64);
+    let low = if k == 0 {
+        0.0
+    } else {
+        beta_quantile(kf, nf - kf + 1.0, alpha / 2.0)
+    };
+    let high = if k == n {
+        1.0
+    } else {
+        beta_quantile(kf + 1.0, nf - kf, 1.0 - alpha / 2.0)
+    };
+    Ci { low, high }
+}
+
+/// [`clopper_pearson`] at 95%.
+pub fn clopper_pearson95(k: u64, n: u64) -> Ci {
+    clopper_pearson(k, n, 0.05)
+}
+
+/// `ln Γ(x)` for `x > 0` (Lanczos approximation, g = 7, 9 terms;
+/// relative error below 1e-13 over the domain used here).
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection keeps the Lanczos series in its accurate range.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = 0.999_999_999_999_809_9;
+    for (i, c) in COEF.iter().enumerate() {
+        a += c / (x + i as f64 + 1.0);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Continued fraction for the incomplete beta function (modified Lentz;
+/// Numerical Recipes `betacf`).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`, the CDF of
+/// `Beta(a, b)` at `x`.
+fn betainc(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the continued fraction on whichever side converges fast.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Quantile of `Beta(a, b)` at probability `p`, by bisection on the
+/// monotone CDF. 200 halvings of `[0, 1]` bottom out at f64 resolution,
+/// so the result is deterministic and accurate to machine precision of
+/// the CDF evaluation.
+fn beta_quantile(a: f64, b: f64, p: f64) -> f64 {
+    if p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if betainc(a, b, mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= f64::EPSILON * mid {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact binomial CDF `P[X <= k]` for the modest `n` used in tests.
+    fn binom_cdf(k: u64, n: u64, p: f64) -> f64 {
+        let mut total = 0.0;
+        for i in 0..=k {
+            let ln_c = ln_gamma(n as f64 + 1.0)
+                - ln_gamma(i as f64 + 1.0)
+                - ln_gamma((n - i) as f64 + 1.0);
+            total += (ln_c + i as f64 * p.ln() + (n - i) as f64 * (1.0 - p).ln()).exp();
+        }
+        total
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betainc_is_a_cdf() {
+        assert_eq!(betainc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betainc(2.0, 3.0, 1.0), 1.0);
+        // Beta(1,1) is uniform.
+        for x in [0.1, 0.5, 0.9] {
+            assert!((betainc(1.0, 1.0, x) - x).abs() < 1e-12, "{x}");
+        }
+        // Beta(2,2): CDF = 3x² − 2x³.
+        for x in [0.2, 0.5, 0.8] {
+            let expect = 3.0 * x * x - 2.0 * x * x * x;
+            assert!((betainc(2.0, 2.0, x) - expect).abs() < 1e-12, "{x}");
+        }
+        // Monotone.
+        assert!(betainc(5.0, 9.0, 0.3) < betainc(5.0, 9.0, 0.31));
+    }
+
+    #[test]
+    fn beta_quantile_inverts_the_cdf() {
+        for (a, b) in [(1.0, 1.0), (2.0, 5.0), (10.0, 91.0), (0.5, 3.5)] {
+            for p in [0.025, 0.5, 0.975] {
+                let x = beta_quantile(a, b, p);
+                assert!(
+                    (betainc(a, b, x) - p).abs() < 1e-10,
+                    "a={a} b={b} p={p} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wilson_matches_published_values() {
+        // k=10, n=100, 95%: the standard worked example gives
+        // [0.0552, 0.1744] (e.g. Brown–Cai–DasGupta's running example).
+        let ci = wilson95(10, 100);
+        assert!((ci.low - 0.0552).abs() < 5e-4, "{ci:?}");
+        assert!((ci.high - 0.1744).abs() < 5e-4, "{ci:?}");
+        // k=1, n=3000 — the paper's closing rate. Wilson 95% is
+        // approximately [5.9e-5, 1.9e-3].
+        let ci = wilson95(1, 3000);
+        assert!((ci.low - 5.9e-5).abs() < 1e-5, "{ci:?}");
+        assert!((ci.high - 1.884e-3).abs() < 5e-5, "{ci:?}");
+    }
+
+    #[test]
+    fn wilson_edge_cases() {
+        // n=0: vacuous.
+        assert_eq!(
+            wilson95(0, 0),
+            Ci {
+                low: 0.0,
+                high: 1.0
+            }
+        );
+        // k=0: lower bound exactly 0 (the closed form cancels).
+        let ci = wilson95(0, 20);
+        assert!(ci.low.abs() < 1e-12, "{ci:?}");
+        assert!(ci.high > 0.0 && ci.high < 1.0, "{ci:?}");
+        // k=n mirrors k=0.
+        let hi = wilson95(20, 20);
+        assert!((hi.high - 1.0).abs() < 1e-12, "{hi:?}");
+        assert!((hi.low - (1.0 - ci.high)).abs() < 1e-12, "{hi:?} vs {ci:?}");
+        // Wider confidence (larger z) widens the interval.
+        assert!(wilson(5, 50, 2.576).width() > wilson(5, 50, 1.96).width());
+    }
+
+    #[test]
+    fn clopper_pearson_matches_published_values() {
+        // R: binom.test(10, 100)$conf.int -> [0.04900469, 0.17622260].
+        let ci = clopper_pearson95(10, 100);
+        assert!((ci.low - 0.049_004_69).abs() < 1e-6, "{ci:?}");
+        assert!((ci.high - 0.176_222_60).abs() < 1e-6, "{ci:?}");
+        // R: binom.test(0, 20)$conf.int -> [0, 0.1684335]; the k=0
+        // upper bound has the closed form 1 - (α/2)^(1/n).
+        let ci = clopper_pearson95(0, 20);
+        assert_eq!(ci.low, 0.0);
+        let closed = 1.0 - 0.025f64.powf(1.0 / 20.0);
+        assert!((ci.high - closed).abs() < 1e-9, "{ci:?} vs {closed}");
+        assert!((ci.high - 0.168_433_5).abs() < 1e-6, "{ci:?}");
+        // k=n mirrors k=0.
+        let ci = clopper_pearson95(20, 20);
+        assert_eq!(ci.high, 1.0);
+        assert!((ci.low - (1.0 - closed)).abs() < 1e-9, "{ci:?}");
+    }
+
+    #[test]
+    fn clopper_pearson_satisfies_its_defining_equations() {
+        // The bounds invert the binomial test: at the lower bound,
+        // P[X >= k] = α/2; at the upper bound, P[X <= k] = α/2.
+        for (k, n) in [(1u64, 30u64), (3, 100), (7, 250), (1, 3000)] {
+            let ci = clopper_pearson95(k, n);
+            let upper_tail_at_low = 1.0 - binom_cdf(k - 1, n, ci.low);
+            let lower_tail_at_high = binom_cdf(k, n, ci.high);
+            assert!(
+                (upper_tail_at_low - 0.025).abs() < 1e-7,
+                "k={k} n={n}: {upper_tail_at_low}"
+            );
+            assert!(
+                (lower_tail_at_high - 0.025).abs() < 1e-7,
+                "k={k} n={n}: {lower_tail_at_high}"
+            );
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_is_wider_and_both_cover_the_estimate() {
+        // CP is the conservative interval: with at least one observed
+        // success it is wider than Wilson (the two are not nested
+        // pointwise — Wilson's upper bound can exceed CP's at small k).
+        // Both always cover the point estimate k/n.
+        for (k, n) in [(1u64, 3000u64), (5, 10_000), (10, 100), (300, 1_000_000)] {
+            let cp = clopper_pearson95(k, n);
+            let w = wilson95(k, n);
+            assert!(cp.width() >= w.width(), "k={k} n={n}: {cp:?} vs {w:?}");
+            let p = k as f64 / n as f64;
+            for ci in [cp, w] {
+                assert!(ci.low <= p && p <= ci.high, "k={k} n={n}: {ci:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn intervals_narrow_with_sample_size() {
+        // Same rate, 100x the sample: both intervals shrink well over
+        // 5x (≈ √100 for the asymptotic one).
+        let w1 = wilson95(3, 9000);
+        let w2 = wilson95(300, 900_000);
+        assert!(w2.width() < w1.width() / 5.0);
+        let c1 = clopper_pearson95(3, 9000);
+        let c2 = clopper_pearson95(300, 900_000);
+        assert!(c2.width() < c1.width() / 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "successes out of")]
+    fn more_successes_than_trials_is_a_bug() {
+        let _ = wilson95(5, 4);
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::campaign::{CampaignResult, ClientCampaign, RunRecord};
 use crate::counts::{LocationCounts, OutcomeCounts};
+use crate::random::{render_report, RandomCampaignResult, RandomStats};
 use crate::tables::render_table1;
 use fisec_encoding::EncodingScheme;
 use fisec_inject::{ErrorLocation, GoldenRun, OutcomeClass};
@@ -16,7 +17,7 @@ use fisec_net::{ClientStatus, Trace};
 use fisec_os::Stop;
 use fisec_telemetry::{
     metric, read_jsonl_path, render_phase_table, CampaignEndEvent, CampaignEvent, LogHistogram,
-    PhaseTimes, RunEvent, TraceEvent,
+    OutcomeHists, PhaseTimes, RandomCampaignEvent, RandomEndEvent, RunEvent, TraceEvent,
 };
 use std::path::Path;
 
@@ -35,6 +36,30 @@ pub struct ReplayedCampaign {
     pub end: Option<CampaignEndEvent>,
     /// Run events in emission order.
     pub run_events: Vec<RunEvent>,
+}
+
+/// One random campaign reconstructed from its ledger checkpoints.
+#[derive(Debug, Clone)]
+pub struct ReplayedRandom {
+    /// Campaign header as recorded.
+    pub header: RandomCampaignEvent,
+    /// Aggregation state of the last committed checkpoint, in the same
+    /// shape the live engine reports — [`render_report`] on it is
+    /// byte-identical to the live output for a complete ledger.
+    pub stats: RandomStats,
+    /// Campaign trailer, when the ledger contains one (absent after a
+    /// kill: the campaign is resumable).
+    pub end: Option<RandomEndEvent>,
+}
+
+/// Everything a trace replays to: the targeted campaigns and the random
+/// campaigns that shared the stream.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayedTrace {
+    /// Targeted (breakpoint) campaigns, in stream order.
+    pub campaigns: Vec<ReplayedCampaign>,
+    /// Random (latent-error) campaigns, in stream order.
+    pub random: Vec<ReplayedRandom>,
 }
 
 fn scheme_of(label: &str) -> Result<EncodingScheme, String> {
@@ -77,14 +102,32 @@ fn stub_golden(denied: bool) -> GoldenRun {
     }
 }
 
+fn stats_of(header: &RandomCampaignEvent) -> RandomStats {
+    RandomStats {
+        app: header.app.clone(),
+        scheme: header.scheme.clone(),
+        mode: header.mode.clone(),
+        client: header.client.clone(),
+        seed: header.seed,
+        batch: header.batch as usize,
+        target_ci: header.target_ci,
+        result: RandomCampaignResult::default(),
+        hists: OutcomeHists::default(),
+    }
+}
+
 /// Group a parsed event stream into campaigns.
 ///
 /// # Errors
 /// A message when a run event appears outside a campaign, references a
-/// client the header does not name, or carries an unknown label.
-pub fn parse_trace(events: &[TraceEvent]) -> Result<Vec<ReplayedCampaign>, String> {
+/// client the header does not name, carries an unknown label, or when
+/// random-campaign checkpoints are non-contiguous or contradict their
+/// trailer.
+pub fn parse_trace(events: &[TraceEvent]) -> Result<ReplayedTrace, String> {
     let mut campaigns: Vec<ReplayedCampaign> = Vec::new();
+    let mut random: Vec<ReplayedRandom> = Vec::new();
     let mut open = false;
+    let mut random_open = false;
     for (i, ev) in events.iter().enumerate() {
         let at = || format!("event {}", i + 1);
         match ev {
@@ -177,9 +220,72 @@ pub fn parse_trace(events: &[TraceEvent]) -> Result<Vec<ReplayedCampaign>, Strin
                 campaigns.last_mut().expect("open implies a campaign").end = Some(*end);
                 open = false;
             }
+            TraceEvent::RandomCampaign(hdr) => {
+                random.push(ReplayedRandom {
+                    header: hdr.clone(),
+                    stats: stats_of(hdr),
+                    end: None,
+                });
+                random_open = true;
+            }
+            TraceEvent::RandomBatch(b) => {
+                if !random_open {
+                    return Err(format!("{}: random_batch outside a random campaign", at()));
+                }
+                let r = random.last_mut().expect("random_open implies a campaign");
+                let committed = r.stats.result.runs as u64;
+                if b.start != committed || b.end <= b.start {
+                    return Err(format!(
+                        "{}: non-contiguous checkpoint: batch covers [{}, {}) but {} runs are committed",
+                        at(),
+                        b.start,
+                        b.end,
+                        committed
+                    ));
+                }
+                let total = b.no_effect + b.sd + b.fsv + b.brk;
+                if total != b.end {
+                    return Err(format!(
+                        "{}: checkpoint tallies sum to {total} but claim {} runs",
+                        at(),
+                        b.end
+                    ));
+                }
+                r.stats.result = RandomCampaignResult {
+                    runs: b.end as usize,
+                    no_effect: b.no_effect as usize,
+                    sd: b.sd as usize,
+                    fsv: b.fsv as usize,
+                    brk: b.brk as usize,
+                };
+                r.stats.hists = b.hists.clone();
+            }
+            TraceEvent::RandomEnd(end) => {
+                if !random_open {
+                    return Err(format!("{}: random_end without a random campaign", at()));
+                }
+                let r = random.last_mut().expect("random_open implies a campaign");
+                let c = &r.stats.result;
+                let committed = (
+                    c.runs as u64,
+                    c.no_effect as u64,
+                    c.sd as u64,
+                    c.fsv as u64,
+                    c.brk as u64,
+                );
+                let claimed = (end.runs, end.no_effect, end.sd, end.fsv, end.brk);
+                if committed != claimed {
+                    return Err(format!(
+                        "{}: trailer tallies {claimed:?} contradict the committed checkpoints {committed:?}",
+                        at()
+                    ));
+                }
+                r.end = Some(end.clone());
+                random_open = false;
+            }
         }
     }
-    Ok(campaigns)
+    Ok(ReplayedTrace { campaigns, random })
 }
 
 /// Read and group a JSONL trace file.
@@ -187,7 +293,7 @@ pub fn parse_trace(events: &[TraceEvent]) -> Result<Vec<ReplayedCampaign>, Strin
 /// # Errors
 /// A message for unreadable files, malformed lines or an inconsistent
 /// event stream.
-pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<ReplayedCampaign>, String> {
+pub fn read_trace(path: impl AsRef<Path>) -> Result<ReplayedTrace, String> {
     parse_trace(&read_jsonl_path(path)?)
 }
 
@@ -199,8 +305,11 @@ fn is_complete(c: &ReplayedCampaign) -> bool {
 /// consecutive same-scheme group of campaigns (byte-identical to the
 /// live `fisec table1` output when the trace is complete), then a
 /// per-campaign detail block with engine aggregates, the phase
-/// breakdown and replay-cost histograms.
-pub fn render_stats(campaigns: &[ReplayedCampaign]) -> String {
+/// breakdown and replay-cost histograms, then the random-campaign
+/// report per ledger (byte-identical to the live `fisec random` report
+/// for a complete ledger).
+pub fn render_stats(trace: &ReplayedTrace) -> String {
+    let campaigns = &trace.campaigns;
     let mut out = String::new();
     let mut i = 0;
     while i < campaigns.len() {
@@ -303,6 +412,29 @@ pub fn render_stats(campaigns: &[ReplayedCampaign]) -> String {
         out.push_str(&render_phase_table(&phases, sum(|e| e.wall_micros)));
         out.push('\n');
     }
+
+    for r in &trace.random {
+        out.push_str(&render_report(&r.stats));
+        match &r.end {
+            Some(end) => {
+                let secs = end.wall_micros as f64 / 1e6;
+                let rate = if secs > 0.0 {
+                    r.stats.result.runs as f64 / secs
+                } else {
+                    0.0
+                };
+                out.push_str(&format!("wall {secs:.1}s ({rate:.0} runs/s)\n"));
+            }
+            None => {
+                out.push_str(&format!(
+                    "RESUMABLE ledger: {} of {} runs committed, no trailer \
+                     (fisec random --resume <ledger> continues it)\n",
+                    r.stats.result.runs, r.header.runs
+                ));
+            }
+        }
+        out.push('\n');
+    }
     out
 }
 
@@ -355,9 +487,9 @@ mod tests {
                 ..CampaignEndEvent::default()
             }),
         ];
-        let campaigns = parse_trace(&events).unwrap();
-        assert_eq!(campaigns.len(), 1);
-        let c = &campaigns[0];
+        let replay = parse_trace(&events).unwrap();
+        assert_eq!(replay.campaigns.len(), 1);
+        let c = &replay.campaigns[0];
         assert!(is_complete(c));
         assert_eq!(c.result.clients[0].counts.na, 1);
         assert_eq!(c.result.clients[0].counts.sd, 1);
@@ -365,7 +497,7 @@ mod tests {
         assert_eq!(c.result.clients[0].crash_latencies, vec![7]);
         assert_eq!(c.result.clients[0].records.len(), 3);
         assert_eq!(c.end.unwrap().runs, 3);
-        let s = render_stats(&campaigns);
+        let s = render_stats(&replay);
         assert!(s.contains("FTPD Client1"), "{s}");
         assert!(s.contains("snapshot engine"), "{s}");
     }
@@ -405,9 +537,9 @@ mod tests {
         assert!(!single.contains("aggregate"), "{single}");
         // The replayed latencies carry the trace-derived cross-check
         // column along (run_ev gives SD runs trace_latency == 7).
-        let campaigns = parse_trace(&events).unwrap();
+        let replay = parse_trace(&events).unwrap();
         assert_eq!(
-            campaigns[1].result.clients[0].trace_crash_latencies,
+            replay.campaigns[1].result.clients[0].trace_crash_latencies,
             vec![7]
         );
     }
@@ -422,10 +554,120 @@ mod tests {
 
     #[test]
     fn truncated_trace_is_flagged_not_fatal() {
-        let campaigns = parse_trace(&[header(3), run_ev(0, "NA", 0)]).unwrap();
-        assert!(!is_complete(&campaigns[0]));
-        assert!(campaigns[0].end.is_none());
-        let s = render_stats(&campaigns);
+        let replay = parse_trace(&[header(3), run_ev(0, "NA", 0)]).unwrap();
+        assert!(!is_complete(&replay.campaigns[0]));
+        assert!(replay.campaigns[0].end.is_none());
+        let s = render_stats(&replay);
         assert!(s.contains("TRUNCATED"), "{s}");
+    }
+
+    fn random_header(runs: u64) -> TraceEvent {
+        TraceEvent::RandomCampaign(RandomCampaignEvent {
+            app: "ftpd".to_string(),
+            scheme: "baseline x86".to_string(),
+            mode: "snapshot".to_string(),
+            client: "Client1".to_string(),
+            seed: 7,
+            runs,
+            batch: 2,
+            text_len: 512,
+            target_ci: None,
+        })
+    }
+
+    fn random_batch(start: u64, end: u64, sd: u64, brk: u64) -> TraceEvent {
+        TraceEvent::RandomBatch(Box::new(fisec_telemetry::RandomBatchEvent {
+            start,
+            end,
+            no_effect: end - sd - brk,
+            sd,
+            fsv: 0,
+            brk,
+            hists: OutcomeHists::default(),
+        }))
+    }
+
+    #[test]
+    fn random_ledger_replays_to_the_campaign_report() {
+        let end = TraceEvent::RandomEnd(RandomEndEvent {
+            runs: 4,
+            no_effect: 2,
+            sd: 1,
+            fsv: 0,
+            brk: 1,
+            wall_micros: 2_000_000,
+            violation_rate: 0.25,
+            wilson_low: 0.0,
+            wilson_high: 0.7,
+            cp_low: 0.0,
+            cp_high: 0.8,
+        });
+        let events = vec![
+            random_header(4),
+            random_batch(0, 2, 1, 0),
+            random_batch(2, 4, 1, 1),
+            end,
+        ];
+        let replay = parse_trace(&events).unwrap();
+        assert!(replay.campaigns.is_empty());
+        assert_eq!(replay.random.len(), 1);
+        let r = &replay.random[0];
+        assert_eq!(r.stats.result.runs, 4);
+        assert_eq!(r.stats.result.brk, 1);
+        assert!(r.end.is_some());
+        let s = render_stats(&replay);
+        assert!(s.contains("== random injection: ftpd"), "{s}");
+        assert!(s.contains("Wilson 95%"), "{s}");
+        assert!(s.contains("wall 2.0s (2 runs/s)"), "{s}");
+        assert!(!s.contains("RESUMABLE"), "{s}");
+    }
+
+    #[test]
+    fn truncated_random_ledger_is_resumable_not_fatal() {
+        let replay = parse_trace(&[random_header(10), random_batch(0, 2, 0, 0)]).unwrap();
+        let r = &replay.random[0];
+        assert!(r.end.is_none());
+        assert_eq!(r.stats.result.runs, 2);
+        let s = render_stats(&replay);
+        assert!(s.contains("RESUMABLE ledger: 2 of 10 runs"), "{s}");
+    }
+
+    #[test]
+    fn random_ledger_integrity_is_validated() {
+        // Checkpoint before any header.
+        assert!(parse_trace(&[random_batch(0, 2, 0, 0)]).is_err());
+        // Trailer before any header.
+        let end = TraceEvent::RandomEnd(RandomEndEvent {
+            runs: 2,
+            no_effect: 2,
+            sd: 0,
+            fsv: 0,
+            brk: 0,
+            wall_micros: 0,
+            violation_rate: 0.0,
+            wilson_low: 0.0,
+            wilson_high: 0.0,
+            cp_low: 0.0,
+            cp_high: 0.0,
+        });
+        assert!(parse_trace(std::slice::from_ref(&end)).is_err());
+        // A gap in the checkpoint stream.
+        let e = parse_trace(&[random_header(10), random_batch(2, 4, 0, 0)]).unwrap_err();
+        assert!(e.contains("non-contiguous"), "{e}");
+        // Tallies that do not sum to the claimed run count.
+        let bad = TraceEvent::RandomBatch(Box::new(fisec_telemetry::RandomBatchEvent {
+            start: 0,
+            end: 5,
+            no_effect: 1,
+            sd: 0,
+            fsv: 0,
+            brk: 0,
+            hists: OutcomeHists::default(),
+        }));
+        let e = parse_trace(&[random_header(10), bad]).unwrap_err();
+        assert!(e.contains("sum to 1"), "{e}");
+        // A trailer contradicting the committed checkpoints.
+        let e = parse_trace(&[random_header(10), random_batch(0, 4, 0, 0), end]).unwrap_err();
+        assert!(e.contains("contradict"), "{e}");
     }
 }

@@ -109,16 +109,16 @@ fn jsonl_trace_round_trips_to_identical_table1() {
     let live = run_campaign_traced(&app, &cfg(ExecutionMode::Snapshot), &tel);
     tel.sink.flush();
 
-    let campaigns = trace::read_trace(&path).unwrap();
-    assert_eq!(campaigns.len(), 1);
-    let replayed = &campaigns[0].result;
+    let replay = trace::read_trace(&path).unwrap();
+    assert_eq!(replay.campaigns.len(), 1);
+    let replayed = &replay.campaigns[0].result;
     assert_eq!(
         tables::render_table1(&[replayed]),
         tables::render_table1(&[&live]),
         "replayed Table 1 must be byte-identical to the live one"
     );
     // The stats rendering leads with that same table.
-    let stats = trace::render_stats(&campaigns);
+    let stats = trace::render_stats(&replay);
     assert!(
         stats.starts_with(&tables::render_table1(&[&live])),
         "{stats}"

@@ -1,0 +1,275 @@
+//! Latent-error execution: the §7 random-injection primitive.
+//!
+//! The breakpoint injector in the crate root models *transient* errors
+//! that appear mid-run. The concluding-remarks experiment instead
+//! plants a **latent** error — a corrupted text byte present from the
+//! moment the page is loaded (§5.4's memory-error model) — and runs the
+//! whole session against it. There is no activation breakpoint and no
+//! crash-latency anchor; a run indistinguishable from golden is simply
+//! "no effect".
+//!
+//! [`LatentRunner`] is the per-worker executor the random tier drives
+//! millions of times. It comes in the campaign engine's two execution
+//! modes, pinned bit-identical by differential tests:
+//!
+//! * [`LatentRunner::snapshot`] boots the pristine image once,
+//!   checkpoints at icount 0, and serves each run as restore → poke the
+//!   corrupted byte → run. Restoring rewinds registers, memory, icount,
+//!   and the client channel, so the poke lands on exactly the state a
+//!   fresh boot of a corrupted image would have — without paying the
+//!   load cost per run.
+//! * [`LatentRunner::from_scratch`] keeps a private scratch [`Image`],
+//!   writes the corrupted byte into its text, boots a fresh process,
+//!   and repairs the byte after — the oracle the snapshot path is
+//!   checked against.
+
+use crate::classify::{classify_run, GoldenRun, InjectionRun, OutcomeClass};
+use crate::{EngineOpts, RunMeta, BUDGET_FLOOR, BUDGET_MULTIPLIER};
+use fisec_apps::ClientSpec;
+use fisec_asm::Image;
+use fisec_os::{Process, ProcessSnapshot};
+use std::time::Instant;
+
+/// One latent text-segment error: the byte at `offset` (relative to the
+/// text base) reads `corrupted` for the whole session. The caller picks
+/// `corrupted` — a plain flip, or the §6.2 remap→flip→remap transform —
+/// so the runner stays agnostic of encoding schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatentError {
+    /// Byte offset into the text segment.
+    pub offset: usize,
+    /// The value the corrupted byte holds.
+    pub corrupted: u8,
+}
+
+enum Inner {
+    /// Pristine process checkpointed at icount 0.
+    Snapshot {
+        process: Box<Process>,
+        checkpoint: Box<ProcessSnapshot>,
+    },
+    /// Private image clone whose text is patched and repaired per run.
+    FromScratch { scratch: Image },
+}
+
+/// Reusable latent-error executor for one (image, client) pair. Create
+/// one per worker thread; every [`run`](LatentRunner::run) is
+/// independent of the previous one.
+pub struct LatentRunner<'a> {
+    client: &'a ClientSpec,
+    engine: EngineOpts,
+    budget: u64,
+    text_base: u32,
+    text_len: usize,
+    inner: Inner,
+}
+
+impl<'a> LatentRunner<'a> {
+    /// Snapshot-mode runner: boot once, checkpoint at icount 0, serve
+    /// runs as restore + poke + run.
+    ///
+    /// # Errors
+    /// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
+    pub fn snapshot(
+        image: &'a Image,
+        client: &'a ClientSpec,
+        golden: &GoldenRun,
+        engine: EngineOpts,
+    ) -> Result<LatentRunner<'a>, fisec_os::LoadError> {
+        let budget = (golden.icount * BUDGET_MULTIPLIER).max(BUDGET_FLOOR);
+        let mut p = Process::load(image, client.make())?;
+        engine.apply(&mut p);
+        p.set_budget(budget);
+        let checkpoint = Box::new(p.snapshot());
+        Ok(LatentRunner {
+            client,
+            engine,
+            budget,
+            text_base: image.text_base,
+            text_len: image.text.len(),
+            inner: Inner::Snapshot {
+                process: Box::new(p),
+                checkpoint,
+            },
+        })
+    }
+
+    /// From-scratch-mode runner: clone the image once, boot a fresh
+    /// process per run against the patched clone.
+    pub fn from_scratch(
+        image: &'a Image,
+        client: &'a ClientSpec,
+        golden: &GoldenRun,
+        engine: EngineOpts,
+    ) -> LatentRunner<'a> {
+        LatentRunner {
+            client,
+            engine,
+            budget: (golden.icount * BUDGET_MULTIPLIER).max(BUDGET_FLOOR),
+            text_base: image.text_base,
+            text_len: image.text.len(),
+            inner: Inner::FromScratch {
+                scratch: image.clone(),
+            },
+        }
+    }
+
+    /// Fresh boots this runner performs per run (1 from scratch, 0 from
+    /// a snapshot restore) — for the engine's boot/restore accounting.
+    pub fn boots_per_run(&self) -> u64 {
+        match self.inner {
+            Inner::Snapshot { .. } => 0,
+            Inner::FromScratch { .. } => 1,
+        }
+    }
+
+    /// Execute one session with `err` planted and classify it against
+    /// `golden`. A run indistinguishable from golden comes back as
+    /// [`OutcomeClass::NotManifested`] with `activated == false` ("no
+    /// effect" — latent errors have no activation observation).
+    ///
+    /// # Errors
+    /// A message when `err.offset` is outside the text segment — a
+    /// campaign bug, reported hard rather than sampled around.
+    pub fn run(
+        &mut self,
+        golden: &GoldenRun,
+        err: LatentError,
+    ) -> Result<(InjectionRun, RunMeta), String> {
+        if err.offset >= self.text_len {
+            return Err(format!(
+                "latent-error offset {} out of range for text segment of {} bytes",
+                err.offset, self.text_len
+            ));
+        }
+        let (stop, client, trace, icount, run_micros) = match &mut self.inner {
+            Inner::Snapshot {
+                process,
+                checkpoint,
+            } => {
+                process.restore(checkpoint);
+                let addr = self.text_base.wrapping_add(err.offset as u32);
+                process
+                    .machine
+                    .mem
+                    .poke8(addr, err.corrupted)
+                    .expect("text byte is mapped: offset was bounds-checked");
+                let start = Instant::now();
+                let stop = process.run();
+                let run_micros = micros_since(start);
+                (
+                    stop,
+                    process.client_status(),
+                    process.trace(),
+                    process.icount(),
+                    run_micros,
+                )
+            }
+            Inner::FromScratch { scratch } => {
+                let orig = scratch.text[err.offset];
+                scratch.text[err.offset] = err.corrupted;
+                let start = Instant::now();
+                let mut p = Process::load(scratch, self.client.make())
+                    .map_err(|e| format!("corrupted image failed to load: {e:?}"))?;
+                self.engine.apply(&mut p);
+                p.set_budget(self.budget);
+                let stop = p.run();
+                let run_micros = micros_since(start);
+                scratch.text[err.offset] = orig;
+                (stop, p.client_status(), p.trace(), p.icount(), run_micros)
+            }
+        };
+        let classify_start = Instant::now();
+        let mut run = classify_run(golden, stop, client, trace, None);
+        // With a latent error there is no breakpoint to observe
+        // activation; a run indistinguishable from golden counts as "no
+        // effect".
+        if run.outcome == OutcomeClass::NotManifested {
+            run.activated = false;
+        }
+        let meta = RunMeta {
+            icount,
+            run_micros,
+            classify_micros: micros_since(classify_start),
+        };
+        Ok((run, meta))
+    }
+}
+
+fn micros_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden_run;
+    use fisec_apps::AppSpec;
+
+    #[test]
+    fn snapshot_and_from_scratch_agree_bit_for_bit() {
+        let app = AppSpec::ftpd();
+        let spec = &app.clients[0];
+        let golden = golden_run(&app.image, spec).unwrap();
+        let mut snap =
+            LatentRunner::snapshot(&app.image, spec, &golden, EngineOpts::default()).unwrap();
+        let mut fresh =
+            LatentRunner::from_scratch(&app.image, spec, &golden, EngineOpts::default());
+        // A spread of offsets/bits, including the golden path's first
+        // instruction (offset 0) and bytes deep in the image.
+        for (offset, bit) in [(0usize, 6u8), (1, 0), (17, 3), (40, 7), (99, 1)] {
+            let offset = offset % app.image.text.len();
+            let err = LatentError {
+                offset,
+                corrupted: app.image.text[offset] ^ (1 << bit),
+            };
+            let (a, am) = snap.run(&golden, err).unwrap();
+            let (b, bm) = fresh.run(&golden, err).unwrap();
+            assert_eq!(a.outcome, b.outcome, "offset {offset} bit {bit}");
+            assert_eq!(a.activated, b.activated, "offset {offset} bit {bit}");
+            assert_eq!(a.stop, b.stop, "offset {offset} bit {bit}");
+            assert_eq!(am.icount, bm.icount, "offset {offset} bit {bit}");
+        }
+        assert_eq!(snap.boots_per_run(), 0);
+        assert_eq!(fresh.boots_per_run(), 1);
+    }
+
+    #[test]
+    fn runs_are_independent_of_history() {
+        let app = AppSpec::ftpd();
+        let spec = &app.clients[0];
+        let golden = golden_run(&app.image, spec).unwrap();
+        let mut runner =
+            LatentRunner::snapshot(&app.image, spec, &golden, EngineOpts::default()).unwrap();
+        let err = LatentError {
+            offset: 0,
+            corrupted: app.image.text[0] ^ 0x40,
+        };
+        let (first, fm) = runner.run(&golden, err).unwrap();
+        // Interleave a different error, then repeat: identical result.
+        let other = LatentError {
+            offset: 3 % app.image.text.len(),
+            corrupted: app.image.text[3 % app.image.text.len()] ^ 0x01,
+        };
+        runner.run(&golden, other).unwrap();
+        let (again, am) = runner.run(&golden, err).unwrap();
+        assert_eq!(first.outcome, again.outcome);
+        assert_eq!(first.stop, again.stop);
+        assert_eq!(fm.icount, am.icount);
+    }
+
+    #[test]
+    fn out_of_range_offset_is_a_hard_error() {
+        let app = AppSpec::ftpd();
+        let spec = &app.clients[0];
+        let golden = golden_run(&app.image, spec).unwrap();
+        let mut runner =
+            LatentRunner::from_scratch(&app.image, spec, &golden, EngineOpts::default());
+        let err = LatentError {
+            offset: usize::MAX,
+            corrupted: 0,
+        };
+        let msg = runner.run(&golden, err).unwrap_err();
+        assert!(msg.contains("out of range"), "{msg}");
+    }
+}

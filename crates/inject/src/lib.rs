@@ -16,12 +16,14 @@
 pub mod classify;
 pub mod divergence;
 pub mod forensics;
+pub mod latent;
 pub mod location;
 pub mod target;
 
 pub use classify::{classify_run, GoldenRun, InjectionRun, OutcomeClass};
 pub use divergence::{DivergenceReport, GoldenContinuation, RECORDER_EDGES};
 pub use forensics::{crash_forensics, CrashReport, PathSegment};
+pub use latent::{LatentError, LatentRunner};
 pub use location::ErrorLocation;
 pub use target::{enumerate_targets, InjectionTarget, TargetSet};
 

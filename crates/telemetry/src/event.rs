@@ -14,6 +14,7 @@
 //! closes the campaign with the phase breakdown, so a saved stream is a
 //! self-contained, replayable record of the whole experiment.
 
+use crate::metrics::OutcomeHists;
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
@@ -112,6 +113,84 @@ pub struct CampaignEndEvent {
     pub fresh_boots: u64,
 }
 
+/// Random-campaign (§7 random-injection tier) header: identifies the
+/// sample space so a ledger is self-describing and a resumed campaign
+/// can hard-check it is continuing the same experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomCampaignEvent {
+    /// Application name ("ftpd"/"sshd").
+    pub app: String,
+    /// Encoding scheme label.
+    pub scheme: String,
+    /// Execution engine: "snapshot" or "from-scratch".
+    pub mode: String,
+    /// The attack client driving every session.
+    pub client: String,
+    /// Master seed of the counter-based draw stream.
+    pub seed: u64,
+    /// Target total runs (the cap when `target_ci` is set).
+    pub runs: u64,
+    /// Ledger commit granularity in runs.
+    pub batch: u64,
+    /// Text-segment length the offsets are drawn from.
+    pub text_len: u64,
+    /// Requested maximum Wilson 95% CI width, when adaptive sampling
+    /// was on.
+    pub target_ci: Option<f64>,
+}
+
+/// One committed ledger checkpoint: the campaign state after folding
+/// every run with index `< end`. Tallies and histograms are
+/// *cumulative*, so the last committed batch alone restores the whole
+/// aggregation state — a killed campaign resumes from `end` and its
+/// final tallies are bit-identical to an uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomBatchEvent {
+    /// First run index this batch covered.
+    pub start: u64,
+    /// One past the last run index committed (== cumulative runs).
+    pub end: u64,
+    /// Cumulative runs indistinguishable from golden.
+    pub no_effect: u64,
+    /// Cumulative crashes.
+    pub sd: u64,
+    /// Cumulative fail-silence violations.
+    pub fsv: u64,
+    /// Cumulative break-ins.
+    pub brk: u64,
+    /// Cumulative per-outcome icount histograms.
+    pub hists: OutcomeHists,
+}
+
+/// Random-campaign trailer: the final tallies plus the violation-rate
+/// estimate and its 95% confidence intervals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomEndEvent {
+    /// Total injected errors.
+    pub runs: u64,
+    /// Runs indistinguishable from golden.
+    pub no_effect: u64,
+    /// Crashes.
+    pub sd: u64,
+    /// Fail-silence violations.
+    pub fsv: u64,
+    /// Break-ins.
+    pub brk: u64,
+    /// Wall-clock microseconds (this invocation only; a resumed
+    /// campaign reports the resume leg, not the sum).
+    pub wall_micros: u64,
+    /// Point estimate brk/runs.
+    pub violation_rate: f64,
+    /// Wilson 95% interval on the violation rate.
+    pub wilson_low: f64,
+    /// Wilson 95% upper bound.
+    pub wilson_high: f64,
+    /// Clopper-Pearson 95% lower bound.
+    pub cp_low: f64,
+    /// Clopper-Pearson 95% upper bound.
+    pub cp_high: f64,
+}
+
 /// One element of a telemetry trace.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -121,6 +200,13 @@ pub enum TraceEvent {
     Run(RunEvent),
     /// Campaign trailer.
     CampaignEnd(CampaignEndEvent),
+    /// Random-campaign header.
+    RandomCampaign(RandomCampaignEvent),
+    /// Random-campaign committed checkpoint (boxed: the cumulative
+    /// histograms dwarf every other variant).
+    RandomBatch(Box<RandomBatchEvent>),
+    /// Random-campaign trailer.
+    RandomEnd(RandomEndEvent),
 }
 
 impl TraceEvent {
@@ -129,6 +215,9 @@ impl TraceEvent {
             TraceEvent::Campaign(_) => "campaign",
             TraceEvent::Run(_) => "run",
             TraceEvent::CampaignEnd(_) => "campaign_end",
+            TraceEvent::RandomCampaign(_) => "random_campaign",
+            TraceEvent::RandomBatch(_) => "random_batch",
+            TraceEvent::RandomEnd(_) => "random_end",
         }
     }
 
@@ -138,6 +227,9 @@ impl TraceEvent {
             TraceEvent::Campaign(e) => e.serialize(),
             TraceEvent::Run(e) => e.serialize(),
             TraceEvent::CampaignEnd(e) => e.serialize(),
+            TraceEvent::RandomCampaign(e) => e.serialize(),
+            TraceEvent::RandomBatch(e) => e.serialize(),
+            TraceEvent::RandomEnd(e) => e.serialize(),
         };
         let mut fields = vec![("event".to_string(), Value::Str(self.tag().to_string()))];
         if let Value::Object(body_fields) = body {
@@ -166,6 +258,15 @@ impl TraceEvent {
             "campaign_end" => CampaignEndEvent::deserialize(&v)
                 .map(TraceEvent::CampaignEnd)
                 .map_err(|e| format!("campaign_end event: {e}")),
+            "random_campaign" => RandomCampaignEvent::deserialize(&v)
+                .map(TraceEvent::RandomCampaign)
+                .map_err(|e| format!("random_campaign event: {e}")),
+            "random_batch" => RandomBatchEvent::deserialize(&v)
+                .map(|e| TraceEvent::RandomBatch(Box::new(e)))
+                .map_err(|e| format!("random_batch event: {e}")),
+            "random_end" => RandomEndEvent::deserialize(&v)
+                .map(TraceEvent::RandomEnd)
+                .map_err(|e| format!("random_end event: {e}")),
             other => Err(format!("unknown event tag `{other}`")),
         }
     }
@@ -264,6 +365,20 @@ impl JsonlSink {
     /// The underlying [`std::fs::File::create`] error.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
         let f = std::fs::File::create(path)?;
+        Ok(JsonlSink::from_writer(Box::new(f)))
+    }
+
+    /// Open `path` for appending (creating it if absent) and stream
+    /// events onto its end — how a resumed random campaign continues
+    /// the ledger it is picking up from.
+    ///
+    /// # Errors
+    /// The underlying [`std::fs::OpenOptions`] error.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
         Ok(JsonlSink::from_writer(Box::new(f)))
     }
 
@@ -405,6 +520,86 @@ mod tests {
         for ev in [hdr, end] {
             assert_eq!(TraceEvent::parse_line(&ev.to_json_line()).unwrap(), ev);
         }
+    }
+
+    #[test]
+    fn random_events_round_trip() {
+        let hdr = TraceEvent::RandomCampaign(RandomCampaignEvent {
+            app: "ftpd".to_string(),
+            scheme: "baseline x86".to_string(),
+            mode: "snapshot".to_string(),
+            client: "Client1".to_string(),
+            seed: 2001,
+            runs: 1_000_000,
+            batch: 512,
+            text_len: 4096,
+            target_ci: None,
+        });
+        let mut hists = OutcomeHists::default();
+        hists.no_effect.record(30_000);
+        hists.brk.record(41_000);
+        let batch = TraceEvent::RandomBatch(Box::new(RandomBatchEvent {
+            start: 512,
+            end: 1024,
+            no_effect: 1020,
+            sd: 2,
+            fsv: 1,
+            brk: 1,
+            hists,
+        }));
+        let end = TraceEvent::RandomEnd(RandomEndEvent {
+            runs: 1_000_000,
+            no_effect: 999_000,
+            sd: 800,
+            fsv: 100,
+            brk: 100,
+            wall_micros: 55_000_000,
+            violation_rate: 1e-4,
+            wilson_low: 8.2e-5,
+            wilson_high: 1.2e-4,
+            cp_low: 8.1e-5,
+            cp_high: 1.2e-4,
+        });
+        for ev in [hdr, batch, end] {
+            let line = ev.to_json_line();
+            assert_eq!(TraceEvent::parse_line(&line).unwrap(), ev, "{line}");
+        }
+        // An adaptive campaign's header carries the requested width.
+        let hdr = TraceEvent::RandomCampaign(RandomCampaignEvent {
+            target_ci: Some(0.0005),
+            app: "sshd".to_string(),
+            scheme: "baseline x86".to_string(),
+            mode: "from-scratch".to_string(),
+            client: "Client1".to_string(),
+            seed: 7,
+            runs: 10_000_000,
+            batch: 256,
+            text_len: 2048,
+        });
+        assert_eq!(TraceEvent::parse_line(&hdr.to_json_line()).unwrap(), hdr);
+    }
+
+    #[test]
+    fn append_sink_extends_an_existing_ledger() {
+        let dir = std::env::temp_dir().join(format!("fisec-append-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        let a = TraceEvent::CampaignEnd(CampaignEndEvent {
+            runs: 1,
+            ..CampaignEndEvent::default()
+        });
+        let b = TraceEvent::CampaignEnd(CampaignEndEvent {
+            runs: 2,
+            ..CampaignEndEvent::default()
+        });
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&a);
+        drop(sink);
+        let sink = JsonlSink::append(&path).unwrap();
+        sink.emit(&b);
+        drop(sink);
+        assert_eq!(read_jsonl_path(&path).unwrap(), vec![a, b]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -32,9 +32,9 @@ pub mod progress;
 
 pub use event::{
     read_jsonl, read_jsonl_path, CampaignEndEvent, CampaignEvent, EventSink, JsonlSink, MemorySink,
-    NullSink, RunEvent, TraceEvent,
+    NullSink, RandomBatchEvent, RandomCampaignEvent, RandomEndEvent, RunEvent, TraceEvent,
 };
-pub use metrics::{metric, LogHistogram, MetricsRegistry, MetricsShard};
+pub use metrics::{metric, LogHistogram, MetricsRegistry, MetricsShard, OutcomeHists};
 pub use profile::{render_phase_table, Phase, PhaseTimes};
 pub use progress::Progress;
 

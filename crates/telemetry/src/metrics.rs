@@ -139,6 +139,43 @@ impl LogHistogram {
     }
 }
 
+/// Per-outcome log₂ histograms of guest instructions retired per run,
+/// as folded by the random-injection tier (streaming aggregation: one
+/// `record` per run, never per-run state). The four slots follow the
+/// random campaign's tally classes — runs indistinguishable from golden
+/// land in `no_effect` whether they were classified NA or NM.
+///
+/// Serializable so ledger checkpoints can carry the exact aggregation
+/// state: a resumed campaign restores these and keeps folding, ending
+/// bit-identical to an uninterrupted run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeHists {
+    /// Runs indistinguishable from golden (NA/NM).
+    pub no_effect: LogHistogram,
+    /// Crashes (system detection).
+    pub sd: LogHistogram,
+    /// Fail-silence violations.
+    pub fsv: LogHistogram,
+    /// Security break-ins.
+    pub brk: LogHistogram,
+}
+
+impl OutcomeHists {
+    /// Fold another set of histograms into this one (order-independent,
+    /// so sharded workers merge to the same state as a sequential run).
+    pub fn merge(&mut self, other: &OutcomeHists) {
+        self.no_effect.merge(&other.no_effect);
+        self.sd.merge(&other.sd);
+        self.fsv.merge(&other.fsv);
+        self.brk.merge(&other.brk);
+    }
+
+    /// Total samples across the four classes.
+    pub fn total(&self) -> u64 {
+        self.no_effect.count + self.sd.count + self.fsv.count + self.brk.count
+    }
+}
+
 /// A worker-private accumulation of counters, histograms and phase
 /// timings. No interior locking: exactly one thread writes a shard.
 #[derive(Debug, Clone, Default, PartialEq)]
