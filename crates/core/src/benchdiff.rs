@@ -1,0 +1,283 @@
+//! `fisec bench-diff`: the perf-regression gate.
+//!
+//! Compares a freshly *measured* campaign against the recorded baseline
+//! in `BENCH_campaign.json` with a per-metric threshold, and reports
+//! which metrics regressed — the CLI exits nonzero when any did, so CI
+//! fails the build instead of letting a slow engine land silently.
+//!
+//! The measured leg is deliberately small and deterministic in shape: a
+//! full ftpd baseline campaign (the same workload the baseline file
+//! records under `flight_recorder.campaign_ftpd_full_ms.recorder_off`),
+//! once plain and once with the profiler on — the second run also gates
+//! the observatory's own promise that profiling costs ≤ 10%.
+//!
+//! Thresholds are ratios over the baseline, scaled by `--factor` so a
+//! cold shared CI runner can use generous headroom while a quiet
+//! development box keeps the tight default.
+
+use crate::campaign::{run_campaign_traced, CampaignConfig};
+use fisec_apps::AppSpec;
+use fisec_telemetry::{metric, Telemetry};
+use serde::Value;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Default wall-clock headroom over the recorded baseline (cold caches,
+/// scheduler noise) before `--factor` scales it.
+const WALL_HEADROOM: f64 = 1.6;
+
+/// Default headroom on the mean per-replay cost.
+const REPLAY_HEADROOM: f64 = 1.6;
+
+/// The observatory's contract: profiling a campaign costs at most this
+/// fraction of extra wall-clock (before `--factor`).
+const PROFILER_OVERHEAD_LIMIT: f64 = 0.10;
+
+/// The baseline numbers `bench-diff` reads out of `BENCH_campaign.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Baseline {
+    /// `flight_recorder.campaign_ftpd_full_ms.recorder_off`.
+    pub campaign_ftpd_full_ms: f64,
+    /// `replay_phase.block_engine.mean_micros_per_replay`.
+    pub mean_micros_per_replay: f64,
+}
+
+/// What the fresh measurement produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measured {
+    /// Wall-clock of one full ftpd baseline campaign, in milliseconds.
+    pub campaign_ftpd_full_ms: f64,
+    /// Mean of the campaign's `replay_micros_per_run` histogram.
+    pub mean_micros_per_replay: f64,
+    /// Extra wall-clock fraction of the same campaign with the profiler
+    /// on (0.07 = 7% slower).
+    pub profiler_overhead: f64,
+}
+
+/// One compared metric: the gate's verdict plus everything needed to
+/// render the row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Metric name.
+    pub name: &'static str,
+    /// Recorded baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub measured: f64,
+    /// Largest measured value the gate accepts.
+    pub limit: f64,
+    /// Within the limit?
+    pub ok: bool,
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// Extract the baseline metrics from a parsed `BENCH_campaign.json`.
+///
+/// # Errors
+/// A message naming the missing or non-numeric field.
+pub fn baseline_of(v: &Value) -> Result<Baseline, String> {
+    let wall = num(v
+        .field("flight_recorder")
+        .field("campaign_ftpd_full_ms")
+        .field("recorder_off"))
+    .ok_or("baseline lacks flight_recorder.campaign_ftpd_full_ms.recorder_off")?;
+    let replay = num(v
+        .field("replay_phase")
+        .field("block_engine")
+        .field("mean_micros_per_replay"))
+    .ok_or("baseline lacks replay_phase.block_engine.mean_micros_per_replay")?;
+    Ok(Baseline {
+        campaign_ftpd_full_ms: wall,
+        mean_micros_per_replay: replay,
+    })
+}
+
+/// Read and extract the baseline from a `BENCH_campaign.json` file.
+///
+/// # Errors
+/// A message for unreadable files, malformed JSON or missing fields.
+pub fn read_baseline(path: impl AsRef<Path>) -> Result<Baseline, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    baseline_of(&v)
+}
+
+/// Run the measured leg: one full ftpd baseline campaign plain, one
+/// with the profiler on.
+pub fn measure() -> Measured {
+    let app = AppSpec::ftpd();
+    let cfg = CampaignConfig::default();
+    let run_ms = |cfg: &CampaignConfig| -> (f64, f64) {
+        let tel = Telemetry::collecting();
+        let start = Instant::now();
+        run_campaign_traced(&app, cfg, &tel);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let snap = tel.metrics.snapshot();
+        let mean = snap
+            .histogram(metric::REPLAY_MICROS)
+            .map_or(0.0, fisec_telemetry::LogHistogram::mean);
+        (ms, mean)
+    };
+    let (plain_ms, mean_replay) = run_ms(&cfg);
+    let profiled = CampaignConfig {
+        profiler: true,
+        ..cfg
+    };
+    let (profiled_ms, _) = run_ms(&profiled);
+    Measured {
+        campaign_ftpd_full_ms: plain_ms,
+        mean_micros_per_replay: mean_replay,
+        profiler_overhead: (profiled_ms / plain_ms - 1.0).max(0.0),
+    }
+}
+
+/// The pure gate: compare a measurement against the baseline under
+/// `factor`-scaled thresholds. Deterministic and side-effect free — the
+/// regression test injects a slow measurement here and asserts the gate
+/// trips.
+pub fn compare(baseline: &Baseline, measured: &Measured, factor: f64) -> Vec<DiffRow> {
+    let row = |name, base: f64, got: f64, limit: f64| DiffRow {
+        name,
+        baseline: base,
+        measured: got,
+        limit,
+        ok: got <= limit,
+    };
+    vec![
+        row(
+            "campaign_ftpd_full_ms",
+            baseline.campaign_ftpd_full_ms,
+            measured.campaign_ftpd_full_ms,
+            baseline.campaign_ftpd_full_ms * WALL_HEADROOM * factor,
+        ),
+        row(
+            "mean_micros_per_replay",
+            baseline.mean_micros_per_replay,
+            measured.mean_micros_per_replay,
+            baseline.mean_micros_per_replay * REPLAY_HEADROOM * factor,
+        ),
+        row(
+            "profiler_overhead",
+            PROFILER_OVERHEAD_LIMIT,
+            measured.profiler_overhead,
+            PROFILER_OVERHEAD_LIMIT * factor,
+        ),
+    ]
+}
+
+/// Did any metric exceed its limit?
+pub fn regressed(rows: &[DiffRow]) -> bool {
+    rows.iter().any(|r| !r.ok)
+}
+
+/// Render the comparison table.
+pub fn render(rows: &[DiffRow], factor: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== bench-diff (threshold factor {factor:.2}) ==");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>12} {:>12}  verdict",
+        "metric", "baseline", "measured", "limit"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12.2} {:>12.2} {:>12.2}  {}",
+            r.name,
+            r.baseline,
+            r.measured,
+            r.limit,
+            if r.ok { "ok" } else { "REGRESSED" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Baseline {
+        Baseline {
+            campaign_ftpd_full_ms: 100.0,
+            mean_micros_per_replay: 50.0,
+        }
+    }
+
+    #[test]
+    fn within_thresholds_passes() {
+        let m = Measured {
+            campaign_ftpd_full_ms: 120.0,
+            mean_micros_per_replay: 60.0,
+            profiler_overhead: 0.05,
+        };
+        let rows = compare(&baseline(), &m, 1.0);
+        assert!(!regressed(&rows), "{rows:?}");
+        let s = render(&rows, 1.0);
+        assert!(s.contains("ok"), "{s}");
+        assert!(!s.contains("REGRESSED"), "{s}");
+    }
+
+    #[test]
+    fn injected_regression_trips_the_gate() {
+        // A 3x-slower campaign must fail the 1.6x wall threshold.
+        let m = Measured {
+            campaign_ftpd_full_ms: 300.0,
+            mean_micros_per_replay: 55.0,
+            profiler_overhead: 0.02,
+        };
+        let rows = compare(&baseline(), &m, 1.0);
+        assert!(regressed(&rows));
+        let s = render(&rows, 1.0);
+        assert!(s.contains("campaign_ftpd_full_ms"), "{s}");
+        assert!(s.contains("REGRESSED"), "{s}");
+        // A blown profiler-overhead budget trips its own row.
+        let m = Measured {
+            campaign_ftpd_full_ms: 100.0,
+            mean_micros_per_replay: 50.0,
+            profiler_overhead: 0.4,
+        };
+        let rows = compare(&baseline(), &m, 1.0);
+        assert!(regressed(&rows));
+        assert!(!rows[2].ok, "{rows:?}");
+    }
+
+    #[test]
+    fn factor_scales_every_threshold() {
+        let m = Measured {
+            campaign_ftpd_full_ms: 300.0,
+            mean_micros_per_replay: 120.0,
+            profiler_overhead: 0.25,
+        };
+        assert!(regressed(&compare(&baseline(), &m, 1.0)));
+        assert!(!regressed(&compare(&baseline(), &m, 3.0)));
+    }
+
+    #[test]
+    fn baseline_parses_the_checked_in_bench_file() {
+        let b = read_baseline(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_campaign.json"
+        ))
+        .unwrap();
+        assert!(b.campaign_ftpd_full_ms > 0.0);
+        assert!(b.mean_micros_per_replay > 0.0);
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let v: Value = serde_json::from_str("{}").unwrap();
+        let e = baseline_of(&v).unwrap_err();
+        assert!(e.contains("recorder_off"), "{e}");
+    }
+}

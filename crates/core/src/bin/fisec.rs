@@ -14,6 +14,10 @@
 //! fisec forensics [--app ftpd] [--top K] [--stride N]
 //! fisec explain --app ftpd --addr 0xADDR [--byte N] [--bit N]
 //! fisec stats TRACE.jsonl [--json]
+//! fisec profile [--app ftpd|sshd] | fisec profile TRACE.jsonl
+//! fisec report TRACE.jsonl [--out report.html]
+//! fisec bench-diff BENCH_campaign.json [--factor F]
+//! fisec help
 //! ```
 //!
 //! The campaign commands (`table1`/`table3`/`table5`/`figure4`) accept
@@ -32,7 +36,7 @@ use fisec_core::{
     CampaignSummary, EncodingScheme,
 };
 use fisec_inject::{crash_forensics, enumerate_targets, golden_run, run_injection, OutcomeClass};
-use fisec_telemetry::{JsonlSink, NullSink, Telemetry};
+use fisec_telemetry::{JsonlSink, MemorySink, NullSink, Telemetry};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -47,7 +51,7 @@ struct Args {
     samples: usize,
     seed: u64,
     threads: Option<usize>,
-    top: usize,
+    top: Option<usize>,
     stride: usize,
     json: bool,
     new_encoding: bool,
@@ -64,6 +68,10 @@ struct Args {
     target_ci: Option<f64>,
     resume: Option<String>,
     from_scratch: bool,
+    chrome_trace: Option<String>,
+    profile: bool,
+    factor: f64,
+    out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,7 +90,7 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         samples: 200,
         seed: 2001,
         threads: None,
-        top: 3,
+        top: None,
         stride: 4,
         json: false,
         new_encoding: false,
@@ -99,7 +107,15 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         target_ci: None,
         resume: None,
         from_scratch: false,
+        chrome_trace: None,
+        profile: false,
+        factor: 1.0,
+        out: None,
     };
+    if matches!(a.cmd.as_str(), "--help" | "-h") {
+        a.cmd = "help".to_string();
+        return Ok(a);
+    }
     while let Some(flag) = argv.next() {
         let mut val = |name: &str| -> Result<String, String> {
             argv.next().ok_or(format!("{name} needs a value"))
@@ -112,7 +128,7 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
             "--samples" => a.samples = val("--samples")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => a.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--threads" => a.threads = Some(val("--threads")?.parse().map_err(|e| format!("{e}"))?),
-            "--top" => a.top = val("--top")?.parse().map_err(|e| format!("{e}"))?,
+            "--top" => a.top = Some(val("--top")?.parse().map_err(|e| format!("{e}"))?),
             "--stride" => {
                 a.stride = val("--stride")?.parse().map_err(|e| format!("{e}"))?;
                 if a.stride == 0 {
@@ -154,6 +170,20 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
             }
             "--resume" => a.resume = Some(val("--resume")?),
             "--from-scratch" => a.from_scratch = true,
+            "--chrome-trace" => a.chrome_trace = Some(val("--chrome-trace")?),
+            "--profile" => a.profile = true,
+            "--factor" => {
+                let f: f64 = val("--factor")?.parse().map_err(|e| format!("{e}"))?;
+                if f <= 0.0 || f.is_nan() {
+                    return Err(format!("--factor {f} must be positive"));
+                }
+                a.factor = f;
+            }
+            "--out" => a.out = Some(val("--out")?),
+            "--help" | "-h" => {
+                a.cmd = "help".to_string();
+                return Ok(a);
+            }
             other if !other.starts_with('-') && a.path.is_none() => a.path = Some(flag),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -162,15 +192,20 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
 }
 
 fn usage() -> String {
-    "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|ablation|forensics|explain|stats> [flags]\n\
+    "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|ablation|forensics|explain|stats|profile|report|bench-diff|help> [flags]\n\
      flags: --app ftpd|sshd|both  --func NAME  --client N  --runs N  --samples N\n\
             --seed S  --threads N  --top K  --stride N  --json  --new-encoding\n\
             --no-block-cache  --trace-out PATH  --progress  --recorder\n\
             --addr 0xADDR  --byte N  --bit N  --from-trace\n\
             --batch N  --target-ci WIDTH  --resume LEDGER  --from-scratch\n\
+            --profile  --chrome-trace OUT.json  --out PATH  --factor F\n\
      stats takes the trace file as a positional argument: fisec stats run.jsonl\n\
      explain renders one injection's divergence timeline: fisec explain --app ftpd --addr 0xADDR --byte N --bit N\n\
-     random streams a sharded campaign; --trace-out doubles as its resumable ledger"
+     random streams a sharded campaign; --trace-out doubles as its resumable ledger\n\
+     profile runs a profiled campaign (or replays one: fisec profile run.jsonl) and ranks hot blocks\n\
+     report renders a saved trace as one self-contained HTML file: fisec report run.jsonl --out report.html\n\
+     bench-diff measures a fresh campaign against the recorded baseline: fisec bench-diff BENCH_campaign.json\n\
+     campaign commands accept --profile (hot-spot profiler) and --chrome-trace OUT.json (Perfetto span export)"
         .to_string()
 }
 
@@ -188,6 +223,8 @@ fn cfg_of(a: &Args, scheme: EncodingScheme) -> CampaignConfig {
         scheme,
         block_cache: !a.no_block_cache,
         flight_recorder: a.recorder || a.from_trace,
+        profiler: a.profile,
+        spans: a.chrome_trace.is_some(),
         ..CampaignConfig::default()
     };
     if let Some(t) = a.threads {
@@ -199,15 +236,52 @@ fn cfg_of(a: &Args, scheme: EncodingScheme) -> CampaignConfig {
 /// Build the telemetry bundle the campaign commands run under:
 /// `--trace-out` streams JSONL events, `--progress` adds the live meter
 /// (and, on its own, still collects metrics for the stderr breakdown).
-fn telemetry_for(args: &Args) -> Result<Telemetry, String> {
+/// `--chrome-trace` without `--trace-out` retains the events in memory
+/// (the second tuple slot) so the span exporter has something to read.
+fn telemetry_for(args: &Args) -> Result<(Telemetry, Option<Arc<MemorySink>>), String> {
     match &args.trace_out {
         Some(path) => {
             let sink = JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
-            Ok(Telemetry::new(Arc::new(sink), args.progress))
+            Ok((Telemetry::new(Arc::new(sink), args.progress), None))
         }
-        None if args.progress => Ok(Telemetry::new(Arc::new(NullSink), true)),
-        None => Ok(Telemetry::disabled()),
+        None if args.chrome_trace.is_some() => {
+            let mem = Arc::new(MemorySink::new());
+            Ok((
+                Telemetry::new(Arc::<MemorySink>::clone(&mem), args.progress),
+                Some(mem),
+            ))
+        }
+        None if args.progress => Ok((Telemetry::new(Arc::new(NullSink), true), None)),
+        None => Ok((Telemetry::disabled(), None)),
     }
+}
+
+/// Export the campaign's span events as Chrome trace-event JSON
+/// (`--chrome-trace OUT.json`, loadable in Perfetto / `chrome://tracing`).
+/// Spans are re-read from the `--trace-out` file when one was written,
+/// otherwise from the retained in-memory sink; strict per-lane nesting
+/// is verified before anything is written.
+fn export_chrome_trace(args: &Args, mem: Option<&MemorySink>) -> Result<(), String> {
+    let Some(out) = &args.chrome_trace else {
+        return Ok(());
+    };
+    let events = match (&args.trace_out, mem) {
+        (Some(path), _) => fisec_telemetry::read_jsonl_path(path)?,
+        (None, Some(m)) => m.events(),
+        (None, None) => return Err("--chrome-trace needs an event stream".to_string()),
+    };
+    let spans = events
+        .iter()
+        .filter(|e| matches!(e, fisec_telemetry::TraceEvent::Span(_)))
+        .count();
+    if spans == 0 {
+        return Err("no span events were recorded (is span tracing on?)".to_string());
+    }
+    fisec_telemetry::check_span_nesting(&events)?;
+    let json = fisec_telemetry::chrome_trace_json(&events);
+    std::fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("chrome trace: {out} ({spans} spans)");
+    Ok(())
 }
 
 /// After the campaigns: print the phase breakdown and engine metrics to
@@ -245,14 +319,20 @@ fn main() -> ExitCode {
 
 #[allow(clippy::too_many_lines)]
 fn run(args: &Args) -> Result<(), String> {
-    if args.cmd != "stats" {
+    if !matches!(
+        args.cmd.as_str(),
+        "stats" | "profile" | "report" | "bench-diff"
+    ) {
         if let Some(p) = &args.path {
             return Err(format!(
-                "unexpected argument `{p}` (only `stats` takes a positional trace file)"
+                "unexpected argument `{p}` (only stats/profile/report/bench-diff take a positional file)"
             ));
         }
     }
     match args.cmd.as_str() {
+        "help" => {
+            println!("{}", usage());
+        }
         "table1" | "table3" => {
             let apps = apps_for(&args.app)?;
             let scheme = if args.new_encoding {
@@ -261,13 +341,14 @@ fn run(args: &Args) -> Result<(), String> {
                 EncodingScheme::Baseline
             };
             let cfg = cfg_of(args, scheme);
-            let tel = telemetry_for(args)?;
+            let (tel, mem) = telemetry_for(args)?;
             let wall_start = Instant::now();
             let results: Vec<_> = apps
                 .iter()
                 .map(|a| run_campaign_traced(a, &cfg, &tel))
                 .collect();
             report_telemetry(args, &tel, wall_start);
+            export_chrome_trace(args, mem.as_deref())?;
             let refs: Vec<_> = results.iter().collect();
             if args.json {
                 for r in &results {
@@ -284,7 +365,7 @@ fn run(args: &Args) -> Result<(), String> {
             let apps = apps_for(&args.app)?;
             let base_cfg = cfg_of(args, EncodingScheme::Baseline);
             let new_cfg = cfg_of(args, EncodingScheme::NewEncoding);
-            let tel = telemetry_for(args)?;
+            let (tel, mem) = telemetry_for(args)?;
             let wall_start = Instant::now();
             let base: Vec<_> = apps
                 .iter()
@@ -295,6 +376,7 @@ fn run(args: &Args) -> Result<(), String> {
                 .map(|a| run_campaign_traced(a, &new_cfg, &tel))
                 .collect();
             report_telemetry(args, &tel, wall_start);
+            export_chrome_trace(args, mem.as_deref())?;
             if args.json {
                 for r in base.iter().chain(&new) {
                     println!("{}", CampaignSummary::from(r).to_json());
@@ -322,10 +404,11 @@ fn run(args: &Args) -> Result<(), String> {
                 ));
             }
             let cfg = cfg_of(args, EncodingScheme::Baseline);
-            let tel = telemetry_for(args)?;
+            let (tel, mem) = telemetry_for(args)?;
             let wall_start = Instant::now();
             let result = run_campaign_traced(app, &cfg, &tel);
             report_telemetry(args, &tel, wall_start);
+            export_chrome_trace(args, mem.as_deref())?;
             let c = &result.clients[args.client - 1];
             let h = if args.from_trace {
                 // Rebuild Figure 4 purely from the recorded flight
@@ -415,7 +498,7 @@ fn run(args: &Args) -> Result<(), String> {
             let app = &apps[0];
             let engine = fisec_inject::EngineOpts {
                 block_cache: !args.no_block_cache,
-                flight_recorder: false,
+                ..fisec_inject::EngineOpts::default()
             };
             let threads = args.threads.unwrap_or(1).max(1);
             let wall_start = Instant::now();
@@ -476,7 +559,7 @@ fn run(args: &Args) -> Result<(), String> {
                     target_ci: args.target_ci,
                     engine,
                 };
-                let tel = telemetry_for(args)?;
+                let (tel, _) = telemetry_for(args)?;
                 let stats = random::run_random_streaming(app, &cfg, &tel)?;
                 report_telemetry(args, &tel, wall_start);
                 (stats, 0)
@@ -499,6 +582,109 @@ fn run(args: &Args) -> Result<(), String> {
                         0.0
                     }
                 );
+            }
+        }
+        "profile" => {
+            let top = args.top.unwrap_or(fisec_core::hotblocks::DEFAULT_TOP);
+            if let Some(path) = &args.path {
+                // Replay: render the profile events a saved trace carries.
+                let replay = trace::read_trace(path)?;
+                let profiled: Vec<_> = replay
+                    .campaigns
+                    .iter()
+                    .filter_map(|c| c.profile.as_ref())
+                    .collect();
+                if profiled.is_empty() {
+                    return Err(format!(
+                        "{path}: no profile events (record the trace with --profile)"
+                    ));
+                }
+                for p in profiled {
+                    println!("== {} — {} engine ==", p.app, p.mode);
+                    let app = match p.app.as_str() {
+                        "ftpd" => Some(AppSpec::ftpd()),
+                        "sshd" => Some(AppSpec::sshd()),
+                        _ => None,
+                    };
+                    print!(
+                        "{}",
+                        fisec_core::hotblocks::render_hot_blocks(
+                            &p.data,
+                            app.as_ref().map(|a| &a.image),
+                            top
+                        )
+                    );
+                }
+            } else {
+                // Live: run each selected app's campaign with the
+                // profiler on (results are bit-identical either way —
+                // the differential tests pin it) and rank its blocks.
+                let apps = apps_for(if args.app == "both" {
+                    "ftpd"
+                } else {
+                    &args.app
+                })?;
+                let scheme = if args.new_encoding {
+                    EncodingScheme::NewEncoding
+                } else {
+                    EncodingScheme::Baseline
+                };
+                for app in &apps {
+                    let mut cfg = cfg_of(args, scheme);
+                    cfg.profiler = true;
+                    let tel = Telemetry::new(Arc::new(NullSink), args.progress);
+                    run_campaign_traced(app, &cfg, &tel);
+                    let snap = tel.metrics.snapshot();
+                    println!(
+                        "== {} [{}] — {} engine ==",
+                        app.name,
+                        scheme,
+                        cfg.mode.name()
+                    );
+                    print!(
+                        "{}",
+                        fisec_core::hotblocks::render_hot_blocks(
+                            snap.profile(),
+                            Some(&app.image),
+                            top
+                        )
+                    );
+                }
+            }
+        }
+        "report" => {
+            let path = args
+                .path
+                .as_ref()
+                .ok_or("report needs a trace file: fisec report run.jsonl [--out report.html]")?;
+            let replay = trace::read_trace(path)?;
+            if replay.campaigns.is_empty() && replay.random.is_empty() {
+                return Err(format!("{path}: no campaigns in trace"));
+            }
+            let html = fisec_core::report::render_html(&replay);
+            let out = args.out.clone().unwrap_or_else(|| {
+                let stem = path.strip_suffix(".jsonl").unwrap_or(path);
+                format!("{stem}.html")
+            });
+            std::fs::write(&out, &html).map_err(|e| format!("{out}: {e}"))?;
+            println!("report: {out} ({} bytes)", html.len());
+        }
+        "bench-diff" => {
+            let path = args.path.as_ref().ok_or(
+                "bench-diff needs the baseline file: fisec bench-diff BENCH_campaign.json [--factor F]",
+            )?;
+            let baseline = fisec_core::benchdiff::read_baseline(path)?;
+            eprintln!(
+                "bench-diff: measuring one full ftpd baseline campaign, plain and profiled ..."
+            );
+            let measured = fisec_core::benchdiff::measure();
+            let rows = fisec_core::benchdiff::compare(&baseline, &measured, args.factor);
+            print!("{}", fisec_core::benchdiff::render(&rows, args.factor));
+            if fisec_core::benchdiff::regressed(&rows) {
+                let n = rows.iter().filter(|r| !r.ok).count();
+                return Err(format!(
+                    "{n} metric(s) regressed past their thresholds (baseline {path})"
+                ));
             }
         }
         "load" => {
@@ -629,12 +815,13 @@ fn run(args: &Args) -> Result<(), String> {
                 }
             }
             reports.sort_by_key(|(_, r)| std::cmp::Reverse(r.latency));
+            let top = args.top.unwrap_or(3);
             println!(
                 "{} crashes sampled; {} longest transient windows:",
                 reports.len(),
-                args.top
+                top
             );
-            for (addr, r) in reports.iter().take(args.top) {
+            for (addr, r) in reports.iter().take(top) {
                 println!("\ninjected at {addr:#010x}:");
                 print!("{r}");
             }
@@ -800,5 +987,95 @@ mod tests {
         let a = parse(&["table1", "run.jsonl"]).unwrap();
         let e = run(&a).unwrap_err();
         assert!(e.contains("unexpected argument"), "{e}");
+    }
+
+    #[test]
+    fn help_is_a_first_class_command() {
+        // `fisec help`, `fisec --help` and `fisec -h` all parse into
+        // the help command, which run() serves on stdout with exit 0.
+        for argv in [&["help"][..], &["--help"], &["-h"], &["table1", "--help"]] {
+            let a = parse(argv).unwrap();
+            assert_eq!(a.cmd, "help", "{argv:?}");
+            run(&a).unwrap();
+        }
+        // The usage text names every observatory command and flag.
+        let u = usage();
+        for needle in [
+            "profile",
+            "report",
+            "bench-diff",
+            "--chrome-trace",
+            "--factor",
+        ] {
+            assert!(u.contains(needle), "usage lacks {needle}:\n{u}");
+        }
+    }
+
+    #[test]
+    fn observatory_flags_round_trip() {
+        let a = parse(&[
+            "table1",
+            "--profile",
+            "--chrome-trace",
+            "spans.json",
+            "--out",
+            "r.html",
+            "--factor",
+            "2.5",
+            "--top",
+            "7",
+        ])
+        .unwrap();
+        assert!(a.profile);
+        assert_eq!(a.chrome_trace.as_deref(), Some("spans.json"));
+        assert_eq!(a.out.as_deref(), Some("r.html"));
+        assert!((a.factor - 2.5).abs() < 1e-9);
+        assert_eq!(a.top, Some(7));
+        // The campaign config mirrors them: --profile turns the
+        // profiler on, --chrome-trace turns span tracing on.
+        let cfg = cfg_of(&a, EncodingScheme::Baseline);
+        assert!(cfg.profiler && cfg.spans);
+        let plain = cfg_of(&parse(&["table1"]).unwrap(), EncodingScheme::Baseline);
+        assert!(!plain.profiler && !plain.spans);
+    }
+
+    #[test]
+    fn factor_must_be_positive() {
+        for bad in ["0", "-1", "nope"] {
+            assert!(parse(&["bench-diff", "--factor", bad]).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn report_and_bench_diff_take_a_positional() {
+        let a = parse(&["report", "run.jsonl"]).unwrap();
+        assert_eq!(a.path.as_deref(), Some("run.jsonl"));
+        let a = parse(&["bench-diff", "BENCH_campaign.json"]).unwrap();
+        assert_eq!(a.path.as_deref(), Some("BENCH_campaign.json"));
+        // Without one, both error out with a pointer to the usage.
+        let e = run(&parse(&["report"]).unwrap()).unwrap_err();
+        assert!(e.contains("report needs a trace file"), "{e}");
+        let e = run(&parse(&["bench-diff"]).unwrap()).unwrap_err();
+        assert!(e.contains("bench-diff needs the baseline file"), "{e}");
+    }
+
+    #[test]
+    fn profile_replay_requires_profile_events() {
+        // A trace recorded without --profile is a user error, not an
+        // empty table.
+        let dir = std::env::temp_dir().join("fisec_profile_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plain.jsonl");
+        let sink = fisec_telemetry::JsonlSink::create(&path).unwrap();
+        let tel = Telemetry::new(Arc::new(sink), false);
+        let cfg = fisec_core::CampaignConfig {
+            cond_branches_only: true,
+            ..fisec_core::CampaignConfig::default()
+        };
+        run_campaign_traced(&AppSpec::ftpd(), &cfg, &tel);
+        let a = parse(&["profile", path.to_str().unwrap()]).unwrap();
+        let e = run(&a).unwrap_err();
+        assert!(e.contains("no profile events"), "{e}");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -10,7 +10,8 @@ use fisec_inject::{
 };
 use fisec_os::Stop;
 use fisec_telemetry::{
-    metric, CampaignEndEvent, CampaignEvent, MetricsShard, Phase, RunEvent, Telemetry, TraceEvent,
+    metric, CampaignEndEvent, CampaignEvent, HotBlock, MetricsShard, Phase, ProfileData,
+    ProfileEvent, RunEvent, SlowShape, SpanEvent, Telemetry, TraceEvent,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -67,6 +68,16 @@ pub struct CampaignConfig {
     /// depth and trace-derived latency, and the metrics registry gains
     /// per-outcome divergence-depth histograms.
     pub flight_recorder: bool,
+    /// Collect the hot-spot execution profile (`fisec profile`): per-
+    /// block dispatch/retire tallies, slow-path op shapes and block-
+    /// cache traffic, accumulated in the metrics shards and emitted as
+    /// one `profile` trace event per campaign. A pure observer —
+    /// results are bit-identical either way (differential tests).
+    pub profiler: bool,
+    /// Emit hierarchical span events (campaign → client → checkpoint
+    /// group → run → phase) into the trace stream (`--chrome-trace`).
+    /// Off by default so existing traces stay byte-compatible.
+    pub spans: bool,
 }
 
 impl Default for CampaignConfig {
@@ -78,6 +89,8 @@ impl Default for CampaignConfig {
             mode: ExecutionMode::default(),
             block_cache: true,
             flight_recorder: false,
+            profiler: false,
+            spans: false,
         }
     }
 }
@@ -88,7 +101,41 @@ impl CampaignConfig {
         EngineOpts {
             block_cache: self.block_cache,
             flight_recorder: self.flight_recorder,
+            profiler: self.profiler,
         }
+    }
+}
+
+/// Wire form of an [`fisec_x86::ExecProfile`]: hash maps down to
+/// address-sorted vectors, block-cache deltas onto named counters.
+fn profile_data(p: &fisec_x86::ExecProfile) -> ProfileData {
+    let mut blocks: Vec<HotBlock> = p
+        .blocks
+        .iter()
+        .map(|(addr, t)| HotBlock {
+            addr: *addr,
+            dispatches: t.dispatches,
+            retired: t.retired,
+        })
+        .collect();
+    blocks.sort_by_key(|b| b.addr);
+    let mut slow: Vec<SlowShape> = p
+        .slow
+        .iter()
+        .map(|(addr, s)| SlowShape {
+            addr: *addr,
+            shape: s.shape.clone(),
+            count: s.count,
+        })
+        .collect();
+    slow.sort_by_key(|s| s.addr);
+    ProfileData {
+        blocks,
+        slow,
+        stepwise_retired: p.stepwise_retired,
+        cache_built: p.cache.built,
+        cache_hits: p.cache.hits,
+        cache_invalidated: p.cache.invalidated,
     }
 }
 
@@ -234,17 +281,44 @@ struct WorkerTel<'a> {
     worker: usize,
     shard: MetricsShard,
     batch: Vec<TraceEvent>,
+    /// Campaign epoch when span tracing is on (`cfg.spans` and an
+    /// enabled event sink); `None` keeps the span sites one branch.
+    span_epoch: Option<Instant>,
 }
 
 impl<'a> WorkerTel<'a> {
-    fn new(tel: &'a Telemetry, client: usize, worker: usize) -> WorkerTel<'a> {
+    fn new(
+        tel: &'a Telemetry,
+        client: usize,
+        worker: usize,
+        span_epoch: Option<Instant>,
+    ) -> WorkerTel<'a> {
         WorkerTel {
             tel,
             client,
             worker,
             shard: MetricsShard::new(),
             batch: Vec::new(),
+            span_epoch,
         }
+    }
+
+    /// Fold a group's interpreter-side profile into this worker's shard.
+    fn note_exec_profile(&mut self, profile: Option<&fisec_x86::ExecProfile>) {
+        if let Some(p) = profile.filter(|_| self.tel.enabled()) {
+            self.shard.profile_merge(&profile_data(p));
+        }
+    }
+
+    fn push_span(&mut self, name: &str, cat: &str, ts: u64, dur: u64, addr: Option<u32>) {
+        self.batch.push(TraceEvent::Span(SpanEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            tid: self.worker as u32,
+            ts,
+            dur,
+            addr,
+        }));
     }
 
     fn push_event(
@@ -312,6 +386,24 @@ impl<'a> WorkerTel<'a> {
         self.observe_divergence(run, div);
         if self.tel.events_enabled() {
             self.push_event(target, run, div, meta.icount, micros, false);
+            if let Some(epoch) = self.span_epoch {
+                // The phases were just measured, so the span is laid out
+                // backwards from "now": boot → replay → classify.
+                let end = micros_since(epoch);
+                let total = gmeta.boot_micros + meta.run_micros + meta.classify_micros;
+                let start = end.saturating_sub(total);
+                self.push_span("run", "run", start, total, Some(target.addr));
+                self.push_span("boot", "phase", start, gmeta.boot_micros, None);
+                let cursor = start + gmeta.boot_micros;
+                self.push_span("replay", "phase", cursor, meta.run_micros, None);
+                self.push_span(
+                    "classify",
+                    "phase",
+                    cursor + meta.run_micros,
+                    meta.classify_micros,
+                    None,
+                );
+            }
             self.flush_if_full();
         }
         let mut tally = [0u64; 5];
@@ -358,9 +450,54 @@ impl<'a> WorkerTel<'a> {
             }
         }
         if self.tel.events_enabled() {
+            if let Some(epoch) = self.span_epoch {
+                self.push_group_spans(targets, runs, gmeta, epoch);
+            }
             self.flush_if_full();
         }
         self.tel.progress.add(tally, 1);
+    }
+
+    /// The checkpoint-group span hierarchy: group ⊃ {boot, snapshot,
+    /// run ⊃ {replay, classify}…}, laid out backwards from "now" using
+    /// the measured phase durations, so children nest strictly.
+    fn push_group_spans(
+        &mut self,
+        targets: &[InjectionTarget],
+        runs: &[(InjectionRun, RunMeta, Option<RunDivergence>)],
+        gmeta: GroupMeta,
+        epoch: Instant,
+    ) {
+        let end = micros_since(epoch);
+        let total = gmeta.boot_micros
+            + gmeta.snapshot_micros
+            + runs
+                .iter()
+                .map(|(_, m, _)| m.run_micros + m.classify_micros)
+                .sum::<u64>();
+        let start = end.saturating_sub(total);
+        let addr = targets.first().map(|t| t.addr);
+        self.push_span("group", "group", start, total, addr);
+        let mut cursor = start;
+        self.push_span("boot", "phase", cursor, gmeta.boot_micros, None);
+        cursor += gmeta.boot_micros;
+        if gmeta.snapshot_micros > 0 {
+            self.push_span("snapshot", "phase", cursor, gmeta.snapshot_micros, None);
+            cursor += gmeta.snapshot_micros;
+        }
+        for (_, m, _) in runs {
+            let dur = m.run_micros + m.classify_micros;
+            self.push_span("run", "run", cursor, dur, addr);
+            self.push_span("replay", "phase", cursor, m.run_micros, None);
+            self.push_span(
+                "classify",
+                "phase",
+                cursor + m.run_micros,
+                m.classify_micros,
+                None,
+            );
+            cursor += dur;
+        }
     }
 
     /// A group classified NA wholesale by the golden-coverage
@@ -454,17 +591,23 @@ pub fn run_campaign_traced(app: &AppSpec, cfg: &CampaignConfig, tel: &Telemetry)
         &format!("{} [{}]", app.name, cfg.scheme),
         (set.targets.len() * app.clients.len()) as u64,
     );
+    // The span clock: every span's `ts` is microseconds since this
+    // instant. `None` (the default) keeps the trace stream byte-
+    // compatible with span-free campaigns.
+    let span_epoch = (cfg.spans && tel.events_enabled()).then_some(wall_start);
+    let mut client_spans: Vec<(String, u64, u64)> = Vec::new();
 
     let mut main = MetricsShard::new();
     let mut clients = Vec::with_capacity(app.clients.len());
     for (ci, spec) in app.clients.iter().enumerate() {
+        let client_start = micros_since(wall_start);
         let boot_start = Instant::now();
         let golden = golden_run_opts(&app.image, spec, cfg.engine()).expect("image loads");
         if tel.enabled() {
             main.inc(metric::FRESH_BOOTS, 1);
             main.phase_add(Phase::Boot, micros_since(boot_start));
         }
-        let records = run_targets(app, spec, &golden, &set.targets, cfg, tel, ci);
+        let records = run_targets(app, spec, &golden, &set.targets, cfg, tel, ci, span_epoch);
         let tally_start = Instant::now();
         let mut cc = ClientCampaign {
             client: spec.name.clone(),
@@ -513,6 +656,13 @@ pub fn run_campaign_traced(app: &AppSpec, cfg: &CampaignConfig, tel: &Telemetry)
         if tel.enabled() {
             main.phase_add(Phase::Reassemble, micros_since(tally_start));
         }
+        if span_epoch.is_some() {
+            client_spans.push((
+                spec.name.clone(),
+                client_start,
+                micros_since(wall_start) - client_start,
+            ));
+        }
         clients.push(cc);
     }
     tel.progress.finish();
@@ -535,6 +685,40 @@ pub fn run_campaign_traced(app: &AppSpec, cfg: &CampaignConfig, tel: &Telemetry)
         let phase = |p| after.phases().get(p).saturating_sub(before.phases().get(p));
         let ctr = |n| after.counter(n).saturating_sub(before.counter(n));
         if tel.events_enabled() {
+            // Client and campaign spans live on the campaign thread's
+            // lane (tid 0); the campaign span closes over everything.
+            if span_epoch.is_some() {
+                for (name, ts, dur) in &client_spans {
+                    tel.sink.emit(&TraceEvent::Span(SpanEvent {
+                        name: name.clone(),
+                        cat: "client".to_string(),
+                        tid: 0,
+                        ts: *ts,
+                        dur: *dur,
+                        addr: None,
+                    }));
+                }
+                tel.sink.emit(&TraceEvent::Span(SpanEvent {
+                    name: format!("{} [{}]", app.name, cfg.scheme),
+                    cat: "campaign".to_string(),
+                    tid: 0,
+                    ts: 0,
+                    dur: micros_since(wall_start),
+                    addr: None,
+                }));
+            }
+            if cfg.profiler {
+                // The registry may span several campaigns, so the
+                // profile event carries exactly this campaign's delta.
+                let data = after.profile().diff(before.profile());
+                if !data.is_empty() {
+                    tel.sink.emit(&TraceEvent::Profile(Box::new(ProfileEvent {
+                        app: app.name.to_string(),
+                        mode: cfg.mode.name().to_string(),
+                        data,
+                    })));
+                }
+            }
             tel.sink.emit(&TraceEvent::CampaignEnd(CampaignEndEvent {
                 wall_micros: micros_since(wall_start),
                 boot_micros: phase(Phase::Boot),
@@ -556,6 +740,7 @@ pub fn run_campaign_traced(app: &AppSpec, cfg: &CampaignConfig, tel: &Telemetry)
 /// Execute all targets for one client, dispatching on the configured
 /// [`ExecutionMode`], optionally sharded over threads. Results are in
 /// target order regardless of mode or thread count.
+#[allow(clippy::too_many_arguments)]
 fn run_targets(
     app: &AppSpec,
     spec: &fisec_apps::ClientSpec,
@@ -564,18 +749,20 @@ fn run_targets(
     cfg: &CampaignConfig,
     tel: &Telemetry,
     client_idx: usize,
+    span_epoch: Option<Instant>,
 ) -> Vec<(InjectionRun, Option<RunDivergence>)> {
     match cfg.mode {
         ExecutionMode::FromScratch => {
-            run_targets_from_scratch(app, spec, golden, targets, cfg, tel, client_idx)
+            run_targets_from_scratch(app, spec, golden, targets, cfg, tel, client_idx, span_epoch)
         }
         ExecutionMode::Snapshot => {
-            run_targets_snapshot(app, spec, golden, targets, cfg, tel, client_idx)
+            run_targets_snapshot(app, spec, golden, targets, cfg, tel, client_idx, span_epoch)
         }
     }
 }
 
 /// The reference oracle: one full boot per experiment (paper §4).
+#[allow(clippy::too_many_arguments)]
 fn run_targets_from_scratch(
     app: &AppSpec,
     spec: &fisec_apps::ClientSpec,
@@ -584,19 +771,21 @@ fn run_targets_from_scratch(
     cfg: &CampaignConfig,
     tel: &Telemetry,
     client_idx: usize,
+    span_epoch: Option<Instant>,
 ) -> Vec<(InjectionRun, Option<RunDivergence>)> {
     let engine = cfg.engine();
     let threads = cfg.threads.max(1);
     if threads == 1 || targets.len() < 64 {
-        let mut wt = WorkerTel::new(tel, client_idx, 0);
+        let mut wt = WorkerTel::new(tel, client_idx, 0, span_epoch);
         let out = targets
             .iter()
             .map(|t| {
-                let (run, meta, gmeta, rep) =
+                let (run, meta, gmeta, rep, prof) =
                     run_injection_recorded(&app.image, spec, golden, t, cfg.scheme, engine)
                         .expect("image loads");
                 let div = digest(&run, rep.as_ref());
                 wt.note_fresh(t, &run, div, meta, gmeta);
+                wt.note_exec_profile(prof.as_ref());
                 (run, div)
             })
             .collect();
@@ -609,15 +798,16 @@ fn run_targets_from_scratch(
         let mut handles = Vec::new();
         for (w, shard) in targets.chunks(chunk).enumerate() {
             handles.push(s.spawn(move || {
-                let mut wt = WorkerTel::new(tel, client_idx, w + 1);
+                let mut wt = WorkerTel::new(tel, client_idx, w + 1, span_epoch);
                 let runs = shard
                     .iter()
                     .map(|t| {
-                        let (run, meta, gmeta, rep) =
+                        let (run, meta, gmeta, rep, prof) =
                             run_injection_recorded(&app.image, spec, golden, t, cfg.scheme, engine)
                                 .expect("image loads");
                         let div = digest(&run, rep.as_ref());
                         wt.note_fresh(t, &run, div, meta, gmeta);
+                        wt.note_exec_profile(prof.as_ref());
                         (run, div)
                     })
                     .collect::<Vec<_>>();
@@ -672,6 +862,7 @@ where
 /// replay per-bit suffixes from a snapshot; a shared work queue feeds
 /// groups to the worker threads (groups vary wildly in cost, so static
 /// chunking would straggle).
+#[allow(clippy::too_many_arguments)]
 fn run_targets_snapshot(
     app: &AppSpec,
     spec: &fisec_apps::ClientSpec,
@@ -680,6 +871,7 @@ fn run_targets_snapshot(
     cfg: &CampaignConfig,
     tel: &Telemetry,
     client_idx: usize,
+    span_epoch: Option<Instant>,
 ) -> Vec<(InjectionRun, Option<RunDivergence>)> {
     // Contiguous same-address slices, with each group's offset into
     // `targets` so results can be reassembled in target order.
@@ -694,7 +886,7 @@ fn run_targets_snapshot(
 
     // Worker 0 is the campaign thread: it owns the coverage boot, the
     // pre-filter, the sequential path and the final reassembly.
-    let mut wt0 = WorkerTel::new(tel, client_idx, 0);
+    let mut wt0 = WorkerTel::new(tel, client_idx, 0, span_epoch);
 
     // The NA pre-filter is sound only when the golden run's stop proves
     // the replayed prefix cannot reach the breakpoint: an Exited or
@@ -733,7 +925,7 @@ fn run_targets_snapshot(
     let run_group = |group: &[InjectionTarget],
                      wt: &mut WorkerTel<'_>|
      -> Vec<(InjectionRun, Option<RunDivergence>)> {
-        let (runs, gmeta) =
+        let (runs, gmeta, prof) =
             run_injection_group_recorded(&app.image, spec, golden, group, cfg.scheme, cfg.engine())
                 .expect("image loads");
         let runs: Vec<(InjectionRun, RunMeta, Option<RunDivergence>)> = runs
@@ -744,6 +936,7 @@ fn run_targets_snapshot(
             })
             .collect();
         wt.note_group(group, &runs, gmeta);
+        wt.note_exec_profile(prof.as_ref());
         runs.into_iter().map(|(run, _, div)| (run, div)).collect()
     };
 
@@ -771,7 +964,7 @@ fn run_targets_snapshot(
     } else {
         let slots_mx = Mutex::new(&mut slots);
         run_work_queue(threads, live.len(), |w, pull| {
-            let mut wt = WorkerTel::new(tel, client_idx, w + 1);
+            let mut wt = WorkerTel::new(tel, client_idx, w + 1, span_epoch);
             while let Some(i) = pull() {
                 let gi = live[i];
                 let (_, group) = groups[gi];
@@ -831,6 +1024,7 @@ mod tests {
             &cfg,
             &Telemetry::disabled(),
             0,
+            None,
         );
         assert_eq!(runs.len(), 24);
         let mut counts = OutcomeCounts::default();
@@ -859,8 +1053,8 @@ mod tests {
             ..CampaignConfig::default()
         };
         let tel = Telemetry::disabled();
-        let a = run_targets(&app, spec, &golden, &targets, &seq_cfg, &tel, 0);
-        let b = run_targets(&app, spec, &golden, &targets, &par_cfg, &tel, 0);
+        let a = run_targets(&app, spec, &golden, &targets, &seq_cfg, &tel, 0, None);
+        let b = run_targets(&app, spec, &golden, &targets, &par_cfg, &tel, 0, None);
         let oa: Vec<_> = a.iter().map(|r| r.0.outcome).collect();
         let ob: Vec<_> = b.iter().map(|r| r.0.outcome).collect();
         assert_eq!(oa, ob);
@@ -886,6 +1080,111 @@ mod tests {
         assert!(matches!(events.last(), Some(TraceEvent::CampaignEnd(_))));
         let snap = tel.metrics.snapshot();
         assert_eq!(snap.counter(metric::RUNS), runs as u64);
+    }
+
+    #[test]
+    fn profiler_campaign_emits_profile_event_matching_registry() {
+        let app = AppSpec::ftpd();
+        let sink = std::sync::Arc::new(fisec_telemetry::MemorySink::new());
+        let tel = Telemetry::new(sink.clone(), false);
+        let cfg = CampaignConfig {
+            cond_branches_only: true,
+            profiler: true,
+            ..CampaignConfig::default()
+        };
+        run_campaign_traced(&app, &cfg, &tel);
+        let events = sink.events();
+        // The profile event sits immediately before the trailer, so
+        // `fisec profile trace.jsonl` can attribute it to the campaign.
+        let n = events.len();
+        assert!(matches!(&events[n - 1], TraceEvent::CampaignEnd(_)));
+        let TraceEvent::Profile(p) = &events[n - 2] else {
+            panic!(
+                "expected a profile event before the trailer: {:?}",
+                events[n - 2]
+            );
+        };
+        assert_eq!(p.app, "ftpd");
+        assert_eq!(p.mode, "snapshot");
+        assert!(!p.data.is_empty());
+        assert!(p.data.blocks.iter().any(|b| b.retired > 0));
+        assert!(
+            p.data.cache_hits > 0,
+            "snapshot campaigns reuse cached blocks"
+        );
+        // The wire event is exactly what the registry aggregated.
+        let snap = tel.metrics.snapshot();
+        assert_eq!(&p.data, snap.profile());
+        // And it survives a JSONL round-trip bit-for-bit.
+        let line = events[n - 2].to_json_line();
+        let back = TraceEvent::parse_line(&line).unwrap();
+        assert_eq!(back, events[n - 2]);
+    }
+
+    #[test]
+    fn span_campaign_nests_strictly_and_default_campaign_emits_no_spans() {
+        let app = AppSpec::ftpd();
+        let cfg = CampaignConfig {
+            cond_branches_only: true,
+            ..CampaignConfig::default()
+        };
+
+        // Byte-compat: a span-free campaign emits zero span events.
+        let sink = std::sync::Arc::new(fisec_telemetry::MemorySink::new());
+        let tel = Telemetry::new(sink.clone(), false);
+        run_campaign_traced(&app, &cfg, &tel);
+        assert!(
+            !sink
+                .events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Span(_))),
+            "cfg.spans=false must keep the stream span-free"
+        );
+
+        // Spans on: the hierarchy is strictly nested per lane and covers
+        // campaign -> client -> group -> phase.
+        let sink = std::sync::Arc::new(fisec_telemetry::MemorySink::new());
+        let tel = Telemetry::new(sink.clone(), false);
+        let cfg = CampaignConfig { spans: true, ..cfg };
+        run_campaign_traced(&app, &cfg, &tel);
+        let events = sink.events();
+        let cats: std::collections::HashSet<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span(s) => Some(s.cat.as_str()),
+                _ => None,
+            })
+            .collect();
+        for cat in ["campaign", "client", "group", "phase"] {
+            assert!(cats.contains(cat), "missing span category {cat}: {cats:?}");
+        }
+        fisec_telemetry::check_span_nesting(&events).unwrap();
+    }
+
+    #[test]
+    fn profiler_is_invisible_to_campaign_outcomes_in_both_modes() {
+        let app = AppSpec::ftpd();
+        let set = enumerate_targets(&app.image, &["pass"], true);
+        let targets: Vec<_> = set.targets.iter().take(80).copied().collect();
+        let spec = &app.clients[0];
+        let tel = Telemetry::disabled();
+        for mode in [ExecutionMode::Snapshot, ExecutionMode::FromScratch] {
+            let plain = CampaignConfig {
+                mode,
+                ..CampaignConfig::default()
+            };
+            let profiled = CampaignConfig {
+                profiler: true,
+                ..plain
+            };
+            let golden = golden_run_opts(&app.image, spec, plain.engine()).unwrap();
+            let a = run_targets(&app, spec, &golden, &targets, &plain, &tel, 0, None);
+            let golden = golden_run_opts(&app.image, spec, profiled.engine()).unwrap();
+            let b = run_targets(&app, spec, &golden, &targets, &profiled, &tel, 0, None);
+            let oa: Vec<_> = a.iter().map(|r| (r.0.outcome, r.0.crash_latency)).collect();
+            let ob: Vec<_> = b.iter().map(|r| (r.0.outcome, r.0.crash_latency)).collect();
+            assert_eq!(oa, ob, "profiler changed outcomes in {} mode", mode.name());
+        }
     }
 
     #[test]

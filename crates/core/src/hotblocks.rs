@@ -1,0 +1,211 @@
+//! Ranked hot-block rendering: the `fisec profile` table, shared with
+//! the HTML report.
+//!
+//! The interpreter's [`fisec_telemetry::ProfileData`] says *where*
+//! guest time went — per-block dispatch/retire tallies, the op shapes
+//! that still fall back to the stepwise interpreter, and block-cache
+//! traffic. This module turns it into the observatory's ranked table:
+//! blocks ordered by retired instructions, annotated with the owning
+//! function symbol and the disassembly of their first instruction, then
+//! the residual slow-path breakdown and the cache bottom line.
+
+use fisec_asm::Image;
+use fisec_telemetry::{HotBlock, ProfileData};
+use std::fmt::Write as _;
+
+/// Rows shown in the ranked table when the caller has no preference.
+pub const DEFAULT_TOP: usize = 20;
+
+/// `func+0xoff` for a text address, or the raw hex outside any symbol.
+fn sym(image: &Image, addr: u32) -> String {
+    image
+        .symbols
+        .funcs
+        .iter()
+        .find(|f| (f.start..f.end).contains(&addr))
+        .map_or_else(
+            || format!("{addr:#010x}"),
+            |f| format!("{}+{:#x}", f.name, addr - f.start),
+        )
+}
+
+/// AT&T disassembly of the single instruction at `addr`.
+fn disasm_at(image: &Image, addr: u32) -> String {
+    let Some(off) = addr
+        .checked_sub(image.text_base)
+        .map(|o| o as usize)
+        .filter(|&o| o < image.text.len())
+    else {
+        return "<outside text>".to_string();
+    };
+    let end = (off + 16).min(image.text.len());
+    let inst = fisec_x86::decode(&image.text[off..end]);
+    fisec_x86::fmt_att(&inst, addr)
+}
+
+/// Render the ranked hot-block table for one campaign profile.
+///
+/// Blocks are ordered by retired instructions (ties by address);
+/// `image` adds the symbol and leading-instruction annotation when the
+/// caller can name the binary the profile came from. Always followed by
+/// the slow-path op-shape breakdown and the block-cache bottom line, so
+/// the table answers both "where did guest time go" and "what still
+/// escapes the block engine".
+pub fn render_hot_blocks(data: &ProfileData, image: Option<&Image>, top: usize) -> String {
+    let mut out = String::new();
+    if data.is_empty() {
+        out.push_str("profile is empty (campaign ran without --profile?)\n");
+        return out;
+    }
+    let total = data.total_retired();
+    let in_blocks: u64 = data.blocks.iter().map(|b| b.retired).sum();
+    let _ = writeln!(
+        out,
+        "== hot blocks: {} blocks, {} instructions retired ({} in blocks, {} stepwise) ==",
+        data.blocks.len(),
+        total,
+        in_blocks,
+        data.stepwise_retired
+    );
+
+    let mut ranked: Vec<&HotBlock> = data.blocks.iter().collect();
+    ranked.sort_by(|a, b| b.retired.cmp(&a.retired).then(a.addr.cmp(&b.addr)));
+    if !ranked.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<10}  {:<22} {:>10} {:>11} {:>7}  leading instruction",
+            "rank", "addr", "symbol", "dispatches", "retired", "%total"
+        );
+    }
+    for (i, b) in ranked.iter().take(top).enumerate() {
+        let pct = if total == 0 {
+            0.0
+        } else {
+            b.retired as f64 * 100.0 / total as f64
+        };
+        let (symbol, lead) = match image {
+            Some(img) => (sym(img, b.addr), disasm_at(img, b.addr)),
+            None => (format!("{:#010x}", b.addr), String::new()),
+        };
+        let _ = writeln!(
+            out,
+            "{:>4}  {:#010x}  {:<22} {:>10} {:>11} {:>6.1}%  {}",
+            i + 1,
+            b.addr,
+            symbol,
+            b.dispatches,
+            b.retired,
+            pct,
+            lead
+        );
+    }
+    if ranked.len() > top {
+        let _ = writeln!(out, "      ... {} more blocks", ranked.len() - top);
+    }
+
+    let shapes = data.slow_by_shape();
+    if shapes.is_empty() {
+        out.push_str("slow path: never taken\n");
+    } else {
+        out.push_str("slow-path ops (executed stepwise, outside any cached block):\n");
+        for (shape, count, sites) in &shapes {
+            let _ = writeln!(out, "  {shape:<28} {count:>10} hits  {sites:>4} sites");
+        }
+    }
+
+    let lookups = data.cache_hits + data.cache_built;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        data.cache_hits as f64 * 100.0 / lookups as f64
+    };
+    let _ = writeln!(
+        out,
+        "block cache: {} built, {} hits ({hit_rate:.1}% hit rate), {} invalidated",
+        data.cache_built, data.cache_hits, data.cache_invalidated
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisec_telemetry::SlowShape;
+
+    fn sample() -> ProfileData {
+        ProfileData {
+            blocks: vec![
+                HotBlock {
+                    addr: 0x0804_8000,
+                    dispatches: 10,
+                    retired: 50,
+                },
+                HotBlock {
+                    addr: 0x0804_9000,
+                    dispatches: 100,
+                    retired: 900,
+                },
+            ],
+            slow: vec![SlowShape {
+                addr: 0x0804_8100,
+                shape: "div32 r/m32".to_string(),
+                count: 7,
+            }],
+            stepwise_retired: 50,
+            cache_built: 2,
+            cache_hits: 108,
+            cache_invalidated: 1,
+        }
+    }
+
+    #[test]
+    fn ranks_blocks_by_retired_and_reports_cache() {
+        let s = render_hot_blocks(&sample(), None, 10);
+        let first = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("1 "))
+            .unwrap();
+        assert!(first.contains("0x08049000"), "{s}");
+        assert!(s.contains("div32 r/m32"), "{s}");
+        assert!(s.contains("7 hits"), "{s}");
+        assert!(
+            s.contains("2 built, 108 hits (98.2% hit rate), 1 invalidated"),
+            "{s}"
+        );
+        assert!(
+            s.contains("1000 instructions retired (950 in blocks, 50 stepwise)"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn truncates_past_top_and_handles_empty() {
+        let s = render_hot_blocks(&sample(), None, 1);
+        assert!(s.contains("... 1 more blocks"), "{s}");
+        assert!(!s.contains("0x08048000"), "{s}");
+        let s = render_hot_blocks(&ProfileData::default(), None, 5);
+        assert!(s.contains("profile is empty"), "{s}");
+    }
+
+    #[test]
+    fn annotates_with_symbols_and_disassembly_when_an_image_is_given() {
+        let app = fisec_apps::AppSpec::ftpd();
+        let f = app.image.symbols.funcs.first().unwrap();
+        let data = ProfileData {
+            blocks: vec![HotBlock {
+                addr: f.start,
+                dispatches: 1,
+                retired: 4,
+            }],
+            ..ProfileData::default()
+        };
+        let s = render_hot_blocks(&data, Some(&app.image), 5);
+        assert!(s.contains(&format!("{}+0x0", f.name)), "{s}");
+        // The leading-instruction column is non-empty disassembly.
+        let row = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("1 "))
+            .unwrap();
+        assert!(row.trim_end().len() > row.find('%').unwrap() + 2, "{s}");
+    }
+}

@@ -29,13 +29,16 @@
 //! ```
 
 pub mod ablation;
+pub mod benchdiff;
 pub mod campaign;
 pub mod counts;
 pub mod data_errors;
 pub mod explain;
 pub mod figure4;
+pub mod hotblocks;
 pub mod load;
 pub mod random;
+pub mod report;
 pub mod stats;
 pub mod tables;
 pub mod trace;

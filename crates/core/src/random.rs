@@ -360,12 +360,14 @@ pub fn render_report(stats: &RandomStats) -> String {
         ("BRK", &stats.hists.brk),
     ] {
         if h.count > 0 {
+            let (p50, p95, p99) = h.percentiles();
             out.push_str(&format!(
-                "  {label:<10} n={:<9} mean={:<12.1} p50<={:<10} p99<={:<12} max={}\n",
+                "  {label:<10} n={:<9} mean={:<11.1} p50={:<9.1} p95={:<9.1} p99={:<11.1} max={}\n",
                 h.count,
                 h.mean(),
-                h.quantile(0.5),
-                h.quantile(0.99),
+                p50,
+                p95,
+                p99,
                 h.max
             ));
         }
@@ -488,7 +490,11 @@ pub fn read_ledger(path: impl AsRef<Path>) -> Result<LedgerState, String> {
                 }
             }
             // Targeted-campaign events sharing the stream are not ours.
-            TraceEvent::Campaign(_) | TraceEvent::Run(_) | TraceEvent::CampaignEnd(_) => {}
+            TraceEvent::Campaign(_)
+            | TraceEvent::Run(_)
+            | TraceEvent::CampaignEnd(_)
+            | TraceEvent::Span(_)
+            | TraceEvent::Profile(_) => {}
         }
     }
     match state {
@@ -719,23 +725,20 @@ fn run_random_inner(
         final_batch: total_batches,
     };
 
-    tel.progress.begin(
+    // Resumed runs count toward completion and the tally but not the
+    // rate/ETA estimate (which only fresh work should drive).
+    tel.progress.begin_resumed(
         &format!("{} random [{}]", app.name, cfg.scheme),
         cfg.runs as u64,
-    );
-    if tel.enabled() && init_tallies.runs > 0 {
-        // Show resumed progress immediately.
-        tel.progress.add(
-            [
-                0,
-                init_tallies.no_effect as u64,
-                init_tallies.sd as u64,
-                init_tallies.fsv as u64,
-                init_tallies.brk as u64,
-            ],
+        [
             0,
-        );
-    }
+            init_tallies.no_effect as u64,
+            init_tallies.sd as u64,
+            init_tallies.fsv as u64,
+            init_tallies.brk as u64,
+        ],
+        first_batch as u64,
+    );
 
     let threads = cfg.threads.max(1).min(total_batches - first_batch);
     let worker_err: Mutex<Option<String>> = Mutex::new(None);

@@ -17,7 +17,8 @@ use fisec_net::{ClientStatus, Trace};
 use fisec_os::Stop;
 use fisec_telemetry::{
     metric, read_jsonl_path, render_phase_table, CampaignEndEvent, CampaignEvent, LogHistogram,
-    OutcomeHists, PhaseTimes, RandomCampaignEvent, RandomEndEvent, RunEvent, TraceEvent,
+    OutcomeHists, PhaseTimes, ProfileEvent, RandomCampaignEvent, RandomEndEvent, RunEvent,
+    SpanEvent, TraceEvent,
 };
 use std::path::Path;
 
@@ -36,6 +37,8 @@ pub struct ReplayedCampaign {
     pub end: Option<CampaignEndEvent>,
     /// Run events in emission order.
     pub run_events: Vec<RunEvent>,
+    /// Hot-spot profile, when the campaign ran with `--profile`.
+    pub profile: Option<ProfileEvent>,
 }
 
 /// One random campaign reconstructed from its ledger checkpoints.
@@ -60,6 +63,9 @@ pub struct ReplayedTrace {
     pub campaigns: Vec<ReplayedCampaign>,
     /// Random (latent-error) campaigns, in stream order.
     pub random: Vec<ReplayedRandom>,
+    /// Span events in emission order (present when the trace was
+    /// recorded with `--chrome-trace`); the Perfetto exporter's input.
+    pub spans: Vec<SpanEvent>,
 }
 
 fn scheme_of(label: &str) -> Result<EncodingScheme, String> {
@@ -126,6 +132,7 @@ fn stats_of(header: &RandomCampaignEvent) -> RandomStats {
 pub fn parse_trace(events: &[TraceEvent]) -> Result<ReplayedTrace, String> {
     let mut campaigns: Vec<ReplayedCampaign> = Vec::new();
     let mut random: Vec<ReplayedRandom> = Vec::new();
+    let mut spans: Vec<SpanEvent> = Vec::new();
     let mut open = false;
     let mut random_open = false;
     for (i, ev) in events.iter().enumerate() {
@@ -168,6 +175,7 @@ pub fn parse_trace(events: &[TraceEvent]) -> Result<ReplayedTrace, String> {
                     },
                     end: None,
                     run_events: Vec::new(),
+                    profile: None,
                 });
                 open = true;
             }
@@ -283,9 +291,23 @@ pub fn parse_trace(events: &[TraceEvent]) -> Result<ReplayedTrace, String> {
                 r.end = Some(end.clone());
                 random_open = false;
             }
+            TraceEvent::Span(s) => spans.push(s.clone()),
+            TraceEvent::Profile(p) => {
+                if !open {
+                    return Err(format!("{}: profile event outside a campaign", at()));
+                }
+                campaigns
+                    .last_mut()
+                    .expect("open implies a campaign")
+                    .profile = Some((**p).clone());
+            }
         }
     }
-    Ok(ReplayedTrace { campaigns, random })
+    Ok(ReplayedTrace {
+        campaigns,
+        random,
+        spans,
+    })
 }
 
 /// Read and group a JSONL trace file.
@@ -369,12 +391,14 @@ pub fn render_stats(trace: &ReplayedTrace) -> String {
         }
         for (name, h) in [(metric::REPLAY_MICROS, &micros), (metric::ICOUNT, &icount)] {
             if h.count > 0 {
+                let (p50, p95, p99) = h.percentiles();
                 out.push_str(&format!(
-                    "{name:<24} n={:<9} mean={:<11.1} p50<={:<9} p99<={:<11} max={}\n",
+                    "{name:<24} n={:<9} mean={:<11.1} p50={:<9.1} p95={:<9.1} p99={:<11.1} max={}\n",
                     h.count,
                     h.mean(),
-                    h.quantile(0.5),
-                    h.quantile(0.99),
+                    p50,
+                    p95,
+                    p99,
                     h.max
                 ));
             }

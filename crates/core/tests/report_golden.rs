@@ -1,0 +1,159 @@
+//! Golden-file test for `fisec report`: a checked-in fixture trace must
+//! render to the checked-in HTML byte-for-byte.
+//!
+//! The renderer is deliberately deterministic (no timestamps, no
+//! external assets), so any diff here is a real output change. To bless
+//! a deliberate change:
+//!
+//! ```sh
+//! FISEC_BLESS=1 cargo test -p fisec-core --test report_golden
+//! ```
+
+use fisec_core::report::render_html;
+use fisec_core::trace;
+use fisec_telemetry::{
+    CampaignEndEvent, CampaignEvent, HotBlock, ProfileData, ProfileEvent, RunEvent, SlowShape,
+    SpanEvent, TraceEvent,
+};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_ev(bit: u8, outcome: &str, latency: Option<u64>, depth: Option<u64>) -> TraceEvent {
+    TraceEvent::Run(RunEvent {
+        client: 0,
+        addr: 0x0804_9100,
+        byte_index: 0,
+        bit,
+        outcome: outcome.to_string(),
+        location: 0,
+        worker: 0,
+        snapshot_replay: true,
+        na_prefilter: false,
+        icount: 1200 + u64::from(bit) * 100,
+        micros: 40 + u64::from(bit),
+        crash_latency: latency,
+        transient_deviation: bit == 2,
+        divergence_depth: depth,
+        trace_latency: latency,
+    })
+}
+
+/// A fixed, handcrafted trace exercising every report section the
+/// renderer has: Table 1, phase profile, Figure 4, divergence depths,
+/// spans and the hot-block table.
+fn fixture_events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::Campaign(CampaignEvent {
+            app: "ftpd".to_string(),
+            scheme: "baseline x86".to_string(),
+            mode: "snapshot".to_string(),
+            instructions: 2,
+            cond_branches: 2,
+            runs_per_client: 4,
+            clients: vec!["Client1".to_string()],
+            golden_denied: vec![true],
+        }),
+        run_ev(0, "NA", None, None),
+        run_ev(1, "SD", Some(9), Some(14)),
+        run_ev(2, "SD", Some(130), Some(40)),
+        run_ev(3, "BRK", None, Some(200)),
+        TraceEvent::Span(SpanEvent {
+            name: "ftpd [baseline x86]".to_string(),
+            cat: "campaign".to_string(),
+            tid: 0,
+            ts: 0,
+            dur: 9000,
+            addr: None,
+        }),
+        TraceEvent::Span(SpanEvent {
+            name: "Client1".to_string(),
+            cat: "client".to_string(),
+            tid: 0,
+            ts: 100,
+            dur: 8000,
+            addr: None,
+        }),
+        TraceEvent::Profile(Box::new(ProfileEvent {
+            app: "ftpd".to_string(),
+            mode: "snapshot".to_string(),
+            data: ProfileData {
+                blocks: vec![
+                    HotBlock {
+                        addr: 0x0804_9100,
+                        dispatches: 40,
+                        retired: 5200,
+                    },
+                    HotBlock {
+                        addr: 0x0804_9200,
+                        dispatches: 4,
+                        retired: 64,
+                    },
+                ],
+                slow: vec![SlowShape {
+                    addr: 0x0804_9300,
+                    shape: "rep movsb".to_string(),
+                    count: 12,
+                }],
+                stepwise_retired: 36,
+                cache_built: 2,
+                cache_hits: 42,
+                cache_invalidated: 4,
+            },
+        })),
+        TraceEvent::CampaignEnd(CampaignEndEvent {
+            runs: 4,
+            wall_micros: 9200,
+            boot_micros: 1500,
+            snapshot_micros: 400,
+            replay_micros: 6000,
+            classify_micros: 200,
+            reassemble_micros: 100,
+            fresh_boots: 1,
+            restores: 3,
+            ..CampaignEndEvent::default()
+        }),
+    ]
+}
+
+#[test]
+fn report_matches_the_golden_file() {
+    let trace_path = fixture_path("report_trace.jsonl");
+    let golden_path = fixture_path("report_golden.html");
+
+    if std::env::var_os("FISEC_BLESS").is_some() {
+        let mut jsonl = String::new();
+        for ev in fixture_events() {
+            jsonl.push_str(&ev.to_json_line());
+            jsonl.push('\n');
+        }
+        std::fs::write(&trace_path, jsonl).unwrap();
+        let replay = trace::read_trace(&trace_path).unwrap();
+        std::fs::write(&golden_path, render_html(&replay)).unwrap();
+        return;
+    }
+
+    // The checked-in fixture parses back to exactly the events above
+    // (pins the JSONL wire format of span/profile events) ...
+    let replay = trace::read_trace(&trace_path).unwrap();
+    assert_eq!(replay.campaigns.len(), 1);
+    assert_eq!(replay.spans.len(), 2);
+    let profile = replay.campaigns[0].profile.as_ref().expect("profile event");
+    let TraceEvent::Profile(expected) = &fixture_events()[7] else {
+        panic!("fixture layout changed");
+    };
+    assert_eq!(profile, expected.as_ref());
+
+    // ... and renders to exactly the checked-in HTML.
+    let golden = std::fs::read_to_string(&golden_path).unwrap();
+    let html = render_html(&replay);
+    assert_eq!(
+        html, golden,
+        "report output drifted from the golden file; if deliberate, \
+         re-bless with FISEC_BLESS=1 cargo test -p fisec-core --test report_golden"
+    );
+}

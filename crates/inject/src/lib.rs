@@ -32,6 +32,7 @@ use fisec_asm::Image;
 use fisec_encoding::{remap_flip, ByteCtx, EncodingScheme};
 use fisec_net::Trace;
 use fisec_os::{Process, Stop};
+use fisec_x86::ExecProfile;
 use std::time::Instant;
 
 /// Default multiplier on the golden run's instruction count used as the
@@ -57,6 +58,13 @@ pub struct EngineOpts {
     /// either way (pinned by differential tests) — the flag only adds
     /// the recorded traces and [`DivergenceReport`]s.
     pub flight_recorder: bool,
+    /// Collect the hot-spot execution profile (per-block dispatch and
+    /// retire counters, slow-path sites, block-cache traffic) for every
+    /// process the entry points boot. Off by default; outcomes are
+    /// bit-identical either way (pinned by differential tests) — the
+    /// recorded-entry-point returns gain an [`ExecProfile`], nothing
+    /// else changes.
+    pub profiler: bool,
 }
 
 impl Default for EngineOpts {
@@ -64,6 +72,7 @@ impl Default for EngineOpts {
         EngineOpts {
             block_cache: true,
             flight_recorder: false,
+            profiler: false,
         }
     }
 }
@@ -71,6 +80,9 @@ impl Default for EngineOpts {
 impl EngineOpts {
     fn apply(self, p: &mut Process) {
         p.machine.set_block_engine(self.block_cache);
+        if self.profiler {
+            p.machine.enable_profiler();
+        }
     }
 }
 
@@ -224,11 +236,12 @@ pub fn run_injection_metered_opts(
     engine: EngineOpts,
 ) -> Result<(InjectionRun, RunMeta, GroupMeta), fisec_os::LoadError> {
     run_injection_recorded(image, client, golden, target, scheme, engine)
-        .map(|(run, meta, group, _)| (run, meta, group))
+        .map(|(run, meta, group, _, _)| (run, meta, group))
 }
 
 /// [`run_injection_metered_opts`] plus the [`DivergenceReport`] of the
-/// run when `engine.flight_recorder` is on and the error activated.
+/// run when `engine.flight_recorder` is on and the error activated,
+/// plus the run's [`ExecProfile`] when `engine.profiler` is on.
 /// With the recorder on, the process is checkpointed at the breakpoint
 /// and resumed once *without* the flip (recorder armed) to capture the
 /// golden continuation, then restored and injected as usual — the
@@ -244,7 +257,16 @@ pub fn run_injection_recorded(
     target: &InjectionTarget,
     scheme: EncodingScheme,
     engine: EngineOpts,
-) -> Result<(InjectionRun, RunMeta, GroupMeta, Option<DivergenceReport>), fisec_os::LoadError> {
+) -> Result<
+    (
+        InjectionRun,
+        RunMeta,
+        GroupMeta,
+        Option<DivergenceReport>,
+        Option<ExecProfile>,
+    ),
+    fisec_os::LoadError,
+> {
     let boot_start = Instant::now();
     let mut p = Process::load(image, client.make())?;
     engine.apply(&mut p);
@@ -274,7 +296,8 @@ pub fn run_injection_recorded(
             boot_micros,
             ..GroupMeta::default()
         };
-        return Ok((run, meta, group, None));
+        let profile = p.machine.take_exec_profile();
+        return Ok((run, meta, group, None, profile));
     };
 
     // With the recorder on, capture the golden continuation first: the
@@ -340,7 +363,8 @@ pub fn run_injection_recorded(
         restores: 0,
         activated: true,
     };
-    Ok((run, meta, group, report))
+    let profile = p.machine.take_exec_profile();
+    Ok((run, meta, group, report, profile))
 }
 
 /// Resume a process checkpointed at its (disarmed) breakpoint with the
@@ -433,7 +457,7 @@ pub fn run_injection_group_metered_opts(
     engine: EngineOpts,
 ) -> Result<(Vec<(InjectionRun, RunMeta)>, GroupMeta), fisec_os::LoadError> {
     run_injection_group_recorded(image, client, golden, targets, scheme, engine).map(
-        |(runs, group)| {
+        |(runs, group, _)| {
             (
                 runs.into_iter().map(|(run, meta, _)| (run, meta)).collect(),
                 group,
@@ -447,7 +471,10 @@ pub fn run_injection_group_metered_opts(
 /// resumed once without the flip (recorder armed) as the group's golden
 /// continuation, then every target's replay records its own trace and
 /// is diffed against it. Outcomes are bit-identical to the recorder-off
-/// path.
+/// path. When `engine.profiler` is on, one [`ExecProfile`] covering the
+/// boot and every replay of the group is returned as well (the profile
+/// deliberately survives checkpoint restores, so it accounts for all
+/// instructions the group retired).
 ///
 /// # Errors
 /// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
@@ -466,11 +493,12 @@ pub fn run_injection_group_recorded(
     (
         Vec<(InjectionRun, RunMeta, Option<DivergenceReport>)>,
         GroupMeta,
+        Option<ExecProfile>,
     ),
     fisec_os::LoadError,
 > {
     let Some(addr) = targets.first().map(|t| t.addr) else {
-        return Ok((Vec::new(), GroupMeta::default()));
+        return Ok((Vec::new(), GroupMeta::default(), None));
     };
     assert!(
         targets.iter().all(|t| t.addr == addr),
@@ -509,7 +537,8 @@ pub fn run_injection_group_recorded(
             boot_micros,
             ..GroupMeta::default()
         };
-        return Ok((vec![(na, meta, None); targets.len()], group));
+        let profile = p.machine.take_exec_profile();
+        return Ok((vec![(na, meta, None); targets.len()], group, profile));
     };
 
     let snapshot_start = Instant::now();
@@ -571,7 +600,8 @@ pub fn run_injection_group_recorded(
         restores: p.restore_count(),
         activated: true,
     };
-    Ok((runs, group))
+    let profile = p.machine.take_exec_profile();
+    Ok((runs, group, profile))
 }
 
 /// Determine the §6.2 mapping context for the corrupted byte.

@@ -154,6 +154,7 @@ fn flight_recorder_is_a_pure_observer_and_engine_independent() {
     let recorded_stp = EngineOpts {
         block_cache: false,
         flight_recorder: true,
+        ..EngineOpts::default()
     };
     for group in by_addr(&slice) {
         let off = run_injection_group_metered_opts(
@@ -208,6 +209,68 @@ fn flight_recorder_is_a_pure_observer_and_engine_independent() {
                 if let Some(lat) = run.crash_latency {
                     assert_eq!(a.faulty.retired(), lat);
                 }
+            }
+        }
+    }
+}
+
+/// The hot-spot profiler must also be a pure observer: profiler-on runs
+/// produce field-for-field identical `InjectionRun`s in both execution
+/// modes, and the profile itself accounts for every retired instruction.
+#[test]
+fn profiler_is_a_pure_observer_in_both_engines() {
+    let app = AppSpec::ftpd();
+    let spec = &app.clients[0];
+    let golden = golden_run(&app.image, spec).unwrap();
+    let set = enumerate_targets(&app.image, &["pass"], true);
+    let slice: Vec<_> = set.targets.iter().take(2 * 48).copied().collect();
+    for block_cache in [true, false] {
+        let plain = EngineOpts {
+            block_cache,
+            ..EngineOpts::default()
+        };
+        let profiled = EngineOpts {
+            block_cache,
+            profiler: true,
+            ..EngineOpts::default()
+        };
+        for group in by_addr(&slice) {
+            let off = run_injection_group_metered_opts(
+                &app.image,
+                spec,
+                &golden,
+                group,
+                EncodingScheme::Baseline,
+                plain,
+            )
+            .unwrap();
+            let (on_runs, on_group, profile) = fisec_inject::run_injection_group_recorded(
+                &app.image,
+                spec,
+                &golden,
+                group,
+                EncodingScheme::Baseline,
+                profiled,
+            )
+            .unwrap();
+            let off_runs: Vec<_> = off.0.into_iter().map(|(run, _)| run).collect();
+            let on_runs: Vec<_> = on_runs.into_iter().map(|(run, _, _)| run).collect();
+            assert_eq!(
+                off_runs, on_runs,
+                "profiler changed outcomes at {:#010x} (block_cache={block_cache})",
+                group[0].addr
+            );
+            assert_eq!(off.1.activated, on_group.activated);
+            let profile = profile.expect("profiler was requested");
+            assert!(
+                profile.total_retired() > 0,
+                "an activated group retires instructions"
+            );
+            if !block_cache {
+                assert!(
+                    profile.blocks.is_empty(),
+                    "step engine never dispatches blocks"
+                );
             }
         }
     }

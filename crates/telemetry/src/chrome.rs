@@ -1,0 +1,170 @@
+//! Chrome trace-event export: turns the span events of a saved trace
+//! into the JSON object format `chrome://tracing` and Perfetto load
+//! directly (<https://ui.perfetto.dev>).
+//!
+//! Every span becomes one complete event (`"ph":"X"`) with microsecond
+//! `ts`/`dur` relative to the campaign epoch; the worker lane maps to
+//! `tid`, and the whole campaign shares `pid` 1. Non-span events in the
+//! stream are ignored, so the exporter runs over any saved JSONL trace.
+
+use crate::event::{SpanEvent, TraceEvent};
+use serde::Value;
+
+/// Extract the spans of a trace as Chrome trace-event JSON (one object,
+/// `{"traceEvents":[...]}`).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let trace_events: Vec<Value> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span(s) => Some(span_value(s)),
+            _ => None,
+        })
+        .collect();
+    let root = Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(trace_events)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string(&root).expect("span fields contain no non-finite floats")
+}
+
+fn span_value(s: &SpanEvent) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::Str(s.name.clone())),
+        ("cat".to_string(), Value::Str(s.cat.clone())),
+        ("ph".to_string(), Value::Str("X".to_string())),
+        ("ts".to_string(), Value::UInt(s.ts)),
+        ("dur".to_string(), Value::UInt(s.dur)),
+        ("pid".to_string(), Value::UInt(1)),
+        ("tid".to_string(), Value::UInt(u64::from(s.tid))),
+    ];
+    if let Some(addr) = s.addr {
+        fields.push((
+            "args".to_string(),
+            Value::Object(vec![(
+                "addr".to_string(),
+                Value::Str(format!("{addr:#010x}")),
+            )]),
+        ));
+    }
+    Value::Object(fields)
+}
+
+/// Verify the spans form a strictly nested (laminar) family per lane:
+/// any two spans on one `tid` are either disjoint or one contains the
+/// other. Trace viewers render overlapping-but-not-nested spans
+/// nonsensically, so the exporter's tests and the campaign engine's
+/// differential tests both pin this invariant.
+///
+/// # Errors
+/// A message naming the first offending pair.
+pub fn check_span_nesting(events: &[TraceEvent]) -> Result<(), String> {
+    let spans: Vec<&SpanEvent> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    for (i, a) in spans.iter().enumerate() {
+        for b in &spans[i + 1..] {
+            if a.tid != b.tid {
+                continue;
+            }
+            let (a0, a1) = (a.ts, a.ts + a.dur);
+            let (b0, b1) = (b.ts, b.ts + b.dur);
+            let disjoint = a1 <= b0 || b1 <= a0;
+            let nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+            if !disjoint && !nested {
+                return Err(format!(
+                    "spans overlap without nesting on tid {}: \
+                     {} [{a0},{a1}) vs {} [{b0},{b1})",
+                    a.tid, a.name, b.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, tid: u32, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent::Span(SpanEvent {
+            name: name.to_string(),
+            cat: "phase".to_string(),
+            tid,
+            ts,
+            dur,
+            addr: (name == "group").then_some(0x0804_9000),
+        })
+    }
+
+    #[test]
+    fn export_is_valid_json_with_one_event_per_span() {
+        let events = vec![
+            span("campaign", 0, 0, 1000),
+            span("group", 1, 10, 500),
+            span("boot", 1, 10, 100),
+            TraceEvent::CampaignEnd(crate::CampaignEndEvent::default()),
+        ];
+        let json = chrome_trace_json(&events);
+        let parsed: Value = serde_json::from_str(&json).expect("export must be valid JSON");
+        let Value::Array(te) = parsed.field("traceEvents") else {
+            panic!("missing traceEvents array: {json}");
+        };
+        assert_eq!(te.len(), 3, "non-span events must be ignored");
+        let Value::Object(first) = &te[0] else {
+            panic!("event not an object");
+        };
+        let get = |k: &str| {
+            first
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(Value::Null)
+        };
+        assert_eq!(get("ph"), Value::Str("X".to_string()));
+        assert_eq!(get("pid"), Value::UInt(1));
+        assert_eq!(get("tid"), Value::UInt(0));
+        assert_eq!(get("dur"), Value::UInt(1000));
+        // The group span carries its target address as an arg.
+        let Value::Object(group) = &te[1] else {
+            panic!("event not an object");
+        };
+        let args = group
+            .iter()
+            .find(|(n, _)| n == "args")
+            .map(|(_, v)| v.clone())
+            .expect("group span has args");
+        assert_eq!(
+            *args.field("addr"),
+            Value::Str("0x08049000".to_string()),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn nesting_check_accepts_laminar_families() {
+        let events = vec![
+            span("campaign", 0, 0, 1000),
+            span("client", 0, 0, 400),
+            span("client", 0, 400, 600),
+            span("group", 1, 50, 300),
+            span("boot", 1, 50, 100),
+            span("run", 1, 150, 200), // touches the group's end: nested
+        ];
+        check_span_nesting(&events).unwrap();
+    }
+
+    #[test]
+    fn nesting_check_rejects_partial_overlap() {
+        let events = vec![span("a", 2, 0, 100), span("b", 2, 50, 100)];
+        let err = check_span_nesting(&events).unwrap_err();
+        assert!(err.contains("tid 2"), "{err}");
+        // The same intervals on different lanes are fine.
+        let events = vec![span("a", 2, 0, 100), span("b", 3, 50, 100)];
+        check_span_nesting(&events).unwrap();
+    }
+}

@@ -14,6 +14,7 @@
 //! closes the campaign with the phase breakdown, so a saved stream is a
 //! self-contained, replayable record of the whole experiment.
 
+use crate::hotspot::ProfileData;
 use crate::metrics::OutcomeHists;
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufWriter, Write};
@@ -191,6 +192,44 @@ pub struct RandomEndEvent {
     pub cp_high: f64,
 }
 
+/// One node of the hierarchical span trace (campaign →
+/// checkpoint-group → run → phase). Spans are emitted into the same
+/// JSONL stream as the run events (only when span tracing is on, so
+/// default traces are byte-compatible with older readers) and export
+/// directly to Chrome trace-event JSON: `ts`/`dur` are microseconds
+/// relative to the campaign epoch, `tid` is the worker lane (0 = the
+/// campaign thread), and spans on one lane are strictly nested.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Span label ("campaign", "client", "group", "boot", "snapshot",
+    /// "run", "replay", "classify").
+    pub name: String,
+    /// Category for trace viewers: "campaign", "group", "run" or
+    /// "phase".
+    pub cat: String,
+    /// Lane: worker index + 1, with 0 for the campaign thread.
+    pub tid: u32,
+    /// Start, in microseconds since the campaign epoch.
+    pub ts: u64,
+    /// Duration in microseconds.
+    pub dur: u64,
+    /// Target instruction address, for group/run spans.
+    pub addr: Option<u32>,
+}
+
+/// Per-campaign hot-spot profile trailer: the interpreter's block/
+/// slow-path/cache tallies accumulated by exactly this campaign
+/// (emitted only when the profiler is on, before `campaign_end`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileEvent {
+    /// Application name ("ftpd"/"sshd").
+    pub app: String,
+    /// Execution engine: "snapshot" or "from-scratch".
+    pub mode: String,
+    /// The collected profile.
+    pub data: ProfileData,
+}
+
 /// One element of a telemetry trace.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -207,6 +246,11 @@ pub enum TraceEvent {
     RandomBatch(Box<RandomBatchEvent>),
     /// Random-campaign trailer.
     RandomEnd(RandomEndEvent),
+    /// One hierarchical-trace span.
+    Span(SpanEvent),
+    /// Per-campaign hot-spot profile (boxed: the block tallies dwarf
+    /// every other variant).
+    Profile(Box<ProfileEvent>),
 }
 
 impl TraceEvent {
@@ -218,6 +262,8 @@ impl TraceEvent {
             TraceEvent::RandomCampaign(_) => "random_campaign",
             TraceEvent::RandomBatch(_) => "random_batch",
             TraceEvent::RandomEnd(_) => "random_end",
+            TraceEvent::Span(_) => "span",
+            TraceEvent::Profile(_) => "profile",
         }
     }
 
@@ -230,6 +276,8 @@ impl TraceEvent {
             TraceEvent::RandomCampaign(e) => e.serialize(),
             TraceEvent::RandomBatch(e) => e.serialize(),
             TraceEvent::RandomEnd(e) => e.serialize(),
+            TraceEvent::Span(e) => e.serialize(),
+            TraceEvent::Profile(e) => e.serialize(),
         };
         let mut fields = vec![("event".to_string(), Value::Str(self.tag().to_string()))];
         if let Value::Object(body_fields) = body {
@@ -267,6 +315,12 @@ impl TraceEvent {
             "random_end" => RandomEndEvent::deserialize(&v)
                 .map(TraceEvent::RandomEnd)
                 .map_err(|e| format!("random_end event: {e}")),
+            "span" => SpanEvent::deserialize(&v)
+                .map(TraceEvent::Span)
+                .map_err(|e| format!("span event: {e}")),
+            "profile" => ProfileEvent::deserialize(&v)
+                .map(|e| TraceEvent::Profile(Box::new(e)))
+                .map_err(|e| format!("profile event: {e}")),
             other => Err(format!("unknown event tag `{other}`")),
         }
     }
@@ -577,6 +631,59 @@ mod tests {
             text_len: 2048,
         });
         assert_eq!(TraceEvent::parse_line(&hdr.to_json_line()).unwrap(), hdr);
+    }
+
+    #[test]
+    fn span_events_round_trip() {
+        let ev = TraceEvent::Span(SpanEvent {
+            name: "group".to_string(),
+            cat: "group".to_string(),
+            tid: 3,
+            ts: 1200,
+            dur: 450,
+            addr: Some(0x0804_915e),
+        });
+        let line = ev.to_json_line();
+        assert!(line.starts_with("{\"event\":\"span\""), "{line}");
+        assert_eq!(TraceEvent::parse_line(&line).unwrap(), ev);
+        // Phase spans carry no address.
+        let ev = TraceEvent::Span(SpanEvent {
+            name: "replay".to_string(),
+            cat: "phase".to_string(),
+            tid: 0,
+            ts: 0,
+            dur: 0,
+            addr: None,
+        });
+        assert_eq!(TraceEvent::parse_line(&ev.to_json_line()).unwrap(), ev);
+    }
+
+    #[test]
+    fn profile_events_round_trip() {
+        use crate::hotspot::{HotBlock, SlowShape};
+        let ev = TraceEvent::Profile(Box::new(ProfileEvent {
+            app: "ftpd".to_string(),
+            mode: "snapshot".to_string(),
+            data: ProfileData {
+                blocks: vec![HotBlock {
+                    addr: 0x0804_9000,
+                    dispatches: 12_000,
+                    retired: 96_000,
+                }],
+                slow: vec![SlowShape {
+                    addr: 0x0804_9123,
+                    shape: "shl32 r32, imm".to_string(),
+                    count: 77,
+                }],
+                stepwise_retired: 431,
+                cache_built: 96,
+                cache_hits: 11_904,
+                cache_invalidated: 12,
+            },
+        }));
+        let line = ev.to_json_line();
+        assert!(line.starts_with("{\"event\":\"profile\""), "{line}");
+        assert_eq!(TraceEvent::parse_line(&line).unwrap(), ev);
     }
 
     #[test]

@@ -25,15 +25,20 @@
 //! `&Telemetry`; [`Telemetry::disabled`] makes every instrumentation
 //! site a single branch.
 
+pub mod chrome;
 pub mod event;
+pub mod hotspot;
 pub mod metrics;
 pub mod profile;
 pub mod progress;
 
+pub use chrome::{check_span_nesting, chrome_trace_json};
 pub use event::{
     read_jsonl, read_jsonl_path, CampaignEndEvent, CampaignEvent, EventSink, JsonlSink, MemorySink,
-    NullSink, RandomBatchEvent, RandomCampaignEvent, RandomEndEvent, RunEvent, TraceEvent,
+    NullSink, ProfileEvent, RandomBatchEvent, RandomCampaignEvent, RandomEndEvent, RunEvent,
+    SpanEvent, TraceEvent,
 };
+pub use hotspot::{HotBlock, ProfileData, SlowShape};
 pub use metrics::{metric, LogHistogram, MetricsRegistry, MetricsShard, OutcomeHists};
 pub use profile::{render_phase_table, Phase, PhaseTimes};
 pub use progress::Progress;

@@ -5,6 +5,7 @@
 //! [`MetricsRegistry`] exactly once, when they finish. The registry's
 //! mutex is therefore taken O(workers) times per campaign, not O(runs).
 
+use crate::hotspot::ProfileData;
 use crate::profile::{Phase, PhaseTimes};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -137,6 +138,46 @@ impl LogHistogram {
         }
         self.max
     }
+
+    /// Interpolated `q`-quantile estimate (`0.0..=1.0`); 0 when empty.
+    ///
+    /// Log₂ buckets only bound a quantile, so the estimate interpolates
+    /// *geometrically* within the bucket holding the rank: the rank's
+    /// position maps to `lo·(hi/lo)^frac`, which lands on the bucket's
+    /// geometric midpoint `2^(i-1/2)` at `frac = 1/2`. The result is
+    /// clamped to the observed `[min, max]`, so a single-sample
+    /// histogram reports the sample itself.
+    pub fn quantile_est(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let below = seen as f64;
+            seen += n;
+            if seen as f64 >= rank {
+                let frac = (rank - below) / n as f64;
+                let hi = (1u64 << i) as f64;
+                let lo = if i == 0 { 0.5 } else { hi / 2.0 };
+                let est = lo * (hi / lo).powf(frac);
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// The standard p50/p95/p99 summary triple (interpolated).
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile_est(0.50),
+            self.quantile_est(0.95),
+            self.quantile_est(0.99),
+        )
+    }
 }
 
 /// Per-outcome log₂ histograms of guest instructions retired per run,
@@ -183,6 +224,7 @@ pub struct MetricsShard {
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, LogHistogram>,
     phases: PhaseTimes,
+    profile: ProfileData,
 }
 
 impl MetricsShard {
@@ -221,6 +263,17 @@ impl MetricsShard {
         &self.phases
     }
 
+    /// The hot-spot profile accumulated in this shard (empty when the
+    /// profiler was off).
+    pub fn profile(&self) -> &ProfileData {
+        &self.profile
+    }
+
+    /// Fold a worker's hot-spot profile into this shard.
+    pub fn profile_merge(&mut self, p: &ProfileData) {
+        self.profile.merge(p);
+    }
+
     /// Fold another shard into this one.
     pub fn merge(&mut self, other: &MetricsShard) {
         for (name, v) in &other.counters {
@@ -230,21 +283,25 @@ impl MetricsShard {
             self.histograms.entry(name).or_default().merge(h);
         }
         self.phases.merge(&other.phases);
+        self.profile.merge(&other.profile);
     }
 
-    /// Render counters and histogram summaries as an aligned table.
+    /// Render counters and histogram summaries as an aligned table,
+    /// with interpolated p50/p95/p99 per histogram.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
             out.push_str(&format!("{name:<24} {v:>12}\n"));
         }
         for (name, h) in &self.histograms {
+            let (p50, p95, p99) = h.percentiles();
             out.push_str(&format!(
-                "{name:<24} n={:<9} mean={:<11.1} p50<={:<9} p99<={:<11} max={}\n",
+                "{name:<24} n={:<9} mean={:<11.1} p50={:<9.1} p95={:<9.1} p99={:<11.1} max={}\n",
                 h.count,
                 h.mean(),
-                h.quantile(0.5),
-                h.quantile(0.99),
+                p50,
+                p95,
+                p99,
                 h.max
             ));
         }
@@ -338,6 +395,36 @@ mod tests {
         let h = LogHistogram::default();
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile_est(0.5), 0.0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_land_inside_the_bucket() {
+        let mut h = LogHistogram::default();
+        for v in [1u64, 2, 50, 99, 100, 20_000] {
+            h.record(v);
+        }
+        // The p50 rank (3rd of 6) falls in bucket 6, values (32, 64];
+        // the geometric interpolation must stay inside those bounds
+        // while the bucket-bound quantile reports the upper edge.
+        let p50 = h.quantile_est(0.5);
+        assert!(p50 > 32.0 && p50 <= 64.0, "{p50}");
+        assert_eq!(h.quantile(0.5), 64);
+        // Estimates are clamped to the observed extrema.
+        assert!(h.quantile_est(0.0) >= 1.0);
+        assert!(h.quantile_est(1.0) <= 20_000.0);
+        let (p50t, p95, p99) = h.percentiles();
+        assert_eq!(p50t, p50);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+    }
+
+    #[test]
+    fn single_sample_estimate_is_the_sample() {
+        let mut h = LogHistogram::default();
+        h.record(57);
+        // Clamping to [min, max] pins every quantile to the only value.
+        assert_eq!(h.quantile_est(0.5), 57.0);
+        assert_eq!(h.quantile_est(0.99), 57.0);
     }
 
     #[test]

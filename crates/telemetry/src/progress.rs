@@ -15,11 +15,21 @@ pub const OUTCOME_LABELS: [&str; 5] = ["NA", "NM", "SD", "FSV", "BRK"];
 /// Minimum interval between prints.
 const PRINT_EVERY_MICROS: u64 = 250_000;
 
+/// Below this much elapsed wall-clock the throughput estimate is noise
+/// (a first batch can land within microseconds of `begin`), so the
+/// meter prints `--` instead of an extrapolated rate/ETA.
+const MIN_RATE_WINDOW_MICROS: u64 = 100_000;
+
 #[derive(Debug)]
 struct State {
     label: String,
     total: u64,
     done: u64,
+    /// Runs already complete at `begin` time (a resumed ledger): they
+    /// count toward completion but not toward the throughput estimate,
+    /// which would otherwise credit instantaneous work and wreck the
+    /// ETA.
+    initial: u64,
     groups: u64,
     outcomes: [u64; 5],
     started: Instant,
@@ -43,6 +53,7 @@ impl Progress {
                 label: String::new(),
                 total: 0,
                 done: 0,
+                initial: 0,
                 groups: 0,
                 outcomes: [0; 5],
                 started: Instant::now(),
@@ -62,15 +73,28 @@ impl Progress {
     /// # Panics
     /// If another reporter panicked (poisoned lock).
     pub fn begin(&self, label: &str, total_runs: u64) {
+        self.begin_resumed(label, total_runs, [0; 5], 0);
+    }
+
+    /// Start a campaign that is *resuming* earlier work: `outcomes`
+    /// tallies the runs already committed before this invocation. They
+    /// count toward completion and the outcome tally, but are excluded
+    /// from the throughput/ETA estimate (only runs finished since this
+    /// call measure the live rate).
+    ///
+    /// # Panics
+    /// If another reporter panicked (poisoned lock).
+    pub fn begin_resumed(&self, label: &str, total_runs: u64, outcomes: [u64; 5], groups: u64) {
         if !self.enabled {
             return;
         }
         let mut st = self.state.lock().expect("no reporter panicked");
         st.label = label.to_string();
         st.total = total_runs;
-        st.done = 0;
-        st.groups = 0;
-        st.outcomes = [0; 5];
+        st.done = outcomes.iter().sum();
+        st.initial = st.done;
+        st.groups = groups;
+        st.outcomes = outcomes;
         st.started = Instant::now();
         st.last_print_micros = 0;
         st.printed = false;
@@ -117,13 +141,8 @@ impl Progress {
     }
 
     fn print(st: &mut State, elapsed_micros: u64) {
-        let secs = (elapsed_micros as f64 / 1e6).max(1e-9);
-        let rate = st.done as f64 / secs;
-        let eta = if rate > 0.0 && st.total > st.done {
-            (st.total - st.done) as f64 / rate
-        } else {
-            0.0
-        };
+        let fresh = st.done.saturating_sub(st.initial);
+        let pace = pace_string(fresh, elapsed_micros, st.total, st.done);
         let pct = if st.total == 0 {
             100.0
         } else {
@@ -134,12 +153,29 @@ impl Progress {
             tally.push_str(&format!("  {label} {n}"));
         }
         eprint!(
-            "\r{}: {}/{} runs ({pct:.1}%)  {} groups  {rate:.0} runs/s  ETA {eta:.1}s{tally}   ",
+            "\r{}: {}/{} runs ({pct:.1}%)  {} groups  {pace}{tally}   ",
             st.label, st.done, st.total, st.groups
         );
         let _ = std::io::stderr().flush();
         st.printed = true;
     }
+}
+
+/// Rate/ETA fragment of the meter line. The rate is measured over
+/// *this invocation's* work only (`fresh` excludes runs a resumed
+/// ledger already held), and below the minimum wall-clock window any
+/// extrapolation is noise, so the meter declines to guess.
+fn pace_string(fresh: u64, elapsed_micros: u64, total: u64, done: u64) -> String {
+    if elapsed_micros < MIN_RATE_WINDOW_MICROS || fresh == 0 {
+        return "-- runs/s  ETA --".to_string();
+    }
+    let rate = fresh as f64 / (elapsed_micros as f64 / 1e6);
+    let eta = if total > done {
+        (total - done) as f64 / rate
+    } else {
+        0.0
+    };
+    format!("{rate:.0} runs/s  ETA {eta:.1}s")
 }
 
 #[cfg(test)]
@@ -172,6 +208,42 @@ mod tests {
             assert_eq!(st.outcomes, [15, 5, 4, 0, 1]);
         }
         p.finish();
+    }
+
+    #[test]
+    fn resumed_runs_count_toward_done_but_not_rate() {
+        let p = Progress::new(true);
+        p.begin_resumed("resume", 1000, [400, 50, 30, 10, 10], 2);
+        {
+            let st = p.state.lock().unwrap();
+            assert_eq!(st.done, 500);
+            assert_eq!(st.initial, 500);
+            assert_eq!(st.outcomes, [400, 50, 30, 10, 10]);
+            assert_eq!(st.groups, 2);
+        }
+        p.add([100, 0, 0, 0, 0], 1);
+        let st = p.state.lock().unwrap();
+        assert_eq!(st.done, 600);
+        assert_eq!(st.done.saturating_sub(st.initial), 100);
+        drop(st);
+        p.finish();
+    }
+
+    #[test]
+    fn first_batch_suppresses_the_rate_estimate() {
+        // A batch landing microseconds after begin() must not print an
+        // extrapolated (astronomical) rate.
+        assert_eq!(pace_string(10, 10, 100, 10), "-- runs/s  ETA --");
+        // Zero elapsed exactly: still no division, still defined.
+        assert_eq!(pace_string(10, 0, 100, 10), "-- runs/s  ETA --");
+        // Past the window with fresh work: a real rate and ETA.
+        let s = pace_string(50, 1_000_000, 100, 50);
+        assert_eq!(s, "50 runs/s  ETA 1.0s");
+        // Nothing fresh yet (a just-resumed ledger): no rate claims
+        // even after the window elapses.
+        assert_eq!(pace_string(0, 1_000_000, 100, 50), "-- runs/s  ETA --");
+        // Overshooting total (target-ci stop) pins the ETA at zero.
+        assert_eq!(pace_string(60, 1_000_000, 50, 60), "60 runs/s  ETA 0.0s");
     }
 
     #[test]

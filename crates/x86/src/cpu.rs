@@ -16,6 +16,7 @@ use crate::inst::{
     Cond, Fault, Inst, InvalidKind, MemOperand, Op, OpSize, Operand, Reg8, RepKind, StrOp,
 };
 use crate::mem::Memory;
+use crate::profiler::ExecProfile;
 use crate::recorder::{edge_kind, Edge, EdgeKind, FlightRecorder, FlightTrace};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -213,6 +214,7 @@ pub struct Machine {
     trace_next: usize,
     coverage: Option<Coverage>,
     recorder: Option<FlightRecorder>,
+    profile: Option<Box<ExecProfile>>,
     decoder: fn(&[u8]) -> Inst,
     restores: u64,
 }
@@ -259,6 +261,7 @@ impl Machine {
             trace_next: 0,
             coverage: None,
             recorder: None,
+            profile: None,
             decoder: decode,
             restores: 0,
         }
@@ -320,6 +323,9 @@ impl Machine {
         // The flight recorder is per-run instrumentation, not snapshot
         // state: rewinding drops any active recording. The injector
         // enables it after each restore, once the fault is planted.
+        // The hot-spot profile (also not snapshot state) deliberately
+        // survives the rewind: one profile accumulates across every
+        // replay of a checkpoint group.
         self.recorder = None;
         self.restores += 1;
     }
@@ -423,6 +429,32 @@ impl Machine {
         self.recorder
             .take()
             .map(|r| r.into_trace(self.cpu.clone(), self.icount))
+    }
+
+    /// Start the hot-spot profiler (see [`crate::profiler`]): from now
+    /// on every block dispatch, slow-path execution and single-stepped
+    /// instruction is tallied, and block-cache counters are measured as
+    /// a delta from this point. Pure observation — architectural state,
+    /// outcomes, icounts and traces are bit-identical with it on or off.
+    /// Unlike the flight recorder it survives [`Machine::restore`].
+    pub fn enable_profiler(&mut self) {
+        self.profile = Some(Box::new(ExecProfile::begin(self.blocks.stats())));
+    }
+
+    /// Whether the hot-spot profiler is collecting.
+    pub fn profiler_enabled(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// Stop the profiler and take the collected [`ExecProfile`], with
+    /// its cache counters sealed against the current [`BlockStats`].
+    /// `None` when profiling was never enabled.
+    pub fn take_exec_profile(&mut self) -> Option<ExecProfile> {
+        let stats = self.blocks.stats();
+        self.profile.take().map(|mut p| {
+            p.seal(stats);
+            *p
+        })
     }
 
     /// Append a control-transfer edge when recording (no-op otherwise).
@@ -562,6 +594,9 @@ impl Machine {
                 let gen = self.mem.exec_gen();
                 let (executed, event) = self.exec_block(&block);
                 steps += executed;
+                if let Some(p) = &mut self.profile {
+                    p.note_block(block.entry, executed);
+                }
                 match event {
                     StepEvent::Executed => {
                         // Resident-loop fast path: a block whose
@@ -673,10 +708,16 @@ impl Machine {
         let gen0 = self.mem.exec_gen();
         let marking = self.coverage.is_some() || self.trace_cap > 0;
         let recording = self.recorder.is_some();
+        let profiling = self.profile.is_some();
         let mut executed = 0u64;
         for li in &block.insts {
             if marking {
                 self.mark_retired(li.addr);
+            }
+            if profiling && matches!(li.uop, crate::block::UOp::Slow) {
+                if let Some(p) = &mut self.profile {
+                    p.note_slow(li.addr, &li.inst);
+                }
             }
             executed += 1;
             match self.exec_uop(li) {
@@ -892,6 +933,9 @@ impl Machine {
         };
         self.icount += 1;
         self.mark_retired(eip);
+        if let Some(p) = &mut self.profile {
+            p.stepwise_retired += 1;
+        }
         let recording = self.recorder.is_some();
         let next = eip.wrapping_add(inst.len as u32);
         match self.exec(&inst, eip, next) {

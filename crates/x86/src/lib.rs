@@ -44,6 +44,7 @@ pub mod encode;
 pub mod flags;
 pub mod inst;
 pub mod mem;
+pub mod profiler;
 pub mod recorder;
 
 pub use block::{Block, BlockStats};
@@ -56,6 +57,7 @@ pub use inst::{
     StrOp,
 };
 pub use mem::{Memory, Perms, Region};
+pub use profiler::{op_shape, BlockTally, ExecProfile, SlowSite};
 pub use recorder::{Edge, EdgeKind, FlightTrace};
 
 /// EFLAGS bit positions used by the interpreter.
