@@ -1,0 +1,92 @@
+//! Tier-2 trace engine benchmarks: the superblock cache only pays off
+//! on multi-block loops (a single self-looping block is already served
+//! by the tier-1 resident fast path), so the interpreter leg here uses
+//! a loop whose body spans three blocks via taken branches. The
+//! campaign leg measures the end-to-end ftpd win with traces on vs off
+//! — the differential tests prove both legs bit-identical.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fisec_apps::AppSpec;
+use fisec_core::{run_campaign, CampaignConfig, ExecutionMode};
+use fisec_x86::{Machine, Memory, Perms, Region};
+
+/// A loop whose body crosses two taken branches, giving tier 2 edges to
+/// link across (7 instructions per iteration):
+///   mov ecx, N
+///   top: add eax, 1
+///        jmp a            ; taken: block boundary
+///   a:   xor eax, 3
+///        jmp b            ; taken: block boundary
+///   b:   dec ecx
+///        jne top
+///   jmp $
+fn multi_block_loop(n: u32) -> Vec<u8> {
+    let mut text = vec![0xB9];
+    text.extend_from_slice(&n.to_le_bytes());
+    text.extend_from_slice(&[
+        0x83, 0xC0, 0x01, // top: add eax, 1
+        0xEB, 0x00, // jmp a (next byte)
+        0x83, 0xF0, 0x03, // a: xor eax, 3
+        0xEB, 0x00, // jmp b
+        0x49, // b: dec ecx
+        0x75, 0xF3, // jne top (back 13 bytes)
+        0xEB, 0xFE, // jmp $
+    ]);
+    text
+}
+
+fn bench_trace_interpreter(c: &mut Criterion) {
+    let n = 100_000u32;
+    let text = multi_block_loop(n);
+    let insts = 1 + u64::from(n) * 7;
+    let mut g = c.benchmark_group("tier2");
+    g.throughput(Throughput::Elements(insts));
+    for (label, trace_cache) in [
+        ("multi_block_loop_trace_engine", true),
+        ("multi_block_loop_tier1_only", false),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut mem = Memory::new();
+                mem.map(Region::with_data("text", 0x1000, text.clone(), Perms::RX))
+                    .unwrap();
+                let mut m = Machine::new(mem);
+                m.set_trace_cache(trace_cache);
+                m.cpu.eip = 0x1000;
+                let out = m.run_until_event(insts);
+                std::hint::black_box((out, m.cpu.regs[0]))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_campaign(c: &mut Criterion) {
+    // The same cut-down ftpd campaign as the substrate bench, with the
+    // trace cache as the only variable.
+    let mut app = AppSpec::ftpd();
+    app.auth_funcs = vec!["pass"];
+    app.clients.truncate(2);
+    let runs = fisec_inject::enumerate_targets(&app.image, &app.auth_funcs, false).runs()
+        * app.clients.len();
+    let mut g = c.benchmark_group("tier2_campaign");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(runs as u64));
+    for (label, trace_cache) in [
+        ("snapshot_trace_cache", true),
+        ("snapshot_no_trace_cache", false),
+    ] {
+        let cfg = CampaignConfig {
+            mode: ExecutionMode::Snapshot,
+            trace_cache,
+            ..CampaignConfig::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(run_campaign(&app, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_interpreter, bench_trace_campaign);
+criterion_main!(benches);

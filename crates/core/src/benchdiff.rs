@@ -34,6 +34,15 @@ const REPLAY_HEADROOM: f64 = 1.6;
 /// fraction of extra wall-clock (before `--factor`).
 const PROFILER_OVERHEAD_LIMIT: f64 = 0.10;
 
+/// Headroom under the recorded ALU-loop throughput floor: the measured
+/// rate may drop to `baseline / (ALU_HEADROOM * factor)` before the
+/// gate trips (throughput floors divide where wall-clock ceilings
+/// multiply).
+const ALU_HEADROOM: f64 = 1.6;
+
+/// Iterations of the measured ALU loop (4 retired instructions each).
+const ALU_LOOP_ITERS: u32 = 2_000_000;
+
 /// The baseline numbers `bench-diff` reads out of `BENCH_campaign.json`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Baseline {
@@ -41,6 +50,9 @@ pub struct Baseline {
     pub campaign_ftpd_full_ms: f64,
     /// `replay_phase.block_engine.mean_micros_per_replay`.
     pub mean_micros_per_replay: f64,
+    /// `tier2.alu_loop_minst_per_s` — the tier-2 interpreter's ALU-loop
+    /// throughput floor, in millions of instructions per second.
+    pub alu_loop_minst_per_s: f64,
 }
 
 /// What the fresh measurement produced.
@@ -53,6 +65,9 @@ pub struct Measured {
     /// Extra wall-clock fraction of the same campaign with the profiler
     /// on (0.07 = 7% slower).
     pub profiler_overhead: f64,
+    /// ALU-loop throughput under the full engine (tier 2 on), in
+    /// millions of instructions per second.
+    pub alu_loop_minst_per_s: f64,
 }
 
 /// One compared metric: the gate's verdict plus everything needed to
@@ -65,8 +80,12 @@ pub struct DiffRow {
     pub baseline: f64,
     /// Freshly measured value.
     pub measured: f64,
-    /// Largest measured value the gate accepts.
+    /// Boundary value the gate accepts: a ceiling for cost metrics, a
+    /// floor when [`DiffRow::floor`] is set.
     pub limit: f64,
+    /// Is `limit` a throughput floor (measured must stay *above* it)
+    /// rather than a cost ceiling?
+    pub floor: bool,
     /// Within the limit?
     pub ok: bool,
 }
@@ -95,9 +114,12 @@ pub fn baseline_of(v: &Value) -> Result<Baseline, String> {
         .field("block_engine")
         .field("mean_micros_per_replay"))
     .ok_or("baseline lacks replay_phase.block_engine.mean_micros_per_replay")?;
+    let alu = num(v.field("tier2").field("alu_loop_minst_per_s"))
+        .ok_or("baseline lacks tier2.alu_loop_minst_per_s")?;
     Ok(Baseline {
         campaign_ftpd_full_ms: wall,
         mean_micros_per_replay: replay,
+        alu_loop_minst_per_s: alu,
     })
 }
 
@@ -138,7 +160,37 @@ pub fn measure() -> Measured {
         campaign_ftpd_full_ms: plain_ms,
         mean_micros_per_replay: mean_replay,
         profiler_overhead: (profiled_ms / plain_ms - 1.0).max(0.0),
+        alu_loop_minst_per_s: measure_alu_loop(),
     }
+}
+
+/// Time the interpreter benchmark's tight ALU loop under the full
+/// engine (block cache + trace cache, the defaults) and return millions
+/// of retired instructions per second — the throughput the `tier2`
+/// baseline block records.
+fn measure_alu_loop() -> f64 {
+    use fisec_x86::{Machine, Memory, Perms, Region};
+    let n = ALU_LOOP_ITERS;
+    let mut text = vec![0xB9];
+    text.extend_from_slice(&n.to_le_bytes());
+    text.extend_from_slice(&[
+        0x83, 0xC0, 0x01, // top: add eax, 1
+        0x83, 0xF0, 0x03, // xor eax, 3
+        0x49, // dec ecx
+        0x75, 0xF7, // jne top (back 9 bytes)
+        0xEB, 0xFE, // jmp self (we stop via budget)
+    ]);
+    let insts = 1 + u64::from(n) * 4;
+    let mut mem = Memory::new();
+    mem.map(Region::with_data("text", 0x1000, text, Perms::RX))
+        .unwrap();
+    let mut m = Machine::new(mem);
+    m.cpu.eip = 0x1000;
+    let start = Instant::now();
+    let out = m.run_until_event(insts);
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box((out, m.cpu.regs[0]));
+    insts as f64 / secs / 1e6
 }
 
 /// The pure gate: compare a measurement against the baseline under
@@ -151,8 +203,10 @@ pub fn compare(baseline: &Baseline, measured: &Measured, factor: f64) -> Vec<Dif
         baseline: base,
         measured: got,
         limit,
+        floor: false,
         ok: got <= limit,
     };
+    let alu_floor = baseline.alu_loop_minst_per_s / (ALU_HEADROOM * factor);
     vec![
         row(
             "campaign_ftpd_full_ms",
@@ -172,6 +226,14 @@ pub fn compare(baseline: &Baseline, measured: &Measured, factor: f64) -> Vec<Dif
             measured.profiler_overhead,
             PROFILER_OVERHEAD_LIMIT * factor,
         ),
+        DiffRow {
+            name: "alu_loop_minst_per_s",
+            baseline: baseline.alu_loop_minst_per_s,
+            measured: measured.alu_loop_minst_per_s,
+            limit: alu_floor,
+            floor: true,
+            ok: measured.alu_loop_minst_per_s >= alu_floor,
+        },
     ]
 }
 
@@ -192,12 +254,13 @@ pub fn render(rows: &[DiffRow], factor: f64) -> String {
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<24} {:>12.2} {:>12.2} {:>12.2}  {}",
+            "{:<24} {:>12.2} {:>12.2} {:>12.2}  {}{}",
             r.name,
             r.baseline,
             r.measured,
             r.limit,
-            if r.ok { "ok" } else { "REGRESSED" }
+            if r.ok { "ok" } else { "REGRESSED" },
+            if r.floor { " (floor)" } else { "" }
         );
     }
     out
@@ -211,6 +274,7 @@ mod tests {
         Baseline {
             campaign_ftpd_full_ms: 100.0,
             mean_micros_per_replay: 50.0,
+            alu_loop_minst_per_s: 320.0,
         }
     }
 
@@ -220,6 +284,7 @@ mod tests {
             campaign_ftpd_full_ms: 120.0,
             mean_micros_per_replay: 60.0,
             profiler_overhead: 0.05,
+            alu_loop_minst_per_s: 310.0,
         };
         let rows = compare(&baseline(), &m, 1.0);
         assert!(!regressed(&rows), "{rows:?}");
@@ -235,6 +300,7 @@ mod tests {
             campaign_ftpd_full_ms: 300.0,
             mean_micros_per_replay: 55.0,
             profiler_overhead: 0.02,
+            alu_loop_minst_per_s: 310.0,
         };
         let rows = compare(&baseline(), &m, 1.0);
         assert!(regressed(&rows));
@@ -246,10 +312,32 @@ mod tests {
             campaign_ftpd_full_ms: 100.0,
             mean_micros_per_replay: 50.0,
             profiler_overhead: 0.4,
+            alu_loop_minst_per_s: 310.0,
         };
         let rows = compare(&baseline(), &m, 1.0);
         assert!(regressed(&rows));
         assert!(!rows[2].ok, "{rows:?}");
+    }
+
+    #[test]
+    fn throughput_floor_trips_when_the_interpreter_slows_down() {
+        // 320 / 1.6 = 200 M inst/s is the floor at factor 1.
+        let mut m = Measured {
+            campaign_ftpd_full_ms: 100.0,
+            mean_micros_per_replay: 50.0,
+            profiler_overhead: 0.02,
+            alu_loop_minst_per_s: 201.0,
+        };
+        assert!(!regressed(&compare(&baseline(), &m, 1.0)));
+        m.alu_loop_minst_per_s = 150.0;
+        let rows = compare(&baseline(), &m, 1.0);
+        assert!(regressed(&rows), "{rows:?}");
+        assert!(!rows[3].ok && rows[3].floor, "{rows:?}");
+        let s = render(&rows, 1.0);
+        assert!(s.contains("alu_loop_minst_per_s"), "{s}");
+        assert!(s.contains("(floor)"), "{s}");
+        // A generous factor lowers the floor instead of raising it.
+        assert!(!regressed(&compare(&baseline(), &m, 3.0)));
     }
 
     #[test]
@@ -258,6 +346,7 @@ mod tests {
             campaign_ftpd_full_ms: 300.0,
             mean_micros_per_replay: 120.0,
             profiler_overhead: 0.25,
+            alu_loop_minst_per_s: 120.0,
         };
         assert!(regressed(&compare(&baseline(), &m, 1.0)));
         assert!(!regressed(&compare(&baseline(), &m, 3.0)));
@@ -272,6 +361,7 @@ mod tests {
         .unwrap();
         assert!(b.campaign_ftpd_full_ms > 0.0);
         assert!(b.mean_micros_per_replay > 0.0);
+        assert!(b.alu_loop_minst_per_s > 0.0);
     }
 
     #[test]

@@ -56,6 +56,7 @@ struct Args {
     json: bool,
     new_encoding: bool,
     no_block_cache: bool,
+    no_trace_cache: bool,
     trace_out: Option<String>,
     progress: bool,
     path: Option<String>,
@@ -72,6 +73,7 @@ struct Args {
     profile: bool,
     factor: f64,
     out: Option<String>,
+    baseline: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -95,6 +97,7 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         json: false,
         new_encoding: false,
         no_block_cache: false,
+        no_trace_cache: false,
         trace_out: None,
         progress: false,
         path: None,
@@ -111,6 +114,7 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         profile: false,
         factor: 1.0,
         out: None,
+        baseline: None,
     };
     if matches!(a.cmd.as_str(), "--help" | "-h") {
         a.cmd = "help".to_string();
@@ -138,6 +142,7 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
             "--json" => a.json = true,
             "--new-encoding" => a.new_encoding = true,
             "--no-block-cache" => a.no_block_cache = true,
+            "--no-trace-cache" => a.no_trace_cache = true,
             "--trace-out" => a.trace_out = Some(val("--trace-out")?),
             "--progress" => a.progress = true,
             "--addr" => {
@@ -180,6 +185,7 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
                 a.factor = f;
             }
             "--out" => a.out = Some(val("--out")?),
+            "--baseline" => a.baseline = Some(val("--baseline")?),
             "--help" | "-h" => {
                 a.cmd = "help".to_string();
                 return Ok(a);
@@ -195,7 +201,7 @@ fn usage() -> String {
     "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|ablation|forensics|explain|stats|profile|report|bench-diff|help> [flags]\n\
      flags: --app ftpd|sshd|both  --func NAME  --client N  --runs N  --samples N\n\
             --seed S  --threads N  --top K  --stride N  --json  --new-encoding\n\
-            --no-block-cache  --trace-out PATH  --progress  --recorder\n\
+            --no-block-cache  --no-trace-cache  --trace-out PATH  --progress  --recorder\n\
             --addr 0xADDR  --byte N  --bit N  --from-trace\n\
             --batch N  --target-ci WIDTH  --resume LEDGER  --from-scratch\n\
             --profile  --chrome-trace OUT.json  --out PATH  --factor F\n\
@@ -203,6 +209,7 @@ fn usage() -> String {
      explain renders one injection's divergence timeline: fisec explain --app ftpd --addr 0xADDR --byte N --bit N\n\
      random streams a sharded campaign; --trace-out doubles as its resumable ledger\n\
      profile runs a profiled campaign (or replays one: fisec profile run.jsonl) and ranks hot blocks\n\
+     profile --baseline OLD.jsonl adds the residual slow-path delta vs an earlier saved trace\n\
      report renders a saved trace as one self-contained HTML file: fisec report run.jsonl --out report.html\n\
      bench-diff measures a fresh campaign against the recorded baseline: fisec bench-diff BENCH_campaign.json\n\
      campaign commands accept --profile (hot-spot profiler) and --chrome-trace OUT.json (Perfetto span export)"
@@ -222,6 +229,7 @@ fn cfg_of(a: &Args, scheme: EncodingScheme) -> CampaignConfig {
     let mut cfg = CampaignConfig {
         scheme,
         block_cache: !a.no_block_cache,
+        trace_cache: !a.no_trace_cache,
         flight_recorder: a.recorder || a.from_trace,
         profiler: a.profile,
         spans: a.chrome_trace.is_some(),
@@ -498,6 +506,7 @@ fn run(args: &Args) -> Result<(), String> {
             let app = &apps[0];
             let engine = fisec_inject::EngineOpts {
                 block_cache: !args.no_block_cache,
+                trace_cache: !args.no_trace_cache,
                 ..fisec_inject::EngineOpts::default()
             };
             let threads = args.threads.unwrap_or(1).max(1);
@@ -599,7 +608,7 @@ fn run(args: &Args) -> Result<(), String> {
                         "{path}: no profile events (record the trace with --profile)"
                     ));
                 }
-                for p in profiled {
+                for p in &profiled {
                     println!("== {} — {} engine ==", p.app, p.mode);
                     let app = match p.app.as_str() {
                         "ftpd" => Some(AppSpec::ftpd()),
@@ -613,6 +622,31 @@ fn run(args: &Args) -> Result<(), String> {
                             app.as_ref().map(|a| &a.image),
                             top
                         )
+                    );
+                }
+                if let Some(base_path) = &args.baseline {
+                    // Burn-down view: this trace's residual slow path
+                    // against an earlier saved trace of the same
+                    // workload, tagging shapes lowered since then.
+                    let base = trace::read_trace(base_path)?;
+                    let mut before = fisec_telemetry::ProfileData::default();
+                    for c in &base.campaigns {
+                        if let Some(p) = &c.profile {
+                            before.merge(&p.data);
+                        }
+                    }
+                    if before.is_empty() {
+                        return Err(format!(
+                            "{base_path}: no profile events (record the baseline with --profile)"
+                        ));
+                    }
+                    let mut now = fisec_telemetry::ProfileData::default();
+                    for p in &profiled {
+                        now.merge(&p.data);
+                    }
+                    print!(
+                        "{}",
+                        fisec_core::hotblocks::render_slow_delta(&now, &before)
                     );
                 }
             } else {
@@ -629,6 +663,7 @@ fn run(args: &Args) -> Result<(), String> {
                 } else {
                     EncodingScheme::Baseline
                 };
+                let mut now = fisec_telemetry::ProfileData::default();
                 for app in &apps {
                     let mut cfg = cfg_of(args, scheme);
                     cfg.profiler = true;
@@ -648,6 +683,25 @@ fn run(args: &Args) -> Result<(), String> {
                             Some(&app.image),
                             top
                         )
+                    );
+                    now.merge(snap.profile());
+                }
+                if let Some(base_path) = &args.baseline {
+                    let base = trace::read_trace(base_path)?;
+                    let mut before = fisec_telemetry::ProfileData::default();
+                    for c in &base.campaigns {
+                        if let Some(p) = &c.profile {
+                            before.merge(&p.data);
+                        }
+                    }
+                    if before.is_empty() {
+                        return Err(format!(
+                            "{base_path}: no profile events (record the baseline with --profile)"
+                        ));
+                    }
+                    print!(
+                        "{}",
+                        fisec_core::hotblocks::render_slow_delta(&now, &before)
                     );
                 }
             }
@@ -924,6 +978,26 @@ mod tests {
         let a = parse(&["table1", "--no-block-cache"]).unwrap();
         assert!(a.no_block_cache);
         assert!(!cfg_of(&a, EncodingScheme::Baseline).block_cache);
+    }
+
+    #[test]
+    fn no_trace_cache_flag_caps_the_engine_at_tier1() {
+        let a = parse(&["table1"]).unwrap();
+        assert!(!a.no_trace_cache);
+        assert!(cfg_of(&a, EncodingScheme::Baseline).trace_cache);
+        let a = parse(&["table1", "--no-trace-cache"]).unwrap();
+        assert!(a.no_trace_cache);
+        assert!(!cfg_of(&a, EncodingScheme::Baseline).trace_cache);
+        // Orthogonal to --no-block-cache: capping tier 2 keeps tier 1.
+        assert!(cfg_of(&a, EncodingScheme::Baseline).block_cache);
+    }
+
+    #[test]
+    fn profile_baseline_flag_parses_and_requires_profile_events() {
+        let a = parse(&["profile", "run.jsonl", "--baseline", "old.jsonl"]).unwrap();
+        assert_eq!(a.path.as_deref(), Some("run.jsonl"));
+        assert_eq!(a.baseline.as_deref(), Some("old.jsonl"));
+        assert!(usage().contains("--baseline"), "{}", usage());
     }
 
     #[test]

@@ -61,6 +61,10 @@ pub struct CampaignConfig {
     /// (default). `false` — the `--no-block-cache` escape hatch — forces
     /// the reference per-step engine; results are bit-identical.
     pub block_cache: bool,
+    /// Promote hot blocks into tier-2 superblock traces (default).
+    /// `false` — the `--no-trace-cache` escape hatch — caps the engine
+    /// at tier 1; results are bit-identical (differential tests).
+    pub trace_cache: bool,
     /// Record a control-flow flight trace for every activated run and
     /// diff it against the golden continuation (`--recorder`). A pure
     /// observer: classification results are bit-identical either way
@@ -88,6 +92,7 @@ impl Default for CampaignConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             mode: ExecutionMode::default(),
             block_cache: true,
+            trace_cache: true,
             flight_recorder: false,
             profiler: false,
             spans: false,
@@ -100,6 +105,7 @@ impl CampaignConfig {
     fn engine(&self) -> EngineOpts {
         EngineOpts {
             block_cache: self.block_cache,
+            trace_cache: self.trace_cache,
             flight_recorder: self.flight_recorder,
             profiler: self.profiler,
         }
@@ -129,13 +135,29 @@ fn profile_data(p: &fisec_x86::ExecProfile) -> ProfileData {
         })
         .collect();
     slow.sort_by_key(|s| s.addr);
+    let mut hot_traces: Vec<HotBlock> = p
+        .traces
+        .iter()
+        .map(|(addr, t)| HotBlock {
+            addr: *addr,
+            dispatches: t.dispatches,
+            retired: t.retired,
+        })
+        .collect();
+    hot_traces.sort_by_key(|b| b.addr);
     ProfileData {
         blocks,
+        hot_traces,
         slow,
         stepwise_retired: p.stepwise_retired,
         cache_built: p.cache.built,
         cache_hits: p.cache.hits,
         cache_invalidated: p.cache.invalidated,
+        cache_conflict_evictions: p.cache.conflict_evictions,
+        trace_built: p.trace_cache.built,
+        trace_hits: p.trace_cache.hits,
+        trace_side_exits: p.trace_cache.side_exits,
+        trace_invalidated: p.trace_cache.invalidated,
     }
 }
 

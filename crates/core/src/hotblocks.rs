@@ -11,6 +11,7 @@
 
 use fisec_asm::Image;
 use fisec_telemetry::{HotBlock, ProfileData};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Rows shown in the ranked table when the caller has no preference.
@@ -103,6 +104,32 @@ pub fn render_hot_blocks(data: &ProfileData, image: Option<&Image>, top: usize) 
         let _ = writeln!(out, "      ... {} more blocks", ranked.len() - top);
     }
 
+    if !data.hot_traces.is_empty() {
+        let in_traces: u64 = data.hot_traces.iter().map(|t| t.retired).sum();
+        let _ = writeln!(
+            out,
+            "hot traces (tier-2 superblocks; {} traces retired {} instructions):",
+            data.hot_traces.len(),
+            in_traces
+        );
+        let mut traces: Vec<&HotBlock> = data.hot_traces.iter().collect();
+        traces.sort_by(|a, b| b.retired.cmp(&a.retired).then(a.addr.cmp(&b.addr)));
+        for t in traces.iter().take(top) {
+            let symbol = match image {
+                Some(img) => sym(img, t.addr),
+                None => format!("{:#010x}", t.addr),
+            };
+            let _ = writeln!(
+                out,
+                "  {:#010x}  {:<22} {:>10} dispatches {:>11} retired",
+                t.addr, symbol, t.dispatches, t.retired
+            );
+        }
+        if traces.len() > top {
+            let _ = writeln!(out, "      ... {} more traces", traces.len() - top);
+        }
+    }
+
     let shapes = data.slow_by_shape();
     if shapes.is_empty() {
         out.push_str("slow path: never taken\n");
@@ -121,8 +148,56 @@ pub fn render_hot_blocks(data: &ProfileData, image: Option<&Image>, top: usize) 
     };
     let _ = writeln!(
         out,
-        "block cache: {} built, {} hits ({hit_rate:.1}% hit rate), {} invalidated",
-        data.cache_built, data.cache_hits, data.cache_invalidated
+        "block cache: {} built, {} hits ({hit_rate:.1}% hit rate), {} invalidated, {} conflict evictions",
+        data.cache_built, data.cache_hits, data.cache_invalidated, data.cache_conflict_evictions
+    );
+    if data.trace_built + data.trace_hits + data.trace_side_exits + data.trace_invalidated > 0 {
+        let _ = writeln!(
+            out,
+            "trace cache: {} built, {} hits, {} side exits, {} invalidated",
+            data.trace_built, data.trace_hits, data.trace_side_exits, data.trace_invalidated
+        );
+    }
+    out
+}
+
+/// Render the residual slow-path delta between a profile and an earlier
+/// baseline profile of the same binary: per op shape, the baseline and
+/// current hit counts, tagging shapes whose slow path disappeared as
+/// `lowered since baseline` (the burn-down `fisec profile --baseline`
+/// reports) and shapes the baseline never saw as `new`.
+pub fn render_slow_delta(data: &ProfileData, baseline: &ProfileData) -> String {
+    let now: BTreeMap<String, u64> = data
+        .slow_by_shape()
+        .into_iter()
+        .map(|(shape, count, _)| (shape, count))
+        .collect();
+    let before = baseline.slow_by_shape();
+    let mut out = String::new();
+    out.push_str("slow-path delta vs baseline:\n");
+    let mut lowered = 0usize;
+    for (shape, was, _) in &before {
+        let is = now.get(shape).copied().unwrap_or(0);
+        let tag = if is == 0 && *was > 0 {
+            lowered += 1;
+            "  lowered since baseline"
+        } else if is < *was {
+            "  reduced"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {shape:<28} {was:>10} -> {is:>10}{tag}");
+    }
+    for (shape, count) in &now {
+        if !before.iter().any(|(s, _, _)| s == shape) {
+            let _ = writeln!(out, "  {shape:<28} {:>10} -> {count:>10}  new", 0);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  {} of {} baseline shapes lowered since baseline",
+        lowered,
+        before.len()
     );
     out
 }
@@ -155,6 +230,16 @@ mod tests {
             cache_built: 2,
             cache_hits: 108,
             cache_invalidated: 1,
+            cache_conflict_evictions: 3,
+            hot_traces: vec![HotBlock {
+                addr: 0x0804_9000,
+                dispatches: 80,
+                retired: 720,
+            }],
+            trace_built: 1,
+            trace_hits: 80,
+            trace_side_exits: 2,
+            ..ProfileData::default()
         }
     }
 
@@ -169,13 +254,78 @@ mod tests {
         assert!(s.contains("div32 r/m32"), "{s}");
         assert!(s.contains("7 hits"), "{s}");
         assert!(
-            s.contains("2 built, 108 hits (98.2% hit rate), 1 invalidated"),
+            s.contains("2 built, 108 hits (98.2% hit rate), 1 invalidated, 3 conflict evictions"),
+            "{s}"
+        );
+        assert!(
+            s.contains("trace cache: 1 built, 80 hits, 2 side exits, 0 invalidated"),
+            "{s}"
+        );
+        assert!(
+            s.contains("hot traces (tier-2 superblocks; 1 traces"),
             "{s}"
         );
         assert!(
             s.contains("1000 instructions retired (950 in blocks, 50 stepwise)"),
             "{s}"
         );
+    }
+
+    #[test]
+    fn tier1_only_profiles_render_without_a_trace_cache_line() {
+        let mut p = sample();
+        p.hot_traces.clear();
+        p.trace_built = 0;
+        p.trace_hits = 0;
+        p.trace_side_exits = 0;
+        let s = render_hot_blocks(&p, None, 10);
+        assert!(!s.contains("trace cache:"), "{s}");
+        assert!(!s.contains("hot traces"), "{s}");
+    }
+
+    #[test]
+    fn slow_delta_reports_lowered_shapes() {
+        let baseline = ProfileData {
+            slow: vec![
+                SlowShape {
+                    addr: 0x1000,
+                    shape: "div32 r/m32".to_string(),
+                    count: 17_186,
+                },
+                SlowShape {
+                    addr: 0x2000,
+                    shape: "shl32 r32, imm".to_string(),
+                    count: 400,
+                },
+            ],
+            ..ProfileData::default()
+        };
+        let now = ProfileData {
+            slow: vec![
+                SlowShape {
+                    addr: 0x2000,
+                    shape: "shl32 r32, imm".to_string(),
+                    count: 400,
+                },
+                SlowShape {
+                    addr: 0x3000,
+                    shape: "rep movs8".to_string(),
+                    count: 9,
+                },
+            ],
+            ..ProfileData::default()
+        };
+        let s = render_slow_delta(&now, &baseline);
+        let div = s.lines().find(|l| l.contains("div32 r/m32")).unwrap();
+        assert!(
+            div.contains("17186 ->          0  lowered since baseline"),
+            "{s}"
+        );
+        let shl = s.lines().find(|l| l.contains("shl32")).unwrap();
+        assert!(!shl.contains("lowered"), "{s}");
+        let new = s.lines().find(|l| l.contains("rep movs8")).unwrap();
+        assert!(new.trim_end().ends_with("new"), "{s}");
+        assert!(s.contains("1 of 2 baseline shapes lowered"), "{s}");
     }
 
     #[test]

@@ -103,6 +103,7 @@ fn fixture_events() -> Vec<TraceEvent> {
                 cache_built: 2,
                 cache_hits: 42,
                 cache_invalidated: 4,
+                ..ProfileData::default()
             },
         })),
         TraceEvent::CampaignEnd(CampaignEndEvent {

@@ -52,6 +52,12 @@ pub struct EngineOpts {
     /// the `--no-block-cache` escape hatch: the reference per-step
     /// interpreter.
     pub block_cache: bool,
+    /// Promote hot blocks into tier-2 superblock traces (the default;
+    /// only meaningful with `block_cache`). `false` is the
+    /// `--no-trace-cache` escape hatch: tier-1 block dispatch only.
+    /// Outcomes are bit-identical either way (pinned by differential
+    /// tests).
+    pub trace_cache: bool,
     /// Arm the flight recorder on every activated run and diff it
     /// against a golden continuation of the same checkpoint (see
     /// [`divergence`]). Off by default; outcomes are bit-identical
@@ -71,6 +77,7 @@ impl Default for EngineOpts {
     fn default() -> EngineOpts {
         EngineOpts {
             block_cache: true,
+            trace_cache: true,
             flight_recorder: false,
             profiler: false,
         }
@@ -80,6 +87,7 @@ impl Default for EngineOpts {
 impl EngineOpts {
     fn apply(self, p: &mut Process) {
         p.machine.set_block_engine(self.block_cache);
+        p.machine.set_trace_cache(self.trace_cache);
         if self.profiler {
             p.machine.enable_profiler();
         }

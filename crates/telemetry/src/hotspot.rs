@@ -42,6 +42,12 @@ pub struct SlowShape {
 pub struct ProfileData {
     /// Per-block tallies, sorted by address.
     pub blocks: Vec<HotBlock>,
+    /// Per-superblock (tier-2 trace) tallies, sorted by entry address.
+    /// The same instructions also appear under their blocks' tallies:
+    /// this vector attributes them to the trace that dispatched them.
+    /// `serde(default)` keeps traces saved before tier 2 readable.
+    #[serde(default)]
+    pub hot_traces: Vec<HotBlock>,
     /// Slow-path sites, sorted by address.
     pub slow: Vec<SlowShape>,
     /// Instructions retired through the precise single-step path.
@@ -52,17 +58,39 @@ pub struct ProfileData {
     pub cache_hits: u64,
     /// Blocks dropped by invalidation.
     pub cache_invalidated: u64,
+    /// Resident blocks displaced by inserts into full sets.
+    #[serde(default)]
+    pub cache_conflict_evictions: u64,
+    /// Tier-2 traces recorded and inserted while profiling.
+    #[serde(default)]
+    pub trace_built: u64,
+    /// Dispatches served from the trace cache.
+    #[serde(default)]
+    pub trace_hits: u64,
+    /// Trace replays that side-exited on a mispredicted guard or a
+    /// self-modification boundary.
+    #[serde(default)]
+    pub trace_side_exits: u64,
+    /// Traces dropped by invalidation.
+    #[serde(default)]
+    pub trace_invalidated: u64,
 }
 
 impl ProfileData {
     /// Is there anything in this profile?
     pub fn is_empty(&self) -> bool {
         self.blocks.is_empty()
+            && self.hot_traces.is_empty()
             && self.slow.is_empty()
             && self.stepwise_retired == 0
             && self.cache_built == 0
             && self.cache_hits == 0
             && self.cache_invalidated == 0
+            && self.cache_conflict_evictions == 0
+            && self.trace_built == 0
+            && self.trace_hits == 0
+            && self.trace_side_exits == 0
+            && self.trace_invalidated == 0
     }
 
     /// Total instructions the profile accounts for.
@@ -76,18 +104,8 @@ impl ProfileData {
         if other.is_empty() {
             return;
         }
-        let mut blocks: BTreeMap<u32, HotBlock> =
-            self.blocks.iter().map(|b| (b.addr, *b)).collect();
-        for b in &other.blocks {
-            let e = blocks.entry(b.addr).or_insert(HotBlock {
-                addr: b.addr,
-                dispatches: 0,
-                retired: 0,
-            });
-            e.dispatches += b.dispatches;
-            e.retired += b.retired;
-        }
-        self.blocks = blocks.into_values().collect();
+        merge_tallies(&mut self.blocks, &other.blocks);
+        merge_tallies(&mut self.hot_traces, &other.hot_traces);
         let mut slow: BTreeMap<u32, SlowShape> =
             self.slow.iter().map(|s| (s.addr, s.clone())).collect();
         for s in &other.slow {
@@ -103,26 +121,19 @@ impl ProfileData {
         self.cache_built += other.cache_built;
         self.cache_hits += other.cache_hits;
         self.cache_invalidated += other.cache_invalidated;
+        self.cache_conflict_evictions += other.cache_conflict_evictions;
+        self.trace_built += other.trace_built;
+        self.trace_hits += other.trace_hits;
+        self.trace_side_exits += other.trace_side_exits;
+        self.trace_invalidated += other.trace_invalidated;
     }
 
     /// This profile minus `before` — the contribution accumulated since
     /// `before` was snapshot, assuming `before` is an earlier state of
     /// the same accumulation (every counter monotone).
     pub fn diff(&self, before: &ProfileData) -> ProfileData {
-        let b0: BTreeMap<u32, HotBlock> = before.blocks.iter().map(|b| (b.addr, *b)).collect();
-        let blocks = self
-            .blocks
-            .iter()
-            .filter_map(|b| {
-                let prev = b0.get(&b.addr).copied().unwrap_or_default();
-                let d = HotBlock {
-                    addr: b.addr,
-                    dispatches: b.dispatches.saturating_sub(prev.dispatches),
-                    retired: b.retired.saturating_sub(prev.retired),
-                };
-                (d.dispatches != 0 || d.retired != 0).then_some(d)
-            })
-            .collect();
+        let blocks = diff_tallies(&self.blocks, &before.blocks);
+        let hot_traces = diff_tallies(&self.hot_traces, &before.hot_traces);
         let s0: BTreeMap<u32, u64> = before.slow.iter().map(|s| (s.addr, s.count)).collect();
         let slow = self
             .slow
@@ -140,6 +151,7 @@ impl ProfileData {
             .collect();
         ProfileData {
             blocks,
+            hot_traces,
             slow,
             stepwise_retired: self
                 .stepwise_retired
@@ -149,9 +161,55 @@ impl ProfileData {
             cache_invalidated: self
                 .cache_invalidated
                 .saturating_sub(before.cache_invalidated),
+            cache_conflict_evictions: self
+                .cache_conflict_evictions
+                .saturating_sub(before.cache_conflict_evictions),
+            trace_built: self.trace_built.saturating_sub(before.trace_built),
+            trace_hits: self.trace_hits.saturating_sub(before.trace_hits),
+            trace_side_exits: self
+                .trace_side_exits
+                .saturating_sub(before.trace_side_exits),
+            trace_invalidated: self
+                .trace_invalidated
+                .saturating_sub(before.trace_invalidated),
         }
     }
+}
 
+/// Fold `other` into `into`, summing tallies per address and keeping the
+/// result address-sorted.
+fn merge_tallies(into: &mut Vec<HotBlock>, other: &[HotBlock]) {
+    let mut map: BTreeMap<u32, HotBlock> = into.iter().map(|b| (b.addr, *b)).collect();
+    for b in other {
+        let e = map.entry(b.addr).or_insert(HotBlock {
+            addr: b.addr,
+            dispatches: 0,
+            retired: 0,
+        });
+        e.dispatches += b.dispatches;
+        e.retired += b.retired;
+    }
+    *into = map.into_values().collect();
+}
+
+/// `after` minus `before`, per address, dropping zero entries.
+fn diff_tallies(after: &[HotBlock], before: &[HotBlock]) -> Vec<HotBlock> {
+    let b0: BTreeMap<u32, HotBlock> = before.iter().map(|b| (b.addr, *b)).collect();
+    after
+        .iter()
+        .filter_map(|b| {
+            let prev = b0.get(&b.addr).copied().unwrap_or_default();
+            let d = HotBlock {
+                addr: b.addr,
+                dispatches: b.dispatches.saturating_sub(prev.dispatches),
+                retired: b.retired.saturating_sub(prev.retired),
+            };
+            (d.dispatches != 0 || d.retired != 0).then_some(d)
+        })
+        .collect()
+}
+
+impl ProfileData {
     /// Slow-path counts aggregated by shape label, heaviest first.
     pub fn slow_by_shape(&self) -> Vec<(String, u64, usize)> {
         let mut by_shape: BTreeMap<&str, (u64, usize)> = BTreeMap::new();
@@ -196,6 +254,7 @@ mod tests {
             cache_built: 2,
             cache_hits: 3,
             cache_invalidated: 1,
+            ..ProfileData::default()
         }
     }
 
@@ -268,10 +327,34 @@ mod tests {
             cache_built: 1,
             cache_hits: 10,
             cache_invalidated: 0,
+            hot_traces: vec![HotBlock {
+                addr: 0x2000,
+                dispatches: 2,
+                retired: 16,
+            }],
+            trace_built: 1,
+            trace_hits: 2,
+            trace_side_exits: 1,
+            ..ProfileData::default()
         };
         after.merge(&inc);
         assert_eq!(after.diff(&before), inc);
         assert!(before.diff(&before).is_empty());
+    }
+
+    #[test]
+    fn profiles_saved_before_tier2_still_deserialize() {
+        // A trace written before the tier-2 fields existed: the
+        // `serde(default)` markers must zero-fill them, not error.
+        let old = r#"{"blocks":[{"addr":4096,"dispatches":2,"retired":10}],"slow":[],
+                      "stepwise_retired":7,"cache_built":2,"cache_hits":3,"cache_invalidated":1}"#;
+        let p: ProfileData = serde_json::from_str(old).unwrap();
+        assert_eq!(p.blocks.len(), 1);
+        assert_eq!(p.stepwise_retired, 7);
+        assert!(p.hot_traces.is_empty());
+        assert_eq!(p.trace_built, 0);
+        assert_eq!(p.trace_hits, 0);
+        assert_eq!(p.cache_conflict_evictions, 0);
     }
 
     #[test]

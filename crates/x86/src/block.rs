@@ -19,12 +19,21 @@
 //! ancestor state, so a rewind only needs to drop blocks over the bytes
 //! poked since it was taken).
 
+use crate::cpu::{handler_of, Handler};
 use crate::inst::{Cond, Inst, MemOperand, Op, OpSize, Operand, Reg8};
 use std::sync::Arc;
 
-/// Direct-mapped cache size (power of two); same scheme as the decoded-
-/// instruction cache. Collisions only cost a rebuild, never correctness.
-const CACHE_SIZE: usize = 4096;
+/// Number of sets in the block cache (power of two); same index scheme
+/// as the decoded-instruction cache. Conflicts only cost a rebuild,
+/// never correctness.
+const CACHE_SETS: usize = 4096;
+
+/// Associativity: each set holds this many blocks with one LRU bit, so
+/// two hot entries that hash to the same set no longer thrash each
+/// other (the conflict pattern the direct-mapped PR 3 cache paid for
+/// with rebuild storms — evictions under pressure are now counted in
+/// [`BlockStats::conflict_evictions`]).
+const CACHE_WAYS: usize = 2;
 
 /// Longest block, in instructions. Bounds the work a single dispatch
 /// commits to before budget and breakpoints are re-checked.
@@ -46,16 +55,39 @@ pub struct Block {
     /// (`rdtsc`). Such blocks are executed through the precise
     /// single-step path so the counter they read is exact.
     pub reads_icount: bool,
+    /// Whether any lowered instruction may write memory (and therefore
+    /// bump the executable generation). Blocks without writes take the
+    /// instrumentation-free fast executor: no per-instruction
+    /// self-modification re-check is ever needed.
+    pub writes: bool,
 }
 
 /// One instruction of a block: the decoded form (kept for the `Slow`
-/// fallback), the successor address, and the pre-resolved fast form.
+/// fallback), the successor address, the pre-resolved fast form, and
+/// its execution handler (threaded dispatch: one indirect call per
+/// µop instead of a match over every variant).
 #[derive(Debug, Clone, Copy)]
 pub struct LInst {
     pub(crate) addr: u32,
     pub(crate) next: u32,
     pub(crate) inst: Inst,
     pub(crate) uop: UOp,
+    pub(crate) handler: Handler,
+}
+
+impl LInst {
+    /// Lower one decoded instruction at `addr` (whose successor is
+    /// `next`) and resolve its dispatch handler.
+    pub(crate) fn new(addr: u32, next: u32, inst: Inst) -> LInst {
+        let uop = lower(&inst, next);
+        LInst {
+            addr,
+            next,
+            inst,
+            uop,
+            handler: handler_of(uop),
+        }
+    }
 }
 
 /// Pre-resolved `base + disp` effective address (no SIB index). `base`
@@ -116,6 +148,17 @@ pub(crate) enum UOp {
     Ret { extra: u16 },
     Leave,
     Nop,
+    // Residual slow-path shapes measured by the PR 7 profiler (the
+    // itoa idiv/cdq cluster, crypt_hash's imul, the int80 syscall
+    // gate) get dedicated µops so hot code stays out of generic exec.
+    Cdq,
+    DivR { s: u8, signed: bool },
+    DivM { ea: Ea, signed: bool },
+    MulR { s: u8, signed: bool },
+    ImulRR { d: u8, s: u8 },
+    ImulRM { d: u8, ea: Ea },
+    ImulRRI { d: u8, s: u8, v: u32 },
+    Int80,
     Slow,
 }
 
@@ -244,6 +287,43 @@ pub(crate) fn lower(i: &Inst, next: u32) -> UOp {
         },
         (Op::Ret(extra), _, _) => UOp::Ret { extra },
         (Op::Leave, _, _) => UOp::Leave,
+        (Op::Cdq, _, _) if d32 => UOp::Cdq,
+        (Op::Div | Op::Idiv, Some(Operand::Reg(s)), _) if d32 => UOp::DivR {
+            s: *s as u8,
+            signed: i.op == Op::Idiv,
+        },
+        (Op::Div | Op::Idiv, Some(Operand::Mem(m)), _) if d32 => match ea_of(m) {
+            Some(ea) => UOp::DivM {
+                ea,
+                signed: i.op == Op::Idiv,
+            },
+            None => UOp::Slow,
+        },
+        (Op::Mul | Op::Imul1, Some(Operand::Reg(s)), _) if d32 => UOp::MulR {
+            s: *s as u8,
+            signed: i.op == Op::Imul1,
+        },
+        (Op::Imul2, Some(Operand::Reg(d)), Some(Operand::Reg(s))) if d32 => UOp::ImulRR {
+            d: *d as u8,
+            s: *s as u8,
+        },
+        (Op::Imul2, Some(Operand::Reg(d)), Some(Operand::Mem(m))) if d32 => match ea_of(m) {
+            Some(ea) => UOp::ImulRM { d: *d as u8, ea },
+            None => UOp::Slow,
+        },
+        (Op::Imul3, Some(Operand::Reg(d)), Some(Operand::Reg(s)))
+            if d32 && matches!(i.src2, Some(Operand::Imm(_))) =>
+        {
+            let Some(Operand::Imm(v)) = i.src2 else {
+                unreachable!()
+            };
+            UOp::ImulRRI {
+                d: *d as u8,
+                s: *s as u8,
+                v: v as u32,
+            }
+        }
+        (Op::Int(0x80), _, _) => UOp::Int80,
         _ => UOp::Slow,
     }
 }
@@ -266,25 +346,39 @@ pub struct BlockStats {
     pub hits: u64,
     /// Blocks dropped by invalidation (targeted or full clears).
     pub invalidated: u64,
+    /// Resident blocks displaced by an insert into a full set (set
+    /// pressure, not staleness — each one is a future rebuild).
+    pub conflict_evictions: u64,
     /// Blocks currently resident.
     pub cached: usize,
 }
 
-/// Direct-mapped `entry → Arc<Block>` cache. Blocks are immutable and
-/// reference-counted so a dispatched block stays valid even if executing
-/// it invalidates its own slot (self-modifying code).
+/// Two-way set-associative `entry → Arc<Block>` cache with per-set LRU.
+/// Blocks are immutable and reference-counted so a dispatched block
+/// stays valid even if executing it invalidates its own slot
+/// (self-modifying code).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct BlockCache {
+    /// `CACHE_SETS * CACHE_WAYS` entries, set-major: the ways of set
+    /// `s` live at `s * CACHE_WAYS ..`.
     slots: Vec<Option<Arc<Block>>>,
+    /// Per-set LRU: the way index to victimize next.
+    lru: Vec<u8>,
+    /// Indices of occupied slots, unordered. Keeps journal-driven
+    /// invalidation proportional to the resident population instead of
+    /// the full slot array — restore-heavy campaigns flush the journal
+    /// several times per run.
+    occupied: Vec<u32>,
     built: u64,
     hits: u64,
     invalidated: u64,
+    conflict_evictions: u64,
 }
 
 impl BlockCache {
     #[inline]
-    fn slot_of(entry: u32) -> usize {
-        (entry as usize ^ (entry as usize >> 12)) & (CACHE_SIZE - 1)
+    fn set_of(entry: u32) -> usize {
+        (entry as usize ^ (entry as usize >> 12)) & (CACHE_SETS - 1)
     }
 
     /// Count a resident-loop re-execution: the dispatcher re-ran the
@@ -298,49 +392,74 @@ impl BlockCache {
     /// The cached block entered at `entry`, if resident.
     #[inline]
     pub fn get(&mut self, entry: u32) -> Option<Arc<Block>> {
-        let b = self.slots.get(Self::slot_of(entry))?.as_ref()?;
-        if b.entry == entry {
-            self.hits += 1;
-            Some(Arc::clone(b))
-        } else {
-            None
+        let base = Self::set_of(entry) * CACHE_WAYS;
+        for way in 0..CACHE_WAYS {
+            if let Some(Some(b)) = self.slots.get(base + way) {
+                if b.entry == entry {
+                    self.hits += 1;
+                    self.lru[base / CACHE_WAYS] = (way ^ 1) as u8;
+                    return Some(Arc::clone(b));
+                }
+            }
         }
+        None
     }
 
-    /// Insert a freshly built block (evicting any slot collision).
+    /// Insert a freshly built block into its set: an empty way if one
+    /// exists, else the LRU way (a conflict eviction).
     pub fn insert(&mut self, block: Arc<Block>) {
         if self.slots.is_empty() {
-            self.slots.resize(CACHE_SIZE, None);
+            self.slots.resize(CACHE_SETS * CACHE_WAYS, None);
+            self.lru.resize(CACHE_SETS, 0);
         }
         self.built += 1;
-        let slot = Self::slot_of(block.entry);
-        self.slots[slot] = Some(block);
+        let set = Self::set_of(block.entry);
+        let base = set * CACHE_WAYS;
+        let way = match (0..CACHE_WAYS).find(|&w| self.slots[base + w].is_none()) {
+            Some(w) => w,
+            None => {
+                self.conflict_evictions += 1;
+                self.lru[set] as usize
+            }
+        };
+        if self.slots[base + way].is_none() {
+            self.occupied.push((base + way) as u32);
+        }
+        self.slots[base + way] = Some(block);
+        self.lru[set] = (way ^ 1) as u8;
     }
 
     /// Drop every block whose byte range covers any of `addrs` (the
     /// executable bytes just written, straight from the memory journal).
     pub fn invalidate_writes(&mut self, addrs: &[u32]) {
-        if self.slots.is_empty() || addrs.is_empty() {
+        if self.occupied.is_empty() || addrs.is_empty() {
             return;
         }
-        for slot in &mut self.slots {
-            if let Some(b) = slot {
-                if addrs.iter().any(|&a| b.covers(a)) {
-                    self.invalidated += 1;
+        let slots = &mut self.slots;
+        let invalidated = &mut self.invalidated;
+        self.occupied.retain(|&i| {
+            let slot = &mut slots[i as usize];
+            match slot {
+                Some(b) if addrs.iter().any(|&a| b.covers(a)) => {
+                    *invalidated += 1;
                     *slot = None;
+                    false
                 }
+                other => other.is_some(),
             }
-        }
+        });
     }
 
     /// Drop everything (lineage breaks, decoder swaps, engine toggles).
     pub fn clear(&mut self) {
         self.invalidated += self.resident() as u64;
         self.slots.clear();
+        self.lru.clear();
+        self.occupied.clear();
     }
 
     fn resident(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.occupied.len()
     }
 
     pub fn stats(&self) -> BlockStats {
@@ -348,6 +467,7 @@ impl BlockCache {
             built: self.built,
             hits: self.hits,
             invalidated: self.invalidated,
+            conflict_evictions: self.conflict_evictions,
             cached: self.resident(),
         }
     }
@@ -363,13 +483,9 @@ mod tests {
         Arc::new(Block {
             entry,
             end: entry as u64 + nbytes as u64,
-            insts: vec![LInst {
-                addr: entry,
-                next: entry.wrapping_add(1),
-                inst,
-                uop: lower(&inst, entry.wrapping_add(1)),
-            }],
+            insts: vec![LInst::new(entry, entry.wrapping_add(1), inst)],
             reads_icount: false,
+            writes: false,
         })
     }
 
@@ -399,14 +515,25 @@ mod tests {
     }
 
     #[test]
-    fn slot_collisions_evict() {
+    fn two_way_sets_hold_a_pair_and_evict_lru_on_the_third() {
         let mut c = BlockCache::default();
-        // slot(0x0001) = 1 and slot(0x1000) = 0x1000 ^ (0x1000 >> 12) = 1.
-        let (a, b) = (0x0001u32, 0x1000u32);
-        assert_eq!(BlockCache::slot_of(a), BlockCache::slot_of(b));
+        // All three hash to set 1: set(e) = (e ^ e>>12) & 4095.
+        let (a, b, d) = (0x0001u32, 0x1000u32, 0x2003u32);
+        assert_eq!(BlockCache::set_of(a), BlockCache::set_of(b));
+        assert_eq!(BlockCache::set_of(a), BlockCache::set_of(d));
         c.insert(block(a, 4));
         c.insert(block(b, 4));
-        assert!(c.get(a).is_none(), "collision must evict, not alias");
+        // Two conflicting entries coexist — the direct-mapped cache
+        // would have thrashed here.
+        assert!(c.get(a).is_some());
         assert!(c.get(b).is_some());
+        assert_eq!(c.stats().conflict_evictions, 0);
+        // A third entry displaces the least recently used way (`a` was
+        // touched before `b`), and the displacement is counted.
+        c.insert(block(d, 4));
+        assert!(c.get(a).is_none(), "LRU way must be the victim");
+        assert!(c.get(b).is_some());
+        assert!(c.get(d).is_some());
+        assert_eq!(c.stats().conflict_evictions, 1);
     }
 }

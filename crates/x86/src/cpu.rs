@@ -8,7 +8,7 @@
 //! the paper's Figure 4 (instructions between error activation and crash)
 //! is measured with it.
 
-use crate::block::{lower, AluK, Block, BlockCache, BlockStats, LInst, MAX_BLOCK_INSTS};
+use crate::block::{AluK, Block, BlockCache, BlockStats, LInst, UOp, MAX_BLOCK_INSTS};
 use crate::decode::decode;
 use crate::eflags::{AF, CF, DF, OF, PF, RESERVED1, SF, ZF};
 use crate::flags;
@@ -18,6 +18,7 @@ use crate::inst::{
 use crate::mem::Memory;
 use crate::profiler::ExecProfile;
 use crate::recorder::{edge_kind, Edge, EdgeKind, FlightRecorder, FlightTrace};
+use crate::trace::{SuperTrace, TraceCache, TraceRec, TraceStats, MAX_TRACE_BLOCKS};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -209,6 +210,18 @@ pub struct Machine {
     /// Dispatch through cached basic blocks (default). When false,
     /// [`Machine::run_until_event`] takes the reference per-step path.
     block_engine: bool,
+    /// Tier-2 superblock cache (see [`crate::trace`]): hot blocks
+    /// linked across taken branches, dispatched as one unit.
+    traces: TraceCache,
+    /// Promote hot blocks into tier-2 traces (default). Only meaningful
+    /// while the block engine is on.
+    trace_cache: bool,
+    /// Rolling branch-history signature mixed into trace keys. Purely a
+    /// cache-key ingredient — never observable in outcomes — so it is
+    /// not snapshot state (restore just resets it).
+    hist: u8,
+    /// In-progress trace recording, when a promotion is underway.
+    trace_rec: Option<TraceRec>,
     trace_buf: Vec<u32>,
     trace_cap: usize,
     trace_next: usize,
@@ -256,6 +269,10 @@ impl Machine {
             blocks: BlockCache::default(),
             blocks_gen: 0,
             block_engine: true,
+            traces: TraceCache::default(),
+            trace_cache: true,
+            hist: 0,
+            trace_rec: None,
             trace_buf: Vec::new(),
             trace_cap: 0,
             trace_next: 0,
@@ -303,15 +320,23 @@ impl Machine {
             let dirty = self.mem.exec_writes_since(from);
             if !dirty.is_empty() {
                 self.blocks.invalidate_writes(dirty);
+                self.traces.invalidate_writes(dirty);
                 self.icache.clear();
             }
         } else {
             // Restoring across lineages (or forward past unseen writes):
             // the byte diff cannot be attributed, drop everything.
             self.blocks.clear();
+            self.traces.clear();
             self.icache.clear();
         }
         self.blocks_gen = snap_gen;
+        // A recording in progress would stitch pre-rewind blocks onto
+        // whatever executes next; abort it. The branch-history signature
+        // restarts too, so every replay of a checkpoint group sees the
+        // same trace-key sequence.
+        self.trace_rec = None;
+        self.hist = 0;
         self.cpu = snap.cpu.clone();
         self.mem = snap.mem.clone();
         self.icount = snap.icount;
@@ -360,6 +385,8 @@ impl Machine {
         self.decoder = decoder;
         self.icache.clear();
         self.blocks.clear();
+        self.traces.clear();
+        self.trace_rec = None;
     }
 
     /// Choose the execution engine for [`Machine::run_until_event`]:
@@ -370,6 +397,8 @@ impl Machine {
     pub fn set_block_engine(&mut self, enabled: bool) {
         if !enabled {
             self.blocks.clear();
+            self.traces.clear();
+            self.trace_rec = None;
         }
         self.block_engine = enabled;
     }
@@ -383,6 +412,35 @@ impl Machine {
     /// Cumulative basic-block cache counters.
     pub fn block_stats(&self) -> BlockStats {
         self.blocks.stats()
+    }
+
+    /// Choose whether hot blocks are promoted into tier-2 superblock
+    /// traces (see [`crate::trace`]); on by default. Turning it off
+    /// drops every cached trace. Outcomes are bit-identical either way —
+    /// the flag exists as an escape hatch and for differential testing.
+    pub fn set_trace_cache(&mut self, enabled: bool) {
+        if !enabled {
+            self.traces.clear();
+            self.trace_rec = None;
+        }
+        self.trace_cache = enabled;
+    }
+
+    /// Whether tier-2 trace dispatch is enabled (see
+    /// [`Machine::set_trace_cache`]).
+    pub fn trace_cache(&self) -> bool {
+        self.trace_cache
+    }
+
+    /// Cumulative trace-cache counters.
+    pub fn trace_stats(&self) -> TraceStats {
+        self.traces.stats()
+    }
+
+    /// Lower (or raise) the tier-2 promotion threshold — tests use `1`
+    /// to form traces on the second dispatch of a block.
+    pub fn set_trace_threshold(&mut self, threshold: u16) {
+        self.traces.set_threshold(threshold);
     }
 
     /// Record the EIP of every retired instruction into a ring buffer of
@@ -438,7 +496,10 @@ impl Machine {
     /// outcomes, icounts and traces are bit-identical with it on or off.
     /// Unlike the flight recorder it survives [`Machine::restore`].
     pub fn enable_profiler(&mut self) {
-        self.profile = Some(Box::new(ExecProfile::begin(self.blocks.stats())));
+        self.profile = Some(Box::new(ExecProfile::begin(
+            self.blocks.stats(),
+            self.traces.stats(),
+        )));
     }
 
     /// Whether the hot-spot profiler is collecting.
@@ -451,8 +512,9 @@ impl Machine {
     /// `None` when profiling was never enabled.
     pub fn take_exec_profile(&mut self) -> Option<ExecProfile> {
         let stats = self.blocks.stats();
+        let tstats = self.traces.stats();
         self.profile.take().map(|mut p| {
-            p.seal(stats);
+            p.seal(stats, tstats);
             *p
         })
     }
@@ -515,6 +577,16 @@ impl Machine {
         self.breakpoints.get(i).is_some_and(|&b| (b as u64) < end)
     }
 
+    /// Is a breakpoint armed anywhere in `[lo, hi)`? Unlike
+    /// [`Machine::breakpoint_inside`] this includes `lo` itself: only
+    /// the trace's first block had its entry cleared by the dispatch
+    /// loop's pre-check, and a linked successor may start *below* that
+    /// entry, so the whole footprint is screened inclusively.
+    fn breakpoint_in_range(&self, lo: u32, hi: u64) -> bool {
+        let i = self.breakpoints.partition_point(|&b| b < lo);
+        self.breakpoints.get(i).is_some_and(|&b| (b as u64) < hi)
+    }
+
     /// Run until a breakpoint, syscall, fault, or `max_steps` instructions.
     ///
     /// Dispatches cached basic blocks (see [`crate::block`]) unless the
@@ -554,16 +626,41 @@ impl Machine {
     /// block, the budget expiring mid-block, or an instruction that reads
     /// the live icount (`rdtsc`) — so every outcome matches
     /// [`Machine::run_stepwise`] exactly.
+    ///
+    /// On top of that sits tier 2 (see [`crate::trace`]): re-dispatched
+    /// blocks heat up and get recorded, together with their observed
+    /// successors across taken branches, into superblock traces replayed
+    /// as one dispatch. A trace is taken only when its full retirement
+    /// fits the remaining budget and no breakpoint lies anywhere in its
+    /// footprint, so every precise-stop obligation is met by declining
+    /// the trace, not by stopping inside one.
     fn run_blocks(&mut self, max_steps: u64) -> RunOutcome {
         self.sync_blocks();
         let mut steps = 0u64;
         loop {
             let eip = self.cpu.eip;
             if self.at_breakpoint(eip) {
+                self.finish_trace_rec();
                 return RunOutcome::Breakpoint(eip);
             }
             if steps >= max_steps {
+                self.finish_trace_rec();
                 return RunOutcome::Budget;
+            }
+            // Tier-2 dispatch. Heat only accumulates on a genuine miss:
+            // a resident trace declined for budget/breakpoint reasons
+            // must not re-record, and record mode itself runs tier 1.
+            let mut trace_missed = self.trace_cache && self.trace_rec.is_none();
+            if trace_missed {
+                if let Some(t) = self.traces.get(eip, self.hist) {
+                    trace_missed = false;
+                    if t.total_insts <= max_steps - steps && !self.breakpoint_in_range(t.lo, t.hi) {
+                        if let Some(out) = self.exec_trace(&t, &mut steps) {
+                            return out;
+                        }
+                        continue;
+                    }
+                }
             }
             let block = match self.blocks.get(eip) {
                 Some(b) => b,
@@ -572,6 +669,7 @@ impl Machine {
                     // Entry fetch fault: same as step()'s fetch_decode
                     // failure (no icount, no coverage mark).
                     Err(f) => {
+                        self.finish_trace_rec();
                         if self.recorder.is_some() {
                             self.record_edge(EdgeKind::Fault, eip, 0, self.icount);
                         }
@@ -583,6 +681,9 @@ impl Machine {
                 || (block.insts.len() as u64) > max_steps - steps
                 || self.breakpoint_inside(block.entry, block.end)
             {
+                // Single-step fallback breaks the block-at-a-time shape
+                // a trace replays; end any recording at this seam.
+                self.finish_trace_rec();
                 steps += 1;
                 match self.step() {
                     StepEvent::Executed => continue,
@@ -590,9 +691,28 @@ impl Machine {
                     StepEvent::Fault(f) => return RunOutcome::Fault(f),
                 }
             }
+            if trace_missed && self.traces.heat_up(eip, self.hist) {
+                // Promoted: record this dispatch and its successors.
+                self.trace_rec = Some(TraceRec {
+                    entry: eip,
+                    hist: self.hist,
+                    blocks: Vec::new(),
+                    total: 0,
+                });
+            }
+            let fast = !block.writes
+                && self.coverage.is_none()
+                && self.trace_cap == 0
+                && self.recorder.is_none()
+                && self.profile.is_none();
+            let mut resident = false;
             loop {
                 let gen = self.mem.exec_gen();
-                let (executed, event) = self.exec_block(&block);
+                let (executed, event) = if fast {
+                    self.exec_block_fast(&block)
+                } else {
+                    self.exec_block(&block)
+                };
                 steps += executed;
                 if let Some(p) = &mut self.profile {
                     p.note_block(block.entry, executed);
@@ -612,14 +732,124 @@ impl Machine {
                             && steps + block.insts.len() as u64 <= max_steps
                             && self.mem.exec_gen() == gen
                         {
+                            resident = true;
                             self.blocks.note_resident_hit();
                             continue;
                         }
+                        let clean =
+                            executed == block.insts.len() as u64 && self.mem.exec_gen() == gen;
+                        self.trace_append(&block, clean, resident);
+                        self.hist = hist_step(self.hist, self.cpu.eip);
                         break;
                     }
-                    StepEvent::Syscall(n) => return RunOutcome::Syscall(n),
-                    StepEvent::Fault(f) => return RunOutcome::Fault(f),
+                    StepEvent::Syscall(n) => {
+                        // A syscall terminator retires the whole block
+                        // cleanly, so the recording stays alive: traces
+                        // span syscalls, resuming at the return address
+                        // on the next run. (Staleness across the pause
+                        // is covered by sync_blocks aborting recordings
+                        // on any generation change.)
+                        let clean = executed == block.insts.len() as u64;
+                        self.trace_append(&block, clean, resident);
+                        self.hist = hist_step(self.hist, self.cpu.eip);
+                        return RunOutcome::Syscall(n);
+                    }
+                    StepEvent::Fault(f) => {
+                        self.finish_trace_rec();
+                        return RunOutcome::Fault(f);
+                    }
                 }
+            }
+        }
+    }
+
+    /// Replay a tier-2 trace: execute its linked blocks back-to-back,
+    /// guarding each edge by comparing the live EIP against the next
+    /// block's recorded entry. Returns the terminal outcome, or `None`
+    /// when the dispatch loop should continue (full completion, a
+    /// mispredicted guard, or a self-modification boundary — in each
+    /// case everything retired so far is exactly what tier 1 would have
+    /// retired).
+    fn exec_trace(&mut self, t: &SuperTrace, steps: &mut u64) -> Option<RunOutcome> {
+        let fast = self.coverage.is_none()
+            && self.trace_cap == 0
+            && self.recorder.is_none()
+            && self.profile.is_none();
+        let mut retired = 0u64;
+        for (i, block) in t.blocks.iter().enumerate() {
+            if i > 0 && self.cpu.eip != block.entry {
+                // Guard mispredicted: side-exit to tier 1. The previous
+                // block already stepped the history with the divergent
+                // target, so re-dispatch sees a coherent key.
+                self.traces.note_side_exit();
+                return None;
+            }
+            let gen = self.mem.exec_gen();
+            let (executed, event) = if fast && !block.writes {
+                self.exec_block_fast(block)
+            } else {
+                self.exec_block(block)
+            };
+            *steps += executed;
+            retired += executed;
+            if let Some(p) = &mut self.profile {
+                p.note_block(block.entry, executed);
+            }
+            match event {
+                StepEvent::Executed => {
+                    self.hist = hist_step(self.hist, self.cpu.eip);
+                    if executed != block.insts.len() as u64 || self.mem.exec_gen() != gen {
+                        // The block self-modified: exec_block already
+                        // stopped at the write boundary and resynced the
+                        // caches (dropping stale traces); side-exit.
+                        self.traces.note_side_exit();
+                        return None;
+                    }
+                }
+                StepEvent::Syscall(n) => {
+                    self.hist = hist_step(self.hist, self.cpu.eip);
+                    if let Some(p) = &mut self.profile {
+                        p.note_trace(t.entry, retired);
+                    }
+                    return Some(RunOutcome::Syscall(n));
+                }
+                StepEvent::Fault(f) => return Some(RunOutcome::Fault(f)),
+            }
+        }
+        if let Some(p) = &mut self.profile {
+            p.note_trace(t.entry, retired);
+        }
+        None
+    }
+
+    /// Append a cleanly completed block to the in-progress trace
+    /// recording (if any), finalizing at the length bound. Non-clean
+    /// completions (a mid-block self-modification stop) and
+    /// resident-looped blocks end the recording instead: neither shape
+    /// replays under a trace's one-pass-per-block guards.
+    fn trace_append(&mut self, block: &Arc<Block>, clean: bool, resident: bool) {
+        let Some(rec) = &mut self.trace_rec else {
+            return;
+        };
+        if !clean || resident {
+            self.finish_trace_rec();
+            return;
+        }
+        rec.total += block.insts.len() as u64;
+        rec.blocks.push(Arc::clone(block));
+        if rec.blocks.len() >= MAX_TRACE_BLOCKS {
+            self.finish_trace_rec();
+        }
+    }
+
+    /// End any in-progress trace recording: recordings that linked at
+    /// least two blocks are inserted, shorter ones are dropped (tier 1
+    /// already dispatches single blocks, and its resident-loop path
+    /// covers the self-looping ones).
+    fn finish_trace_rec(&mut self) {
+        if let Some(rec) = self.trace_rec.take() {
+            if rec.blocks.len() >= 2 {
+                self.traces.insert(rec);
             }
         }
     }
@@ -633,13 +863,18 @@ impl Machine {
             return;
         }
         if gen > self.blocks_gen {
-            self.blocks
-                .invalidate_writes(self.mem.exec_writes_since(self.blocks_gen));
+            let dirty = self.mem.exec_writes_since(self.blocks_gen);
+            self.blocks.invalidate_writes(dirty);
+            self.traces.invalidate_writes(dirty);
         } else {
             // Generation moved backwards outside restore(): the diff
             // cannot be attributed, drop everything.
             self.blocks.clear();
+            self.traces.clear();
         }
+        // Any recording in progress may hold a just-staled block; the
+        // write seam ends it.
+        self.trace_rec = None;
         self.blocks_gen = gen;
     }
 
@@ -666,12 +901,7 @@ impl Machine {
                 }
             };
             let next = addr.wrapping_add(inst.len as u32);
-            insts.push(LInst {
-                addr,
-                next,
-                inst,
-                uop: lower(&inst, next),
-            });
+            insts.push(LInst::new(addr, next, inst));
             end = addr as u64 + u64::from(inst.len.max(1));
             reads_icount |= matches!(inst.op, Op::Rdtsc);
             // Control transfers, software interrupts and invalid
@@ -688,11 +918,13 @@ impl Machine {
             }
             addr = next;
         }
+        let writes = insts.iter().any(|li| li.uop.may_write());
         let block = Arc::new(Block {
             entry: eip,
             end,
             insts,
             reads_icount,
+            writes,
         });
         self.blocks.insert(Arc::clone(&block));
         Ok(block)
@@ -714,13 +946,13 @@ impl Machine {
             if marking {
                 self.mark_retired(li.addr);
             }
-            if profiling && matches!(li.uop, crate::block::UOp::Slow) {
+            if profiling && matches!(li.uop, UOp::Slow) {
                 if let Some(p) = &mut self.profile {
                     p.note_slow(li.addr, &li.inst);
                 }
             }
             executed += 1;
-            match self.exec_uop(li) {
+            match (li.handler)(self, li) {
                 Ok(Flow::Next) => {
                     self.cpu.eip = li.next;
                     if recording {
@@ -768,6 +1000,47 @@ impl Machine {
         (executed, StepEvent::Executed)
     }
 
+    /// Instrumentation-free block executor. The dispatch loop selects it
+    /// when no coverage bitmap, EIP trace ring, flight recorder or
+    /// profiler is attached *and* the block contains no memory writes
+    /// (so no self-modification re-check is needed either). With every
+    /// observation channel absent, the only architecturally visible EIP
+    /// values are the ones a fault, syscall, taken jump or block exit
+    /// leaves behind — so the per-instruction EIP stores on
+    /// straight-line flow are skipped entirely.
+    fn exec_block_fast(&mut self, block: &Block) -> (u64, StepEvent) {
+        let n = block.insts.len() as u64;
+        let mut executed = 0u64;
+        for li in &block.insts {
+            executed += 1;
+            match (li.handler)(self, li) {
+                Ok(Flow::Next) => {
+                    // Only the block's last instruction can fall through
+                    // off the end (interior instructions are never
+                    // control transfers), and only there does the
+                    // fall-through EIP become observable.
+                    if executed == n {
+                        self.cpu.eip = li.next;
+                    }
+                }
+                Ok(Flow::Jump(t)) => self.cpu.eip = t,
+                Ok(Flow::Syscall(v)) => {
+                    self.cpu.eip = li.next;
+                    self.icount += executed;
+                    return (executed, StepEvent::Syscall(v));
+                }
+                Err(f) => {
+                    // EIP stays at the faulting instruction, as in step().
+                    self.cpu.eip = li.addr;
+                    self.icount += executed;
+                    return (executed, StepEvent::Fault(f));
+                }
+            }
+        }
+        self.icount += executed;
+        (executed, StepEvent::Executed)
+    }
+
     /// Resolve a lowered effective address.
     #[inline]
     fn ea_lowered(&self, ea: crate::block::Ea) -> u32 {
@@ -777,128 +1050,6 @@ impl Machine {
             0
         };
         base.wrapping_add(ea.disp)
-    }
-
-    /// Execute one lowered instruction. The fast variants are exact
-    /// specializations of the corresponding [`Machine::exec`] paths —
-    /// same flag helpers, same memory-access order, same faults — so
-    /// block execution stays bit-identical to the per-step engine (the
-    /// `block_engine_matches_stepwise` property pins this).
-    #[inline]
-    fn exec_uop(&mut self, li: &LInst) -> Result<Flow, Fault> {
-        use crate::block::UOp;
-        match li.uop {
-            UOp::MovRR { d, s } => {
-                self.cpu.regs[d as usize] = self.cpu.regs[s as usize];
-                Ok(Flow::Next)
-            }
-            UOp::MovRI { d, v } => {
-                self.cpu.regs[d as usize] = v;
-                Ok(Flow::Next)
-            }
-            UOp::MovRM { d, ea } => {
-                let v = self.mem.read32(self.ea_lowered(ea))?;
-                self.cpu.regs[d as usize] = v;
-                Ok(Flow::Next)
-            }
-            UOp::MovMR { ea, s } => {
-                self.mem
-                    .write32(self.ea_lowered(ea), self.cpu.regs[s as usize])?;
-                Ok(Flow::Next)
-            }
-            UOp::MovM8R8 { ea, s } => {
-                let v = self.cpu.get8(s);
-                self.mem.write8(self.ea_lowered(ea), v)?;
-                Ok(Flow::Next)
-            }
-            UOp::MovsxR32M8 { d, ea } => {
-                let v = self.mem.read8(self.ea_lowered(ea))?;
-                self.cpu.regs[d as usize] = v as i8 as i32 as u32;
-                Ok(Flow::Next)
-            }
-            UOp::MovzxR32M8 { d, ea } => {
-                let v = self.mem.read8(self.ea_lowered(ea))?;
-                self.cpu.regs[d as usize] = v as u32;
-                Ok(Flow::Next)
-            }
-            UOp::Lea { d, ea } => {
-                self.cpu.regs[d as usize] = self.ea_lowered(ea);
-                Ok(Flow::Next)
-            }
-            UOp::PushR { s } => {
-                self.push(self.cpu.regs[s as usize], OpSize::Dword)?;
-                Ok(Flow::Next)
-            }
-            UOp::PushI { v } => {
-                self.push(v, OpSize::Dword)?;
-                Ok(Flow::Next)
-            }
-            UOp::PopR { d } => {
-                let v = self.pop(OpSize::Dword)?;
-                self.cpu.regs[d as usize] = v;
-                Ok(Flow::Next)
-            }
-            UOp::IncR { d } => {
-                let a = self.cpu.regs[d as usize];
-                let r = flags::add(&mut self.cpu.eflags, a, 1, OpSize::Dword, false);
-                self.cpu.regs[d as usize] = r;
-                Ok(Flow::Next)
-            }
-            UOp::DecR { d } => {
-                let a = self.cpu.regs[d as usize];
-                let r = flags::sub(&mut self.cpu.eflags, a, 1, OpSize::Dword, false);
-                self.cpu.regs[d as usize] = r;
-                Ok(Flow::Next)
-            }
-            UOp::AluRR { k, d, s } => {
-                let a = self.cpu.regs[d as usize];
-                let b = self.cpu.regs[s as usize];
-                if let Some(r) = alu32(k, &mut self.cpu.eflags, a, b) {
-                    self.cpu.regs[d as usize] = r;
-                }
-                Ok(Flow::Next)
-            }
-            UOp::AluRI { k, d, v } => {
-                let a = self.cpu.regs[d as usize];
-                if let Some(r) = alu32(k, &mut self.cpu.eflags, a, v) {
-                    self.cpu.regs[d as usize] = r;
-                }
-                Ok(Flow::Next)
-            }
-            UOp::AluMI { k, ea, v } => {
-                let addr = self.ea_lowered(ea);
-                let a = self.mem.read32(addr)?;
-                // Flags are computed before the writeback attempt, as in
-                // the generic path.
-                if let Some(r) = alu32(k, &mut self.cpu.eflags, a, v) {
-                    self.mem.write32(addr, r)?;
-                }
-                Ok(Flow::Next)
-            }
-            UOp::JmpRel { t } => Ok(Flow::Jump(t)),
-            UOp::JccRel { c, t } => Ok(if self.cpu.cond(c) {
-                Flow::Jump(t)
-            } else {
-                Flow::Next
-            }),
-            UOp::CallRel { t } => {
-                self.push(li.next, OpSize::Dword)?;
-                Ok(Flow::Jump(t))
-            }
-            UOp::Ret { extra } => {
-                let t = self.pop(OpSize::Dword)?;
-                self.cpu.regs[4] = self.cpu.regs[4].wrapping_add(extra as u32);
-                Ok(Flow::Jump(t))
-            }
-            UOp::Leave => {
-                self.cpu.regs[4] = self.cpu.regs[5];
-                let v = self.pop(OpSize::Dword)?;
-                self.cpu.regs[5] = v;
-                Ok(Flow::Next)
-            }
-            UOp::Nop => Ok(Flow::Next),
-            UOp::Slow => self.exec(&li.inst, li.addr, li.next),
-        }
     }
 
     /// Per-retired-instruction coverage and trace bookkeeping.
@@ -1953,17 +2104,26 @@ impl Machine {
     }
 }
 
-enum Flow {
+pub(crate) enum Flow {
     Next,
     Jump(u32),
     Syscall(u8),
 }
 
+/// Advance the rolling branch-history signature with the next dispatch
+/// address (a cheap shift-xor — only trace-key quality depends on it,
+/// never an outcome).
+#[inline]
+fn hist_step(h: u8, eip: u32) -> u8 {
+    (h << 1) ^ ((eip >> 2) as u8)
+}
+
 /// 32-bit ALU step shared by the lowered `AluRR`/`AluRI`/`AluMI` forms:
 /// updates the flags exactly as the generic [`Machine::exec`] path does
 /// and returns the result to write back, or `None` for the flag-only
-/// operations (`cmp`, `test`).
-#[inline]
+/// operations (`cmp`, `test`). Always inlined so the per-kind handlers
+/// below constant-fold the `match` away.
+#[inline(always)]
 fn alu32(k: AluK, f: &mut u32, a: u32, b: u32) -> Option<u32> {
     match k {
         AluK::Add => Some(flags::add(f, a, b, OpSize::Dword, true)),
@@ -1980,6 +2140,369 @@ fn alu32(k: AluK, f: &mut u32, a: u32, b: u32) -> Option<u32> {
             None
         }
     }
+}
+
+/// 32-bit two/three-operand `imul` step: exactly the `Imul2`/`Imul3`
+/// flag behaviour of the generic [`Machine::exec`] path.
+#[inline]
+fn imul32(f: &mut u32, lhs: u32, rhs: u32) -> u32 {
+    let full = (lhs as i32 as i64) * (rhs as i32 as i64);
+    let r = full as u32;
+    flags::zsp(f, r, OpSize::Dword);
+    let overflow = full != (r as i32 as i64);
+    flags::set_bits(f, CF | OF, if overflow { CF | OF } else { 0 });
+    r
+}
+
+/// A µop executor. Each lowered shape resolves to one of these at block
+/// build time ([`LInst::new`]), so the block executors dispatch through
+/// a direct function-pointer call instead of matching over every
+/// [`UOp`] variant per retired instruction (threaded dispatch). Every
+/// handler is an exact specialization of the corresponding
+/// [`Machine::exec`] path — same flag helpers, same memory-access
+/// order, same faults — so block execution stays bit-identical to the
+/// per-step engine (the `block_engine_matches_stepwise` property pins
+/// this).
+pub(crate) type Handler = fn(&mut Machine, &LInst) -> Result<Flow, Fault>;
+
+/// Resolve the execution handler for a lowered shape. ALU kinds get
+/// per-kind handlers so the flag computation is a straight-line
+/// specialization rather than a runtime dispatch on [`AluK`].
+pub(crate) fn handler_of(uop: UOp) -> Handler {
+    match uop {
+        UOp::MovRR { .. } => h_mov_rr,
+        UOp::MovRI { .. } => h_mov_ri,
+        UOp::MovRM { .. } => h_mov_rm,
+        UOp::MovMR { .. } => h_mov_mr,
+        UOp::MovM8R8 { .. } => h_mov_m8r8,
+        UOp::MovsxR32M8 { .. } => h_movsx_r32m8,
+        UOp::MovzxR32M8 { .. } => h_movzx_r32m8,
+        UOp::Lea { .. } => h_lea,
+        UOp::PushR { .. } => h_push_r,
+        UOp::PushI { .. } => h_push_i,
+        UOp::PopR { .. } => h_pop_r,
+        UOp::IncR { .. } => h_inc_r,
+        UOp::DecR { .. } => h_dec_r,
+        UOp::AluRR { k, .. } => match k {
+            AluK::Add => h_add_rr,
+            AluK::Sub => h_sub_rr,
+            AluK::And => h_and_rr,
+            AluK::Or => h_or_rr,
+            AluK::Xor => h_xor_rr,
+            AluK::Cmp => h_cmp_rr,
+            AluK::Test => h_test_rr,
+        },
+        UOp::AluRI { k, .. } => match k {
+            AluK::Add => h_add_ri,
+            AluK::Sub => h_sub_ri,
+            AluK::And => h_and_ri,
+            AluK::Or => h_or_ri,
+            AluK::Xor => h_xor_ri,
+            AluK::Cmp => h_cmp_ri,
+            AluK::Test => h_test_ri,
+        },
+        UOp::AluMI { .. } => h_alu_mi,
+        UOp::JmpRel { .. } => h_jmp_rel,
+        UOp::JccRel { .. } => h_jcc_rel,
+        UOp::CallRel { .. } => h_call_rel,
+        UOp::Ret { .. } => h_ret,
+        UOp::Leave => h_leave,
+        UOp::Nop => h_nop,
+        UOp::Cdq => h_cdq,
+        UOp::DivR { .. } => h_div_r,
+        UOp::DivM { .. } => h_div_m,
+        UOp::MulR { .. } => h_mul_r,
+        UOp::ImulRR { .. } => h_imul_rr,
+        UOp::ImulRM { .. } => h_imul_rm,
+        UOp::ImulRRI { .. } => h_imul_rri,
+        UOp::Int80 => h_int80,
+        UOp::Slow => h_slow,
+    }
+}
+
+fn h_mov_rr(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::MovRR { d, s } = li.uop else {
+        unreachable!()
+    };
+    m.cpu.regs[d as usize] = m.cpu.regs[s as usize];
+    Ok(Flow::Next)
+}
+
+fn h_mov_ri(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::MovRI { d, v } = li.uop else {
+        unreachable!()
+    };
+    m.cpu.regs[d as usize] = v;
+    Ok(Flow::Next)
+}
+
+fn h_mov_rm(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::MovRM { d, ea } = li.uop else {
+        unreachable!()
+    };
+    let v = m.mem.read32(m.ea_lowered(ea))?;
+    m.cpu.regs[d as usize] = v;
+    Ok(Flow::Next)
+}
+
+fn h_mov_mr(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::MovMR { ea, s } = li.uop else {
+        unreachable!()
+    };
+    m.mem.write32(m.ea_lowered(ea), m.cpu.regs[s as usize])?;
+    Ok(Flow::Next)
+}
+
+fn h_mov_m8r8(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::MovM8R8 { ea, s } = li.uop else {
+        unreachable!()
+    };
+    let v = m.cpu.get8(s);
+    m.mem.write8(m.ea_lowered(ea), v)?;
+    Ok(Flow::Next)
+}
+
+fn h_movsx_r32m8(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::MovsxR32M8 { d, ea } = li.uop else {
+        unreachable!()
+    };
+    let v = m.mem.read8(m.ea_lowered(ea))?;
+    m.cpu.regs[d as usize] = v as i8 as i32 as u32;
+    Ok(Flow::Next)
+}
+
+fn h_movzx_r32m8(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::MovzxR32M8 { d, ea } = li.uop else {
+        unreachable!()
+    };
+    let v = m.mem.read8(m.ea_lowered(ea))?;
+    m.cpu.regs[d as usize] = v as u32;
+    Ok(Flow::Next)
+}
+
+fn h_lea(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::Lea { d, ea } = li.uop else {
+        unreachable!()
+    };
+    m.cpu.regs[d as usize] = m.ea_lowered(ea);
+    Ok(Flow::Next)
+}
+
+fn h_push_r(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::PushR { s } = li.uop else {
+        unreachable!()
+    };
+    m.push(m.cpu.regs[s as usize], OpSize::Dword)?;
+    Ok(Flow::Next)
+}
+
+fn h_push_i(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::PushI { v } = li.uop else {
+        unreachable!()
+    };
+    m.push(v, OpSize::Dword)?;
+    Ok(Flow::Next)
+}
+
+fn h_pop_r(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::PopR { d } = li.uop else {
+        unreachable!()
+    };
+    let v = m.pop(OpSize::Dword)?;
+    m.cpu.regs[d as usize] = v;
+    Ok(Flow::Next)
+}
+
+fn h_inc_r(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::IncR { d } = li.uop else {
+        unreachable!()
+    };
+    let a = m.cpu.regs[d as usize];
+    let r = flags::add(&mut m.cpu.eflags, a, 1, OpSize::Dword, false);
+    m.cpu.regs[d as usize] = r;
+    Ok(Flow::Next)
+}
+
+fn h_dec_r(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::DecR { d } = li.uop else {
+        unreachable!()
+    };
+    let a = m.cpu.regs[d as usize];
+    let r = flags::sub(&mut m.cpu.eflags, a, 1, OpSize::Dword, false);
+    m.cpu.regs[d as usize] = r;
+    Ok(Flow::Next)
+}
+
+// One RR and one RI handler per ALU kind: `alu32` is `inline(always)`,
+// so each expansion folds to that kind's straight-line flag code.
+macro_rules! alu_handlers {
+    ($($rr:ident $ri:ident $k:ident),* $(,)?) => {$(
+        fn $rr(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+            let UOp::AluRR { d, s, .. } = li.uop else {
+                unreachable!()
+            };
+            let a = m.cpu.regs[d as usize];
+            let b = m.cpu.regs[s as usize];
+            if let Some(r) = alu32(AluK::$k, &mut m.cpu.eflags, a, b) {
+                m.cpu.regs[d as usize] = r;
+            }
+            Ok(Flow::Next)
+        }
+        fn $ri(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+            let UOp::AluRI { d, v, .. } = li.uop else {
+                unreachable!()
+            };
+            let a = m.cpu.regs[d as usize];
+            if let Some(r) = alu32(AluK::$k, &mut m.cpu.eflags, a, v) {
+                m.cpu.regs[d as usize] = r;
+            }
+            Ok(Flow::Next)
+        }
+    )*};
+}
+
+alu_handlers!(
+    h_add_rr h_add_ri Add,
+    h_sub_rr h_sub_ri Sub,
+    h_and_rr h_and_ri And,
+    h_or_rr h_or_ri Or,
+    h_xor_rr h_xor_ri Xor,
+    h_cmp_rr h_cmp_ri Cmp,
+    h_test_rr h_test_ri Test,
+);
+
+fn h_alu_mi(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::AluMI { k, ea, v } = li.uop else {
+        unreachable!()
+    };
+    let addr = m.ea_lowered(ea);
+    let a = m.mem.read32(addr)?;
+    // Flags are computed before the writeback attempt, as in the
+    // generic path.
+    if let Some(r) = alu32(k, &mut m.cpu.eflags, a, v) {
+        m.mem.write32(addr, r)?;
+    }
+    Ok(Flow::Next)
+}
+
+fn h_jmp_rel(_m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::JmpRel { t } = li.uop else {
+        unreachable!()
+    };
+    Ok(Flow::Jump(t))
+}
+
+fn h_jcc_rel(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::JccRel { c, t } = li.uop else {
+        unreachable!()
+    };
+    Ok(if m.cpu.cond(c) {
+        Flow::Jump(t)
+    } else {
+        Flow::Next
+    })
+}
+
+fn h_call_rel(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::CallRel { t } = li.uop else {
+        unreachable!()
+    };
+    m.push(li.next, OpSize::Dword)?;
+    Ok(Flow::Jump(t))
+}
+
+fn h_ret(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::Ret { extra } = li.uop else {
+        unreachable!()
+    };
+    let t = m.pop(OpSize::Dword)?;
+    m.cpu.regs[4] = m.cpu.regs[4].wrapping_add(extra as u32);
+    Ok(Flow::Jump(t))
+}
+
+fn h_leave(m: &mut Machine, _li: &LInst) -> Result<Flow, Fault> {
+    m.cpu.regs[4] = m.cpu.regs[5];
+    let v = m.pop(OpSize::Dword)?;
+    m.cpu.regs[5] = v;
+    Ok(Flow::Next)
+}
+
+fn h_nop(_m: &mut Machine, _li: &LInst) -> Result<Flow, Fault> {
+    Ok(Flow::Next)
+}
+
+fn h_cdq(m: &mut Machine, _li: &LInst) -> Result<Flow, Fault> {
+    m.cpu.regs[2] = if m.cpu.regs[0] & 0x8000_0000 != 0 {
+        0xFFFF_FFFF
+    } else {
+        0
+    };
+    Ok(Flow::Next)
+}
+
+fn h_div_r(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::DivR { s, signed } = li.uop else {
+        unreachable!()
+    };
+    let src = m.cpu.regs[s as usize];
+    m.div_impl(src, OpSize::Dword, signed, li.addr)?;
+    Ok(Flow::Next)
+}
+
+fn h_div_m(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::DivM { ea, signed } = li.uop else {
+        unreachable!()
+    };
+    let src = m.mem.read32(m.ea_lowered(ea))?;
+    m.div_impl(src, OpSize::Dword, signed, li.addr)?;
+    Ok(Flow::Next)
+}
+
+fn h_mul_r(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::MulR { s, signed } = li.uop else {
+        unreachable!()
+    };
+    let src = m.cpu.regs[s as usize];
+    m.mul_impl(src, OpSize::Dword, signed);
+    Ok(Flow::Next)
+}
+
+fn h_imul_rr(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::ImulRR { d, s } = li.uop else {
+        unreachable!()
+    };
+    let (lhs, rhs) = (m.cpu.regs[d as usize], m.cpu.regs[s as usize]);
+    m.cpu.regs[d as usize] = imul32(&mut m.cpu.eflags, lhs, rhs);
+    Ok(Flow::Next)
+}
+
+fn h_imul_rm(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::ImulRM { d, ea } = li.uop else {
+        unreachable!()
+    };
+    // Memory read (the only faulting step) before any flag write, as in
+    // the generic path's operand-read order.
+    let rhs = m.mem.read32(m.ea_lowered(ea))?;
+    let lhs = m.cpu.regs[d as usize];
+    m.cpu.regs[d as usize] = imul32(&mut m.cpu.eflags, lhs, rhs);
+    Ok(Flow::Next)
+}
+
+fn h_imul_rri(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    let UOp::ImulRRI { d, s, v } = li.uop else {
+        unreachable!()
+    };
+    let lhs = m.cpu.regs[s as usize];
+    m.cpu.regs[d as usize] = imul32(&mut m.cpu.eflags, lhs, v);
+    Ok(Flow::Next)
+}
+
+fn h_int80(_m: &mut Machine, _li: &LInst) -> Result<Flow, Fault> {
+    Ok(Flow::Syscall(0x80))
+}
+
+fn h_slow(m: &mut Machine, li: &LInst) -> Result<Flow, Fault> {
+    m.exec(&li.inst, li.addr, li.next)
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@ pub mod inst;
 pub mod mem;
 pub mod profiler;
 pub mod recorder;
+pub mod trace;
 
 pub use block::{Block, BlockStats};
 pub use cpu::{Cpu, Machine, MachineSnapshot, RunOutcome, StepEvent};
@@ -59,6 +60,7 @@ pub use inst::{
 pub use mem::{Memory, Perms, Region};
 pub use profiler::{op_shape, BlockTally, ExecProfile, SlowSite};
 pub use recorder::{Edge, EdgeKind, FlightTrace};
+pub use trace::{SuperTrace, TraceStats};
 
 /// EFLAGS bit positions used by the interpreter.
 pub mod eflags {

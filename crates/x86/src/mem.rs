@@ -316,6 +316,9 @@ impl Memory {
     }
 
     /// Current generation of executable bytes (see [`Memory::poke8`]).
+    /// Inlined: the block and trace executors re-check it on every
+    /// dispatch and after every potentially writing µop.
+    #[inline]
     pub fn exec_gen(&self) -> u64 {
         self.exec_gen
     }
@@ -323,6 +326,7 @@ impl Memory {
     /// Addresses written by every generation bump after `gen` (oldest
     /// first). `exec_writes_since(exec_gen())` is empty; passing a `gen`
     /// from the future is clamped to empty.
+    #[inline]
     pub fn exec_writes_since(&self, gen: u64) -> &[u32] {
         let from = (gen.min(self.exec_log.len() as u64)) as usize;
         &self.exec_log[from..]

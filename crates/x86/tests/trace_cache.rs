@@ -1,0 +1,231 @@
+//! Tier-2 trace engine tests: superblocks linked across taken branches
+//! must stay bit-identical with the per-step reference, side-exit
+//! precisely on mispredicted guards, decline dispatch around
+//! breakpoints, and die under the executable-write journal exactly like
+//! tier-1 blocks — on pokes, restores and self-modifying stores.
+
+use fisec_x86::{Machine, Memory, Perms, Reg32, Region, RunOutcome};
+
+const TEXT: u32 = 0x1000;
+
+fn machine(text: Vec<u8>) -> Machine {
+    let mut mem = Memory::new();
+    mem.map(Region::with_data("text", TEXT, text, Perms::RX))
+        .unwrap();
+    mem.map(Region::zeroed("data", 0x2000, 0x1000, Perms::RW))
+        .unwrap();
+    mem.map(Region::zeroed("stack", 0x8000, 0x1000, Perms::RW))
+        .unwrap();
+    let mut m = Machine::new(mem);
+    m.cpu.eip = TEXT;
+    m.cpu.regs[Reg32::Esp as usize] = 0x9000;
+    m
+}
+
+/// A hot machine: trace promotion on the first re-dispatch.
+fn hot_machine(text: Vec<u8>) -> Machine {
+    let mut m = machine(text);
+    m.set_trace_threshold(1);
+    m
+}
+
+// A loop whose body spans two blocks via a taken branch, so the trace
+// engine has an edge to link across. 21 iterations: enough to promote,
+// record and replay a superblock, with the loop exit landing *inside* a
+// replay (not on its final block) so the guard mispredict is exercised.
+//   0x1000  mov ecx, 21
+//   0x1005  inc eax          <- L1
+//   0x1006  jmp 0x1009
+//   0x1008  nop              (never executed)
+//   0x1009  dec ecx          <- L2
+//   0x100A  jnz L1
+//   0x100C  jmp $
+fn two_block_loop() -> Vec<u8> {
+    vec![
+        0xB9, 21, 0, 0, 0, 0x40, 0xEB, 0x01, 0x90, 0x49, 0x75, 0xF9, 0xEB, 0xFE,
+    ]
+}
+
+/// Run `text` under tier 2 (hot threshold) and the per-step reference,
+/// assert identical outcome, icount and architectural state, and return
+/// the tier-2 machine for stats inspection.
+fn assert_trace_agrees_with_step(text: Vec<u8>, budget: u64) -> Machine {
+    let mut hot = hot_machine(text.clone());
+    let mut stp = machine(text);
+    stp.set_block_engine(false);
+    let a = hot.run_until_event(budget);
+    let b = stp.run_until_event(budget);
+    assert_eq!(a, b, "outcomes diverged");
+    assert_eq!(hot.icount, stp.icount, "icount diverged");
+    assert_eq!(hot.cpu, stp.cpu, "architectural state diverged");
+    hot
+}
+
+#[test]
+fn superblocks_form_and_stay_bit_identical() {
+    let m = assert_trace_agrees_with_step(two_block_loop(), 1000);
+    let s = m.trace_stats();
+    assert!(s.built >= 1, "hot loop must promote a trace: {s:?}");
+    assert!(s.hits >= 1, "promoted trace must be re-dispatched: {s:?}");
+}
+
+#[test]
+fn mispredicted_guard_side_exits_precisely() {
+    // The loop's final iteration falls through `jnz L1`: a trace replay
+    // linked on the taken edge must side-exit at the guard, not execute
+    // the stale successor.
+    let m = assert_trace_agrees_with_step(two_block_loop(), 1000);
+    let s = m.trace_stats();
+    assert!(
+        s.side_exits >= 1,
+        "loop exit lands inside a trace replay: {s:?}"
+    );
+    assert_eq!(m.cpu.regs[Reg32::Eax as usize], 21, "every inc retired");
+    assert_eq!(m.cpu.regs[Reg32::Ecx as usize], 0);
+}
+
+#[test]
+fn breakpoint_inside_linked_successor_pauses_exactly() {
+    // Prime the trace cache over the whole loop, then rewind and arm a
+    // breakpoint at L2 — the entry of a *successor* block inside the
+    // superblock, not the trace head. Dispatch must decline the trace
+    // and stop exactly there.
+    let mut m = hot_machine(two_block_loop());
+    assert_eq!(m.run_until_event(1000), RunOutcome::Budget);
+    assert!(m.trace_stats().built >= 1);
+    m.cpu.eip = TEXT;
+    m.cpu.regs = [0; 8];
+    m.cpu.regs[Reg32::Esp as usize] = 0x9000;
+    m.add_breakpoint(TEXT + 9);
+    assert_eq!(m.run_until_event(1000), RunOutcome::Breakpoint(TEXT + 9));
+    let mut reference = machine(two_block_loop());
+    reference.set_block_engine(false);
+    reference.add_breakpoint(TEXT + 9);
+    assert_eq!(
+        reference.run_until_event(1000),
+        RunOutcome::Breakpoint(TEXT + 9)
+    );
+    assert_eq!(m.cpu, reference.cpu, "must stop with identical state");
+}
+
+#[test]
+fn restore_invalidates_a_superblock_whose_tail_was_poked() {
+    let mut m = hot_machine(two_block_loop());
+    let snap = m.snapshot();
+    assert_eq!(m.run_until_event(1000), RunOutcome::Budget);
+    let before = m.trace_stats();
+    assert!(before.built >= 1 && before.hits >= 1, "{before:?}");
+
+    // Injection-shaped cycle: poke the `dec ecx` at L2 — a *tail* block
+    // of the superblock, not its entry — then rewind. The restore's
+    // write journal must drop every trace covering the poked byte.
+    m.mem.poke8(TEXT + 9, 0x48).unwrap(); // dec ecx -> dec eax
+    m.restore(&snap);
+    let after = m.trace_stats();
+    assert!(
+        after.invalidated > before.invalidated,
+        "poked superblock must die on restore: {before:?} -> {after:?}"
+    );
+
+    // The rewound machine replays the pristine program bit-identically.
+    assert_eq!(m.run_until_event(1000), RunOutcome::Budget);
+    assert_eq!(m.cpu.regs[Reg32::Eax as usize], 21);
+    assert_eq!(m.cpu.regs[Reg32::Ecx as usize], 0);
+}
+
+#[test]
+fn self_modifying_store_under_a_live_trace_agrees_with_stepwise() {
+    // A loop that patches its own body once ecx reaches 2 — after the
+    // trace over the unpatched body is hot:
+    //   0x1000  mov ecx, 6
+    //   0x1005  inc eax                    <- L1 (patched to nop later)
+    //   0x1006  cmp ecx, 2
+    //   0x1009  jne 0x1012
+    //   0x100B  mov byte [0x1005], 0x90    ; inc eax -> nop
+    //   0x1012  dec ecx                    <- L2
+    //   0x1013  jnz L1
+    //   0x1015  jmp $
+    let text = vec![
+        0xB9, 6, 0, 0, 0,    // mov ecx, 6
+        0x40, // inc eax
+        0x83, 0xF9, 0x02, // cmp ecx, 2
+        0x75, 0x07, // jne +7
+        0xC6, 0x05, 0x05, 0x10, 0x00, 0x00, 0x90, // mov byte [0x1005], 0x90
+        0x49, // dec ecx
+        0x75, 0xF0, // jnz -16
+        0xEB, 0xFE, // jmp $
+    ];
+    let mut mem = Memory::new();
+    mem.map(Region::with_data("text", TEXT, text.clone(), Perms::RWX))
+        .unwrap();
+    let mut hot = Machine::new(mem.clone());
+    hot.cpu.eip = TEXT;
+    hot.set_trace_threshold(1);
+    let mut stp = Machine::new(mem);
+    stp.cpu.eip = TEXT;
+    stp.set_block_engine(false);
+    assert_eq!(hot.run_until_event(200), stp.run_until_event(200));
+    assert_eq!(hot.icount, stp.icount);
+    assert_eq!(hot.cpu, stp.cpu);
+    // Five incs retire before the patch lands, the sixth iteration runs
+    // the nop: the write was observed mid-campaign, not deferred.
+    assert_eq!(hot.cpu.regs[Reg32::Eax as usize], 5);
+    let s = hot.trace_stats();
+    assert!(s.built >= 1, "the unpatched loop got hot: {s:?}");
+    assert!(
+        s.invalidated >= 1,
+        "the store must kill the live trace: {s:?}"
+    );
+}
+
+#[test]
+fn disabling_the_trace_cache_caps_the_engine_at_tier1() {
+    let mut m = hot_machine(two_block_loop());
+    m.set_trace_cache(false);
+    assert!(!m.trace_cache());
+    assert_eq!(m.run_until_event(1000), RunOutcome::Budget);
+    let s = m.trace_stats();
+    assert_eq!((s.built, s.hits), (0, 0), "tier 2 must stay cold: {s:?}");
+    assert!(m.block_stats().hits > 0, "tier 1 still serves the loop");
+    let mut reference = machine(two_block_loop());
+    reference.set_block_engine(false);
+    assert_eq!(reference.run_until_event(1000), RunOutcome::Budget);
+    assert_eq!(m.cpu, reference.cpu);
+}
+
+#[test]
+fn traces_span_syscalls_and_resume_after_them() {
+    // A loop with an `int 0x80` in the body: the trace must deliver the
+    // syscall outcome precisely, and the recording survives to link the
+    // blocks around it.
+    //   0x1000  mov ecx, 8
+    //   0x1005  mov eax, 4       <- L1
+    //   0x100A  int 0x80
+    //   0x100C  dec ecx
+    //   0x100D  jnz L1
+    //   0x100F  jmp $
+    let text = vec![
+        0xB9, 8, 0, 0, 0, 0xB8, 4, 0, 0, 0, 0xCD, 0x80, 0x49, 0x75, 0xF6, 0xEB, 0xFE,
+    ];
+    let mut hot = hot_machine(text.clone());
+    let mut stp = machine(text);
+    stp.set_block_engine(false);
+    // Drive both machines through every syscall stop.
+    let mut stops = 0;
+    loop {
+        let a = hot.run_until_event(1000);
+        let b = stp.run_until_event(1000);
+        assert_eq!(a, b, "stop {stops} diverged");
+        assert_eq!(hot.cpu, stp.cpu, "stop {stops} state diverged");
+        match a {
+            RunOutcome::Syscall(n) => {
+                assert_eq!(n, 0x80);
+                stops += 1;
+            }
+            RunOutcome::Budget => break,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    assert_eq!(stops, 8, "every int 0x80 surfaced");
+    assert_eq!(hot.icount, stp.icount);
+}

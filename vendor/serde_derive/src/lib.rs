@@ -1,17 +1,27 @@
 //! Derive macros for the vendored serde stand-in.
 //!
 //! Supports exactly the shapes this workspace derives: non-generic
-//! structs with named fields. The input token stream is parsed by hand
-//! (no syn/quote in the offline environment): attributes and
-//! visibility markers are skipped, field names collected, and the
-//! `impl` blocks are rendered as strings and re-parsed.
+//! structs with named fields, plus the `#[serde(default)]` field
+//! attribute (a missing/null field deserializes to `Default::default()`
+//! instead of erroring, so old saved JSON stays readable after a struct
+//! grows). The input token stream is parsed by hand (no syn/quote in
+//! the offline environment): other attributes and visibility markers
+//! are skipped, field names collected, and the `impl` blocks are
+//! rendered as strings and re-parsed.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field of the derive target.
+struct Field {
+    name: String,
+    /// Carries `#[serde(default)]`.
+    default: bool,
+}
 
 /// Parsed shape of the derive target.
 struct Struct {
     name: String,
-    fields: Vec<String>,
+    fields: Vec<Field>,
 }
 
 fn parse_struct(input: TokenStream) -> Struct {
@@ -58,16 +68,35 @@ fn parse_struct(input: TokenStream) -> Struct {
     }
 }
 
-fn parse_fields(body: TokenStream) -> Vec<String> {
+/// Is this bracketed attribute body `serde(default)`?
+fn is_serde_default(attr: TokenStream) -> bool {
+    let mut iter = attr.into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = body.into_iter().peekable();
     'fields: loop {
-        // Skip attributes (`#[...]`, including rendered doc comments).
+        // Scan attributes (`#[...]`, including rendered doc comments):
+        // `#[serde(default)]` marks the field, everything else is skipped.
+        let mut default = false;
         loop {
             match iter.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     iter.next();
-                    iter.next(); // the bracketed attribute body
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        default |= is_serde_default(g.stream());
+                    }
                 }
                 _ => break,
             }
@@ -84,7 +113,10 @@ fn parse_fields(body: TokenStream) -> Vec<String> {
             }
         }
         match iter.next() {
-            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => fields.push(Field {
+                name: id.to_string(),
+                default,
+            }),
             Some(other) => panic!("expected field name, found {other}"),
             None => break,
         }
@@ -109,7 +141,7 @@ fn parse_fields(body: TokenStream) -> Vec<String> {
 }
 
 /// `#[derive(Serialize)]` for named-field structs.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let s = parse_struct(input);
     let pushes: String = s
@@ -118,7 +150,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .map(|f| {
             format!(
                 "fields.push((::std::string::String::from(\"{f}\"), \
-                 ::serde::Serialize::serialize(&self.{f})));\n"
+                 ::serde::Serialize::serialize(&self.{f})));\n",
+                f = f.name
             )
         })
         .collect();
@@ -139,18 +172,32 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("generated Serialize impl parses")
 }
 
-/// `#[derive(Deserialize)]` for named-field structs.
-#[proc_macro_derive(Deserialize)]
+/// `#[derive(Deserialize)]` for named-field structs. Fields marked
+/// `#[serde(default)]` fall back to `Default::default()` when the key
+/// is missing or null.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let s = parse_struct(input);
     let inits: String = s
         .fields
         .iter()
         .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::deserialize(v.field(\"{f}\"))\
-                 .map_err(|e| e.in_field(\"{f}\"))?,\n"
-            )
+            if f.default {
+                format!(
+                    "{f}: match v.field(\"{f}\") {{\n\
+                     ::serde::Value::Null => ::std::default::Default::default(),\n\
+                     other => ::serde::Deserialize::deserialize(other)\
+                     .map_err(|e| e.in_field(\"{f}\"))?,\n\
+                     }},\n",
+                    f = f.name
+                )
+            } else {
+                format!(
+                    "{f}: ::serde::Deserialize::deserialize(v.field(\"{f}\"))\
+                     .map_err(|e| e.in_field(\"{f}\"))?,\n",
+                    f = f.name
+                )
+            }
         })
         .collect();
     format!(
