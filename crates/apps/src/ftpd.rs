@@ -529,6 +529,19 @@ impl FtpPattern {
             FtpPattern::Anonymous => ("anonymous", "guest@example.com", "welcome.txt"),
         }
     }
+
+    /// Content identity of the scripted behavior, for the campaign
+    /// cache: any change to what this client sends (credentials, file,
+    /// command sequence) must change this string. The leading version
+    /// tag covers script-logic changes that the credential summary
+    /// would miss.
+    pub fn script_fingerprint(self) -> String {
+        let (user, pass, file) = self.credentials();
+        format!(
+            "ftp-script-v1:{}:USER {user}:PASS {pass}:RETR {file}",
+            self.name()
+        )
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -31,6 +31,11 @@ pub struct ClientSpec {
     pub name: String,
     /// Whether the error-free run denies this client.
     pub golden_denied: bool,
+    /// Content identity of the scripted behavior (see
+    /// `FtpPattern::script_fingerprint`): the campaign cache keys
+    /// memoized results on it, so editing a client script invalidates
+    /// its cached campaigns.
+    pub fingerprint: String,
     factory: Box<dyn Fn() -> Box<dyn ClientDriver> + Send + Sync>,
 }
 
@@ -78,6 +83,7 @@ impl AppSpec {
                 ClientSpec {
                     name: p.name().to_string(),
                     golden_denied: p.golden_denied(),
+                    fingerprint: p.script_fingerprint(),
                     factory: Box::new(move || FtpClient::boxed(p)),
                 }
             })
@@ -118,6 +124,7 @@ impl AppSpec {
                 ClientSpec {
                     name: p.name().to_string(),
                     golden_denied: p.golden_denied(),
+                    fingerprint: p.script_fingerprint(),
                     factory: Box::new(move || SshClient::boxed(p)),
                 }
             })
@@ -146,6 +153,23 @@ mod tests {
         assert_eq!(s.clients.len(), 2);
         assert_eq!(s.auth_funcs.len(), 3);
         assert!(s.clients[0].golden_denied);
+    }
+
+    #[test]
+    fn client_fingerprints_are_distinct_and_nonempty() {
+        let f = AppSpec::ftpd();
+        let s = AppSpec::sshd();
+        let mut all: Vec<&str> = f
+            .clients
+            .iter()
+            .chain(&s.clients)
+            .map(|c| c.fingerprint.as_str())
+            .collect();
+        assert!(all.iter().all(|fp| !fp.is_empty()));
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "two clients share a script fingerprint");
     }
 
     #[test]

@@ -429,6 +429,18 @@ impl SshPattern {
             SshPattern::CorrectPassword => "wonderland",
         }
     }
+
+    /// Content identity of the scripted behavior, for the campaign
+    /// cache: any change to what this client sends (user, method walk,
+    /// password) must change this string. The leading version tag
+    /// covers script-logic changes the summary would miss.
+    pub fn script_fingerprint(self) -> String {
+        format!(
+            "ssh-script-v1:{}:user alice:methods none,rhosts,rsa,password:pass {}",
+            self.name(),
+            self.password()
+        )
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

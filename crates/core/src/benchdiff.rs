@@ -9,13 +9,17 @@
 //! full ftpd baseline campaign (the same workload the baseline file
 //! records under `flight_recorder.campaign_ftpd_full_ms.recorder_off`),
 //! once plain and once with the profiler on — the second run also gates
-//! the observatory's own promise that profiling costs ≤ 10%.
+//! the observatory's own promise that profiling costs ≤ 10%. A third
+//! pair of runs against a throwaway incremental-cache store gates the
+//! cache's two promises: populating it costs ≤ 10% extra wall, and an
+//! unchanged-tree warm rerun is ≥ 5x faster than the cold run.
 //!
 //! Thresholds are ratios over the baseline, scaled by `--factor` so a
 //! cold shared CI runner can use generous headroom while a quiet
 //! development box keeps the tight default.
 
-use crate::campaign::{run_campaign_traced, CampaignConfig};
+use crate::cache::CampaignCache;
+use crate::campaign::{run_campaign_cached, run_campaign_traced, CampaignConfig};
 use fisec_apps::AppSpec;
 use fisec_telemetry::{metric, Telemetry};
 use serde::Value;
@@ -43,6 +47,16 @@ const ALU_HEADROOM: f64 = 1.6;
 /// Iterations of the measured ALU loop (4 retired instructions each).
 const ALU_LOOP_ITERS: u32 = 2_000_000;
 
+/// The incremental cache's contract on a cold campaign: populating the
+/// store costs at most this fraction of extra wall-clock over a
+/// cache-off run (before `--factor`).
+const COLD_CACHE_OVERHEAD_LIMIT: f64 = 0.10;
+
+/// The incremental cache's contract on a warm campaign: an
+/// unchanged-tree rerun must be at least this many times faster than
+/// the cold run that populated the store (`--factor` lowers the floor).
+const WARM_SPEEDUP_FLOOR: f64 = 5.0;
+
 /// The baseline numbers `bench-diff` reads out of `BENCH_campaign.json`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Baseline {
@@ -53,6 +67,12 @@ pub struct Baseline {
     /// `tier2.alu_loop_minst_per_s` — the tier-2 interpreter's ALU-loop
     /// throughput floor, in millions of instructions per second.
     pub alu_loop_minst_per_s: f64,
+    /// `incremental.cold_overhead` — the recorded extra wall fraction a
+    /// cold cached campaign costs over a cache-off one.
+    pub cache_cold_overhead: f64,
+    /// `incremental.warm_speedup` — the recorded cold/warm wall ratio
+    /// of an unchanged-tree rerun.
+    pub cache_warm_speedup: f64,
 }
 
 /// What the fresh measurement produced.
@@ -68,6 +88,11 @@ pub struct Measured {
     /// ALU-loop throughput under the full engine (tier 2 on), in
     /// millions of instructions per second.
     pub alu_loop_minst_per_s: f64,
+    /// Extra wall-clock fraction of a cold cached campaign (fresh
+    /// store) over the cache-off run.
+    pub cache_cold_overhead: f64,
+    /// Cold-cached wall divided by warm-cached wall on the same store.
+    pub cache_warm_speedup: f64,
 }
 
 /// One compared metric: the gate's verdict plus everything needed to
@@ -116,10 +141,16 @@ pub fn baseline_of(v: &Value) -> Result<Baseline, String> {
     .ok_or("baseline lacks replay_phase.block_engine.mean_micros_per_replay")?;
     let alu = num(v.field("tier2").field("alu_loop_minst_per_s"))
         .ok_or("baseline lacks tier2.alu_loop_minst_per_s")?;
+    let cold = num(v.field("incremental").field("cold_overhead"))
+        .ok_or("baseline lacks incremental.cold_overhead")?;
+    let warm = num(v.field("incremental").field("warm_speedup"))
+        .ok_or("baseline lacks incremental.warm_speedup")?;
     Ok(Baseline {
         campaign_ftpd_full_ms: wall,
         mean_micros_per_replay: replay,
         alu_loop_minst_per_s: alu,
+        cache_cold_overhead: cold,
+        cache_warm_speedup: warm,
     })
 }
 
@@ -156,12 +187,49 @@ pub fn measure() -> Measured {
         ..cfg
     };
     let (profiled_ms, _) = run_ms(&profiled);
+    let (cold_overhead, warm_speedup) = measure_cached(&app, &cfg);
     Measured {
         campaign_ftpd_full_ms: plain_ms,
         mean_micros_per_replay: mean_replay,
         profiler_overhead: (profiled_ms / plain_ms - 1.0).max(0.0),
         alu_loop_minst_per_s: measure_alu_loop(),
+        cache_cold_overhead: cold_overhead,
+        cache_warm_speedup: warm_speedup,
     }
+}
+
+/// Time the campaign plain (no cache), cold (empty store, every group
+/// replayed and recorded) and warm (unchanged tree, every group folded
+/// from the store). Returns `(cold_overhead, warm_speedup)`. The
+/// cold/plain gap is a sub-10% effect, well inside single-shot
+/// scheduler noise, so the legs run as back-to-back plain/cold pairs —
+/// slow drift hits both halves of a pair alike — and the overhead is
+/// the median of the per-pair ratios.
+fn measure_cached(app: &AppSpec, cfg: &CampaignConfig) -> (f64, f64) {
+    let dir = std::env::temp_dir().join(format!("fisec-benchdiff-{}", std::process::id()));
+    let cached_ms = |cache: Option<&CampaignCache>| {
+        let tel = Telemetry::collecting();
+        let start = Instant::now();
+        run_campaign_cached(app, cfg, &tel, cache);
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let mut ratios = Vec::new();
+    let (mut cold_min, mut warm_min) = (f64::MAX, f64::MAX);
+    for _ in 0..5 {
+        let plain = cached_ms(None);
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = cached_ms(Some(&CampaignCache::at(dir.clone())));
+        ratios.push(cold / plain);
+        cold_min = cold_min.min(cold);
+    }
+    // The last cold run above left the store populated: warm reuses it.
+    for _ in 0..3 {
+        warm_min = warm_min.min(cached_ms(Some(&CampaignCache::at(dir.clone()))));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    ratios.sort_by(f64::total_cmp);
+    let overhead = (ratios[ratios.len() / 2] - 1.0).max(0.0);
+    (overhead, cold_min / warm_min)
 }
 
 /// Time the interpreter benchmark's tight ALU loop under the full
@@ -234,6 +302,20 @@ pub fn compare(baseline: &Baseline, measured: &Measured, factor: f64) -> Vec<Dif
             floor: true,
             ok: measured.alu_loop_minst_per_s >= alu_floor,
         },
+        row(
+            "cache_cold_overhead",
+            baseline.cache_cold_overhead,
+            measured.cache_cold_overhead,
+            COLD_CACHE_OVERHEAD_LIMIT * factor,
+        ),
+        DiffRow {
+            name: "cache_warm_speedup",
+            baseline: baseline.cache_warm_speedup,
+            measured: measured.cache_warm_speedup,
+            limit: WARM_SPEEDUP_FLOOR / factor,
+            floor: true,
+            ok: measured.cache_warm_speedup >= WARM_SPEEDUP_FLOOR / factor,
+        },
     ]
 }
 
@@ -275,6 +357,19 @@ mod tests {
             campaign_ftpd_full_ms: 100.0,
             mean_micros_per_replay: 50.0,
             alu_loop_minst_per_s: 320.0,
+            cache_cold_overhead: 0.03,
+            cache_warm_speedup: 10.0,
+        }
+    }
+
+    fn ok_measured() -> Measured {
+        Measured {
+            campaign_ftpd_full_ms: 100.0,
+            mean_micros_per_replay: 50.0,
+            profiler_overhead: 0.02,
+            alu_loop_minst_per_s: 310.0,
+            cache_cold_overhead: 0.04,
+            cache_warm_speedup: 9.0,
         }
     }
 
@@ -284,7 +379,7 @@ mod tests {
             campaign_ftpd_full_ms: 120.0,
             mean_micros_per_replay: 60.0,
             profiler_overhead: 0.05,
-            alu_loop_minst_per_s: 310.0,
+            ..ok_measured()
         };
         let rows = compare(&baseline(), &m, 1.0);
         assert!(!regressed(&rows), "{rows:?}");
@@ -299,8 +394,7 @@ mod tests {
         let m = Measured {
             campaign_ftpd_full_ms: 300.0,
             mean_micros_per_replay: 55.0,
-            profiler_overhead: 0.02,
-            alu_loop_minst_per_s: 310.0,
+            ..ok_measured()
         };
         let rows = compare(&baseline(), &m, 1.0);
         assert!(regressed(&rows));
@@ -309,10 +403,8 @@ mod tests {
         assert!(s.contains("REGRESSED"), "{s}");
         // A blown profiler-overhead budget trips its own row.
         let m = Measured {
-            campaign_ftpd_full_ms: 100.0,
-            mean_micros_per_replay: 50.0,
             profiler_overhead: 0.4,
-            alu_loop_minst_per_s: 310.0,
+            ..ok_measured()
         };
         let rows = compare(&baseline(), &m, 1.0);
         assert!(regressed(&rows));
@@ -320,13 +412,37 @@ mod tests {
     }
 
     #[test]
+    fn cache_rows_gate_cold_overhead_and_warm_speedup() {
+        // An expensive cold store population trips its ceiling.
+        let m = Measured {
+            cache_cold_overhead: 0.25,
+            ..ok_measured()
+        };
+        let rows = compare(&baseline(), &m, 1.0);
+        assert!(regressed(&rows), "{rows:?}");
+        assert!(!rows[4].ok && !rows[4].floor, "{rows:?}");
+        // A warm run barely faster than cold trips the speedup floor.
+        let m = Measured {
+            cache_warm_speedup: 1.2,
+            ..ok_measured()
+        };
+        let rows = compare(&baseline(), &m, 1.0);
+        assert!(regressed(&rows), "{rows:?}");
+        assert!(!rows[5].ok && rows[5].floor, "{rows:?}");
+        let s = render(&rows, 1.0);
+        assert!(s.contains("cache_warm_speedup"), "{s}");
+        // A generous factor lowers the floor: 5.0 / 4 = 1.25 > 1.2
+        // still trips, 5.0 / 8 = 0.625 passes.
+        assert!(regressed(&compare(&baseline(), &m, 4.0)));
+        assert!(!regressed(&compare(&baseline(), &m, 8.0)));
+    }
+
+    #[test]
     fn throughput_floor_trips_when_the_interpreter_slows_down() {
         // 320 / 1.6 = 200 M inst/s is the floor at factor 1.
         let mut m = Measured {
-            campaign_ftpd_full_ms: 100.0,
-            mean_micros_per_replay: 50.0,
-            profiler_overhead: 0.02,
             alu_loop_minst_per_s: 201.0,
+            ..ok_measured()
         };
         assert!(!regressed(&compare(&baseline(), &m, 1.0)));
         m.alu_loop_minst_per_s = 150.0;
@@ -347,6 +463,8 @@ mod tests {
             mean_micros_per_replay: 120.0,
             profiler_overhead: 0.25,
             alu_loop_minst_per_s: 120.0,
+            cache_cold_overhead: 0.25,
+            cache_warm_speedup: 2.0,
         };
         assert!(regressed(&compare(&baseline(), &m, 1.0)));
         assert!(!regressed(&compare(&baseline(), &m, 3.0)));
@@ -362,6 +480,8 @@ mod tests {
         assert!(b.campaign_ftpd_full_ms > 0.0);
         assert!(b.mean_micros_per_replay > 0.0);
         assert!(b.alu_loop_minst_per_s > 0.0);
+        assert!(b.cache_cold_overhead >= 0.0);
+        assert!(b.cache_warm_speedup >= WARM_SPEEDUP_FLOOR);
     }
 
     #[test]

@@ -32,8 +32,8 @@
 
 use fisec_apps::AppSpec;
 use fisec_core::{
-    figure4, load, random, run_campaign, run_campaign_traced, tables, trace, CampaignConfig,
-    CampaignSummary, EncodingScheme,
+    cache, figure4, load, random, run_campaign, run_campaign_cached, run_campaign_traced, tables,
+    trace, CampaignCache, CampaignConfig, CampaignSummary, EncodingScheme,
 };
 use fisec_inject::{crash_forensics, enumerate_targets, golden_run, run_injection, OutcomeClass};
 use fisec_telemetry::{JsonlSink, MemorySink, NullSink, Telemetry};
@@ -74,6 +74,10 @@ struct Args {
     factor: f64,
     out: Option<String>,
     baseline: Option<String>,
+    cache: Option<String>,
+    no_cache: bool,
+    max_size: Option<u64>,
+    max_age: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -115,6 +119,10 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         factor: 1.0,
         out: None,
         baseline: None,
+        cache: None,
+        no_cache: false,
+        max_size: None,
+        max_age: None,
     };
     if matches!(a.cmd.as_str(), "--help" | "-h") {
         a.cmd = "help".to_string();
@@ -186,6 +194,10 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
             }
             "--out" => a.out = Some(val("--out")?),
             "--baseline" => a.baseline = Some(val("--baseline")?),
+            "--cache" => a.cache = Some(val("--cache")?),
+            "--no-cache" => a.no_cache = true,
+            "--max-size" => a.max_size = Some(parse_size(&val("--max-size")?)?),
+            "--max-age" => a.max_age = Some(parse_age(&val("--max-age")?)?),
             "--help" | "-h" => {
                 a.cmd = "help".to_string();
                 return Ok(a);
@@ -198,13 +210,14 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
 }
 
 fn usage() -> String {
-    "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|ablation|forensics|explain|stats|profile|report|bench-diff|help> [flags]\n\
+    "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|ablation|forensics|explain|stats|profile|report|bench-diff|cache|help> [flags]\n\
      flags: --app ftpd|sshd|both  --func NAME  --client N  --runs N  --samples N\n\
             --seed S  --threads N  --top K  --stride N  --json  --new-encoding\n\
             --no-block-cache  --no-trace-cache  --trace-out PATH  --progress  --recorder\n\
             --addr 0xADDR  --byte N  --bit N  --from-trace\n\
             --batch N  --target-ci WIDTH  --resume LEDGER  --from-scratch\n\
             --profile  --chrome-trace OUT.json  --out PATH  --factor F\n\
+            --cache DIR  --no-cache  --max-size BYTES[k|m|g]  --max-age SECS[h|d]\n\
      stats takes the trace file as a positional argument: fisec stats run.jsonl\n\
      explain renders one injection's divergence timeline: fisec explain --app ftpd --addr 0xADDR --byte N --bit N\n\
      random streams a sharded campaign; --trace-out doubles as its resumable ledger\n\
@@ -212,8 +225,52 @@ fn usage() -> String {
      profile --baseline OLD.jsonl adds the residual slow-path delta vs an earlier saved trace\n\
      report renders a saved trace as one self-contained HTML file: fisec report run.jsonl --out report.html\n\
      bench-diff measures a fresh campaign against the recorded baseline: fisec bench-diff BENCH_campaign.json\n\
-     campaign commands accept --profile (hot-spot profiler) and --chrome-trace OUT.json (Perfetto span export)"
+     campaign commands accept --profile (hot-spot profiler) and --chrome-trace OUT.json (Perfetto span export)\n\
+     campaign commands memoize checkpoint groups in ~/.fisec-cache (override: --cache DIR, disable: --no-cache)\n\
+     cache ls|verify|gc inspects the store: ls lists entries, verify re-executes a sampled group per store\n\
+     and diffs it against the memoized runs (nonzero exit on drift), gc evicts by --max-size / --max-age"
         .to_string()
+}
+
+/// Parse a byte size with an optional k/m/g suffix (powers of 1024).
+fn parse_size(s: &str) -> Result<u64, String> {
+    let num = s.trim_end_matches(|c: char| c.is_ascii_alphabetic());
+    let mult = match s[num.len()..].to_ascii_lowercase().as_str() {
+        "" | "b" => 1u64,
+        "k" | "kb" => 1 << 10,
+        "m" | "mb" => 1 << 20,
+        "g" | "gb" => 1 << 30,
+        other => return Err(format!("--max-size: unknown suffix `{other}`")),
+    };
+    let v: u64 = num.parse().map_err(|e| format!("--max-size {s}: {e}"))?;
+    Ok(v.saturating_mul(mult))
+}
+
+/// Parse an age with an optional s/m/h/d suffix (plain number = seconds).
+fn parse_age(s: &str) -> Result<u64, String> {
+    let num = s.trim_end_matches(|c: char| c.is_ascii_alphabetic());
+    let mult = match s[num.len()..].to_ascii_lowercase().as_str() {
+        "" | "s" => 1u64,
+        "m" => 60,
+        "h" => 3600,
+        "d" => 86_400,
+        other => return Err(format!("--max-age: unknown suffix `{other}`")),
+    };
+    let v: u64 = num.parse().map_err(|e| format!("--max-age {s}: {e}"))?;
+    Ok(v.saturating_mul(mult))
+}
+
+/// The campaign cache the run commands use: `--no-cache` disables,
+/// `--cache DIR` overrides the default `~/.fisec-cache` (which is
+/// silently off when `HOME` is unset).
+fn cache_for(args: &Args) -> Option<CampaignCache> {
+    if args.no_cache {
+        return None;
+    }
+    match &args.cache {
+        Some(dir) => Some(CampaignCache::at(std::path::PathBuf::from(dir))),
+        None => CampaignCache::default_root().map(CampaignCache::at),
+    }
 }
 
 fn apps_for(name: &str) -> Result<Vec<AppSpec>, String> {
@@ -329,11 +386,11 @@ fn main() -> ExitCode {
 fn run(args: &Args) -> Result<(), String> {
     if !matches!(
         args.cmd.as_str(),
-        "stats" | "profile" | "report" | "bench-diff"
+        "stats" | "profile" | "report" | "bench-diff" | "cache"
     ) {
         if let Some(p) = &args.path {
             return Err(format!(
-                "unexpected argument `{p}` (only stats/profile/report/bench-diff take a positional file)"
+                "unexpected argument `{p}` (only stats/profile/report/bench-diff/cache take a positional)"
             ));
         }
     }
@@ -349,11 +406,12 @@ fn run(args: &Args) -> Result<(), String> {
                 EncodingScheme::Baseline
             };
             let cfg = cfg_of(args, scheme);
+            let cache = cache_for(args);
             let (tel, mem) = telemetry_for(args)?;
             let wall_start = Instant::now();
             let results: Vec<_> = apps
                 .iter()
-                .map(|a| run_campaign_traced(a, &cfg, &tel))
+                .map(|a| run_campaign_cached(a, &cfg, &tel, cache.as_ref()))
                 .collect();
             report_telemetry(args, &tel, wall_start);
             export_chrome_trace(args, mem.as_deref())?;
@@ -373,15 +431,16 @@ fn run(args: &Args) -> Result<(), String> {
             let apps = apps_for(&args.app)?;
             let base_cfg = cfg_of(args, EncodingScheme::Baseline);
             let new_cfg = cfg_of(args, EncodingScheme::NewEncoding);
+            let cache = cache_for(args);
             let (tel, mem) = telemetry_for(args)?;
             let wall_start = Instant::now();
             let base: Vec<_> = apps
                 .iter()
-                .map(|a| run_campaign_traced(a, &base_cfg, &tel))
+                .map(|a| run_campaign_cached(a, &base_cfg, &tel, cache.as_ref()))
                 .collect();
             let new: Vec<_> = apps
                 .iter()
-                .map(|a| run_campaign_traced(a, &new_cfg, &tel))
+                .map(|a| run_campaign_cached(a, &new_cfg, &tel, cache.as_ref()))
                 .collect();
             report_telemetry(args, &tel, wall_start);
             export_chrome_trace(args, mem.as_deref())?;
@@ -412,9 +471,10 @@ fn run(args: &Args) -> Result<(), String> {
                 ));
             }
             let cfg = cfg_of(args, EncodingScheme::Baseline);
+            let cache = cache_for(args);
             let (tel, mem) = telemetry_for(args)?;
             let wall_start = Instant::now();
-            let result = run_campaign_traced(app, &cfg, &tel);
+            let result = run_campaign_cached(app, &cfg, &tel, cache.as_ref());
             report_telemetry(args, &tel, wall_start);
             export_chrome_trace(args, mem.as_deref())?;
             let c = &result.clients[args.client - 1];
@@ -880,9 +940,197 @@ fn run(args: &Args) -> Result<(), String> {
                 print!("{r}");
             }
         }
+        "cache" => {
+            let op = args
+                .path
+                .as_deref()
+                .ok_or("cache needs an operation: fisec cache <ls|verify|gc>")?;
+            let root = match &args.cache {
+                Some(dir) => std::path::PathBuf::from(dir),
+                None => CampaignCache::default_root()
+                    .ok_or("no cache root: HOME is unset (use --cache DIR)")?,
+            };
+            match op {
+                "ls" => cache_ls(&root),
+                "verify" => cache_verify(&root, args.seed)?,
+                "gc" => {
+                    if args.max_size.is_none() && args.max_age.is_none() {
+                        return Err(
+                            "cache gc needs an eviction bound: --max-size and/or --max-age"
+                                .to_string(),
+                        );
+                    }
+                    let report = cache::gc(&root, args.max_size, args.max_age);
+                    for (file, bytes) in &report.evicted {
+                        println!("evicted {file} ({bytes} bytes)");
+                    }
+                    println!(
+                        "{} evicted, {} kept ({} bytes)",
+                        report.evicted.len(),
+                        report.kept,
+                        report.kept_bytes
+                    );
+                }
+                other => {
+                    return Err(format!(
+                        "unknown cache operation `{other}` (use ls/verify/gc)"
+                    ))
+                }
+            }
+        }
         other => return Err(format!("unknown command `{other}`\n{}", usage())),
     }
     Ok(())
+}
+
+/// `fisec cache ls`: one row per store file.
+fn cache_ls(root: &std::path::Path) {
+    let rows = cache::ls(root);
+    if rows.is_empty() {
+        println!("no cache stores under {}", root.display());
+        return;
+    }
+    println!(
+        "{:<34} {:>8} {:>7} {:>8}  contents",
+        "store", "bytes", "age", "groups"
+    );
+    let mut total = 0u64;
+    for r in &rows {
+        total += r.bytes;
+        let contents = match &r.store {
+            Some(s) => format!(
+                "{}/{} [{}]{}  {} memoized runs",
+                s.app,
+                s.client,
+                s.scheme,
+                if s.recorder { " +recorder" } else { "" },
+                s.groups.iter().map(|g| g.runs.len()).sum::<usize>()
+            ),
+            None => "invalid or stale-schema (cold miss)".to_string(),
+        };
+        println!(
+            "{:<34} {:>8} {:>6}s {:>8}  {}",
+            r.file,
+            r.bytes,
+            r.age_secs,
+            r.store.as_ref().map_or(0, |s| s.groups.len()),
+            contents
+        );
+    }
+    println!("{} stores, {total} bytes", rows.len());
+}
+
+/// `fisec cache verify`: for every valid store, re-execute one
+/// deterministically sampled group and diff the fresh outcomes against
+/// the memoized entry. Catches the one documented soundness gap (code
+/// bytes read as *data* are not in any footprint) and any store
+/// corruption the shape checks cannot see.
+///
+/// # Errors
+/// A drift report (nonzero exit) when any sampled group's re-execution
+/// disagrees with its memoized runs.
+fn cache_verify(root: &std::path::Path, seed: u64) -> Result<(), String> {
+    let mut checked = 0usize;
+    let mut drifted: Vec<String> = Vec::new();
+    for summary in cache::ls(root) {
+        let Some(store) = &summary.store else {
+            println!(
+                "{}: invalid or stale schema — skipped (cold miss)",
+                summary.file
+            );
+            continue;
+        };
+        let app = match store.app.as_str() {
+            "ftpd" => AppSpec::ftpd(),
+            "sshd" => AppSpec::sshd(),
+            "sshd-single-entry" => AppSpec::sshd_single_entry(),
+            other => {
+                println!("{}: unknown app `{other}` — skipped", summary.file);
+                continue;
+            }
+        };
+        let Some(spec) = app.clients.iter().find(|c| c.name == store.client) else {
+            println!(
+                "{}: unknown client `{}` — skipped",
+                summary.file, store.client
+            );
+            continue;
+        };
+        let scheme = match store.scheme.as_str() {
+            "base" => EncodingScheme::Baseline,
+            "newenc" => EncodingScheme::NewEncoding,
+            other => {
+                println!("{}: unknown scheme `{other}` — skipped", summary.file);
+                continue;
+            }
+        };
+        let engine = fisec_inject::EngineOpts {
+            flight_recorder: store.recorder,
+            ..fisec_inject::EngineOpts::default()
+        };
+        let golden =
+            fisec_inject::golden_run_opts(&app.image, spec, engine).map_err(|e| e.to_string())?;
+        if cache::context_key(&app, spec, scheme, store.recorder, &golden) != store.context {
+            println!(
+                "{}: context key differs from the current build — entries will cold-miss",
+                summary.file
+            );
+            continue;
+        }
+        if store.groups.is_empty() {
+            continue;
+        }
+        let idx = (seed as usize) % store.groups.len();
+        let entry = &store.groups[idx];
+        let Some(targets) = cache::entry_targets(entry) else {
+            drifted.push(format!(
+                "{}: group @ {:#010x} has malformed targets",
+                summary.file, entry.addr
+            ));
+            continue;
+        };
+        let (runs, _, _, _) = fisec_inject::run_injection_group_recorded(
+            &app.image, spec, &golden, &targets, scheme, engine,
+        )
+        .map_err(|e| e.to_string())?;
+        checked += 1;
+        let mut mismatches = 0usize;
+        for ((run, _meta, rep), cached) in runs.iter().zip(&entry.runs) {
+            let div = rep.as_ref().map(|r| {
+                (
+                    r.divergence_depth,
+                    run.crash_latency.map(|_| r.faulty.retired()),
+                )
+            });
+            if fisec_inject::persist::encode_run(run, div) != *cached {
+                mismatches += 1;
+            }
+        }
+        if mismatches > 0 || runs.len() != entry.runs.len() {
+            drifted.push(format!(
+                "{}: group @ {:#010x}: {mismatches} of {} memoized runs drifted",
+                summary.file,
+                entry.addr,
+                entry.runs.len()
+            ));
+        } else {
+            println!(
+                "{}: group @ {:#010x} ({} runs) verified",
+                summary.file,
+                entry.addr,
+                entry.runs.len()
+            );
+        }
+    }
+    if drifted.is_empty() {
+        println!("cache verify: {checked} sampled groups verified, no drift");
+        Ok(())
+    } else {
+        Err(format!(
+            "cache verify: drift detected:\n{}",
+            drifted.join("\n")
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -1151,5 +1399,48 @@ mod tests {
         let e = run(&a).unwrap_err();
         assert!(e.contains("no profile events"), "{e}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_flags_round_trip() {
+        let a = parse(&["table1", "--cache", "/tmp/store"]).unwrap();
+        assert_eq!(a.cache.as_deref(), Some("/tmp/store"));
+        assert!(!a.no_cache);
+        let c = cache_for(&a).expect("--cache DIR must enable the cache");
+        assert_eq!(c.root(), std::path::Path::new("/tmp/store"));
+        // --no-cache wins even when a directory is named.
+        let a = parse(&["table1", "--cache", "/tmp/store", "--no-cache"]).unwrap();
+        assert!(a.no_cache);
+        assert!(cache_for(&a).is_none());
+    }
+
+    #[test]
+    fn cache_subcommand_takes_the_op_as_positional() {
+        for op in ["ls", "verify", "gc"] {
+            let a = parse(&["cache", op]).unwrap();
+            assert_eq!(a.cmd, "cache");
+            assert_eq!(a.path.as_deref(), Some(op));
+        }
+        // gc without a bound is a user error, not a full wipe.
+        let e =
+            run(&parse(&["cache", "gc", "--cache", "/nonexistent-fisec"]).unwrap()).unwrap_err();
+        assert!(e.contains("--max-size"), "{e}");
+    }
+
+    #[test]
+    fn size_and_age_suffixes_parse() {
+        assert_eq!(parse_size("4096").unwrap(), 4096);
+        assert_eq!(parse_size("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_size("2M").unwrap(), 2 << 20);
+        assert_eq!(parse_size("1gb").unwrap(), 1 << 30);
+        assert!(parse_size("7x").is_err());
+        assert_eq!(parse_age("90").unwrap(), 90);
+        assert_eq!(parse_age("5m").unwrap(), 300);
+        assert_eq!(parse_age("2h").unwrap(), 7200);
+        assert_eq!(parse_age("7d").unwrap(), 7 * 86_400);
+        assert!(parse_age("1w").is_err());
+        let a = parse(&["cache", "gc", "--max-size", "64m", "--max-age", "30d"]).unwrap();
+        assert_eq!(a.max_size, Some(64 << 20));
+        assert_eq!(a.max_age, Some(30 * 86_400));
     }
 }

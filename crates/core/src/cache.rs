@@ -1,0 +1,1121 @@
+//! The incremental campaign cache: content-hash keyed memoization of
+//! checkpoint-group results with a persistent on-disk store.
+//!
+//! FastFlip-style structure (arXiv 2403.13989): error-injection results
+//! compose per section and can be keyed by what actually changed, so
+//! only perturbed sections need re-analysis. Our sections are the
+//! checkpoint groups the campaign engine already schedules — every
+//! target sharing one instruction address. A group's memoized outcomes
+//! are valid when
+//!
+//! 1. the **context** is unchanged — everything shared by every group of
+//!    a (app, client, scheme) campaign: the fault model, the budget
+//!    constants, the image layout and full data segment, the client
+//!    script fingerprint, the encoding scheme, and the golden run's
+//!    observable behavior (icount, stop, client verdict, network trace,
+//!    which classification compares every run against);
+//! 2. the **group key** is unchanged — the target tuples plus the raw
+//!    code bytes of the injected instruction; and
+//! 3. the **footprint hash** is unchanged — the current image text
+//!    hashed over the byte ranges the group's runs actually fetched for
+//!    execution (recorded by [`fisec_x86::Footprint`], a union over the
+//!    boot and every replay). Anything a run fetched can affect its
+//!    outcome; anything outside provably cannot. Code bytes read as
+//!    *data* are the one documented exception — `fisec cache verify`
+//!    exists to audit it.
+//!
+//! The store is one JSON file per (app, client, scheme, recorder) under
+//! the cache root (`~/.fisec-cache` or `--cache DIR`), written with the
+//! same tmp+atomic-rename discipline as the random-tier ledger. Corrupt,
+//! truncated or stale-schema files are treated as misses, never a
+//! panic.
+
+use fisec_apps::{AppSpec, ClientSpec};
+use fisec_asm::Image;
+use fisec_encoding::EncodingScheme;
+use fisec_inject::persist::{self, CachedRun};
+use fisec_inject::{ErrorLocation, GoldenRun, InjectionRun, InjectionTarget};
+use fisec_net::Dir;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Version tag of the store-file layout. Bump on any change to
+/// [`StoreFile`]/[`GroupEntry`] fields or the key derivations; files
+/// with a different schema are ignored wholesale.
+pub const CACHE_SCHEMA: u32 = 1;
+
+/// Identity of the injected fault model. The study injects exhaustive
+/// single-bit flips into instruction bytes; any change to that model
+/// (multi-bit faults, data-segment faults, …) must change this string,
+/// which invalidates every cached context.
+pub const FAULT_MODEL: &str = "single-bit-flip-exhaustive-v1";
+
+/// Digested divergence observables as the cache stores them:
+/// `(divergence_depth, trace_latency)`, present iff the flight recorder
+/// produced a report for the run.
+pub type DivTuple = (Option<u64>, Option<u64>);
+
+/// One memoized run: the classified outcome plus the recorder digest.
+pub type CachedDigestedRun = (InjectionRun, Option<DivTuple>);
+
+// ---------------------------------------------------------------------
+// SHA-256 (FIPS 180-4). Self-contained: the workspace deliberately
+// vendors no hash crate, and the cache only needs one digest.
+// ---------------------------------------------------------------------
+
+mod sha {
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+
+    /// Incremental SHA-256 state.
+    pub struct Sha256 {
+        state: [u32; 8],
+        buf: [u8; 64],
+        buflen: usize,
+        total: u64,
+    }
+
+    impl Sha256 {
+        pub fn new() -> Sha256 {
+            Sha256 {
+                state: [
+                    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c,
+                    0x1f83d9ab, 0x5be0cd19,
+                ],
+                buf: [0; 64],
+                buflen: 0,
+                total: 0,
+            }
+        }
+
+        pub fn update(&mut self, mut data: &[u8]) {
+            self.total = self.total.wrapping_add(data.len() as u64);
+            if self.buflen > 0 {
+                let take = (64 - self.buflen).min(data.len());
+                self.buf[self.buflen..self.buflen + take].copy_from_slice(&data[..take]);
+                self.buflen += take;
+                data = &data[take..];
+                if self.buflen == 64 {
+                    let block = self.buf;
+                    self.compress(&block);
+                    self.buflen = 0;
+                }
+                // Everything fit in the buffer: the tail below must not
+                // clobber the byte count we just accumulated.
+                if data.is_empty() {
+                    return;
+                }
+            }
+            while data.len() >= 64 {
+                let (block, rest) = data.split_at(64);
+                let mut b = [0u8; 64];
+                b.copy_from_slice(block);
+                self.compress(&b);
+                data = rest;
+            }
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buflen = data.len();
+        }
+
+        pub fn finalize(mut self) -> [u8; 32] {
+            let bits = self.total.wrapping_mul(8);
+            self.update(&[0x80]);
+            while self.buflen != 56 {
+                self.update(&[0]);
+            }
+            self.update(&bits.to_be_bytes());
+            let mut out = [0u8; 32];
+            for (i, w) in self.state.iter().enumerate() {
+                out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+            }
+            out
+        }
+
+        fn compress(&mut self, block: &[u8; 64]) {
+            let mut w = [0u32; 64];
+            for (i, c) in block.chunks_exact(4).enumerate() {
+                w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+            }
+            for i in 16..64 {
+                let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+                let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+                w[i] = w[i - 16]
+                    .wrapping_add(s0)
+                    .wrapping_add(w[i - 7])
+                    .wrapping_add(s1);
+            }
+            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+            for i in 0..64 {
+                let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+                let ch = (e & f) ^ (!e & g);
+                let t1 = h
+                    .wrapping_add(s1)
+                    .wrapping_add(ch)
+                    .wrapping_add(K[i])
+                    .wrapping_add(w[i]);
+                let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+                let maj = (a & b) ^ (a & c) ^ (b & c);
+                let t2 = s0.wrapping_add(maj);
+                h = g;
+                g = f;
+                f = e;
+                e = d.wrapping_add(t1);
+                d = c;
+                c = b;
+                b = a;
+                a = t1.wrapping_add(t2);
+            }
+            for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+                *s = s.wrapping_add(v);
+            }
+        }
+    }
+}
+
+/// Domain-separated, length-framed hasher: every field is preceded by
+/// its length or has a fixed width, so distinct input sequences cannot
+/// collide by concatenation.
+struct KeyHasher {
+    inner: sha::Sha256,
+}
+
+impl KeyHasher {
+    fn new(domain: &str) -> KeyHasher {
+        let mut h = KeyHasher {
+            inner: sha::Sha256::new(),
+        };
+        h.str(domain);
+        h
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.inner.update(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.inner.update(&v.to_le_bytes());
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.inner.update(b);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    fn hex(self) -> String {
+        self.inner
+            .finalize()
+            .iter()
+            .fold(String::with_capacity(64), |mut s, b| {
+                use std::fmt::Write as _;
+                let _ = write!(s, "{b:02x}");
+                s
+            })
+    }
+}
+
+// ---------------------------------------------------------------------
+// On-disk layout
+// ---------------------------------------------------------------------
+
+/// One byte range of a stored execution footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FootRange {
+    /// First byte address.
+    pub start: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// One injection target, as stored (everything `fisec cache verify`
+/// needs to rebuild the [`InjectionTarget`] and re-execute the group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachedTarget {
+    /// Byte within the instruction.
+    pub byte_index: u8,
+    /// Bit within the byte.
+    pub bit: u8,
+    /// First byte of the instruction.
+    pub first_byte: u8,
+    /// Encoded instruction length.
+    pub inst_len: u8,
+    /// Table-2-order index of the error location.
+    pub location: u8,
+    /// Whether the instruction is a conditional branch.
+    pub is_cond_branch: bool,
+}
+
+/// One memoized checkpoint group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupEntry {
+    /// Shared instruction address (the store's lookup key).
+    pub addr: u32,
+    /// Content key over the target tuples and injected-region bytes.
+    pub key: String,
+    /// Targets in campaign order.
+    pub targets: Vec<CachedTarget>,
+    /// Executed-code footprint of the group's boot + replays.
+    pub foot: Vec<FootRange>,
+    /// Image text hashed over `foot` at store time; a mismatch against
+    /// the current image invalidates the entry.
+    pub foot_hash: String,
+    /// One digested outcome per target, in `targets` order.
+    pub runs: Vec<CachedRun>,
+}
+
+/// One per-(app, client, scheme, recorder) store file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreFile {
+    /// Store layout version ([`CACHE_SCHEMA`]).
+    pub schema: u32,
+    /// Digested-run serialization version ([`persist::DIGEST_SCHEMA`]).
+    pub digest_schema: u32,
+    /// Application name.
+    pub app: String,
+    /// Client name.
+    pub client: String,
+    /// Encoding scheme tag ([`EncodingScheme::cache_tag`]).
+    pub scheme: String,
+    /// Whether the campaign ran with the flight recorder.
+    pub recorder: bool,
+    /// Context key every group below is valid under.
+    pub context: String,
+    /// Memoized groups, address-sorted.
+    pub groups: Vec<GroupEntry>,
+}
+
+// ---------------------------------------------------------------------
+// Key derivations
+// ---------------------------------------------------------------------
+
+/// The per-(app, client, scheme, recorder) context key: a change to
+/// anything here invalidates every group of the client's store. Engine
+/// options (mode, threads, block/trace cache) are deliberately *not*
+/// keyed — results are bit-identical across them (pinned by the
+/// differential tests), so entries interoperate across execution modes.
+pub fn context_key(
+    app: &AppSpec,
+    spec: &ClientSpec,
+    scheme: EncodingScheme,
+    recorder: bool,
+    golden: &GoldenRun,
+) -> String {
+    let mut h = KeyHasher::new("fisec-cache-context");
+    h.u32(CACHE_SCHEMA);
+    h.u32(persist::DIGEST_SCHEMA);
+    h.str(FAULT_MODEL);
+    h.u64(fisec_inject::BUDGET_MULTIPLIER);
+    h.u64(fisec_inject::BUDGET_FLOOR);
+    h.str(app.name);
+    h.u32(app.image.text_base);
+    h.u32(app.image.data_base);
+    h.u64(app.image.text.len() as u64);
+    // The full data segment: any run may read any of it, and it is tiny
+    // compared to hashing time elsewhere.
+    h.bytes(&app.image.data);
+    h.str(&spec.name);
+    h.str(&spec.fingerprint);
+    h.str(scheme.cache_tag());
+    h.u32(u32::from(recorder));
+    // Golden observables: classification compares every run against the
+    // golden stop/verdict/trace, so any behavior change on the client's
+    // golden path is a (correct) full miss for that client.
+    h.u64(golden.icount);
+    h.str(&persist::stop_to_string(golden.stop.clone()));
+    h.str(persist::client_to_string(golden.client));
+    for m in golden.trace.messages() {
+        h.u32(match m.dir {
+            Dir::ToClient => 0,
+            Dir::ToServer => 1,
+        });
+        h.bytes(&m.bytes);
+    }
+    h.hex()
+}
+
+fn location_index(loc: ErrorLocation) -> u8 {
+    ErrorLocation::ALL
+        .iter()
+        .position(|l| *l == loc)
+        .expect("every ErrorLocation variant appears in ErrorLocation::ALL") as u8
+}
+
+fn cached_target(t: &InjectionTarget) -> CachedTarget {
+    CachedTarget {
+        byte_index: t.byte_index,
+        bit: t.bit,
+        first_byte: t.first_byte,
+        inst_len: t.inst_len,
+        location: location_index(t.location),
+        is_cond_branch: t.is_cond_branch,
+    }
+}
+
+/// Rebuild the [`InjectionTarget`]s of a stored group (for `fisec cache
+/// verify`). `None` when a stored location index is out of range.
+pub fn entry_targets(entry: &GroupEntry) -> Option<Vec<InjectionTarget>> {
+    entry
+        .targets
+        .iter()
+        .map(|t| {
+            Some(InjectionTarget {
+                addr: entry.addr,
+                inst_len: t.inst_len,
+                byte_index: t.byte_index,
+                bit: t.bit,
+                first_byte: t.first_byte,
+                location: *ErrorLocation::ALL.get(t.location as usize)?,
+                is_cond_branch: t.is_cond_branch,
+            })
+        })
+        .collect()
+}
+
+/// Image text bytes over `[start, start+len)`, clipped to the text
+/// segment. Bytes outside text (data, stack, wild execution targets)
+/// contribute nothing: the data segment is already in the context key
+/// and non-image regions have no static content to key on.
+fn text_slice(image: &Image, start: u32, len: u32) -> &[u8] {
+    let end = u64::from(start) + u64::from(len);
+    let t0 = u64::from(image.text_base);
+    let t1 = t0 + image.text.len() as u64;
+    let lo = u64::from(start).clamp(t0, t1);
+    let hi = end.clamp(t0, t1);
+    &image.text[(lo - t0) as usize..(hi - t0) as usize]
+}
+
+/// The per-group content key: the shared address, every target tuple,
+/// and the raw code bytes of the injected region. Covers the injected
+/// instruction even for never-activated groups, where the footprint
+/// cannot.
+pub fn group_key(image: &Image, targets: &[InjectionTarget]) -> String {
+    let mut h = KeyHasher::new("fisec-cache-group");
+    let addr = targets.first().map_or(0, |t| t.addr);
+    h.u32(addr);
+    h.u64(targets.len() as u64);
+    let mut max_len = 0u32;
+    for t in targets {
+        let c = cached_target(t);
+        h.inner.update(&[
+            c.byte_index,
+            c.bit,
+            c.first_byte,
+            c.inst_len,
+            c.location,
+            u8::from(c.is_cond_branch),
+        ]);
+        max_len = max_len.max(u32::from(t.inst_len));
+    }
+    h.bytes(text_slice(image, addr, max_len));
+    h.hex()
+}
+
+/// Coalesce `(start, len)` ranges: sort, merge overlaps and adjacency.
+/// Used to union the per-run footprints of a from-scratch group into
+/// one stored footprint.
+pub fn merge_ranges(mut ranges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    ranges.sort_unstable();
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    for (start, len) in ranges {
+        if len == 0 {
+            continue;
+        }
+        if let Some(last) = out.last_mut() {
+            let end = u64::from(last.0) + u64::from(last.1);
+            if u64::from(start) <= end {
+                let new_end = end.max(u64::from(start) + u64::from(len));
+                last.1 = (new_end - u64::from(last.0)) as u32;
+                continue;
+            }
+        }
+        out.push((start, len));
+    }
+    out
+}
+
+/// Hash the current image text over a stored footprint. Self-consistent
+/// per entry: entries recorded under different marking granularities
+/// (block vs per-step engine) validate against their own ranges.
+pub fn footprint_hash(image: &Image, ranges: &[FootRange]) -> String {
+    let mut h = KeyHasher::new("fisec-cache-foot");
+    for r in ranges {
+        h.u32(r.start);
+        h.u32(r.len);
+        h.bytes(text_slice(image, r.start, r.len));
+    }
+    h.hex()
+}
+
+// ---------------------------------------------------------------------
+// The cache handle and per-client store
+// ---------------------------------------------------------------------
+
+/// Handle on a cache root directory.
+#[derive(Debug, Clone)]
+pub struct CampaignCache {
+    root: PathBuf,
+}
+
+/// Result of consulting the store for one checkpoint group.
+pub enum CacheLookup {
+    /// Every run of the group, decoded; fold without executing.
+    Hit(Vec<CachedDigestedRun>),
+    /// An entry existed but its key, shape or footprint hash no longer
+    /// matches — the group was invalidated by a change.
+    Stale,
+    /// No entry for this address.
+    Miss,
+}
+
+impl CampaignCache {
+    /// Cache at an explicit root (`--cache DIR`).
+    pub fn at(root: PathBuf) -> CampaignCache {
+        CampaignCache { root }
+    }
+
+    /// The default root, `$HOME/.fisec-cache`; `None` when `HOME` is
+    /// unset (caching silently disabled).
+    pub fn default_root() -> Option<PathBuf> {
+        std::env::var_os("HOME").map(|h| PathBuf::from(h).join(".fisec-cache"))
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Open (load or initialize) the store for one campaign column.
+    /// Never fails: unreadable, torn, stale-schema or context-mismatched
+    /// files degrade to an empty (all-miss) store.
+    pub fn open_client(
+        &self,
+        app: &AppSpec,
+        spec: &ClientSpec,
+        scheme: EncodingScheme,
+        recorder: bool,
+        golden: &GoldenRun,
+    ) -> ClientStore {
+        let context = context_key(app, spec, scheme, recorder, golden);
+        let path = self.root.join(store_file_name(
+            app.name,
+            &spec.name,
+            scheme.cache_tag(),
+            recorder,
+        ));
+        let mut loaded = HashMap::new();
+        let mut context_invalidated = false;
+        let mut dropped_groups = 0;
+        if let Some(file) = read_store(&path) {
+            if file.context == context {
+                for g in file.groups {
+                    loaded.insert(g.addr, g);
+                }
+            } else {
+                // Keyed under a different context (golden behavior,
+                // client script, scheme internals, fault model): every
+                // entry is unusable. Dropping them keeps the store free
+                // of orphans; re-execution repopulates it.
+                context_invalidated = true;
+                dropped_groups = file.groups.len();
+            }
+        }
+        ClientStore {
+            path,
+            app: app.name.to_string(),
+            client: spec.name.clone(),
+            scheme: scheme.cache_tag().to_string(),
+            recorder,
+            context,
+            loaded,
+            fresh: Mutex::new(Vec::new()),
+            context_invalidated,
+            dropped_groups,
+        }
+    }
+}
+
+/// Deterministic store file name for one campaign column.
+pub fn store_file_name(app: &str, client: &str, scheme_tag: &str, recorder: bool) -> String {
+    format!(
+        "{app}-{client}-{scheme_tag}{}.json",
+        if recorder { "-rec" } else { "" }
+    )
+}
+
+/// The loaded store for one (app, client, scheme, recorder) column:
+/// lookups against the entries on disk, fresh results accumulated from
+/// worker threads, one atomic write-back at the end of the column.
+pub struct ClientStore {
+    path: PathBuf,
+    app: String,
+    client: String,
+    scheme: String,
+    recorder: bool,
+    context: String,
+    loaded: HashMap<u32, GroupEntry>,
+    fresh: Mutex<Vec<GroupEntry>>,
+    /// Whether a stored file existed but was keyed under a different
+    /// context (full miss).
+    pub context_invalidated: bool,
+    /// Groups dropped by the context invalidation.
+    pub dropped_groups: usize,
+}
+
+impl ClientStore {
+    /// Consult the store for one checkpoint group.
+    pub fn lookup(&self, image: &Image, targets: &[InjectionTarget]) -> CacheLookup {
+        let Some(addr) = targets.first().map(|t| t.addr) else {
+            return CacheLookup::Miss;
+        };
+        let Some(entry) = self.loaded.get(&addr) else {
+            return CacheLookup::Miss;
+        };
+        // Shape check first: a key collision with a different target
+        // count must never index out of step with the campaign.
+        if entry.runs.len() != targets.len() || entry.targets.len() != targets.len() {
+            return CacheLookup::Stale;
+        }
+        if entry.key != group_key(image, targets) {
+            return CacheLookup::Stale;
+        }
+        if entry.foot_hash != footprint_hash(image, &entry.foot) {
+            return CacheLookup::Stale;
+        }
+        let mut runs = Vec::with_capacity(entry.runs.len());
+        for c in &entry.runs {
+            match persist::decode_run(c) {
+                Some(run) => runs.push(run),
+                // Malformed payload: a miss, never a panic.
+                None => return CacheLookup::Stale,
+            }
+        }
+        CacheLookup::Hit(runs)
+    }
+
+    /// Record one freshly executed group. Thread-safe; the entry lands
+    /// on disk at the next [`ClientStore::save`].
+    pub fn record(
+        &self,
+        image: &Image,
+        targets: &[InjectionTarget],
+        runs: &[CachedDigestedRun],
+        foot: Vec<(u32, u32)>,
+    ) {
+        let Some(addr) = targets.first().map(|t| t.addr) else {
+            return;
+        };
+        debug_assert_eq!(runs.len(), targets.len());
+        let foot: Vec<FootRange> = foot
+            .into_iter()
+            .map(|(start, len)| FootRange { start, len })
+            .collect();
+        let entry = GroupEntry {
+            addr,
+            key: group_key(image, targets),
+            targets: targets.iter().map(cached_target).collect(),
+            foot_hash: footprint_hash(image, &foot),
+            foot,
+            runs: runs
+                .iter()
+                .map(|(run, div)| persist::encode_run(run, *div))
+                .collect(),
+        };
+        self.fresh.lock().expect("no worker panicked").push(entry);
+    }
+
+    /// Fresh entries recorded so far (store writes performed at
+    /// [`ClientStore::save`] time).
+    pub fn fresh_count(&self) -> usize {
+        self.fresh.lock().expect("no worker panicked").len()
+    }
+
+    /// Merge and write the store back atomically (tmp + rename). Keeps
+    /// valid loaded entries not revisited by this campaign (e.g. MISC
+    /// groups when this run was `--cond-branches-only`); fresh results
+    /// win on address collision.
+    ///
+    /// # Errors
+    /// I/O errors creating the cache directory or writing the file. The
+    /// campaign treats a failed save as a warning, not a failure.
+    pub fn save(&self) -> std::io::Result<()> {
+        let mut merged: HashMap<u32, GroupEntry> = if self.context_invalidated {
+            HashMap::new()
+        } else {
+            self.loaded.clone()
+        };
+        for e in self.fresh.lock().expect("no worker panicked").drain(..) {
+            merged.insert(e.addr, e);
+        }
+        let mut groups: Vec<GroupEntry> = merged.into_values().collect();
+        groups.sort_by_key(|g| g.addr);
+        let file = StoreFile {
+            schema: CACHE_SCHEMA,
+            digest_schema: persist::DIGEST_SCHEMA,
+            app: self.app.clone(),
+            client: self.client.clone(),
+            scheme: self.scheme.clone(),
+            recorder: self.recorder,
+            context: self.context.clone(),
+            groups,
+        };
+        if let Some(dir) = self.path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let json = serde_json::to_string(&file).expect("store contains no non-finite floats");
+        let tmp = self.path.with_extension("json.tmp");
+        {
+            // No fsync: the rename keeps torn writes from ever becoming
+            // visible under the store's name, and a file lost to a
+            // power cut merely re-runs its groups — `load_store`
+            // degrades anything unreadable to a miss. Durability is not
+            // worth a per-client fsync stall on the campaign path.
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+        }
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+/// Parse a store file. `None` for unreadable, torn, non-JSON,
+/// schema-mismatched or otherwise malformed files — every failure mode
+/// is a cache miss.
+pub fn read_store(path: &Path) -> Option<StoreFile> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let file: StoreFile = serde_json::from_str(&text).ok()?;
+    (file.schema == CACHE_SCHEMA && file.digest_schema == persist::DIGEST_SCHEMA).then_some(file)
+}
+
+// ---------------------------------------------------------------------
+// Store maintenance (`fisec cache ls|gc`)
+// ---------------------------------------------------------------------
+
+/// One row of `fisec cache ls`.
+#[derive(Debug, Clone)]
+pub struct StoreSummary {
+    /// File name within the cache root.
+    pub file: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Seconds since last modification (0 when unavailable).
+    pub age_secs: u64,
+    /// Parsed store, when the file is valid under the current schema.
+    pub store: Option<StoreFile>,
+}
+
+/// All store files under `root`, name-sorted (deterministic output).
+pub fn store_paths(root: &Path) -> Vec<PathBuf> {
+    let Ok(rd) = std::fs::read_dir(root) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = rd
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// Summarize every store file under `root`.
+pub fn ls(root: &Path) -> Vec<StoreSummary> {
+    store_paths(root)
+        .into_iter()
+        .map(|p| {
+            let meta = std::fs::metadata(&p).ok();
+            let bytes = meta.as_ref().map_or(0, std::fs::Metadata::len);
+            let age_secs = meta
+                .and_then(|m| m.modified().ok())
+                .and_then(|t| std::time::SystemTime::now().duration_since(t).ok())
+                .map_or(0, |d| d.as_secs());
+            StoreSummary {
+                file: p
+                    .file_name()
+                    .map_or_else(String::new, |n| n.to_string_lossy().into_owned()),
+                bytes,
+                age_secs,
+                store: read_store(&p),
+            }
+        })
+        .collect()
+}
+
+/// Files evicted by [`gc`].
+#[derive(Debug, Clone, Default)]
+pub struct GcReport {
+    /// `(file name, bytes)` of every evicted store.
+    pub evicted: Vec<(String, u64)>,
+    /// Files kept.
+    pub kept: usize,
+    /// Total bytes kept.
+    pub kept_bytes: u64,
+}
+
+/// Evict store files: everything older than `max_age_secs`, then —
+/// oldest first — enough files to bring the root under `max_size`
+/// bytes. Invalid files count like any other (they are dead weight).
+pub fn gc(root: &Path, max_size: Option<u64>, max_age_secs: Option<u64>) -> GcReport {
+    let mut entries: Vec<(PathBuf, u64, u64)> = store_paths(root)
+        .into_iter()
+        .map(|p| {
+            let meta = std::fs::metadata(&p).ok();
+            let bytes = meta.as_ref().map_or(0, std::fs::Metadata::len);
+            let age = meta
+                .and_then(|m| m.modified().ok())
+                .and_then(|t| std::time::SystemTime::now().duration_since(t).ok())
+                .map_or(0, |d| d.as_secs());
+            (p, bytes, age)
+        })
+        .collect();
+    let mut report = GcReport::default();
+    let evict = |p: &Path, bytes: u64, report: &mut GcReport| {
+        if std::fs::remove_file(p).is_ok() {
+            report.evicted.push((
+                p.file_name()
+                    .map_or_else(String::new, |n| n.to_string_lossy().into_owned()),
+                bytes,
+            ));
+        }
+    };
+    if let Some(max_age) = max_age_secs {
+        entries.retain(|(p, bytes, age)| {
+            if *age > max_age {
+                evict(p, *bytes, &mut report);
+                false
+            } else {
+                true
+            }
+        });
+    }
+    if let Some(max_size) = max_size {
+        let mut total: u64 = entries.iter().map(|(_, b, _)| *b).sum();
+        // Oldest first.
+        entries.sort_by_key(|(_, _, age)| std::cmp::Reverse(*age));
+        let mut i = 0;
+        while total > max_size && i < entries.len() {
+            let (p, bytes, _) = &entries[i];
+            evict(p, *bytes, &mut report);
+            total -= *bytes;
+            i += 1;
+        }
+        entries.drain(..i);
+    }
+    report.kept = entries.len();
+    report.kept_bytes = entries.iter().map(|(_, b, _)| *b).sum();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fisec_inject::golden_run;
+
+    fn sha_hex(data: &[u8]) -> String {
+        let mut h = sha::Sha256::new();
+        h.update(data);
+        h.finalize().iter().fold(String::new(), |mut s, b| {
+            use std::fmt::Write as _;
+            let _ = write!(s, "{b:02x}");
+            s
+        })
+    }
+
+    #[test]
+    fn sha256_matches_fips_vectors() {
+        assert_eq!(
+            sha_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Exercise the multi-block and buffered-tail paths.
+        let long = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha_hex(&long),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+        // Incremental updates across block boundaries agree with one-shot.
+        let data: Vec<u8> = (0..=255u8).cycle().take(777).collect();
+        let mut inc = sha::Sha256::new();
+        for chunk in data.chunks(13) {
+            inc.update(chunk);
+        }
+        let mut one = sha::Sha256::new();
+        one.update(&data);
+        assert_eq!(inc.finalize(), one.finalize());
+    }
+
+    fn test_store(dir: &Path, app: &AppSpec) -> (ClientStore, GoldenRun) {
+        let spec = &app.clients[0];
+        let golden = golden_run(&app.image, spec).unwrap();
+        let cache = CampaignCache::at(dir.to_path_buf());
+        let store = cache.open_client(app, spec, EncodingScheme::Baseline, false, &golden);
+        (store, golden)
+    }
+
+    fn sample_group(app: &AppSpec) -> Vec<InjectionTarget> {
+        let set = fisec_inject::enumerate_targets(&app.image, &app.auth_funcs, true);
+        let addr = set.targets[0].addr;
+        set.targets
+            .iter()
+            .take_while(|t| t.addr == addr)
+            .copied()
+            .collect()
+    }
+
+    fn sample_runs(n: usize) -> Vec<CachedDigestedRun> {
+        (0..n)
+            .map(|i| {
+                (
+                    InjectionRun {
+                        outcome: fisec_inject::OutcomeClass::NotManifested,
+                        activated: true,
+                        stop: fisec_os::Stop::Exited(0),
+                        client: fisec_net::ClientStatus::Denied,
+                        crash_latency: None,
+                        transient_deviation: false,
+                        divergence: None,
+                    },
+                    (i % 2 == 0).then_some((Some(i as u64), None)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn store_round_trips_and_survives_reopen() {
+        let dir = std::env::temp_dir().join("fisec-cache-test-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = AppSpec::ftpd();
+        let group = sample_group(&app);
+        let runs = sample_runs(group.len());
+        let (store, _) = test_store(&dir, &app);
+        assert!(matches!(
+            store.lookup(&app.image, &group),
+            CacheLookup::Miss
+        ));
+        store.record(&app.image, &group, &runs, vec![(group[0].addr, 16)]);
+        store.save().unwrap();
+        // No tmp file left behind.
+        assert_eq!(store_paths(&dir).len(), 1);
+        let (store, _) = test_store(&dir, &app);
+        match store.lookup(&app.image, &group) {
+            CacheLookup::Hit(got) => assert_eq!(got, runs),
+            _ => panic!("expected a hit after reopen"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_stale_and_collision_shaped_entries_are_misses() {
+        let dir = std::env::temp_dir().join("fisec-cache-test-harden");
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = AppSpec::ftpd();
+        let group = sample_group(&app);
+        let runs = sample_runs(group.len());
+        let (store, _) = test_store(&dir, &app);
+        store.record(&app.image, &group, &runs, vec![(group[0].addr, 16)]);
+        store.save().unwrap();
+        let path = store_paths(&dir)[0].clone();
+
+        // Torn tail: truncate mid-JSON → unreadable → empty store.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let (store, _) = test_store(&dir, &app);
+        assert!(matches!(
+            store.lookup(&app.image, &group),
+            CacheLookup::Miss
+        ));
+
+        // Stale schema version → ignored wholesale.
+        std::fs::write(&path, full.replacen("\"schema\":1", "\"schema\":999", 1)).unwrap();
+        let (store, _) = test_store(&dir, &app);
+        assert!(matches!(
+            store.lookup(&app.image, &group),
+            CacheLookup::Miss
+        ));
+
+        // Hash-collision-shaped entry: right key string, wrong shape
+        // (fewer runs than targets) → stale, never a bad fold.
+        std::fs::write(&path, &full).unwrap();
+        let mut file = read_store(&path).unwrap();
+        file.groups[0].runs.pop();
+        std::fs::write(&path, serde_json::to_string(&file).unwrap()).unwrap();
+        let (store, _) = test_store(&dir, &app);
+        assert!(matches!(
+            store.lookup(&app.image, &group),
+            CacheLookup::Stale
+        ));
+
+        // Malformed payload inside a well-shaped entry → stale.
+        std::fs::write(&path, &full).unwrap();
+        let mut file = read_store(&path).unwrap();
+        file.groups[0].runs[0].outcome = "bogus".to_string();
+        std::fs::write(&path, serde_json::to_string(&file).unwrap()).unwrap();
+        let (store, _) = test_store(&dir, &app);
+        assert!(matches!(
+            store.lookup(&app.image, &group),
+            CacheLookup::Stale
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn code_byte_pokes_invalidate_exactly_the_covering_entries() {
+        let dir = std::env::temp_dir().join("fisec-cache-test-poke");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut app = AppSpec::ftpd();
+        let group = sample_group(&app);
+        let runs = sample_runs(group.len());
+        let (store, _) = test_store(&dir, &app);
+        // Footprint far away from the injected region.
+        let far = app.image.text_base + app.image.text.len() as u32 - 64;
+        store.record(&app.image, &group, &runs, vec![(far, 32)]);
+        store.save().unwrap();
+
+        // A poke inside the injected instruction changes the group key.
+        let (store, _) = test_store(&dir, &app);
+        let off = (group[0].addr - app.image.text_base) as usize;
+        app.image.text[off] ^= 0x01;
+        assert!(matches!(
+            store.lookup(&app.image, &group),
+            CacheLookup::Stale
+        ));
+        app.image.text[off] ^= 0x01;
+
+        // A poke inside the stored footprint changes the footprint hash.
+        let foff = (far - app.image.text_base) as usize + 5;
+        app.image.text[foff] ^= 0x80;
+        assert!(matches!(
+            store.lookup(&app.image, &group),
+            CacheLookup::Stale
+        ));
+        app.image.text[foff] ^= 0x80;
+
+        // A poke outside both leaves the entry valid.
+        let elsewhere = off + 200;
+        app.image.text[elsewhere] ^= 0x40;
+        assert!(matches!(
+            store.lookup(&app.image, &group),
+            CacheLookup::Hit(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn context_changes_are_a_full_miss() {
+        let dir = std::env::temp_dir().join("fisec-cache-test-context");
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = AppSpec::ftpd();
+        let group = sample_group(&app);
+        let runs = sample_runs(group.len());
+        let (store, golden) = test_store(&dir, &app);
+        store.record(&app.image, &group, &runs, vec![(group[0].addr, 16)]);
+        store.save().unwrap();
+
+        // Same context: hit. Doctored client fingerprint: full miss.
+        let cache = CampaignCache::at(dir.clone());
+        let spec = &app.clients[0];
+        let store = cache.open_client(&app, spec, EncodingScheme::Baseline, false, &golden);
+        assert!(matches!(
+            store.lookup(&app.image, &group),
+            CacheLookup::Hit(_)
+        ));
+        let mut doctored = AppSpec::ftpd();
+        doctored.clients[0].fingerprint = "edited-script".to_string();
+        let store = cache.open_client(
+            &doctored,
+            &doctored.clients[0],
+            EncodingScheme::Baseline,
+            false,
+            &golden,
+        );
+        assert!(store.context_invalidated);
+        assert_eq!(store.dropped_groups, 1);
+        assert!(matches!(
+            store.lookup(&doctored.image, &group),
+            CacheLookup::Miss
+        ));
+
+        // A different scheme lands in a different file entirely.
+        let store = cache.open_client(&app, spec, EncodingScheme::NewEncoding, false, &golden);
+        assert!(!store.context_invalidated);
+        assert!(matches!(
+            store.lookup(&app.image, &group),
+            CacheLookup::Miss
+        ));
+
+        // Golden observables are keyed: a doctored golden icount is a
+        // context miss (stands in for any golden-path behavior change).
+        let mut golden2 = golden.clone();
+        golden2.icount += 1;
+        let store = cache.open_client(&app, spec, EncodingScheme::Baseline, false, &golden2);
+        assert!(store.context_invalidated);
+
+        // The fault model string participates in the context key.
+        let a = context_key(&app, spec, EncodingScheme::Baseline, false, &golden);
+        assert_eq!(
+            a,
+            context_key(&app, spec, EncodingScheme::Baseline, false, &golden),
+            "context key must be deterministic"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_by_age_and_size() {
+        let dir = std::env::temp_dir().join("fisec-cache-test-gc");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.json"), vec![b'x'; 100]).unwrap();
+        std::fs::write(dir.join("b.json"), vec![b'y'; 200]).unwrap();
+        // Size cap alone: evict until under budget (both files share an
+        // mtime, so either order is valid — assert the invariant).
+        let report = gc(&dir, Some(250), None);
+        assert!(!report.evicted.is_empty());
+        assert!(report.kept_bytes <= 250);
+        // Age cap of zero evicts nothing newer than now; a huge age cap
+        // keeps everything.
+        let report = gc(&dir, None, Some(3600));
+        assert!(report.evicted.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_targets_round_trip() {
+        let app = AppSpec::ftpd();
+        let group = sample_group(&app);
+        let entry = GroupEntry {
+            addr: group[0].addr,
+            key: String::new(),
+            targets: group.iter().map(cached_target).collect(),
+            foot: Vec::new(),
+            foot_hash: String::new(),
+            runs: Vec::new(),
+        };
+        assert_eq!(entry_targets(&entry).unwrap(), group);
+        let mut bad = entry;
+        bad.targets[0].location = 99;
+        assert!(entry_targets(&bad).is_none());
+    }
+}

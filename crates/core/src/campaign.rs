@@ -1,5 +1,6 @@
 //! Selective exhaustive injection campaigns (paper §4/§5).
 
+use crate::cache::{CacheLookup, CachedDigestedRun, CampaignCache, ClientStore, DivTuple};
 use crate::counts::{LocationCounts, OutcomeCounts};
 use fisec_apps::AppSpec;
 use fisec_encoding::EncodingScheme;
@@ -10,8 +11,8 @@ use fisec_inject::{
 };
 use fisec_os::Stop;
 use fisec_telemetry::{
-    metric, CampaignEndEvent, CampaignEvent, HotBlock, MetricsShard, Phase, ProfileData,
-    ProfileEvent, RunEvent, SlowShape, SpanEvent, Telemetry, TraceEvent,
+    metric, CacheEvent, CampaignEndEvent, CampaignEvent, HotBlock, MetricsShard, Phase,
+    ProfileData, ProfileEvent, RunEvent, SlowShape, SpanEvent, Telemetry, TraceEvent,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -108,6 +109,9 @@ impl CampaignConfig {
             trace_cache: self.trace_cache,
             flight_recorder: self.flight_recorder,
             profiler: self.profiler,
+            // The execution footprint is a per-group opt-in: the cached
+            // paths enable it per process via `with_footprint()`.
+            footprint: false,
         }
     }
 }
@@ -173,6 +177,28 @@ struct RunDivergence {
 
 /// What the engine hands back per run once traces are digested away.
 type DigestedRun = (InjectionRun, Option<RunDivergence>);
+
+/// Digested runs in the campaign cache's wire shape.
+fn to_cached(runs: &[DigestedRun]) -> Vec<CachedDigestedRun> {
+    runs.iter()
+        .map(|(run, div)| (run.clone(), div.map(|d| (d.depth, d.trace_latency))))
+        .collect()
+}
+
+/// Cached digested runs back into the campaign's shape.
+fn from_cached(runs: Vec<CachedDigestedRun>) -> Vec<DigestedRun> {
+    runs.into_iter()
+        .map(|(run, div)| {
+            (
+                run,
+                div.map(|(depth, trace_latency): DivTuple| RunDivergence {
+                    depth,
+                    trace_latency,
+                }),
+            )
+        })
+        .collect()
+}
 
 /// Digest a report against its run; `None` when the recorder was off or
 /// the run never activated.
@@ -343,6 +369,7 @@ impl<'a> WorkerTel<'a> {
         }));
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn push_event(
         &mut self,
         target: &InjectionTarget,
@@ -351,6 +378,7 @@ impl<'a> WorkerTel<'a> {
         icount: u64,
         micros: u64,
         snapshot_replay: bool,
+        cache_hit: bool,
     ) {
         self.batch.push(TraceEvent::Run(RunEvent {
             client: self.client,
@@ -362,6 +390,7 @@ impl<'a> WorkerTel<'a> {
             worker: self.worker,
             snapshot_replay,
             na_prefilter: false,
+            cache_hit,
             icount,
             micros,
             crash_latency: run.crash_latency,
@@ -407,7 +436,7 @@ impl<'a> WorkerTel<'a> {
         self.shard.phase_add(Phase::Classify, meta.classify_micros);
         self.observe_divergence(run, div);
         if self.tel.events_enabled() {
-            self.push_event(target, run, div, meta.icount, micros, false);
+            self.push_event(target, run, div, meta.icount, micros, false, false);
             if let Some(epoch) = self.span_epoch {
                 // The phases were just measured, so the span is laid out
                 // backwards from "now": boot → replay → classify.
@@ -468,6 +497,7 @@ impl<'a> WorkerTel<'a> {
                     meta.icount,
                     meta.run_micros,
                     gmeta.activated,
+                    false,
                 );
             }
         }
@@ -543,6 +573,7 @@ impl<'a> WorkerTel<'a> {
                     worker: self.worker,
                     snapshot_replay: false,
                     na_prefilter: true,
+                    cache_hit: false,
                     icount: 0,
                     micros: 0,
                     crash_latency: None,
@@ -554,6 +585,58 @@ impl<'a> WorkerTel<'a> {
             self.flush_if_full();
         }
         self.tel.progress.add([n, 0, 0, 0, 0], 1);
+    }
+
+    /// A checkpoint group folded from the campaign cache: no process
+    /// ran, so icount/micros are zero and the runs are flagged
+    /// `cache_hit` (distinct from the NA pre-filter — those groups are
+    /// *derived*, these are *memoized*). Divergence depths still land
+    /// in the per-outcome histograms so `fisec stats` reads the same
+    /// warm or cold.
+    fn note_cache_group(&mut self, targets: &[InjectionTarget], runs: &[DigestedRun]) {
+        if !self.tel.enabled() {
+            return;
+        }
+        let n = targets.len() as u64;
+        self.shard.inc(metric::RUNS, n);
+        self.shard.inc(metric::CACHE_HIT_GROUPS, 1);
+        self.shard.inc(metric::CACHE_SYNTH_RUNS, n);
+        let mut tally = [0u64; 5];
+        for ((run, div), target) in runs.iter().zip(targets) {
+            self.observe_divergence(run, *div);
+            tally[outcome_index(run.outcome)] += 1;
+            if self.tel.events_enabled() {
+                self.push_event(target, run, *div, 0, 0, false, true);
+            }
+        }
+        if self.tel.events_enabled() {
+            self.flush_if_full();
+        }
+        self.tel.progress.add(tally, 1);
+    }
+
+    /// One cache consultation or write-back: a counter bump plus a
+    /// `cache` trace event.
+    fn note_cache(&mut self, app: &str, client: &str, action: &str, addr: Option<u32>, runs: u64) {
+        if !self.tel.enabled() {
+            return;
+        }
+        match action {
+            "miss" => self.shard.inc(metric::CACHE_MISS_GROUPS, 1),
+            "stale" => self.shard.inc(metric::CACHE_STALE_GROUPS, 1),
+            "store" => self.shard.inc(metric::CACHE_STORES, 1),
+            _ => {}
+        }
+        if self.tel.events_enabled() {
+            self.batch.push(TraceEvent::Cache(CacheEvent {
+                app: app.to_string(),
+                client: client.to_string(),
+                action: action.to_string(),
+                addr,
+                runs,
+            }));
+            self.flush_if_full();
+        }
     }
 
     fn observe_queue_wait(&mut self, micros: u64) {
@@ -594,6 +677,26 @@ pub fn run_campaign(app: &AppSpec, cfg: &CampaignConfig) -> CampaignResult {
 /// Panics if the image cannot be loaded (a programming error: the same
 /// image already ran its golden sessions).
 pub fn run_campaign_traced(app: &AppSpec, cfg: &CampaignConfig, tel: &Telemetry) -> CampaignResult {
+    run_campaign_cached(app, cfg, tel, None)
+}
+
+/// [`run_campaign_traced`] with an incremental campaign cache: each
+/// client's checkpoint groups are looked up in the persistent store
+/// first — a hit folds the memoized runs without booting a process, a
+/// miss executes the group with footprint recording on and writes the
+/// entry back. Results are bit-identical to the uncached path in both
+/// execution modes (pinned by the differential tests); only the
+/// wall-clock and the telemetry cache counters change.
+///
+/// # Panics
+/// Panics if the image cannot be loaded (a programming error: the same
+/// image already ran its golden sessions).
+pub fn run_campaign_cached(
+    app: &AppSpec,
+    cfg: &CampaignConfig,
+    tel: &Telemetry,
+    cache: Option<&CampaignCache>,
+) -> CampaignResult {
     let wall_start = Instant::now();
     let before = tel.enabled().then(|| tel.metrics.snapshot());
     let set = enumerate_targets(&app.image, &app.auth_funcs, cfg.cond_branches_only);
@@ -629,7 +732,45 @@ pub fn run_campaign_traced(app: &AppSpec, cfg: &CampaignConfig, tel: &Telemetry)
             main.inc(metric::FRESH_BOOTS, 1);
             main.phase_add(Phase::Boot, micros_since(boot_start));
         }
-        let records = run_targets(app, spec, &golden, &set.targets, cfg, tel, ci, span_epoch);
+        let store =
+            cache.map(|c| c.open_client(app, spec, cfg.scheme, cfg.flight_recorder, &golden));
+        if let Some(s) = &store {
+            if s.context_invalidated {
+                if tel.enabled() {
+                    main.inc(metric::CACHE_STALE_GROUPS, s.dropped_groups as u64);
+                }
+                if tel.events_enabled() {
+                    tel.sink.emit(&TraceEvent::Cache(CacheEvent {
+                        app: app.name.to_string(),
+                        client: spec.name.clone(),
+                        action: "context-miss".to_string(),
+                        addr: None,
+                        runs: s.dropped_groups as u64,
+                    }));
+                }
+            }
+        }
+        let records = run_targets(
+            app,
+            spec,
+            &golden,
+            &set.targets,
+            cfg,
+            tel,
+            ci,
+            span_epoch,
+            store.as_ref(),
+        );
+        if let Some(s) = &store {
+            if s.fresh_count() > 0 || s.context_invalidated {
+                if let Err(e) = s.save() {
+                    eprintln!(
+                        "warning: campaign cache write failed for {}/{}: {e}",
+                        app.name, spec.name
+                    );
+                }
+            }
+        }
         let tally_start = Instant::now();
         let mut cc = ClientCampaign {
             client: spec.name.clone(),
@@ -752,6 +893,10 @@ pub fn run_campaign_traced(app: &AppSpec, cfg: &CampaignConfig, tel: &Telemetry)
                 na_prefilter_runs: ctr(metric::NA_PREFILTER_RUNS),
                 restores: ctr(metric::RESTORES),
                 fresh_boots: ctr(metric::FRESH_BOOTS),
+                cache_hit_groups: ctr(metric::CACHE_HIT_GROUPS),
+                cache_miss_groups: ctr(metric::CACHE_MISS_GROUPS),
+                cache_stale_groups: ctr(metric::CACHE_STALE_GROUPS),
+                cache_synth_runs: ctr(metric::CACHE_SYNTH_RUNS),
             }));
         }
         tel.sink.flush();
@@ -772,15 +917,34 @@ fn run_targets(
     tel: &Telemetry,
     client_idx: usize,
     span_epoch: Option<Instant>,
+    store: Option<&ClientStore>,
 ) -> Vec<(InjectionRun, Option<RunDivergence>)> {
-    match cfg.mode {
-        ExecutionMode::FromScratch => {
+    match (cfg.mode, store) {
+        (ExecutionMode::FromScratch, None) => {
             run_targets_from_scratch(app, spec, golden, targets, cfg, tel, client_idx, span_epoch)
         }
-        ExecutionMode::Snapshot => {
-            run_targets_snapshot(app, spec, golden, targets, cfg, tel, client_idx, span_epoch)
+        (ExecutionMode::FromScratch, Some(store)) => run_targets_from_scratch_cached(
+            app, spec, golden, targets, cfg, tel, client_idx, span_epoch, store,
+        ),
+        (ExecutionMode::Snapshot, store) => run_targets_snapshot(
+            app, spec, golden, targets, cfg, tel, client_idx, span_epoch, store,
+        ),
+    }
+}
+
+/// Contiguous same-address slices of an address-major target list, each
+/// with its offset into `targets` (checkpoint groups; also the cache's
+/// memoization unit).
+fn group_targets(targets: &[InjectionTarget]) -> Vec<(usize, &[InjectionTarget])> {
+    let mut groups: Vec<(usize, &[InjectionTarget])> = Vec::new();
+    let mut start = 0;
+    for i in 1..=targets.len() {
+        if i == targets.len() || targets[i].addr != targets[start].addr {
+            groups.push((start, &targets[start..i]));
+            start = i;
         }
     }
+    groups
 }
 
 /// The reference oracle: one full boot per experiment (paper §4).
@@ -802,7 +966,7 @@ fn run_targets_from_scratch(
         let out = targets
             .iter()
             .map(|t| {
-                let (run, meta, gmeta, rep, prof) =
+                let (run, meta, gmeta, rep, prof, _fp) =
                     run_injection_recorded(&app.image, spec, golden, t, cfg.scheme, engine)
                         .expect("image loads");
                 let div = digest(&run, rep.as_ref());
@@ -824,7 +988,7 @@ fn run_targets_from_scratch(
                 let runs = shard
                     .iter()
                     .map(|t| {
-                        let (run, meta, gmeta, rep, prof) =
+                        let (run, meta, gmeta, rep, prof, _fp) =
                             run_injection_recorded(&app.image, spec, golden, t, cfg.scheme, engine)
                                 .expect("image loads");
                         let div = digest(&run, rep.as_ref());
@@ -842,6 +1006,144 @@ fn run_targets_from_scratch(
         }
     });
     out.into_iter().flatten().collect()
+}
+
+/// Consult the cache for one checkpoint group: `Some(runs)` on a hit
+/// (already folded into `wt`'s telemetry), `None` on a miss or stale
+/// entry (the group must execute).
+fn consult(
+    store: &ClientStore,
+    app: &AppSpec,
+    spec: &fisec_apps::ClientSpec,
+    group: &[InjectionTarget],
+    wt: &mut WorkerTel<'_>,
+) -> Option<Vec<DigestedRun>> {
+    let addr = group.first().map(|t| t.addr);
+    let n = group.len() as u64;
+    match store.lookup(&app.image, group) {
+        CacheLookup::Hit(runs) => {
+            let runs = from_cached(runs);
+            wt.note_cache_group(group, &runs);
+            wt.note_cache(app.name, &spec.name, "hit", addr, n);
+            Some(runs)
+        }
+        CacheLookup::Stale => {
+            wt.note_cache(app.name, &spec.name, "stale", addr, n);
+            None
+        }
+        CacheLookup::Miss => {
+            wt.note_cache(app.name, &spec.name, "miss", addr, n);
+            None
+        }
+    }
+}
+
+/// The reference oracle with the campaign cache attached: targets are
+/// grouped by address (the cache's memoization unit is the checkpoint
+/// group in either mode), hits fold without booting a process, misses
+/// run one full boot per experiment with footprint recording on and
+/// write the group's entry back. Outcomes are bit-identical to the
+/// uncached oracle, and the entries interoperate with snapshot-mode
+/// campaigns — each entry self-describes the footprint it was recorded
+/// under.
+#[allow(clippy::too_many_arguments)]
+fn run_targets_from_scratch_cached(
+    app: &AppSpec,
+    spec: &fisec_apps::ClientSpec,
+    golden: &GoldenRun,
+    targets: &[InjectionTarget],
+    cfg: &CampaignConfig,
+    tel: &Telemetry,
+    client_idx: usize,
+    span_epoch: Option<Instant>,
+    store: &ClientStore,
+) -> Vec<(InjectionRun, Option<RunDivergence>)> {
+    let groups = group_targets(targets);
+    let engine = cfg.engine().with_footprint();
+    let mut wt0 = WorkerTel::new(tel, client_idx, 0, span_epoch);
+
+    let mut slots: Vec<Option<Vec<DigestedRun>>> = vec![None; groups.len()];
+    let live: Vec<usize> = groups
+        .iter()
+        .enumerate()
+        .filter_map(
+            |(gi, (_, group))| match consult(store, app, spec, group, &mut wt0) {
+                Some(runs) => {
+                    slots[gi] = Some(runs);
+                    None
+                }
+                None => Some(gi),
+            },
+        )
+        .collect();
+
+    let run_group = |group: &[InjectionTarget],
+                     wt: &mut WorkerTel<'_>|
+     -> Vec<(InjectionRun, Option<RunDivergence>)> {
+        let mut foot: Vec<(u32, u32)> = Vec::new();
+        let runs: Vec<DigestedRun> = group
+            .iter()
+            .map(|t| {
+                let (run, meta, gmeta, rep, prof, fp) =
+                    run_injection_recorded(&app.image, spec, golden, t, cfg.scheme, engine)
+                        .expect("image loads");
+                let div = digest(&run, rep.as_ref());
+                wt.note_fresh(t, &run, div, meta, gmeta);
+                wt.note_exec_profile(prof.as_ref());
+                if let Some(fp) = fp {
+                    foot.extend(fp.ranges());
+                }
+                (run, div)
+            })
+            .collect();
+        store.record(
+            &app.image,
+            group,
+            &to_cached(&runs),
+            crate::cache::merge_ranges(foot),
+        );
+        wt.note_cache(
+            app.name,
+            &spec.name,
+            "store",
+            group.first().map(|t| t.addr),
+            group.len() as u64,
+        );
+        runs
+    };
+
+    let threads = cfg.threads.max(1).min(live.len().max(1));
+    if threads <= 1 {
+        for &gi in &live {
+            let (_, group) = groups[gi];
+            let runs = run_group(group, &mut wt0);
+            slots[gi] = Some(runs);
+        }
+    } else {
+        let slots_mx = Mutex::new(&mut slots);
+        run_work_queue(threads, live.len(), |w, pull| {
+            let mut wt = WorkerTel::new(tel, client_idx, w + 1, span_epoch);
+            while let Some(i) = pull() {
+                let gi = live[i];
+                let (_, group) = groups[gi];
+                let runs = run_group(group, &mut wt);
+                let wait_start = Instant::now();
+                let mut guard = slots_mx.lock().expect("no worker panicked");
+                let wait = micros_since(wait_start);
+                guard[gi] = Some(runs);
+                drop(guard);
+                wt.observe_queue_wait(wait);
+            }
+            wt.finish();
+        });
+    }
+
+    let mut out = Vec::with_capacity(targets.len());
+    for done in slots {
+        out.extend(done.expect("every group ran or was folded from cache"));
+    }
+    wt0.finish();
+    out
 }
 
 /// Shared work-queue threading: spawn `threads` scoped workers, each
@@ -894,17 +1196,16 @@ fn run_targets_snapshot(
     tel: &Telemetry,
     client_idx: usize,
     span_epoch: Option<Instant>,
+    store: Option<&ClientStore>,
 ) -> Vec<(InjectionRun, Option<RunDivergence>)> {
-    // Contiguous same-address slices, with each group's offset into
-    // `targets` so results can be reassembled in target order.
-    let mut groups: Vec<(usize, &[InjectionTarget])> = Vec::new();
-    let mut start = 0;
-    for i in 1..=targets.len() {
-        if i == targets.len() || targets[i].addr != targets[start].addr {
-            groups.push((start, &targets[start..i]));
-            start = i;
-        }
-    }
+    let groups = group_targets(targets);
+    // With a cache attached the group processes record their execution
+    // footprint (a pure observer; results stay bit-identical) so the
+    // written entries carry their invalidation ranges.
+    let engine = match store {
+        Some(_) => cfg.engine().with_footprint(),
+        None => cfg.engine(),
+    };
 
     // Worker 0 is the campaign thread: it owns the coverage boot, the
     // pre-filter, the sequential path and the final reassembly.
@@ -943,12 +1244,13 @@ fn run_targets_snapshot(
     };
 
     // One checkpoint group: run it, digest each report down to the
-    // per-run numbers the campaign keeps, and drop the traces.
+    // per-run numbers the campaign keeps, drop the traces, and — with a
+    // cache attached — write the memoized entry back.
     let run_group = |group: &[InjectionTarget],
                      wt: &mut WorkerTel<'_>|
      -> Vec<(InjectionRun, Option<RunDivergence>)> {
-        let (runs, gmeta, prof) =
-            run_injection_group_recorded(&app.image, spec, golden, group, cfg.scheme, cfg.engine())
+        let (runs, gmeta, prof, fp) =
+            run_injection_group_recorded(&app.image, spec, golden, group, cfg.scheme, engine)
                 .expect("image loads");
         let runs: Vec<(InjectionRun, RunMeta, Option<RunDivergence>)> = runs
             .into_iter()
@@ -959,20 +1261,46 @@ fn run_targets_snapshot(
             .collect();
         wt.note_group(group, &runs, gmeta);
         wt.note_exec_profile(prof.as_ref());
-        runs.into_iter().map(|(run, _, div)| (run, div)).collect()
+        let digested: Vec<DigestedRun> = runs.into_iter().map(|(run, _, div)| (run, div)).collect();
+        if let Some(store) = store {
+            let foot = fp.map(|f| f.ranges()).unwrap_or_default();
+            store.record(&app.image, group, &to_cached(&digested), foot);
+            wt.note_cache(
+                app.name,
+                &spec.name,
+                "store",
+                group.first().map(|t| t.addr),
+                group.len() as u64,
+            );
+        }
+        digested
     };
 
+    // Prefilter first, cache second: a group the golden coverage proves
+    // NA is synthesized for free and never touches (or populates) the
+    // store; the survivors consult the cache before executing.
     let mut slots: Vec<Option<Vec<DigestedRun>>> = vec![None; groups.len()];
     let live: Vec<usize> = groups
         .iter()
         .enumerate()
-        .filter_map(|(gi, (_, group))| match &coverage {
-            Some(cov) if !cov.contains(&group[0].addr) => {
-                slots[gi] = Some(synth_na(group.len()));
-                wt0.note_prefilter(group);
-                None
+        .filter_map(|(gi, (_, group))| {
+            if let Some(cov) = &coverage {
+                if !cov.contains(&group[0].addr) {
+                    slots[gi] = Some(synth_na(group.len()));
+                    wt0.note_prefilter(group);
+                    return None;
+                }
             }
-            _ => Some(gi),
+            if let Some(store) = store {
+                match consult(store, app, spec, group, &mut wt0) {
+                    Some(runs) => {
+                        slots[gi] = Some(runs);
+                        return None;
+                    }
+                    None => return Some(gi),
+                }
+            }
+            Some(gi)
         })
         .collect();
 
@@ -1047,6 +1375,7 @@ mod tests {
             &Telemetry::disabled(),
             0,
             None,
+            None,
         );
         assert_eq!(runs.len(), 24);
         let mut counts = OutcomeCounts::default();
@@ -1075,8 +1404,8 @@ mod tests {
             ..CampaignConfig::default()
         };
         let tel = Telemetry::disabled();
-        let a = run_targets(&app, spec, &golden, &targets, &seq_cfg, &tel, 0, None);
-        let b = run_targets(&app, spec, &golden, &targets, &par_cfg, &tel, 0, None);
+        let a = run_targets(&app, spec, &golden, &targets, &seq_cfg, &tel, 0, None, None);
+        let b = run_targets(&app, spec, &golden, &targets, &par_cfg, &tel, 0, None, None);
         let oa: Vec<_> = a.iter().map(|r| r.0.outcome).collect();
         let ob: Vec<_> = b.iter().map(|r| r.0.outcome).collect();
         assert_eq!(oa, ob);
@@ -1200,9 +1529,11 @@ mod tests {
                 ..plain
             };
             let golden = golden_run_opts(&app.image, spec, plain.engine()).unwrap();
-            let a = run_targets(&app, spec, &golden, &targets, &plain, &tel, 0, None);
+            let a = run_targets(&app, spec, &golden, &targets, &plain, &tel, 0, None, None);
             let golden = golden_run_opts(&app.image, spec, profiled.engine()).unwrap();
-            let b = run_targets(&app, spec, &golden, &targets, &profiled, &tel, 0, None);
+            let b = run_targets(
+                &app, spec, &golden, &targets, &profiled, &tel, 0, None, None,
+            );
             let oa: Vec<_> = a.iter().map(|r| (r.0.outcome, r.0.crash_latency)).collect();
             let ob: Vec<_> = b.iter().map(|r| (r.0.outcome, r.0.crash_latency)).collect();
             assert_eq!(oa, ob, "profiler changed outcomes in {} mode", mode.name());

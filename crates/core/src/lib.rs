@@ -30,6 +30,7 @@
 
 pub mod ablation;
 pub mod benchdiff;
+pub mod cache;
 pub mod campaign;
 pub mod counts;
 pub mod data_errors;
@@ -43,9 +44,10 @@ pub mod stats;
 pub mod tables;
 pub mod trace;
 
+pub use cache::CampaignCache;
 pub use campaign::{
-    run_campaign, run_campaign_traced, CampaignConfig, CampaignResult, ClientCampaign,
-    ExecutionMode, RunRecord,
+    run_campaign, run_campaign_cached, run_campaign_traced, CampaignConfig, CampaignResult,
+    ClientCampaign, ExecutionMode, RunRecord,
 };
 pub use counts::{LocationCounts, OutcomeCounts};
 pub use fisec_encoding::EncodingScheme;

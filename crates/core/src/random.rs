@@ -494,7 +494,8 @@ pub fn read_ledger(path: impl AsRef<Path>) -> Result<LedgerState, String> {
             | TraceEvent::Run(_)
             | TraceEvent::CampaignEnd(_)
             | TraceEvent::Span(_)
-            | TraceEvent::Profile(_) => {}
+            | TraceEvent::Profile(_)
+            | TraceEvent::Cache(_) => {}
         }
     }
     match state {

@@ -135,6 +135,18 @@ pub fn render_html(trace: &ReplayedTrace) -> String {
                 "runs {}  na-prefilter {}  fresh boots {}  restores {}\n",
                 end.runs, end.na_prefilter_runs, end.fresh_boots, end.restores
             );
+            // Memoized (cache-hit) groups get their own line, distinct
+            // from the NA pre-filter's derived groups; absent for
+            // cache-off campaigns so existing report fixtures hold.
+            if end.cache_hit_groups + end.cache_miss_groups + end.cache_stale_groups > 0 {
+                body.push_str(&format!(
+                    "cache: hit groups {} ({} memoized runs)  miss {}  stale {}\n",
+                    end.cache_hit_groups,
+                    end.cache_synth_runs,
+                    end.cache_miss_groups,
+                    end.cache_stale_groups
+                ));
+            }
             let phases = PhaseTimes {
                 micros: [
                     end.boot_micros,
@@ -147,7 +159,11 @@ pub fn render_html(trace: &ReplayedTrace) -> String {
             body.push_str(&render_phase_table(&phases, end.wall_micros));
             let mut micros = LogHistogram::default();
             let mut icount = LogHistogram::default();
-            for run in c.run_events.iter().filter(|r| !r.na_prefilter) {
+            for run in c
+                .run_events
+                .iter()
+                .filter(|r| !r.na_prefilter && !r.cache_hit)
+            {
                 micros.record(run.micros);
                 icount.record(run.icount);
             }
@@ -254,6 +270,7 @@ mod tests {
             worker: 0,
             snapshot_replay: true,
             na_prefilter: false,
+            cache_hit: false,
             icount: 1000,
             micros: 10,
             crash_latency: if outcome == "SD" { Some(7) } else { None },

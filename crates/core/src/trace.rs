@@ -292,6 +292,9 @@ pub fn parse_trace(events: &[TraceEvent]) -> Result<ReplayedTrace, String> {
                 random_open = false;
             }
             TraceEvent::Span(s) => spans.push(s.clone()),
+            // Cache consult/store events annotate the stream; the
+            // replayed tables are built from the run events alone.
+            TraceEvent::Cache(_) => {}
             TraceEvent::Profile(p) => {
                 if !open {
                     return Err(format!("{}: profile event outside a campaign", at()));
@@ -370,6 +373,20 @@ pub fn render_stats(trace: &ReplayedTrace) -> String {
                 "runs {}  na-prefilter {}  fresh boots {}  restores {}\n",
                 end.runs, end.na_prefilter_runs, end.fresh_boots, end.restores
             ));
+            // Cache-synthesized groups are *memoized* results folded
+            // from the store — a different animal from the NA
+            // pre-filter's *derived* groups, so they get their own
+            // line. Omitted entirely for cache-off campaigns to keep
+            // existing traces and golden fixtures byte-stable.
+            if end.cache_hit_groups + end.cache_miss_groups + end.cache_stale_groups > 0 {
+                out.push_str(&format!(
+                    "cache: hit groups {} ({} memoized runs)  miss {}  stale {}\n",
+                    end.cache_hit_groups,
+                    end.cache_synth_runs,
+                    end.cache_miss_groups,
+                    end.cache_stale_groups
+                ));
+            }
             let phases = PhaseTimes {
                 micros: [
                     end.boot_micros,
@@ -382,10 +399,15 @@ pub fn render_stats(trace: &ReplayedTrace) -> String {
             out.push_str(&render_phase_table(&phases, end.wall_micros));
         }
         // Rebuild per-run cost histograms from the executed events (the
-        // pre-filter's synthesized runs would skew them toward zero).
+        // pre-filter's and the cache's synthesized runs would skew them
+        // toward zero).
         let mut micros = LogHistogram::default();
         let mut icount = LogHistogram::default();
-        for run in c.run_events.iter().filter(|r| !r.na_prefilter) {
+        for run in c
+            .run_events
+            .iter()
+            .filter(|r| !r.na_prefilter && !r.cache_hit)
+        {
             micros.record(run.micros);
             icount.record(run.icount);
         }
@@ -424,6 +446,15 @@ pub fn render_stats(trace: &ReplayedTrace) -> String {
             sum(|e| e.fresh_boots),
             sum(|e| e.restores)
         ));
+        if sum(|e| e.cache_hit_groups + e.cache_miss_groups + e.cache_stale_groups) > 0 {
+            out.push_str(&format!(
+                "cache: hit groups {} ({} memoized runs)  miss {}  stale {}\n",
+                sum(|e| e.cache_hit_groups),
+                sum(|e| e.cache_synth_runs),
+                sum(|e| e.cache_miss_groups),
+                sum(|e| e.cache_stale_groups)
+            ));
+        }
         let phases = PhaseTimes {
             micros: [
                 sum(|e| e.boot_micros),
@@ -477,6 +508,7 @@ mod tests {
             worker: 0,
             snapshot_replay: true,
             na_prefilter: false,
+            cache_hit: false,
             icount: 1000,
             micros: 10,
             crash_latency: if outcome == "SD" { Some(7) } else { None },

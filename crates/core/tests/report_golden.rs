@@ -34,6 +34,7 @@ fn run_ev(bit: u8, outcome: &str, latency: Option<u64>, depth: Option<u64>) -> T
         worker: 0,
         snapshot_replay: true,
         na_prefilter: false,
+        cache_hit: false,
         icount: 1200 + u64::from(bit) * 100,
         micros: 40 + u64::from(bit),
         crash_latency: latency,

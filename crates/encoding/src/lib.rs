@@ -83,6 +83,19 @@ impl fmt::Display for EncodingScheme {
     }
 }
 
+impl EncodingScheme {
+    /// Short, filename-safe identity tag. The campaign cache keys
+    /// memoized results on it (and uses it in store file names), so the
+    /// tag for an existing scheme must never change — add new tags for
+    /// new schemes instead.
+    pub fn cache_tag(self) -> &'static str {
+        match self {
+            EncodingScheme::Baseline => "base",
+            EncodingScheme::NewEncoding => "newenc",
+        }
+    }
+}
+
 /// Old→new (and equally new→old) byte mapping for one-byte opcodes.
 pub fn map_1byte(b: u8) -> u8 {
     static MAP: std::sync::OnceLock<[u8; 256]> = std::sync::OnceLock::new();

@@ -18,6 +18,7 @@ pub mod divergence;
 pub mod forensics;
 pub mod latent;
 pub mod location;
+pub mod persist;
 pub mod target;
 
 pub use classify::{classify_run, GoldenRun, InjectionRun, OutcomeClass};
@@ -32,7 +33,7 @@ use fisec_asm::Image;
 use fisec_encoding::{remap_flip, ByteCtx, EncodingScheme};
 use fisec_net::Trace;
 use fisec_os::{Process, Stop};
-use fisec_x86::ExecProfile;
+use fisec_x86::{ExecProfile, Footprint};
 use std::time::Instant;
 
 /// Default multiplier on the golden run's instruction count used as the
@@ -71,6 +72,14 @@ pub struct EngineOpts {
     /// recorded-entry-point returns gain an [`ExecProfile`], nothing
     /// else changes.
     pub profiler: bool,
+    /// Record the executed-code [`Footprint`] of every process the
+    /// entry points boot (dispatch-granularity byte ranges fetched for
+    /// execution, accumulated across checkpoint restores). Off by
+    /// default; outcomes are bit-identical either way — the flag only
+    /// adds the [`Footprint`] to the recorded-entry-point returns. The
+    /// campaign cache uses it to key a group's memoized results on the
+    /// image bytes the group actually executed.
+    pub footprint: bool,
 }
 
 impl Default for EngineOpts {
@@ -80,16 +89,27 @@ impl Default for EngineOpts {
             trace_cache: true,
             flight_recorder: false,
             profiler: false,
+            footprint: false,
         }
     }
 }
 
 impl EngineOpts {
+    /// This configuration with footprint recording switched on.
+    #[must_use]
+    pub fn with_footprint(mut self) -> EngineOpts {
+        self.footprint = true;
+        self
+    }
+
     fn apply(self, p: &mut Process) {
         p.machine.set_block_engine(self.block_cache);
         p.machine.set_trace_cache(self.trace_cache);
         if self.profiler {
             p.machine.enable_profiler();
+        }
+        if self.footprint {
+            p.machine.enable_footprint();
         }
     }
 }
@@ -244,12 +264,13 @@ pub fn run_injection_metered_opts(
     engine: EngineOpts,
 ) -> Result<(InjectionRun, RunMeta, GroupMeta), fisec_os::LoadError> {
     run_injection_recorded(image, client, golden, target, scheme, engine)
-        .map(|(run, meta, group, _, _)| (run, meta, group))
+        .map(|(run, meta, group, _, _, _)| (run, meta, group))
 }
 
 /// [`run_injection_metered_opts`] plus the [`DivergenceReport`] of the
 /// run when `engine.flight_recorder` is on and the error activated,
-/// plus the run's [`ExecProfile`] when `engine.profiler` is on.
+/// plus the run's [`ExecProfile`] when `engine.profiler` is on, plus
+/// the run's executed-code [`Footprint`] when `engine.footprint` is on.
 /// With the recorder on, the process is checkpointed at the breakpoint
 /// and resumed once *without* the flip (recorder armed) to capture the
 /// golden continuation, then restored and injected as usual — the
@@ -272,6 +293,7 @@ pub fn run_injection_recorded(
         GroupMeta,
         Option<DivergenceReport>,
         Option<ExecProfile>,
+        Option<Footprint>,
     ),
     fisec_os::LoadError,
 > {
@@ -305,7 +327,8 @@ pub fn run_injection_recorded(
             ..GroupMeta::default()
         };
         let profile = p.machine.take_exec_profile();
-        return Ok((run, meta, group, None, profile));
+        let footprint = p.machine.take_footprint();
+        return Ok((run, meta, group, None, profile, footprint));
     };
 
     // With the recorder on, capture the golden continuation first: the
@@ -372,7 +395,8 @@ pub fn run_injection_recorded(
         activated: true,
     };
     let profile = p.machine.take_exec_profile();
-    Ok((run, meta, group, report, profile))
+    let footprint = p.machine.take_footprint();
+    Ok((run, meta, group, report, profile, footprint))
 }
 
 /// Resume a process checkpointed at its (disarmed) breakpoint with the
@@ -465,7 +489,7 @@ pub fn run_injection_group_metered_opts(
     engine: EngineOpts,
 ) -> Result<(Vec<(InjectionRun, RunMeta)>, GroupMeta), fisec_os::LoadError> {
     run_injection_group_recorded(image, client, golden, targets, scheme, engine).map(
-        |(runs, group, _)| {
+        |(runs, group, _, _)| {
             (
                 runs.into_iter().map(|(run, meta, _)| (run, meta)).collect(),
                 group,
@@ -482,7 +506,10 @@ pub fn run_injection_group_metered_opts(
 /// path. When `engine.profiler` is on, one [`ExecProfile`] covering the
 /// boot and every replay of the group is returned as well (the profile
 /// deliberately survives checkpoint restores, so it accounts for all
-/// instructions the group retired).
+/// instructions the group retired). When `engine.footprint` is on, one
+/// [`Footprint`] unioning the boot and every replay is returned — the
+/// byte ranges whose contents the campaign cache must key the group's
+/// memoized results on.
 ///
 /// # Errors
 /// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
@@ -502,11 +529,12 @@ pub fn run_injection_group_recorded(
         Vec<(InjectionRun, RunMeta, Option<DivergenceReport>)>,
         GroupMeta,
         Option<ExecProfile>,
+        Option<Footprint>,
     ),
     fisec_os::LoadError,
 > {
     let Some(addr) = targets.first().map(|t| t.addr) else {
-        return Ok((Vec::new(), GroupMeta::default(), None));
+        return Ok((Vec::new(), GroupMeta::default(), None, None));
     };
     assert!(
         targets.iter().all(|t| t.addr == addr),
@@ -546,7 +574,13 @@ pub fn run_injection_group_recorded(
             ..GroupMeta::default()
         };
         let profile = p.machine.take_exec_profile();
-        return Ok((vec![(na, meta, None); targets.len()], group, profile));
+        let footprint = p.machine.take_footprint();
+        return Ok((
+            vec![(na, meta, None); targets.len()],
+            group,
+            profile,
+            footprint,
+        ));
     };
 
     let snapshot_start = Instant::now();
@@ -609,7 +643,8 @@ pub fn run_injection_group_recorded(
         activated: true,
     };
     let profile = p.machine.take_exec_profile();
-    Ok((runs, group, profile))
+    let footprint = p.machine.take_footprint();
+    Ok((runs, group, profile, footprint))
 }
 
 /// Determine the §6.2 mapping context for the corrupted byte.

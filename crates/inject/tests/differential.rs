@@ -305,7 +305,7 @@ fn profiler_is_a_pure_observer_in_both_engines() {
                 plain,
             )
             .unwrap();
-            let (on_runs, on_group, profile) = fisec_inject::run_injection_group_recorded(
+            let (on_runs, on_group, profile, _) = fisec_inject::run_injection_group_recorded(
                 &app.image,
                 spec,
                 &golden,

@@ -66,6 +66,12 @@ pub struct RunEvent {
     /// True when the run was classified NA from golden coverage without
     /// ever executing (the pre-filter); `icount`/`micros` are then 0.
     pub na_prefilter: bool,
+    /// True when the run was synthesized from the incremental campaign
+    /// cache without executing (its checkpoint group's key matched);
+    /// `icount`/`micros` are then 0. Absent from cache-off traces
+    /// (older streams parse fine).
+    #[serde(default)]
+    pub cache_hit: bool,
     /// Guest instructions retired for this run (since the restore point
     /// for snapshot replays, since boot for fresh runs).
     pub icount: u64,
@@ -112,6 +118,22 @@ pub struct CampaignEndEvent {
     pub restores: u64,
     /// Fresh process boots (golden runs, group boots, from-scratch runs).
     pub fresh_boots: u64,
+    /// Checkpoint groups folded in from the incremental campaign cache
+    /// without executing. Absent from cache-off traces (older streams
+    /// parse fine, all four cache counters default to 0).
+    #[serde(default)]
+    pub cache_hit_groups: u64,
+    /// Groups that executed because the cache had no usable entry
+    /// (includes stale entries).
+    #[serde(default)]
+    pub cache_miss_groups: u64,
+    /// The subset of misses where an entry existed but its key or
+    /// footprint hash no longer matched (invalidations).
+    #[serde(default)]
+    pub cache_stale_groups: u64,
+    /// Runs synthesized from cache hits (counted in `runs` as well).
+    #[serde(default)]
+    pub cache_synth_runs: u64,
 }
 
 /// Random-campaign (§7 random-injection tier) header: identifies the
@@ -230,6 +252,28 @@ pub struct ProfileEvent {
     pub data: ProfileData,
 }
 
+/// One incremental-campaign-cache transaction: a checkpoint group
+/// consulted against or written to the on-disk store. Emitted only when
+/// a cache is attached, so cache-off traces are byte-compatible with
+/// older readers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheEvent {
+    /// Application name ("ftpd"/"sshd").
+    pub app: String,
+    /// Client name the group belongs to.
+    pub client: String,
+    /// What happened: "hit" (folded from cache), "miss" (no entry),
+    /// "stale" (entry invalidated by a key/footprint change), "store"
+    /// (fresh result written back), or "context-miss" (the whole
+    /// per-client file was invalidated by a context change — golden
+    /// behavior, client script, scheme or fault model).
+    pub action: String,
+    /// Group instruction address; `None` for whole-store events.
+    pub addr: Option<u32>,
+    /// Runs covered by this transaction.
+    pub runs: u64,
+}
+
 /// One element of a telemetry trace.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -246,6 +290,8 @@ pub enum TraceEvent {
     RandomBatch(Box<RandomBatchEvent>),
     /// Random-campaign trailer.
     RandomEnd(RandomEndEvent),
+    /// One incremental-campaign-cache transaction.
+    Cache(CacheEvent),
     /// One hierarchical-trace span.
     Span(SpanEvent),
     /// Per-campaign hot-spot profile (boxed: the block tallies dwarf
@@ -262,6 +308,7 @@ impl TraceEvent {
             TraceEvent::RandomCampaign(_) => "random_campaign",
             TraceEvent::RandomBatch(_) => "random_batch",
             TraceEvent::RandomEnd(_) => "random_end",
+            TraceEvent::Cache(_) => "cache",
             TraceEvent::Span(_) => "span",
             TraceEvent::Profile(_) => "profile",
         }
@@ -276,6 +323,7 @@ impl TraceEvent {
             TraceEvent::RandomCampaign(e) => e.serialize(),
             TraceEvent::RandomBatch(e) => e.serialize(),
             TraceEvent::RandomEnd(e) => e.serialize(),
+            TraceEvent::Cache(e) => e.serialize(),
             TraceEvent::Span(e) => e.serialize(),
             TraceEvent::Profile(e) => e.serialize(),
         };
@@ -315,6 +363,9 @@ impl TraceEvent {
             "random_end" => RandomEndEvent::deserialize(&v)
                 .map(TraceEvent::RandomEnd)
                 .map_err(|e| format!("random_end event: {e}")),
+            "cache" => CacheEvent::deserialize(&v)
+                .map(TraceEvent::Cache)
+                .map_err(|e| format!("cache event: {e}")),
             "span" => SpanEvent::deserialize(&v)
                 .map(TraceEvent::Span)
                 .map_err(|e| format!("span event: {e}")),
@@ -516,6 +567,7 @@ mod tests {
             worker: 3,
             snapshot_replay: true,
             na_prefilter: false,
+            cache_hit: false,
             icount: 48_211,
             micros: 412,
             crash_latency: None,

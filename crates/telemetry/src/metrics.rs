@@ -23,6 +23,19 @@ pub mod metric {
     pub const FRESH_BOOTS: &str = "fresh_boots";
     /// Counter: checkpoint restores.
     pub const RESTORES: &str = "restores";
+    /// Counter: checkpoint groups folded in from the incremental
+    /// campaign cache without executing.
+    pub const CACHE_HIT_GROUPS: &str = "cache_hit_groups";
+    /// Counter: groups executed because the cache had no usable entry.
+    pub const CACHE_MISS_GROUPS: &str = "cache_miss_groups";
+    /// Counter: the subset of misses where a cached entry existed but
+    /// was invalidated by a key/footprint change.
+    pub const CACHE_STALE_GROUPS: &str = "cache_stale_groups";
+    /// Counter: runs synthesized from cache hits (also counted in
+    /// [`RUNS`]).
+    pub const CACHE_SYNTH_RUNS: &str = "cache_synth_runs";
+    /// Counter: fresh group results written back to the cache store.
+    pub const CACHE_STORES: &str = "cache_stores";
     /// Histogram: host microseconds per run replay.
     pub const REPLAY_MICROS: &str = "replay_micros_per_run";
     /// Histogram: guest instructions retired per run.

@@ -190,6 +190,156 @@ impl Coverage {
     }
 }
 
+/// Executed-code footprint recorder: the byte ranges of the address
+/// space that were fetched for execution. Unlike [`Coverage`] (which
+/// marks every retired EIP and is rewound by [`Machine::restore`]), the
+/// footprint is marked at *block-build* granularity — one range-OR when
+/// a basic block is decoded into the cache (the build is the first
+/// dispatch; `enable_footprint` flushes both tiers so nothing escapes),
+/// one per instruction on the per-step engine — and deliberately
+/// survives restores, so one footprint accumulates the
+/// union over every replay of a checkpoint group. The campaign cache
+/// keys a group's memoized results on the image bytes inside this
+/// footprint: anything a run fetched can affect its outcome, anything
+/// outside provably cannot (code bytes read as *data* are the documented
+/// exception; `fisec cache verify` exists to audit it).
+///
+/// Marking is a conservative over-approximation: a block dispatch marks
+/// the whole block even when execution faults mid-block, so the block
+/// and per-step engines may record slightly different (both valid)
+/// supersets of the bytes actually fetched.
+#[derive(Debug, Clone)]
+pub struct Footprint {
+    base: u32,
+    bits: Vec<u64>,
+    /// Ranges outside the executable-region bitmap (wild execution in
+    /// data/stack regions — rare).
+    spill: Vec<(u32, u32)>,
+    /// The last range marked. Dispatch loops re-mark the same block on
+    /// every iteration; this one-entry memo makes the re-mark a compare
+    /// instead of a bitmap walk.
+    last: (u32, u32),
+}
+
+impl Footprint {
+    /// Size the bitmap over the span of `mem`'s executable regions, like
+    /// [`Coverage::new`].
+    fn new(mem: &Memory) -> Footprint {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for r in mem.regions().filter(|r| r.perms().exec) {
+            lo = lo.min(r.start() as u64);
+            hi = hi.max(r.end());
+        }
+        let span = hi.saturating_sub(lo) as usize;
+        Footprint {
+            base: if span == 0 { 0 } else { lo as u32 },
+            bits: vec![0u64; span.div_ceil(64)],
+            spill: Vec::new(),
+            last: (u32::MAX, 0),
+        }
+    }
+
+    /// Mark `[addr, addr + len)` as fetched.
+    #[inline]
+    pub fn mark_range(&mut self, addr: u32, len: u32) {
+        if len == 0 || (addr, len) == self.last {
+            return;
+        }
+        self.last = (addr, len);
+        let off = addr.wrapping_sub(self.base) as usize;
+        let end = off + len as usize;
+        if addr >= self.base && end <= self.bits.len() * 64 {
+            let (mut w, first_bit) = (off / 64, off % 64);
+            let (last_w, last_bits) = ((end - 1) / 64, end - (end / 64) * 64);
+            if w == last_w {
+                let mask = (u64::MAX >> (64 - (end - off))) << first_bit;
+                self.bits[w] |= mask;
+                return;
+            }
+            self.bits[w] |= u64::MAX << first_bit;
+            w += 1;
+            while w < last_w {
+                self.bits[w] = u64::MAX;
+                w += 1;
+            }
+            if last_bits == 0 {
+                self.bits[last_w] = u64::MAX;
+            } else {
+                self.bits[last_w] |= u64::MAX >> (64 - last_bits);
+            }
+            return;
+        }
+        // Outside the bitmap: coalesce with the previous spill range when
+        // contiguous (tight loops outside text would otherwise grow it).
+        if let Some((s, l)) = self.spill.last_mut() {
+            let e = u64::from(*s) + u64::from(*l);
+            let new_end = u64::from(addr) + u64::from(len);
+            if u64::from(addr) <= e && new_end >= u64::from(*s) {
+                let start = (*s).min(addr);
+                let end = e.max(new_end);
+                *s = start;
+                *l = (end - u64::from(start)).min(u64::from(u32::MAX)) as u32;
+                return;
+            }
+        }
+        self.spill.push((addr, len));
+    }
+
+    /// The marked ranges as a sorted, coalesced `(start, len)` list.
+    pub fn ranges(&self) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        let mut i = 0usize;
+        let total = self.bits.len() * 64;
+        while i < total {
+            let word = self.bits[i / 64];
+            if word == 0 {
+                i = (i / 64 + 1) * 64;
+                continue;
+            }
+            if word >> (i % 64) & 1 == 0 {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < total && self.bits[i / 64] >> (i % 64) & 1 == 1 {
+                i += 1;
+            }
+            out.push((self.base + start as u32, (i - start) as u32));
+        }
+        out.extend(self.spill.iter().copied());
+        out.sort_unstable();
+        // Coalesce overlapping/adjacent ranges.
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(out.len());
+        for (s, l) in out {
+            if let Some((ps, pl)) = merged.last_mut() {
+                let pe = u64::from(*ps) + u64::from(*pl);
+                if u64::from(s) <= pe {
+                    let e = pe.max(u64::from(s) + u64::from(l));
+                    *pl = (e - u64::from(*ps)).min(u64::from(u32::MAX)) as u32;
+                    continue;
+                }
+            }
+            merged.push((s, l));
+        }
+        merged
+    }
+
+    /// Does the footprint contain the byte at `addr`?
+    pub fn contains(&self, addr: u32) -> bool {
+        let off = addr.wrapping_sub(self.base) as usize;
+        if addr >= self.base
+            && off < self.bits.len() * 64
+            && self.bits[off / 64] >> (off % 64) & 1 == 1
+        {
+            return true;
+        }
+        self.spill
+            .iter()
+            .any(|(s, l)| addr >= *s && u64::from(addr) < u64::from(*s) + u64::from(*l))
+    }
+}
+
 /// A CPU bound to an address space.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -226,6 +376,10 @@ pub struct Machine {
     trace_cap: usize,
     trace_next: usize,
     coverage: Option<Coverage>,
+    /// Executed-code footprint, marked at dispatch granularity (see
+    /// [`Footprint`]). Not snapshot state: it survives restores so one
+    /// footprint accumulates across every replay of a checkpoint group.
+    footprint: Option<Box<Footprint>>,
     recorder: Option<FlightRecorder>,
     profile: Option<Box<ExecProfile>>,
     decoder: fn(&[u8]) -> Inst,
@@ -277,6 +431,7 @@ impl Machine {
             trace_cap: 0,
             trace_next: 0,
             coverage: None,
+            footprint: None,
             recorder: None,
             profile: None,
             decoder: decode,
@@ -348,9 +503,9 @@ impl Machine {
         // The flight recorder is per-run instrumentation, not snapshot
         // state: rewinding drops any active recording. The injector
         // enables it after each restore, once the fault is planted.
-        // The hot-spot profile (also not snapshot state) deliberately
-        // survives the rewind: one profile accumulates across every
-        // replay of a checkpoint group.
+        // The hot-spot profile and the executed-code footprint (also not
+        // snapshot state) deliberately survive the rewind: one of each
+        // accumulates across every replay of a checkpoint group.
         self.recorder = None;
         self.restores += 1;
     }
@@ -375,6 +530,33 @@ impl Machine {
     /// recording is on (materialized from the internal bitmap).
     pub fn coverage(&self) -> Option<HashSet<u32>> {
         self.coverage.as_ref().map(Coverage::to_set)
+    }
+
+    /// Record the byte ranges fetched for execution from now on, at
+    /// dispatch granularity (see [`Footprint`]). Unlike coverage this is
+    /// not snapshot state: [`Machine::restore`] leaves it accumulating,
+    /// so one footprint unions every replay of a checkpoint group.
+    /// Enable it after the image is mapped (the bitmap spans the
+    /// executable regions mapped at this point).
+    pub fn enable_footprint(&mut self) {
+        // Marking happens when a block is *built* (see `build_block`):
+        // flush both tiers so everything dispatched from here on is
+        // (re)built — and therefore marked — while recording.
+        self.blocks.clear();
+        self.traces.clear();
+        self.trace_rec = None;
+        self.footprint = Some(Box::new(Footprint::new(&self.mem)));
+    }
+
+    /// Whether the executed-code footprint is recording.
+    pub fn footprint_enabled(&self) -> bool {
+        self.footprint.is_some()
+    }
+
+    /// Stop footprint recording and take the accumulated [`Footprint`].
+    /// `None` when it was never enabled.
+    pub fn take_footprint(&mut self) -> Option<Footprint> {
+        self.footprint.take().map(|b| *b)
     }
 
     /// Replace the instruction decoder — e.g. with a decoder for the
@@ -926,6 +1108,15 @@ impl Machine {
             reads_icount,
             writes,
         });
+        if let Some(fp) = &mut self.footprint {
+            // One range-OR per block *build* covers every later dispatch
+            // of it: `enable_footprint` flushed both tiers, so anything
+            // dispatched while recording was built while recording
+            // (invalidation and LRU eviction only cause idempotent
+            // re-marks). The whole block is marked even when execution
+            // stops inside it — a valid superset.
+            fp.mark_range(block.entry, (block.end - u64::from(block.entry)) as u32);
+        }
         self.blocks.insert(Arc::clone(&block));
         Ok(block)
     }
@@ -1084,6 +1275,9 @@ impl Machine {
         };
         self.icount += 1;
         self.mark_retired(eip);
+        if let Some(fp) = &mut self.footprint {
+            fp.mark_range(eip, u32::from(inst.len.max(1)));
+        }
         if let Some(p) = &mut self.profile {
             p.stepwise_retired += 1;
         }
@@ -2547,6 +2741,78 @@ mod tests {
             // rewinding must not rewind it.
             assert_eq!(m.icount, 1);
         }
+    }
+
+    #[test]
+    fn footprint_marks_fetched_bytes_on_both_engines() {
+        // mov eax, 5; mov ebx, 7; add eax, ebx  (12 bytes at 0x1000)
+        let text = vec![0xB8, 5, 0, 0, 0, 0xBB, 7, 0, 0, 0, 0x01, 0xD8];
+        for block_engine in [false, true] {
+            let mut m = machine(text.clone());
+            m.set_block_engine(block_engine);
+            m.enable_footprint();
+            assert!(m.footprint_enabled());
+            m.add_breakpoint(0x100C);
+            assert_eq!(m.run_until_event(100), RunOutcome::Breakpoint(0x100C));
+            let fp = m.take_footprint().expect("footprint was enabled");
+            assert!(!m.footprint_enabled());
+            assert!(fp.contains(0x1000) && fp.contains(0x100B));
+            assert!(!fp.contains(0x100C));
+            assert_eq!(fp.ranges(), vec![(0x1000, 12)]);
+        }
+    }
+
+    #[test]
+    fn footprint_survives_restore_and_unions_replays() {
+        // Two disjoint paths from a common prefix:
+        //   0x1000: test eax,eax; je +2; inc ebx; inc ecx
+        // EAX=0 takes the jump (skips inc ebx); EAX=1 falls through.
+        let text = vec![0x85, 0xC0, 0x74, 0x01, 0x43, 0x41];
+        let mut m = machine(text);
+        m.enable_footprint();
+        let snap = m.snapshot();
+        // Replay 1: jump taken — byte 0x1004 (inc ebx) never fetched
+        // on the per-step engine.
+        m.cpu.regs[0] = 0;
+        run_steps(&mut m, 3);
+        m.restore(&snap);
+        // Replay 2: falls through — fetches 0x1004 too.
+        m.cpu.regs[0] = 1;
+        run_steps(&mut m, 4);
+        let fp = m.take_footprint().unwrap();
+        // The union of both replays covers the whole sequence even
+        // though neither single replay did, and restore() did not
+        // rewind the marks from replay 1.
+        assert_eq!(fp.ranges(), vec![(0x1000, 6)]);
+    }
+
+    #[test]
+    fn footprint_ranges_coalesce_and_spill_merges() {
+        let mut m = machine(vec![0x90]);
+        m.enable_footprint();
+        let mut fp = m.take_footprint().unwrap();
+        // Disjoint marks stay separate; adjacent/overlapping merge.
+        fp.mark_range(0x1000, 4);
+        fp.mark_range(0x1004, 4); // adjacent → coalesces
+        fp.mark_range(0x1010, 2); // gap → separate
+        fp.mark_range(0x1011, 5); // overlap → extends
+        assert_eq!(fp.ranges(), vec![(0x1000, 8), (0x1010, 6)]);
+        // Word-boundary straddle: a range crossing a 64-bit word
+        // boundary of the bitmap is marked contiguously.
+        fp.mark_range(0x1000 + 60, 10);
+        assert_eq!(fp.ranges(), vec![(0x1000, 8), (0x1010, 6), (0x103C, 10)]);
+        assert!(fp.contains(0x103F) && fp.contains(0x1040) && fp.contains(0x1045));
+        assert!(!fp.contains(0x1046));
+        // Out-of-bitmap addresses land in the spill list; contiguous
+        // marks coalesce there too.
+        fp.mark_range(0x8000, 2);
+        fp.mark_range(0x8002, 2);
+        assert!(fp.contains(0x8003));
+        assert!(!fp.contains(0x8004));
+        assert!(fp.ranges().contains(&(0x8000, 4)));
+        // Zero-length marks are ignored.
+        fp.mark_range(0x9000, 0);
+        assert!(!fp.contains(0x9000));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod recorder;
 pub mod trace;
 
 pub use block::{Block, BlockStats};
-pub use cpu::{Cpu, Machine, MachineSnapshot, RunOutcome, StepEvent};
+pub use cpu::{Cpu, Footprint, Machine, MachineSnapshot, RunOutcome, StepEvent};
 pub use decode::decode;
 pub use disasm::{disassemble, fmt_att, DisasmLine};
 pub use encode::encode;

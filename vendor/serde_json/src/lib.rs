@@ -80,8 +80,14 @@ fn write_value(
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::UInt(n) => out.push_str(&n.to_string()),
-        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => {
+            use std::fmt::Write;
+            let _ = write!(out, "{n}");
+        }
+        Value::Int(n) => {
+            use std::fmt::Write;
+            let _ = write!(out, "{n}");
+        }
         Value::Float(f) => {
             if !f.is_finite() {
                 return Err(Error::new("cannot serialize non-finite float"));
@@ -145,17 +151,32 @@ fn newline_indent(indent: Option<usize>, level: usize, out: &mut String) {
 
 fn write_string(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+    // Copy maximal runs that need no escaping in one push_str; only
+    // `"`, `\` and C0 controls break a run (multi-byte UTF-8 passes
+    // through verbatim).
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let esc: &str = match b {
+            b'"' => "\\\"",
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\r' => "\\r",
+            b'\t' => "\\t",
+            c if c < 0x20 => {
+                out.push_str(&s[start..i]);
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+                start = i + 1;
+                continue;
+            }
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        out.push_str(esc);
+        start = i + 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
@@ -272,6 +293,20 @@ impl Parser<'_> {
         let mut s = String::new();
         loop {
             let rest = &self.bytes[self.pos..];
+            // Bulk-copy the longest plain run: anything but a close
+            // quote, an escape or a multi-byte sequence. Scanning and
+            // validating per run (instead of per character over the
+            // whole remaining input) keeps large documents linear.
+            let plain = rest
+                .iter()
+                .position(|&c| c == b'"' || c == b'\\' || c >= 0x80)
+                .unwrap_or(rest.len());
+            if plain > 0 {
+                let run = std::str::from_utf8(&rest[..plain]).expect("ASCII run is UTF-8");
+                s.push_str(run);
+                self.pos += plain;
+                continue;
+            }
             let Some(&b) = rest.first() else {
                 return Err(Error::new("unterminated string"));
             };
@@ -314,12 +349,19 @@ impl Parser<'_> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 code point.
+                    // Consume one multi-byte UTF-8 code point: validate
+                    // just its own bytes, not the rest of the input.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error::new("invalid UTF-8")),
+                    };
+                    let chunk = rest.get(..len).ok_or_else(|| Error::new("invalid UTF-8"))?;
                     let tail =
-                        std::str::from_utf8(rest).map_err(|_| Error::new("invalid UTF-8"))?;
-                    let c = tail.chars().next().unwrap();
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                        std::str::from_utf8(chunk).map_err(|_| Error::new("invalid UTF-8"))?;
+                    s.push(tail.chars().next().unwrap());
+                    self.pos += len;
                 }
             }
         }
