@@ -196,6 +196,7 @@ mod tests {
                 trace_crash_latencies: vec![],
                 transient_deviations: 0,
                 records,
+                propagation: None,
             }],
         }
     }

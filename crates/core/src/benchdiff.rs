@@ -8,8 +8,9 @@
 //! The measured leg is deliberately small and deterministic in shape: a
 //! full ftpd baseline campaign (the same workload the baseline file
 //! records under `flight_recorder.campaign_ftpd_full_ms.recorder_off`),
-//! once plain and once with the profiler on — the second run also gates
-//! the observatory's own promise that profiling costs ≤ 10%. A third
+//! once plain, once with the profiler on and once with the taint
+//! tracer on — the extra runs gate the observatory's own promises that
+//! profiling and propagation tracing each cost ≤ 10%. A third
 //! pair of runs against a throwaway incremental-cache store gates the
 //! cache's two promises: populating it costs ≤ 10% extra wall, and an
 //! unchanged-tree warm rerun is ≥ 5x faster than the cold run.
@@ -37,6 +38,10 @@ const REPLAY_HEADROOM: f64 = 1.6;
 /// The observatory's contract: profiling a campaign costs at most this
 /// fraction of extra wall-clock (before `--factor`).
 const PROFILER_OVERHEAD_LIMIT: f64 = 0.10;
+
+/// The taint tracer's contract: a propagation-traced campaign costs at
+/// most this fraction of extra wall-clock (before `--factor`).
+const PROPAGATION_OVERHEAD_LIMIT: f64 = 0.10;
 
 /// Headroom under the recorded ALU-loop throughput floor: the measured
 /// rate may drop to `baseline / (ALU_HEADROOM * factor)` before the
@@ -93,6 +98,9 @@ pub struct Measured {
     pub cache_cold_overhead: f64,
     /// Cold-cached wall divided by warm-cached wall on the same store.
     pub cache_warm_speedup: f64,
+    /// Extra wall-clock fraction of the same campaign with the taint
+    /// tracer on (0.07 = 7% slower).
+    pub propagation_overhead: f64,
 }
 
 /// One compared metric: the gate's verdict plus everything needed to
@@ -166,7 +174,7 @@ pub fn read_baseline(path: impl AsRef<Path>) -> Result<Baseline, String> {
 }
 
 /// Run the measured leg: one full ftpd baseline campaign plain, one
-/// with the profiler on.
+/// with the profiler on, one with the taint tracer on.
 pub fn measure() -> Measured {
     let app = AppSpec::ftpd();
     let cfg = CampaignConfig::default();
@@ -187,6 +195,11 @@ pub fn measure() -> Measured {
         ..cfg
     };
     let (profiled_ms, _) = run_ms(&profiled);
+    let propagated = CampaignConfig {
+        propagation: true,
+        ..cfg
+    };
+    let (propagated_ms, _) = run_ms(&propagated);
     let (cold_overhead, warm_speedup) = measure_cached(&app, &cfg);
     Measured {
         campaign_ftpd_full_ms: plain_ms,
@@ -195,6 +208,7 @@ pub fn measure() -> Measured {
         alu_loop_minst_per_s: measure_alu_loop(),
         cache_cold_overhead: cold_overhead,
         cache_warm_speedup: warm_speedup,
+        propagation_overhead: (propagated_ms / plain_ms - 1.0).max(0.0),
     }
 }
 
@@ -316,6 +330,12 @@ pub fn compare(baseline: &Baseline, measured: &Measured, factor: f64) -> Vec<Dif
             floor: true,
             ok: measured.cache_warm_speedup >= WARM_SPEEDUP_FLOOR / factor,
         },
+        row(
+            "propagation_overhead",
+            PROPAGATION_OVERHEAD_LIMIT,
+            measured.propagation_overhead,
+            PROPAGATION_OVERHEAD_LIMIT * factor,
+        ),
     ]
 }
 
@@ -370,6 +390,7 @@ mod tests {
             alu_loop_minst_per_s: 310.0,
             cache_cold_overhead: 0.04,
             cache_warm_speedup: 9.0,
+            propagation_overhead: 0.03,
         }
     }
 
@@ -409,6 +430,16 @@ mod tests {
         let rows = compare(&baseline(), &m, 1.0);
         assert!(regressed(&rows));
         assert!(!rows[2].ok, "{rows:?}");
+        // A blown propagation-overhead budget trips its own row too.
+        let m = Measured {
+            propagation_overhead: 0.4,
+            ..ok_measured()
+        };
+        let rows = compare(&baseline(), &m, 1.0);
+        assert!(regressed(&rows));
+        assert!(!rows[6].ok, "{rows:?}");
+        let s = render(&rows, 1.0);
+        assert!(s.contains("propagation_overhead"), "{s}");
     }
 
     #[test]
@@ -465,6 +496,7 @@ mod tests {
             alu_loop_minst_per_s: 120.0,
             cache_cold_overhead: 0.25,
             cache_warm_speedup: 2.0,
+            propagation_overhead: 0.25,
         };
         assert!(regressed(&compare(&baseline(), &m, 1.0)));
         assert!(!regressed(&compare(&baseline(), &m, 3.0)));

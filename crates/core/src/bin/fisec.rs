@@ -13,8 +13,9 @@
 //! fisec ablation [--seed S]
 //! fisec forensics [--app ftpd] [--top K] [--stride N]
 //! fisec explain --app ftpd --addr 0xADDR [--byte N] [--bit N]
+//! fisec propagate --app ftpd --addr 0xADDR [--byte N] [--bit N]
 //! fisec stats TRACE.jsonl [--json]
-//! fisec profile [--app ftpd|sshd] | fisec profile TRACE.jsonl
+//! fisec profile [--app ftpd|sshd] [--json] | fisec profile TRACE.jsonl
 //! fisec report TRACE.jsonl [--out report.html]
 //! fisec bench-diff BENCH_campaign.json [--factor F]
 //! fisec help
@@ -28,7 +29,12 @@
 //! depths in events and metrics); `fisec figure4 --from-trace` rebuilds
 //! the histogram purely from recorded traces and hard-checks it against
 //! the live one. `fisec explain` renders one injection's annotated
-//! divergence timeline against the golden run.
+//! divergence timeline against the golden run; `fisec propagate`
+//! renders the same injection's *data-flow* story — the taint tracer's
+//! corruption timeline from the flipped destination to the first
+//! tainted compare/branch. `--propagation` arms the tracer
+//! campaign-wide (taint metrics in events, a propagation aggregate in
+//! the trace and report).
 
 use fisec_apps::AppSpec;
 use fisec_core::{
@@ -64,6 +70,7 @@ struct Args {
     byte: u8,
     bit: u8,
     recorder: bool,
+    propagation: bool,
     from_trace: bool,
     batch: usize,
     target_ci: Option<f64>,
@@ -109,6 +116,7 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
         byte: 0,
         bit: 0,
         recorder: false,
+        propagation: false,
         from_trace: false,
         batch: 500,
         target_ci: None,
@@ -165,8 +173,14 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
                 );
             }
             "--byte" => a.byte = val("--byte")?.parse().map_err(|e| format!("{e}"))?,
-            "--bit" => a.bit = val("--bit")?.parse().map_err(|e| format!("{e}"))?,
+            "--bit" => {
+                a.bit = val("--bit")?.parse().map_err(|e| format!("{e}"))?;
+                if a.bit > 7 {
+                    return Err(format!("--bit {} out of range (bits are 0..=7)", a.bit));
+                }
+            }
             "--recorder" => a.recorder = true,
+            "--propagation" => a.propagation = true,
             "--from-trace" => a.from_trace = true,
             "--batch" => {
                 a.batch = val("--batch")?.parse().map_err(|e| format!("{e}"))?;
@@ -210,18 +224,19 @@ fn parse_args_from(argv: impl IntoIterator<Item = String>) -> Result<Args, Strin
 }
 
 fn usage() -> String {
-    "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|ablation|forensics|explain|stats|profile|report|bench-diff|cache|help> [flags]\n\
+    "usage: fisec <table1|table3|table5|figure4|random|load|targets|disasm|breakins|ablation|forensics|explain|propagate|stats|profile|report|bench-diff|cache|help> [flags]\n\
      flags: --app ftpd|sshd|both  --func NAME  --client N  --runs N  --samples N\n\
             --seed S  --threads N  --top K  --stride N  --json  --new-encoding\n\
             --no-block-cache  --no-trace-cache  --trace-out PATH  --progress  --recorder\n\
-            --addr 0xADDR  --byte N  --bit N  --from-trace\n\
+            --propagation  --addr 0xADDR  --byte N  --bit N  --from-trace\n\
             --batch N  --target-ci WIDTH  --resume LEDGER  --from-scratch\n\
             --profile  --chrome-trace OUT.json  --out PATH  --factor F\n\
             --cache DIR  --no-cache  --max-size BYTES[k|m|g]  --max-age SECS[h|d]\n\
      stats takes the trace file as a positional argument: fisec stats run.jsonl\n\
      explain renders one injection's divergence timeline: fisec explain --app ftpd --addr 0xADDR --byte N --bit N\n\
+     propagate renders the same injection's corruption (taint) timeline; --propagation arms the tracer campaign-wide\n\
      random streams a sharded campaign; --trace-out doubles as its resumable ledger\n\
-     profile runs a profiled campaign (or replays one: fisec profile run.jsonl) and ranks hot blocks\n\
+     profile runs a profiled campaign (or replays one: fisec profile run.jsonl) and ranks hot blocks; --json emits the tables as JSON\n\
      profile --baseline OLD.jsonl adds the residual slow-path delta vs an earlier saved trace\n\
      report renders a saved trace as one self-contained HTML file: fisec report run.jsonl --out report.html\n\
      bench-diff measures a fresh campaign against the recorded baseline: fisec bench-diff BENCH_campaign.json\n\
@@ -288,6 +303,7 @@ fn cfg_of(a: &Args, scheme: EncodingScheme) -> CampaignConfig {
         block_cache: !a.no_block_cache,
         trace_cache: !a.no_trace_cache,
         flight_recorder: a.recorder || a.from_trace,
+        propagation: a.propagation,
         profiler: a.profile,
         spans: a.chrome_trace.is_some(),
         ..CampaignConfig::default()
@@ -514,23 +530,37 @@ fn run(args: &Args) -> Result<(), String> {
                 );
             }
         }
-        "explain" => {
+        "explain" | "propagate" => {
             let apps = apps_for(if args.app == "both" {
                 "ftpd"
             } else {
                 &args.app
             })?;
             let app = &apps[0];
-            let addr = args
-                .addr
-                .ok_or("explain needs --addr 0xADDR (see `fisec breakins` for candidates)")?;
+            let addr = args.addr.ok_or_else(|| {
+                format!(
+                    "{} needs --addr 0xADDR (see `fisec breakins` for candidates)",
+                    args.cmd
+                )
+            })?;
+            check_flip_byte(app, addr, args.byte)?;
             let scheme = if args.new_encoding {
                 EncodingScheme::NewEncoding
             } else {
                 EncodingScheme::Baseline
             };
-            let text =
-                fisec_core::explain::explain(app, args.client, addr, args.byte, args.bit, scheme)?;
+            let text = if args.cmd == "explain" {
+                fisec_core::explain::explain(app, args.client, addr, args.byte, args.bit, scheme)?
+            } else {
+                fisec_core::propagate::propagate(
+                    app,
+                    args.client,
+                    addr,
+                    args.byte,
+                    args.bit,
+                    scheme,
+                )?
+            };
             print!("{text}");
         }
         "stats" => {
@@ -669,6 +699,16 @@ fn run(args: &Args) -> Result<(), String> {
                     ));
                 }
                 for p in &profiled {
+                    if args.json {
+                        // Machine-readable mirror of the hot-block and
+                        // slow-path tables: one ProfileEvent JSON doc
+                        // per profiled campaign (schema in README.md).
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(*p).map_err(|e| e.to_string())?
+                        );
+                        continue;
+                    }
                     println!("== {} — {} engine ==", p.app, p.mode);
                     let app = match p.app.as_str() {
                         "ftpd" => Some(AppSpec::ftpd()),
@@ -730,20 +770,32 @@ fn run(args: &Args) -> Result<(), String> {
                     let tel = Telemetry::new(Arc::new(NullSink), args.progress);
                     run_campaign_traced(app, &cfg, &tel);
                     let snap = tel.metrics.snapshot();
-                    println!(
-                        "== {} [{}] — {} engine ==",
-                        app.name,
-                        scheme,
-                        cfg.mode.name()
-                    );
-                    print!(
-                        "{}",
-                        fisec_core::hotblocks::render_hot_blocks(
-                            snap.profile(),
-                            Some(&app.image),
-                            top
-                        )
-                    );
+                    if args.json {
+                        let ev = fisec_telemetry::ProfileEvent {
+                            app: app.name.to_string(),
+                            mode: cfg.mode.name().to_string(),
+                            data: snap.profile().clone(),
+                        };
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&ev).map_err(|e| e.to_string())?
+                        );
+                    } else {
+                        println!(
+                            "== {} [{}] — {} engine ==",
+                            app.name,
+                            scheme,
+                            cfg.mode.name()
+                        );
+                        print!(
+                            "{}",
+                            fisec_core::hotblocks::render_hot_blocks(
+                                snap.profile(),
+                                Some(&app.image),
+                                top
+                            )
+                        );
+                    }
                     now.merge(snap.profile());
                 }
                 if let Some(base_path) = &args.baseline {
@@ -789,7 +841,7 @@ fn run(args: &Args) -> Result<(), String> {
             )?;
             let baseline = fisec_core::benchdiff::read_baseline(path)?;
             eprintln!(
-                "bench-diff: measuring one full ftpd baseline campaign, plain and profiled ..."
+                "bench-diff: measuring one full ftpd baseline campaign, plain, profiled and taint-traced ..."
             );
             let measured = fisec_core::benchdiff::measure();
             let rows = fisec_core::benchdiff::compare(&baseline, &measured, args.factor);
@@ -983,6 +1035,31 @@ fn run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Hard-check `--byte` against the decoded instruction at `--addr`:
+/// a byte index past the instruction's encoded length would flip the
+/// *next* instruction, so it is an argument error, not a silent
+/// enumeration miss. Addresses outside the text section fall through
+/// to the target lookup's own diagnostic.
+fn check_flip_byte(app: &AppSpec, addr: u32, byte: u8) -> Result<(), String> {
+    let Some(off) = addr
+        .checked_sub(app.image.text_base)
+        .map(|o| o as usize)
+        .filter(|&o| o < app.image.text.len())
+    else {
+        return Ok(());
+    };
+    let end = (off + 16).min(app.image.text.len());
+    let len = fisec_x86::decode(&app.image.text[off..end]).len;
+    if byte >= len {
+        return Err(format!(
+            "--byte {byte} out of range: the instruction at {addr:#010x} is {len} byte(s) \
+             long (valid bytes: 0..={})",
+            len - 1
+        ));
+    }
+    Ok(())
+}
+
 /// `fisec cache ls`: one row per store file.
 fn cache_ls(root: &std::path::Path) {
     let rows = cache::ls(root);
@@ -1095,7 +1172,7 @@ fn cache_verify(root: &std::path::Path, seed: u64) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
         checked += 1;
         let mut mismatches = 0usize;
-        for ((run, _meta, rep), cached) in runs.iter().zip(&entry.runs) {
+        for ((run, _meta, rep, _prop), cached) in runs.iter().zip(&entry.runs) {
             let div = rep.as_ref().map(|r| {
                 (
                     r.divergence_depth,
@@ -1203,6 +1280,78 @@ mod tests {
         // Without --addr the command itself errors out.
         let e = run(&parse(&["explain", "--app", "ftpd"]).unwrap()).unwrap_err();
         assert!(e.contains("--addr"), "{e}");
+    }
+
+    #[test]
+    fn propagate_flags_round_trip() {
+        let a = parse(&[
+            "propagate",
+            "--app",
+            "sshd",
+            "--addr",
+            "0x08049100",
+            "--byte",
+            "2",
+            "--bit",
+            "6",
+        ])
+        .unwrap();
+        assert_eq!(a.cmd, "propagate");
+        assert_eq!(a.addr, Some(0x0804_9100));
+        assert_eq!(a.byte, 2);
+        assert_eq!(a.bit, 6);
+        // Without --addr the command itself errors out, naming itself.
+        let e = run(&parse(&["propagate", "--app", "ftpd"]).unwrap()).unwrap_err();
+        assert!(e.contains("propagate needs --addr"), "{e}");
+    }
+
+    #[test]
+    fn bit_out_of_range_is_a_parse_error() {
+        // Bits above 7 are rejected at argument parse, not silently
+        // wrapped into an enumeration miss.
+        let e = parse(&["explain", "--bit", "8"]).unwrap_err();
+        assert!(e.contains("0..=7"), "{e}");
+        let e = parse(&["propagate", "--bit", "200"]).unwrap_err();
+        assert!(e.contains("0..=7"), "{e}");
+        // Values past u8 still fail (as a parse error).
+        assert!(parse(&["explain", "--bit", "300"]).is_err());
+        // The full valid range parses.
+        for bit in 0..=7u8 {
+            assert_eq!(
+                parse(&["explain", "--bit", &bit.to_string()]).unwrap().bit,
+                bit
+            );
+        }
+    }
+
+    #[test]
+    fn byte_past_instruction_length_is_rejected() {
+        // x86 instructions are at most 15 bytes, so --byte 15 is out of
+        // range for any real instruction: both explain and propagate
+        // must hard-error instead of reporting a missing target.
+        let app = AppSpec::ftpd();
+        let addr = enumerate_targets(&app.image, &app.auth_funcs, false).targets[0].addr;
+        for cmd in ["explain", "propagate"] {
+            let a = Args {
+                byte: 15,
+                addr: Some(addr),
+                app: "ftpd".into(),
+                ..parse(&[cmd]).unwrap()
+            };
+            let e = run(&a).unwrap_err();
+            assert!(e.contains("--byte 15 out of range"), "{cmd}: {e}");
+            assert!(e.contains("byte(s)"), "{cmd}: {e}");
+        }
+    }
+
+    #[test]
+    fn propagation_flag_arms_the_tracer_campaign_wide() {
+        let a = parse(&["table1", "--propagation"]).unwrap();
+        assert!(a.propagation);
+        assert!(cfg_of(&a, EncodingScheme::Baseline).propagation);
+        let plain = parse(&["table1"]).unwrap();
+        assert!(!cfg_of(&plain, EncodingScheme::Baseline).propagation);
+        assert!(usage().contains("--propagation"), "{}", usage());
     }
 
     #[test]

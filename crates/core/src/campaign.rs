@@ -7,12 +7,13 @@ use fisec_encoding::EncodingScheme;
 use fisec_inject::{
     enumerate_targets, golden_run_opts, golden_run_with_coverage_opts,
     run_injection_group_recorded, run_injection_recorded, DivergenceReport, EngineOpts, GoldenRun,
-    GroupMeta, InjectionRun, InjectionTarget, OutcomeClass, RunMeta,
+    GroupMeta, InjectionRun, InjectionTarget, OutcomeClass, PropagationReport, RunMeta,
 };
 use fisec_os::Stop;
 use fisec_telemetry::{
     metric, CacheEvent, CampaignEndEvent, CampaignEvent, HotBlock, MetricsShard, Phase,
-    ProfileData, ProfileEvent, RunEvent, SlowShape, SpanEvent, Telemetry, TraceEvent,
+    ProfileData, ProfileEvent, PropagationEvent, RunEvent, SlowShape, SpanEvent, Telemetry,
+    TraceEvent,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -83,6 +84,14 @@ pub struct CampaignConfig {
     /// group → run → phase) into the trace stream (`--chrome-trace`).
     /// Off by default so existing traces stay byte-compatible.
     pub spans: bool,
+    /// Trace how each activated injection's corrupted data propagates
+    /// (`--propagation`): the taint tracer is armed per run at the flip,
+    /// run events gain taint-to-decision latency / peak width /
+    /// compare-vs-store ordering, the metrics registry gains per-outcome
+    /// taint histograms, and one `propagation` aggregate trace event is
+    /// emitted per campaign. A pure observer: classification results
+    /// are bit-identical either way (differential tests).
+    pub propagation: bool,
 }
 
 impl Default for CampaignConfig {
@@ -97,6 +106,7 @@ impl Default for CampaignConfig {
             flight_recorder: false,
             profiler: false,
             spans: false,
+            propagation: false,
         }
     }
 }
@@ -109,6 +119,7 @@ impl CampaignConfig {
             trace_cache: self.trace_cache,
             flight_recorder: self.flight_recorder,
             profiler: self.profiler,
+            propagation: self.propagation,
             // The execution footprint is a per-group opt-in: the cached
             // paths enable it per process via `with_footprint()`.
             footprint: false,
@@ -175,13 +186,33 @@ struct RunDivergence {
     trace_latency: Option<u64>,
 }
 
-/// What the engine hands back per run once traces are digested away.
-type DigestedRun = (InjectionRun, Option<RunDivergence>);
+/// Compact per-run digest of a [`PropagationReport`]: everything the
+/// campaign keeps after the (event-heavy) timeline is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RunPropagation {
+    /// Whether the injected instruction retired (taint was seeded).
+    seeded: bool,
+    /// Instructions from the seed to the first tainted compare/branch.
+    taint_to_decision: Option<u64>,
+    /// Whether a tainted compare preceded every tainted store.
+    compare_first: bool,
+    /// Peak tainted width in bytes over the run.
+    peak_width: u32,
+    /// Whether every corrupted location was overwritten clean.
+    died: bool,
+    /// Whether the observation horizon froze the tracer.
+    frozen: bool,
+}
 
-/// Digested runs in the campaign cache's wire shape.
+/// What the engine hands back per run once traces are digested away.
+type DigestedRun = (InjectionRun, Option<RunDivergence>, Option<RunPropagation>);
+
+/// Digested runs in the campaign cache's wire shape. The store memoizes
+/// only the (run, divergence) pair — propagation campaigns bypass it
+/// entirely, so a taint digest never needs to survive a round-trip.
 fn to_cached(runs: &[DigestedRun]) -> Vec<CachedDigestedRun> {
     runs.iter()
-        .map(|(run, div)| (run.clone(), div.map(|d| (d.depth, d.trace_latency))))
+        .map(|(run, div, _)| (run.clone(), div.map(|d| (d.depth, d.trace_latency))))
         .collect()
 }
 
@@ -195,6 +226,7 @@ fn from_cached(runs: Vec<CachedDigestedRun>) -> Vec<DigestedRun> {
                     depth,
                     trace_latency,
                 }),
+                None,
             )
         })
         .collect()
@@ -209,6 +241,19 @@ fn digest(run: &InjectionRun, rep: Option<&DivergenceReport>) -> Option<RunDiver
     })
 }
 
+/// Digest a propagation report down to the per-run numbers the campaign
+/// keeps; `None` when the tracer was off.
+fn digest_prop(rep: Option<&PropagationReport>) -> Option<RunPropagation> {
+    rep.map(|rep| RunPropagation {
+        seeded: rep.seeded(),
+        taint_to_decision: rep.taint_to_decision(),
+        compare_first: rep.compare_before_store(),
+        peak_width: rep.log.peak_width,
+        died: rep.log.death.is_some(),
+        frozen: rep.log.frozen,
+    })
+}
+
 /// Metrics histogram a run's divergence depth lands in, by outcome.
 fn depth_metric(outcome: OutcomeClass) -> Option<&'static str> {
     match outcome {
@@ -217,6 +262,83 @@ fn depth_metric(outcome: OutcomeClass) -> Option<&'static str> {
         OutcomeClass::SystemDetection => Some(metric::DIVERGENCE_DEPTH_SD),
         OutcomeClass::FailSilenceViolation => Some(metric::DIVERGENCE_DEPTH_FSV),
         OutcomeClass::Breakin => Some(metric::DIVERGENCE_DEPTH_BRK),
+    }
+}
+
+/// Metrics histograms a seeded run's taint-to-branch latency and peak
+/// width land in, by outcome.
+fn taint_metrics(outcome: OutcomeClass) -> Option<(&'static str, &'static str)> {
+    match outcome {
+        OutcomeClass::NotActivated => None,
+        OutcomeClass::NotManifested => Some((metric::TAINT_TO_BRANCH_NM, metric::TAINT_WIDTH_NM)),
+        OutcomeClass::SystemDetection => Some((metric::TAINT_TO_BRANCH_SD, metric::TAINT_WIDTH_SD)),
+        OutcomeClass::FailSilenceViolation => {
+            Some((metric::TAINT_TO_BRANCH_FSV, metric::TAINT_WIDTH_FSV))
+        }
+        OutcomeClass::Breakin => Some((metric::TAINT_TO_BRANCH_BRK, metric::TAINT_WIDTH_BRK)),
+    }
+}
+
+/// Campaign-wide propagation aggregate: how far corrupted data
+/// travelled across every seeded run, per client or summed per app.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropagationStats {
+    /// Runs whose injected instruction retired (taint was seeded).
+    pub seeded: u64,
+    /// Seeded runs whose corruption reached a compare/branch decision.
+    pub reached_decision: u64,
+    /// Seeded runs where a tainted compare preceded any tainted store.
+    pub compare_first: u64,
+    /// Seeded runs whose taint died before the run stopped.
+    pub deaths: u64,
+    /// Seeded runs frozen by the observation horizon.
+    pub frozen: u64,
+    /// Fail-silence violations among the seeded runs.
+    pub fsv_seeded: u64,
+    /// FSV runs whose corruption reached a tainted decision.
+    pub fsv_reached_decision: u64,
+    /// FSV runs where a tainted compare preceded any tainted store.
+    pub fsv_compare_first: u64,
+}
+
+impl PropagationStats {
+    fn add(&mut self, outcome: OutcomeClass, p: RunPropagation) {
+        if !p.seeded {
+            return;
+        }
+        self.seeded += 1;
+        self.reached_decision += u64::from(p.taint_to_decision.is_some());
+        self.compare_first += u64::from(p.compare_first);
+        self.deaths += u64::from(p.died);
+        self.frozen += u64::from(p.frozen);
+        if outcome == OutcomeClass::FailSilenceViolation {
+            self.fsv_seeded += 1;
+            self.fsv_reached_decision += u64::from(p.taint_to_decision.is_some());
+            self.fsv_compare_first += u64::from(p.compare_first);
+        }
+    }
+
+    /// Fold another aggregate into this one.
+    pub fn merge(&mut self, other: &PropagationStats) {
+        self.seeded += other.seeded;
+        self.reached_decision += other.reached_decision;
+        self.compare_first += other.compare_first;
+        self.deaths += other.deaths;
+        self.frozen += other.frozen;
+        self.fsv_seeded += other.fsv_seeded;
+        self.fsv_reached_decision += other.fsv_reached_decision;
+        self.fsv_compare_first += other.fsv_compare_first;
+    }
+
+    /// Share of seeded FSV runs whose corruption reached a tainted
+    /// compare or branch before the run stopped (0.0 when no FSV run
+    /// seeded).
+    pub fn fsv_decision_rate(&self) -> f64 {
+        if self.fsv_seeded == 0 {
+            0.0
+        } else {
+            self.fsv_reached_decision as f64 / self.fsv_seeded as f64
+        }
     }
 }
 
@@ -262,6 +384,9 @@ pub struct ClientCampaign {
     pub trace_crash_latencies: Vec<u64>,
     /// Crash runs with pre-crash traffic deviation (transient window).
     pub transient_deviations: usize,
+    /// Propagation aggregate over this client's runs; `None` when the
+    /// campaign ran without the taint tracer.
+    pub propagation: Option<PropagationStats>,
     /// Full per-run records.
     pub records: Vec<RunRecord>,
 }
@@ -292,6 +417,20 @@ impl CampaignResult {
     /// Sum of FSV over all clients.
     pub fn total_fsv(&self) -> usize {
         self.clients.iter().map(|c| c.counts.fsv).sum()
+    }
+
+    /// Propagation aggregate summed over all clients; `None` when the
+    /// campaign ran without the taint tracer.
+    pub fn propagation_totals(&self) -> Option<PropagationStats> {
+        let mut total = PropagationStats::default();
+        let mut any = false;
+        for cc in &self.clients {
+            if let Some(p) = &cc.propagation {
+                total.merge(p);
+                any = true;
+            }
+        }
+        any.then_some(total)
     }
 }
 
@@ -375,11 +514,13 @@ impl<'a> WorkerTel<'a> {
         target: &InjectionTarget,
         run: &InjectionRun,
         div: Option<RunDivergence>,
+        prop: Option<RunPropagation>,
         icount: u64,
         micros: u64,
         snapshot_replay: bool,
         cache_hit: bool,
     ) {
+        let seeded = prop.filter(|p| p.seeded);
         self.batch.push(TraceEvent::Run(RunEvent {
             client: self.client,
             addr: target.addr,
@@ -397,6 +538,9 @@ impl<'a> WorkerTel<'a> {
             transient_deviation: run.transient_deviation,
             divergence_depth: div.and_then(|d| d.depth),
             trace_latency: div.and_then(|d| d.trace_latency),
+            taint_decision: seeded.and_then(|p| p.taint_to_decision),
+            taint_width: seeded.map(|p| u64::from(p.peak_width)),
+            taint_compare_first: seeded.map(|p| p.compare_first),
         }));
     }
 
@@ -404,6 +548,32 @@ impl<'a> WorkerTel<'a> {
     fn observe_divergence(&mut self, run: &InjectionRun, div: Option<RunDivergence>) {
         if let (Some(depth), Some(name)) = (div.and_then(|d| d.depth), depth_metric(run.outcome)) {
             self.shard.observe(name, depth);
+        }
+    }
+
+    /// Land a seeded run's taint counters and per-outcome histograms.
+    fn observe_propagation(&mut self, run: &InjectionRun, prop: Option<RunPropagation>) {
+        let Some(p) = prop.filter(|p| p.seeded) else {
+            return;
+        };
+        self.shard.inc(metric::TAINT_SEEDED_RUNS, 1);
+        if p.died {
+            self.shard.inc(metric::TAINT_DEATH_RUNS, 1);
+        }
+        if p.frozen {
+            self.shard.inc(metric::TAINT_FROZEN_RUNS, 1);
+        }
+        if p.compare_first {
+            self.shard.inc(metric::TAINT_CMP_FIRST_RUNS, 1);
+        }
+        if let Some(lat) = p.taint_to_decision {
+            self.shard.inc(metric::TAINT_DECISION_RUNS, 1);
+            if let Some((lat_metric, _)) = taint_metrics(run.outcome) {
+                self.shard.observe(lat_metric, lat);
+            }
+        }
+        if let Some((_, width_metric)) = taint_metrics(run.outcome) {
+            self.shard.observe(width_metric, u64::from(p.peak_width));
         }
     }
 
@@ -415,11 +585,13 @@ impl<'a> WorkerTel<'a> {
     }
 
     /// One from-scratch experiment: the boot belongs to the run.
+    #[allow(clippy::too_many_arguments)]
     fn note_fresh(
         &mut self,
         target: &InjectionTarget,
         run: &InjectionRun,
         div: Option<RunDivergence>,
+        prop: Option<RunPropagation>,
         meta: RunMeta,
         gmeta: GroupMeta,
     ) {
@@ -435,8 +607,9 @@ impl<'a> WorkerTel<'a> {
         self.shard.phase_add(Phase::Replay, meta.run_micros);
         self.shard.phase_add(Phase::Classify, meta.classify_micros);
         self.observe_divergence(run, div);
+        self.observe_propagation(run, prop);
         if self.tel.events_enabled() {
-            self.push_event(target, run, div, meta.icount, micros, false, false);
+            self.push_event(target, run, div, prop, meta.icount, micros, false, false);
             if let Some(epoch) = self.span_epoch {
                 // The phases were just measured, so the span is laid out
                 // backwards from "now": boot → replay → classify.
@@ -466,7 +639,12 @@ impl<'a> WorkerTel<'a> {
     fn note_group(
         &mut self,
         targets: &[InjectionTarget],
-        runs: &[(InjectionRun, RunMeta, Option<RunDivergence>)],
+        runs: &[(
+            InjectionRun,
+            RunMeta,
+            Option<RunDivergence>,
+            Option<RunPropagation>,
+        )],
         gmeta: GroupMeta,
     ) {
         if !self.tel.enabled() {
@@ -482,18 +660,20 @@ impl<'a> WorkerTel<'a> {
         self.shard.phase_add(Phase::Boot, gmeta.boot_micros);
         self.shard.phase_add(Phase::Snapshot, gmeta.snapshot_micros);
         let mut tally = [0u64; 5];
-        for ((run, meta, div), target) in runs.iter().zip(targets) {
+        for ((run, meta, div, prop), target) in runs.iter().zip(targets) {
             self.shard.observe(metric::REPLAY_MICROS, meta.run_micros);
             self.shard.observe(metric::ICOUNT, meta.icount);
             self.shard.phase_add(Phase::Replay, meta.run_micros);
             self.shard.phase_add(Phase::Classify, meta.classify_micros);
             self.observe_divergence(run, *div);
+            self.observe_propagation(run, *prop);
             tally[outcome_index(run.outcome)] += 1;
             if self.tel.events_enabled() {
                 self.push_event(
                     target,
                     run,
                     *div,
+                    *prop,
                     meta.icount,
                     meta.run_micros,
                     gmeta.activated,
@@ -516,7 +696,12 @@ impl<'a> WorkerTel<'a> {
     fn push_group_spans(
         &mut self,
         targets: &[InjectionTarget],
-        runs: &[(InjectionRun, RunMeta, Option<RunDivergence>)],
+        runs: &[(
+            InjectionRun,
+            RunMeta,
+            Option<RunDivergence>,
+            Option<RunPropagation>,
+        )],
         gmeta: GroupMeta,
         epoch: Instant,
     ) {
@@ -525,7 +710,7 @@ impl<'a> WorkerTel<'a> {
             + gmeta.snapshot_micros
             + runs
                 .iter()
-                .map(|(_, m, _)| m.run_micros + m.classify_micros)
+                .map(|(_, m, _, _)| m.run_micros + m.classify_micros)
                 .sum::<u64>();
         let start = end.saturating_sub(total);
         let addr = targets.first().map(|t| t.addr);
@@ -537,7 +722,7 @@ impl<'a> WorkerTel<'a> {
             self.push_span("snapshot", "phase", cursor, gmeta.snapshot_micros, None);
             cursor += gmeta.snapshot_micros;
         }
-        for (_, m, _) in runs {
+        for (_, m, _, _) in runs {
             let dur = m.run_micros + m.classify_micros;
             self.push_span("run", "run", cursor, dur, addr);
             self.push_span("replay", "phase", cursor, m.run_micros, None);
@@ -580,6 +765,9 @@ impl<'a> WorkerTel<'a> {
                     transient_deviation: false,
                     divergence_depth: None,
                     trace_latency: None,
+                    taint_decision: None,
+                    taint_width: None,
+                    taint_compare_first: None,
                 }));
             }
             self.flush_if_full();
@@ -602,11 +790,11 @@ impl<'a> WorkerTel<'a> {
         self.shard.inc(metric::CACHE_HIT_GROUPS, 1);
         self.shard.inc(metric::CACHE_SYNTH_RUNS, n);
         let mut tally = [0u64; 5];
-        for ((run, div), target) in runs.iter().zip(targets) {
+        for ((run, div, prop), target) in runs.iter().zip(targets) {
             self.observe_divergence(run, *div);
             tally[outcome_index(run.outcome)] += 1;
             if self.tel.events_enabled() {
-                self.push_event(target, run, *div, 0, 0, false, true);
+                self.push_event(target, run, *div, *prop, 0, 0, false, true);
             }
         }
         if self.tel.events_enabled() {
@@ -732,8 +920,14 @@ pub fn run_campaign_cached(
             main.inc(metric::FRESH_BOOTS, 1);
             main.phase_add(Phase::Boot, micros_since(boot_start));
         }
-        let store =
-            cache.map(|c| c.open_client(app, spec, cfg.scheme, cfg.flight_recorder, &golden));
+        // Propagation campaigns bypass the incremental store: its wire
+        // schema memoizes (run, divergence) pairs only, and folding a
+        // memoized group would silently drop its taint timelines.
+        let store = if cfg.propagation {
+            None
+        } else {
+            cache.map(|c| c.open_client(app, spec, cfg.scheme, cfg.flight_recorder, &golden))
+        };
         if let Some(s) = &store {
             if s.context_invalidated {
                 if tel.enabled() {
@@ -781,9 +975,13 @@ pub fn run_campaign_cached(
             crash_latencies: Vec::new(),
             trace_crash_latencies: Vec::new(),
             transient_deviations: 0,
+            propagation: cfg.propagation.then(PropagationStats::default),
             records: Vec::new(),
         };
-        for (target, (run, div)) in set.targets.iter().zip(&records) {
+        for (target, (run, div, prop)) in set.targets.iter().zip(&records) {
+            if let (Some(stats), Some(p)) = (&mut cc.propagation, prop) {
+                stats.add(run.outcome, *p);
+            }
             cc.counts.add(run.outcome);
             if matches!(
                 run.outcome,
@@ -882,6 +1080,23 @@ pub fn run_campaign_cached(
                     })));
                 }
             }
+            if let Some(p) = result.propagation_totals() {
+                // The aggregate is rebuilt from the result's per-client
+                // stats, so it is exact regardless of how many
+                // campaigns share the registry.
+                tel.sink.emit(&TraceEvent::Propagation(PropagationEvent {
+                    app: app.name.to_string(),
+                    mode: cfg.mode.name().to_string(),
+                    seeded: p.seeded,
+                    reached_decision: p.reached_decision,
+                    compare_first: p.compare_first,
+                    deaths: p.deaths,
+                    frozen: p.frozen,
+                    fsv_seeded: p.fsv_seeded,
+                    fsv_reached_decision: p.fsv_reached_decision,
+                    fsv_compare_first: p.fsv_compare_first,
+                }));
+            }
             tel.sink.emit(&TraceEvent::CampaignEnd(CampaignEndEvent {
                 wall_micros: micros_since(wall_start),
                 boot_micros: phase(Phase::Boot),
@@ -918,7 +1133,7 @@ fn run_targets(
     client_idx: usize,
     span_epoch: Option<Instant>,
     store: Option<&ClientStore>,
-) -> Vec<(InjectionRun, Option<RunDivergence>)> {
+) -> Vec<DigestedRun> {
     match (cfg.mode, store) {
         (ExecutionMode::FromScratch, None) => {
             run_targets_from_scratch(app, spec, golden, targets, cfg, tel, client_idx, span_epoch)
@@ -958,7 +1173,7 @@ fn run_targets_from_scratch(
     tel: &Telemetry,
     client_idx: usize,
     span_epoch: Option<Instant>,
-) -> Vec<(InjectionRun, Option<RunDivergence>)> {
+) -> Vec<DigestedRun> {
     let engine = cfg.engine();
     let threads = cfg.threads.max(1);
     if threads == 1 || targets.len() < 64 {
@@ -966,20 +1181,21 @@ fn run_targets_from_scratch(
         let out = targets
             .iter()
             .map(|t| {
-                let (run, meta, gmeta, rep, prof, _fp) =
+                let (run, meta, gmeta, rep, prof, _fp, preport) =
                     run_injection_recorded(&app.image, spec, golden, t, cfg.scheme, engine)
                         .expect("image loads");
                 let div = digest(&run, rep.as_ref());
-                wt.note_fresh(t, &run, div, meta, gmeta);
+                let prop = digest_prop(preport.as_ref());
+                wt.note_fresh(t, &run, div, prop, meta, gmeta);
                 wt.note_exec_profile(prof.as_ref());
-                (run, div)
+                (run, div, prop)
             })
             .collect();
         wt.finish();
         return out;
     }
     let chunk = targets.len().div_ceil(threads);
-    let mut out: Vec<Vec<(InjectionRun, Option<RunDivergence>)>> = Vec::new();
+    let mut out: Vec<Vec<DigestedRun>> = Vec::new();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (w, shard) in targets.chunks(chunk).enumerate() {
@@ -988,13 +1204,14 @@ fn run_targets_from_scratch(
                 let runs = shard
                     .iter()
                     .map(|t| {
-                        let (run, meta, gmeta, rep, prof, _fp) =
+                        let (run, meta, gmeta, rep, prof, _fp, preport) =
                             run_injection_recorded(&app.image, spec, golden, t, cfg.scheme, engine)
                                 .expect("image loads");
                         let div = digest(&run, rep.as_ref());
-                        wt.note_fresh(t, &run, div, meta, gmeta);
+                        let prop = digest_prop(preport.as_ref());
+                        wt.note_fresh(t, &run, div, prop, meta, gmeta);
                         wt.note_exec_profile(prof.as_ref());
-                        (run, div)
+                        (run, div, prop)
                     })
                     .collect::<Vec<_>>();
                 wt.finish();
@@ -1057,7 +1274,7 @@ fn run_targets_from_scratch_cached(
     client_idx: usize,
     span_epoch: Option<Instant>,
     store: &ClientStore,
-) -> Vec<(InjectionRun, Option<RunDivergence>)> {
+) -> Vec<DigestedRun> {
     let groups = group_targets(targets);
     let engine = cfg.engine().with_footprint();
     let mut wt0 = WorkerTel::new(tel, client_idx, 0, span_epoch);
@@ -1077,23 +1294,22 @@ fn run_targets_from_scratch_cached(
         )
         .collect();
 
-    let run_group = |group: &[InjectionTarget],
-                     wt: &mut WorkerTel<'_>|
-     -> Vec<(InjectionRun, Option<RunDivergence>)> {
+    let run_group = |group: &[InjectionTarget], wt: &mut WorkerTel<'_>| -> Vec<DigestedRun> {
         let mut foot: Vec<(u32, u32)> = Vec::new();
         let runs: Vec<DigestedRun> = group
             .iter()
             .map(|t| {
-                let (run, meta, gmeta, rep, prof, fp) =
+                let (run, meta, gmeta, rep, prof, fp, preport) =
                     run_injection_recorded(&app.image, spec, golden, t, cfg.scheme, engine)
                         .expect("image loads");
                 let div = digest(&run, rep.as_ref());
-                wt.note_fresh(t, &run, div, meta, gmeta);
+                let prop = digest_prop(preport.as_ref());
+                wt.note_fresh(t, &run, div, prop, meta, gmeta);
                 wt.note_exec_profile(prof.as_ref());
                 if let Some(fp) = fp {
                     foot.extend(fp.ranges());
                 }
-                (run, div)
+                (run, div, prop)
             })
             .collect();
         store.record(
@@ -1197,7 +1413,7 @@ fn run_targets_snapshot(
     client_idx: usize,
     span_epoch: Option<Instant>,
     store: Option<&ClientStore>,
-) -> Vec<(InjectionRun, Option<RunDivergence>)> {
+) -> Vec<DigestedRun> {
     let groups = group_targets(targets);
     // With a cache attached the group processes record their execution
     // footprint (a pure observer; results stay bit-identical) so the
@@ -1230,7 +1446,7 @@ fn run_targets_snapshot(
     } else {
         None
     };
-    let synth_na = |n: usize| -> Vec<(InjectionRun, Option<RunDivergence>)> {
+    let synth_na = |n: usize| -> Vec<DigestedRun> {
         let na = InjectionRun {
             outcome: OutcomeClass::NotActivated,
             activated: false,
@@ -1240,28 +1456,35 @@ fn run_targets_snapshot(
             transient_deviation: false,
             divergence: None,
         };
-        vec![(na, None); n]
+        vec![(na, None, None); n]
     };
 
     // One checkpoint group: run it, digest each report down to the
     // per-run numbers the campaign keeps, drop the traces, and — with a
     // cache attached — write the memoized entry back.
-    let run_group = |group: &[InjectionTarget],
-                     wt: &mut WorkerTel<'_>|
-     -> Vec<(InjectionRun, Option<RunDivergence>)> {
+    let run_group = |group: &[InjectionTarget], wt: &mut WorkerTel<'_>| -> Vec<DigestedRun> {
         let (runs, gmeta, prof, fp) =
             run_injection_group_recorded(&app.image, spec, golden, group, cfg.scheme, engine)
                 .expect("image loads");
-        let runs: Vec<(InjectionRun, RunMeta, Option<RunDivergence>)> = runs
+        let runs: Vec<(
+            InjectionRun,
+            RunMeta,
+            Option<RunDivergence>,
+            Option<RunPropagation>,
+        )> = runs
             .into_iter()
-            .map(|(run, meta, rep)| {
+            .map(|(run, meta, rep, preport)| {
                 let div = digest(&run, rep.as_ref());
-                (run, meta, div)
+                let prop = digest_prop(preport.as_ref());
+                (run, meta, div, prop)
             })
             .collect();
         wt.note_group(group, &runs, gmeta);
         wt.note_exec_profile(prof.as_ref());
-        let digested: Vec<DigestedRun> = runs.into_iter().map(|(run, _, div)| (run, div)).collect();
+        let digested: Vec<DigestedRun> = runs
+            .into_iter()
+            .map(|(run, _, div, prop)| (run, div, prop))
+            .collect();
         if let Some(store) = store {
             let foot = fp.map(|f| f.ranges()).unwrap_or_default();
             store.record(&app.image, group, &to_cached(&digested), foot);
@@ -1379,9 +1602,10 @@ mod tests {
         );
         assert_eq!(runs.len(), 24);
         let mut counts = OutcomeCounts::default();
-        for (r, div) in &runs {
+        for (r, div, prop) in &runs {
             counts.add(r.outcome);
             assert!(div.is_none(), "recorder off must not produce digests");
+            assert!(prop.is_none(), "tracer off must not produce digests");
         }
         assert_eq!(counts.total(), 24);
         // Opcode-bit flips on a hot path must manifest somehow.
@@ -1538,6 +1762,154 @@ mod tests {
             let ob: Vec<_> = b.iter().map(|r| (r.0.outcome, r.0.crash_latency)).collect();
             assert_eq!(oa, ob, "profiler changed outcomes in {} mode", mode.name());
         }
+    }
+
+    #[test]
+    fn propagation_is_invisible_to_outcomes_in_all_four_engine_configs() {
+        // The taint tracer is a pure observer: outcomes and crash
+        // latencies must be bit-identical tracer on/off in both
+        // execution modes and across all four {block cache} x {trace
+        // cache} engine configurations.
+        let app = AppSpec::ftpd();
+        let set = enumerate_targets(&app.image, &["pass"], true);
+        let targets: Vec<_> = set.targets.iter().take(60).copied().collect();
+        let spec = &app.clients[0];
+        let tel = Telemetry::disabled();
+        for mode in [ExecutionMode::Snapshot, ExecutionMode::FromScratch] {
+            for (block_cache, trace_cache) in
+                [(true, true), (true, false), (false, true), (false, false)]
+            {
+                let plain = CampaignConfig {
+                    mode,
+                    block_cache,
+                    trace_cache,
+                    ..CampaignConfig::default()
+                };
+                let traced = CampaignConfig {
+                    propagation: true,
+                    ..plain
+                };
+                let golden = golden_run_opts(&app.image, spec, plain.engine()).unwrap();
+                let a = run_targets(&app, spec, &golden, &targets, &plain, &tel, 0, None, None);
+                let golden = golden_run_opts(&app.image, spec, traced.engine()).unwrap();
+                let b = run_targets(&app, spec, &golden, &targets, &traced, &tel, 0, None, None);
+                let oa: Vec<_> = a.iter().map(|r| (r.0.outcome, r.0.crash_latency)).collect();
+                let ob: Vec<_> = b.iter().map(|r| (r.0.outcome, r.0.crash_latency)).collect();
+                assert_eq!(
+                    oa,
+                    ob,
+                    "tracer changed outcomes in {} mode (block_cache={block_cache}, \
+                     trace_cache={trace_cache})",
+                    mode.name()
+                );
+                // And the traced runs actually produced digests.
+                assert!(
+                    b.iter().any(|r| r.2.is_some_and(|p| p.seeded)),
+                    "no run seeded taint in {} mode",
+                    mode.name()
+                );
+                assert!(
+                    a.iter().all(|r| r.2.is_none()),
+                    "tracer off must not produce digests"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_campaign_emits_taint_metrics_and_aggregate_event() {
+        let app = AppSpec::ftpd();
+        let sink = std::sync::Arc::new(fisec_telemetry::MemorySink::new());
+        let tel = Telemetry::new(sink.clone(), false);
+        let cfg = CampaignConfig {
+            cond_branches_only: true,
+            propagation: true,
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign_traced(&app, &cfg, &tel);
+        let totals = result
+            .propagation_totals()
+            .expect("propagation campaign aggregates stats");
+        assert!(totals.seeded > 0, "no run seeded taint");
+        assert!(totals.reached_decision > 0, "no taint reached a decision");
+        // The aggregate event sits immediately before the trailer and
+        // mirrors the per-client stats exactly.
+        let events = sink.events();
+        let n = events.len();
+        assert!(matches!(&events[n - 1], TraceEvent::CampaignEnd(_)));
+        let TraceEvent::Propagation(p) = &events[n - 2] else {
+            panic!(
+                "expected a propagation event before the trailer: {:?}",
+                events[n - 2]
+            );
+        };
+        assert_eq!(p.app, "ftpd");
+        assert_eq!(p.seeded, totals.seeded);
+        assert_eq!(p.reached_decision, totals.reached_decision);
+        assert_eq!(p.fsv_seeded, totals.fsv_seeded);
+        // Seeded run events carry the taint fields; unseeded ones don't.
+        let mut decisions = 0u64;
+        let mut widths = 0u64;
+        for ev in &events {
+            if let TraceEvent::Run(r) = ev {
+                if r.outcome == "NA" {
+                    assert_eq!(r.taint_width, None, "NA runs never seed taint");
+                }
+                if r.taint_decision.is_some() {
+                    decisions += 1;
+                }
+                if r.taint_width.is_some() {
+                    widths += 1;
+                }
+            }
+        }
+        assert_eq!(widths, totals.seeded);
+        assert_eq!(decisions, totals.reached_decision);
+        // The latency/width histograms observed the same populations.
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter(metric::TAINT_SEEDED_RUNS), totals.seeded);
+        let lat: u64 = [
+            metric::TAINT_TO_BRANCH_NM,
+            metric::TAINT_TO_BRANCH_SD,
+            metric::TAINT_TO_BRANCH_FSV,
+            metric::TAINT_TO_BRANCH_BRK,
+        ]
+        .iter()
+        .filter_map(|m| snap.histogram(m))
+        .map(|h| h.count)
+        .sum();
+        assert_eq!(lat, decisions);
+        // And the event round-trips through the JSONL wire format.
+        let line = events[n - 2].to_json_line();
+        assert_eq!(TraceEvent::parse_line(&line).unwrap(), events[n - 2]);
+    }
+
+    #[test]
+    fn propagation_campaign_bypasses_the_cache_store() {
+        // The PR 9 store memoizes only (run, divergence): a propagation
+        // campaign must not open it at all — neither writing taint-less
+        // entries nor serving memoized runs without taint digests.
+        let dir = std::env::temp_dir().join(format!("fisec_prop_cache_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = CampaignCache::at(dir.clone());
+        let mut app = AppSpec::ftpd();
+        app.clients.truncate(1);
+        let cfg = CampaignConfig {
+            cond_branches_only: true,
+            propagation: true,
+            ..CampaignConfig::default()
+        };
+        let tel = Telemetry::disabled();
+        let a = run_campaign_cached(&app, &cfg, &tel, Some(&cache));
+        assert!(
+            std::fs::read_dir(&dir).unwrap().next().is_none(),
+            "propagation campaign must not create store files"
+        );
+        // A second run reproduces the same outcomes from scratch.
+        let b = run_campaign_cached(&app, &cfg, &tel, Some(&cache));
+        assert_eq!(a.clients[0].counts, b.clients[0].counts);
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

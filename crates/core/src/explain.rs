@@ -58,7 +58,7 @@ pub fn explain(
         ..EngineOpts::default()
     };
     let golden = golden_run_opts(&app.image, spec, engine).map_err(|e| e.to_string())?;
-    let (run, _, _, rep, _, _) =
+    let (run, _, _, rep, _, _, _) =
         run_injection_recorded(&app.image, spec, &golden, &target, scheme, engine)
             .map_err(|e| e.to_string())?;
 

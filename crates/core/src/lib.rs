@@ -38,6 +38,7 @@ pub mod explain;
 pub mod figure4;
 pub mod hotblocks;
 pub mod load;
+pub mod propagate;
 pub mod random;
 pub mod report;
 pub mod stats;
@@ -47,7 +48,7 @@ pub mod trace;
 pub use cache::CampaignCache;
 pub use campaign::{
     run_campaign, run_campaign_cached, run_campaign_traced, CampaignConfig, CampaignResult,
-    ClientCampaign, ExecutionMode, RunRecord,
+    ClientCampaign, ExecutionMode, PropagationStats, RunRecord,
 };
 pub use counts::{LocationCounts, OutcomeCounts};
 pub use fisec_encoding::EncodingScheme;

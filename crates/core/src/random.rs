@@ -495,6 +495,7 @@ pub fn read_ledger(path: impl AsRef<Path>) -> Result<LedgerState, String> {
             | TraceEvent::CampaignEnd(_)
             | TraceEvent::Span(_)
             | TraceEvent::Profile(_)
+            | TraceEvent::Propagation(_)
             | TraceEvent::Cache(_) => {}
         }
     }

@@ -71,6 +71,40 @@ fn divergence_hists(c: &ReplayedCampaign) -> Vec<(&'static str, LogHistogram)> {
         .collect()
 }
 
+/// The taint histograms a propagation campaign's run events rebuild:
+/// taint-to-decision latency and peak taint width per outcome class.
+fn taint_hists(c: &ReplayedCampaign) -> Vec<(&'static str, LogHistogram)> {
+    let mut lat = [
+        (metric::TAINT_TO_BRANCH_NM, "NM", LogHistogram::default()),
+        (metric::TAINT_TO_BRANCH_SD, "SD", LogHistogram::default()),
+        (metric::TAINT_TO_BRANCH_FSV, "FSV", LogHistogram::default()),
+        (metric::TAINT_TO_BRANCH_BRK, "BRK", LogHistogram::default()),
+    ];
+    let mut width = [
+        (metric::TAINT_WIDTH_NM, "NM", LogHistogram::default()),
+        (metric::TAINT_WIDTH_SD, "SD", LogHistogram::default()),
+        (metric::TAINT_WIDTH_FSV, "FSV", LogHistogram::default()),
+        (metric::TAINT_WIDTH_BRK, "BRK", LogHistogram::default()),
+    ];
+    for run in &c.run_events {
+        if let Some(d) = run.taint_decision {
+            if let Some(h) = lat.iter_mut().find(|(_, abbr, _)| *abbr == run.outcome) {
+                h.2.record(d);
+            }
+        }
+        if let Some(w) = run.taint_width {
+            if let Some(h) = width.iter_mut().find(|(_, abbr, _)| *abbr == run.outcome) {
+                h.2.record(w);
+            }
+        }
+    }
+    lat.into_iter()
+        .chain(width)
+        .filter(|(_, _, h)| h.count > 0)
+        .map(|(name, _, h)| (name, h))
+        .collect()
+}
+
 /// One histogram line in the shared p50/p95/p99 format.
 fn hist_line(name: &str, h: &LogHistogram) -> String {
     let (p50, p95, p99) = h.percentiles();
@@ -208,6 +242,27 @@ pub fn render_html(trace: &ReplayedTrace) -> String {
             pre(&mut out, &format!("Divergence depth — {title}"), &body);
         }
 
+        // Propagation profile (taint-traced campaigns only).
+        if let Some(p) = &c.propagation {
+            let mut body = format!(
+                "seeded {}  reached decision {}  compare-first {}  deaths {}  frozen {}\n",
+                p.seeded, p.reached_decision, p.compare_first, p.deaths, p.frozen
+            );
+            if p.fsv_seeded > 0 {
+                let pct = 100.0 * p.fsv_reached_decision as f64 / p.fsv_seeded as f64;
+                let _ = writeln!(
+                    body,
+                    "FSV: {}/{} reached a tainted decision ({pct:.1}%), \
+                     {} compare-before-store",
+                    p.fsv_reached_decision, p.fsv_seeded, p.fsv_compare_first
+                );
+            }
+            for (name, h) in taint_hists(c) {
+                body.push_str(&hist_line(name, &h));
+            }
+            pre(&mut out, &format!("Propagation — {title}"), &body);
+        }
+
         // Hot-block table (profiler campaigns only).
         if let Some(p) = &c.profile {
             let app = image_for(&p.app);
@@ -256,7 +311,8 @@ mod tests {
     use super::*;
     use crate::trace::parse_trace;
     use fisec_telemetry::{
-        CampaignEndEvent, CampaignEvent, HotBlock, ProfileData, ProfileEvent, RunEvent, TraceEvent,
+        CampaignEndEvent, CampaignEvent, HotBlock, ProfileData, ProfileEvent, PropagationEvent,
+        RunEvent, TraceEvent,
     };
 
     fn run_ev(outcome: &str, bit: u8) -> TraceEvent {
@@ -277,6 +333,13 @@ mod tests {
             transient_deviation: false,
             divergence_depth: if outcome == "NA" { None } else { Some(12) },
             trace_latency: None,
+            taint_decision: if outcome == "NA" { None } else { Some(40) },
+            taint_width: if outcome == "NA" { None } else { Some(3) },
+            taint_compare_first: if outcome == "NA" {
+                None
+            } else {
+                Some(outcome == "BRK")
+            },
         })
     }
 
@@ -307,6 +370,18 @@ mod tests {
                     ..ProfileData::default()
                 },
             })),
+            TraceEvent::Propagation(PropagationEvent {
+                app: "ftpd".to_string(),
+                mode: "snapshot".to_string(),
+                seeded: 2,
+                reached_decision: 2,
+                compare_first: 1,
+                deaths: 0,
+                frozen: 0,
+                fsv_seeded: 0,
+                fsv_reached_decision: 0,
+                fsv_compare_first: 0,
+            }),
             TraceEvent::CampaignEnd(CampaignEndEvent {
                 runs: 3,
                 wall_micros: 5000,
@@ -337,6 +412,9 @@ mod tests {
         assert!(html.contains("Figure 4"), "{html}");
         assert!(html.contains("Divergence depth"), "{html}");
         assert!(html.contains("divergence_depth_sd"), "{html}");
+        assert!(html.contains("Propagation —"), "{html}");
+        assert!(html.contains("taint_to_branch_sd"), "{html}");
+        assert!(html.contains("taint_width_brk"), "{html}");
         assert!(html.contains("Hot blocks"), "{html}");
         assert!(
             html.contains("pass+") || html.contains("0x08048000"),

@@ -169,6 +169,7 @@ mod tests {
             trace_crash_latencies: vec![],
             transient_deviations: 1,
             records: Vec::new(),
+            propagation: None,
         }
     }
 

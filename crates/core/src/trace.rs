@@ -17,8 +17,8 @@ use fisec_net::{ClientStatus, Trace};
 use fisec_os::Stop;
 use fisec_telemetry::{
     metric, read_jsonl_path, render_phase_table, CampaignEndEvent, CampaignEvent, LogHistogram,
-    OutcomeHists, PhaseTimes, ProfileEvent, RandomCampaignEvent, RandomEndEvent, RunEvent,
-    SpanEvent, TraceEvent,
+    OutcomeHists, PhaseTimes, ProfileEvent, PropagationEvent, RandomCampaignEvent, RandomEndEvent,
+    RunEvent, SpanEvent, TraceEvent,
 };
 use std::path::Path;
 
@@ -39,6 +39,9 @@ pub struct ReplayedCampaign {
     pub run_events: Vec<RunEvent>,
     /// Hot-spot profile, when the campaign ran with `--profile`.
     pub profile: Option<ProfileEvent>,
+    /// Propagation aggregate, when the campaign ran with
+    /// `--propagation`.
+    pub propagation: Option<PropagationEvent>,
 }
 
 /// One random campaign reconstructed from its ledger checkpoints.
@@ -160,6 +163,7 @@ pub fn parse_trace(events: &[TraceEvent]) -> Result<ReplayedTrace, String> {
                         crash_latencies: Vec::new(),
                         trace_crash_latencies: Vec::new(),
                         transient_deviations: 0,
+                        propagation: None,
                         records: Vec::new(),
                     })
                     .collect();
@@ -176,6 +180,7 @@ pub fn parse_trace(events: &[TraceEvent]) -> Result<ReplayedTrace, String> {
                     end: None,
                     run_events: Vec::new(),
                     profile: None,
+                    propagation: None,
                 });
                 open = true;
             }
@@ -304,6 +309,15 @@ pub fn parse_trace(events: &[TraceEvent]) -> Result<ReplayedTrace, String> {
                     .expect("open implies a campaign")
                     .profile = Some((**p).clone());
             }
+            TraceEvent::Propagation(p) => {
+                if !open {
+                    return Err(format!("{}: propagation event outside a campaign", at()));
+                }
+                campaigns
+                    .last_mut()
+                    .expect("open implies a campaign")
+                    .propagation = Some(p.clone());
+            }
         }
     }
     Ok(ReplayedTrace {
@@ -397,6 +411,26 @@ pub fn render_stats(trace: &ReplayedTrace) -> String {
                 ],
             };
             out.push_str(&render_phase_table(&phases, end.wall_micros));
+        }
+        // Propagation aggregate, for campaigns that ran the taint
+        // tracer. Omitted entirely otherwise to keep existing traces
+        // and golden fixtures byte-stable.
+        if let Some(p) = &c.propagation {
+            out.push_str(&format!(
+                "propagation: seeded {}  reached decision {}  compare-first {}  \
+                 deaths {}  frozen {}\n",
+                p.seeded, p.reached_decision, p.compare_first, p.deaths, p.frozen
+            ));
+            if p.fsv_seeded > 0 {
+                out.push_str(&format!(
+                    "propagation FSV: {}/{} reached a tainted decision ({:.1}%), \
+                     {} compare-before-store\n",
+                    p.fsv_reached_decision,
+                    p.fsv_seeded,
+                    100.0 * p.fsv_reached_decision as f64 / p.fsv_seeded as f64,
+                    p.fsv_compare_first
+                ));
+            }
         }
         // Rebuild per-run cost histograms from the executed events (the
         // pre-filter's and the cache's synthesized runs would skew them
@@ -515,6 +549,9 @@ mod tests {
             transient_deviation: false,
             divergence_depth: None,
             trace_latency: if outcome == "SD" { Some(7) } else { None },
+            taint_decision: None,
+            taint_width: None,
+            taint_compare_first: None,
         })
     }
 

@@ -12,8 +12,8 @@
 use fisec_core::report::render_html;
 use fisec_core::trace;
 use fisec_telemetry::{
-    CampaignEndEvent, CampaignEvent, HotBlock, ProfileData, ProfileEvent, RunEvent, SlowShape,
-    SpanEvent, TraceEvent,
+    CampaignEndEvent, CampaignEvent, HotBlock, ProfileData, ProfileEvent, PropagationEvent,
+    RunEvent, SlowShape, SpanEvent, TraceEvent,
 };
 use std::path::PathBuf;
 
@@ -23,8 +23,8 @@ fn fixture_path(name: &str) -> PathBuf {
         .join(name)
 }
 
-fn run_ev(bit: u8, outcome: &str, latency: Option<u64>, depth: Option<u64>) -> TraceEvent {
-    TraceEvent::Run(RunEvent {
+fn run(bit: u8, outcome: &str, latency: Option<u64>, depth: Option<u64>) -> RunEvent {
+    RunEvent {
         client: 0,
         addr: 0x0804_9100,
         byte_index: 0,
@@ -41,12 +41,19 @@ fn run_ev(bit: u8, outcome: &str, latency: Option<u64>, depth: Option<u64>) -> T
         transient_deviation: bit == 2,
         divergence_depth: depth,
         trace_latency: latency,
-    })
+        taint_decision: None,
+        taint_width: None,
+        taint_compare_first: None,
+    }
+}
+
+fn run_ev(bit: u8, outcome: &str, latency: Option<u64>, depth: Option<u64>) -> TraceEvent {
+    TraceEvent::Run(run(bit, outcome, latency, depth))
 }
 
 /// A fixed, handcrafted trace exercising every report section the
 /// renderer has: Table 1, phase profile, Figure 4, divergence depths,
-/// spans and the hot-block table.
+/// propagation, spans and the hot-block table.
 fn fixture_events() -> Vec<TraceEvent> {
     vec![
         TraceEvent::Campaign(CampaignEvent {
@@ -60,9 +67,24 @@ fn fixture_events() -> Vec<TraceEvent> {
             golden_denied: vec![true],
         }),
         run_ev(0, "NA", None, None),
-        run_ev(1, "SD", Some(9), Some(14)),
-        run_ev(2, "SD", Some(130), Some(40)),
-        run_ev(3, "BRK", None, Some(200)),
+        TraceEvent::Run(RunEvent {
+            taint_decision: Some(6),
+            taint_width: Some(2),
+            taint_compare_first: Some(true),
+            ..run(1, "SD", Some(9), Some(14))
+        }),
+        TraceEvent::Run(RunEvent {
+            taint_decision: Some(85),
+            taint_width: Some(5),
+            taint_compare_first: Some(false),
+            ..run(2, "SD", Some(130), Some(40))
+        }),
+        TraceEvent::Run(RunEvent {
+            taint_decision: Some(31),
+            taint_width: Some(9),
+            taint_compare_first: Some(true),
+            ..run(3, "BRK", None, Some(200))
+        }),
         TraceEvent::Span(SpanEvent {
             name: "ftpd [baseline x86]".to_string(),
             cat: "campaign".to_string(),
@@ -107,6 +129,18 @@ fn fixture_events() -> Vec<TraceEvent> {
                 ..ProfileData::default()
             },
         })),
+        TraceEvent::Propagation(PropagationEvent {
+            app: "ftpd".to_string(),
+            mode: "snapshot".to_string(),
+            seeded: 3,
+            reached_decision: 3,
+            compare_first: 2,
+            deaths: 0,
+            frozen: 0,
+            fsv_seeded: 1,
+            fsv_reached_decision: 1,
+            fsv_compare_first: 1,
+        }),
         TraceEvent::CampaignEnd(CampaignEndEvent {
             runs: 4,
             wall_micros: 9200,

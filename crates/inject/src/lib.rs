@@ -19,6 +19,7 @@ pub mod forensics;
 pub mod latent;
 pub mod location;
 pub mod persist;
+pub mod propagation;
 pub mod target;
 
 pub use classify::{classify_run, GoldenRun, InjectionRun, OutcomeClass};
@@ -26,6 +27,7 @@ pub use divergence::{DivergenceReport, GoldenContinuation, RECORDER_EDGES};
 pub use forensics::{crash_forensics, CrashReport, PathSegment};
 pub use latent::{LatentError, LatentRunner};
 pub use location::ErrorLocation;
+pub use propagation::{kind_label, PropagationReport};
 pub use target::{enumerate_targets, InjectionTarget, TargetSet};
 
 use fisec_apps::ClientSpec;
@@ -33,7 +35,7 @@ use fisec_asm::Image;
 use fisec_encoding::{remap_flip, ByteCtx, EncodingScheme};
 use fisec_net::Trace;
 use fisec_os::{Process, Stop};
-use fisec_x86::{ExecProfile, Footprint};
+use fisec_x86::{ExecProfile, Footprint, DEFAULT_TAINT_HORIZON};
 use std::time::Instant;
 
 /// Default multiplier on the golden run's instruction count used as the
@@ -80,6 +82,12 @@ pub struct EngineOpts {
     /// campaign cache uses it to key a group's memoized results on the
     /// image bytes the group actually executed.
     pub footprint: bool,
+    /// Arm the propagation tracer (see [`fisec_x86::taint`]) on every
+    /// activated run, seeded at the injected instruction. Off by
+    /// default; outcomes are bit-identical either way (pinned by
+    /// differential tests) — the flag only adds a [`PropagationReport`]
+    /// per activated run to the recorded-entry-point returns.
+    pub propagation: bool,
 }
 
 impl Default for EngineOpts {
@@ -90,6 +98,7 @@ impl Default for EngineOpts {
             flight_recorder: false,
             profiler: false,
             footprint: false,
+            propagation: false,
         }
     }
 }
@@ -264,17 +273,19 @@ pub fn run_injection_metered_opts(
     engine: EngineOpts,
 ) -> Result<(InjectionRun, RunMeta, GroupMeta), fisec_os::LoadError> {
     run_injection_recorded(image, client, golden, target, scheme, engine)
-        .map(|(run, meta, group, _, _, _)| (run, meta, group))
+        .map(|(run, meta, group, _, _, _, _)| (run, meta, group))
 }
 
 /// [`run_injection_metered_opts`] plus the [`DivergenceReport`] of the
 /// run when `engine.flight_recorder` is on and the error activated,
 /// plus the run's [`ExecProfile`] when `engine.profiler` is on, plus
-/// the run's executed-code [`Footprint`] when `engine.footprint` is on.
-/// With the recorder on, the process is checkpointed at the breakpoint
-/// and resumed once *without* the flip (recorder armed) to capture the
-/// golden continuation, then restored and injected as usual — the
-/// injected run's outcome is bit-identical to the recorder-off path.
+/// the run's executed-code [`Footprint`] when `engine.footprint` is on,
+/// plus the run's [`PropagationReport`] when `engine.propagation` is on
+/// and the error activated. With the recorder on, the process is
+/// checkpointed at the breakpoint and resumed once *without* the flip
+/// (recorder armed) to capture the golden continuation, then restored
+/// and injected as usual — the injected run's outcome is bit-identical
+/// to the recorder-off path.
 ///
 /// # Errors
 /// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
@@ -294,6 +305,7 @@ pub fn run_injection_recorded(
         Option<DivergenceReport>,
         Option<ExecProfile>,
         Option<Footprint>,
+        Option<PropagationReport>,
     ),
     fisec_os::LoadError,
 > {
@@ -328,7 +340,7 @@ pub fn run_injection_recorded(
         };
         let profile = p.machine.take_exec_profile();
         let footprint = p.machine.take_footprint();
-        return Ok((run, meta, group, None, profile, footprint));
+        return Ok((run, meta, group, None, profile, footprint, None));
     };
 
     // With the recorder on, capture the golden continuation first: the
@@ -365,6 +377,10 @@ pub fn run_injection_recorded(
     if engine.flight_recorder {
         p.machine.enable_flight_recorder(RECORDER_EDGES);
     }
+    if engine.propagation {
+        p.machine
+            .enable_taint(Some(target.addr), DEFAULT_TAINT_HORIZON);
+    }
 
     let run_start = Instant::now();
     let stop = p.run();
@@ -375,6 +391,13 @@ pub fn run_injection_recorded(
             .take_flight_trace()
             .expect("recorder was armed before the run");
         divergence::diff_run(&gc, faulty, &p.machine.mem)
+    });
+    let prop = p.machine.take_propagation_log().map(|log| {
+        let mut rep = PropagationReport::new(log, activation_icount);
+        if decision_site(image, target.addr) {
+            rep.mark_corrupted_decision(target.addr);
+        }
+        rep
     });
     let final_trace = p.trace();
     let crash_latency = match stop {
@@ -396,7 +419,7 @@ pub fn run_injection_recorded(
     };
     let profile = p.machine.take_exec_profile();
     let footprint = p.machine.take_footprint();
-    Ok((run, meta, group, report, profile, footprint))
+    Ok((run, meta, group, report, profile, footprint, prop))
 }
 
 /// Resume a process checkpointed at its (disarmed) breakpoint with the
@@ -491,7 +514,9 @@ pub fn run_injection_group_metered_opts(
     run_injection_group_recorded(image, client, golden, targets, scheme, engine).map(
         |(runs, group, _, _)| {
             (
-                runs.into_iter().map(|(run, meta, _)| (run, meta)).collect(),
+                runs.into_iter()
+                    .map(|(run, meta, _, _)| (run, meta))
+                    .collect(),
                 group,
             )
         },
@@ -509,7 +534,11 @@ pub fn run_injection_group_metered_opts(
 /// instructions the group retired). When `engine.footprint` is on, one
 /// [`Footprint`] unioning the boot and every replay is returned — the
 /// byte ranges whose contents the campaign cache must key the group's
-/// memoized results on.
+/// memoized results on. When `engine.propagation` is on, each replay
+/// arms the taint tracer seeded at the group's address and its sealed
+/// [`PropagationReport`] rides along per run — the tracer is per-run
+/// state, so the restore at the top of the next replay would drop it
+/// anyway; the explicit take seals it first.
 ///
 /// # Errors
 /// Propagates [`fisec_os::LoadError`] if the image cannot be loaded.
@@ -526,7 +555,12 @@ pub fn run_injection_group_recorded(
     engine: EngineOpts,
 ) -> Result<
     (
-        Vec<(InjectionRun, RunMeta, Option<DivergenceReport>)>,
+        Vec<(
+            InjectionRun,
+            RunMeta,
+            Option<DivergenceReport>,
+            Option<PropagationReport>,
+        )>,
         GroupMeta,
         Option<ExecProfile>,
         Option<Footprint>,
@@ -576,7 +610,7 @@ pub fn run_injection_group_recorded(
         let profile = p.machine.take_exec_profile();
         let footprint = p.machine.take_footprint();
         return Ok((
-            vec![(na, meta, None); targets.len()],
+            vec![(na, meta, None, None); targets.len()],
             group,
             profile,
             footprint,
@@ -612,6 +646,10 @@ pub fn run_injection_group_recorded(
         if engine.flight_recorder {
             p.machine.enable_flight_recorder(RECORDER_EDGES);
         }
+        if engine.propagation {
+            p.machine
+                .enable_taint(Some(target.addr), DEFAULT_TAINT_HORIZON);
+        }
 
         let stop = p.run();
         let run_micros = micros_since(replay_start);
@@ -621,6 +659,13 @@ pub fn run_injection_group_recorded(
                 .take_flight_trace()
                 .expect("recorder was armed before the replay");
             divergence::diff_run(gc, faulty, &p.machine.mem)
+        });
+        let prop = p.machine.take_propagation_log().map(|log| {
+            let mut rep = PropagationReport::new(log, activation_icount);
+            if decision_site(image, target.addr) {
+                rep.mark_corrupted_decision(target.addr);
+            }
+            rep
         });
         let final_trace = p.trace();
         let crash_latency = match stop {
@@ -634,7 +679,7 @@ pub fn run_injection_group_recorded(
             run_micros,
             classify_micros: micros_since(classify_start),
         };
-        runs.push((run, meta, report));
+        runs.push((run, meta, report, prop));
     }
     let group = GroupMeta {
         boot_micros,
@@ -656,6 +701,21 @@ fn byte_ctx(target: &InjectionTarget) -> ByteCtx {
     } else {
         ByteCtx::Other
     }
+}
+
+/// Whether the *original* instruction at `addr` is a control transfer.
+/// A flip there corrupts a control-flow decision directly, which the
+/// taint tracer (seeing only the corrupted text) cannot know.
+fn decision_site(image: &Image, addr: u32) -> bool {
+    let Some(off) = addr
+        .checked_sub(image.text_base)
+        .map(|o| o as usize)
+        .filter(|&o| o < image.text.len())
+    else {
+        return false;
+    };
+    let end = (off + 16).min(image.text.len());
+    fisec_x86::decode(&image.text[off..end]).is_control_transfer()
 }
 
 /// Convenience: is `trace` a plausible truncated prefix of `golden`?

@@ -1,0 +1,243 @@
+//! Per-run propagation reports over the x86 taint tracer.
+//!
+//! Where [`crate::divergence`] answers "when did corrupted *control
+//! flow* leave the golden path", this module answers the data-flow
+//! question upstream of it: how the corrupted value the injected
+//! instruction produced travelled through registers, flags and memory
+//! before the run stopped — in particular whether it reached a compare
+//! or branch decision, the security-critical moment the conditional-
+//! branch hardening literature singles out.
+//!
+//! The recorded entry points in the crate root arm the tracer right
+//! after the flip is planted (exactly where the flight recorder is
+//! armed) and seal its [`PropagationLog`] into a [`PropagationReport`]
+//! when the run stops.
+
+use fisec_x86::taint::{PropEvent, PropKind, PropagationLog};
+use std::fmt;
+
+/// How far the corrupted data of one activated injection travelled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropagationReport {
+    /// The sealed corruption timeline.
+    pub log: PropagationLog,
+    /// Instruction count at activation (the breakpoint), the zero point
+    /// the timeline's offsets are rendered against.
+    pub activation_icount: u64,
+}
+
+impl PropagationReport {
+    /// Seal a log taken at the end of a run.
+    pub fn new(log: PropagationLog, activation_icount: u64) -> PropagationReport {
+        PropagationReport {
+            log,
+            activation_icount,
+        }
+    }
+
+    /// Whether the injected instruction ever executed (taint was born).
+    pub fn seeded(&self) -> bool {
+        self.log.seed_icount.is_some()
+    }
+
+    /// Instructions from the seed to the first tainted compare or
+    /// taint-dependent control transfer — the taint-to-branch latency
+    /// the telemetry layer histograms. `None` when corrupted data never
+    /// reached a decision in the observed window.
+    pub fn taint_to_decision(&self) -> Option<u64> {
+        let seed = self.log.seed_icount?;
+        self.log.first_decision().map(|d| d.saturating_sub(seed))
+    }
+
+    /// Whether corrupted data reached a compare or branch decision
+    /// before the run stopped.
+    pub fn reached_decision(&self) -> bool {
+        self.log.first_decision().is_some()
+    }
+
+    /// Whether the corruption reached a tainted compare before any
+    /// tainted store — the ordering the campaign aggregation reports.
+    pub fn compare_before_store(&self) -> bool {
+        match (self.log.first_compare, self.log.first_write) {
+            (Some(c), Some(w)) => c <= w,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+
+    /// The flip landed on a control-transfer instruction, so the
+    /// control-flow decision at the seed site is made by the corruption
+    /// itself — there is no upstream data flow to observe before it.
+    /// Recorded as a tainted branch at seed time (the data-flow tracer
+    /// only sees the *corrupted* text, which may no longer be a branch,
+    /// so the injector — which knows the original instruction — calls
+    /// this). No-op when the run never activated or a branch event at
+    /// or before the seed already exists.
+    pub fn mark_corrupted_decision(&mut self, addr: u32) {
+        let Some(seed) = self.log.seed_icount else {
+            return;
+        };
+        if self.log.first_branch.is_some_and(|b| b <= seed) {
+            return;
+        }
+        self.log.first_branch = Some(seed);
+        let at = self
+            .log
+            .events
+            .iter()
+            .position(|e| e.icount > seed)
+            .unwrap_or(self.log.events.len());
+        let width = self
+            .log
+            .events
+            .iter()
+            .find(|e| e.kind == PropKind::Seed)
+            .map_or(0, |e| e.width);
+        self.log.events.insert(
+            at,
+            PropEvent {
+                icount: seed,
+                addr,
+                kind: PropKind::Branch,
+                width,
+            },
+        );
+    }
+
+    /// Offset of an absolute icount from the activation point.
+    fn rel(&self, icount: u64) -> u64 {
+        icount.saturating_sub(self.activation_icount)
+    }
+}
+
+impl fmt::Display for PropagationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let Some(seed) = self.log.seed_icount else {
+            return writeln!(
+                f,
+                "taint never seeded: the corrupted instruction did not retire"
+            );
+        };
+        writeln!(
+            f,
+            "taint seeded at activation+{} (icount {seed})",
+            self.rel(seed)
+        )?;
+        let firsts: [(&str, Option<u64>); 5] = [
+            ("first tainted write", self.log.first_write),
+            ("first tainted flag", self.log.first_flag),
+            ("first tainted compare", self.log.first_compare),
+            ("first tainted branch", self.log.first_branch),
+            ("first tainted syscall arg", self.log.first_syscall_arg),
+        ];
+        for (label, at) in firsts {
+            if let Some(at) = at {
+                writeln!(f, "  {label:<25} at activation+{}", self.rel(at))?;
+            }
+        }
+        match self.log.death {
+            Some(d) => writeln!(
+                f,
+                "  taint died at activation+{} (every corrupted location overwritten clean)",
+                self.rel(d)
+            )?,
+            None if self.log.frozen => writeln!(
+                f,
+                "  taint still live when the observation horizon froze the tracer"
+            )?,
+            None => writeln!(
+                f,
+                "  taint still live at stop (width {})",
+                self.log.final_width
+            )?,
+        }
+        writeln!(
+            f,
+            "  peak width {} byte(s); {} live instruction(s) observed{}{}",
+            self.log.peak_width,
+            self.log.hooked,
+            if self.log.saturated {
+                "; shadow saturated"
+            } else {
+                ""
+            },
+            if self.log.dropped > 0 {
+                "; event log truncated"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+/// One-word label for an event kind, shared by the CLI timeline and the
+/// HTML report.
+pub fn kind_label(kind: PropKind) -> &'static str {
+    match kind {
+        PropKind::Seed => "seed",
+        PropKind::Write { .. } => "write",
+        PropKind::Flag => "flag",
+        PropKind::Compare => "compare",
+        PropKind::Branch => "branch",
+        PropKind::SyscallArg { .. } => "syscall",
+        PropKind::Death => "death",
+        PropKind::Frozen => "frozen",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with(
+        seed: Option<u64>,
+        compare: Option<u64>,
+        branch: Option<u64>,
+        write: Option<u64>,
+    ) -> PropagationLog {
+        PropagationLog {
+            seed_icount: seed,
+            first_compare: compare,
+            first_branch: branch,
+            first_write: write,
+            ..PropagationLog::default()
+        }
+    }
+
+    #[test]
+    fn decision_latency_is_seed_relative() {
+        let r = PropagationReport::new(log_with(Some(100), Some(140), Some(150), None), 99);
+        assert_eq!(r.taint_to_decision(), Some(40));
+        assert!(r.reached_decision());
+        assert!(r.compare_before_store());
+    }
+
+    #[test]
+    fn store_first_flips_the_ordering() {
+        let r = PropagationReport::new(log_with(Some(100), Some(140), None, Some(120)), 99);
+        assert!(!r.compare_before_store());
+    }
+
+    #[test]
+    fn unseeded_report_renders_and_answers_nothing() {
+        let r = PropagationReport::new(log_with(None, None, None, None), 0);
+        assert!(!r.seeded());
+        assert_eq!(r.taint_to_decision(), None);
+        assert!(format!("{r}").contains("never seeded"));
+    }
+
+    #[test]
+    fn display_orders_the_firsts() {
+        let mut log = log_with(Some(100), Some(105), Some(106), Some(110));
+        log.first_flag = Some(105);
+        log.death = Some(130);
+        log.peak_width = 9;
+        log.hooked = 31;
+        let r = PropagationReport::new(log, 100);
+        let text = format!("{r}");
+        assert!(text.contains("seeded at activation+0"));
+        assert!(text.contains("first tainted compare"));
+        assert!(text.contains("taint died at activation+30"));
+        assert!(text.contains("peak width 9"));
+    }
+}

@@ -246,7 +246,7 @@ fn flight_recorder_is_a_pure_observer_and_engine_independent() {
         )
         .unwrap();
         let off_runs: Vec<_> = off.0.into_iter().map(|(run, _)| run).collect();
-        let on_runs: Vec<_> = on.0.iter().map(|(run, _, _)| run.clone()).collect();
+        let on_runs: Vec<_> = on.0.iter().map(|(run, _, _, _)| run.clone()).collect();
         assert_eq!(
             off_runs, on_runs,
             "recorder changed outcomes at {:#010x}",
@@ -254,7 +254,7 @@ fn flight_recorder_is_a_pure_observer_and_engine_independent() {
         );
         // Every activated run carries a report, and the recorded control
         // flow is engine-independent.
-        for ((run, _, rep), (_, _, rep_stp)) in on.0.iter().zip(&on_stp.0) {
+        for ((run, _, rep, _), (_, _, rep_stp, _)) in on.0.iter().zip(&on_stp.0) {
             assert_eq!(run.activated, rep.is_some());
             if let (Some(a), Some(b)) = (rep, rep_stp) {
                 assert_eq!(a.faulty, b.faulty, "faulty trace diverged between engines");
@@ -315,7 +315,7 @@ fn profiler_is_a_pure_observer_in_both_engines() {
             )
             .unwrap();
             let off_runs: Vec<_> = off.0.into_iter().map(|(run, _)| run).collect();
-            let on_runs: Vec<_> = on_runs.into_iter().map(|(run, _, _)| run).collect();
+            let on_runs: Vec<_> = on_runs.into_iter().map(|(run, _, _, _)| run).collect();
             assert_eq!(
                 off_runs, on_runs,
                 "profiler changed outcomes at {:#010x} (block_cache={block_cache})",

@@ -92,6 +92,20 @@ pub struct RunEvent {
     /// crashed. Equals `crash_latency` by construction — the trace-only
     /// Figure 4 rebuild cross-checks the two.
     pub trace_latency: Option<u64>,
+    /// Instructions from the taint seed to the first tainted compare or
+    /// branch decision, when the campaign ran with the propagation
+    /// tracer and the corruption reached one. Absent from
+    /// propagation-off traces (older streams parse fine).
+    #[serde(default)]
+    pub taint_decision: Option<u64>,
+    /// Peak tainted width in bytes over the run, when the tracer was on
+    /// and taint was seeded.
+    #[serde(default)]
+    pub taint_width: Option<u64>,
+    /// Whether a tainted compare preceded every tainted store, when the
+    /// tracer was on and taint was seeded.
+    #[serde(default)]
+    pub taint_compare_first: Option<bool>,
 }
 
 /// Campaign trailer: wall-clock, the phase breakdown and engine-level
@@ -252,6 +266,36 @@ pub struct ProfileEvent {
     pub data: ProfileData,
 }
 
+/// Per-campaign propagation trailer: how far the corrupted data of the
+/// campaign's activated injections travelled, aggregated over every
+/// seeded run (emitted only when the taint tracer is on, before
+/// `campaign_end`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropagationEvent {
+    /// Application name ("ftpd"/"sshd").
+    pub app: String,
+    /// Execution engine: "snapshot" or "from-scratch".
+    pub mode: String,
+    /// Runs whose injected instruction retired (taint was seeded).
+    pub seeded: u64,
+    /// Seeded runs whose corruption reached a tainted compare or
+    /// branch decision before the run stopped.
+    pub reached_decision: u64,
+    /// Seeded runs where a tainted compare preceded any tainted store.
+    pub compare_first: u64,
+    /// Seeded runs whose taint died (every corrupted location was
+    /// overwritten clean) before the run stopped.
+    pub deaths: u64,
+    /// Seeded runs whose tracer hit the observation horizon.
+    pub frozen: u64,
+    /// Fail-silence violations among the seeded runs.
+    pub fsv_seeded: u64,
+    /// FSV runs whose corruption reached a tainted decision.
+    pub fsv_reached_decision: u64,
+    /// FSV runs where a tainted compare preceded any tainted store.
+    pub fsv_compare_first: u64,
+}
+
 /// One incremental-campaign-cache transaction: a checkpoint group
 /// consulted against or written to the on-disk store. Emitted only when
 /// a cache is attached, so cache-off traces are byte-compatible with
@@ -297,6 +341,8 @@ pub enum TraceEvent {
     /// Per-campaign hot-spot profile (boxed: the block tallies dwarf
     /// every other variant).
     Profile(Box<ProfileEvent>),
+    /// Per-campaign propagation aggregate.
+    Propagation(PropagationEvent),
 }
 
 impl TraceEvent {
@@ -311,6 +357,7 @@ impl TraceEvent {
             TraceEvent::Cache(_) => "cache",
             TraceEvent::Span(_) => "span",
             TraceEvent::Profile(_) => "profile",
+            TraceEvent::Propagation(_) => "propagation",
         }
     }
 
@@ -326,6 +373,7 @@ impl TraceEvent {
             TraceEvent::Cache(e) => e.serialize(),
             TraceEvent::Span(e) => e.serialize(),
             TraceEvent::Profile(e) => e.serialize(),
+            TraceEvent::Propagation(e) => e.serialize(),
         };
         let mut fields = vec![("event".to_string(), Value::Str(self.tag().to_string()))];
         if let Value::Object(body_fields) = body {
@@ -372,6 +420,9 @@ impl TraceEvent {
             "profile" => ProfileEvent::deserialize(&v)
                 .map(|e| TraceEvent::Profile(Box::new(e)))
                 .map_err(|e| format!("profile event: {e}")),
+            "propagation" => PropagationEvent::deserialize(&v)
+                .map(TraceEvent::Propagation)
+                .map_err(|e| format!("propagation event: {e}")),
             other => Err(format!("unknown event tag `{other}`")),
         }
     }
@@ -574,6 +625,9 @@ mod tests {
             transient_deviation: false,
             divergence_depth: None,
             trace_latency: None,
+            taint_decision: None,
+            taint_width: None,
+            taint_compare_first: None,
         }
     }
 
@@ -745,6 +799,47 @@ mod tests {
         let line = ev.to_json_line();
         assert!(line.starts_with("{\"event\":\"profile\""), "{line}");
         assert_eq!(TraceEvent::parse_line(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn propagation_events_round_trip() {
+        let ev = TraceEvent::Propagation(PropagationEvent {
+            app: "ftpd".to_string(),
+            mode: "snapshot".to_string(),
+            seeded: 812,
+            reached_decision: 790,
+            compare_first: 611,
+            deaths: 102,
+            frozen: 3,
+            fsv_seeded: 41,
+            fsv_reached_decision: 40,
+            fsv_compare_first: 37,
+        });
+        let line = ev.to_json_line();
+        assert!(line.starts_with("{\"event\":\"propagation\""), "{line}");
+        assert_eq!(TraceEvent::parse_line(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn taint_fields_are_optional_for_old_traces() {
+        // A propagation-off stream lacks the taint fields entirely; it
+        // must still parse, with all three reported absent.
+        let line = TraceEvent::Run(sample_run()).to_json_line();
+        let stripped = line
+            .replace(",\"taint_decision\":null", "")
+            .replace(",\"taint_width\":null", "")
+            .replace(",\"taint_compare_first\":null", "");
+        assert_ne!(line, stripped, "fields should serialize as null");
+        let parsed = TraceEvent::parse_line(&stripped).unwrap();
+        assert_eq!(parsed, TraceEvent::Run(sample_run()));
+        // And a propagation trace carries them through.
+        let ev = TraceEvent::Run(RunEvent {
+            taint_decision: Some(12),
+            taint_width: Some(6),
+            taint_compare_first: Some(true),
+            ..sample_run()
+        });
+        assert_eq!(TraceEvent::parse_line(&ev.to_json_line()).unwrap(), ev);
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub mod progress;
 pub use chrome::{check_span_nesting, chrome_trace_json};
 pub use event::{
     read_jsonl, read_jsonl_path, CacheEvent, CampaignEndEvent, CampaignEvent, EventSink, JsonlSink,
-    MemorySink, NullSink, ProfileEvent, RandomBatchEvent, RandomCampaignEvent, RandomEndEvent,
-    RunEvent, SpanEvent, TraceEvent,
+    MemorySink, NullSink, ProfileEvent, PropagationEvent, RandomBatchEvent, RandomCampaignEvent,
+    RandomEndEvent, RunEvent, SpanEvent, TraceEvent,
 };
 pub use hotspot::{HotBlock, ProfileData, SlowShape};
 pub use metrics::{metric, LogHistogram, MetricsRegistry, MetricsShard, OutcomeHists};

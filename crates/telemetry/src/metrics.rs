@@ -55,6 +55,37 @@ pub mod metric {
     pub const DIVERGENCE_DEPTH_FSV: &str = "divergence_depth_fsv";
     /// Histogram: divergence depth of runs classified BRK.
     pub const DIVERGENCE_DEPTH_BRK: &str = "divergence_depth_brk";
+    /// Histogram: instructions from the taint seed to the first tainted
+    /// compare or branch, for runs classified NM (propagation
+    /// campaigns).
+    pub const TAINT_TO_BRANCH_NM: &str = "taint_to_branch_nm";
+    /// Histogram: taint-to-branch latency of runs classified SD.
+    pub const TAINT_TO_BRANCH_SD: &str = "taint_to_branch_sd";
+    /// Histogram: taint-to-branch latency of runs classified FSV.
+    pub const TAINT_TO_BRANCH_FSV: &str = "taint_to_branch_fsv";
+    /// Histogram: taint-to-branch latency of runs classified BRK.
+    pub const TAINT_TO_BRANCH_BRK: &str = "taint_to_branch_brk";
+    /// Histogram: peak tainted width in bytes of runs classified NM.
+    pub const TAINT_WIDTH_NM: &str = "taint_width_nm";
+    /// Histogram: peak tainted width of runs classified SD.
+    pub const TAINT_WIDTH_SD: &str = "taint_width_sd";
+    /// Histogram: peak tainted width of runs classified FSV.
+    pub const TAINT_WIDTH_FSV: &str = "taint_width_fsv";
+    /// Histogram: peak tainted width of runs classified BRK.
+    pub const TAINT_WIDTH_BRK: &str = "taint_width_brk";
+    /// Counter: runs whose injected instruction retired under the taint
+    /// tracer (taint was seeded).
+    pub const TAINT_SEEDED_RUNS: &str = "taint_seeded_runs";
+    /// Counter: seeded runs whose corruption reached a tainted compare
+    /// or branch decision.
+    pub const TAINT_DECISION_RUNS: &str = "taint_decision_runs";
+    /// Counter: seeded runs where a tainted compare preceded any
+    /// tainted store.
+    pub const TAINT_CMP_FIRST_RUNS: &str = "taint_cmp_first_runs";
+    /// Counter: seeded runs whose taint died before the run stopped.
+    pub const TAINT_DEATH_RUNS: &str = "taint_death_runs";
+    /// Counter: seeded runs frozen by the observation horizon.
+    pub const TAINT_FROZEN_RUNS: &str = "taint_frozen_runs";
 }
 
 /// Number of log₂ buckets; bucket `i` covers `(2^(i-1), 2^i]`, with 0

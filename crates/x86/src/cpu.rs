@@ -18,6 +18,7 @@ use crate::inst::{
 use crate::mem::Memory;
 use crate::profiler::ExecProfile;
 use crate::recorder::{edge_kind, Edge, EdgeKind, FlightRecorder, FlightTrace};
+use crate::taint::{PropagationLog, TaintTracer};
 use crate::trace::{SuperTrace, TraceCache, TraceRec, TraceStats, MAX_TRACE_BLOCKS};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -381,6 +382,12 @@ pub struct Machine {
     /// footprint accumulates across every replay of a checkpoint group.
     footprint: Option<Box<Footprint>>,
     recorder: Option<FlightRecorder>,
+    /// Propagation tracer (see [`crate::taint`]). Like the flight
+    /// recorder it is per-run instrumentation: enabled by the injector
+    /// after the flip is planted, dropped by [`Machine::restore`],
+    /// excluded from snapshots. Boxed so the untraced machine carries
+    /// only a pointer.
+    taint: Option<Box<TaintTracer>>,
     profile: Option<Box<ExecProfile>>,
     decoder: fn(&[u8]) -> Inst,
     restores: u64,
@@ -433,6 +440,7 @@ impl Machine {
             coverage: None,
             footprint: None,
             recorder: None,
+            taint: None,
             profile: None,
             decoder: decode,
             restores: 0,
@@ -507,6 +515,8 @@ impl Machine {
         // snapshot state) deliberately survive the rewind: one of each
         // accumulates across every replay of a checkpoint group.
         self.recorder = None;
+        // The propagation tracer has the same per-run lifecycle.
+        self.taint = None;
         self.restores += 1;
     }
 
@@ -669,6 +679,59 @@ impl Machine {
         self.recorder
             .take()
             .map(|r| r.into_trace(self.cpu.clone(), self.icount))
+    }
+
+    /// Start the propagation tracer (see [`crate::taint`]): shadow state
+    /// is seeded when the instruction at `seed` executes (its output is
+    /// the corruption) and propagated through every retired instruction
+    /// while taint is live, up to `horizon` observed instructions.
+    /// `seed: None` selects observe-all mode — every instruction runs
+    /// the transfer function, nothing is ever seeded — which the
+    /// clean-run property tests use. Pure observation: architectural
+    /// state, outcomes, icounts, coverage and traces are bit-identical
+    /// with it on or off. Like the flight recorder it is per-run:
+    /// [`Machine::restore`] drops it.
+    pub fn enable_taint(&mut self, seed: Option<u32>, horizon: u64) {
+        self.taint = Some(Box::new(TaintTracer::new(seed, horizon)));
+    }
+
+    /// Whether a propagation tracer is active.
+    pub fn taint_enabled(&self) -> bool {
+        self.taint.is_some()
+    }
+
+    /// Current shadow width (tainted bytes + flags bit), when tracing.
+    pub fn taint_width(&self) -> Option<u32> {
+        self.taint.as_ref().map(|t| t.width())
+    }
+
+    /// Stop the propagation tracer and take its sealed
+    /// [`PropagationLog`]. `None` when no tracer is active.
+    pub fn take_propagation_log(&mut self) -> Option<PropagationLog> {
+        self.taint.take().map(|t| t.into_log())
+    }
+
+    /// Does the propagation tracer need the instrumented path for the
+    /// code range `[lo, hi)`? False whenever the shadow is empty and the
+    /// seed lies outside the range — those blocks/traces cannot touch
+    /// taint and stay on the fast path.
+    #[inline]
+    fn taint_wants(&self, lo: u32, hi: u64) -> bool {
+        match &self.taint {
+            Some(t) => t.wants_range(lo, hi),
+            None => false,
+        }
+    }
+
+    /// Run the taint transfer function over one about-to-execute
+    /// instruction (no-op when not tracing). `cpu` must be the
+    /// pre-execution register file and `icount` the instruction's
+    /// retirement count.
+    #[inline]
+    fn taint_hook(&mut self, inst: &Inst, addr: u32, icount: u64) {
+        if let Some(t) = &mut self.taint {
+            t.observe(&self.cpu, inst, addr, icount);
+        }
     }
 
     /// Start the hot-spot profiler (see [`crate::profiler`]): from now
@@ -836,7 +899,15 @@ impl Machine {
             if trace_missed {
                 if let Some(t) = self.traces.get(eip, self.hist) {
                     trace_missed = false;
-                    if t.total_insts <= max_steps - steps && !self.breakpoint_in_range(t.lo, t.hi) {
+                    // Like breakpoints, live taint declines the trace
+                    // rather than observing inside one: a taken trace is
+                    // thereby provably taint-free (shadow empty, seed
+                    // outside its footprint), so tier-2 replay needs no
+                    // hooks at all.
+                    if t.total_insts <= max_steps - steps
+                        && !self.breakpoint_in_range(t.lo, t.hi)
+                        && !self.taint_wants(t.lo, t.hi)
+                    {
                         if let Some(out) = self.exec_trace(&t, &mut steps) {
                             return out;
                         }
@@ -886,7 +957,8 @@ impl Machine {
                 && self.coverage.is_none()
                 && self.trace_cap == 0
                 && self.recorder.is_none()
-                && self.profile.is_none();
+                && self.profile.is_none()
+                && !self.taint_wants(block.entry, block.end);
             let mut resident = false;
             loop {
                 let gen = self.mem.exec_gen();
@@ -1132,6 +1204,17 @@ impl Machine {
         let marking = self.coverage.is_some() || self.trace_cap > 0;
         let recording = self.recorder.is_some();
         let profiling = self.profile.is_some();
+        // Hook only when the tracer can observe something in this block:
+        // taint is born only at the seed address and propagates only
+        // while the shadow is live, so a dead-shadow block without the
+        // seed skips the per-instruction hook entirely (the common case
+        // for a flipped branch that taints nothing). Liveness cannot
+        // appear mid-block outside the seed's range, so the predicate is
+        // loop-invariant.
+        let tainting = self
+            .taint
+            .as_ref()
+            .is_some_and(|t| t.wants_range(block.entry, block.end));
         let mut executed = 0u64;
         for li in &block.insts {
             if marking {
@@ -1143,6 +1226,13 @@ impl Machine {
                 }
             }
             executed += 1;
+            if tainting {
+                // Before the handler runs: the transfer function needs
+                // the pre-execution register file to resolve effective
+                // addresses and string counts. The icount convention
+                // matches the recorder's (count *of* this instruction).
+                self.taint_hook(&li.inst, li.addr, self.icount + executed);
+            }
             match (li.handler)(self, li) {
                 Ok(Flow::Next) => {
                     self.cpu.eip = li.next;
@@ -1283,6 +1373,9 @@ impl Machine {
         }
         let recording = self.recorder.is_some();
         let next = eip.wrapping_add(inst.len as u32);
+        if self.taint.is_some() {
+            self.taint_hook(&inst, eip, self.icount);
+        }
         match self.exec(&inst, eip, next) {
             Ok(Flow::Next) => {
                 self.cpu.eip = next;

@@ -46,6 +46,7 @@ pub mod inst;
 pub mod mem;
 pub mod profiler;
 pub mod recorder;
+pub mod taint;
 pub mod trace;
 
 pub use block::{Block, BlockStats};
@@ -60,6 +61,7 @@ pub use inst::{
 pub use mem::{Memory, Perms, Region};
 pub use profiler::{op_shape, BlockTally, ExecProfile, SlowSite};
 pub use recorder::{Edge, EdgeKind, FlightTrace};
+pub use taint::{PropEvent, PropKind, PropagationLog, TaintTracer, DEFAULT_TAINT_HORIZON};
 pub use trace::{SuperTrace, TraceStats};
 
 /// EFLAGS bit positions used by the interpreter.

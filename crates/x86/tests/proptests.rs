@@ -157,6 +157,39 @@ proptest! {
         }
     }
 
+    /// A clean (non-injected) run never births taint: with the tracer
+    /// in observe-all mode over arbitrary byte soup, the shadow state
+    /// is still empty at the end, no propagation event fires, and the
+    /// tracer is invisible to the architectural result.
+    #[test]
+    fn clean_runs_keep_the_shadow_state_empty(
+        text in proptest::collection::vec(any::<u8>(), 32..256),
+        budget in 1u64..2000,
+    ) {
+        let build = |text: &[u8]| {
+            let mut mem = Memory::new();
+            mem.map(Region::with_data("text", 0x1000, text.to_vec(), Perms::RX)).unwrap();
+            mem.map(Region::zeroed("stack", 0x8000, 0x2000, Perms::RW)).unwrap();
+            let mut m = Machine::new(mem);
+            m.cpu.eip = 0x1000;
+            m.cpu.regs[Reg32::Esp as usize] = 0x9FF0;
+            m
+        };
+        let mut traced = build(&text);
+        traced.enable_taint(None, u64::MAX);
+        let mut plain = build(&text);
+        let a = traced.run_until_event(budget);
+        let b = plain.run_until_event(budget);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(traced.icount, plain.icount);
+        prop_assert_eq!(traced.taint_width(), Some(0), "taint born without a flip");
+        let log = traced.take_propagation_log().expect("tracer was armed");
+        prop_assert_eq!(log.seed_icount, None);
+        prop_assert!(log.events.is_empty(), "events on a clean run: {:?}", log.events);
+        prop_assert_eq!(log.peak_width, 0);
+        prop_assert_eq!(&traced.cpu, &plain.cpu);
+    }
+
     /// Flag state stays within the architectural mask after arbitrary
     /// execution (reserved bit 1 set, no stray bits).
     #[test]
